@@ -1,0 +1,173 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5.
+//!
+//! Criterion times each variant; in addition, each ablation prints its
+//! *quality* outcome (bias, PST) once at setup, so `cargo bench` output
+//! doubles as the ablation study record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use invmeas::{AdaptiveInvertMeasure, InversionString, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use qbenches::bench_rng;
+use qnoise::{
+    CorrelatedReadout, DeviceModel, Executor, NoisyExecutor, ReadoutModel, TensorReadout,
+};
+use qsim::{BitString, Circuit};
+
+/// DESIGN.md ✦ `ablate_damping`: how much of the Hamming-weight bias comes
+/// from T1 relaxation during the measurement window versus discriminator
+/// asymmetry alone.
+fn ablate_damping(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx2();
+    let with = dev.readout();
+    let without = CorrelatedReadout::from_tensor(TensorReadout::new(
+        (0..dev.n_qubits()).map(|q| dev.qubit(q).assignment).collect(),
+    ));
+    let rel = |r: &dyn ReadoutModel| {
+        r.success_probability(BitString::ones(5)) / r.success_probability(BitString::zeros(5))
+    };
+    eprintln!(
+        "[ablate_damping] relative BMS(11111): with damping {:.3}, without {:.3}",
+        rel(&with),
+        rel(&without)
+    );
+    let mut group = c.benchmark_group("ablate_damping");
+    group.bench_function("with_damping", |b| {
+        b.iter(|| RbmsTable::exact(&with))
+    });
+    group.bench_function("without_damping", |b| {
+        b.iter(|| RbmsTable::exact(&without))
+    });
+    group.finish();
+}
+
+/// DESIGN.md ✦ `ablate_correlation`: readout crosstalk is what makes
+/// ibmqx4's bias non-monotone in Hamming weight.
+fn ablate_correlation(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx4();
+    let with = dev.readout();
+    let without = CorrelatedReadout::from_tensor(with.base().clone());
+    let corr = |r: &CorrelatedReadout| RbmsTable::exact(r).hamming_correlation();
+    eprintln!(
+        "[ablate_correlation] ibmqx4 weight correlation: with crosstalk {:.3}, without {:.3}",
+        corr(&with),
+        corr(&without)
+    );
+    let mut group = c.benchmark_group("ablate_correlation");
+    group.bench_function("with_crosstalk", |b| b.iter(|| RbmsTable::exact(&with)));
+    group.bench_function("without_crosstalk", |b| b.iter(|| RbmsTable::exact(&without)));
+    group.finish();
+}
+
+/// DESIGN.md ✦ `ablate_sim_modes`: PST of the weakest state under 1, 2, 4,
+/// and 8 inversion strings (the paper chose 4).
+fn ablate_sim_modes(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx2();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let ones = BitString::ones(5);
+    let circuit = Circuit::basis_state_preparation(ones);
+    let shots = 16_000;
+
+    // Eight strings: the four paper strings plus four quarter-weight masks.
+    let mut eight = InversionString::sim_four(5);
+    for mask in ["00110", "11001", "01100", "10011"] {
+        eight.push(InversionString::from_mask(mask.parse().expect("valid")));
+    }
+    let variants: Vec<(&str, StaticInvertMeasure)> = vec![
+        ("modes1", StaticInvertMeasure::new(vec![InversionString::standard(5)])),
+        ("modes2", StaticInvertMeasure::two_mode(5)),
+        ("modes4", StaticInvertMeasure::four_mode(5)),
+        ("modes8", StaticInvertMeasure::new(eight)),
+    ];
+    for (name, sim) in &variants {
+        let mut rng = bench_rng();
+        let log = sim.execute(&circuit, shots, &exec, &mut rng);
+        eprintln!(
+            "[ablate_sim_modes] {name}: PST of 11111 = {:.3}",
+            log.frequency(&ones)
+        );
+    }
+    let mut group = c.benchmark_group("ablate_sim_modes");
+    group.sample_size(20);
+    for (name, sim) in &variants {
+        group.bench_function(*name, |b| {
+            let mut rng = bench_rng();
+            b.iter(|| sim.execute(&circuit, 2_048, &exec, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ✦ `ablate_aim_budget`: AIM's canary fraction (paper: 25 %) and
+/// candidate count k (paper: 4).
+fn ablate_aim_budget(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let profile = RbmsTable::exact(&dev.readout());
+    let target: BitString = "11011".parse().expect("valid");
+    let circuit = Circuit::basis_state_preparation(target);
+    let shots = 16_000;
+
+    let variants: Vec<(String, AdaptiveInvertMeasure)> = [0.10, 0.25, 0.50]
+        .into_iter()
+        .map(|f| {
+            (
+                format!("canary{}", (f * 100.0) as u32),
+                AdaptiveInvertMeasure::new(profile.clone()).with_canary_fraction(f),
+            )
+        })
+        .chain([1usize, 2, 4, 8].into_iter().map(|k| {
+            (
+                format!("k{k}"),
+                AdaptiveInvertMeasure::new(profile.clone()).with_k(k),
+            )
+        }))
+        .collect();
+    for (name, aim) in &variants {
+        let mut rng = bench_rng();
+        let log = aim.execute(&circuit, shots, &exec, &mut rng);
+        eprintln!(
+            "[ablate_aim_budget] {name}: PST of {target} = {:.3}",
+            log.frequency(&target)
+        );
+    }
+    let mut group = c.benchmark_group("ablate_aim_budget");
+    group.sample_size(20);
+    for (name, aim) in &variants {
+        group.bench_function(name.as_str(), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| aim.execute(&circuit, 2_048, &exec, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Gate-noise trajectory cap: correctness/cost knob of the executor.
+fn ablate_trajectory_cap(c: &mut Criterion) {
+    let dev = DeviceModel::ibmq_melbourne().best_qubits_subdevice(7);
+    let bench = qworkloads::Benchmark::bv("bv-6", "011111".parse().expect("valid"));
+    let mut group = c.benchmark_group("ablate_trajectory_cap");
+    group.sample_size(10);
+    for cap in [64u64, 512, 4096] {
+        let exec = NoisyExecutor::from_device(&dev).with_max_trajectories(cap);
+        let mut rng = bench_rng();
+        let log = exec.run(bench.circuit(), 8_192, &mut rng);
+        eprintln!(
+            "[ablate_trajectory_cap] cap {cap}: PST = {:.3}",
+            qmetrics::pst(&log, bench.correct())
+        );
+        group.bench_function(format!("cap{cap}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| exec.run(bench.circuit(), 2_048, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_damping,
+    ablate_correlation,
+    ablate_sim_modes,
+    ablate_aim_budget,
+    ablate_trajectory_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Characterization-cost scaling: the Appendix-A claim that AWCT's trial
+//! count scales with the window size `O(2^m)` while brute force scales with
+//! the register `O(2^n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use invmeas::RbmsTable;
+use qbenches::bench_rng;
+use qnoise::{DeviceModel, NoisyExecutor};
+
+/// Shots chosen so each technique reaches comparable statistical quality on
+/// its own terms; the scaling *shape* across n is what matters.
+const SHOTS_PER_STATE: u64 = 256;
+const SHOTS_PER_WINDOW: u64 = 4_096;
+const ESCT_SHOTS: u64 = 16_384;
+
+fn subdevice(n: usize) -> NoisyExecutor {
+    let dev = DeviceModel::ibmq_melbourne().best_qubits_subdevice(n);
+    NoisyExecutor::readout_only(&dev)
+}
+
+fn bench_characterization_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization_scaling");
+    group.sample_size(10);
+    for n in [5usize, 7, 9, 11] {
+        let exec = subdevice(n);
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &exec, |b, exec| {
+            let mut rng = bench_rng();
+            b.iter(|| RbmsTable::brute_force(exec, SHOTS_PER_STATE, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("esct", n), &exec, |b, exec| {
+            let mut rng = bench_rng();
+            b.iter(|| RbmsTable::esct(exec, ESCT_SHOTS, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("awct_m4", n), &exec, |b, exec| {
+            let mut rng = bench_rng();
+            b.iter(|| RbmsTable::awct(exec, 4, 2, SHOTS_PER_WINDOW, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! One benchmark per paper table/figure: times the full regeneration
+//! pipeline of each artifact at reduced shot scale.
+//!
+//! `cargo bench -p qbenches --bench experiments` re-runs every reproduction
+//! pipeline; `cargo run -p repro -- <id>` prints the corresponding rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbenches::bench_config;
+use repro::experiments;
+
+fn bench_experiments(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for (id, _) in experiments::ALL_EXPERIMENTS {
+        group.bench_function(*id, |b| {
+            b.iter(|| {
+                let out = experiments::run(id, &cfg).expect("known experiment id");
+                assert!(!out.is_empty());
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

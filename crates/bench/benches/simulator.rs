@@ -1,0 +1,85 @@
+//! Simulator substrate performance: state-vector gate application,
+//! Born-rule sampling, and readout-channel throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qbenches::bench_rng;
+use qnoise::{DeviceModel, ReadoutModel};
+use qsim::{BitString, Circuit, StateVector};
+
+/// A representative layered circuit: H wall, CX chain, Rz layer, repeated.
+fn layered_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..n {
+            c.rz(q, 0.37);
+        }
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for n in [5usize, 8, 11, 14] {
+        let circuit = layered_circuit(n, 4);
+        group.throughput(Throughput::Elements(circuit.len() as u64));
+        group.bench_with_input(BenchmarkId::new("apply_circuit", n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit(circ))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for n in [5usize, 10, 14] {
+        let psi = StateVector::from_circuit(&Circuit::uniform_superposition(n));
+        group.throughput(Throughput::Elements(1024));
+        group.bench_with_input(BenchmarkId::new("born_samples", n), &psi, |b, psi| {
+            let mut rng = bench_rng();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..1024 {
+                    acc ^= psi.sample(&mut rng).value();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_readout_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readout");
+    let dev = DeviceModel::ibmq_melbourne();
+    let readout = dev.readout();
+    let ideal = BitString::ones(14);
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("corrupt_14q_x1024", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= readout.corrupt(ideal, &mut rng).value();
+            }
+            acc
+        })
+    });
+    group.bench_function("exact_confusion_row_14q", |b| {
+        b.iter(|| readout.success_probability(ideal))
+    });
+    let qx2 = DeviceModel::ibmqx2().readout();
+    let dist = qsim::Distribution::uniform(5);
+    group.bench_function("push_distribution_5q", |b| {
+        b.iter(|| qx2.apply_to_distribution(&dist))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_sampling, bench_readout_channel);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # qbenches — benchmark support library
+//!
+//! The Criterion benchmark targets live in `benches/`; this crate exports
+//! small shared helpers for them.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for benchmark inputs.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xBE4C)
+}
+
+/// The reduced-scale configuration used by the per-experiment pipeline
+/// benches (full paper budgets would make `cargo bench` needlessly long).
+pub fn bench_config() -> repro::Config {
+    repro::Config {
+        scale: 0.02,
+        seed: 0xBE4C,
+    }
+}

@@ -1,0 +1,343 @@
+//! Hand-rolled argument parsing for the `invmeas` CLI.
+//!
+//! Kept dependency-free (no clap) per the workspace's offline-dependency
+//! policy; the grammar is small enough that explicit parsing is clearer
+//! than a derive anyway.
+
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the built-in device models.
+    Devices,
+    /// Characterize a device's RBMS.
+    Characterize(CharacterizeArgs),
+    /// Inspect a saved profile.
+    ProfileInfo {
+        /// Path to the profile file.
+        path: String,
+    },
+    /// Run a QASM program under a policy.
+    Run(RunArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Which characterization technique to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Prepare and measure every basis state.
+    Brute,
+    /// Equal-superposition characterization.
+    Esct,
+    /// Sliding-window characterization.
+    Awct,
+}
+
+/// Which measurement policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Standard measurement.
+    Baseline,
+    /// Static Invert-and-Measure (four strings).
+    Sim,
+    /// Adaptive Invert-and-Measure.
+    Aim,
+}
+
+/// Arguments to `characterize`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeArgs {
+    /// Device name (`ibmqx2`, `ibmqx4`, `ibmq-melbourne`, `ideal-N`).
+    pub device: String,
+    /// Technique.
+    pub method: Method,
+    /// Trial budget (meaning depends on the technique).
+    pub shots: u64,
+    /// Optional output profile path.
+    pub out: Option<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments to `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Path to the OpenQASM 2.0 program.
+    pub qasm: String,
+    /// Device name.
+    pub device: String,
+    /// Policy.
+    pub policy: Policy,
+    /// Trial budget.
+    pub shots: u64,
+    /// Expected correct output (enables metrics).
+    pub expected: Option<String>,
+    /// Pre-measured profile to load for AIM.
+    pub profile: Option<String>,
+    /// Route the logical circuit onto the device first.
+    pub route: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Error produced while parsing arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+invmeas — Invert-and-Measure command line
+
+USAGE:
+  invmeas devices
+  invmeas characterize --device <NAME> [--method brute|esct|awct]
+                       [--shots N] [--out FILE] [--seed N]
+  invmeas profile-info <FILE>
+  invmeas run <FILE.qasm> --device <NAME> [--policy baseline|sim|aim]
+              [--shots N] [--expected BITS] [--profile FILE] [--route]
+              [--seed N]
+
+DEVICES: ibmqx2, ibmqx4, ibmq-melbourne, ideal-N (e.g. ideal-5)
+";
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] describing the first problem encountered.
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("-h") | Some("--help") => Ok(Command::Help),
+        Some("devices") => {
+            if it.next().is_some() {
+                return Err(err("devices takes no arguments"));
+            }
+            Ok(Command::Devices)
+        }
+        Some("profile-info") => {
+            let path = it.next().ok_or_else(|| err("profile-info needs a file"))?;
+            if it.next().is_some() {
+                return Err(err("profile-info takes one argument"));
+            }
+            Ok(Command::ProfileInfo {
+                path: path.to_string(),
+            })
+        }
+        Some("characterize") => parse_characterize(&args[1..]),
+        Some("run") => parse_run(&args[1..]),
+        Some(other) => Err(err(format!("unknown command {other:?}"))),
+    }
+}
+
+fn parse_u64(flag: &str, value: Option<&str>) -> Result<u64, ArgError> {
+    value
+        .ok_or_else(|| err(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| err(format!("{flag} needs an integer")))
+}
+
+fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
+    let mut out = CharacterizeArgs {
+        device: String::new(),
+        method: Method::Brute,
+        shots: 8192,
+        out: None,
+        seed: 2019,
+    };
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        match flag {
+            "--device" => {
+                out.device = it
+                    .next()
+                    .ok_or_else(|| err("--device needs a name"))?
+                    .to_string()
+            }
+            "--method" => {
+                out.method = match it.next() {
+                    Some("brute") => Method::Brute,
+                    Some("esct") => Method::Esct,
+                    Some("awct") => Method::Awct,
+                    other => return Err(err(format!("bad --method {other:?}"))),
+                }
+            }
+            "--shots" => out.shots = parse_u64("--shots", it.next())?,
+            "--seed" => out.seed = parse_u64("--seed", it.next())?,
+            "--out" => {
+                out.out = Some(
+                    it.next()
+                        .ok_or_else(|| err("--out needs a path"))?
+                        .to_string(),
+                )
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+    if out.device.is_empty() {
+        return Err(err("characterize requires --device"));
+    }
+    Ok(Command::Characterize(out))
+}
+
+fn parse_run(args: &[String]) -> Result<Command, ArgError> {
+    let mut qasm: Option<String> = None;
+    let mut out = RunArgs {
+        qasm: String::new(),
+        device: String::new(),
+        policy: Policy::Baseline,
+        shots: 8192,
+        expected: None,
+        profile: None,
+        route: false,
+        seed: 2019,
+    };
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(tok) = it.next() {
+        match tok {
+            "--device" => {
+                out.device = it
+                    .next()
+                    .ok_or_else(|| err("--device needs a name"))?
+                    .to_string()
+            }
+            "--policy" => {
+                out.policy = match it.next() {
+                    Some("baseline") => Policy::Baseline,
+                    Some("sim") => Policy::Sim,
+                    Some("aim") => Policy::Aim,
+                    other => return Err(err(format!("bad --policy {other:?}"))),
+                }
+            }
+            "--shots" => out.shots = parse_u64("--shots", it.next())?,
+            "--seed" => out.seed = parse_u64("--seed", it.next())?,
+            "--expected" => {
+                out.expected = Some(
+                    it.next()
+                        .ok_or_else(|| err("--expected needs a bit string"))?
+                        .to_string(),
+                )
+            }
+            "--profile" => {
+                out.profile = Some(
+                    it.next()
+                        .ok_or_else(|| err("--profile needs a path"))?
+                        .to_string(),
+                )
+            }
+            "--route" => out.route = true,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag {flag:?}")))
+            }
+            positional => {
+                if qasm.is_some() {
+                    return Err(err(format!("unexpected argument {positional:?}")));
+                }
+                qasm = Some(positional.to_string());
+            }
+        }
+    }
+    out.qasm = qasm.ok_or_else(|| err("run requires a QASM file"))?;
+    if out.device.is_empty() {
+        return Err(err("run requires --device"));
+    }
+    Ok(Command::Run(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_help_and_devices() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("devices")).unwrap(), Command::Devices);
+        assert!(parse(&argv("devices extra")).is_err());
+    }
+
+    #[test]
+    fn parses_characterize() {
+        let cmd = parse(&argv(
+            "characterize --device ibmqx4 --method awct --shots 1000 --out p.rbms --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Characterize(a) => {
+                assert_eq!(a.device, "ibmqx4");
+                assert_eq!(a.method, Method::Awct);
+                assert_eq!(a.shots, 1000);
+                assert_eq!(a.out.as_deref(), Some("p.rbms"));
+                assert_eq!(a.seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn characterize_defaults() {
+        let cmd = parse(&argv("characterize --device ibmqx2")).unwrap();
+        match cmd {
+            Command::Characterize(a) => {
+                assert_eq!(a.method, Method::Brute);
+                assert_eq!(a.shots, 8192);
+                assert_eq!(a.out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_with_everything() {
+        let cmd = parse(&argv(
+            "run prog.qasm --device ibmq-melbourne --policy aim --shots 500 \
+             --expected 10110 --profile p.rbms --route",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.qasm, "prog.qasm");
+                assert_eq!(a.policy, Policy::Aim);
+                assert!(a.route);
+                assert_eq!(a.expected.as_deref(), Some("10110"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_specific() {
+        let cases = [
+            ("characterize", "requires --device"),
+            ("characterize --device", "--device needs a name"),
+            ("characterize --device x --shots abc", "--shots needs an integer"),
+            ("characterize --device x --method nope", "bad --method"),
+            ("run --device x", "requires a QASM file"),
+            ("run a.qasm b.qasm --device x", "unexpected argument"),
+            ("run a.qasm --device x --policy nope", "bad --policy"),
+            ("nonsense", "unknown command"),
+        ];
+        for (input, expect) in cases {
+            let e = parse(&argv(input)).unwrap_err().to_string();
+            assert!(e.contains(expect), "{input:?}: {e}");
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! # invmeas-cli — command-line front end for the Invert-and-Measure stack
+//!
+//! Four subcommands tie the workspace together for interactive use:
+//!
+//! * `devices` — the built-in machine models and their Table-1 statistics;
+//! * `characterize` — measure a device's RBMS (brute force / ESCT / AWCT)
+//!   and optionally persist it as a profile file;
+//! * `profile-info` — inspect a saved profile;
+//! * `run` — execute an OpenQASM 2.0 program on a device model under
+//!   baseline/SIM/AIM, optionally routed through the mapper, with
+//!   reliability metrics when the expected output is given.
+//!
+//! The command implementations live in this library so they are unit- and
+//! integration-testable; `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+
+use args::{CharacterizeArgs, Command, Method, Policy, RunArgs};
+use invmeas::{
+    AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
+};
+use qmetrics::{fmt_pct, fmt_prob, fmt_ratio, CorrectSet, ReliabilityReport, Table};
+use qnoise::{DeviceModel, NoisyExecutor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Boxed error type for command execution.
+pub type CliError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Resolves a device name (`ibmqx2`, `ibmqx4`, `ibmq-melbourne`, or
+/// `ideal-N`).
+///
+/// # Errors
+///
+/// Returns an error naming the unknown device.
+pub fn resolve_device(name: &str) -> Result<DeviceModel, CliError> {
+    match name {
+        "ibmqx2" => Ok(DeviceModel::ibmqx2()),
+        "ibmqx4" => Ok(DeviceModel::ibmqx4()),
+        "ibmq-melbourne" | "ibmq_melbourne" => Ok(DeviceModel::ibmq_melbourne()),
+        other => {
+            if let Some(n) = other.strip_prefix("ideal-") {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad ideal device size in {other:?}"))?;
+                if n == 0 || n > 20 {
+                    return Err(format!("ideal device size {n} out of range").into());
+                }
+                Ok(DeviceModel::ideal(n))
+            } else {
+                Err(format!(
+                    "unknown device {other:?} (try: ibmqx2, ibmqx4, ibmq-melbourne, ideal-N)"
+                )
+                .into())
+            }
+        }
+    }
+}
+
+/// Executes a parsed command, returning the rendered output.
+///
+/// # Errors
+///
+/// Propagates device resolution, I/O, parsing, and routing failures.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(args::USAGE.to_string()),
+        Command::Devices => Ok(render_devices()),
+        Command::Characterize(a) => characterize(a),
+        Command::ProfileInfo { path } => profile_info(path),
+        Command::Run(a) => run(a),
+    }
+}
+
+fn render_devices() -> String {
+    let mut t = Table::new(&["device", "qubits", "assign err (min/avg/max)", "meas window"]);
+    for dev in [
+        DeviceModel::ibmqx2(),
+        DeviceModel::ibmqx4(),
+        DeviceModel::ibmq_melbourne(),
+    ] {
+        let (min, avg, max) = dev.assignment_error_stats();
+        t.row_owned(vec![
+            dev.name().to_string(),
+            dev.n_qubits().to_string(),
+            format!("{} / {} / {}", fmt_pct(min), fmt_pct(avg), fmt_pct(max)),
+            format!("{:.1} us", dev.meas_duration_us()),
+        ]);
+    }
+    format!("{t}\nplus ideal-N for a noiseless N-qubit reference\n")
+}
+
+fn characterize(a: &CharacterizeArgs) -> Result<String, CliError> {
+    let dev = resolve_device(&a.device)?;
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let table = match a.method {
+        Method::Brute => {
+            if dev.n_qubits() > 12 {
+                return Err("brute-force characterization limited to 12 qubits; use awct".into());
+            }
+            RbmsTable::brute_force(&exec, a.shots, &mut rng)
+        }
+        Method::Esct => RbmsTable::esct(&exec, a.shots, &mut rng),
+        Method::Awct => RbmsTable::awct(&exec, 4.min(dev.n_qubits()), 2.min(dev.n_qubits() - 1), a.shots, &mut rng),
+    };
+    let mut out = String::new();
+    out.push_str(&render_profile(&table, dev.name()));
+    if let Some(path) = &a.out {
+        table.save(path)?;
+        out.push_str(&format!("\nprofile written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn render_profile(table: &RbmsTable, label: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "RBMS profile of {label}: {} states, {} trials",
+        table.strengths().len(),
+        table.trials_used()
+    );
+    let _ = writeln!(
+        out,
+        "strongest {}  weakest {}  weight correlation {:.3}",
+        table.strongest_state(),
+        table.weakest_state(),
+        table.hamming_correlation()
+    );
+    // Top and bottom five states.
+    let rel = table.relative();
+    let mut ranked: Vec<(usize, f64)> = rel.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut t = Table::new(&["rank", "state", "relative strength"]);
+    let width = table.width();
+    for (i, &(idx, v)) in ranked.iter().take(5).enumerate() {
+        t.row_owned(vec![
+            format!("{}", i + 1),
+            qsim::BitString::from_value(idx as u64, width).to_string(),
+            fmt_prob(v),
+        ]);
+    }
+    for (i, &(idx, v)) in ranked.iter().rev().take(5).rev().enumerate() {
+        t.row_owned(vec![
+            format!("{}", ranked.len() - 4 + i),
+            qsim::BitString::from_value(idx as u64, width).to_string(),
+            fmt_prob(v),
+        ]);
+    }
+    let _ = writeln!(out, "{t}");
+    out
+}
+
+fn profile_info(path: &str) -> Result<String, CliError> {
+    let table = RbmsTable::load(path)?;
+    Ok(render_profile(&table, path))
+}
+
+fn run(a: &RunArgs) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let dev = resolve_device(&a.device)?;
+    let text = std::fs::read_to_string(&a.qasm)?;
+    let logical = qsim::qasm::from_qasm(&text)?;
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loaded {}: {} qubits, {} gates ({} two-qubit)",
+        a.qasm,
+        logical.n_qubits(),
+        logical.len(),
+        logical.two_qubit_gate_count()
+    );
+
+    // Optionally route onto the device.
+    let (circuit, routed) = if a.route {
+        let routed = qmapper::route_auto(&logical, &dev)?;
+        let _ = writeln!(
+            out,
+            "routed onto {} with {} swaps (output layout {:?})",
+            dev.name(),
+            routed.swap_count(),
+            routed.output_layout()
+        );
+        (routed.circuit().clone(), Some(routed))
+    } else {
+        if logical.n_qubits() != dev.n_qubits() {
+            return Err(format!(
+                "program has {} qubits but {} has {}; pass --route",
+                logical.n_qubits(),
+                dev.name(),
+                dev.n_qubits()
+            )
+            .into());
+        }
+        (logical.clone(), None)
+    };
+
+    let exec = NoisyExecutor::from_device(&dev);
+    let width = circuit.n_qubits();
+    let policy: Box<dyn MeasurementPolicy> = match a.policy {
+        Policy::Baseline => Box::new(Baseline),
+        Policy::Sim => Box::new(StaticInvertMeasure::four_mode(width)),
+        Policy::Aim => {
+            let profile = match &a.profile {
+                Some(path) => {
+                    let p = RbmsTable::load(path)?;
+                    if p.width() != width {
+                        return Err(format!(
+                            "profile width {} does not match register {}",
+                            p.width(),
+                            width
+                        )
+                        .into());
+                    }
+                    p
+                }
+                None => {
+                    if width <= 5 {
+                        RbmsTable::brute_force(&exec, 4096, &mut rng)
+                    } else {
+                        RbmsTable::awct(&exec, 4, 2, 4096, &mut rng)
+                    }
+                }
+            };
+            Box::new(AdaptiveInvertMeasure::new(profile))
+        }
+    };
+
+    let physical_log = policy.execute(&circuit, a.shots, &exec, &mut rng);
+    let log = match &routed {
+        Some(r) => r.logical_counts(&physical_log),
+        None => physical_log,
+    };
+
+    let _ = writeln!(out, "\npolicy {} over {} trials:", policy.name(), a.shots);
+    let mut t = Table::new(&["output", "count", "frequency"]);
+    for (s, n) in log.ranked().into_iter().take(10) {
+        t.row_owned(vec![
+            s.to_string(),
+            n.to_string(),
+            fmt_prob(n as f64 / log.total() as f64),
+        ]);
+    }
+    let _ = writeln!(out, "{t}");
+
+    if let Some(expected) = &a.expected {
+        let expected: qsim::BitString = expected.parse()?;
+        if expected.width() != log.width() {
+            return Err(format!(
+                "--expected has {} bits but outputs have {}",
+                expected.width(),
+                log.width()
+            )
+            .into());
+        }
+        let r = ReliabilityReport::evaluate(&log, &CorrectSet::single(expected));
+        let _ = writeln!(
+            out,
+            "PST {}  IST {}  ROCA {}",
+            fmt_prob(r.pst),
+            fmt_ratio(r.ist),
+            r.roca.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_known_devices() {
+        assert_eq!(resolve_device("ibmqx2").unwrap().n_qubits(), 5);
+        assert_eq!(resolve_device("ibmq-melbourne").unwrap().n_qubits(), 14);
+        assert_eq!(resolve_device("ideal-7").unwrap().n_qubits(), 7);
+        assert!(resolve_device("ideal-0").is_err());
+        assert!(resolve_device("tokyo").is_err());
+    }
+
+    #[test]
+    fn devices_listing_renders() {
+        let out = execute(&Command::Devices).unwrap();
+        assert!(out.contains("ibmqx2"));
+        assert!(out.contains("ibmq-melbourne"));
+        assert!(out.contains("ideal-N"));
+    }
+
+    #[test]
+    fn characterize_and_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx4.rbms");
+        let out = execute(&Command::Characterize(CharacterizeArgs {
+            device: "ibmqx4".into(),
+            method: Method::Brute,
+            shots: 256,
+            out: Some(path.to_string_lossy().into_owned()),
+            seed: 1,
+        }))
+        .unwrap();
+        assert!(out.contains("RBMS profile"));
+        assert!(out.contains("profile written"));
+        let info = execute(&Command::ProfileInfo {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(info.contains("strongest"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_qasm_end_to_end_with_metrics() {
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qasm_path = dir.join("prog.qasm");
+        // A 5-qubit all-ones preparation.
+        let circuit = qsim::Circuit::basis_state_preparation("11111".parse().unwrap());
+        std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
+
+        let base = execute(&Command::Run(RunArgs {
+            qasm: qasm_path.to_string_lossy().into_owned(),
+            device: "ibmqx4".into(),
+            policy: Policy::Baseline,
+            shots: 2000,
+            expected: Some("11111".into()),
+            profile: None,
+            route: false,
+            seed: 5,
+        }))
+        .unwrap();
+        assert!(base.contains("PST"), "{base}");
+        let aim = execute(&Command::Run(RunArgs {
+            qasm: qasm_path.to_string_lossy().into_owned(),
+            device: "ibmqx4".into(),
+            policy: Policy::Aim,
+            shots: 2000,
+            expected: Some("11111".into()),
+            profile: None,
+            route: false,
+            seed: 5,
+        }))
+        .unwrap();
+        assert!(aim.contains("policy aim"), "{aim}");
+        std::fs::remove_file(&qasm_path).ok();
+    }
+
+    #[test]
+    fn run_with_routing_folds_outputs() {
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qasm_path = dir.join("route.qasm");
+        let circuit = qsim::Circuit::basis_state_preparation("101".parse().unwrap());
+        std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
+        let out = execute(&Command::Run(RunArgs {
+            qasm: qasm_path.to_string_lossy().into_owned(),
+            device: "ibmq-melbourne".into(),
+            policy: Policy::Baseline,
+            shots: 500,
+            expected: Some("101".into()),
+            profile: None,
+            route: true,
+            seed: 3,
+        }))
+        .unwrap();
+        assert!(out.contains("routed onto"), "{out}");
+        assert!(out.contains("PST"), "{out}");
+        std::fs::remove_file(&qasm_path).ok();
+    }
+
+    #[test]
+    fn width_mismatch_without_route_is_reported() {
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qasm_path = dir.join("narrow.qasm");
+        let circuit = qsim::Circuit::basis_state_preparation("11".parse().unwrap());
+        std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
+        let e = execute(&Command::Run(RunArgs {
+            qasm: qasm_path.to_string_lossy().into_owned(),
+            device: "ibmqx2".into(),
+            policy: Policy::Baseline,
+            shots: 10,
+            expected: None,
+            profile: None,
+            route: false,
+            seed: 0,
+        }))
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("pass --route"), "{e}");
+        std::fs::remove_file(&qasm_path).ok();
+    }
+}

@@ -1,0 +1,24 @@
+//! Thin binary shim over the testable library commands.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match invmeas_cli::args::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", invmeas_cli::args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match invmeas_cli::execute(&cmd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

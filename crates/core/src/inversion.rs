@@ -1,0 +1,236 @@
+//! Inversion strings — the mechanism of Invert-and-Measure (paper §5).
+//!
+//! An [`InversionString`] describes which qubits are flipped (with X gates)
+//! immediately before measurement. Measuring under inversion string `m`
+//! turns an output `s` into `s ⊕ m`; XOR-correcting the measured log by the
+//! same `m` restores the original labels while the *physical* measurement
+//! happened in the transformed basis. Choosing `m` so that likely outputs
+//! land on strong states is the entire trick.
+
+use qsim::{BitString, Circuit, Counts};
+use std::fmt;
+
+/// A pre-measurement inversion pattern over `n` qubits.
+///
+/// # Examples
+///
+/// Applying and correcting an inversion round-trips the logical results:
+///
+/// ```
+/// use invmeas::InversionString;
+/// use qsim::{Circuit, Counts};
+///
+/// let inv = InversionString::full(3);
+/// let circuit = Circuit::basis_state_preparation("110".parse()?);
+/// let transformed = inv.apply(&circuit);
+/// // The transformed circuit physically produces 001; the correction
+/// // relabels it back to 110.
+/// let mut raw = Counts::new(3);
+/// raw.record("001".parse()?);
+/// let corrected = inv.correct(&raw);
+/// assert_eq!(corrected.get(&"110".parse()?), 1);
+/// assert_eq!(transformed.len(), circuit.len() + 3);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InversionString {
+    mask: BitString,
+}
+
+impl InversionString {
+    /// The standard mode: no inversion (`00…0`).
+    pub fn standard(n: usize) -> Self {
+        InversionString {
+            mask: BitString::zeros(n),
+        }
+    }
+
+    /// The fully inverted mode (`11…1`): every qubit is flipped before
+    /// measurement.
+    pub fn full(n: usize) -> Self {
+        InversionString {
+            mask: BitString::ones(n),
+        }
+    }
+
+    /// Even-qubit inversion (`…0101`): flips qubits 0, 2, 4, ….
+    pub fn even(n: usize) -> Self {
+        InversionString {
+            mask: BitString::even_mask(n),
+        }
+    }
+
+    /// Odd-qubit inversion (`…1010`): flips qubits 1, 3, 5, ….
+    pub fn odd(n: usize) -> Self {
+        InversionString {
+            mask: BitString::odd_mask(n),
+        }
+    }
+
+    /// An arbitrary inversion pattern.
+    pub fn from_mask(mask: BitString) -> Self {
+        InversionString { mask }
+    }
+
+    /// The targeted inversion that measures `predicted` in the basis of
+    /// `strongest`: `predicted ⊕ strongest`. This is AIM's adaptive string
+    /// (§6.2.3) — when the machine's strongest state is all-zeros it reduces
+    /// to the predicted output itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn targeting(predicted: BitString, strongest: BitString) -> Self {
+        InversionString {
+            mask: predicted ^ strongest,
+        }
+    }
+
+    /// The four-string set used by the paper's SIM configuration (§5.3):
+    /// standard, full, even, and odd inversion — splitting the Hamming
+    /// space into four parts.
+    pub fn sim_four(n: usize) -> Vec<InversionString> {
+        vec![
+            InversionString::standard(n),
+            InversionString::full(n),
+            InversionString::even(n),
+            InversionString::odd(n),
+        ]
+    }
+
+    /// The two-string set of basic SIM (§5.2): standard and full inversion.
+    pub fn sim_two(n: usize) -> Vec<InversionString> {
+        vec![InversionString::standard(n), InversionString::full(n)]
+    }
+
+    /// The underlying flip mask.
+    pub fn mask(&self) -> BitString {
+        self.mask
+    }
+
+    /// The register width.
+    pub fn width(&self) -> usize {
+        self.mask.width()
+    }
+
+    /// Whether this is the standard (identity) mode.
+    pub fn is_standard(&self) -> bool {
+        self.mask.hamming_weight() == 0
+    }
+
+    /// The state that `output` is physically measured in under this
+    /// inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn measured_state(&self, output: BitString) -> BitString {
+        output ^ self.mask
+    }
+
+    /// Returns a copy of `circuit` with the inversion's X gates appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width differs from the inversion width.
+    #[must_use]
+    pub fn apply(&self, circuit: &Circuit) -> Circuit {
+        circuit.with_premeasure_inversion(self.mask)
+    }
+
+    /// XOR-corrects a measured log back into the original output labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log width differs from the inversion width.
+    #[must_use]
+    pub fn correct(&self, measured: &Counts) -> Counts {
+        measured.xor_corrected(self.mask)
+    }
+}
+
+impl fmt::Display for InversionString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv[{}]", self.mask)
+    }
+}
+
+impl From<BitString> for InversionString {
+    fn from(mask: BitString) -> Self {
+        InversionString::from_mask(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(InversionString::standard(4).mask(), bs("0000"));
+        assert_eq!(InversionString::full(4).mask(), bs("1111"));
+        assert_eq!(InversionString::even(4).mask(), bs("0101"));
+        assert_eq!(InversionString::odd(4).mask(), bs("1010"));
+        assert!(InversionString::standard(4).is_standard());
+        assert!(!InversionString::full(4).is_standard());
+    }
+
+    #[test]
+    fn sim_sets() {
+        let four = InversionString::sim_four(5);
+        assert_eq!(four.len(), 4);
+        // The four strings split Hamming space: pairwise distinct.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(four[i], four[j]);
+            }
+        }
+        assert_eq!(InversionString::sim_two(5).len(), 2);
+    }
+
+    #[test]
+    fn targeting_maps_prediction_to_strongest() {
+        let predicted = bs("10110");
+        let strongest = bs("00001");
+        let inv = InversionString::targeting(predicted, strongest);
+        assert_eq!(inv.measured_state(predicted), strongest);
+    }
+
+    #[test]
+    fn targeting_with_zero_strongest_is_prediction() {
+        let predicted = bs("1011");
+        let inv = InversionString::targeting(predicted, BitString::zeros(4));
+        assert_eq!(inv.mask(), predicted);
+    }
+
+    #[test]
+    fn apply_appends_x_gates() {
+        let c = Circuit::new(4);
+        let inv = InversionString::from_mask(bs("0110"));
+        let applied = inv.apply(&c);
+        assert_eq!(applied.len(), 2);
+        assert_eq!(InversionString::standard(4).apply(&c), c);
+    }
+
+    #[test]
+    fn correct_roundtrips_counts() {
+        let mut measured = Counts::new(3);
+        measured.record_n(bs("010"), 9);
+        measured.record_n(bs("111"), 1);
+        let inv = InversionString::from_mask(bs("101"));
+        let corrected = inv.correct(&measured);
+        assert_eq!(corrected.get(&bs("111")), 9);
+        assert_eq!(corrected.get(&bs("010")), 1);
+        // Correcting twice restores the measured log.
+        assert_eq!(inv.correct(&corrected), measured);
+    }
+
+    #[test]
+    fn display_shows_mask() {
+        assert_eq!(InversionString::full(3).to_string(), "inv[111]");
+    }
+}

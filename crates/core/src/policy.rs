@@ -1,0 +1,124 @@
+//! Measurement policies: how a shot budget is spent.
+//!
+//! The paper compares three ways of executing an application's trials:
+//! the **baseline** (all trials in standard mode), **SIM** (trials split
+//! across static inversion strings, [`crate::StaticInvertMeasure`]) and
+//! **AIM** (profile-guided adaptive strings,
+//! [`crate::AdaptiveInvertMeasure`]). A [`MeasurementPolicy`] abstracts over
+//! them so benchmarks, metrics, and the reproduction harness treat all
+//! three uniformly — with identical total trial counts, as the paper's
+//! methodology requires (§4.3).
+
+use qnoise::Executor;
+use qsim::{Circuit, Counts};
+use rand::RngCore;
+use std::fmt;
+
+/// A strategy for spending a fixed shot budget on a circuit.
+///
+/// Implementations must preserve the trial budget exactly: the returned log
+/// always contains `shots` trials.
+pub trait MeasurementPolicy: fmt::Debug {
+    /// A short display name (`baseline`, `sim-4`, `aim`, …).
+    fn name(&self) -> String;
+
+    /// Executes `circuit` for exactly `shots` trials on `executor` and
+    /// returns the (post-corrected, merged) output log.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the circuit width differs from the
+    /// executor width.
+    fn execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        executor: &dyn Executor,
+        rng: &mut dyn RngCore,
+    ) -> Counts;
+}
+
+/// The baseline policy: every trial uses the standard measurement mode.
+///
+/// # Examples
+///
+/// ```
+/// use invmeas::{Baseline, MeasurementPolicy};
+/// use qnoise::IdealExecutor;
+/// use qsim::Circuit;
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(2);
+/// c.x(0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let log = Baseline.execute(&c, 50, &IdealExecutor::new(2), &mut rng);
+/// assert_eq!(log.total(), 50);
+/// assert_eq!(log.get(&"01".parse()?), 50);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Baseline;
+
+impl MeasurementPolicy for Baseline {
+    fn name(&self) -> String {
+        "baseline".to_string()
+    }
+
+    fn execute(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        executor: &dyn Executor,
+        rng: &mut dyn RngCore,
+    ) -> Counts {
+        executor.run(circuit, shots, rng)
+    }
+}
+
+/// Splits `total` shots into `parts` groups differing by at most one shot,
+/// preserving the total exactly. Shared by SIM and AIM.
+///
+/// # Panics
+///
+/// Panics if `parts` is 0.
+pub(crate) fn split_shots(total: u64, parts: usize) -> Vec<u64> {
+    assert!(parts >= 1, "cannot split into zero groups");
+    let parts_u = parts as u64;
+    let base = total / parts_u;
+    let extra = total % parts_u;
+    (0..parts_u).map(|i| base + u64::from(i < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnoise::IdealExecutor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_runs_all_shots_standard() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        let exec = IdealExecutor::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let log = Baseline.execute(&c, 128, &exec, &mut rng);
+        assert_eq!(log.total(), 128);
+        assert_eq!(log.get(&"010".parse().unwrap()), 128);
+        assert_eq!(Baseline.name(), "baseline");
+    }
+
+    #[test]
+    fn split_shots_preserves_total() {
+        for total in [0u64, 1, 7, 100, 4096] {
+            for parts in [1usize, 2, 3, 4, 7] {
+                let split = split_shots(total, parts);
+                assert_eq!(split.len(), parts);
+                assert_eq!(split.iter().sum::<u64>(), total);
+                let max = *split.iter().max().unwrap();
+                let min = *split.iter().min().unwrap();
+                assert!(max - min <= 1, "uneven split {split:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Persistence for RBMS machine profiles.
+//!
+//! AIM's machine profile is expensive to measure (§6.2.1) but stable across
+//! calibration windows (§6.1), so real deployments characterize once per
+//! calibration cycle and reuse the table. This module gives [`RbmsTable`] a
+//! plain-text serialization — human-inspectable, diff-able, and free of
+//! extra dependencies — plus file helpers.
+//!
+//! Format (line-oriented):
+//!
+//! ```text
+//! rbms v1
+//! width 5
+//! trials 512000
+//! 00000 0.903700
+//! 00001 0.851200
+//! …
+//! ```
+
+use crate::rbms::RbmsTable;
+use qsim::BitString;
+use std::fmt;
+use std::path::Path;
+
+/// Error loading a persisted profile.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The text is not a valid profile.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "profile i/o error: {e}"),
+            ProfileError::Parse { line, message } => {
+                write!(f, "profile parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Io(e) => Some(e),
+            ProfileError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProfileError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ProfileError {
+    ProfileError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+impl RbmsTable {
+    /// Serializes the profile to the plain-text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "rbms v1");
+        let _ = writeln!(out, "width {}", self.width());
+        let _ = writeln!(out, "trials {}", self.trials_used());
+        for s in BitString::all(self.width()) {
+            let _ = writeln!(out, "{s} {:.17e}", self.strength(s));
+        }
+        out
+    }
+
+    /// Parses a profile from the plain-text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Parse`] naming the offending line on any
+    /// malformed input (bad header, wrong entry count, invalid strengths).
+    pub fn from_text(text: &str) -> Result<RbmsTable, ProfileError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| parse_err(1, "empty profile"))?;
+        if header.trim() != "rbms v1" {
+            return Err(parse_err(1, format!("bad header {header:?}")));
+        }
+        let (_, width_line) = lines
+            .next()
+            .ok_or_else(|| parse_err(2, "missing width"))?;
+        let width: usize = width_line
+            .trim()
+            .strip_prefix("width ")
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| parse_err(2, format!("bad width line {width_line:?}")))?;
+        if width == 0 || width > 20 {
+            return Err(parse_err(2, format!("unsupported width {width}")));
+        }
+        let (_, trials_line) = lines
+            .next()
+            .ok_or_else(|| parse_err(3, "missing trials"))?;
+        let trials: u64 = trials_line
+            .trim()
+            .strip_prefix("trials ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(3, format!("bad trials line {trials_line:?}")))?;
+
+        let mut strengths = vec![f64::NAN; 1usize << width];
+        let mut seen = 0usize;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (state, value) = line
+                .split_once(' ')
+                .ok_or_else(|| parse_err(lineno, format!("malformed entry {line:?}")))?;
+            let s: BitString = state
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad state {state:?}: {e}")))?;
+            if s.width() != width {
+                return Err(parse_err(lineno, format!("state {state} has wrong width")));
+            }
+            let v: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad strength {value:?}")))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(parse_err(lineno, format!("invalid strength {v}")));
+            }
+            if !strengths[s.index()].is_nan() {
+                return Err(parse_err(lineno, format!("duplicate entry for {state}")));
+            }
+            strengths[s.index()] = v;
+            seen += 1;
+        }
+        if seen != strengths.len() {
+            return Err(parse_err(
+                0,
+                format!("expected {} entries, found {seen}", strengths.len()),
+            ));
+        }
+        let mut table = RbmsTable::from_strengths(width, strengths);
+        table.set_trials_used(trials);
+        Ok(table)
+    }
+
+    /// Writes the profile to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ProfileError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Loads a profile from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<RbmsTable, ProfileError> {
+        let text = std::fs::read_to_string(path)?;
+        RbmsTable::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnoise::DeviceModel;
+
+    #[test]
+    fn text_roundtrip() {
+        let table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+        let text = table.to_text();
+        let back = RbmsTable::from_text(&text).unwrap();
+        assert_eq!(back.width(), table.width());
+        for s in BitString::all(5) {
+            assert!((back.strength(s) - table.strength(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trials_survive_roundtrip() {
+        let mut table = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        table.set_trials_used(4242);
+        let back = RbmsTable::from_text(&table.to_text()).unwrap();
+        assert_eq!(back.trials_used(), 4242);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let table = RbmsTable::from_strengths(3, (0..8).map(|i| 1.0 - i as f64 * 0.1).collect());
+        let dir = std::env::temp_dir().join("invmeas-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx.rbms");
+        table.save(&path).unwrap();
+        let back = RbmsTable::load(&path).unwrap();
+        for (a, b) in back.strengths().iter().zip(table.strengths()) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_name_lines() {
+        let cases = [
+            ("", "empty profile"),
+            ("nope", "bad header"),
+            ("rbms v1\nwidth x", "bad width"),
+            ("rbms v1\nwidth 1\ntrials q", "bad trials"),
+            ("rbms v1\nwidth 1\ntrials 0\n00 1.0\n01 0.5", "wrong width"),
+            ("rbms v1\nwidth 1\ntrials 0\n0garbage", "malformed entry"),
+            ("rbms v1\nwidth 1\ntrials 0\n0 abc\n1 0.5", "bad strength"),
+        ];
+        for (text, expect) in cases {
+            let err = RbmsTable::from_text(text).unwrap_err().to_string();
+            assert!(err.contains(expect), "{text:?}: {err}");
+        }
+        // Width-1 states are "0" and "1".
+        let good = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n1 0.25";
+        assert!(RbmsTable::from_text(good).is_ok());
+        // Missing entry.
+        let missing = "rbms v1\nwidth 1\ntrials 10\n0 1.0";
+        let err = RbmsTable::from_text(missing).unwrap_err().to_string();
+        assert!(err.contains("expected 2 entries"), "{err}");
+        // Duplicate entry.
+        let dup = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n0 1.0";
+        let err = RbmsTable::from_text(dup).unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn negative_strength_rejected() {
+        let text = "rbms v1\nwidth 1\ntrials 0\n0 1.0\n1 -0.5";
+        assert!(RbmsTable::from_text(text).is_err());
+    }
+}

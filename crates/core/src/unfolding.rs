@@ -1,0 +1,444 @@
+//! Calibration-matrix unfolding — the contemporary post-processing
+//! baseline.
+//!
+//! The error-mitigation techniques the paper cites in related work
+//! (Sun & Geller 2019, and the approach later shipped in Qiskit Ignis)
+//! measure the full confusion matrix `A` with `A[obs][ideal] =
+//! P(obs | ideal)` during calibration and *post-process* the observed
+//! distribution by solving `A · p_ideal = p_obs`. This module implements
+//! that baseline so the evaluation can compare Invert-and-Measure against
+//! it (a comparison the paper leaves qualitative).
+//!
+//! Unfolding differs from Invert-and-Measure in kind: it edits the
+//! *distribution* after the fact (and can produce negative quasi-counts
+//! that must be clipped), whereas SIM/AIM change which physical states are
+//! measured. Unfolding also costs `O(2^n)` calibration circuits and `O(4^n)`
+//! memory, so it stops scaling far earlier than AWCT-profiled AIM.
+
+use qnoise::ReadoutModel;
+use qsim::{BitString, Counts, Distribution};
+
+/// A dense readout confusion matrix with solver-based mitigation.
+///
+/// # Examples
+///
+/// ```
+/// use invmeas::ConfusionMatrix;
+/// use qnoise::DeviceModel;
+/// use qsim::{BitString, Counts};
+///
+/// let cm = ConfusionMatrix::from_model(&DeviceModel::ibmqx2().readout());
+/// let mut observed = Counts::new(5);
+/// observed.record_n(BitString::ones(5), 600);
+/// observed.record_n("11101".parse()?, 400);
+/// let mitigated = cm.unfold(&observed);
+/// // Probabilities remain a valid distribution after clipping.
+/// let total: f64 = mitigated.probabilities().iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    width: usize,
+    /// Row-major: `a[obs][ideal] = P(obs | ideal)`.
+    a: Vec<Vec<f64>>,
+}
+
+impl ConfusionMatrix {
+    /// Practical register limit: the dense matrix is `4^n` entries.
+    pub const MAX_WIDTH: usize = 10;
+
+    /// Builds the exact matrix from a readout model (the idealized
+    /// calibration with infinite shots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers more than [`ConfusionMatrix::MAX_WIDTH`]
+    /// qubits.
+    pub fn from_model(readout: &dyn ReadoutModel) -> Self {
+        let n = readout.n_qubits();
+        assert!(
+            n <= Self::MAX_WIDTH,
+            "dense confusion matrix limited to {} qubits",
+            Self::MAX_WIDTH
+        );
+        let dim = 1usize << n;
+        let mut a = vec![vec![0.0; dim]; dim];
+        for ideal in 0..dim {
+            let ideal_s = BitString::from_value(ideal as u64, n);
+            for (obs, row) in a.iter_mut().enumerate() {
+                row[ideal] = readout.confusion(ideal_s, BitString::from_value(obs as u64, n));
+            }
+        }
+        ConfusionMatrix { width: n, a }
+    }
+
+    /// Builds an empirical matrix from per-ideal-state calibration logs:
+    /// `logs[ideal]` is the measured log when basis state `ideal` was
+    /// prepared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logs.len() != 2^width`, widths are inconsistent, or any
+    /// log is empty.
+    pub fn from_calibration_logs(width: usize, logs: &[Counts]) -> Self {
+        assert!(
+            width <= Self::MAX_WIDTH,
+            "dense confusion matrix limited to {} qubits",
+            Self::MAX_WIDTH
+        );
+        let dim = 1usize << width;
+        assert_eq!(logs.len(), dim, "need one log per basis state");
+        let mut a = vec![vec![0.0; dim]; dim];
+        for (ideal, log) in logs.iter().enumerate() {
+            assert_eq!(log.width(), width, "log width mismatch");
+            assert!(log.total() > 0, "empty calibration log for state {ideal}");
+            for (obs, row) in a.iter_mut().enumerate() {
+                row[ideal] = log.frequency(&BitString::from_value(obs as u64, width));
+            }
+        }
+        ConfusionMatrix { width, a }
+    }
+
+    /// The register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `P(observed | ideal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width differs.
+    pub fn probability(&self, observed: BitString, ideal: BitString) -> f64 {
+        assert_eq!(observed.width(), self.width, "width mismatch");
+        assert_eq!(ideal.width(), self.width, "width mismatch");
+        self.a[observed.index()][ideal.index()]
+    }
+
+    /// Solves `A · p = p_obs` by Gaussian elimination with partial
+    /// pivoting, clips negative entries, and renormalizes — the standard
+    /// "matrix inversion" readout mitigation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observed log's width differs, the log is empty, or the
+    /// matrix is numerically singular (cannot happen for physical readout
+    /// channels with error < 50 % per qubit).
+    pub fn unfold(&self, observed: &Counts) -> Distribution {
+        assert_eq!(observed.width(), self.width, "width mismatch");
+        assert!(observed.total() > 0, "cannot unfold an empty log");
+        let dim = 1usize << self.width;
+        // Augmented system [A | b].
+        let mut m: Vec<Vec<f64>> = (0..dim)
+            .map(|r| {
+                let mut row = self.a[r].clone();
+                row.push(observed.frequency(&BitString::from_value(r as u64, self.width)));
+                row
+            })
+            .collect();
+        // Forward elimination with partial pivoting.
+        for col in 0..dim {
+            let pivot = (col..dim)
+                .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+                .expect("non-empty pivot range");
+            assert!(
+                m[pivot][col].abs() > 1e-12,
+                "confusion matrix is numerically singular"
+            );
+            m.swap(col, pivot);
+            for row in (col + 1)..dim {
+                let f = m[row][col] / m[col][col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in col..=dim {
+                    m[row][k] -= f * m[col][k];
+                }
+            }
+        }
+        // Back substitution.
+        let mut p = vec![0.0f64; dim];
+        for col in (0..dim).rev() {
+            let mut acc = m[col][dim];
+            for k in (col + 1)..dim {
+                acc -= m[col][k] * p[k];
+            }
+            p[col] = acc / m[col][col];
+        }
+        // Clip + renormalize (solution may be a quasi-distribution).
+        let mut total = 0.0;
+        for v in &mut p {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+            total += *v;
+        }
+        assert!(total > 0.0, "unfolded distribution vanished after clipping");
+        for v in &mut p {
+            *v /= total;
+        }
+        Distribution::from_probabilities(self.width, p)
+    }
+}
+
+/// Scalable unfolding for *independent* per-qubit readout error.
+///
+/// When the channel factors per qubit, so does its inverse: each qubit's
+/// 2×2 confusion matrix is inverted analytically and applied to the dense
+/// distribution one qubit at a time, costing `O(n · 2^n)` instead of the
+/// dense solver's `O(8^n)`. This is the practical form of readout
+/// mitigation for larger registers (and exactly what later toolkits
+/// shipped); it cannot model the crosstalk terms that make ibmqx4's bias
+/// arbitrary, which is where Invert-and-Measure retains an edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorUnfolder {
+    pairs: Vec<qnoise::FlipPair>,
+}
+
+impl TensorUnfolder {
+    /// Builds the unfolder from a tensor readout channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit's total error `p01 + p10` reaches 1 (its
+    /// confusion matrix would be singular).
+    pub fn from_tensor(readout: &qnoise::TensorReadout) -> Self {
+        let pairs = readout.pairs().to_vec();
+        for (q, p) in pairs.iter().enumerate() {
+            assert!(
+                (1.0 - p.p01 - p.p10).abs() > 1e-9,
+                "qubit {q} confusion matrix is singular (p01 + p10 = 1)"
+            );
+        }
+        TensorUnfolder { pairs }
+    }
+
+    /// The register width.
+    pub fn width(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Unfolds an observed log by applying each qubit's inverse confusion
+    /// matrix, then clipping negatives and renormalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log width differs, the log is empty, or the register
+    /// exceeds 26 qubits (dense vector size).
+    pub fn unfold(&self, observed: &Counts) -> Distribution {
+        assert_eq!(observed.width(), self.width(), "width mismatch");
+        assert!(observed.total() > 0, "cannot unfold an empty log");
+        let n = self.width();
+        assert!(n <= 26, "dense unfolding limited to 26 qubits");
+        let mut p: Vec<f64> = observed.to_distribution().probabilities().to_vec();
+        for (q, pair) in self.pairs.iter().enumerate() {
+            // Confusion A = [[1-p01, p10], [p01, 1-p10]], inverse:
+            // A^{-1} = 1/det [[1-p10, -p10], [-p01, 1-p01]], det = 1-p01-p10.
+            let det = 1.0 - pair.p01 - pair.p10;
+            let inv = [
+                [(1.0 - pair.p10) / det, -pair.p10 / det],
+                [-pair.p01 / det, (1.0 - pair.p01) / det],
+            ];
+            let bit = 1usize << q;
+            let mut base = 0usize;
+            while base < p.len() {
+                for offset in 0..bit {
+                    let i0 = base + offset;
+                    let i1 = i0 | bit;
+                    let p0 = p[i0];
+                    let p1 = p[i1];
+                    p[i0] = inv[0][0] * p0 + inv[0][1] * p1;
+                    p[i1] = inv[1][0] * p0 + inv[1][1] * p1;
+                }
+                base += bit << 1;
+            }
+        }
+        let mut total = 0.0;
+        for v in &mut p {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+            total += *v;
+        }
+        assert!(total > 0.0, "unfolded distribution vanished after clipping");
+        for v in &mut p {
+            *v /= total;
+        }
+        Distribution::from_probabilities(self.width(), p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnoise::{DeviceModel, Executor, NoisyExecutor};
+    use qsim::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn columns_are_stochastic() {
+        let cm = ConfusionMatrix::from_model(&DeviceModel::ibmqx4().readout());
+        let dim = 1usize << cm.width();
+        for ideal in 0..dim {
+            let total: f64 = (0..dim).map(|obs| cm.a[obs][ideal]).sum();
+            assert!((total - 1.0).abs() < 1e-9, "column {ideal} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn unfolding_recovers_exact_channel_output() {
+        // Push a point distribution through the channel exactly, then
+        // unfold: the original point mass returns.
+        let readout = DeviceModel::ibmqx2().readout();
+        let cm = ConfusionMatrix::from_model(&readout);
+        let truth = bs("11011");
+        let corrupted = readout.apply_to_distribution(&Distribution::point(truth));
+        // Convert the exact distribution into a large synthetic log.
+        let mut log = Counts::new(5);
+        for (i, &p) in corrupted.probabilities().iter().enumerate() {
+            let n = (p * 1e9).round() as u64;
+            if n > 0 {
+                log.record_n(BitString::from_value(i as u64, 5), n);
+            }
+        }
+        let unfolded = cm.unfold(&log);
+        assert!(
+            unfolded.probability_of(truth) > 0.999,
+            "recovered mass = {}",
+            unfolded.probability_of(truth)
+        );
+    }
+
+    #[test]
+    fn unfolding_sampled_log_improves_pst() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let cm = ConfusionMatrix::from_model(&dev.readout());
+        let target = bs("11111");
+        let c = Circuit::basis_state_preparation(target);
+        let mut rng = StdRng::seed_from_u64(5);
+        let observed = exec.run(&c, 16_000, &mut rng);
+        let unfolded = cm.unfold(&observed);
+        assert!(
+            unfolded.probability_of(target) > observed.frequency(&target) + 0.2,
+            "unfolded {} vs observed {}",
+            unfolded.probability_of(target),
+            observed.frequency(&target)
+        );
+    }
+
+    #[test]
+    fn empirical_calibration_close_to_exact() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(9);
+        let logs: Vec<Counts> = BitString::all(5)
+            .map(|s| exec.run(&Circuit::basis_state_preparation(s), 8000, &mut rng))
+            .collect();
+        let empirical = ConfusionMatrix::from_calibration_logs(5, &logs);
+        let exact = ConfusionMatrix::from_model(&dev.readout());
+        for ideal in BitString::all(5) {
+            for obs in BitString::all(5) {
+                let d = (empirical.probability(obs, ideal) - exact.probability(obs, ideal)).abs();
+                assert!(d < 0.03, "({obs}|{ideal}) off by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_normalization() {
+        let cm = ConfusionMatrix::from_model(&DeviceModel::ibmqx4().readout());
+        let mut log = Counts::new(5);
+        log.record_n(bs("00000"), 1);
+        let d = cm.unfold(&log);
+        assert!((d.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unfold an empty log")]
+    fn empty_log_rejected() {
+        let cm = ConfusionMatrix::from_model(&DeviceModel::ibmqx2().readout());
+        cm.unfold(&Counts::new(5));
+    }
+
+    #[test]
+    fn tensor_unfolder_matches_dense_solver() {
+        // On a crosstalk-free device the O(n·2^n) per-qubit inverse must
+        // agree with the dense Gaussian solver.
+        let dev = DeviceModel::ibmqx2();
+        let readout = dev.readout();
+        let cm = ConfusionMatrix::from_model(&readout);
+        let tu = TensorUnfolder::from_tensor(readout.base());
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(31);
+        let c = Circuit::basis_state_preparation(bs("10110"));
+        let observed = exec.run(&c, 20_000, &mut rng);
+        let dense = cm.unfold(&observed);
+        let fast = tu.unfold(&observed);
+        for s in BitString::all(5) {
+            assert!(
+                (dense.probability_of(s) - fast.probability_of(s)).abs() < 1e-9,
+                "{s}: dense {} vs tensor {}",
+                dense.probability_of(s),
+                fast.probability_of(s)
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_unfolder_scales_past_dense_limit() {
+        // 12 qubits: far beyond ConfusionMatrix::MAX_WIDTH; the tensor
+        // unfolder recovers a basis state in milliseconds.
+        let dev = DeviceModel::ibmq_melbourne().best_qubits_subdevice(12);
+        let readout = dev.readout();
+        let tu = TensorUnfolder::from_tensor(readout.base());
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(32);
+        let target = BitString::ones(12);
+        let c = Circuit::basis_state_preparation(target);
+        let observed = exec.run(&c, 30_000, &mut rng);
+        let unfolded = tu.unfold(&observed);
+        assert!(
+            unfolded.probability_of(target) > observed.frequency(&target) + 0.1,
+            "unfolded {} vs observed {}",
+            unfolded.probability_of(target),
+            observed.frequency(&target)
+        );
+    }
+
+    #[test]
+    fn tensor_unfolder_misses_crosstalk() {
+        // With ibmqx4's crosstalk active, the tensor inverse under-corrects
+        // relative to the dense solver that knows the full channel — the
+        // structural gap Invert-and-Measure does not have.
+        let dev = DeviceModel::ibmqx4();
+        let readout = dev.readout();
+        let cm = ConfusionMatrix::from_model(&readout);
+        let tu = TensorUnfolder::from_tensor(readout.base());
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(33);
+        let target = bs("11111"); // all crosstalk sources active
+        let observed = exec.run(&Circuit::basis_state_preparation(target), 40_000, &mut rng);
+        let dense = cm.unfold(&observed).probability_of(target);
+        let fast = tu.unfold(&observed).probability_of(target);
+        assert!(
+            dense > fast + 0.02,
+            "dense {dense} should beat crosstalk-blind tensor {fast}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_qubit_rejected() {
+        TensorUnfolder::from_tensor(&qnoise::TensorReadout::uniform(
+            2,
+            qnoise::FlipPair::new(0.5, 0.5),
+        ));
+    }
+}

@@ -1,0 +1,303 @@
+//! Variability-aware qubit allocation.
+//!
+//! The paper's methodology (§4.3) maps every benchmark onto the machine's
+//! strongest qubits and links: "allocations that are cognizant of
+//! underlying noise and variation in the error rate such that benchmarks
+//! are mapped on strongest qubits and links with minimum number of SWAPs."
+//!
+//! [`allocate`] implements that policy: it grows connected candidate sets
+//! over the coupling map (so routed circuits need few SWAPs) and scores
+//! each set by its qubits' effective readout error plus the error of the
+//! links inside the set, returning the cheapest.
+
+use qnoise::DeviceModel;
+use qsim::Gate;
+use std::fmt;
+
+/// A chosen assignment of logical qubits to physical qubits.
+///
+/// `physical()[i]` is the physical qubit hosting logical qubit `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    physical: Vec<usize>,
+}
+
+impl Placement {
+    /// Builds a placement from an explicit logical→physical map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty or contains duplicates.
+    pub fn new(physical: Vec<usize>) -> Self {
+        assert!(!physical.is_empty(), "placement cannot be empty");
+        for (i, &p) in physical.iter().enumerate() {
+            assert!(
+                !physical[..i].contains(&p),
+                "physical qubit {p} assigned twice"
+            );
+        }
+        Placement { physical }
+    }
+
+    /// The identity placement over `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Placement::new((0..n).collect())
+    }
+
+    /// The logical→physical map.
+    pub fn physical(&self) -> &[usize] {
+        &self.physical
+    }
+
+    /// The number of logical qubits placed.
+    pub fn n_logical(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// The physical qubit hosting logical qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn physical_of(&self, q: usize) -> usize {
+        self.physical[q]
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "placement[")?;
+        for (i, p) in self.physical.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{i}->Q{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error returned when allocation is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// More logical qubits were requested than the device has.
+    TooManyQubits {
+        /// Requested logical register size.
+        requested: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+    /// No connected subset of the requested size exists on the coupling
+    /// map.
+    NoConnectedRegion(usize),
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AllocationError::TooManyQubits { requested, available } => write!(
+                f,
+                "requested {requested} qubits but the device has {available}"
+            ),
+            AllocationError::NoConnectedRegion(n) => {
+                write!(f, "no connected region of {n} qubits on the coupling map")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// Mean effective readout error of a physical qubit plus its single-qubit
+/// gate error — the per-qubit component of the allocation cost.
+fn qubit_cost(device: &DeviceModel, q: usize) -> f64 {
+    let eff = device.qubit(q).assignment.with_t1_decay(
+        device.qubit(q).t1_us,
+        device.meas_duration_us(),
+    );
+    eff.mean_error() + device.qubit(q).gate_error_1q
+}
+
+/// Two-qubit gate error of a coupling edge.
+fn edge_cost(device: &DeviceModel, a: usize, b: usize) -> f64 {
+    device.gate_noise().gate_error(&Gate::Cx { control: a, target: b })
+}
+
+/// Chooses `n_logical` physical qubits for a benchmark: a connected region
+/// of the coupling map minimizing total qubit + internal-link error.
+/// Logical indices are assigned to the chosen physical qubits in ascending
+/// physical order (routing handles interaction locality).
+///
+/// Devices without any coupling edges (e.g. [`DeviceModel::ideal`]) are
+/// treated as fully connected.
+///
+/// # Errors
+///
+/// Returns an [`AllocationError`] if the device is too small or its
+/// coupling map has no connected region of the requested size.
+pub fn allocate(device: &DeviceModel, n_logical: usize) -> Result<Placement, AllocationError> {
+    let n_phys = device.n_qubits();
+    if n_logical > n_phys {
+        return Err(AllocationError::TooManyQubits {
+            requested: n_logical,
+            available: n_phys,
+        });
+    }
+    if n_logical == 0 {
+        return Err(AllocationError::TooManyQubits {
+            requested: 0,
+            available: n_phys,
+        });
+    }
+    // Adjacency list; an edgeless device is treated as fully connected.
+    let mut adj = vec![Vec::new(); n_phys];
+    if device.coupling().is_empty() {
+        for a in 0..n_phys {
+            for b in 0..n_phys {
+                if a != b {
+                    adj[a].push(b);
+                }
+            }
+        }
+    } else {
+        for &(a, b) in device.coupling() {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+
+    let region_cost = |region: &[usize]| -> f64 {
+        let mut cost: f64 = region.iter().map(|&q| qubit_cost(device, q)).sum();
+        for (i, &a) in region.iter().enumerate() {
+            for &b in &region[i + 1..] {
+                if adj[a].contains(&b) {
+                    cost += edge_cost(device, a, b) * 0.5;
+                }
+            }
+        }
+        cost
+    };
+
+    // Greedy connected growth from every seed; keep the cheapest region.
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for seed in 0..n_phys {
+        let mut region = vec![seed];
+        while region.len() < n_logical {
+            // Frontier: neighbours of the region not yet inside.
+            let mut candidate: Option<(f64, usize)> = None;
+            for &r in &region {
+                for &nb in &adj[r] {
+                    if region.contains(&nb) {
+                        continue;
+                    }
+                    let c = qubit_cost(device, nb);
+                    if candidate.map_or(true, |(bc, _)| c < bc) {
+                        candidate = Some((c, nb));
+                    }
+                }
+            }
+            match candidate {
+                Some((_, nb)) => region.push(nb),
+                None => break, // component exhausted
+            }
+        }
+        if region.len() < n_logical {
+            continue;
+        }
+        let cost = region_cost(&region);
+        if best.as_ref().map_or(true, |(bc, _)| cost < *bc) {
+            best = Some((cost, region));
+        }
+    }
+    match best {
+        Some((_, mut region)) => {
+            region.sort_unstable();
+            Ok(Placement::new(region))
+        }
+        None => Err(AllocationError::NoConnectedRegion(n_logical)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_validation() {
+        let p = Placement::new(vec![3, 1, 4]);
+        assert_eq!(p.n_logical(), 3);
+        assert_eq!(p.physical_of(0), 3);
+        assert_eq!(p.to_string(), "placement[q0->Q3, q1->Q1, q2->Q4]");
+        assert!(std::panic::catch_unwind(|| Placement::new(vec![1, 1])).is_err());
+    }
+
+    #[test]
+    fn allocate_all_qubits_uses_everything() {
+        let dev = DeviceModel::ibmqx2();
+        let p = allocate(&dev, 5).unwrap();
+        let mut phys = p.physical().to_vec();
+        phys.sort_unstable();
+        assert_eq!(phys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn allocate_avoids_worst_qubit() {
+        // melbourne's q6 has a 31% readout error; small allocations must
+        // skip it.
+        let dev = DeviceModel::ibmq_melbourne();
+        for n in [4usize, 5, 6] {
+            let p = allocate(&dev, n).unwrap();
+            assert!(
+                !p.physical().contains(&6),
+                "allocation of {n} qubits used the worst qubit: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocated_region_is_connected() {
+        let dev = DeviceModel::ibmq_melbourne();
+        let p = allocate(&dev, 7).unwrap();
+        // BFS over the coupling map restricted to the region.
+        let region: Vec<usize> = p.physical().to_vec();
+        let mut seen = vec![region[0]];
+        let mut stack = vec![region[0]];
+        while let Some(q) = stack.pop() {
+            for &(a, b) in dev.coupling() {
+                let nb = if a == q {
+                    b
+                } else if b == q {
+                    a
+                } else {
+                    continue;
+                };
+                if region.contains(&nb) && !seen.contains(&nb) {
+                    seen.push(nb);
+                    stack.push(nb);
+                }
+            }
+        }
+        assert_eq!(seen.len(), region.len(), "region {region:?} not connected");
+    }
+
+    #[test]
+    fn allocation_errors() {
+        let dev = DeviceModel::ibmqx2();
+        assert_eq!(
+            allocate(&dev, 6),
+            Err(AllocationError::TooManyQubits {
+                requested: 6,
+                available: 5
+            })
+        );
+        let msg = allocate(&dev, 6).unwrap_err().to_string();
+        assert!(msg.contains("requested 6"));
+    }
+
+    #[test]
+    fn ideal_device_without_coupling_allocates() {
+        let dev = DeviceModel::ideal(4);
+        let p = allocate(&dev, 3).unwrap();
+        assert_eq!(p.n_logical(), 3);
+    }
+}

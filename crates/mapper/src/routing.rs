@@ -1,0 +1,406 @@
+//! SWAP routing onto a coupling map.
+//!
+//! NISQ machines only execute two-qubit gates between coupled physical
+//! qubits; any other interaction must be routed by inserting SWAP gates.
+//! [`route`] implements the classic shortest-path router: when a two-qubit
+//! gate's operands are not adjacent, one operand is swapped along a BFS
+//! shortest path until they meet, and the live logical→physical mapping is
+//! updated. The router tracks the final layout so measured physical bit
+//! strings can be folded back into logical outcomes
+//! ([`RoutedCircuit::logical_counts`]).
+
+use crate::allocation::Placement;
+use qnoise::DeviceModel;
+use qsim::{BitString, Circuit, Counts, Gate};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A circuit lowered onto a device's physical qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    physical: Circuit,
+    output_layout: Vec<usize>,
+    swap_count: usize,
+    n_logical: usize,
+}
+
+impl RoutedCircuit {
+    /// The physical circuit (width = device size).
+    pub fn circuit(&self) -> &Circuit {
+        &self.physical
+    }
+
+    /// The physical qubit holding logical qubit `q` *after* execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn output_qubit(&self, q: usize) -> usize {
+        self.output_layout[q]
+    }
+
+    /// The full output layout (`layout[logical] = physical`).
+    pub fn output_layout(&self) -> &[usize] {
+        &self.output_layout
+    }
+
+    /// The number of inserted SWAP gates.
+    pub fn swap_count(&self) -> usize {
+        self.swap_count
+    }
+
+    /// The logical register width.
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    /// Extracts the logical outcome from a measured physical bit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical.width()` differs from the physical register.
+    pub fn logical_outcome(&self, physical: BitString) -> BitString {
+        assert_eq!(
+            physical.width(),
+            self.physical.n_qubits(),
+            "physical outcome width mismatch"
+        );
+        let mut out = BitString::zeros(self.n_logical);
+        for (logical, &phys) in self.output_layout.iter().enumerate() {
+            out = out.with_bit(logical, physical.bit(phys));
+        }
+        out
+    }
+
+    /// Folds a physical output log into logical outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log width differs from the physical register.
+    pub fn logical_counts(&self, physical: &Counts) -> Counts {
+        let mut out = Counts::new(self.n_logical);
+        for (s, &n) in physical.iter() {
+            out.record_n(self.logical_outcome(*s), n);
+        }
+        out
+    }
+}
+
+impl fmt::Display for RoutedCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed[{} logical on {} physical, {} swaps]",
+            self.n_logical,
+            self.physical.n_qubits(),
+            self.swap_count
+        )
+    }
+}
+
+/// Error returned when routing is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The placement uses more logical qubits than the circuit or more
+    /// physical qubits than the device.
+    PlacementMismatch,
+    /// Two interacting qubits lie in disconnected components of the
+    /// coupling map.
+    Disconnected(usize, usize),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RoutingError::PlacementMismatch => {
+                write!(f, "placement does not match the circuit and device sizes")
+            }
+            RoutingError::Disconnected(a, b) => {
+                write!(f, "physical qubits {a} and {b} are not connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Routes `circuit` onto `device` starting from `placement`.
+///
+/// Devices without coupling edges are treated as fully connected (no SWAPs
+/// ever inserted).
+///
+/// # Errors
+///
+/// Returns a [`RoutingError`] if the placement sizes are inconsistent or
+/// an interaction crosses disconnected components.
+pub fn route(
+    circuit: &Circuit,
+    device: &DeviceModel,
+    placement: &Placement,
+) -> Result<RoutedCircuit, RoutingError> {
+    let n_logical = circuit.n_qubits();
+    let n_phys = device.n_qubits();
+    if placement.n_logical() != n_logical
+        || placement.physical().iter().any(|&p| p >= n_phys)
+    {
+        return Err(RoutingError::PlacementMismatch);
+    }
+    let fully_connected = device.coupling().is_empty();
+    let mut adj = vec![Vec::new(); n_phys];
+    for &(a, b) in device.coupling() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+
+    // log2phys[l] = physical location of logical l (usize::MAX = unused).
+    let mut log2phys: Vec<usize> = placement.physical().to_vec();
+    let mut out = Circuit::new(n_phys);
+    let mut swap_count = 0usize;
+
+    let adjacent = |a: usize, b: usize, adj: &[Vec<usize>]| -> bool {
+        fully_connected || adj[a].contains(&b)
+    };
+
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        if qs.len() == 1 {
+            out.push(retarget(g, &[log2phys[qs[0]]]));
+            continue;
+        }
+        let mut pa = log2phys[qs[0]];
+        let pb = log2phys[qs[1]];
+        if !adjacent(pa, pb, &adj) {
+            // BFS shortest path from pa to pb.
+            let path = bfs_path(pa, pb, &adj).ok_or(RoutingError::Disconnected(pa, pb))?;
+            // Swap pa along the path until adjacent to pb.
+            for &next in path.iter().skip(1).take(path.len().saturating_sub(2)) {
+                out.swap(pa, next);
+                swap_count += 1;
+                // Whatever logical qubits occupy pa/next exchange places.
+                for entry in log2phys.iter_mut() {
+                    if *entry == pa {
+                        *entry = next;
+                    } else if *entry == next {
+                        *entry = pa;
+                    }
+                }
+                pa = next;
+            }
+        }
+        out.push(retarget(g, &[log2phys[qs[0]], log2phys[qs[1]]]));
+    }
+    Ok(RoutedCircuit {
+        physical: out,
+        output_layout: log2phys,
+        swap_count,
+        n_logical,
+    })
+}
+
+/// Allocates and routes in one step using the variability-aware policy.
+///
+/// # Errors
+///
+/// Propagates allocation and routing failures as a boxed error.
+pub fn route_auto(
+    circuit: &Circuit,
+    device: &DeviceModel,
+) -> Result<RoutedCircuit, Box<dyn std::error::Error + Send + Sync>> {
+    let placement = crate::allocation::allocate(device, circuit.n_qubits())?;
+    Ok(route(circuit, device, &placement)?)
+}
+
+/// Rebuilds a gate with new qubit operands.
+fn retarget(gate: &Gate, qs: &[usize]) -> Gate {
+    match *gate {
+        Gate::X(_) => Gate::X(qs[0]),
+        Gate::Y(_) => Gate::Y(qs[0]),
+        Gate::Z(_) => Gate::Z(qs[0]),
+        Gate::H(_) => Gate::H(qs[0]),
+        Gate::S(_) => Gate::S(qs[0]),
+        Gate::Sdg(_) => Gate::Sdg(qs[0]),
+        Gate::T(_) => Gate::T(qs[0]),
+        Gate::Tdg(_) => Gate::Tdg(qs[0]),
+        Gate::Rx { theta, .. } => Gate::Rx { qubit: qs[0], theta },
+        Gate::Ry { theta, .. } => Gate::Ry { qubit: qs[0], theta },
+        Gate::Rz { theta, .. } => Gate::Rz { qubit: qs[0], theta },
+        Gate::Phase { lambda, .. } => Gate::Phase { qubit: qs[0], lambda },
+        Gate::Cx { .. } => Gate::Cx { control: qs[0], target: qs[1] },
+        Gate::Cz { .. } => Gate::Cz { control: qs[0], target: qs[1] },
+        Gate::Rzz { theta, .. } => Gate::Rzz { a: qs[0], b: qs[1], theta },
+        Gate::Swap { .. } => Gate::Swap { a: qs[0], b: qs[1] },
+    }
+}
+
+/// BFS shortest path (inclusive of both endpoints).
+fn bfs_path(from: usize, to: usize, adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut prev = vec![usize::MAX; adj.len()];
+    let mut queue = VecDeque::new();
+    prev[from] = from;
+    queue.push_back(from);
+    while let Some(q) = queue.pop_front() {
+        if q == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &nb in &adj[q] {
+            if prev[nb] == usize::MAX {
+                prev[nb] = q;
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    /// Marginal distribution of the routed circuit on its output layout
+    /// must match the original circuit's distribution.
+    fn assert_equivalent(original: &Circuit, routed: &RoutedCircuit) {
+        let p_orig = StateVector::from_circuit(original).probabilities();
+        let p_phys = StateVector::from_circuit(routed.circuit()).probabilities();
+        let n_log = original.n_qubits();
+        let mut p_marg = vec![0.0; 1 << n_log];
+        for (idx, &p) in p_phys.iter().enumerate() {
+            let phys = BitString::from_value(idx as u64, routed.circuit().n_qubits());
+            p_marg[routed.logical_outcome(phys).index()] += p;
+        }
+        for (a, b) in p_orig.iter().zip(&p_marg) {
+            assert!((a - b).abs() < 1e-9, "distribution mismatch: {a} vs {b}");
+        }
+    }
+
+    fn line_device(n: usize) -> DeviceModel {
+        let dev = DeviceModel::ideal(n);
+        // Build a line-coupled ideal device for routing tests.
+        DeviceModel::from_parts(
+            "line",
+            (0..n).map(|q| *dev.qubit(q)).collect(),
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+            0.0,
+            Vec::new(),
+            0.0,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let dev = line_device(3);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let r = route(&c, &dev, &Placement::identity(3)).unwrap();
+        assert_eq!(r.swap_count(), 0);
+        assert_equivalent(&c, &r);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let dev = line_device(4);
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3);
+        let r = route(&c, &dev, &Placement::identity(4)).unwrap();
+        assert_eq!(r.swap_count(), 2, "0-3 on a line needs two swaps");
+        assert_equivalent(&c, &r);
+    }
+
+    #[test]
+    fn layout_tracks_moved_qubits() {
+        let dev = line_device(3);
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 2);
+        let r = route(&c, &dev, &Placement::identity(3)).unwrap();
+        assert_equivalent(&c, &r);
+        // Logical 0 moved off physical 0.
+        assert_ne!(r.output_qubit(0), 0);
+    }
+
+    #[test]
+    fn ghz_on_melbourne_is_equivalent() {
+        let dev = DeviceModel::ibmq_melbourne();
+        // GHZ over 5 logical qubits placed by the variability-aware policy.
+        let c = qworkloads::ghz_circuit(5);
+        let r = route_auto(&c, &dev).unwrap();
+        assert_equivalent(&c, &r);
+    }
+
+    #[test]
+    fn qaoa_on_sparse_map_is_equivalent() {
+        // QAOA's all-to-all cost edges on a line force heavy routing; the
+        // semantics must survive.
+        let dev = line_device(4);
+        let g = qworkloads::Graph::complete_bipartite("0101".parse().unwrap());
+        let qaoa = qworkloads::Qaoa::new(g, vec![0.7], vec![0.4]);
+        let c = qaoa.circuit();
+        let r = route(&c, &dev, &Placement::identity(4)).unwrap();
+        assert!(r.swap_count() > 0);
+        assert_equivalent(&c, &r);
+    }
+
+    #[test]
+    fn logical_counts_fold_physical_logs() {
+        let dev = line_device(3);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let placement = Placement::new(vec![2, 0]);
+        let r = route(&c, &dev, &placement).unwrap();
+        let mut physical = Counts::new(3);
+        // Physical outcome with bit 2 set corresponds to logical "01".
+        physical.record_n("100".parse().unwrap(), 7);
+        let logical = r.logical_counts(&physical);
+        assert_eq!(logical.get(&"01".parse().unwrap()), 7);
+    }
+
+    #[test]
+    fn mismatched_placement_rejected() {
+        let dev = line_device(3);
+        let c = Circuit::new(2);
+        assert_eq!(
+            route(&c, &dev, &Placement::identity(3)),
+            Err(RoutingError::PlacementMismatch)
+        );
+        assert_eq!(
+            route(&c, &dev, &Placement::new(vec![0, 9])),
+            Err(RoutingError::PlacementMismatch)
+        );
+    }
+
+    #[test]
+    fn disconnected_device_reported() {
+        // Two disconnected pairs.
+        let base = DeviceModel::ideal(4);
+        let dev = DeviceModel::from_parts(
+            "split",
+            (0..4).map(|q| *base.qubit(q)).collect(),
+            vec![(0, 1), (2, 3)],
+            0.0,
+            Vec::new(),
+            0.0,
+            Vec::new(),
+        );
+        let mut c = Circuit::new(4);
+        c.cx(0, 2);
+        let err = route(&c, &dev, &Placement::identity(4)).unwrap_err();
+        assert!(matches!(err, RoutingError::Disconnected(_, _)));
+        assert!(err.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn fully_connected_ideal_device_never_swaps() {
+        let dev = DeviceModel::ideal(5);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4).cx(1, 3).cz(0, 2);
+        let r = route(&c, &dev, &Placement::identity(5)).unwrap();
+        assert_eq!(r.swap_count(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for allocation and routing.
+
+use proptest::prelude::*;
+use qmapper::{allocate, route, Placement};
+use qnoise::DeviceModel;
+use qsim::{BitString, Circuit, Gate, StateVector};
+
+/// A line-coupled noiseless device for routing checks.
+fn line_device(n: usize) -> DeviceModel {
+    let base = DeviceModel::ideal(n);
+    DeviceModel::from_parts(
+        "line",
+        (0..n).map(|q| *base.qubit(q)).collect(),
+        (0..n - 1).map(|i| (i, i + 1)).collect(),
+        0.0,
+        Vec::new(),
+        0.0,
+        Vec::new(),
+    )
+}
+
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::H),
+        (q, -2.0..2.0f64).prop_map(|(qubit, theta)| Gate::Rz { qubit, theta }),
+        q2.clone()
+            .prop_map(|(control, target)| Gate::Cx { control, target }),
+        (q2, -2.0..2.0f64).prop_map(|((a, b), theta)| Gate::Rzz { a, b, theta }),
+    ]
+}
+
+fn arb_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 0..16).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        c.extend(gates);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any circuit routed onto a line keeps its logical output
+    /// distribution exactly (the fundamental router contract).
+    #[test]
+    fn routing_preserves_semantics(c in arb_circuit(4)) {
+        let dev = line_device(5);
+        let placement = Placement::new(vec![0, 1, 2, 3]);
+        let routed = route(&c, &dev, &placement).expect("line is connected");
+        let p_orig = StateVector::from_circuit(&c).probabilities();
+        let p_phys = StateVector::from_circuit(routed.circuit()).probabilities();
+        let mut p_marg = vec![0.0f64; 16];
+        for (idx, &p) in p_phys.iter().enumerate() {
+            let phys = BitString::from_value(idx as u64, 5);
+            p_marg[routed.logical_outcome(phys).index()] += p;
+        }
+        for (a, b) in p_orig.iter().zip(&p_marg) {
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+    }
+
+    /// The output layout is always a valid injection of logical into
+    /// physical qubits.
+    #[test]
+    fn output_layout_is_injective(c in arb_circuit(4)) {
+        let dev = line_device(6);
+        let placement = Placement::new(vec![1, 2, 3, 4]);
+        let routed = route(&c, &dev, &placement).unwrap();
+        let layout = routed.output_layout();
+        prop_assert_eq!(layout.len(), 4);
+        for (i, &p) in layout.iter().enumerate() {
+            prop_assert!(p < 6);
+            prop_assert!(!layout[..i].contains(&p), "layout not injective: {:?}", layout);
+        }
+    }
+
+    /// Every inserted gate acts on coupled qubits — the router's whole
+    /// point.
+    #[test]
+    fn routed_two_qubit_gates_respect_coupling(c in arb_circuit(4)) {
+        let dev = line_device(4);
+        let routed = route(&c, &dev, &Placement::identity(4)).unwrap();
+        for g in routed.circuit().gates() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                prop_assert!(
+                    qs[0].abs_diff(qs[1]) == 1,
+                    "gate {} not on a line edge",
+                    g
+                );
+            }
+        }
+    }
+
+    /// Allocation always returns the requested size with in-range,
+    /// distinct physical qubits.
+    #[test]
+    fn allocation_is_well_formed(k in 1usize..=14) {
+        let dev = DeviceModel::ibmq_melbourne();
+        let placement = allocate(&dev, k).expect("melbourne is connected");
+        prop_assert_eq!(placement.n_logical(), k);
+        let phys = placement.physical();
+        for (i, &p) in phys.iter().enumerate() {
+            prop_assert!(p < 14);
+            prop_assert!(!phys[..i].contains(&p));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Bootstrap confidence intervals for shot-based metrics.
+//!
+//! The paper reports point estimates over 16k–32k trials; when comparing
+//! policies at reduced shot budgets (as the fast test configurations do)
+//! sampling error matters. This module resamples an output log with
+//! replacement and reports percentile confidence intervals for any
+//! log-derived statistic, plus a convenience wrapper for PST.
+
+use crate::reliability::{pst, CorrectSet};
+use qsim::{BitString, Counts};
+use rand::Rng;
+
+/// A bootstrap estimate: point value plus a percentile interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapEstimate {
+    /// The statistic on the original log.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+impl BootstrapEstimate {
+    /// Whether another estimate's interval is disjoint above this one —
+    /// i.e. the improvement is resolvable at the chosen confidence.
+    pub fn clearly_below(&self, other: &BootstrapEstimate) -> bool {
+        self.upper < other.lower
+    }
+}
+
+/// Bootstraps an arbitrary statistic of an output log.
+///
+/// Resamples `log.total()` trials with replacement `resamples` times and
+/// returns the `confidence` percentile interval (e.g. `0.95` for a 95 %
+/// interval).
+///
+/// # Panics
+///
+/// Panics if the log is empty, `resamples` is 0, or `confidence` is
+/// outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::bootstrap_statistic;
+/// use qsim::Counts;
+/// use rand::SeedableRng;
+///
+/// let mut log = Counts::new(1);
+/// log.record_n("1".parse()?, 800);
+/// log.record_n("0".parse()?, 200);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let est = bootstrap_statistic(&log, 200, 0.95, &mut rng, |l| {
+///     l.frequency(&"1".parse().unwrap())
+/// });
+/// assert!(est.lower <= 0.8 && 0.8 <= est.upper);
+/// assert!(est.upper - est.lower < 0.1);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+pub fn bootstrap_statistic<R, F>(
+    log: &Counts,
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+    statistic: F,
+) -> BootstrapEstimate
+where
+    R: Rng + ?Sized,
+    F: Fn(&Counts) -> f64,
+{
+    assert!(log.total() > 0, "cannot bootstrap an empty log");
+    assert!(resamples >= 1, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let point = statistic(log);
+
+    // Flatten the log into (outcome, cumulative count) for O(log k)
+    // inverse-CDF sampling, in deterministic (value) order so results are
+    // reproducible across HashMap iteration orders.
+    let outcomes: Vec<(BitString, u64)> = {
+        let mut v: Vec<(BitString, u64)> = log.iter().map(|(s, &n)| (*s, n)).collect();
+        v.sort_by_key(|&(s, _)| s.value());
+        let mut acc = 0u64;
+        for entry in &mut v {
+            acc += entry.1;
+            entry.1 = acc;
+        }
+        v
+    };
+    let total = log.total();
+
+    let mut values: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut resample = Counts::new(log.width());
+            for _ in 0..total {
+                let u = rng.gen_range(0..total);
+                let idx = outcomes.partition_point(|&(_, cum)| cum <= u);
+                resample.record(outcomes[idx].0);
+            }
+            statistic(&resample)
+        })
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples) - 1;
+    BootstrapEstimate {
+        point,
+        lower: values[lo_idx.min(resamples - 1)],
+        upper: values[hi_idx],
+    }
+}
+
+/// Bootstraps the PST of a log.
+///
+/// # Panics
+///
+/// As [`bootstrap_statistic`], plus a width mismatch between log and
+/// correct set.
+pub fn bootstrap_pst<R: Rng + ?Sized>(
+    log: &Counts,
+    correct: &CorrectSet,
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> BootstrapEstimate {
+    bootstrap_statistic(log, resamples, confidence, rng, |l| pst(l, correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn interval_contains_truth_for_binomial() {
+        let mut log = Counts::new(1);
+        log.record_n(bs("1"), 600);
+        log.record_n(bs("0"), 400);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = bootstrap_pst(&log, &CorrectSet::single(bs("1")), 300, 0.95, &mut rng);
+        assert!((est.point - 0.6).abs() < 1e-12);
+        assert!(est.lower < 0.6 && 0.6 < est.upper);
+        // 95% binomial CI at n=1000, p=0.6 is roughly ±0.03.
+        assert!(est.upper - est.lower < 0.08, "interval too wide: {est:?}");
+        assert!(est.upper - est.lower > 0.02, "interval too tight: {est:?}");
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_trials() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let width_at = |n: u64, rng: &mut StdRng| {
+            let mut log = Counts::new(1);
+            log.record_n(bs("1"), n / 2);
+            log.record_n(bs("0"), n / 2);
+            let est = bootstrap_pst(&log, &CorrectSet::single(bs("1")), 200, 0.9, rng);
+            est.upper - est.lower
+        };
+        let wide = width_at(100, &mut rng);
+        let narrow = width_at(10_000, &mut rng);
+        assert!(
+            narrow < wide / 3.0,
+            "interval should shrink ~sqrt(n): {wide} -> {narrow}"
+        );
+    }
+
+    #[test]
+    fn degenerate_log_has_zero_width_interval() {
+        let mut log = Counts::new(2);
+        log.record_n(bs("01"), 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = bootstrap_pst(&log, &CorrectSet::single(bs("01")), 100, 0.95, &mut rng);
+        assert_eq!(est.point, 1.0);
+        assert_eq!(est.lower, 1.0);
+        assert_eq!(est.upper, 1.0);
+    }
+
+    #[test]
+    fn clearly_below_detects_separation() {
+        let a = BootstrapEstimate {
+            point: 0.2,
+            lower: 0.15,
+            upper: 0.25,
+        };
+        let b = BootstrapEstimate {
+            point: 0.5,
+            lower: 0.45,
+            upper: 0.55,
+        };
+        assert!(a.clearly_below(&b));
+        assert!(!b.clearly_below(&a));
+        let overlapping = BootstrapEstimate {
+            point: 0.3,
+            lower: 0.22,
+            upper: 0.4,
+        };
+        assert!(!a.clearly_below(&overlapping));
+    }
+
+    #[test]
+    fn custom_statistic() {
+        let mut log = Counts::new(2);
+        log.record_n(bs("11"), 30);
+        log.record_n(bs("00"), 70);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = bootstrap_statistic(&log, 100, 0.9, &mut rng, |l| {
+            l.ranked().first().map(|&(s, _)| s.hamming_weight() as f64).unwrap_or(0.0)
+        });
+        // Mode is 00 with overwhelming probability.
+        assert_eq!(est.point, 0.0);
+        assert_eq!(est.upper, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty log")]
+    fn empty_log_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_pst(
+            &Counts::new(1),
+            &CorrectSet::single(bs("1")),
+            10,
+            0.9,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Statistical helpers for characterization data.
+//!
+//! The paper quantifies the measurement bias with simple statistics: the
+//! Pearson correlation between Hamming weight and measurement strength
+//! (−0.93 on ibmqx2, §3.1), mean-squared error between characterization
+//! techniques (≤ 5 % for ESCT, Appendix A), and min/avg/max summaries
+//! (Table 1). This module provides those, plus Hamming-weight grouping for
+//! the Figure 5 style "average strength per weight class" series.
+
+use qsim::BitString;
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 points.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::pearson_correlation;
+///
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [3.0, 2.0, 1.0, 0.0];
+/// assert!((pearson_correlation(&x, &y) + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Mean squared error between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn mean_squared_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample length mismatch");
+    assert!(!a.is_empty(), "need at least one point");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Root-mean-squared error between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
+    mean_squared_error(a, b).sqrt()
+}
+
+/// Min, mean, and max of a non-empty sample.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn min_avg_max(values: &[f64]) -> (f64, f64, f64) {
+    assert!(!values.is_empty(), "need at least one value");
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    (min, avg, max)
+}
+
+/// Groups a per-state series by Hamming weight and averages each class —
+/// the Figure 5 presentation. `values[i]` must correspond to the basis
+/// state with numeric value `i`.
+///
+/// Returns a vector of length `width + 1`; entry `w` is the average over
+/// all states of weight `w`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^width`.
+pub fn average_by_hamming_weight(width: usize, values: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), 1usize << width, "length must be 2^width");
+    let mut sums = vec![0.0; width + 1];
+    let mut counts = vec![0u64; width + 1];
+    for (i, &v) in values.iter().enumerate() {
+        let w = (i as u64).count_ones() as usize;
+        sums[w] += v;
+        counts[w] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| s / c as f64)
+        .collect()
+}
+
+/// The Pearson correlation between a per-state series and the states'
+/// Hamming weights — the paper's headline bias statistic (−0.93 on
+/// ibmqx2).
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^width`.
+pub fn hamming_weight_correlation(width: usize, values: &[f64]) -> f64 {
+    assert_eq!(values.len(), 1usize << width, "length must be 2^width");
+    let weights: Vec<f64> = (0..values.len())
+        .map(|i| (i as u64).count_ones() as f64)
+        .collect();
+    pearson_correlation(&weights, values)
+}
+
+/// Normalizes a per-state strength series so its maximum is 1 — the
+/// paper's "relative" BMS presentation (Figures 4, 5, 11).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or its maximum is not positive.
+pub fn normalize_to_max(values: &[f64]) -> Vec<f64> {
+    let (_, _, max) = min_avg_max(values);
+    assert!(max > 0.0, "maximum must be positive to normalize");
+    values.iter().map(|&v| v / max).collect()
+}
+
+/// Orders a per-state series along the paper's x-axis (ascending Hamming
+/// weight, then ascending value), returning `(state, value)` pairs.
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^width`.
+pub fn in_hamming_axis_order(width: usize, values: &[f64]) -> Vec<(BitString, f64)> {
+    assert_eq!(values.len(), 1usize << width, "length must be 2^width");
+    BitString::all_by_hamming_weight(width)
+        .into_iter()
+        .map(|s| (s, values[s.index()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_extremes() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson_correlation(&x, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_zero_variance_is_zero() {
+        assert_eq!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let x = [0.3, 1.9, -0.5, 2.2];
+        let y = [1.0, 0.1, 0.7, -0.2];
+        assert!(
+            (pearson_correlation(&x, &y) - pearson_correlation(&y, &x)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mse_and_rms() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 4.0];
+        assert!((mean_squared_error(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((rms_error(&a, &b) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean_squared_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn min_avg_max_summary() {
+        let (min, avg, max) = min_avg_max(&[3.0, 1.0, 2.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(avg, 2.0);
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn hamming_grouping() {
+        // width 2: states 00, 01, 10, 11 -> weights 0, 1, 1, 2.
+        let avg = average_by_hamming_weight(2, &[1.0, 0.8, 0.6, 0.4]);
+        assert_eq!(avg.len(), 3);
+        assert!((avg[0] - 1.0).abs() < 1e-12);
+        assert!((avg[1] - 0.7).abs() < 1e-12);
+        assert!((avg[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_correlation_detects_bias() {
+        // Strength falls exponentially with weight: strongly negative.
+        let vals: Vec<f64> = (0..32)
+            .map(|i| 0.9f64.powi((i as u64).count_ones() as i32))
+            .collect();
+        let r = hamming_weight_correlation(5, &vals);
+        assert!(r < -0.95, "r = {r}");
+        // Uniform strength: no correlation.
+        assert_eq!(hamming_weight_correlation(5, &vec![0.5; 32]), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let n = normalize_to_max(&[0.2, 0.4, 0.8]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn axis_ordering() {
+        let vals = [10.0, 11.0, 12.0, 13.0];
+        let axis = in_hamming_axis_order(2, &vals);
+        let states: Vec<String> = axis.iter().map(|(s, _)| s.to_string()).collect();
+        assert_eq!(states, vec!["00", "01", "10", "11"]);
+        assert_eq!(axis[1].1, 11.0);
+        assert_eq!(axis[2].1, 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be 2^width")]
+    fn wrong_length_panics() {
+        average_by_hamming_weight(3, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text table rendering for the reproduction harness.
+//!
+//! Every `repro` subcommand prints its table/figure data as an aligned
+//! ASCII table so the output can be compared side by side with the paper.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned ASCII table builder.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::Table;
+///
+/// let mut t = Table::new(&["machine", "min", "avg", "max"]);
+/// t.row(&["ibmqx2", "1.2%", "3.8%", "12.8%"]);
+/// let s = t.to_string();
+/// assert!(s.contains("ibmqx2"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`Table::with_aligns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the number of columns.
+    #[must_use]
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the number of columns.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row from owned strings (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the number of columns.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell}{}", " ".repeat(pad))?,
+                    Align::Right => write!(f, "{}{cell}", " ".repeat(pad))?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a probability as a fixed-precision string (e.g. `0.3841`).
+pub fn fmt_prob(p: f64) -> String {
+    format!("{p:.4}")
+}
+
+/// Formats a ratio/improvement factor (e.g. `1.94x`), rendering infinities
+/// as `inf`.
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+/// Formats a percentage with one decimal (e.g. `12.8%`).
+pub fn fmt_pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]).row(&["longer", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w || l.trim_end().len() <= w));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let mut t = Table::new(&["k", "num"]);
+        t.row(&["x", "5"]);
+        let s = t.to_string();
+        // "num" header is width 3; value 5 should be right-aligned under it.
+        assert!(s.lines().last().unwrap().ends_with("  5"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_prob(0.38415), "0.3841");
+        assert_eq!(fmt_ratio(1.938), "1.94x");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+        assert_eq!(fmt_pct(0.128), "12.8%");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_cell_count_panics() {
+        Table::new(&["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn row_owned_accepts_format_output() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_owned(vec![format!("{}", 1), fmt_prob(0.5)]);
+        assert_eq!(t.n_rows(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Readout calibration: estimating a machine's flip pairs from trials.
+//!
+//! IBM's calibration cycle measures each qubit's assignment error by
+//! preparing `|0⟩` and `|1⟩` and counting misreads; the published Table 1
+//! numbers come from exactly this procedure. [`calibrate_readout`]
+//! simulates it against any executor: 2 circuits (all-zeros, all-ones),
+//! `shots` trials each, per-qubit marginal error estimates. The estimates
+//! feed the tensor unfolder and device diagnostics; comparing them with
+//! the model's true pairs quantifies calibration shot noise.
+
+use crate::executor::Executor;
+use crate::readout::FlipPair;
+use crate::tensor::TensorReadout;
+use qsim::{BitString, Circuit};
+use rand::RngCore;
+
+/// Per-qubit readout calibration estimated from finite trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadoutCalibration {
+    pairs: Vec<FlipPair>,
+    shots_per_state: u64,
+}
+
+impl ReadoutCalibration {
+    /// The estimated flip pairs.
+    pub fn pairs(&self) -> &[FlipPair] {
+        &self.pairs
+    }
+
+    /// The estimated pair of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn pair(&self, q: usize) -> FlipPair {
+        self.pairs[q]
+    }
+
+    /// Trials spent per calibration circuit.
+    pub fn shots_per_state(&self) -> u64 {
+        self.shots_per_state
+    }
+
+    /// The estimated channel as a tensor readout model.
+    pub fn to_tensor(&self) -> TensorReadout {
+        TensorReadout::new(self.pairs.clone())
+    }
+
+    /// Min/avg/max of the per-qubit mean errors — the Table 1 statistic.
+    pub fn error_stats(&self) -> (f64, f64, f64) {
+        let errs: Vec<f64> = self.pairs.iter().map(|p| p.mean_error()).collect();
+        qstats_min_avg_max(&errs)
+    }
+}
+
+fn qstats_min_avg_max(values: &[f64]) -> (f64, f64, f64) {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    (min, avg, max)
+}
+
+/// Runs the two-circuit calibration procedure: prepare all-zeros and
+/// all-ones, measure `shots` times each, and estimate each qubit's
+/// `p01`/`p10` from the marginal misread rates.
+///
+/// The all-zeros/all-ones shortcut calibrates all qubits simultaneously
+/// (2 circuits instead of `2n`); with independent readout it is exact, and
+/// with crosstalk it measures each qubit in the worst-case neighbour
+/// context — a conservative estimate.
+///
+/// # Panics
+///
+/// Panics if `shots` is 0.
+pub fn calibrate_readout(
+    executor: &dyn Executor,
+    shots: u64,
+    rng: &mut dyn RngCore,
+) -> ReadoutCalibration {
+    assert!(shots > 0, "need at least one calibration shot");
+    let n = executor.n_qubits();
+    let zeros_log = executor.run(&Circuit::new(n), shots, rng);
+    let ones_log = executor.run(
+        &Circuit::basis_state_preparation(BitString::ones(n)),
+        shots,
+        rng,
+    );
+    let pairs = (0..n)
+        .map(|q| {
+            let p01 = zeros_log.marginalize(&[q]).frequency(&ones_bit());
+            let p10 = ones_log.marginalize(&[q]).frequency(&zero_bit());
+            FlipPair::new(p01, p10)
+        })
+        .collect();
+    ReadoutCalibration {
+        pairs,
+        shots_per_state: shots,
+    }
+}
+
+fn ones_bit() -> BitString {
+    BitString::ones(1)
+}
+
+fn zero_bit() -> BitString {
+    BitString::zeros(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+    use crate::executor::NoisyExecutor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_recovers_effective_pairs() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cal = calibrate_readout(&exec, 40_000, &mut rng);
+        let truth = dev.effective_pairs();
+        for q in 0..5 {
+            assert!(
+                (cal.pair(q).p01 - truth[q].p01).abs() < 0.01,
+                "q{q} p01: {} vs {}",
+                cal.pair(q).p01,
+                truth[q].p01
+            );
+            assert!(
+                (cal.pair(q).p10 - truth[q].p10).abs() < 0.01,
+                "q{q} p10: {} vs {}",
+                cal.pair(q).p10,
+                truth[q].p10
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_stats_track_table1_effective_errors() {
+        let dev = DeviceModel::ibmq_melbourne();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cal = calibrate_readout(&exec, 20_000, &mut rng);
+        let eff: Vec<f64> = dev.effective_pairs().iter().map(|p| p.mean_error()).collect();
+        let (tmin, tavg, tmax) = qstats_min_avg_max(&eff);
+        let (min, avg, max) = cal.error_stats();
+        assert!((avg - tavg).abs() < 0.01, "avg {avg} vs {tavg}");
+        assert!((min - tmin).abs() < 0.01);
+        assert!((max - tmax).abs() < 0.02);
+    }
+
+    #[test]
+    fn calibration_on_crosstalk_machine_is_conservative() {
+        // With all-ones preparation every crosstalk source is active, so
+        // the estimated p10 of a crosstalk target is at least the base
+        // effective value.
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cal = calibrate_readout(&exec, 60_000, &mut rng);
+        let base = dev.effective_pairs();
+        // Qubit 4 is a crosstalk target (from qubit 2).
+        assert!(
+            cal.pair(4).p10 > base[4].p10 + 0.03,
+            "crosstalk should inflate q4's calibrated p10: {} vs base {}",
+            cal.pair(4).p10,
+            base[4].p10
+        );
+    }
+
+    #[test]
+    fn calibrated_tensor_feeds_unfolding() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cal = calibrate_readout(&exec, 30_000, &mut rng);
+        let tensor = cal.to_tensor();
+        assert_eq!(crate::readout::ReadoutModel::n_qubits(&tensor), 5);
+        // The calibrated model's all-ones success probability is close to
+        // the true channel's.
+        let truth = dev.readout();
+        let target = BitString::ones(5);
+        let est = crate::readout::ReadoutModel::success_probability(&tensor, target);
+        let true_p = crate::readout::ReadoutModel::success_probability(&truth, target);
+        assert!((est - true_p).abs() < 0.03, "{est} vs {true_p}");
+    }
+
+    #[test]
+    fn ideal_machine_calibrates_to_zero() {
+        let dev = DeviceModel::ideal(3);
+        let exec = NoisyExecutor::from_device(&dev);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cal = calibrate_readout(&exec, 1000, &mut rng);
+        for q in 0..3 {
+            assert_eq!(cal.pair(q), FlipPair::IDEAL);
+        }
+        let (min, avg, max) = cal.error_stats();
+        assert_eq!((min, avg, max), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,306 @@
+//! Correlated readout error: crosstalk between qubits during measurement.
+//!
+//! On some machines (the paper singles out ibmqx4) the measurement strength
+//! of a basis state is *not* a monotone function of its Hamming weight —
+//! the bias is "arbitrary" yet repeatable (§6.1). Physically this arises
+//! from readout crosstalk: an excited neighbour shifts a qubit's resonator
+//! response and raises its misassignment probability. [`CorrelatedReadout`]
+//! models exactly that: a tensor-product base channel plus pairwise terms
+//! that add error to a target qubit whenever a source qubit's *ideal* value
+//! is 1.
+//!
+//! Conditioned on the ideal state the per-qubit flips remain independent, so
+//! exact success probabilities are still `O(n)` — which is what makes exact
+//! RBMS computation feasible for the 14-qubit device model.
+
+use crate::readout::{FlipPair, ReadoutModel};
+use crate::tensor::TensorReadout;
+use qsim::BitString;
+use rand::{Rng, RngCore};
+
+/// A pairwise readout-crosstalk term: when `source`'s ideal value is 1, the
+/// flip probabilities of `target` increase by `extra`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Crosstalk {
+    /// The qubit whose excitation perturbs the neighbour's readout.
+    pub source: usize,
+    /// The qubit whose readout error increases.
+    pub target: usize,
+    /// Additional flip probability added to both error directions of
+    /// `target` (clamped so the total stays ≤ 1).
+    pub extra: f64,
+}
+
+impl Crosstalk {
+    /// Creates a crosstalk term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == target` or `extra` is outside `[0, 1]`.
+    pub fn new(source: usize, target: usize, extra: f64) -> Self {
+        assert_ne!(source, target, "crosstalk source and target must differ");
+        assert!((0.0..=1.0).contains(&extra), "extra = {extra} out of range");
+        Crosstalk {
+            source,
+            target,
+            extra,
+        }
+    }
+}
+
+/// A readout channel with per-qubit asymmetric error plus excited-neighbour
+/// crosstalk.
+///
+/// # Examples
+///
+/// Crosstalk makes two states of equal Hamming weight differ in strength —
+/// the "arbitrary bias" of ibmqx4:
+///
+/// ```
+/// use qnoise::{CorrelatedReadout, Crosstalk, FlipPair, ReadoutModel, TensorReadout};
+///
+/// let base = TensorReadout::uniform(3, FlipPair::new(0.02, 0.05));
+/// let r = CorrelatedReadout::new(base, vec![Crosstalk::new(0, 1, 0.20)]);
+/// let with_source = r.success_probability("001".parse().unwrap());
+/// let without = r.success_probability("100".parse().unwrap());
+/// assert!(with_source < without); // same weight, different strength
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedReadout {
+    base: TensorReadout,
+    crosstalk: Vec<Crosstalk>,
+}
+
+impl CorrelatedReadout {
+    /// Creates the channel from a base tensor channel and crosstalk terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any crosstalk term references a qubit outside the base
+    /// channel's register.
+    pub fn new(base: TensorReadout, crosstalk: Vec<Crosstalk>) -> Self {
+        let n = base.n_qubits();
+        for c in &crosstalk {
+            assert!(
+                c.source < n && c.target < n,
+                "crosstalk ({}, {}) out of range for {n} qubits",
+                c.source,
+                c.target
+            );
+        }
+        CorrelatedReadout { base, crosstalk }
+    }
+
+    /// A channel with no crosstalk (equivalent to the base tensor channel).
+    pub fn from_tensor(base: TensorReadout) -> Self {
+        CorrelatedReadout {
+            base,
+            crosstalk: Vec::new(),
+        }
+    }
+
+    /// The base per-qubit channel.
+    pub fn base(&self) -> &TensorReadout {
+        &self.base
+    }
+
+    /// The crosstalk terms.
+    pub fn crosstalk(&self) -> &[Crosstalk] {
+        &self.crosstalk
+    }
+
+    /// The effective flip pair of qubit `q` given the full ideal state
+    /// (base error plus contributions from excited crosstalk sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `ideal.width()` mismatches.
+    pub fn effective_pair(&self, q: usize, ideal: BitString) -> FlipPair {
+        assert_eq!(ideal.width(), self.n_qubits(), "width mismatch");
+        let mut pair = self.base.pair(q);
+        let mut extra = 0.0;
+        for c in &self.crosstalk {
+            if c.target == q && ideal.bit(c.source) {
+                extra += c.extra;
+            }
+        }
+        if extra > 0.0 {
+            pair = FlipPair::new(
+                (pair.p01 + extra).min(1.0),
+                (pair.p10 + extra).min(1.0),
+            );
+        }
+        pair
+    }
+}
+
+impl ReadoutModel for CorrelatedReadout {
+    fn n_qubits(&self) -> usize {
+        self.base.n_qubits()
+    }
+
+    fn corrupt(&self, ideal: BitString, rng: &mut dyn RngCore) -> BitString {
+        assert_eq!(ideal.width(), self.n_qubits(), "width mismatch");
+        let mut out = ideal;
+        for q in 0..self.n_qubits() {
+            let p = self.effective_pair(q, ideal).flip_probability(ideal.bit(q));
+            if p > 0.0 && rng.gen::<f64>() < p {
+                out = out.with_flipped(q);
+            }
+        }
+        out
+    }
+
+    fn confusion(&self, ideal: BitString, observed: BitString) -> f64 {
+        assert_eq!(ideal.width(), self.n_qubits(), "width mismatch");
+        assert_eq!(observed.width(), self.n_qubits(), "width mismatch");
+        let mut p = 1.0;
+        for q in 0..self.n_qubits() {
+            let flip = self.effective_pair(q, ideal).flip_probability(ideal.bit(q));
+            p *= if ideal.bit(q) == observed.bit(q) {
+                1.0 - flip
+            } else {
+                flip
+            };
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    fn sample_channel() -> CorrelatedReadout {
+        let base = TensorReadout::new(vec![
+            FlipPair::new(0.02, 0.08),
+            FlipPair::new(0.01, 0.05),
+            FlipPair::new(0.03, 0.10),
+        ]);
+        CorrelatedReadout::new(
+            base,
+            vec![Crosstalk::new(0, 1, 0.15), Crosstalk::new(2, 1, 0.05)],
+        )
+    }
+
+    #[test]
+    fn no_crosstalk_matches_tensor() {
+        let base = TensorReadout::uniform(3, FlipPair::new(0.1, 0.2));
+        let corr = CorrelatedReadout::from_tensor(base.clone());
+        for v in 0..8u64 {
+            let ideal = BitString::from_value(v, 3);
+            for o in 0..8u64 {
+                let obs = BitString::from_value(o, 3);
+                assert!(
+                    (corr.confusion(ideal, obs) - base.confusion(ideal, obs)).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_pair_accumulates_sources() {
+        let r = sample_channel();
+        // q1 with neither source excited: base error.
+        assert_eq!(r.effective_pair(1, bs("000")), FlipPair::new(0.01, 0.05));
+        // q0 excited adds 0.15.
+        let p = r.effective_pair(1, bs("001"));
+        assert!((p.p01 - 0.16).abs() < 1e-12);
+        assert!((p.p10 - 0.20).abs() < 1e-12);
+        // Both sources excited add 0.20 total.
+        let p = r.effective_pair(1, bs("101"));
+        assert!((p.p01 - 0.21).abs() < 1e-12);
+        assert!((p.p10 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let r = sample_channel();
+        for v in 0..8u64 {
+            let ideal = BitString::from_value(v, 3);
+            let total: f64 = (0..8u64)
+                .map(|o| r.confusion(ideal, BitString::from_value(o, 3)))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crosstalk_breaks_hamming_monotonicity() {
+        // Strong crosstalk 0 -> 2 makes a weight-1 state with q0 set weaker
+        // than a weight-2 state that avoids it.
+        let base = TensorReadout::uniform(3, FlipPair::new(0.01, 0.02));
+        let r = CorrelatedReadout::new(base, vec![Crosstalk::new(0, 2, 0.5)]);
+        let weight1 = r.success_probability(bs("001")); // q0 set, crosstalk active
+        let weight2 = r.success_probability(bs("110")); // q0 clear
+        assert!(
+            weight1 < weight2,
+            "expected crosstalk state ({weight1}) weaker than heavier state ({weight2})"
+        );
+    }
+
+    #[test]
+    fn clamping_at_probability_one() {
+        let base = TensorReadout::uniform(2, FlipPair::new(0.9, 0.9));
+        let r = CorrelatedReadout::new(base, vec![Crosstalk::new(0, 1, 0.5)]);
+        let p = r.effective_pair(1, bs("01"));
+        assert_eq!(p.p01, 1.0);
+        assert_eq!(p.p10, 1.0);
+        // Confusion still a valid distribution.
+        let total: f64 = (0..4u64)
+            .map(|o| r.confusion(bs("01"), BitString::from_value(o, 2)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_exact_probabilities() {
+        let r = sample_channel();
+        let ideal = bs("101");
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000u64;
+        let mut counts = qsim::Counts::new(3);
+        for _ in 0..n {
+            counts.record(r.corrupt(ideal, &mut rng));
+        }
+        for o in 0..8u64 {
+            let obs = BitString::from_value(o, 3);
+            let expect = r.confusion(ideal, obs);
+            assert!(
+                (counts.frequency(&obs) - expect).abs() < 0.01,
+                "{obs}: {} vs {expect}",
+                counts.frequency(&obs)
+            );
+        }
+    }
+
+    #[test]
+    fn default_distribution_push_is_stochastic() {
+        let r = sample_channel();
+        let d = Distribution::uniform(3);
+        let out = r.apply_to_distribution(&d);
+        assert!((out.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_crosstalk_panics() {
+        CorrelatedReadout::new(
+            TensorReadout::uniform(2, FlipPair::IDEAL),
+            vec![Crosstalk::new(0, 5, 0.1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_crosstalk_panics() {
+        Crosstalk::new(1, 1, 0.1);
+    }
+}

@@ -1,0 +1,434 @@
+//! Shot-based circuit execution under noise — the NISQ trial loop.
+//!
+//! The paper's computing model (§2.2, Figure 3a) is: initialize, execute the
+//! program, read the qubits, log the output; repeat for thousands of trials.
+//! An [`Executor`] is exactly that loop. [`NoisyExecutor`] layers the two
+//! error sources the paper distinguishes:
+//!
+//! * **gate errors** — Monte-Carlo Pauli trajectories sampled per group of
+//!   shots ([`GateNoise`]);
+//! * **measurement errors** — every sampled outcome is pushed through the
+//!   device's readout channel ([`ReadoutModel`]).
+
+use crate::correlated::CorrelatedReadout;
+use crate::device::DeviceModel;
+use crate::gate_noise::GateNoise;
+use crate::readout::ReadoutModel;
+use qsim::{Circuit, Counts, Distribution, StateVector};
+use rand::RngCore;
+
+/// A shot-based circuit runner.
+///
+/// The trait is object-safe so measurement policies (in the `invmeas`
+/// crate) can be written against `&dyn Executor`.
+pub trait Executor {
+    /// The register width of circuits this executor accepts.
+    fn n_qubits(&self) -> usize;
+
+    /// Runs `circuit` for `shots` trials and returns the output log.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `circuit.n_qubits() != self.n_qubits()`.
+    fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts;
+}
+
+/// A noise-free executor: samples directly from the Born distribution.
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::{Executor, IdealExecutor};
+/// use qsim::{BitString, Circuit};
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(3);
+/// c.x(0).x(2);
+/// let exec = IdealExecutor::new(3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let log = exec.run(&c, 100, &mut rng);
+/// assert_eq!(log.get(&"101".parse()?), 100);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdealExecutor {
+    n_qubits: usize,
+}
+
+impl IdealExecutor {
+    /// Creates an ideal executor over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        IdealExecutor { n_qubits }
+    }
+}
+
+impl Executor for IdealExecutor {
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
+        assert_eq!(circuit.n_qubits(), self.n_qubits, "circuit width mismatch");
+        let psi = StateVector::from_circuit(circuit);
+        let mut counts = Counts::new(self.n_qubits);
+        for _ in 0..shots {
+            counts.record(psi.sample(rng));
+        }
+        counts
+    }
+}
+
+/// Executes circuits under a device's gate and readout noise.
+#[derive(Debug, Clone)]
+pub struct NoisyExecutor {
+    readout: CorrelatedReadout,
+    gate_noise: GateNoise,
+    max_trajectories: u64,
+}
+
+impl NoisyExecutor {
+    /// Default cap on distinct gate-fault trajectories per `run` call.
+    ///
+    /// Shots beyond the cap are distributed across trajectories; this bounds
+    /// simulation cost for large registers while keeping per-shot readout
+    /// noise independent.
+    pub const DEFAULT_MAX_TRAJECTORIES: u64 = 4096;
+
+    /// Creates an executor from explicit noise components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the readout and gate-noise models cover different register
+    /// widths.
+    pub fn new(readout: CorrelatedReadout, gate_noise: GateNoise) -> Self {
+        assert_eq!(
+            readout.n_qubits(),
+            gate_noise.n_qubits(),
+            "readout and gate-noise widths differ"
+        );
+        NoisyExecutor {
+            readout,
+            gate_noise,
+            max_trajectories: Self::DEFAULT_MAX_TRAJECTORIES,
+        }
+    }
+
+    /// Creates an executor with the device's full noise model.
+    pub fn from_device(device: &DeviceModel) -> Self {
+        NoisyExecutor::new(device.readout(), device.gate_noise())
+    }
+
+    /// Creates an executor with the device's readout noise only (gate noise
+    /// disabled) — useful for isolating measurement-error effects, as the
+    /// paper's characterization experiments do.
+    pub fn readout_only(device: &DeviceModel) -> Self {
+        NoisyExecutor::new(device.readout(), GateNoise::ideal(device.n_qubits()))
+    }
+
+    /// Overrides the trajectory cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is 0.
+    #[must_use]
+    pub fn with_max_trajectories(mut self, max: u64) -> Self {
+        assert!(max >= 1, "need at least one trajectory");
+        self.max_trajectories = max;
+        self
+    }
+
+    /// The readout channel in use.
+    pub fn readout(&self) -> &CorrelatedReadout {
+        &self.readout
+    }
+
+    /// The gate-noise model in use.
+    pub fn gate_noise(&self) -> &GateNoise {
+        &self.gate_noise
+    }
+
+    /// Parallel variant of [`Executor::run`]: splits the shot budget across
+    /// `threads` worker threads (crossbeam scoped threads), each with an
+    /// independent RNG stream seeded deterministically from `rng`. For the
+    /// same `rng` state and `threads` count the merged log is reproducible;
+    /// different thread counts yield different (equally valid) samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or the circuit width mismatches.
+    pub fn run_parallel(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        threads: usize,
+        rng: &mut dyn RngCore,
+    ) -> Counts {
+        assert!(threads >= 1, "need at least one thread");
+        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        if threads == 1 || shots < threads as u64 {
+            return self.run(circuit, shots, rng);
+        }
+        // Deterministic per-worker seeds drawn from the caller's stream.
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
+        let threads_u = threads as u64;
+        let base = shots / threads_u;
+        let extra = shots % threads_u;
+        let logs = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(t, &seed)| {
+                    let worker_shots = base + u64::from((t as u64) < extra);
+                    scope.spawn(move |_| {
+                        use rand::SeedableRng;
+                        let mut worker_rng = rand::rngs::StdRng::seed_from_u64(seed);
+                        self.run(circuit, worker_shots, &mut worker_rng)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<Counts>>()
+        })
+        .expect("crossbeam scope panicked");
+        let mut merged = Counts::new(self.n_qubits());
+        for log in &logs {
+            merged.merge(log);
+        }
+        merged
+    }
+
+    /// The exact output distribution of `circuit` under readout noise only
+    /// (gate noise is ignored). Cost is `O(k · 2^n)` where `k` is the number
+    /// of basis states with non-zero Born probability, so this is cheap for
+    /// structured outputs and small registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width mismatches or `n_qubits > 14`.
+    pub fn exact_readout_distribution(&self, circuit: &Circuit) -> Distribution {
+        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        let born = Distribution::from_probabilities(
+            circuit.n_qubits(),
+            StateVector::from_circuit(circuit).probabilities(),
+        );
+        self.readout.apply_to_distribution(&born)
+    }
+}
+
+impl Executor for NoisyExecutor {
+    fn n_qubits(&self) -> usize {
+        self.readout.n_qubits()
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
+        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        let mut counts = Counts::new(self.n_qubits());
+        if shots == 0 {
+            return counts;
+        }
+        let ideal_psi = StateVector::from_circuit(circuit);
+        if self.gate_noise.is_ideal() {
+            for _ in 0..shots {
+                let outcome = ideal_psi.sample(rng);
+                counts.record(self.readout.corrupt(outcome, rng));
+            }
+            return counts;
+        }
+        // Gate noise: split shots across Monte-Carlo fault trajectories.
+        let n_traj = shots.min(self.max_trajectories);
+        let base = shots / n_traj;
+        let extra = shots % n_traj;
+        for t in 0..n_traj {
+            let traj_shots = base + u64::from(t < extra);
+            let (traj_circuit, faults) = self.gate_noise.sample_trajectory(circuit, rng);
+            let psi;
+            let state = if faults == 0 {
+                &ideal_psi
+            } else {
+                psi = StateVector::from_circuit(&traj_circuit);
+                &psi
+            };
+            for _ in 0..traj_shots {
+                let outcome = state.sample(rng);
+                counts.record(self.readout.corrupt(outcome, rng));
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::BitString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ideal_executor_reproduces_circuit_output() {
+        let exec = IdealExecutor::new(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let log = exec.run(&c, 5000, &mut rng);
+        assert_eq!(log.total(), 5000);
+        let f00 = log.frequency(&bs("00"));
+        assert!((f00 - 0.5).abs() < 0.03, "f00 = {f00}");
+        assert_eq!(log.get(&bs("01")), 0);
+    }
+
+    #[test]
+    fn readout_only_executor_matches_exact_distribution() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let c = Circuit::basis_state_preparation(bs("11010"));
+        let exact = exec.exact_readout_distribution(&c);
+        let mut rng = StdRng::seed_from_u64(21);
+        let log = exec.run(&c, 60_000, &mut rng);
+        for s in BitString::all(5) {
+            assert!(
+                (log.frequency(&s) - exact.probability_of(s)).abs() < 0.012,
+                "{s}: {} vs {}",
+                log.frequency(&s),
+                exact.probability_of(s)
+            );
+        }
+    }
+
+    #[test]
+    fn gate_noise_reduces_success() {
+        let dev = DeviceModel::ibmqx2();
+        let mut ghz = Circuit::new(5);
+        ghz.h(0);
+        for q in 0..4 {
+            ghz.cx(q, q + 1);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = NoisyExecutor::from_device(&dev);
+        let readout_only = NoisyExecutor::readout_only(&dev);
+        let full = noisy.run(&ghz, 8000, &mut rng);
+        let ro = readout_only.run(&ghz, 8000, &mut rng);
+        let ok = |log: &Counts| {
+            log.frequency(&BitString::zeros(5)) + log.frequency(&BitString::ones(5))
+        };
+        assert!(
+            ok(&full) < ok(&ro),
+            "gate noise should lower success: {} vs {}",
+            ok(&full),
+            ok(&ro)
+        );
+        // But not destroy the signal entirely.
+        assert!(ok(&full) > 0.3);
+    }
+
+    #[test]
+    fn trajectory_cap_respected_and_totals_exact() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::from_device(&dev).with_max_trajectories(7);
+        let c = Circuit::uniform_superposition(5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let log = exec.run(&c, 1000, &mut rng);
+        assert_eq!(log.total(), 1000);
+        let log = exec.run(&c, 3, &mut rng);
+        assert_eq!(log.total(), 3);
+        let log = exec.run(&c, 0, &mut rng);
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn ideal_device_full_stack_is_error_free() {
+        let dev = DeviceModel::ideal(4);
+        let exec = NoisyExecutor::from_device(&dev);
+        let c = Circuit::basis_state_preparation(bs("1011"));
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = exec.run(&c, 500, &mut rng);
+        assert_eq!(log.get(&bs("1011")), 500);
+    }
+
+    #[test]
+    fn invert_and_measure_effect_visible() {
+        // The heart of the paper: measuring 11111 through the inverted mode
+        // (X on every qubit, then XOR-correct) succeeds more often than
+        // measuring it directly on a biased machine.
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(17);
+        let ones = BitString::ones(5);
+
+        let direct = Circuit::basis_state_preparation(ones);
+        let direct_log = exec.run(&direct, 16_000, &mut rng);
+        let pst_direct = direct_log.frequency(&ones);
+
+        let inverted = direct.with_premeasure_inversion(ones);
+        let inv_log = exec.run(&inverted, 16_000, &mut rng).xor_corrected(ones);
+        let pst_inverted = inv_log.frequency(&ones);
+
+        assert!(
+            pst_inverted > pst_direct + 0.1,
+            "inversion should help: direct {pst_direct}, inverted {pst_inverted}"
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_statistics() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::from_device(&dev);
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
+        let shots = 40_000;
+        let mut rng = StdRng::seed_from_u64(88);
+        let serial = exec.run(&c, shots, &mut rng);
+        let mut rng = StdRng::seed_from_u64(88);
+        let parallel = exec.run_parallel(&c, shots, 4, &mut rng);
+        assert_eq!(parallel.total(), shots);
+        // Same device physics: the two logs agree statistically.
+        for s in [BitString::zeros(5), BitString::ones(5)] {
+            assert!(
+                (serial.frequency(&s) - parallel.frequency(&s)).abs() < 0.015,
+                "{s}: serial {} vs parallel {}",
+                serial.frequency(&s),
+                parallel.frequency(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic_per_seed_and_thread_count() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let c = Circuit::uniform_superposition(5);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            exec.run_parallel(&c, 5_000, 3, &mut rng)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn parallel_run_with_tiny_budgets() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let c = Circuit::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Fewer shots than threads falls back to serial.
+        assert_eq!(exec.run_parallel(&c, 2, 8, &mut rng).total(), 2);
+        assert_eq!(exec.run_parallel(&c, 0, 4, &mut rng).total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_circuit_panics() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::from_device(&dev);
+        let c = Circuit::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        exec.run(&c, 1, &mut rng);
+    }
+}

@@ -1,0 +1,261 @@
+//! Depolarizing gate noise via Monte-Carlo Pauli trajectories.
+//!
+//! Every gate on NISQ hardware is imperfect: single-qubit gates err at
+//! 0.1–0.3 %, two-qubit gates at 2–5 % (paper §2.3). The standard stochastic
+//! model inserts a uniformly random non-identity Pauli on the gate's qubits
+//! with the gate's error probability. Sampling one such "fault pattern" per
+//! trajectory and simulating the faulted circuit reproduces the NISQ trial
+//! model shot by shot.
+
+use qsim::{Circuit, Gate};
+use rand::{Rng, RngCore};
+use std::collections::HashMap;
+
+/// Per-gate depolarizing error rates for a device.
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::GateNoise;
+/// use qsim::Gate;
+///
+/// let noise = GateNoise::uniform(5, 0.002, 0.03);
+/// assert_eq!(noise.gate_error(&Gate::X(1)), 0.002);
+/// assert_eq!(noise.gate_error(&Gate::Cx { control: 0, target: 1 }), 0.03);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateNoise {
+    p1q: Vec<f64>,
+    p2q_default: f64,
+    p2q_edges: HashMap<(usize, usize), f64>,
+}
+
+impl GateNoise {
+    /// Creates a noise model with per-qubit single-qubit error rates and a
+    /// default two-qubit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p1q` is empty or any rate is outside `[0, 1]`.
+    pub fn new(p1q: Vec<f64>, p2q_default: f64) -> Self {
+        assert!(!p1q.is_empty(), "need at least one qubit");
+        for &p in &p1q {
+            assert!((0.0..=1.0).contains(&p), "1q error rate {p} out of range");
+        }
+        assert!(
+            (0.0..=1.0).contains(&p2q_default),
+            "2q error rate {p2q_default} out of range"
+        );
+        GateNoise {
+            p1q,
+            p2q_default,
+            p2q_edges: HashMap::new(),
+        }
+    }
+
+    /// Uniform rates across all qubits.
+    pub fn uniform(n_qubits: usize, p1q: f64, p2q: f64) -> Self {
+        GateNoise::new(vec![p1q; n_qubits], p2q)
+    }
+
+    /// A noiseless model.
+    pub fn ideal(n_qubits: usize) -> Self {
+        GateNoise::uniform(n_qubits, 0.0, 0.0)
+    }
+
+    /// Overrides the two-qubit error rate on a specific (unordered) edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]` or the qubits coincide.
+    pub fn set_edge_error(&mut self, a: usize, b: usize, p: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&p), "2q error rate {p} out of range");
+        assert_ne!(a, b, "edge endpoints must differ");
+        self.p2q_edges.insert((a.min(b), a.max(b)), p);
+        self
+    }
+
+    /// The number of qubits covered.
+    pub fn n_qubits(&self) -> usize {
+        self.p1q.len()
+    }
+
+    /// The error probability of a specific gate instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the model.
+    pub fn gate_error(&self, gate: &Gate) -> f64 {
+        let qs = gate.qubits();
+        for &q in &qs {
+            assert!(q < self.n_qubits(), "gate {gate} outside noise model");
+        }
+        if gate.is_two_qubit() {
+            let key = (qs[0].min(qs[1]), qs[0].max(qs[1]));
+            self.p2q_edges.get(&key).copied().unwrap_or(self.p2q_default)
+        } else {
+            self.p1q[qs[0]]
+        }
+    }
+
+    /// Whether every error rate is zero.
+    pub fn is_ideal(&self) -> bool {
+        self.p1q.iter().all(|&p| p == 0.0)
+            && self.p2q_default == 0.0
+            && self.p2q_edges.values().all(|&p| p == 0.0)
+    }
+
+    /// The probability that an execution of `circuit` suffers *no* gate
+    /// fault — the fraction of trajectories that follow the ideal circuit.
+    pub fn fault_free_probability(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .gates()
+            .iter()
+            .map(|g| 1.0 - self.gate_error(g))
+            .product()
+    }
+
+    /// Samples a faulted copy of `circuit`: after each gate, with the gate's
+    /// error probability, a uniformly random non-identity Pauli is inserted
+    /// on the gate's qubit(s).
+    ///
+    /// Returns the trajectory circuit and the number of faults inserted.
+    /// With zero faults the returned circuit equals the input.
+    pub fn sample_trajectory(&self, circuit: &Circuit, rng: &mut dyn RngCore) -> (Circuit, usize) {
+        let mut out = Circuit::new(circuit.n_qubits());
+        let mut faults = 0;
+        for g in circuit.gates() {
+            out.push(*g);
+            let p = self.gate_error(g);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                faults += 1;
+                let qs = g.qubits();
+                if qs.len() == 1 {
+                    out.push(random_pauli(qs[0], rng));
+                } else {
+                    // Uniform over the 15 non-identity two-qubit Paulis:
+                    // pick (P_a, P_b) from {I,X,Y,Z}² minus (I,I).
+                    let k = rng.gen_range(1..16u8);
+                    let (pa, pb) = (k & 0b11, (k >> 2) & 0b11);
+                    if let Some(g) = pauli_from_code(pa, qs[0]) {
+                        out.push(g);
+                    }
+                    if let Some(g) = pauli_from_code(pb, qs[1]) {
+                        out.push(g);
+                    }
+                }
+            }
+        }
+        (out, faults)
+    }
+}
+
+fn random_pauli(q: usize, rng: &mut dyn RngCore) -> Gate {
+    match rng.gen_range(0..3u8) {
+        0 => Gate::X(q),
+        1 => Gate::Y(q),
+        _ => Gate::Z(q),
+    }
+}
+
+fn pauli_from_code(code: u8, q: usize) -> Option<Gate> {
+    match code {
+        0 => None,
+        1 => Some(Gate::X(q)),
+        2 => Some(Gate::Y(q)),
+        _ => Some(Gate::Z(q)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rates_lookup() {
+        let mut n = GateNoise::new(vec![0.001, 0.002, 0.003], 0.04);
+        n.set_edge_error(2, 0, 0.08);
+        assert_eq!(n.gate_error(&Gate::H(1)), 0.002);
+        assert_eq!(n.gate_error(&Gate::Cx { control: 0, target: 1 }), 0.04);
+        // Edge lookup is unordered.
+        assert_eq!(n.gate_error(&Gate::Cx { control: 0, target: 2 }), 0.08);
+        assert_eq!(n.gate_error(&Gate::Cx { control: 2, target: 0 }), 0.08);
+    }
+
+    #[test]
+    fn ideal_model_inserts_nothing() {
+        let n = GateNoise::ideal(3);
+        assert!(n.is_ideal());
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let (traj, faults) = n.sample_trajectory(&c, &mut rng);
+            assert_eq!(faults, 0);
+            assert_eq!(traj, c);
+        }
+    }
+
+    #[test]
+    fn fault_free_probability_is_product() {
+        let n = GateNoise::uniform(2, 0.1, 0.2);
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1);
+        let expect = 0.9 * 0.9 * 0.8;
+        assert!((n.fault_free_probability(&c) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_rate_matches_probability() {
+        let n = GateNoise::uniform(1, 0.3, 0.0);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let mut faulted = 0;
+        for _ in 0..trials {
+            let (_, f) = n.sample_trajectory(&c, &mut rng);
+            if f > 0 {
+                faulted += 1;
+            }
+        }
+        let rate = faulted as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn trajectory_keeps_original_gates_in_order() {
+        let n = GateNoise::uniform(2, 0.5, 0.5);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).x(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (traj, _) = n.sample_trajectory(&c, &mut rng);
+        // Original gates appear as a subsequence.
+        let mut it = traj.gates().iter();
+        for g in c.gates() {
+            assert!(it.any(|t| t == g), "missing {g}");
+        }
+    }
+
+    #[test]
+    fn two_qubit_fault_never_inserts_double_identity() {
+        let n = GateNoise::uniform(2, 0.0, 1.0);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let (traj, faults) = n.sample_trajectory(&c, &mut rng);
+            assert_eq!(faults, 1);
+            // With error probability 1 a Pauli must always be appended.
+            assert!(traj.len() >= 2, "fault inserted no Pauli");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rate_panics() {
+        GateNoise::uniform(2, 1.5, 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The readout-error channel abstraction.
+//!
+//! Measurement on NISQ hardware is a classical channel layered on top of the
+//! ideal Born-rule outcome: the device projects the register onto a basis
+//! state, and the *readout chain* (relaxation during the measurement window,
+//! discriminator error, amplifier crosstalk) then reports a possibly
+//! different classical string. A [`ReadoutModel`] captures exactly that
+//! channel: a conditional distribution `P(observed | ideal)`.
+//!
+//! The paper's core observation — measurement error is biased by the state
+//! being measured — is a statement about this channel: its diagonal,
+//! `P(s | s)`, is the *Basis Measurement Strength* (BMS) of state `s`, and
+//! on real machines it decreases with the Hamming weight of `s`.
+
+use qsim::{BitString, Counts, Distribution};
+use rand::RngCore;
+use std::fmt;
+
+/// A classical noise channel applied to measurement outcomes.
+///
+/// Implementations must define a proper stochastic channel: for every ideal
+/// state, the observation probabilities over all `2^n` outcomes sum to 1.
+/// The property-based tests in this crate enforce this for the provided
+/// models.
+pub trait ReadoutModel: fmt::Debug {
+    /// The register width the channel acts on.
+    fn n_qubits(&self) -> usize;
+
+    /// Samples an observed outcome for a given ideal measurement result.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `ideal.width() != self.n_qubits()`.
+    fn corrupt(&self, ideal: BitString, rng: &mut dyn RngCore) -> BitString;
+
+    /// The exact conditional probability `P(observed | ideal)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the widths do not match `n_qubits()`.
+    fn confusion(&self, ideal: BitString, observed: BitString) -> f64;
+
+    /// The probability that `ideal` is read back correctly — the Basis
+    /// Measurement Strength (BMS) of the state.
+    fn success_probability(&self, ideal: BitString) -> f64 {
+        self.confusion(ideal, ideal)
+    }
+
+    /// Pushes an exact distribution over ideal outcomes through the channel.
+    ///
+    /// The default implementation sums `P(obs|ideal) · p(ideal)` over all
+    /// pairs and therefore costs `O(4^n)`; models with product structure
+    /// override it with an `O(n·2^n)` routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.width() != self.n_qubits()`, or (default implementation
+    /// only) if `n_qubits() > 14`, where the dense quadratic sum becomes
+    /// unreasonable.
+    fn apply_to_distribution(&self, d: &Distribution) -> Distribution {
+        let n = self.n_qubits();
+        assert_eq!(d.width(), n, "distribution width mismatch");
+        assert!(n <= 14, "dense O(4^n) channel application limited to 14 qubits");
+        let dim = 1usize << n;
+        let mut out = vec![0.0; dim];
+        for ideal_idx in 0..dim {
+            let p = d.probabilities()[ideal_idx];
+            if p == 0.0 {
+                continue;
+            }
+            let ideal = BitString::from_value(ideal_idx as u64, n);
+            for (obs_idx, out_p) in out.iter_mut().enumerate() {
+                let obs = BitString::from_value(obs_idx as u64, n);
+                *out_p += p * self.confusion(ideal, obs);
+            }
+        }
+        Distribution::from_probabilities(n, out)
+    }
+
+    /// Corrupts every outcome of a log of ideal measurement results,
+    /// producing the log an experimenter would actually see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideal.width() != self.n_qubits()`.
+    fn corrupt_counts(&self, ideal: &Counts, rng: &mut dyn RngCore) -> Counts {
+        assert_eq!(ideal.width(), self.n_qubits(), "counts width mismatch");
+        let mut out = Counts::new(ideal.width());
+        for (s, &n) in ideal.iter() {
+            for _ in 0..n {
+                out.record(self.corrupt(*s, rng));
+            }
+        }
+        out
+    }
+}
+
+/// A perfect readout chain: observations always equal the ideal outcome.
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::{IdealReadout, ReadoutModel};
+/// use qsim::BitString;
+///
+/// let r = IdealReadout::new(5);
+/// assert_eq!(r.success_probability(BitString::ones(5)), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdealReadout {
+    n_qubits: usize,
+}
+
+impl IdealReadout {
+    /// Creates an ideal readout over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        IdealReadout { n_qubits }
+    }
+}
+
+impl ReadoutModel for IdealReadout {
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn corrupt(&self, ideal: BitString, _rng: &mut dyn RngCore) -> BitString {
+        assert_eq!(ideal.width(), self.n_qubits, "width mismatch");
+        ideal
+    }
+
+    fn confusion(&self, ideal: BitString, observed: BitString) -> f64 {
+        assert_eq!(ideal.width(), self.n_qubits, "width mismatch");
+        assert_eq!(observed.width(), self.n_qubits, "width mismatch");
+        if ideal == observed {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn apply_to_distribution(&self, d: &Distribution) -> Distribution {
+        assert_eq!(d.width(), self.n_qubits, "distribution width mismatch");
+        d.clone()
+    }
+}
+
+/// The asymmetric error pair of one qubit's readout: `p01 = P(read 1 | is 0)`
+/// and `p10 = P(read 0 | is 1)`.
+///
+/// On superconducting hardware `p10 > p01` because the excited state relaxes
+/// toward ground during the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlipPair {
+    /// Probability of reading 1 when the qubit is in state 0.
+    pub p01: f64,
+    /// Probability of reading 0 when the qubit is in state 1.
+    pub p10: f64,
+}
+
+impl FlipPair {
+    /// Creates a flip pair, validating both probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01), "p01 = {p01} out of range");
+        assert!((0.0..=1.0).contains(&p10), "p10 = {p10} out of range");
+        FlipPair { p01, p10 }
+    }
+
+    /// A symmetric flip pair.
+    pub fn symmetric(p: f64) -> Self {
+        FlipPair::new(p, p)
+    }
+
+    /// No error at all.
+    pub const IDEAL: FlipPair = FlipPair { p01: 0.0, p10: 0.0 };
+
+    /// The flip probability given the qubit's ideal value.
+    #[inline]
+    pub fn flip_probability(&self, ideal_bit: bool) -> f64 {
+        if ideal_bit {
+            self.p10
+        } else {
+            self.p01
+        }
+    }
+
+    /// The mean assignment error `(p01 + p10) / 2` — the figure IBM reports
+    /// as a qubit's "readout error" (paper Table 1).
+    #[inline]
+    pub fn mean_error(&self) -> f64 {
+        0.5 * (self.p01 + self.p10)
+    }
+
+    /// Composes relaxation during the measurement window into this pair.
+    ///
+    /// A qubit in `|1⟩` decays to `|0⟩` with probability
+    /// `p_decay = 1 − exp(−t_meas / T1)` *before* the discriminator acts, so
+    /// the effective error becomes
+    /// `p10' = p_decay · (1 − p01) + (1 − p_decay) · p10` (a decayed qubit is
+    /// read as 0 unless the discriminator then mis-reads the relaxed 0), and
+    /// `p01` is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_meas_us` is negative or `t1_us` is not positive.
+    #[must_use]
+    pub fn with_t1_decay(&self, t1_us: f64, t_meas_us: f64) -> FlipPair {
+        assert!(t_meas_us >= 0.0, "measurement duration must be non-negative");
+        assert!(t1_us > 0.0, "T1 must be positive");
+        let p_decay = 1.0 - (-t_meas_us / t1_us).exp();
+        FlipPair::new(
+            self.p01,
+            p_decay * (1.0 - self.p01) + (1.0 - p_decay) * self.p10,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ideal_readout_is_identity() {
+        let r = IdealReadout::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for v in 0..8u64 {
+            let s = BitString::from_value(v, 3);
+            assert_eq!(r.corrupt(s, &mut rng), s);
+            assert_eq!(r.confusion(s, s), 1.0);
+            assert_eq!(r.success_probability(s), 1.0);
+        }
+        assert_eq!(r.confusion(bs("000"), bs("001")), 0.0);
+    }
+
+    #[test]
+    fn ideal_readout_preserves_distribution() {
+        let d = Distribution::uniform(3);
+        let r = IdealReadout::new(3);
+        assert_eq!(r.apply_to_distribution(&d), d);
+    }
+
+    #[test]
+    fn flip_pair_validation() {
+        let p = FlipPair::new(0.01, 0.1);
+        assert_eq!(p.flip_probability(false), 0.01);
+        assert_eq!(p.flip_probability(true), 0.1);
+        assert!((p.mean_error() - 0.055).abs() < 1e-12);
+        assert!(std::panic::catch_unwind(|| FlipPair::new(1.5, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| FlipPair::new(0.0, -0.1)).is_err());
+    }
+
+    #[test]
+    fn t1_decay_composition() {
+        // No decay window: unchanged.
+        let p = FlipPair::new(0.02, 0.05);
+        let same = p.with_t1_decay(50.0, 0.0);
+        assert!((same.p10 - 0.05).abs() < 1e-12);
+        // Long window: p10 approaches 1 - p01 (fully decayed, then the
+        // discriminator can still flip the relaxed 0 into a 1).
+        let decayed = p.with_t1_decay(1.0, 1000.0);
+        assert!((decayed.p10 - 0.98).abs() < 1e-9);
+        assert_eq!(decayed.p01, 0.02);
+        // Moderate window increases p10 monotonically.
+        let mid = p.with_t1_decay(60.0, 6.0);
+        assert!(mid.p10 > 0.05 && mid.p10 < 0.98);
+    }
+
+    #[test]
+    fn corrupt_counts_keeps_total() {
+        let r = IdealReadout::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Counts::new(2);
+        c.record_n(bs("01"), 10);
+        c.record_n(bs("10"), 5);
+        let out = r.corrupt_counts(&c, &mut rng);
+        assert_eq!(out.total(), 15);
+        assert_eq!(out.get(&bs("01")), 10);
+    }
+}

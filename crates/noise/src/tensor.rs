@@ -1,0 +1,258 @@
+//! Tensor-product (independent per-qubit) readout error.
+//!
+//! Each qubit is read through its own asymmetric binary channel
+//! ([`FlipPair`]); qubits do not interact. This is the model behind the
+//! paper's Hamming-weight observation: because `p10 > p01` on every qubit,
+//! the success probability of a basis state is
+//! `∏_{i: s_i=0} (1 − p01_i) · ∏_{i: s_i=1} (1 − p10_i)`, which decays with
+//! the number of ones.
+
+use crate::readout::{FlipPair, ReadoutModel};
+use qsim::{BitString, Distribution};
+use rand::{Rng, RngCore};
+
+/// An independent per-qubit asymmetric readout channel.
+///
+/// # Examples
+///
+/// A strongly biased 2-qubit readout: the all-ones state is much weaker than
+/// the all-zeros state.
+///
+/// ```
+/// use qnoise::{FlipPair, ReadoutModel, TensorReadout};
+/// use qsim::BitString;
+///
+/// let r = TensorReadout::new(vec![
+///     FlipPair::new(0.01, 0.15),
+///     FlipPair::new(0.02, 0.20),
+/// ]);
+/// let strong = r.success_probability(BitString::zeros(2));
+/// let weak = r.success_probability(BitString::ones(2));
+/// assert!(strong > 0.95 && weak < 0.70);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorReadout {
+    pairs: Vec<FlipPair>,
+}
+
+impl TensorReadout {
+    /// Creates a channel from per-qubit flip pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or longer than [`qsim::MAX_WIDTH`].
+    pub fn new(pairs: Vec<FlipPair>) -> Self {
+        assert!(
+            !pairs.is_empty() && pairs.len() <= qsim::MAX_WIDTH,
+            "need between 1 and 64 qubits"
+        );
+        TensorReadout { pairs }
+    }
+
+    /// A uniform channel: every qubit has the same flip pair.
+    pub fn uniform(n_qubits: usize, pair: FlipPair) -> Self {
+        TensorReadout::new(vec![pair; n_qubits])
+    }
+
+    /// The per-qubit flip pairs.
+    pub fn pairs(&self) -> &[FlipPair] {
+        &self.pairs
+    }
+
+    /// The flip pair of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn pair(&self, q: usize) -> FlipPair {
+        self.pairs[q]
+    }
+
+    /// Restricts the channel to a subset of qubits (used by the
+    /// sliding-window AWCT characterization, which reasons about windows of
+    /// the register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `qubits` is empty.
+    pub fn subset(&self, qubits: &[usize]) -> TensorReadout {
+        TensorReadout::new(qubits.iter().map(|&q| self.pairs[q]).collect())
+    }
+}
+
+impl ReadoutModel for TensorReadout {
+    fn n_qubits(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn corrupt(&self, ideal: BitString, rng: &mut dyn RngCore) -> BitString {
+        assert_eq!(ideal.width(), self.n_qubits(), "width mismatch");
+        let mut out = ideal;
+        for (q, pair) in self.pairs.iter().enumerate() {
+            let p = pair.flip_probability(ideal.bit(q));
+            if p > 0.0 && rng.gen::<f64>() < p {
+                out = out.with_flipped(q);
+            }
+        }
+        out
+    }
+
+    fn confusion(&self, ideal: BitString, observed: BitString) -> f64 {
+        assert_eq!(ideal.width(), self.n_qubits(), "width mismatch");
+        assert_eq!(observed.width(), self.n_qubits(), "width mismatch");
+        let mut p = 1.0;
+        for (q, pair) in self.pairs.iter().enumerate() {
+            let flip = pair.flip_probability(ideal.bit(q));
+            p *= if ideal.bit(q) == observed.bit(q) {
+                1.0 - flip
+            } else {
+                flip
+            };
+        }
+        p
+    }
+
+    /// Product channels factor per qubit, so the distribution can be pushed
+    /// through one qubit at a time in `O(n · 2^n)`.
+    fn apply_to_distribution(&self, d: &Distribution) -> Distribution {
+        let n = self.n_qubits();
+        assert_eq!(d.width(), n, "distribution width mismatch");
+        let mut p = d.probabilities().to_vec();
+        for (q, pair) in self.pairs.iter().enumerate() {
+            let bit = 1usize << q;
+            let mut base = 0usize;
+            while base < p.len() {
+                for offset in 0..bit {
+                    let i0 = base + offset;
+                    let i1 = i0 | bit;
+                    let p0 = p[i0];
+                    let p1 = p[i1];
+                    p[i0] = (1.0 - pair.p01) * p0 + pair.p10 * p1;
+                    p[i1] = pair.p01 * p0 + (1.0 - pair.p10) * p1;
+                }
+                base += bit << 1;
+            }
+        }
+        Distribution::from_probabilities(n, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Counts;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn success_probability_is_product() {
+        let r = TensorReadout::new(vec![FlipPair::new(0.1, 0.2), FlipPair::new(0.3, 0.4)]);
+        // 00 read correctly: (1-0.1)(1-0.3)
+        assert!((r.success_probability(bs("00")) - 0.9 * 0.7).abs() < 1e-12);
+        // 11: (1-0.2)(1-0.4)
+        assert!((r.success_probability(bs("11")) - 0.8 * 0.6).abs() < 1e-12);
+        // 01 (q0=1, q1=0): (1-0.2)(1-0.3)
+        assert!((r.success_probability(bs("01")) - 0.8 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_rows_sum_to_one() {
+        let r = TensorReadout::new(vec![
+            FlipPair::new(0.05, 0.17),
+            FlipPair::new(0.11, 0.02),
+            FlipPair::new(0.0, 0.5),
+        ]);
+        for v in 0..8u64 {
+            let ideal = BitString::from_value(v, 3);
+            let total: f64 = (0..8u64)
+                .map(|o| r.confusion(ideal, BitString::from_value(o, 3)))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "row {ideal} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn bms_decreases_with_hamming_weight_under_bias() {
+        let r = TensorReadout::uniform(5, FlipPair::new(0.01, 0.12));
+        let states = BitString::all_by_hamming_weight(5);
+        let mut last_weight = 0;
+        let mut last_bms = f64::INFINITY;
+        for s in states {
+            let bms = r.success_probability(s);
+            if s.hamming_weight() > last_weight {
+                assert!(bms < last_bms, "BMS should fall across weight classes");
+                last_weight = s.hamming_weight();
+                last_bms = bms;
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_push_matches_confusion_sum() {
+        let r = TensorReadout::new(vec![FlipPair::new(0.1, 0.3), FlipPair::new(0.2, 0.05)]);
+        let d = Distribution::from_probabilities(2, vec![0.4, 0.3, 0.2, 0.1]);
+        let fast = r.apply_to_distribution(&d);
+        // Compare against the dense O(4^n) sum.
+        for obs_v in 0..4u64 {
+            let obs = BitString::from_value(obs_v, 2);
+            let mut expect = 0.0;
+            for ideal_v in 0..4u64 {
+                let ideal = BitString::from_value(ideal_v, 2);
+                expect += d.probability_of(ideal) * r.confusion(ideal, obs);
+            }
+            assert!(
+                (fast.probability_of(obs) - expect).abs() < 1e-12,
+                "mismatch at {obs}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_sampling_matches_exact_channel() {
+        let r = TensorReadout::new(vec![FlipPair::new(0.1, 0.25), FlipPair::new(0.05, 0.3)]);
+        let ideal = bs("11");
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000u64;
+        let mut counts = Counts::new(2);
+        for _ in 0..n {
+            counts.record(r.corrupt(ideal, &mut rng));
+        }
+        for obs_v in 0..4u64 {
+            let obs = BitString::from_value(obs_v, 2);
+            let expect = r.confusion(ideal, obs);
+            assert!(
+                (counts.frequency(&obs) - expect).abs() < 0.01,
+                "state {obs}: {} vs {expect}",
+                counts.frequency(&obs)
+            );
+        }
+    }
+
+    #[test]
+    fn subset_selects_pairs() {
+        let r = TensorReadout::new(vec![
+            FlipPair::new(0.01, 0.02),
+            FlipPair::new(0.03, 0.04),
+            FlipPair::new(0.05, 0.06),
+        ]);
+        let sub = r.subset(&[2, 0]);
+        assert_eq!(sub.n_qubits(), 2);
+        assert_eq!(sub.pair(0), FlipPair::new(0.05, 0.06));
+        assert_eq!(sub.pair(1), FlipPair::new(0.01, 0.02));
+    }
+
+    #[test]
+    fn ideal_pairs_are_noise_free() {
+        let r = TensorReadout::uniform(4, FlipPair::IDEAL);
+        let mut rng = StdRng::seed_from_u64(9);
+        for v in 0..16u64 {
+            let s = BitString::from_value(v, 4);
+            assert_eq!(r.corrupt(s, &mut rng), s);
+            assert_eq!(r.success_probability(s), 1.0);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Fixed-width classical bit strings — the values produced by measurement.
+//!
+//! A [`BitString`] is the fundamental classical datum in the NISQ execution
+//! model: every trial of a program ends in a measurement that yields one
+//! bit string, and the output log analyzed by the reliability metrics is a
+//! histogram over bit strings (see `Counts` in this crate).
+//!
+//! Bit `i` corresponds to qubit `i`. Textual representations follow the
+//! convention used in the paper (and by IBM): the **leftmost** character of
+//! `"01101"` is the highest-index qubit, the rightmost is qubit 0.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::str::FromStr;
+
+/// Maximum number of qubits a [`BitString`] can hold.
+pub const MAX_WIDTH: usize = 64;
+
+/// A classical measurement outcome over `width` qubits, packed into a `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::BitString;
+///
+/// let s: BitString = "01101".parse()?;
+/// assert_eq!(s.width(), 5);
+/// assert_eq!(s.hamming_weight(), 3);
+/// assert!(s.bit(0) && !s.bit(1) && s.bit(2));
+/// assert_eq!(s.inverted().to_string(), "10010");
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitString {
+    bits: u64,
+    width: u8,
+}
+
+impl BitString {
+    /// Creates a bit string of `width` zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    pub fn zeros(width: usize) -> Self {
+        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        BitString {
+            bits: 0,
+            width: width as u8,
+        }
+    }
+
+    /// Creates a bit string of `width` ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    pub fn ones(width: usize) -> Self {
+        BitString::zeros(width).inverted()
+    }
+
+    /// Creates a bit string from the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0, exceeds [`MAX_WIDTH`], or `value` has bits set
+    /// above `width`.
+    pub fn from_value(value: u64, width: usize) -> Self {
+        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        assert!(
+            width == MAX_WIDTH || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        BitString {
+            bits: value,
+            width: width as u8,
+        }
+    }
+
+    /// Creates the alternating string `…0101` (bit 0 set, bit 1 clear, …).
+    ///
+    /// This is the "even qubit inversion" string used by SIM's four-mode
+    /// configuration.
+    pub fn even_mask(width: usize) -> Self {
+        let pattern = 0x5555_5555_5555_5555u64;
+        BitString::from_value(pattern & Self::width_mask(width), width)
+    }
+
+    /// Creates the alternating string `…1010` (bit 1 set, bit 0 clear, …).
+    pub fn odd_mask(width: usize) -> Self {
+        BitString::even_mask(width).inverted()
+    }
+
+    fn width_mask(width: usize) -> u64 {
+        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        if width == MAX_WIDTH {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The number of qubits this string covers.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// The packed integer value (bit `i` of the result is qubit `i`).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// The packed value as an index into a `2^width` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `usize` (only possible on 32-bit
+    /// targets with width > 32).
+    #[inline]
+    pub fn index(&self) -> usize {
+        usize::try_from(self.bits).expect("bit string value exceeds usize")
+    }
+
+    /// Reads qubit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width(), "bit index {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Returns a copy with qubit `i` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn with_bit(&self, i: usize, value: bool) -> Self {
+        assert!(i < self.width(), "bit index {i} out of range");
+        let mut bits = self.bits;
+        if value {
+            bits |= 1 << i;
+        } else {
+            bits &= !(1 << i);
+        }
+        BitString {
+            bits,
+            width: self.width,
+        }
+    }
+
+    /// Returns a copy with qubit `i` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn with_flipped(&self, i: usize) -> Self {
+        self.with_bit(i, !self.bit(i))
+    }
+
+    /// The number of 1 bits — the paper's central quantity: states with high
+    /// Hamming weight are the most vulnerable to measurement error.
+    #[inline]
+    pub fn hamming_weight(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn hamming_distance(&self, other: &BitString) -> u32 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        (self.bits ^ other.bits).count_ones()
+    }
+
+    /// The bitwise complement — the state produced by applying an X gate to
+    /// every qubit (the "inverted mode" of Invert-and-Measure).
+    #[must_use]
+    pub fn inverted(&self) -> Self {
+        BitString {
+            bits: !self.bits & Self::width_mask(self.width()),
+            width: self.width,
+        }
+    }
+
+    /// Iterates over bits from qubit 0 upward.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width()).map(move |i| self.bit(i))
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.width()).filter(move |&i| self.bit(i))
+    }
+
+    /// All `2^width` bit strings of a given width in ascending numeric order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32 (enumerating more is never
+    /// meaningful for characterization).
+    pub fn all(width: usize) -> impl Iterator<Item = BitString> {
+        assert!(width >= 1 && width <= 32, "enumeration limited to 32 bits");
+        (0u64..(1u64 << width)).map(move |v| BitString::from_value(v, width))
+    }
+
+    /// All strings of `width`, ordered by ascending Hamming weight and then
+    /// ascending numeric value — the x-axis ordering used by the paper's
+    /// characterization figures (Figures 4, 6, 9, 11, 13).
+    pub fn all_by_hamming_weight(width: usize) -> Vec<BitString> {
+        let mut v: Vec<BitString> = BitString::all(width).collect();
+        v.sort_by_key(|s| (s.hamming_weight(), s.value()));
+        v
+    }
+
+    /// Extracts the sub-string covering qubits `lo..lo+len` (inclusive of
+    /// `lo`), used by the sliding-window AWCT characterization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the string width or `len` is 0.
+    pub fn window(&self, lo: usize, len: usize) -> BitString {
+        assert!(len >= 1, "window length must be positive");
+        assert!(lo + len <= self.width(), "window out of range");
+        BitString::from_value((self.bits >> lo) & Self::width_mask(len), len)
+    }
+
+    /// Concatenates `high` above `self`: result bits `0..self.width` come
+    /// from `self`, bits above come from `high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(&self, high: &BitString) -> BitString {
+        let width = self.width() + high.width();
+        assert!(width <= MAX_WIDTH, "combined width exceeds 64");
+        BitString {
+            bits: self.bits | (high.bits << self.width()),
+            width: width as u8,
+        }
+    }
+}
+
+impl BitXor for BitString {
+    type Output = BitString;
+    /// XOR of two equal-width strings — the post-measurement correction
+    /// applied after measuring under an inversion string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    fn bitxor(self, rhs: BitString) -> BitString {
+        assert_eq!(self.width, rhs.width, "width mismatch");
+        BitString {
+            bits: self.bits ^ rhs.bits,
+            width: self.width,
+        }
+    }
+}
+
+impl BitAnd for BitString {
+    type Output = BitString;
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    fn bitand(self, rhs: BitString) -> BitString {
+        assert_eq!(self.width, rhs.width, "width mismatch");
+        BitString {
+            bits: self.bits & rhs.bits,
+            width: self.width,
+        }
+    }
+}
+
+impl BitOr for BitString {
+    type Output = BitString;
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    fn bitor(self, rhs: BitString) -> BitString {
+        assert_eq!(self.width, rhs.width, "width mismatch");
+        BitString {
+            bits: self.bits | rhs.bits,
+            width: self.width,
+        }
+    }
+}
+
+impl Not for BitString {
+    type Output = BitString;
+    fn not(self) -> BitString {
+        self.inverted()
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width()).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"{self}\")")
+    }
+}
+
+impl fmt::Binary for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a [`BitString`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitStringError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    TooLong(usize),
+    BadChar(char),
+}
+
+impl fmt::Display for ParseBitStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "bit string is empty"),
+            ParseErrorKind::TooLong(n) => {
+                write!(f, "bit string has {n} characters, maximum is {MAX_WIDTH}")
+            }
+            ParseErrorKind::BadChar(c) => {
+                write!(f, "invalid character {c:?} in bit string, expected 0 or 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBitStringError {}
+
+impl FromStr for BitString {
+    type Err = ParseBitStringError;
+
+    /// Parses a string like `"01101"`; the leftmost character is the
+    /// highest-index qubit.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBitStringError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        if s.len() > MAX_WIDTH {
+            return Err(ParseBitStringError {
+                kind: ParseErrorKind::TooLong(s.len()),
+            });
+        }
+        let mut bits = 0u64;
+        for c in s.chars() {
+            bits <<= 1;
+            match c {
+                '0' => {}
+                '1' => bits |= 1,
+                other => {
+                    return Err(ParseBitStringError {
+                        kind: ParseErrorKind::BadChar(other),
+                    })
+                }
+            }
+        }
+        Ok(BitString {
+            bits,
+            width: s.len() as u8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "01101", "11111", "00000", "1010110"] {
+            assert_eq!(bs(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BitString>().is_err());
+        assert!("01x".parse::<BitString>().is_err());
+        assert!("0".repeat(65).parse::<BitString>().is_err());
+        let msg = "2".parse::<BitString>().unwrap_err().to_string();
+        assert!(msg.contains("invalid character"));
+    }
+
+    #[test]
+    fn endianness_convention() {
+        // "01101": leftmost char is qubit 4.
+        let s = bs("01101");
+        assert!(!s.bit(4));
+        assert!(s.bit(3));
+        assert!(s.bit(2));
+        assert!(!s.bit(1));
+        assert!(s.bit(0));
+        assert_eq!(s.value(), 0b01101);
+    }
+
+    #[test]
+    fn zeros_ones_masks() {
+        assert_eq!(BitString::zeros(5).to_string(), "00000");
+        assert_eq!(BitString::ones(5).to_string(), "11111");
+        assert_eq!(BitString::even_mask(5).to_string(), "10101");
+        assert_eq!(BitString::odd_mask(5).to_string(), "01010");
+        assert_eq!(BitString::even_mask(4).to_string(), "0101");
+        assert_eq!(BitString::odd_mask(4).to_string(), "1010");
+    }
+
+    #[test]
+    fn hamming_weight_and_distance() {
+        assert_eq!(bs("00000").hamming_weight(), 0);
+        assert_eq!(bs("10101").hamming_weight(), 3);
+        assert_eq!(bs("10101").hamming_distance(&bs("01010")), 5);
+        assert_eq!(bs("10101").hamming_distance(&bs("10101")), 0);
+    }
+
+    #[test]
+    fn inversion_is_involution() {
+        for v in 0..32u64 {
+            let s = BitString::from_value(v, 5);
+            assert_eq!(s.inverted().inverted(), s);
+            assert_eq!(s.hamming_weight() + s.inverted().hamming_weight(), 5);
+        }
+    }
+
+    #[test]
+    fn xor_correction_recovers_original() {
+        // Measuring under inversion string m yields s ^ m; XOR-ing by m
+        // again recovers s.
+        let m = bs("10101");
+        for v in 0..32u64 {
+            let s = BitString::from_value(v, 5);
+            assert_eq!((s ^ m) ^ m, s);
+        }
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = bs("1100");
+        let b = bs("1010");
+        assert_eq!((a & b).to_string(), "1000");
+        assert_eq!((a | b).to_string(), "1110");
+        assert_eq!((a ^ b).to_string(), "0110");
+        assert_eq!((!a).to_string(), "0011");
+    }
+
+    #[test]
+    fn with_bit_and_flip() {
+        let s = bs("0000");
+        assert_eq!(s.with_bit(2, true).to_string(), "0100");
+        assert_eq!(s.with_bit(2, true).with_flipped(2).to_string(), "0000");
+        assert_eq!(s.with_flipped(0).to_string(), "0001");
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<u64> = BitString::all(3).map(|s| s.value()).collect();
+        assert_eq!(v, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn hamming_ordering_matches_paper_axis() {
+        let states = BitString::all_by_hamming_weight(5);
+        assert_eq!(states.len(), 32);
+        assert_eq!(states[0].to_string(), "00000");
+        assert_eq!(states[31].to_string(), "11111");
+        // Weights are non-decreasing along the axis.
+        for w in states.windows(2) {
+            assert!(w[0].hamming_weight() <= w[1].hamming_weight());
+        }
+        // First weight-1 block is the 5 single-bit states.
+        assert_eq!(states[1].to_string(), "00001");
+        assert_eq!(states[5].to_string(), "10000");
+    }
+
+    #[test]
+    fn window_extraction() {
+        let s = bs("110010");
+        assert_eq!(s.window(0, 3).to_string(), "010");
+        assert_eq!(s.window(1, 4).to_string(), "1001");
+        assert_eq!(s.window(4, 2).to_string(), "11");
+    }
+
+    #[test]
+    fn concat_windows() {
+        let lo = bs("010");
+        let hi = bs("110");
+        assert_eq!(lo.concat(&hi).to_string(), "110010");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn xor_width_mismatch_panics() {
+        let _ = bs("00") ^ bs("000");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        bs("01").bit(2);
+    }
+
+    #[test]
+    fn max_width_edge_cases() {
+        let s = BitString::ones(64);
+        assert_eq!(s.hamming_weight(), 64);
+        assert_eq!(s.inverted().hamming_weight(), 0);
+        let v = BitString::from_value(u64::MAX, 64);
+        assert_eq!(v, s);
+    }
+}

@@ -1,0 +1,396 @@
+//! Quantum circuits: ordered gate lists with builder-style construction.
+//!
+//! A [`Circuit`] is the program in the paper's NISQ execution model: it is
+//! prepared on `|0…0⟩`, executed, and its qubits are measured in the
+//! computational basis at the end. Invert-and-Measure transforms are
+//! expressed as circuit rewrites that append X gates immediately before
+//! measurement (see [`Circuit::with_premeasure_inversion`]).
+
+use crate::bitstring::BitString;
+use crate::gate::Gate;
+use std::fmt;
+
+/// An ordered sequence of gates over a fixed qubit register.
+///
+/// # Examples
+///
+/// Build a Bell pair and inspect its structure:
+///
+/// ```
+/// use qsim::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or exceeds [`crate::bitstring::MAX_WIDTH`].
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(
+            n_qubits >= 1 && n_qubits <= crate::bitstring::MAX_WIDTH,
+            "circuit must have between 1 and 64 qubits"
+        );
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The number of qubits in the register.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The number of gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in execution order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate, validating its qubit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the register, or if a
+    /// two-qubit gate uses the same qubit twice.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        let qs = gate.qubits();
+        for &q in &qs {
+            assert!(
+                q < self.n_qubits,
+                "gate {gate} references qubit {q} but circuit has {} qubits",
+                self.n_qubits
+            );
+        }
+        if qs.len() == 2 {
+            assert!(qs[0] != qs[1], "two-qubit gate {gate} uses the same qubit twice");
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has more qubits than `self`.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "cannot append a {}-qubit circuit to a {}-qubit circuit",
+            other.n_qubits,
+            self.n_qubits
+        );
+        for &g in &other.gates {
+            self.push(g);
+        }
+        self
+    }
+
+    // --- builder shorthands -------------------------------------------------
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx { qubit: q, theta })
+    }
+
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry { qubit: q, theta })
+    }
+
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz { qubit: q, theta })
+    }
+
+    /// Appends a phase gate.
+    pub fn p(&mut self, q: usize, lambda: f64) -> &mut Self {
+        self.push(Gate::Phase { qubit: q, lambda })
+    }
+
+    /// Appends a CNOT.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx { control, target })
+    }
+
+    /// Appends a controlled-Z.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cz { control, target })
+    }
+
+    /// Appends a ZZ interaction (QAOA cost edge).
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rzz { a, b, theta })
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap { a, b })
+    }
+
+    // --- analysis -----------------------------------------------------------
+
+    /// The number of two-qubit gates — the dominant gate-error contributors
+    /// on NISQ hardware.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// The number of single-qubit gates.
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.len() - self.two_qubit_gate_count()
+    }
+
+    /// The circuit depth: length of the longest qubit-wise dependency chain.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits];
+        for g in &self.gates {
+            let qs = g.qubits();
+            let level = qs.iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                frontier[q] = level;
+            }
+        }
+        frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// The inverse circuit (gates reversed, each inverted). Running
+    /// `c.then(c.inverse())` on any state returns it to that state.
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.n_qubits);
+        for g in self.gates.iter().rev() {
+            inv.push(g.inverse());
+        }
+        inv
+    }
+
+    /// Returns a copy of this circuit with X gates appended on every qubit
+    /// where `inversion` has a 1 bit — the Invert-and-Measure transform.
+    ///
+    /// The measured outputs of the transformed circuit must be XOR-corrected
+    /// by the same string to recover results in the original basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inversion.width() != self.n_qubits()`.
+    #[must_use]
+    pub fn with_premeasure_inversion(&self, inversion: BitString) -> Circuit {
+        assert_eq!(
+            inversion.width(),
+            self.n_qubits,
+            "inversion string width must match circuit"
+        );
+        let mut c = self.clone();
+        for q in inversion.iter_ones() {
+            c.x(q);
+        }
+        c
+    }
+
+    /// Returns a circuit that prepares the computational basis state `s`
+    /// from `|0…0⟩` (X on every set bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.width()` is zero (cannot happen for a valid
+    /// [`BitString`]).
+    pub fn basis_state_preparation(s: BitString) -> Circuit {
+        let mut c = Circuit::new(s.width());
+        for q in s.iter_ones() {
+            c.x(q);
+        }
+        c
+    }
+
+    /// Returns a circuit placing all `n` qubits in the uniform superposition
+    /// (H on every qubit) — the preparation used by the paper's Equal
+    /// Superposition Characterization Technique.
+    pub fn uniform_superposition(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]:", self.n_qubits, self.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.5);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn depth_counts_parallel_layers() {
+        let mut c = Circuit::new(3);
+        // Layer 1: H on all three (parallel). Layer 2: CX(0,1). Layer 3: CX(1,2).
+        c.h(0).h(1).h(2).cx(0, 1).cx(1, 2);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(Circuit::new(4).depth(), 0);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0, 0.4).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.gates()[0], Gate::Cx { control: 0, target: 1 });
+        assert_eq!(inv.gates()[1], Gate::Rz { qubit: 0, theta: -0.4 });
+        assert_eq!(inv.gates()[2], Gate::H(0));
+    }
+
+    #[test]
+    fn premeasure_inversion_appends_x_on_set_bits() {
+        let c = Circuit::new(4);
+        let inv = c.with_premeasure_inversion("1010".parse().unwrap());
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv.gates()[0], Gate::X(1));
+        assert_eq!(inv.gates()[1], Gate::X(3));
+    }
+
+    #[test]
+    fn premeasure_inversion_zero_string_is_noop() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        let inv = c.with_premeasure_inversion(BitString::zeros(3));
+        assert_eq!(inv, c);
+    }
+
+    #[test]
+    fn basis_preparation() {
+        let c = Circuit::basis_state_preparation("101".parse().unwrap());
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.gates(), &[Gate::X(0), Gate::X(2)]);
+    }
+
+    #[test]
+    fn uniform_superposition_has_h_everywhere() {
+        let c = Circuit::uniform_superposition(5);
+        assert_eq!(c.len(), 5);
+        assert!(c.gates().iter().all(|g| matches!(g, Gate::H(_))));
+    }
+
+    #[test]
+    fn append_merges() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "references qubit")]
+    fn out_of_range_gate_panics() {
+        Circuit::new(2).x(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same qubit twice")]
+    fn degenerate_two_qubit_gate_panics() {
+        Circuit::new(2).cx(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn append_larger_circuit_panics() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.append(&b);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut c = Circuit::new(2);
+        c.extend([Gate::H(0), Gate::Cx { control: 0, target: 1 }]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0,q1"));
+    }
+}

@@ -1,0 +1,575 @@
+//! Output logs: histograms of measured bit strings and exact probability
+//! distributions.
+//!
+//! In the NISQ execution model a program is run for thousands of trials and
+//! every measured bit string is logged; [`Counts`] is that log. The paper's
+//! reliability metrics (PST, IST, ROCA) and the SIM/AIM merge step all
+//! operate on `Counts`. [`Distribution`] is the exact-probability analogue
+//! used when a closed-form answer is available (e.g. pushing an ideal Born
+//! distribution through a readout confusion channel).
+
+use crate::bitstring::BitString;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A histogram of measurement outcomes over a fixed register width.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{BitString, Counts};
+///
+/// let mut counts = Counts::new(3);
+/// counts.record("101".parse()?);
+/// counts.record("101".parse()?);
+/// counts.record("000".parse()?);
+/// assert_eq!(counts.total(), 3);
+/// assert_eq!(counts.get(&"101".parse()?), 2);
+/// assert!((counts.frequency(&"101".parse()?) - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    width: usize,
+    total: u64,
+    map: HashMap<BitString, u64>,
+}
+
+impl Counts {
+    /// Creates an empty log for `width`-qubit outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`crate::bitstring::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width >= 1 && width <= crate::bitstring::MAX_WIDTH,
+            "width must be in 1..=64"
+        );
+        Counts {
+            width,
+            total: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The register width of logged outcomes.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of recorded trials.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Logs one trial outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome.width()` differs from the log's width.
+    pub fn record(&mut self, outcome: BitString) {
+        self.record_n(outcome, 1);
+    }
+
+    /// Logs `n` identical trial outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome.width()` differs from the log's width.
+    pub fn record_n(&mut self, outcome: BitString, n: u64) {
+        assert_eq!(outcome.width(), self.width, "outcome width mismatch");
+        if n == 0 {
+            return;
+        }
+        *self.map.entry(outcome).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// The raw count for `outcome` (0 if never observed).
+    pub fn get(&self, outcome: &BitString) -> u64 {
+        self.map.get(outcome).copied().unwrap_or(0)
+    }
+
+    /// The empirical frequency of `outcome` (0 for an empty log).
+    pub fn frequency(&self, outcome: &BitString) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates over `(outcome, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, &u64)> {
+        self.map.iter()
+    }
+
+    /// Merges another log into this one (the SIM aggregate step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.width, other.width, "cannot merge logs of different width");
+        for (s, &n) in other.iter() {
+            self.record_n(*s, n);
+        }
+    }
+
+    /// Returns a new log with every key XOR-ed by `mask` — the
+    /// post-measurement correction for an inversion string. Counts are
+    /// preserved; only labels move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.width()` differs from the log's width.
+    #[must_use]
+    pub fn xor_corrected(&self, mask: BitString) -> Counts {
+        assert_eq!(mask.width(), self.width, "mask width mismatch");
+        let mut out = Counts::new(self.width);
+        for (s, &n) in self.iter() {
+            out.record_n(*s ^ mask, n);
+        }
+        out
+    }
+
+    /// Outcomes sorted by descending count (ties broken by ascending value),
+    /// i.e. the ranking used for the Rank-of-Correct-Answer metric.
+    pub fn ranked(&self) -> Vec<(BitString, u64)> {
+        let mut v: Vec<(BitString, u64)> = self.map.iter().map(|(s, &n)| (*s, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
+        v
+    }
+
+    /// The most frequent outcome, if any trials were logged.
+    pub fn mode(&self) -> Option<BitString> {
+        self.ranked().first().map(|&(s, _)| s)
+    }
+
+    /// Marginalizes the log onto a subset of qubits: bit `i` of every
+    /// output outcome is taken from qubit `qubits[i]` of the original.
+    ///
+    /// Used when only part of the register carries the answer (e.g.
+    /// discarding ancillas, or the sliding-window characterization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, contains duplicates, or references a
+    /// qubit outside the log's width.
+    #[must_use]
+    pub fn marginalize(&self, qubits: &[usize]) -> Counts {
+        assert!(!qubits.is_empty(), "cannot marginalize onto nothing");
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.width, "qubit {q} outside width {}", self.width);
+            assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
+        }
+        let mut out = Counts::new(qubits.len());
+        for (s, &n) in self.iter() {
+            let mut m = BitString::zeros(qubits.len());
+            for (i, &q) in qubits.iter().enumerate() {
+                m = m.with_bit(i, s.bit(q));
+            }
+            out.record_n(m, n);
+        }
+        out
+    }
+
+    /// The empirical distribution as a dense vector of length `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 26` (dense conversion would allocate > 512 MiB).
+    pub fn to_distribution(&self) -> Distribution {
+        assert!(self.width <= 26, "dense distribution limited to 26 qubits");
+        let mut p = vec![0.0; 1usize << self.width];
+        if self.total > 0 {
+            for (s, &n) in self.iter() {
+                p[s.index()] = n as f64 / self.total as f64;
+            }
+        }
+        Distribution::from_probabilities(self.width, p)
+    }
+
+    /// Samples a log of `shots` trials from an exact distribution.
+    pub fn sample_from<R: rand::Rng + ?Sized>(
+        dist: &Distribution,
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        let mut counts = Counts::new(dist.width());
+        for _ in 0..shots {
+            counts.record(dist.sample(rng));
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counts[{} trials, {} outcomes]:", self.total, self.distinct())?;
+        for (s, n) in self.ranked().into_iter().take(16) {
+            writeln!(f, "  {s}: {n} ({:.4})", self.frequency(&s))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<BitString> for Counts {
+    /// Collects outcomes into a log. The width is taken from the first
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or outcomes have mixed widths.
+    fn from_iter<T: IntoIterator<Item = BitString>>(iter: T) -> Self {
+        let mut it = iter.into_iter();
+        let first = it.next().expect("cannot collect an empty iterator into Counts");
+        let mut counts = Counts::new(first.width());
+        counts.record(first);
+        for s in it {
+            counts.record(s);
+        }
+        counts
+    }
+}
+
+impl Extend<BitString> for Counts {
+    fn extend<T: IntoIterator<Item = BitString>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+/// An exact probability distribution over `2^width` basis states.
+///
+/// Guaranteed non-negative and normalized to 1 (within `1e-9`) on
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    width: usize,
+    probs: Vec<f64>,
+}
+
+impl Distribution {
+    /// Creates a distribution from a dense probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `2^width`, any entry is negative beyond
+    /// float slack, or the sum deviates from 1 by more than `1e-6`.
+    pub fn from_probabilities(width: usize, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), 1usize << width, "length must be 2^width");
+        let mut sum = 0.0;
+        for &p in &probs {
+            assert!(p >= -1e-12, "negative probability {p}");
+            sum += p;
+        }
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "probabilities sum to {sum}, expected 1"
+        );
+        Distribution { width, probs }
+    }
+
+    /// The uniform distribution over `width` qubits.
+    pub fn uniform(width: usize) -> Self {
+        let n = 1usize << width;
+        Distribution {
+            width,
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A point mass on `s`.
+    pub fn point(s: BitString) -> Self {
+        let mut probs = vec![0.0; 1usize << s.width()];
+        probs[s.index()] = 1.0;
+        Distribution {
+            width: s.width(),
+            probs,
+        }
+    }
+
+    /// The register width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The dense probability vector (length `2^width`).
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The probability of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn probability_of(&self, s: BitString) -> f64 {
+        assert_eq!(s.width(), self.width, "bit string width mismatch");
+        self.probs[s.index()]
+    }
+
+    /// Samples one outcome.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> BitString {
+        let mut u: f64 = rng.gen::<f64>();
+        for (i, &p) in self.probs.iter().enumerate() {
+            if u < p {
+                return BitString::from_value(i as u64, self.width);
+            }
+            u -= p;
+        }
+        BitString::from_value((self.probs.len() - 1) as u64, self.width)
+    }
+
+    /// Returns a new distribution with labels XOR-ed by `mask` (exact
+    /// analogue of [`Counts::xor_corrected`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn xor_relabeled(&self, mask: BitString) -> Distribution {
+        assert_eq!(mask.width(), self.width, "mask width mismatch");
+        let mut probs = vec![0.0; self.probs.len()];
+        for (i, &p) in self.probs.iter().enumerate() {
+            let j = (BitString::from_value(i as u64, self.width) ^ mask).index();
+            probs[j] = p;
+        }
+        Distribution {
+            width: self.width,
+            probs,
+        }
+    }
+
+    /// Mixes distributions with the given non-negative weights (weights are
+    /// normalized internally) — the exact analogue of the SIM merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty, lengths differ, widths differ, or all
+    /// weights are zero.
+    pub fn mixture(parts: &[(&Distribution, f64)]) -> Distribution {
+        assert!(!parts.is_empty(), "mixture of nothing");
+        let width = parts[0].0.width;
+        let wsum: f64 = parts.iter().map(|&(_, w)| w).sum();
+        assert!(wsum > 0.0, "mixture weights sum to zero");
+        let mut probs = vec![0.0; 1usize << width];
+        for &(d, w) in parts {
+            assert_eq!(d.width, width, "mixture width mismatch");
+            for (i, &p) in d.probs.iter().enumerate() {
+                probs[i] += p * w / wsum;
+            }
+        }
+        Distribution { width, probs }
+    }
+
+    /// Total-variation distance to another distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn total_variation(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        0.5 * self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(2);
+        c.record(bs("01"));
+        c.record_n(bs("11"), 3);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.get(&bs("11")), 3);
+        assert_eq!(c.get(&bs("00")), 0);
+        assert!((c.frequency(&bs("01")) - 0.25).abs() < 1e-12);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn empty_log_frequency_is_zero() {
+        let c = Counts::new(2);
+        assert_eq!(c.frequency(&bs("00")), 0.0);
+        assert_eq!(c.mode(), None);
+    }
+
+    #[test]
+    fn merge_preserves_mass() {
+        let mut a = Counts::new(2);
+        a.record_n(bs("00"), 10);
+        let mut b = Counts::new(2);
+        b.record_n(bs("00"), 5);
+        b.record_n(bs("11"), 5);
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.get(&bs("00")), 15);
+    }
+
+    #[test]
+    fn xor_correction_moves_labels() {
+        let mut c = Counts::new(3);
+        c.record_n(bs("010"), 7);
+        c.record_n(bs("111"), 3);
+        let fixed = c.xor_corrected(bs("111"));
+        assert_eq!(fixed.get(&bs("101")), 7);
+        assert_eq!(fixed.get(&bs("000")), 3);
+        assert_eq!(fixed.total(), 10);
+    }
+
+    #[test]
+    fn xor_correction_is_involution() {
+        let mut c = Counts::new(3);
+        c.record_n(bs("010"), 7);
+        c.record_n(bs("110"), 2);
+        let mask = bs("101");
+        assert_eq!(c.xor_corrected(mask).xor_corrected(mask), c);
+    }
+
+    #[test]
+    fn ranking_breaks_ties_by_value() {
+        let mut c = Counts::new(2);
+        c.record_n(bs("10"), 5);
+        c.record_n(bs("01"), 5);
+        c.record_n(bs("11"), 9);
+        let r = c.ranked();
+        assert_eq!(r[0].0, bs("11"));
+        assert_eq!(r[1].0, bs("01")); // value 1 before value 2
+        assert_eq!(r[2].0, bs("10"));
+        assert_eq!(c.mode(), Some(bs("11")));
+    }
+
+    #[test]
+    fn to_distribution_normalizes() {
+        let mut c = Counts::new(2);
+        c.record_n(bs("00"), 3);
+        c.record_n(bs("11"), 1);
+        let d = c.to_distribution();
+        assert!((d.probability_of(bs("00")) - 0.75).abs() < 1e-12);
+        assert!((d.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_extracts_and_reorders() {
+        let mut c = Counts::new(3);
+        c.record_n(bs("101"), 4); // q2=1 q1=0 q0=1
+        c.record_n(bs("110"), 2); // q2=1 q1=1 q0=0
+        // Onto (q0, q2): outcome bit0 = q0, bit1 = q2.
+        let m = c.marginalize(&[0, 2]);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.get(&bs("11")), 4); // q0=1, q2=1
+        assert_eq!(m.get(&bs("10")), 2); // q0=0, q2=1
+        assert_eq!(m.total(), 6);
+        // Single-qubit marginal merges outcomes.
+        let q2 = c.marginalize(&[2]);
+        assert_eq!(q2.get(&bs("1")), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn marginalize_rejects_duplicates() {
+        let _ = Counts::new(3).marginalize(&[1, 1]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: Counts = vec![bs("01"), bs("01"), bs("10")].into_iter().collect();
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.get(&bs("01")), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn record_wrong_width_panics() {
+        Counts::new(3).record(bs("01"));
+    }
+
+    #[test]
+    fn distribution_construction_checks() {
+        let d = Distribution::from_probabilities(1, vec![0.25, 0.75]);
+        assert!((d.probability_of(bs("1")) - 0.75).abs() < 1e-12);
+        assert!(std::panic::catch_unwind(|| {
+            Distribution::from_probabilities(1, vec![0.5, 0.6])
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Distribution::from_probabilities(1, vec![1.5, -0.5])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn uniform_and_point() {
+        let u = Distribution::uniform(3);
+        assert!((u.probability_of(bs("101")) - 0.125).abs() < 1e-12);
+        let p = Distribution::point(bs("101"));
+        assert_eq!(p.probability_of(bs("101")), 1.0);
+        assert_eq!(p.probability_of(bs("000")), 0.0);
+    }
+
+    #[test]
+    fn xor_relabeled_matches_counts_behaviour() {
+        let d = Distribution::from_probabilities(2, vec![0.1, 0.2, 0.3, 0.4]);
+        let r = d.xor_relabeled(bs("11"));
+        assert!((r.probability_of(bs("00")) - 0.4).abs() < 1e-12);
+        assert!((r.probability_of(bs("11")) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_weights() {
+        let a = Distribution::point(bs("00"));
+        let b = Distribution::point(bs("11"));
+        let m = Distribution::mixture(&[(&a, 1.0), (&b, 3.0)]);
+        assert!((m.probability_of(bs("00")) - 0.25).abs() < 1e-12);
+        assert!((m.probability_of(bs("11")) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_distance() {
+        let a = Distribution::point(bs("0"));
+        let b = Distribution::point(bs("1"));
+        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.total_variation(&a), 0.0);
+    }
+
+    #[test]
+    fn sampling_from_distribution_converges() {
+        let d = Distribution::from_probabilities(2, vec![0.5, 0.25, 0.125, 0.125]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let c = Counts::sample_from(&d, 40_000, &mut rng);
+        for (i, &p) in d.probabilities().iter().enumerate() {
+            let s = BitString::from_value(i as u64, 2);
+            assert!(
+                (c.frequency(&s) - p).abs() < 0.01,
+                "state {s}: {} vs {p}",
+                c.frequency(&s)
+            );
+        }
+    }
+}

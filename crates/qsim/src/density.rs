@@ -1,0 +1,518 @@
+//! Dense density-matrix simulation with Kraus channels.
+//!
+//! The trajectory executor in `qnoise` samples stochastic error instances;
+//! this module provides the *exact* mixed-state evolution it converges to.
+//! It exists for validation (integration tests check that Monte-Carlo
+//! trajectories reproduce the exact channel output) and for computing
+//! closed-form noisy distributions on small registers.
+//!
+//! A [`DensityMatrix`] stores the full `2^n × 2^n` complex matrix, so it is
+//! practical up to ~10 qubits — ample for the paper's five-qubit studies.
+
+use crate::bitstring::BitString;
+use crate::c64::C64;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A Kraus operator set `{K_i}` acting on one qubit, satisfying
+/// `Σ K_i† K_i = I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    ops: Vec<[[C64; 2]; 2]>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from explicit 2×2 Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or the completeness relation
+    /// `Σ K† K = I` fails beyond `1e-9`.
+    pub fn new(ops: Vec<[[C64; 2]; 2]>) -> Self {
+        assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
+        // Completeness: sum of K† K equals identity.
+        let mut acc = [[C64::ZERO; 2]; 2];
+        for k in &ops {
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                for (c, acc_rc) in acc_row.iter_mut().enumerate() {
+                    for m in 0..2 {
+                        *acc_rc += k[m][r].conj() * k[m][c];
+                    }
+                }
+            }
+        }
+        for r in 0..2 {
+            for c in 0..2 {
+                let expect = if r == c { C64::ONE } else { C64::ZERO };
+                assert!(
+                    acc[r][c].approx_eq(expect, 1e-9),
+                    "Kraus completeness violated at ({r},{c}): {}",
+                    acc[r][c]
+                );
+            }
+        }
+        KrausChannel { ops }
+    }
+
+    /// Amplitude damping with decay probability `gamma` — the T1 relaxation
+    /// channel behind the paper's 1→0 measurement bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let z = C64::ZERO;
+        let k0 = [[C64::ONE, z], [z, C64::real((1.0 - gamma).sqrt())]];
+        let k1 = [[z, C64::real(gamma.sqrt())], [z, z]];
+        KrausChannel::new(vec![k0, k1])
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`
+    /// (uniform X/Y/Z with probability `p/3` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let i = C64::I;
+        let s = |w: f64, m: [[C64; 2]; 2]| {
+            let f = C64::real(w.sqrt());
+            [
+                [f * m[0][0], f * m[0][1]],
+                [f * m[1][0], f * m[1][1]],
+            ]
+        };
+        KrausChannel::new(vec![
+            s(1.0 - p, [[o, z], [z, o]]),
+            s(p / 3.0, [[z, o], [o, z]]),
+            s(p / 3.0, [[z, -i], [i, z]]),
+            s(p / 3.0, [[o, z], [z, -o]]),
+        ])
+    }
+
+    /// Classical bit-flip channel (X with probability `p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bit_flip(p: f64) -> Self {
+        let z = C64::ZERO;
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        let a = C64::real((1.0 - p).sqrt());
+        let b = C64::real(p.sqrt());
+        KrausChannel::new(vec![[[a, z], [z, a]], [[z, b], [b, z]]])
+    }
+
+    /// The Kraus operators.
+    pub fn operators(&self) -> &[[[C64; 2]; 2]] {
+        &self.ops
+    }
+}
+
+/// A mixed quantum state over `n` qubits as a dense `2^n × 2^n` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::density::{DensityMatrix, KrausChannel};
+/// use qsim::{BitString, Circuit};
+///
+/// // A Bell pair fully dephased by amplitude damping on qubit 0.
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut rho = DensityMatrix::zero(2);
+/// rho.apply_circuit(&bell);
+/// rho.apply_channel(&KrausChannel::amplitude_damping(1.0), 0);
+/// // All population has relaxed into states with qubit 0 = 0.
+/// let p = rho.probabilities();
+/// assert!(p[0b01] < 1e-12 && p[0b11] < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    /// Row-major dense matrix, `elems[r * dim + c]`.
+    elems: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or exceeds 10 (a 10-qubit matrix is
+    /// already 2^20 complex numbers).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(
+            n_qubits >= 1 && n_qubits <= 10,
+            "density matrix limited to 1..=10 qubits"
+        );
+        let dim = 1usize << n_qubits;
+        let mut elems = vec![C64::ZERO; dim * dim];
+        elems[0] = C64::ONE;
+        DensityMatrix { n_qubits, elems }
+    }
+
+    /// The pure basis state `|s⟩⟨s|`.
+    pub fn basis(s: BitString) -> Self {
+        let mut rho = DensityMatrix::zero(s.width());
+        rho.elems[0] = C64::ZERO;
+        let dim = 1usize << s.width();
+        rho.elems[s.index() * dim + s.index()] = C64::ONE;
+        rho
+    }
+
+    /// Builds `|ψ⟩⟨ψ|` from a state vector.
+    pub fn from_statevector(psi: &crate::statevector::StateVector) -> Self {
+        let n = psi.n_qubits();
+        assert!(n <= 10, "density matrix limited to 10 qubits");
+        let amps = psi.amplitudes();
+        let dim = amps.len();
+        let mut elems = vec![C64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                elems[r * dim + c] = amps[r] * amps[c].conj();
+            }
+        }
+        DensityMatrix { n_qubits: n, elems }
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn dim(&self) -> usize {
+        1usize << self.n_qubits
+    }
+
+    /// The matrix element `⟨r|ρ|c⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index exceeds the dimension.
+    pub fn element(&self, r: usize, c: usize) -> C64 {
+        let dim = self.dim();
+        assert!(r < dim && c < dim, "index out of range");
+        self.elems[r * dim + c]
+    }
+
+    /// The trace (1 for a normalized state).
+    pub fn trace(&self) -> C64 {
+        let dim = self.dim();
+        (0..dim).map(|i| self.elems[i * dim + i]).sum()
+    }
+
+    /// The purity `Tr(ρ²)`: 1 for pure states, `1/2^n` for the maximally
+    /// mixed state.
+    pub fn purity(&self) -> f64 {
+        let dim = self.dim();
+        let mut acc = 0.0;
+        for r in 0..dim {
+            for c in 0..dim {
+                acc += (self.elems[r * dim + c] * self.elems[c * dim + r]).re;
+            }
+        }
+        acc
+    }
+
+    /// The diagonal as measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let dim = self.dim();
+        (0..dim).map(|i| self.elems[i * dim + i].re).collect()
+    }
+
+    /// The probability of measuring `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.width()` differs.
+    pub fn probability_of(&self, s: BitString) -> f64 {
+        assert_eq!(s.width(), self.n_qubits, "width mismatch");
+        let dim = self.dim();
+        self.elems[s.index() * dim + s.index()].re
+    }
+
+    /// Applies a unitary gate: `ρ → U ρ U†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references qubits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        // Apply U to every column of rho (as ket index), then U* to every
+        // row (bra index). Reuse the state-vector kernels by viewing the
+        // matrix as 2^n stacked vectors.
+        let dim = self.dim();
+        // U on ket (row) index: for each fixed column c, the column vector
+        // rho[., c] transforms by U.
+        let mut col = vec![C64::ZERO; dim];
+        for c in 0..dim {
+            for r in 0..dim {
+                col[r] = self.elems[r * dim + c];
+            }
+            apply_gate_to_vec(&mut col, gate, self.n_qubits);
+            for r in 0..dim {
+                self.elems[r * dim + c] = col[r];
+            }
+        }
+        // U* on bra (column) index: each row vector transforms by conj(U);
+        // equivalently conj, apply U, conj back.
+        let mut row = vec![C64::ZERO; dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                row[c] = self.elems[r * dim + c].conj();
+            }
+            apply_gate_to_vec(&mut row, gate, self.n_qubits);
+            for c in 0..dim {
+                self.elems[r * dim + c] = row[c].conj();
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the register.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than register"
+        );
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel to `qubit`:
+    /// `ρ → Σ_i K_i ρ K_i†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn apply_channel(&mut self, channel: &KrausChannel, qubit: usize) {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        let dim = self.dim();
+        let bit = 1usize << qubit;
+        let mut out = vec![C64::ZERO; dim * dim];
+        for k in channel.operators() {
+            // result += (K ⊗ I) rho (K† ⊗ I), acting on the chosen qubit of
+            // both indices.
+            for r in 0..dim {
+                let rb = usize::from(r & bit != 0);
+                for c in 0..dim {
+                    let cb = usize::from(c & bit != 0);
+                    // K rho K†: out[r][c] = Σ_{rb', cb'} K[rb][rb'] rho[r'][c'] conj(K[cb][cb'])
+                    let mut acc = C64::ZERO;
+                    for rbp in 0..2 {
+                        let rp = (r & !bit) | (rbp << qubit);
+                        let krr = k[rb][rbp];
+                        if krr == C64::ZERO {
+                            continue;
+                        }
+                        for cbp in 0..2 {
+                            let cp = (c & !bit) | (cbp << qubit);
+                            acc += krr * self.elems[rp * dim + cp] * k[cb][cbp].conj();
+                        }
+                    }
+                    out[r * dim + c] += acc;
+                }
+            }
+        }
+        self.elems = out;
+    }
+}
+
+/// Applies a gate to a raw amplitude vector (shared kernel for the density
+/// matrix's row/column transforms).
+fn apply_gate_to_vec(amps: &mut [C64], gate: &Gate, n_qubits: usize) {
+    // Delegate through StateVector's tested kernels by transmuting shape:
+    // cheaper to re-implement the two small kernels here than to expose
+    // StateVector internals; single-qubit case below, two-qubit via matrix4.
+    let qs = gate.qubits();
+    for &q in &qs {
+        assert!(q < n_qubits, "gate out of range");
+    }
+    if !gate.is_two_qubit() {
+        let m = gate.matrix2();
+        let bit = 1usize << qs[0];
+        let mut base = 0usize;
+        while base < amps.len() {
+            for offset in 0..bit {
+                let i0 = base + offset;
+                let i1 = i0 | bit;
+                let a0 = amps[i0];
+                let a1 = amps[i1];
+                amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += bit << 1;
+        }
+    } else {
+        let m = gate.matrix4();
+        let ba = 1usize << qs[0];
+        let bb = 1usize << qs[1];
+        let (lo, hi) = if qs[0] < qs[1] { (ba, bb) } else { (bb, ba) };
+        let mut block = 0usize;
+        while block < amps.len() {
+            for mid in (0..hi).step_by(lo << 1) {
+                for low in 0..lo {
+                    let i00 = block + mid + low;
+                    let i_a = i00 | ba;
+                    let i_b = i00 | bb;
+                    let i_ab = i00 | ba | bb;
+                    let v = [amps[i00], amps[i_a], amps[i_b], amps[i_ab]];
+                    let mut out = [C64::ZERO; 4];
+                    for (r, out_r) in out.iter_mut().enumerate() {
+                        for (c, vc) in v.iter().enumerate() {
+                            *out_r += m[r][c] * *vc;
+                        }
+                    }
+                    amps[i00] = out[0];
+                    amps[i_a] = out[1];
+                    amps[i_b] = out[2];
+                    amps[i_ab] = out[3];
+                }
+            }
+            block += hi << 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_pure() {
+        let rho = DensityMatrix::zero(3);
+        assert!((rho.trace().re - 1.0).abs() < TOL);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+        assert!((rho.probability_of(BitString::zeros(3)) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.8).cz(1, 2).rzz(0, 2, 0.5).x(1);
+        let psi = StateVector::from_circuit(&c);
+        let mut rho = DensityMatrix::zero(3);
+        rho.apply_circuit(&c);
+        let p_sv = psi.probabilities();
+        let p_dm = rho.probabilities();
+        for (a, b) in p_sv.iter().zip(&p_dm) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_statevector_roundtrip() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let psi = StateVector::from_circuit(&c);
+        let rho = DensityMatrix::from_statevector(&psi);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+        assert!((rho.probability_of("00".parse().unwrap()) - 0.5).abs() < TOL);
+        // Coherences present for a pure superposition.
+        assert!(rho.element(0, 3).abs() > 0.49);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::basis("1".parse().unwrap());
+        rho.apply_channel(&KrausChannel::amplitude_damping(0.3), 0);
+        let p = rho.probabilities();
+        assert!((p[0] - 0.3).abs() < TOL);
+        assert!((p[1] - 0.7).abs() < TOL);
+        assert!((rho.trace().re - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn amplitude_damping_kills_coherence() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_circuit(&c);
+        let before = rho.element(0, 1).abs();
+        rho.apply_channel(&KrausChannel::amplitude_damping(0.5), 0);
+        let after = rho.element(0, 1).abs();
+        // Off-diagonal scales by sqrt(1-gamma).
+        assert!((after - before * 0.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depolarizing_mixes_toward_identity() {
+        let mut rho = DensityMatrix::basis("1".parse().unwrap());
+        rho.apply_channel(&KrausChannel::depolarizing(0.75), 0);
+        // p = 3/4 sends any state to the maximally mixed state.
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-9, "{p:?}");
+        assert!((rho.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_flip_channel_statistics() {
+        let mut rho = DensityMatrix::basis("0".parse().unwrap());
+        rho.apply_channel(&KrausChannel::bit_flip(0.2), 0);
+        let p = rho.probabilities();
+        assert!((p[1] - 0.2).abs() < TOL);
+    }
+
+    #[test]
+    fn channel_on_specific_qubit_only() {
+        let mut rho = DensityMatrix::basis("11".parse().unwrap());
+        rho.apply_channel(&KrausChannel::amplitude_damping(1.0), 0);
+        // Qubit 0 fully decays; qubit 1 untouched.
+        assert!((rho.probability_of("10".parse().unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn ghz_with_damping_is_asymmetric() {
+        // The paper's physics in miniature: damping on all qubits pushes
+        // the GHZ all-ones branch down while all-zeros survives.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let mut rho = DensityMatrix::zero(3);
+        rho.apply_circuit(&c);
+        let ch = KrausChannel::amplitude_damping(0.2);
+        for q in 0..3 {
+            rho.apply_channel(&ch, q);
+        }
+        let p000 = rho.probability_of("000".parse().unwrap());
+        let p111 = rho.probability_of("111".parse().unwrap());
+        // All-ones branch loses (1-gamma)^3 of its population; the
+        // all-zeros branch only *gains* (the fully decayed tail of the
+        // other branch, 0.5 * gamma^3).
+        assert!((p111 - 0.5 * 0.8f64.powi(3)).abs() < 1e-9, "p111 = {p111}");
+        assert!((p000 - (0.5 + 0.5 * 0.2f64.powi(3))).abs() < 1e-9, "p000 = {p000}");
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn invalid_kraus_rejected() {
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        KrausChannel::new(vec![[[o, z], [z, o]], [[o, z], [z, o]]]);
+    }
+
+    #[test]
+    fn trace_preserved_by_channels_and_gates() {
+        let mut rho = DensityMatrix::zero(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        rho.apply_circuit(&c);
+        rho.apply_channel(&KrausChannel::depolarizing(0.1), 0);
+        rho.apply_channel(&KrausChannel::amplitude_damping(0.2), 1);
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.trace().im.abs() < 1e-9);
+        // Purity decreased below 1.
+        assert!(rho.purity() < 1.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Quantum gates and their matrix representations.
+//!
+//! The gate set covers everything the paper's workloads need: the inversion
+//! X gate at the heart of Invert-and-Measure, the Hadamard/CNOT set used by
+//! Bernstein-Vazirani and GHZ preparation, and the rotation + CZ/CX set used
+//! by QAOA cost and mixer layers.
+
+use crate::c64::C64;
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// A 2×2 complex matrix in row-major order: `[[a, b], [c, d]]`.
+pub type Matrix2 = [[C64; 2]; 2];
+
+/// A 4×4 complex matrix in row-major order, basis `|q1 q0⟩ ∈ {00,01,10,11}`.
+pub type Matrix4 = [[C64; 4]; 4];
+
+/// A quantum gate applied to one or two qubits of a circuit.
+///
+/// Qubit indices refer to positions in the owning [`Circuit`](crate::Circuit).
+///
+/// # Examples
+///
+/// ```
+/// use qsim::Gate;
+///
+/// let g = Gate::X(0);
+/// assert_eq!(g.qubits(), vec![0]);
+/// assert!(!g.is_two_qubit());
+/// assert!(Gate::Cx { control: 0, target: 1 }.is_two_qubit());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Pauli-X (NOT): flips `|0⟩ ↔ |1⟩`. The inversion primitive of the
+    /// paper's Invert-and-Measure.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Hadamard: maps basis states to equal superpositions.
+    H(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg(usize),
+    /// T = diag(1, e^{iπ/4}).
+    T(usize),
+    /// T† = diag(1, e^{−iπ/4}).
+    Tdg(usize),
+    /// Rotation about the X axis by `theta`.
+    Rx {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Rotation about the Y axis by `theta`.
+    Ry {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Rotation about the Z axis by `theta` (global-phase-free convention
+    /// diag(e^{−iθ/2}, e^{iθ/2})).
+    Rz {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Phase gate diag(1, e^{iλ}).
+    Phase {
+        /// Target qubit.
+        qubit: usize,
+        /// Phase angle in radians.
+        lambda: f64,
+    },
+    /// Controlled-X (CNOT).
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z.
+    Cz {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Two-qubit ZZ interaction exp(−iθ/2 · Z⊗Z) — the QAOA cost-layer
+    /// primitive for an edge.
+    Rzz {
+        /// First qubit of the interacting pair.
+        a: usize,
+        /// Second qubit of the interacting pair.
+        b: usize,
+        /// Interaction angle in radians.
+        theta: f64,
+    },
+    /// SWAP.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate acts on (1 or 2 entries, two-qubit gates list
+    /// control/first qubit first).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx { qubit: q, .. }
+            | Gate::Ry { qubit: q, .. }
+            | Gate::Rz { qubit: q, .. }
+            | Gate::Phase { qubit: q, .. } => vec![q],
+            Gate::Cx { control, target } | Gate::Cz { control, target } => vec![control, target],
+            Gate::Rzz { a, b, .. } | Gate::Swap { a, b } => vec![a, b],
+        }
+    }
+
+    /// Whether this gate acts on two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(
+            self,
+            Gate::Cx { .. } | Gate::Cz { .. } | Gate::Rzz { .. } | Gate::Swap { .. }
+        )
+    }
+
+    /// The 2×2 unitary of a single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a two-qubit gate.
+    pub fn matrix2(&self) -> Matrix2 {
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let i = C64::I;
+        match *self {
+            Gate::X(_) => [[z, o], [o, z]],
+            Gate::Y(_) => [[z, -i], [i, z]],
+            Gate::Z(_) => [[o, z], [z, -o]],
+            Gate::H(_) => {
+                let h = C64::real(FRAC_1_SQRT_2);
+                [[h, h], [h, -h]]
+            }
+            Gate::S(_) => [[o, z], [z, i]],
+            Gate::Sdg(_) => [[o, z], [z, -i]],
+            Gate::T(_) => [[o, z], [z, C64::cis(std::f64::consts::FRAC_PI_4)]],
+            Gate::Tdg(_) => [[o, z], [z, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+            Gate::Rx { theta, .. } => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::new(0.0, -(theta / 2.0).sin());
+                [[c, s], [s, c]]
+            }
+            Gate::Ry { theta, .. } => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::real((theta / 2.0).sin());
+                [[c, -s], [s, c]]
+            }
+            Gate::Rz { theta, .. } => {
+                [[C64::cis(-theta / 2.0), z], [z, C64::cis(theta / 2.0)]]
+            }
+            Gate::Phase { lambda, .. } => [[o, z], [z, C64::cis(lambda)]],
+            _ => panic!("matrix2 called on two-qubit gate {self:?}"),
+        }
+    }
+
+    /// The 4×4 unitary of a two-qubit gate in the basis
+    /// `|second_qubit, first_qubit⟩` where `first_qubit` is `qubits()[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a single-qubit gate.
+    pub fn matrix4(&self) -> Matrix4 {
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        match *self {
+            // Basis ordering |target, control⟩: index = 2*target + control.
+            // CX flips target when control (bit 0 of the index) is 1.
+            Gate::Cx { .. } => [
+                [o, z, z, z],
+                [z, z, z, o],
+                [z, z, o, z],
+                [z, o, z, z],
+            ],
+            Gate::Cz { .. } => [
+                [o, z, z, z],
+                [z, o, z, z],
+                [z, z, o, z],
+                [z, z, z, -o],
+            ],
+            Gate::Rzz { theta, .. } => {
+                let p = C64::cis(-theta / 2.0);
+                let m = C64::cis(theta / 2.0);
+                [
+                    [p, z, z, z],
+                    [z, m, z, z],
+                    [z, z, m, z],
+                    [z, z, z, p],
+                ]
+            }
+            Gate::Swap { .. } => [
+                [o, z, z, z],
+                [z, z, o, z],
+                [z, o, z, z],
+                [z, z, z, o],
+            ],
+            _ => panic!("matrix4 called on single-qubit gate {self:?}"),
+        }
+    }
+
+    /// The inverse (dagger) of this gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx { qubit, theta } => Gate::Rx {
+                qubit,
+                theta: -theta,
+            },
+            Gate::Ry { qubit, theta } => Gate::Ry {
+                qubit,
+                theta: -theta,
+            },
+            Gate::Rz { qubit, theta } => Gate::Rz {
+                qubit,
+                theta: -theta,
+            },
+            Gate::Phase { qubit, lambda } => Gate::Phase {
+                qubit,
+                lambda: -lambda,
+            },
+            Gate::Rzz { a, b, theta } => Gate::Rzz { a, b, theta: -theta },
+            // X, Y, Z, H, CX, CZ, SWAP are self-inverse.
+            g => g,
+        }
+    }
+
+    /// A short mnemonic name (lower case, as in OpenQASM).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx { .. } => "rx",
+            Gate::Ry { .. } => "ry",
+            Gate::Rz { .. } => "rz",
+            Gate::Phase { .. } => "p",
+            Gate::Cx { .. } => "cx",
+            Gate::Cz { .. } => "cz",
+            Gate::Rzz { .. } => "rzz",
+            Gate::Swap { .. } => "swap",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qs = self.qubits();
+        write!(f, "{}", self.name())?;
+        match *self {
+            Gate::Rx { theta, .. } | Gate::Ry { theta, .. } | Gate::Rz { theta, .. } => {
+                write!(f, "({theta:.4})")?
+            }
+            Gate::Rzz { theta, .. } => write!(f, "({theta:.4})")?,
+            Gate::Phase { lambda, .. } => write!(f, "({lambda:.4})")?,
+            _ => {}
+        }
+        write!(f, " ")?;
+        for (i, q) in qs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks that a 2×2 matrix is unitary within tolerance (used by tests and
+/// debug assertions).
+pub fn is_unitary2(m: &Matrix2, tol: f64) -> bool {
+    // M† M == I
+    for r in 0..2 {
+        for c in 0..2 {
+            let mut acc = C64::ZERO;
+            for k in 0..2 {
+                acc += m[k][r].conj() * m[k][c];
+            }
+            let expect = if r == c { C64::ONE } else { C64::ZERO };
+            if !acc.approx_eq(expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that a 4×4 matrix is unitary within tolerance.
+pub fn is_unitary4(m: &Matrix4, tol: f64) -> bool {
+    for r in 0..4 {
+        for c in 0..4 {
+            let mut acc = C64::ZERO;
+            for k in 0..4 {
+                acc += m[k][r].conj() * m[k][c];
+            }
+            let expect = if r == c { C64::ONE } else { C64::ZERO };
+            if !acc.approx_eq(expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-10;
+
+    fn all_single() -> Vec<Gate> {
+        vec![
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx { qubit: 0, theta: 0.3 },
+            Gate::Ry { qubit: 0, theta: 1.1 },
+            Gate::Rz { qubit: 0, theta: -0.7 },
+            Gate::Phase { qubit: 0, lambda: 2.2 },
+        ]
+    }
+
+    fn all_double() -> Vec<Gate> {
+        vec![
+            Gate::Cx { control: 0, target: 1 },
+            Gate::Cz { control: 0, target: 1 },
+            Gate::Rzz { a: 0, b: 1, theta: 0.9 },
+            Gate::Swap { a: 0, b: 1 },
+        ]
+    }
+
+    #[test]
+    fn single_qubit_gates_are_unitary() {
+        for g in all_single() {
+            assert!(is_unitary2(&g.matrix2(), TOL), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_are_unitary() {
+        for g in all_double() {
+            assert!(is_unitary4(&g.matrix4(), TOL), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn inverse_gives_identity_2x2() {
+        for g in all_single() {
+            let m = g.matrix2();
+            let inv = g.inverse().matrix2();
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut acc = C64::ZERO;
+                    for k in 0..2 {
+                        acc += inv[r][k] * m[k][c];
+                    }
+                    let expect = if r == c { C64::ONE } else { C64::ZERO };
+                    assert!(acc.approx_eq(expect, TOL), "{g}: inverse failed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let m = Gate::X(0).matrix2();
+        assert!(m[0][1].approx_eq(C64::ONE, TOL));
+        assert!(m[1][0].approx_eq(C64::ONE, TOL));
+        assert!(m[0][0].approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let m = Gate::H(0).matrix2();
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut acc = C64::ZERO;
+                for k in 0..2 {
+                    acc += m[r][k] * m[k][c];
+                }
+                let expect = if r == c { C64::ONE } else { C64::ZERO };
+                assert!(acc.approx_eq(expect, TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        let rz = Gate::Rz { qubit: 0, theta: PI }.matrix2();
+        // Rz(π) = diag(e^{-iπ/2}, e^{iπ/2}) = -i · Z
+        let phase = C64::cis(-PI / 2.0);
+        assert!(rz[0][0].approx_eq(phase, TOL));
+        assert!(rz[1][1].approx_eq(-phase, TOL));
+    }
+
+    #[test]
+    fn rzz_diagonal_signs() {
+        let m = Gate::Rzz { a: 0, b: 1, theta: 2.0 }.matrix4();
+        // Even-parity basis states get e^{-iθ/2}, odd-parity get e^{+iθ/2}.
+        assert!(m[0][0].approx_eq(C64::cis(-1.0), TOL));
+        assert!(m[1][1].approx_eq(C64::cis(1.0), TOL));
+        assert!(m[2][2].approx_eq(C64::cis(1.0), TOL));
+        assert!(m[3][3].approx_eq(C64::cis(-1.0), TOL));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        // Index = 2*target + control; control is bit 0.
+        let m = Gate::Cx { control: 0, target: 1 }.matrix4();
+        // |t=0,c=1⟩ (index 1) -> |t=1,c=1⟩ (index 3)
+        assert!(m[3][1].approx_eq(C64::ONE, TOL));
+        // |t=0,c=0⟩ stays.
+        assert!(m[0][0].approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::Cx { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(Gate::Rz { qubit: 2, theta: 0.1 }.qubits(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix2 called on two-qubit gate")]
+    fn matrix2_on_two_qubit_panics() {
+        Gate::Swap { a: 0, b: 1 }.matrix2();
+    }
+
+    #[test]
+    fn display_includes_angle() {
+        let s = Gate::Rz { qubit: 2, theta: 0.5 }.to_string();
+        assert!(s.starts_with("rz(0.5000)"), "{s}");
+        assert!(s.ends_with("q2"));
+        assert_eq!(Gate::Cx { control: 0, target: 1 }.to_string(), "cx q0,q1");
+    }
+}

@@ -1,0 +1,300 @@
+//! Peephole circuit optimization.
+//!
+//! Gate errors charge per gate, so redundant gates cost real fidelity on
+//! NISQ hardware. This pass performs the standard local simplifications:
+//!
+//! * cancel adjacent self-inverse pairs (`X·X`, `H·H`, `CX·CX`, …),
+//! * fuse adjacent rotations about the same axis (`Rz(a)·Rz(b) → Rz(a+b)`),
+//! * drop rotations with (numerically) zero angle,
+//!
+//! iterating to a fixed point. Gates only cancel or fuse when they are
+//! adjacent *on their qubits* — an intervening gate on a disjoint qubit
+//! set does not block simplification, but any overlapping gate does.
+//!
+//! Relevant to the paper: a SIM-transformed circuit appends an X layer
+//! before measurement; if the program itself ends in X gates (e.g. a basis
+//! state preparation), the optimizer folds them away, which is exactly the
+//! cancellation a vendor compiler would perform on the submitted job.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Repeatedly applies peephole simplifications until no rule fires.
+///
+/// The result is semantically equivalent to the input (up to global
+/// phase) with a gate count less than or equal to the input's.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{optimize, Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.x(0).x(0).h(1).rz(1, 0.3).rz(1, -0.3).cx(0, 1).cx(0, 1);
+/// let opt = optimize::peephole(&c);
+/// assert_eq!(opt.gates(), &[Gate::H(1)]);
+/// ```
+pub fn peephole(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    loop {
+        let before = gates.len();
+        gates = one_pass(gates);
+        if gates.len() == before {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.n_qubits());
+    out.extend(gates);
+    out
+}
+
+/// Whether two gates act on disjoint qubit sets (and therefore commute
+/// trivially).
+fn disjoint(a: &Gate, b: &Gate) -> bool {
+    let qa = a.qubits();
+    b.qubits().iter().all(|q| !qa.contains(q))
+}
+
+/// Whether `g` is self-inverse (its square is the identity up to global
+/// phase).
+fn self_inverse(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::Cx { .. }
+            | Gate::Cz { .. }
+            | Gate::Swap { .. }
+    )
+}
+
+/// Attempts to fuse two same-axis rotations; returns the fused gate (or
+/// `None` if the pair does not fuse).
+fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (*a, *b) {
+        (Gate::Rx { qubit: p, theta: t1 }, Gate::Rx { qubit: q, theta: t2 }) if p == q => {
+            Some(Gate::Rx { qubit: p, theta: t1 + t2 })
+        }
+        (Gate::Ry { qubit: p, theta: t1 }, Gate::Ry { qubit: q, theta: t2 }) if p == q => {
+            Some(Gate::Ry { qubit: p, theta: t1 + t2 })
+        }
+        (Gate::Rz { qubit: p, theta: t1 }, Gate::Rz { qubit: q, theta: t2 }) if p == q => {
+            Some(Gate::Rz { qubit: p, theta: t1 + t2 })
+        }
+        (Gate::Phase { qubit: p, lambda: l1 }, Gate::Phase { qubit: q, lambda: l2 })
+            if p == q =>
+        {
+            Some(Gate::Phase { qubit: p, lambda: l1 + l2 })
+        }
+        (
+            Gate::Rzz { a: a1, b: b1, theta: t1 },
+            Gate::Rzz { a: a2, b: b2, theta: t2 },
+        ) if (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2) => Some(Gate::Rzz {
+            a: a1,
+            b: b1,
+            theta: t1 + t2,
+        }),
+        // S·S = Z, T·T = S, and their dagger counterparts.
+        (Gate::S(p), Gate::S(q)) if p == q => Some(Gate::Z(p)),
+        (Gate::Sdg(p), Gate::Sdg(q)) if p == q => Some(Gate::Z(p)),
+        (Gate::T(p), Gate::T(q)) if p == q => Some(Gate::S(p)),
+        (Gate::Tdg(p), Gate::Tdg(q)) if p == q => Some(Gate::Sdg(p)),
+        _ => None,
+    }
+}
+
+/// Whether a rotation's angle is numerically zero (drop it).
+fn is_identity(g: &Gate) -> bool {
+    const EPS: f64 = 1e-12;
+    match *g {
+        Gate::Rx { theta, .. } | Gate::Ry { theta, .. } | Gate::Rz { theta, .. } => {
+            theta.abs() < EPS
+        }
+        Gate::Rzz { theta, .. } => theta.abs() < EPS,
+        Gate::Phase { lambda, .. } => lambda.abs() < EPS,
+        _ => false,
+    }
+}
+
+/// Whether two gates are an exactly-cancelling pair.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    if self_inverse(a) && a == b {
+        return true;
+    }
+    // S·Sdg, T·Tdg in either order.
+    matches!(
+        (a, b),
+        (Gate::S(p), Gate::Sdg(q)) | (Gate::Sdg(p), Gate::S(q))
+        | (Gate::T(p), Gate::Tdg(q)) | (Gate::Tdg(p), Gate::T(q))
+            if p == q
+    )
+}
+
+fn one_pass(gates: Vec<Gate>) -> Vec<Gate> {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    'next_gate: for g in gates {
+        if is_identity(&g) {
+            continue;
+        }
+        // Walk back over gates on disjoint qubits to find the most recent
+        // gate that shares a qubit with `g`.
+        let mut idx = out.len();
+        while idx > 0 {
+            idx -= 1;
+            let prev = out[idx];
+            if disjoint(&prev, &g) {
+                continue;
+            }
+            if cancels(&prev, &g) {
+                out.remove(idx);
+                continue 'next_gate;
+            }
+            if let Some(fused) = fuse(&prev, &g) {
+                if is_identity(&fused) {
+                    out.remove(idx);
+                } else {
+                    out[idx] = fused;
+                }
+                continue 'next_gate;
+            }
+            break; // blocked by an overlapping, non-cancelling gate
+        }
+        out.push(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    fn equivalent(a: &Circuit, b: &Circuit) {
+        let fa = StateVector::from_circuit(a);
+        let fb = StateVector::from_circuit(b);
+        assert!(
+            (fa.fidelity(&fb) - 1.0).abs() < 1e-9,
+            "not equivalent: fidelity {}",
+            fa.fidelity(&fb)
+        );
+    }
+
+    #[test]
+    fn cancels_adjacent_self_inverse_pairs() {
+        let mut c = Circuit::new(2);
+        c.x(0).x(0).h(1).h(1).cx(0, 1).cx(0, 1);
+        let opt = peephole(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn cancellation_across_disjoint_gates() {
+        let mut c = Circuit::new(3);
+        c.x(0).h(1).z(2).x(0);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 2);
+        assert!(opt.gates().iter().all(|g| !matches!(g, Gate::X(_))));
+        equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn overlapping_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1).x(0);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 3, "CX shares qubit 0 and must block");
+        equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn rotation_fusion_and_zero_drop() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25).rz(0, 0.50).rz(0, -0.75);
+        let opt = peephole(&c);
+        assert!(opt.is_empty(), "angles sum to zero: {:?}", opt.gates());
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.2).rx(0, 0.3);
+        let opt = peephole(&c);
+        assert_eq!(opt.gates(), &[Gate::Rx { qubit: 0, theta: 0.5 }]);
+    }
+
+    #[test]
+    fn rzz_fusion_handles_operand_order() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.4).rzz(1, 0, 0.6);
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn s_and_t_ladders_collapse() {
+        let mut c = Circuit::new(1);
+        c.s(0).s(0); // -> Z
+        let opt = peephole(&c);
+        assert_eq!(opt.gates(), &[Gate::Z(0)]);
+        let mut c = Circuit::new(1);
+        c.push(Gate::T(0)).push(Gate::T(0)).push(Gate::T(0)).push(Gate::T(0));
+        // T^4 = Z: fuses pairwise to S·S, then Z.
+        let opt = peephole(&c);
+        assert_eq!(opt.gates(), &[Gate::Z(0)]);
+        let mut c = Circuit::new(1);
+        c.s(0).push(Gate::Sdg(0));
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn inversion_layers_fold_away() {
+        // The paper-relevant case: inverting a basis-state preparation
+        // twice (e.g. preparing 111 then applying the full inversion
+        // string) leaves nothing to execute.
+        let prep = Circuit::basis_state_preparation("111".parse().unwrap());
+        let double_inv = prep
+            .with_premeasure_inversion("111".parse().unwrap());
+        let opt = peephole(&double_inv);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn random_circuits_stay_equivalent_and_never_grow() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let mut c = Circuit::new(3);
+            for _ in 0..20 {
+                match rng.gen_range(0..7u8) {
+                    0 => c.x(rng.gen_range(0..3)),
+                    1 => c.h(rng.gen_range(0..3)),
+                    2 => c.rz(rng.gen_range(0..3), rng.gen_range(-1.0..1.0)),
+                    3 => c.s(rng.gen_range(0..3)),
+                    4 => {
+                        let a = rng.gen_range(0..3);
+                        let b = (a + 1 + rng.gen_range(0..2)) % 3;
+                        c.cx(a, b)
+                    }
+                    5 => c.rx(rng.gen_range(0..3), rng.gen_range(-1.0..1.0)),
+                    _ => {
+                        let a = rng.gen_range(0..3);
+                        let b = (a + 1 + rng.gen_range(0..2)) % 3;
+                        c.rzz(a, b, rng.gen_range(-1.0..1.0))
+                    }
+                };
+            }
+            let opt = peephole(&c);
+            assert!(opt.len() <= c.len());
+            equivalent(&c, &opt);
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_stable() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).cx(0, 1).rz(1, 0.3);
+        let once = peephole(&c);
+        let twice = peephole(&once);
+        assert_eq!(once, twice);
+    }
+}

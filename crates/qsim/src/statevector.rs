@@ -1,0 +1,534 @@
+//! Dense state-vector representation of an n-qubit register.
+//!
+//! This is the execution substrate for every experiment in the
+//! reproduction: circuits are applied gate-by-gate to a `2^n` amplitude
+//! vector, and measurement outcomes are sampled from the Born-rule
+//! distribution. Registers up to ~20 qubits are practical; the paper's
+//! machines max out at 14.
+
+use crate::bitstring::BitString;
+use crate::c64::C64;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
+///
+/// Amplitude `i` is the coefficient of the computational basis state whose
+/// bit `k` equals bit `k` of `i` (qubit 0 is the least-significant bit).
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{Circuit, StateVector};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let psi = StateVector::from_circuit(&bell);
+/// let p = psi.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12); // |00⟩
+/// assert!((p[3] - 0.5).abs() < 1e-12); // |11⟩
+/// assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the all-zero basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or large enough that `2^n` overflows
+    /// `usize` (practically, > 30 is rejected to guard against accidental
+    /// exponential allocations).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(
+            n_qubits >= 1 && n_qubits <= 30,
+            "state vector limited to 1..=30 qubits"
+        );
+        let mut amps = vec![C64::ZERO; 1usize << n_qubits];
+        amps[0] = C64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// Creates a basis state `|s⟩`.
+    pub fn basis(s: BitString) -> Self {
+        let mut sv = StateVector::zero(s.width());
+        sv.amps[0] = C64::ZERO;
+        sv.amps[s.index()] = C64::ONE;
+        sv
+    }
+
+    /// Creates a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2 or the vector is not
+    /// normalized within `1e-9`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two");
+        let n_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "amplitudes not normalized (norm² = {norm})"
+        );
+        StateVector { n_qubits, amps }
+    }
+
+    /// Runs `circuit` from `|0…0⟩` and returns the final state.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut sv = StateVector::zero(circuit.n_qubits());
+        sv.apply_circuit(circuit);
+        sv
+    }
+
+    /// The number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The amplitudes (length `2^n`).
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// The squared 2-norm (should be 1 up to float error).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes in place (useful after non-unitary trajectory jumps).
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            for a in &mut self.amps {
+                *a = *a / n;
+            }
+        }
+    }
+
+    /// Applies a single gate in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references qubits outside the register.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let qs = gate.qubits();
+        for &q in &qs {
+            assert!(q < self.n_qubits, "gate {gate} out of range");
+        }
+        if gate.is_two_qubit() {
+            self.apply_two_qubit(gate, qs[0], qs[1]);
+        } else {
+            self.apply_single_qubit(gate, qs[0]);
+        }
+    }
+
+    fn apply_single_qubit(&mut self, gate: &Gate, q: usize) {
+        let m = gate.matrix2();
+        let bit = 1usize << q;
+        let dim = self.amps.len();
+        // Iterate over all indices with qubit q = 0; pair with q = 1.
+        let mut base = 0usize;
+        while base < dim {
+            for offset in 0..bit {
+                let i0 = base + offset;
+                let i1 = i0 | bit;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += bit << 1;
+        }
+    }
+
+    fn apply_two_qubit(&mut self, gate: &Gate, qa: usize, qb: usize) {
+        // Matrix basis: index = 2*(second qubit) + (first qubit), where
+        // "first" is qubits()[0] = qa.
+        let m = gate.matrix4();
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let dim = self.amps.len();
+        let (lo, hi) = if qa < qb { (ba, bb) } else { (bb, ba) };
+        // Enumerate indices where both qa and qb bits are zero.
+        let mut block = 0usize;
+        while block < dim {
+            // block iterates with the hi bit stripped region
+            for mid in (0..hi).step_by(lo << 1) {
+                for low in 0..lo {
+                    let i00 = block + mid + low;
+                    if i00 & lo != 0 || i00 & hi != 0 {
+                        continue;
+                    }
+                    let i_a = i00 | ba; // qa = 1
+                    let i_b = i00 | bb; // qb = 1
+                    let i_ab = i00 | ba | bb;
+                    // Vector order must match matrix basis |qb qa⟩:
+                    // index 0 = 00, 1 = qa set, 2 = qb set, 3 = both.
+                    let v = [self.amps[i00], self.amps[i_a], self.amps[i_b], self.amps[i_ab]];
+                    let mut out = [C64::ZERO; 4];
+                    for (r, out_r) in out.iter_mut().enumerate() {
+                        for (c, vc) in v.iter().enumerate() {
+                            *out_r += m[r][c] * *vc;
+                        }
+                    }
+                    self.amps[i00] = out[0];
+                    self.amps[i_a] = out[1];
+                    self.amps[i_b] = out[2];
+                    self.amps[i_ab] = out[3];
+                }
+            }
+            block += hi << 1;
+        }
+    }
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit acts on more qubits than the state has"
+        );
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// The Born-rule probability of each basis state (length `2^n`).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The probability of measuring exactly `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.width() != n_qubits`.
+    pub fn probability_of(&self, s: BitString) -> f64 {
+        assert_eq!(s.width(), self.n_qubits, "bit string width mismatch");
+        self.amps[s.index()].norm_sqr()
+    }
+
+    /// Samples one measurement outcome from the Born distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BitString {
+        let mut u: f64 = rng.gen::<f64>() * self.norm_sqr();
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if u < p {
+                return BitString::from_value(i as u64, self.n_qubits);
+            }
+            u -= p;
+        }
+        // Floating-point slack: return the last state.
+        BitString::from_value((self.amps.len() - 1) as u64, self.n_qubits)
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Expectation value of Z on `qubit`: `P(0) − P(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn expectation_z(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        self.expectation_z_string(1usize << qubit)
+    }
+
+    /// Expectation value of a Z-Pauli string: `⟨Z_{i1} Z_{i2} …⟩` where the
+    /// set bits of `mask` select the qubits. The QAOA cost function is a
+    /// sum of such two-qubit terms, one per graph edge.
+    ///
+    /// `mask = 0` is the identity (expectation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has bits beyond the register.
+    pub fn expectation_z_string(&self, mask: usize) -> f64 {
+        assert!(
+            mask < self.amps.len(),
+            "mask {mask:#x} outside the {}-qubit register",
+            self.n_qubits
+        );
+        let mut ez = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            // Parity of the masked bits decides the sign.
+            if (i & mask).count_ones() % 2 == 0 {
+                ez += p;
+            } else {
+                ez -= p;
+            }
+        }
+        ez
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state() {
+        let sv = StateVector::zero(3);
+        assert_eq!(sv.amplitudes().len(), 8);
+        assert!((sv.probability_of(BitString::zeros(3)) - 1.0).abs() < TOL);
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn basis_state() {
+        let s: BitString = "101".parse().unwrap();
+        let sv = StateVector::basis(s);
+        assert!((sv.probability_of(s) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_each_qubit() {
+        for q in 0..4 {
+            let mut sv = StateVector::zero(4);
+            sv.apply_gate(&Gate::X(q));
+            let expect = BitString::zeros(4).with_bit(q, true);
+            assert!((sv.probability_of(expect) - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn h_makes_equal_superposition() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_gate(&Gate::H(0));
+        assert!((sv.amplitudes()[0].re - FRAC_1_SQRT_2).abs() < TOL);
+        assert!((sv.amplitudes()[1].re - FRAC_1_SQRT_2).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < TOL);
+        assert!((p[3] - 0.5).abs() < TOL);
+        assert!(p[1] < TOL && p[2] < TOL);
+    }
+
+    #[test]
+    fn ghz_five_qubits() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        for q in 0..4 {
+            c.cx(q, q + 1);
+        }
+        let sv = StateVector::from_circuit(&c);
+        assert!((sv.probability_of(BitString::zeros(5)) - 0.5).abs() < TOL);
+        assert!((sv.probability_of(BitString::ones(5)) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_control_target_orientation() {
+        // Control q1 set, target q0: |q1=1,q0=0⟩ -> |11⟩.
+        let mut sv = StateVector::basis("10".parse().unwrap());
+        sv.apply_gate(&Gate::Cx { control: 1, target: 0 });
+        assert!((sv.probability_of("11".parse().unwrap()) - 1.0).abs() < TOL);
+        // Control q1 clear: |01⟩ unchanged.
+        let mut sv = StateVector::basis("01".parse().unwrap());
+        sv.apply_gate(&Gate::Cx { control: 1, target: 0 });
+        assert!((sv.probability_of("01".parse().unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_nonadjacent_qubits() {
+        let mut sv = StateVector::basis("001".parse().unwrap());
+        sv.apply_gate(&Gate::Cx { control: 0, target: 2 });
+        assert!((sv.probability_of("101".parse().unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut sv = StateVector::basis("01".parse().unwrap());
+        sv.apply_gate(&Gate::Swap { a: 0, b: 1 });
+        assert!((sv.probability_of("10".parse().unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(1, 0.7).ry(2, 1.3).cz(1, 2).rzz(0, 2, 0.5);
+        let mut sv = StateVector::zero(3);
+        sv.apply_circuit(&c);
+        sv.apply_circuit(&c.inverse());
+        assert!((sv.probability_of(BitString::zeros(3)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_preserved_by_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).cx(0, 2).rzz(1, 3, 0.9).ry(2, 0.2).cz(2, 3);
+        let sv = StateVector::from_circuit(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut count00 = 0;
+        let mut count11 = 0;
+        for _ in 0..n {
+            let s = sv.sample(&mut rng);
+            match s.value() {
+                0b00 => count00 += 1,
+                0b11 => count11 += 1,
+                other => panic!("impossible outcome {other:b}"),
+            }
+        }
+        let f = count00 as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.02, "f = {f}");
+        assert_eq!(count00 + count11, n);
+    }
+
+    #[test]
+    fn expectation_z() {
+        let sv = StateVector::zero(2);
+        assert!((sv.expectation_z(0) - 1.0).abs() < TOL);
+        let mut sv = StateVector::zero(2);
+        sv.apply_gate(&Gate::X(1));
+        assert!((sv.expectation_z(1) + 1.0).abs() < TOL);
+        let mut sv = StateVector::zero(1);
+        sv.apply_gate(&Gate::H(0));
+        assert!(sv.expectation_z(0).abs() < TOL);
+    }
+
+    #[test]
+    fn z_string_expectations() {
+        // |11⟩: ⟨Z0⟩ = ⟨Z1⟩ = −1, ⟨Z0 Z1⟩ = +1.
+        let sv = StateVector::basis("11".parse().unwrap());
+        assert!((sv.expectation_z_string(0b01) + 1.0).abs() < TOL);
+        assert!((sv.expectation_z_string(0b10) + 1.0).abs() < TOL);
+        assert!((sv.expectation_z_string(0b11) - 1.0).abs() < TOL);
+        assert!((sv.expectation_z_string(0) - 1.0).abs() < TOL);
+        // Bell state: single-qubit Z vanishes, the correlator is +1.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let bell = StateVector::from_circuit(&c);
+        assert!(bell.expectation_z_string(0b01).abs() < TOL);
+        assert!((bell.expectation_z_string(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn z_string_recovers_qaoa_cost() {
+        // cut(s) = Σ_edges (1 - Z_a Z_b)/2, so the expected cut equals the
+        // probability-weighted sum — cross-check against direct counting.
+        let mut c = Circuit::new(3);
+        c.h(0).ry(1, 0.7).cx(0, 2).rzz(1, 2, 0.4);
+        let sv = StateVector::from_circuit(&c);
+        let edges = [(0usize, 1usize), (1, 2), (0, 2)];
+        let via_z: f64 = edges
+            .iter()
+            .map(|&(a, b)| 0.5 * (1.0 - sv.expectation_z_string((1 << a) | (1 << b))))
+            .sum();
+        let via_counting: f64 = sv
+            .probabilities()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let crossing = edges
+                    .iter()
+                    .filter(|&&(a, b)| ((i >> a) & 1) != ((i >> b) & 1))
+                    .count();
+                p * crossing as f64
+            })
+            .sum();
+        assert!((via_z - via_counting).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_and_inner_product() {
+        let a = StateVector::zero(2);
+        let b = StateVector::basis("01".parse().unwrap());
+        assert!(a.fidelity(&b) < TOL);
+        assert!((a.fidelity(&a) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut sv = StateVector::zero(1);
+        sv.amps[0] = C64::real(2.0);
+        sv.normalize();
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        let v = vec![
+            C64::real(FRAC_1_SQRT_2),
+            C64::ZERO,
+            C64::ZERO,
+            C64::real(FRAC_1_SQRT_2),
+        ];
+        let sv = StateVector::from_amplitudes(v);
+        assert_eq!(sv.n_qubits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_rejects_unnormalized() {
+        StateVector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+
+    #[test]
+    fn rzz_phases_are_relative_only() {
+        // Rzz on a basis state changes only global phase: probabilities fixed.
+        let mut sv = StateVector::basis("11".parse().unwrap());
+        sv.apply_gate(&Gate::Rzz { a: 0, b: 1, theta: 1.234 });
+        assert!((sv.probability_of("11".parse().unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn two_qubit_gate_matches_composition() {
+        // CZ = H(target) CX H(target)
+        let mut c1 = Circuit::new(2);
+        c1.h(0).h(1).cz(0, 1);
+        let mut c2 = Circuit::new(2);
+        c2.h(0).h(1).h(1).cx(0, 1).h(1);
+        let a = StateVector::from_circuit(&c1);
+        let b = StateVector::from_circuit(&c2);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-9);
+    }
+}

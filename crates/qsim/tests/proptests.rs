@@ -1,0 +1,145 @@
+//! Property-based tests for the simulator's core data structures.
+
+use proptest::prelude::*;
+use qsim::{qasm, BitString, Circuit, Counts, DensityMatrix, Gate, StateVector};
+
+fn arb_bitstring(width: usize) -> impl Strategy<Value = BitString> {
+    (0u64..(1u64 << width)).prop_map(move |v| BitString::from_value(v, width))
+}
+
+/// A random gate over `n` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Tdg),
+        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Rx { qubit, theta }),
+        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Ry { qubit, theta }),
+        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Rz { qubit, theta }),
+        (q, -3.0..3.0f64).prop_map(|(qubit, lambda)| Gate::Phase { qubit, lambda }),
+        q2.clone()
+            .prop_map(|(control, target)| Gate::Cx { control, target }),
+        q2.clone()
+            .prop_map(|(control, target)| Gate::Cz { control, target }),
+        (q2.clone(), -3.0..3.0f64).prop_map(|((a, b), theta)| Gate::Rzz { a, b, theta }),
+        q2.prop_map(|(a, b)| Gate::Swap { a, b }),
+    ]
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        c.extend(gates);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-string display/parse round-trips for every width and value.
+    #[test]
+    fn bitstring_display_parse_roundtrip(width in 1usize..=16, raw in any::<u64>()) {
+        let value = raw & ((1u64 << width) - 1);
+        let s = BitString::from_value(value, width);
+        let text = s.to_string();
+        prop_assert_eq!(text.len(), width);
+        let back: BitString = text.parse().unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Hamming weight is invariant under complement pairs and XOR identity.
+    #[test]
+    fn bitstring_algebra(a in arb_bitstring(8), b in arb_bitstring(8)) {
+        prop_assert_eq!(a.hamming_weight() + a.inverted().hamming_weight(), 8);
+        prop_assert_eq!((a ^ b).hamming_weight(), a.hamming_distance(&b));
+        prop_assert_eq!(a ^ a, BitString::zeros(8));
+        prop_assert_eq!((a ^ b) ^ b, a);
+    }
+
+    /// Unitarity: every random circuit preserves the state norm.
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(4, 24)) {
+        let psi = StateVector::from_circuit(&c);
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Reversibility: a circuit followed by its inverse is the identity.
+    #[test]
+    fn circuit_inverse_is_identity(c in arb_circuit(4, 16)) {
+        let mut psi = StateVector::zero(4);
+        psi.apply_circuit(&c);
+        psi.apply_circuit(&c.inverse());
+        prop_assert!((psi.probability_of(BitString::zeros(4)) - 1.0).abs() < 1e-8);
+    }
+
+    /// Density-matrix evolution agrees with the state vector for pure
+    /// states.
+    #[test]
+    fn density_matches_statevector(c in arb_circuit(3, 12)) {
+        let psi = StateVector::from_circuit(&c);
+        let mut rho = DensityMatrix::zero(3);
+        rho.apply_circuit(&c);
+        let p_sv = psi.probabilities();
+        let p_dm = rho.probabilities();
+        for (a, b) in p_sv.iter().zip(&p_dm) {
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    /// QASM round-trip preserves arbitrary circuits exactly.
+    #[test]
+    fn qasm_roundtrip(c in arb_circuit(5, 20)) {
+        let text = qasm::to_qasm(&c);
+        let back = qasm::from_qasm(&text).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    /// Counts bookkeeping: totals and frequencies stay consistent under
+    /// merges and XOR corrections.
+    #[test]
+    fn counts_invariants(
+        outcomes in proptest::collection::vec(arb_bitstring(5), 1..100),
+        mask in arb_bitstring(5),
+    ) {
+        let counts: Counts = outcomes.iter().copied().collect();
+        prop_assert_eq!(counts.total(), outcomes.len() as u64);
+        let total_freq: f64 = BitString::all(5).map(|s| counts.frequency(&s)).sum();
+        prop_assert!((total_freq - 1.0).abs() < 1e-9);
+
+        let corrected = counts.xor_corrected(mask);
+        prop_assert_eq!(corrected.total(), counts.total());
+        prop_assert_eq!(corrected.distinct(), counts.distinct());
+        for s in BitString::all(5) {
+            prop_assert_eq!(corrected.get(&(s ^ mask)), counts.get(&s));
+        }
+    }
+
+    /// Circuit depth is monotone under composition and bounded by length.
+    #[test]
+    fn depth_bounds(a in arb_circuit(4, 12), b in arb_circuit(4, 12)) {
+        let mut ab = a.clone();
+        ab.append(&b);
+        prop_assert!(ab.depth() <= a.depth() + b.depth());
+        prop_assert!(ab.depth() >= a.depth());
+        prop_assert!(a.depth() <= a.len());
+    }
+
+    /// Born sampling only ever yields states with non-zero probability.
+    #[test]
+    fn sampling_respects_support(c in arb_circuit(3, 10), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let psi = StateVector::from_circuit(&c);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let s = psi.sample(&mut rng);
+            prop_assert!(psi.probability_of(s) > 0.0, "sampled zero-probability state {}", s);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The DESIGN.md §5 ablation studies as a printable artifact.
+//!
+//! The Criterion benches in `crates/bench/benches/ablations.rs` time these
+//! variants; this experiment prints their *quality* outcomes as tables so
+//! the ablation record is part of `repro all`.
+
+use crate::experiments::rng_for;
+use crate::{Config, ExperimentOutput};
+use invmeas::{
+    AdaptiveInvertMeasure, InversionString, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
+};
+use qmetrics::{fmt_prob, Table};
+use qnoise::{CorrelatedReadout, DeviceModel, NoisyExecutor, ReadoutModel, TensorReadout};
+use qsim::{BitString, Circuit};
+
+/// Runs every quality ablation and renders one section per design choice.
+pub fn ablations(cfg: &Config) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "ablations",
+        "Design-choice ablations (DESIGN.md §5)",
+    );
+    damping(&mut out);
+    crosstalk(&mut out);
+    sim_modes(cfg, &mut out);
+    aim_budget(cfg, &mut out);
+    out
+}
+
+/// ✦ `ablate_damping`: T1 relaxation over the measurement window is the
+/// dominant source of the Hamming-weight bias.
+fn damping(out: &mut ExperimentOutput) {
+    let dev = DeviceModel::ibmqx2();
+    let with = dev.readout();
+    let without = CorrelatedReadout::from_tensor(TensorReadout::new(
+        (0..dev.n_qubits()).map(|q| dev.qubit(q).assignment).collect(),
+    ));
+    let mut t = Table::new(&["channel", "relative BMS(11111)", "weight correlation"]);
+    for (name, r) in [("assignment + T1 damping", &with), ("assignment only", &without)] {
+        let table = RbmsTable::exact(r);
+        let rel = table.relative()[BitString::ones(5).index()];
+        t.row_owned(vec![
+            name.to_string(),
+            fmt_prob(rel),
+            format!("{:.3}", table.hamming_correlation()),
+        ]);
+    }
+    out.section(
+        "damping (bias source): removing the measurement-window T1 term collapses the bias",
+        t,
+    );
+}
+
+/// ✦ `ablate_correlation`: crosstalk adds which-qubit structure on ibmqx4.
+fn crosstalk(out: &mut ExperimentOutput) {
+    let dev = DeviceModel::ibmqx4();
+    let with = dev.readout();
+    let without = CorrelatedReadout::from_tensor(with.base().clone());
+    // Crosstalk redistributes strength in a source-dependent way: measure
+    // the largest per-state BMS change it causes, and which states move
+    // most.
+    let mut worst_state = BitString::zeros(5);
+    let mut worst_delta = 0.0f64;
+    for s in BitString::all(5) {
+        let d = (with.success_probability(s) - without.success_probability(s)).abs();
+        if d > worst_delta {
+            worst_delta = d;
+            worst_state = s;
+        }
+    }
+    let mut t = Table::new(&["channel", "weight correlation", "BMS of 11111"]);
+    for (name, r) in [("with crosstalk", &with), ("without crosstalk", &without)] {
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.3}", RbmsTable::exact(r).hamming_correlation()),
+            fmt_prob(r.success_probability(BitString::ones(5))),
+        ]);
+    }
+    out.section(
+        format!(
+            "crosstalk (arbitrary bias): redistributes strength per state (largest \
+             change {} at {worst_state}) — it shapes WHICH states are weak, while the \
+             heterogeneous per-qubit errors set the overall spread",
+            fmt_prob(worst_delta)
+        ),
+        t,
+    );
+}
+
+/// ✦ `ablate_sim_modes`: 1 / 2 / 4 / 8 inversion strings plus the
+/// profile-guided set.
+fn sim_modes(cfg: &Config, out: &mut ExperimentOutput) {
+    let mut rng = rng_for(cfg, "ablate-sim-modes");
+    let shots = cfg.shots(16_000);
+    let dev = DeviceModel::ibmqx2();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let ones = BitString::ones(5);
+    let zeros = BitString::zeros(5);
+    let profile = RbmsTable::exact(&dev.readout());
+
+    let mut eight = InversionString::sim_four(5);
+    for mask in ["00110", "11001", "01100", "10011"] {
+        eight.push(InversionString::from_mask(mask.parse().expect("valid")));
+    }
+    let variants: Vec<(String, StaticInvertMeasure)> = vec![
+        ("1 string (baseline)".into(), StaticInvertMeasure::new(vec![InversionString::standard(5)])),
+        ("2 strings".into(), StaticInvertMeasure::two_mode(5)),
+        ("4 strings (paper)".into(), StaticInvertMeasure::four_mode(5)),
+        ("8 strings".into(), StaticInvertMeasure::new(eight)),
+        (
+            "4 strings, profile-guided".into(),
+            StaticInvertMeasure::profile_guided(&profile, 4),
+        ),
+    ];
+    let mut t = Table::new(&["configuration", "PST of 11111", "PST of 00000"]);
+    for (name, sim) in &variants {
+        let weak = sim
+            .execute(&Circuit::basis_state_preparation(ones), shots, &exec, &mut rng)
+            .frequency(&ones);
+        let strong = sim
+            .execute(&Circuit::basis_state_preparation(zeros), shots, &exec, &mut rng)
+            .frequency(&zeros);
+        t.row_owned(vec![name.clone(), fmt_prob(weak), fmt_prob(strong)]);
+    }
+    out.section(
+        "SIM mode count: two strings already rescue the extreme states; four cover \
+         mid-weight states; more adds nothing (the paper chose four)",
+        t,
+    );
+}
+
+/// ✦ `ablate_aim_budget`: canary fraction and candidate count.
+fn aim_budget(cfg: &Config, out: &mut ExperimentOutput) {
+    let mut rng = rng_for(cfg, "ablate-aim-budget");
+    let shots = cfg.shots(16_000);
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let profile = RbmsTable::exact(&dev.readout());
+    let target: BitString = "11011".parse().expect("valid");
+    let circuit = Circuit::basis_state_preparation(target);
+
+    let mut t = Table::new(&["AIM configuration", "PST of 11011"]);
+    let configs: Vec<(String, AdaptiveInvertMeasure)> = vec![
+        (
+            "canary 10%".into(),
+            AdaptiveInvertMeasure::new(profile.clone()).with_canary_fraction(0.10),
+        ),
+        (
+            "canary 25% (paper)".into(),
+            AdaptiveInvertMeasure::new(profile.clone()),
+        ),
+        (
+            "canary 50%".into(),
+            AdaptiveInvertMeasure::new(profile.clone()).with_canary_fraction(0.50),
+        ),
+        ("k = 1".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(1)),
+        ("k = 2".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(2)),
+        ("k = 4 (paper)".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(4)),
+        ("k = 8".into(), AdaptiveInvertMeasure::new(profile).with_k(8)),
+    ];
+    for (name, aim) in &configs {
+        let pst = aim
+            .execute(&circuit, shots, &exec, &mut rng)
+            .frequency(&target);
+        t.row_owned(vec![name.clone(), fmt_prob(pst)]);
+    }
+    out.section(
+        "AIM budget: smaller canary fractions and smaller k concentrate budget on the \
+         winning prediction for this clean workload; the paper's 25%/k=4 trades peak \
+         PST for robustness when the canary is noisier",
+        t,
+    );
+}

@@ -1,0 +1,198 @@
+//! Extension experiments beyond the paper's figures: the §6.1
+//! repeatability study as a printable artifact, and the §4.3
+//! variability-aware mapping methodology made explicit.
+
+use crate::experiments::rng_for;
+use crate::{Config, ExperimentOutput};
+use invmeas::{AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable};
+use qmetrics::{fmt_prob, pearson_correlation, pst, Table};
+use qnoise::{CalibrationDrift, DeviceModel, Executor, NoisyExecutor};
+use qworkloads::Benchmark;
+
+/// §6.1 repeatability: the paper re-measured ibmqx4's arbitrary bias over
+/// 35 days / 100 calibration cycles and found it repeatable. This artifact
+/// measures the rank correlation of the RBMS across drifted calibration
+/// windows and shows that an AIM profile taken in one window keeps working
+/// in later windows.
+pub fn drift(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "drift");
+    let drift = CalibrationDrift::new(DeviceModel::ibmqx4(), 0.10).with_seed(cfg.seed);
+    let reference = RbmsTable::exact(&drift.window(0).readout());
+
+    let mut out = ExperimentOutput::new(
+        "drift",
+        "Repeatability of the measurement bias across calibration windows (paper §6.1)",
+    );
+    let mut t = Table::new(&[
+        "window",
+        "RBMS correlation vs window 0",
+        "strongest state",
+        "weakest state",
+    ]);
+    let windows = [1u64, 5, 20, 50, 99];
+    let mut min_corr = f64::INFINITY;
+    for &w in &windows {
+        let snap = RbmsTable::exact(&drift.window(w).readout());
+        let corr = pearson_correlation(&reference.relative(), &snap.relative());
+        min_corr = min_corr.min(corr);
+        t.row_owned(vec![
+            format!("w{w}"),
+            format!("{corr:.4}"),
+            snap.strongest_state().to_string(),
+            snap.weakest_state().to_string(),
+        ]);
+    }
+    out.section("bias structure across 100 windows (10% parameter drift)", t);
+
+    // A stale profile still drives AIM: profile in window 0, execute in
+    // window 99.
+    let shots = cfg.shots(8_000);
+    let late = drift.window(99);
+    let exec = NoisyExecutor::readout_only(&late);
+    let bench = Benchmark::bv_phase("bv-stale", "11011".parse().expect("valid"));
+    let base = pst(
+        &Baseline.execute(bench.circuit(), shots, &exec, &mut rng),
+        bench.correct(),
+    );
+    let stale_aim = AdaptiveInvertMeasure::new(reference.clone());
+    let aim = pst(
+        &stale_aim.execute(bench.circuit(), shots, &exec, &mut rng),
+        bench.correct(),
+    );
+    out.section(
+        "stale-profile AIM",
+        format!(
+            "profile from window 0, execution in window 99: baseline PST {}, AIM PST {} \
+             ({}x) — the bias is stable enough to reuse profiles across calibrations",
+            fmt_prob(base),
+            fmt_prob(aim),
+            format_args!("{:.2}", aim / base.max(1e-9)),
+        ),
+    );
+    out.section(
+        "paper reference",
+        format!(
+            "bias evaluated over 35 days / 100 cycles and found repeatable \
+             (minimum structure correlation here: {min_corr:.3})"
+        ),
+    );
+    out
+}
+
+/// Related-work comparison: Invert-and-Measure versus calibration-matrix
+/// unfolding (the mitigation approach of Sun & Geller 2019 and later
+/// toolkits), which the paper discusses only qualitatively. Both recover
+/// PST on readout-dominated workloads; unfolding needs `O(2^n)`
+/// calibration circuits and post-processes the distribution (producing
+/// quasi-probabilities that must be clipped), while SIM/AIM act shot by
+/// shot, and the scalable tensor-product unfolder is blind to crosstalk.
+pub fn unfolding(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "unfolding");
+    let shots = cfg.shots(16_000);
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let readout = dev.readout();
+    let profile = RbmsTable::exact(&readout);
+    let cm = invmeas::ConfusionMatrix::from_model(&readout);
+    let tensor = invmeas::TensorUnfolder::from_tensor(readout.base());
+
+    let mut out = ExperimentOutput::new(
+        "unfolding",
+        "Invert-and-Measure vs calibration-matrix unfolding (related work)",
+    );
+    let mut t = Table::new(&[
+        "target state",
+        "baseline",
+        "SIM-4",
+        "AIM",
+        "dense unfold",
+        "tensor unfold",
+    ]);
+    let sim = invmeas::StaticInvertMeasure::four_mode(5);
+    let aim = AdaptiveInvertMeasure::new(profile);
+    for target in ["00000", "01011", "11111"] {
+        let target: qsim::BitString = target.parse().expect("valid");
+        let circuit = qsim::Circuit::basis_state_preparation(target);
+        let base_log = Baseline.execute(&circuit, shots, &exec, &mut rng);
+        let sim_log = sim.execute(&circuit, shots, &exec, &mut rng);
+        let aim_log = aim.execute(&circuit, shots, &exec, &mut rng);
+        t.row_owned(vec![
+            target.to_string(),
+            fmt_prob(base_log.frequency(&target)),
+            fmt_prob(sim_log.frequency(&target)),
+            fmt_prob(aim_log.frequency(&target)),
+            fmt_prob(cm.unfold(&base_log).probability_of(target)),
+            fmt_prob(tensor.unfold(&base_log).probability_of(target)),
+        ]);
+    }
+    out.section("recovered probability of the true state (ibmqx4, readout only)", t);
+    out.section(
+        "trade-offs",
+        "dense unfolding is near-exact but needs 2^n calibration circuits and O(8^n) \
+         solves; the scalable tensor unfolder cannot see ibmqx4's readout crosstalk; \
+         SIM needs no calibration at all and AIM needs only the RBMS profile — and \
+         both produce real shot counts rather than clipped quasi-probabilities",
+    );
+    out
+}
+
+/// §4.3 methodology: variability-aware allocation + SWAP routing. Compares
+/// running GHZ-5 on melbourne under a naive allocation (first five qubits,
+/// which includes mediocre ones) versus the variability-aware placement,
+/// and shows the router's SWAP accounting for a connectivity-hostile
+/// workload.
+pub fn mapping(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "mapping");
+    let shots = cfg.shots(16_000);
+    let dev = DeviceModel::ibmq_melbourne();
+    let ghz = qworkloads::ghz_circuit(5);
+
+    let mut out = ExperimentOutput::new(
+        "mapping",
+        "Variability-aware allocation and SWAP routing (paper §4.3 methodology)",
+    );
+
+    let mut t = Table::new(&["allocation", "physical qubits", "swaps", "GHZ success"]);
+    let naive = qmapper::Placement::identity(5);
+    let aware = qmapper::allocate(&dev, 5).expect("melbourne fits 5 qubits");
+    for (name, placement) in [("naive (Q0..Q4)", &naive), ("variability-aware", &aware)] {
+        let routed = qmapper::route(&ghz, &dev, placement).expect("routable");
+        let exec = NoisyExecutor::from_device(&dev);
+        let physical_log = exec.run(routed.circuit(), shots, &mut rng);
+        let logical = routed.logical_counts(&physical_log);
+        let success = logical.frequency(&qsim::BitString::zeros(5))
+            + logical.frequency(&qsim::BitString::ones(5));
+        let qubits: Vec<String> = placement.physical().iter().map(|q| format!("Q{q}")).collect();
+        t.row_owned(vec![
+            name.to_string(),
+            qubits.join(","),
+            routed.swap_count().to_string(),
+            fmt_prob(success),
+        ]);
+    }
+    out.section("GHZ-5 on melbourne under two allocations", t);
+
+    // Routing cost of a connectivity-hostile circuit: QAOA's complete
+    // bipartite cost layer on the ladder coupling map.
+    let g = qworkloads::Graph::complete_bipartite("101011".parse().expect("valid"));
+    let qaoa = qworkloads::Qaoa::new(g, vec![0.7, 0.3], vec![0.4, 0.2]);
+    let circuit = qaoa.circuit();
+    let routed = qmapper::route_auto(&circuit, &dev).expect("routable");
+    out.section(
+        "routing cost",
+        format!(
+            "qaoa-6 (p=2, {} two-qubit gates) routed onto melbourne: {} SWAPs inserted, \
+             physical depth {} (logical depth {})",
+            circuit.two_qubit_gate_count(),
+            routed.swap_count(),
+            routed.circuit().depth(),
+            circuit.depth(),
+        ),
+    );
+    out.section(
+        "paper reference",
+        "benchmarks are mapped on the strongest qubits and links with the minimum \
+         number of SWAPs; baseline and mitigated runs share the identical mapping",
+    );
+    out
+}

@@ -1,0 +1,116 @@
+//! One module per paper artifact. See DESIGN.md §4 for the full index.
+
+pub mod ablations;
+pub mod characterization;
+pub mod extensions;
+pub mod ghz;
+pub mod machines;
+pub mod qaoa_study;
+pub mod sim_examples;
+pub mod suite_eval;
+pub mod sweeps;
+
+use crate::{Config, ExperimentOutput};
+
+/// Every reproducible artifact: `(id, summary)`.
+pub const ALL_EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "PST of 00000 / 11111 / inverted 11111 on IBM-Q5"),
+    ("table1", "min/avg/max measurement error per machine"),
+    ("fig3", "BV-2 output distributions: ideal, successful, masked"),
+    ("fig4", "relative BMS for all 32 ibmqx2 states (direct vs ESCT)"),
+    ("fig5", "relative BMS vs Hamming weight, 10 qubits on melbourne"),
+    ("fig6", "GHZ-5 output distribution, ideal vs NISQ"),
+    ("table2", "QAOA graphs A-E: PST/IST/ROCA vs output weight"),
+    ("table3", "benchmark characteristics"),
+    ("table4", "machine configurations"),
+    ("fig7", "SIM two-mode worked example (merge recovers answer)"),
+    ("fig8", "SIM four-string example on state 0101"),
+    ("fig9", "QAOA graph-D distribution: baseline vs SIM (ROCA)"),
+    ("fig10", "SIM PST normalized to baseline, all benchmarks/machines"),
+    ("fig11", "ibmqx4 arbitrary bias: per-state PST and BV-4 PST per key"),
+    ("fig13", "BV all 32 keys: baseline vs SIM vs AIM on ibmqx4"),
+    ("table5", "Inference Strength for baseline/SIM/AIM"),
+    ("fig14", "PST improvement of SIM and AIM normalized to baseline"),
+    ("fig15", "RBMS validation: direct vs ESCT vs AWCT on ibmqx4"),
+    ("drift", "EXTENSION: bias repeatability across calibration windows (6.1)"),
+    ("mapping", "EXTENSION: variability-aware allocation + SWAP routing (4.3)"),
+    ("unfolding", "EXTENSION: invert-and-measure vs matrix unfolding (related work)"),
+    ("ablations", "EXTENSION: design-choice ablation studies (DESIGN.md 5)"),
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns the unknown id back as `Err` so the CLI can report it.
+pub fn run(id: &str, cfg: &Config) -> Result<Vec<ExperimentOutput>, String> {
+    let out = match id {
+        "fig1" => vec![characterization::fig1(cfg)],
+        "table1" => vec![machines::table1(cfg)],
+        "fig3" => vec![sweeps::fig3(cfg)],
+        "fig4" => vec![characterization::fig4(cfg)],
+        "fig5" => vec![characterization::fig5(cfg)],
+        "fig6" => vec![ghz::fig6(cfg)],
+        "table2" => vec![qaoa_study::table2(cfg)],
+        "table3" => vec![machines::table3(cfg)],
+        "table4" => vec![machines::table4(cfg)],
+        "fig7" => vec![sim_examples::fig7(cfg)],
+        "fig8" => vec![sim_examples::fig8(cfg)],
+        "fig9" => vec![qaoa_study::fig9(cfg)],
+        "fig10" => vec![suite_eval::fig10(&suite_eval::evaluate(cfg))],
+        "fig11" => vec![sweeps::fig11(cfg)],
+        "fig13" => vec![sweeps::fig13(cfg)],
+        "table5" => vec![suite_eval::table5(&suite_eval::evaluate(cfg))],
+        "fig14" => vec![suite_eval::fig14(&suite_eval::evaluate(cfg))],
+        "fig15" => vec![characterization::fig15(cfg)],
+        "drift" => vec![extensions::drift(cfg)],
+        "mapping" => vec![extensions::mapping(cfg)],
+        "unfolding" => vec![extensions::unfolding(cfg)],
+        "ablations" => vec![ablations::ablations(cfg)],
+        "all" => return Ok(run_all(cfg)),
+        other => return Err(other.to_string()),
+    };
+    Ok(out)
+}
+
+/// Runs every experiment, evaluating the shared benchmark suite once.
+pub fn run_all(cfg: &Config) -> Vec<ExperimentOutput> {
+    let mut outputs = vec![
+        characterization::fig1(cfg),
+        machines::table1(cfg),
+        sweeps::fig3(cfg),
+        characterization::fig4(cfg),
+        characterization::fig5(cfg),
+        ghz::fig6(cfg),
+        qaoa_study::table2(cfg),
+        machines::table3(cfg),
+        machines::table4(cfg),
+        sim_examples::fig7(cfg),
+        sim_examples::fig8(cfg),
+        qaoa_study::fig9(cfg),
+    ];
+    let suite = suite_eval::evaluate(cfg);
+    outputs.push(suite_eval::fig10(&suite));
+    outputs.push(sweeps::fig11(cfg));
+    outputs.push(sweeps::fig13(cfg));
+    outputs.push(suite_eval::table5(&suite));
+    outputs.push(suite_eval::fig14(&suite));
+    outputs.push(characterization::fig15(cfg));
+    outputs.push(extensions::drift(cfg));
+    outputs.push(extensions::mapping(cfg));
+    outputs.push(extensions::unfolding(cfg));
+    outputs.push(ablations::ablations(cfg));
+    outputs
+}
+
+/// Derives a deterministic per-experiment RNG from the base seed so
+/// experiments are independent of execution order.
+pub(crate) fn rng_for(cfg: &Config, tag: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(cfg.seed ^ h)
+}

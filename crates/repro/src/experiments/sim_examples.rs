@@ -1,0 +1,149 @@
+//! Figures 7 and 8: the worked examples explaining how SIM's merge
+//! recovers answers and why more inversion strings help.
+
+use crate::experiments::rng_for;
+use crate::{Config, ExperimentOutput};
+use invmeas::{Baseline, InversionString, MeasurementPolicy, StaticInvertMeasure};
+use qmetrics::{fmt_prob, Table};
+use qnoise::{FlipPair, GateNoise, NoisyExecutor, TensorReadout};
+use qsim::{BitString, Circuit};
+
+/// A strongly 1-biased three-qubit toy machine for the Figure 7 demo. The
+/// 1 -> 0 error is set past 50 % (the worst-case regime a Table 1 31 %-mean
+/// qubit reaches once relaxation over a slow readout is included) so the
+/// standard mode genuinely masks the answer, as in the paper's panels.
+fn toy_executor(n: usize) -> NoisyExecutor {
+    let readout = TensorReadout::uniform(n, FlipPair::new(0.05, 0.58));
+    NoisyExecutor::new(
+        qnoise::CorrelatedReadout::from_tensor(readout),
+        GateNoise::ideal(n),
+    )
+}
+
+/// Figure 7: running a 3-bit program whose answer is `101` in standard and
+/// inverted modes, then merging. The standard mode masks the answer behind
+/// a lower-weight state; the merge restores it to the top.
+pub fn fig7(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "fig7");
+    let shots = cfg.shots(16_000);
+    let exec = toy_executor(3);
+    let answer: BitString = "101".parse().expect("valid");
+    let circuit = Circuit::basis_state_preparation(answer);
+
+    let sim = StaticInvertMeasure::two_mode(3);
+    let (groups, merged) = sim.execute_detailed(&circuit, shots, &exec, &mut rng);
+
+    let mut out = ExperimentOutput::new(
+        "fig7",
+        "SIM worked example: standard + inverted modes merged (paper Figure 7)",
+    );
+    let render = |log: &qsim::Counts| {
+        let mut t = Table::new(&["output", "probability"]);
+        for (s, n) in log.ranked().into_iter().take(5) {
+            t.row_owned(vec![
+                s.to_string(),
+                fmt_prob(n as f64 / log.total() as f64),
+            ]);
+        }
+        t
+    };
+    out.section(
+        format!("A: standard mode (PST {})", fmt_prob(groups[0].frequency(&answer))),
+        render(&groups[0]),
+    );
+    out.section(
+        format!(
+            "C: inverted mode, post-corrected (PST {})",
+            fmt_prob(groups[1].frequency(&answer))
+        ),
+        render(&groups[1]),
+    );
+    out.section(
+        format!("D: merged (PST {})", fmt_prob(merged.frequency(&answer))),
+        render(&merged),
+    );
+    out.section(
+        "paper reference",
+        "standard-mode PST 0.35 with a stronger wrong answer; merged PST 0.55 \
+         with the correct answer on top",
+    );
+    out
+}
+
+/// Figure 8: measuring the state `0101`, which two-mode SIM barely helps
+/// (its inverse `1010` is no stronger), with one, two, and four inversion
+/// strings. The four-string set covers the moderate-Hamming-weight case.
+pub fn fig8(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "fig8");
+    let shots = cfg.shots(16_000);
+    // The paper's Figure 8 scenario — BMS(0000)=0.9, BMS(1111)=0.3,
+    // BMS(0101)=0.40, BMS(1010)=0.45 — cannot be realized by ANY
+    // independent per-qubit channel (the four products are inconsistent:
+    // BMS(0101)·BMS(1010) must equal BMS(0000)·BMS(1111) for a tensor
+    // channel, but 0.4·0.45 != 0.9·0.3). It requires correlated readout;
+    // this toy reproduces it with excited-neighbour crosstalk.
+    let readout = qnoise::CorrelatedReadout::new(
+        TensorReadout::uniform(4, FlipPair::new(0.025, 0.13)),
+        vec![
+            qnoise::Crosstalk::new(0, 1, 0.25),
+            qnoise::Crosstalk::new(2, 3, 0.25),
+            qnoise::Crosstalk::new(1, 2, 0.20),
+            qnoise::Crosstalk::new(3, 0, 0.20),
+        ],
+    );
+    let exec = NoisyExecutor::new(readout.clone(), GateNoise::ideal(4));
+    let answer: BitString = "0101".parse().expect("valid");
+    let circuit = Circuit::basis_state_preparation(answer);
+    let mut strengths = Table::new(&["physical state", "exact BMS"]);
+    for s in [answer, answer.inverted(), "0000".parse().expect("valid"), "1111".parse().expect("valid")] {
+        strengths.row_owned(vec![
+            s.to_string(),
+            fmt_prob(qnoise::ReadoutModel::success_probability(&readout, s)),
+        ]);
+    }
+
+    let mut out = ExperimentOutput::new(
+        "fig8",
+        "SIM with four inversion strings on state 0101 (paper Figure 8)",
+    );
+    out.section("why two modes are not enough here", strengths);
+
+    let mut t = Table::new(&["policy", "inversion strings", "PST of 0101"]);
+    let baseline = Baseline.execute(&circuit, shots, &exec, &mut rng);
+    t.row_owned(vec![
+        "baseline".into(),
+        "none".into(),
+        fmt_prob(baseline.frequency(&answer)),
+    ]);
+    for sim in [
+        StaticInvertMeasure::two_mode(4),
+        StaticInvertMeasure::four_mode(4),
+    ] {
+        let log = sim.execute(&circuit, shots, &exec, &mut rng);
+        let strings: Vec<String> = sim.strings().iter().map(|i| i.mask().to_string()).collect();
+        t.row_owned(vec![
+            sim.name(),
+            strings.join(","),
+            fmt_prob(log.frequency(&answer)),
+        ]);
+    }
+    // The ideal four-string average for reference.
+    let avg: f64 = InversionString::sim_four(4)
+        .iter()
+        .map(|inv| {
+            qnoise::ReadoutModel::success_probability(&readout, inv.measured_state(answer))
+        })
+        .sum::<f64>()
+        / 4.0;
+    out.section("measured PST per mode count", t);
+    out.section(
+        "expected four-mode average",
+        format!("mean BMS over the four measured bases: {}", fmt_prob(avg)),
+    );
+    out.section(
+        "paper reference",
+        "averaging over four modes yields ~0.51 for a state whose direct and \
+         fully inverted BMS are 0.40 and 0.45",
+    );
+    out
+}

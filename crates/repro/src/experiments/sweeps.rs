@@ -1,0 +1,172 @@
+//! Figures 3, 11, and 13: Bernstein-Vazirani sweeps over key values.
+
+use crate::experiments::rng_for;
+use crate::{Config, ExperimentOutput};
+use invmeas::{AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use qmetrics::{fmt_prob, min_avg_max, pearson_correlation, pst, Table};
+use qnoise::{DeviceModel, Executor, IdealExecutor, NoisyExecutor};
+use qsim::BitString;
+use qworkloads::Benchmark;
+
+/// Figure 3(b–d): BV with a 2-bit key on an ideal machine, a successful
+/// NISQ execution, and a masked one (high-weight key on weak qubits).
+pub fn fig3(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "fig3");
+    let shots = cfg.shots(16_000);
+    // An illustrative two-qubit machine whose second qubit sits at the
+    // worst case of Table 1 (a 31% mean readout error concentrated in the
+    // 1 -> 0 direction, p10 = 0.55): exactly the regime where a key bit is
+    // more often lost than kept, producing the paper's masked panel (d).
+    let readout = qnoise::CorrelatedReadout::from_tensor(qnoise::TensorReadout::new(vec![
+        qnoise::FlipPair::new(0.05, 0.15),
+        qnoise::FlipPair::new(0.05, 0.55),
+    ]));
+    let noisy = NoisyExecutor::new(readout, qnoise::GateNoise::uniform(2, 0.002, 0.03));
+    let ideal = IdealExecutor::new(2);
+
+    let mut out = ExperimentOutput::new(
+        "fig3",
+        "BV 2-bit output distributions: ideal / successful / masked (paper Figure 3)",
+    );
+    let cases: [(&str, &dyn Executor, &str); 3] = [
+        ("(b) ideal machine, key 01", &ideal, "01"),
+        ("(c) NISQ machine, key 01", &noisy, "01"),
+        ("(d) NISQ machine, key 11", &noisy, "11"),
+    ];
+    for (label, exec, key) in cases {
+        let bench = Benchmark::bv_phase("bv-2", key.parse().expect("valid"));
+        let log = Baseline.execute(bench.circuit(), shots, exec, &mut rng);
+        let mut t = Table::new(&["output", "probability", "correct?"]);
+        for s in BitString::all(2) {
+            t.row_owned(vec![
+                s.to_string(),
+                fmt_prob(log.frequency(&s)),
+                if bench.correct().contains(&s) { "YES" } else { "" }.to_string(),
+            ]);
+        }
+        let p = pst(&log, bench.correct());
+        let inferable = log.mode().map(|m| bench.correct().contains(&m)).unwrap_or(false);
+        out.section(
+            format!("{label}: PST {}, inferable: {inferable}", fmt_prob(p)),
+            t,
+        );
+    }
+    out.section(
+        "paper reference",
+        "(c) correct answer at 50% is inferable; (d) a 35% incorrect answer \
+         masks the 30% correct one",
+    );
+    out
+}
+
+/// Figure 11: (a) PST of directly measuring each of the 32 basis states on
+/// ibmqx4 — the arbitrary, non-monotone bias; (b) PST of BV across all 32
+/// keys, which tracks the same per-state strength.
+pub fn fig11(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "fig11");
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::from_device(&dev);
+
+    // (a) direct basis measurement.
+    let basis_shots = cfg.shots(16_000);
+    let mut basis_pst = Vec::with_capacity(32);
+    for s in BitString::all(5) {
+        let c = qsim::Circuit::basis_state_preparation(s);
+        let log = exec.run(&c, basis_shots, &mut rng);
+        basis_pst.push(log.frequency(&s));
+    }
+
+    // (b) BV with every key (ancilla-free so the output register is the
+    // 5-bit key, matching the x-axis of the paper's plot).
+    let bv_shots = cfg.shots(24_000);
+    let mut bv_pst = Vec::with_capacity(32);
+    for key in BitString::all(5) {
+        let bench = Benchmark::bv_phase("bv", key);
+        let log = Baseline.execute(bench.circuit(), bv_shots, &exec, &mut rng);
+        bv_pst.push(pst(&log, bench.correct()));
+    }
+
+    let mut out = ExperimentOutput::new(
+        "fig11",
+        "Arbitrary measurement bias on ibmqx4 (paper Figure 11)",
+    );
+    let mut t = Table::new(&["state/key", "weight", "(a) basis PST", "(b) BV PST"]);
+    for s in BitString::all_by_hamming_weight(5) {
+        t.row_owned(vec![
+            s.to_string(),
+            s.hamming_weight().to_string(),
+            fmt_prob(basis_pst[s.index()]),
+            fmt_prob(bv_pst[s.index()]),
+        ]);
+    }
+    out.section("per-state PST (x-axis in ascending Hamming weight)", t);
+
+    let weight_corr = qmetrics::hamming_weight_correlation(5, &basis_pst);
+    let series_corr = pearson_correlation(&basis_pst, &bv_pst);
+    out.section(
+        "summary",
+        format!(
+            "basis-PST vs Hamming-weight correlation: {weight_corr:.3} (weaker than \
+             ibmqx2's -0.93 — the bias is arbitrary)\n\
+             BV PST vs basis PST correlation: {series_corr:.3} (application fidelity \
+             tracks measurement strength)"
+        ),
+    );
+    out.section(
+        "paper reference",
+        "strength is not monotone in weight on ibmqx4; weak basis states have \
+         significantly lower application PST",
+    );
+    out
+}
+
+/// Figure 13: BV for all 32 keys under baseline, SIM, and AIM on ibmqx4.
+pub fn fig13(cfg: &Config) -> ExperimentOutput {
+    let mut rng = rng_for(cfg, "fig13");
+    let shots = cfg.shots(8_000);
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::from_device(&dev);
+    // AIM's machine profile: brute-force characterization on the same
+    // executor (the paper's IBM-Q5 methodology, §6.2.1).
+    let profile = RbmsTable::brute_force(&exec, cfg.shots(16_000), &mut rng);
+    let sim = StaticInvertMeasure::four_mode(5);
+    let aim = AdaptiveInvertMeasure::new(profile);
+
+    let mut series: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut t = Table::new(&["key", "weight", "baseline", "SIM", "AIM"]);
+    for key in BitString::all_by_hamming_weight(5) {
+        let bench = Benchmark::bv_phase("bv", key);
+        let policies: [&dyn MeasurementPolicy; 3] = [&Baseline, &sim, &aim];
+        let mut row = vec![key.to_string(), key.hamming_weight().to_string()];
+        for (i, policy) in policies.iter().enumerate() {
+            let log = policy.execute(bench.circuit(), shots, &exec, &mut rng);
+            let p = pst(&log, bench.correct());
+            series[i].push(p);
+            row.push(fmt_prob(p));
+        }
+        t.row_owned(row);
+    }
+
+    let mut out = ExperimentOutput::new(
+        "fig13",
+        "BV with all 32 keys: baseline vs SIM vs AIM on ibmqx4 (paper Figure 13)",
+    );
+    out.section("PST per key (x-axis in ascending Hamming weight)", t);
+    let mut s = Table::new(&["policy", "min PST", "avg PST", "max PST"]);
+    for (name, vals) in [("baseline", &series[0]), ("SIM", &series[1]), ("AIM", &series[2])] {
+        let (min, avg, max) = min_avg_max(vals);
+        s.row_owned(vec![
+            name.to_string(),
+            fmt_prob(min),
+            fmt_prob(avg),
+            fmt_prob(max),
+        ]);
+    }
+    out.section("stability summary", s);
+    out.section(
+        "paper reference",
+        "baseline/SIM PST varies strongly with the key; AIM stays uniformly \
+         high except at the trivial strongest state",
+    );
+    out
+}

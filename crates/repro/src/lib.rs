@@ -1,0 +1,103 @@
+//! # repro — the table/figure regeneration harness
+//!
+//! Every evaluation artifact of the paper is an experiment module under
+//! [`experiments`]; each produces an [`ExperimentOutput`] of rendered
+//! tables, and the `repro` binary prints them:
+//!
+//! ```sh
+//! cargo run --release -p repro -- list         # what can be reproduced
+//! cargo run --release -p repro -- fig13        # one artifact
+//! cargo run --release -p repro -- all          # everything (EXPERIMENTS.md)
+//! cargo run --release -p repro -- fig10 --scale 0.25   # quarter trials
+//! ```
+//!
+//! `--scale` multiplies every trial count (1.0 = the paper's shot budgets);
+//! the integration tests run at low scale for speed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+
+use std::fmt;
+
+/// The rendered result of one reproduction experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Stable identifier (`fig1`, `table5`, …) matching DESIGN.md's index.
+    pub id: &'static str,
+    /// Human-readable title including the paper artifact it regenerates.
+    pub title: String,
+    /// Named sections of rendered text (tables, notes).
+    pub sections: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Creates an output with no sections yet.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentOutput {
+            id,
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a named section.
+    pub fn section(&mut self, name: impl Into<String>, body: impl fmt::Display) -> &mut Self {
+        self.sections.push((name.into(), body.to_string()));
+        self
+    }
+
+    /// Finds a section body by name (used by the smoke tests).
+    pub fn find(&self, name: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_str())
+    }
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== [{}] {} ====", self.id, self.title)?;
+        for (name, body) in &self.sections {
+            writeln!(f, "\n-- {name} --")?;
+            writeln!(f, "{body}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Multiplier on every trial count (1.0 = paper budgets).
+    pub scale: f64,
+    /// Base RNG seed; every experiment derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: 1.0,
+            seed: 0x5eed_2019,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with a reduced trial budget for fast test runs.
+    pub fn quick() -> Self {
+        Config {
+            scale: 0.05,
+            ..Config::default()
+        }
+    }
+
+    /// Scales a paper shot budget, keeping at least 64 trials so metric
+    /// denominators stay meaningful.
+    pub fn shots(&self, paper_shots: u64) -> u64 {
+        (((paper_shots as f64) * self.scale).round() as u64).max(64)
+    }
+}

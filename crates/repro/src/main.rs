@@ -1,0 +1,74 @@
+//! Command-line entry point for the reproduction harness.
+
+use repro::experiments::{self, ALL_EXPERIMENTS};
+use repro::Config;
+use std::process::ExitCode;
+
+fn print_usage() {
+    eprintln!("usage: repro <experiment|all|list> [--scale FACTOR] [--seed SEED]");
+    eprintln!();
+    eprintln!("experiments:");
+    for (id, summary) in ALL_EXPERIMENTS {
+        eprintln!("  {id:<8} {summary}");
+    }
+    eprintln!();
+    eprintln!("--scale multiplies every trial count (default 1.0 = paper budgets)");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut cfg = Config::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => cfg.scale = s,
+                _ => {
+                    eprintln!("--scale needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => cfg.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    if target == "list" {
+        for (id, summary) in ALL_EXPERIMENTS {
+            println!("{id:<8} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    match experiments::run(&target, &cfg) {
+        Ok(outputs) => {
+            for out in outputs {
+                println!("{out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(unknown) => {
+            eprintln!("unknown experiment {unknown:?}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The Bernstein-Vazirani kernel.
+//!
+//! BV hides an `n`-bit secret key `s` inside an oracle computing
+//! `f(x) = s·x (mod 2)` and recovers the whole key in a single query. On an
+//! ideal machine the output equals the key with probability 1, which makes
+//! BV the paper's preferred probe of machine reliability: any deviation of
+//! PST from 1 is pure error (§4.1).
+//!
+//! Two oracle constructions are provided:
+//!
+//! * [`BernsteinVazirani::with_ancilla`] — the textbook form with a `|−⟩`
+//!   ancilla and one CNOT per set key bit. This is what runs on hardware and
+//!   is the form the paper's benchmarks use (bv-4 outputs a 5-bit string:
+//!   4 key bits plus the ancilla, §6.1).
+//! * [`BernsteinVazirani::phase_oracle`] — the ancilla-free equivalent where
+//!   the oracle is a layer of Z gates. The output register is exactly the
+//!   key, which is convenient for the paper's 32-key sweeps (Figures 11(b)
+//!   and 13) where the x-axis enumerates all 5-bit states.
+
+use qsim::{BitString, Circuit};
+
+/// A Bernstein-Vazirani instance.
+///
+/// # Examples
+///
+/// ```
+/// use qworkloads::BernsteinVazirani;
+/// use qsim::StateVector;
+///
+/// let bv = BernsteinVazirani::phase_oracle("0111".parse()?);
+/// let psi = StateVector::from_circuit(bv.circuit());
+/// // Ideal machine: the key is recovered with certainty.
+/// assert!((psi.probability_of(bv.expected_output()) - 1.0).abs() < 1e-9);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BernsteinVazirani {
+    secret: BitString,
+    circuit: Circuit,
+    expected: BitString,
+    uses_ancilla: bool,
+}
+
+impl BernsteinVazirani {
+    /// Builds the hardware-style instance: `secret.width() + 1` qubits, the
+    /// ancilla on the highest index, and one CNOT per set key bit.
+    ///
+    /// The expected output is the key with the ancilla bit reading 1 (the
+    /// ancilla is returned to `|1⟩` by the final Hadamard).
+    pub fn with_ancilla(secret: BitString) -> Self {
+        let n = secret.width();
+        let anc = n;
+        let mut c = Circuit::new(n + 1);
+        // Ancilla to |−⟩.
+        c.x(anc).h(anc);
+        for q in 0..n {
+            c.h(q);
+        }
+        // Oracle: f(x) = s·x via phase kickback.
+        for q in secret.iter_ones() {
+            c.cx(q, anc);
+        }
+        for q in 0..n {
+            c.h(q);
+        }
+        // Return the ancilla to the computational basis (|−⟩ -> |1⟩).
+        c.h(anc);
+        let expected = secret.concat(&BitString::ones(1));
+        BernsteinVazirani {
+            secret,
+            circuit: c,
+            expected,
+            uses_ancilla: true,
+        }
+    }
+
+    /// Builds the ancilla-free instance: `secret.width()` qubits, the
+    /// oracle a layer of Z gates on the set key bits. The expected output
+    /// is exactly the key.
+    pub fn phase_oracle(secret: BitString) -> Self {
+        let n = secret.width();
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in secret.iter_ones() {
+            c.z(q);
+        }
+        for q in 0..n {
+            c.h(q);
+        }
+        BernsteinVazirani {
+            secret,
+            circuit: c,
+            expected: secret,
+            uses_ancilla: false,
+        }
+    }
+
+    /// The hidden key.
+    pub fn secret(&self) -> BitString {
+        self.secret
+    }
+
+    /// The kernel circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The full-register output an error-free machine produces with
+    /// probability 1.
+    pub fn expected_output(&self) -> BitString {
+        self.expected
+    }
+
+    /// Whether this instance carries an ancilla qubit.
+    pub fn uses_ancilla(&self) -> bool {
+        self.uses_ancilla
+    }
+
+    /// The register width of the measured output.
+    pub fn output_width(&self) -> usize {
+        self.circuit.n_qubits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn phase_oracle_recovers_every_4bit_key() {
+        for v in 0..16u64 {
+            let key = BitString::from_value(v, 4);
+            let bv = BernsteinVazirani::phase_oracle(key);
+            let psi = StateVector::from_circuit(bv.circuit());
+            assert!(
+                (psi.probability_of(key) - 1.0).abs() < 1e-9,
+                "key {key} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn ancilla_oracle_recovers_every_3bit_key() {
+        for v in 0..8u64 {
+            let key = BitString::from_value(v, 3);
+            let bv = BernsteinVazirani::with_ancilla(key);
+            assert_eq!(bv.output_width(), 4);
+            let psi = StateVector::from_circuit(bv.circuit());
+            let expected = bv.expected_output();
+            assert_eq!(expected.window(0, 3), key);
+            assert!(expected.bit(3), "ancilla should read 1");
+            assert!(
+                (psi.probability_of(expected) - 1.0).abs() < 1e-9,
+                "key {key} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_counts_scale_with_key_weight() {
+        let light = BernsteinVazirani::with_ancilla(bs("0001"));
+        let heavy = BernsteinVazirani::with_ancilla(bs("1111"));
+        assert_eq!(light.circuit().two_qubit_gate_count(), 1);
+        assert_eq!(heavy.circuit().two_qubit_gate_count(), 4);
+        // Table 3: gate count scales linearly with problem size.
+        let bv6 = BernsteinVazirani::with_ancilla(bs("011111"));
+        assert_eq!(bv6.circuit().two_qubit_gate_count(), 5);
+    }
+
+    #[test]
+    fn phase_oracle_has_no_two_qubit_gates() {
+        let bv = BernsteinVazirani::phase_oracle(bs("10110"));
+        assert_eq!(bv.circuit().two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn zero_key_is_trivial() {
+        let bv = BernsteinVazirani::phase_oracle(bs("0000"));
+        let psi = StateVector::from_circuit(bv.circuit());
+        assert!((psi.probability_of(bs("0000")) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_benchmark_keys() {
+        // Table 3 instances.
+        for (key, width) in [("0111", 4), ("1111", 4), ("011111", 6), ("0111111", 7)] {
+            let bv = BernsteinVazirani::with_ancilla(bs(key));
+            assert_eq!(bv.secret().width(), width);
+            assert_eq!(bv.output_width(), width + 1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # qworkloads — the paper's NISQ benchmark kernels
+//!
+//! Implements every workload Tannu & Qureshi evaluate:
+//!
+//! * [`BernsteinVazirani`] — key-recovery kernel (bv-4A/4B/6/7, and the
+//!   all-keys sweeps of Figures 11(b) and 13);
+//! * [`Graph`] / [`Qaoa`] — max-cut QAOA with deterministic angle training
+//!   (qaoa-4A/4B/6/7 and the Table 2 graph study);
+//! * [`ghz_circuit`] and friends — the state preparations behind the
+//!   characterization figures;
+//! * [`Benchmark`] with [`suite_q5`] / [`suite_q14`] — the Table 3 suite
+//!   bundled with correct-answer sets.
+//!
+//! ## Example
+//!
+//! ```
+//! use qworkloads::{suite_q5, BenchmarkKind};
+//!
+//! let suite = suite_q5();
+//! assert_eq!(suite.len(), 4);
+//! assert_eq!(suite[0].name(), "bv-4A");
+//! assert_eq!(suite[0].kind(), BenchmarkKind::BernsteinVazirani);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bv;
+pub mod qaoa;
+pub mod states;
+pub mod suite;
+
+pub use bv::BernsteinVazirani;
+pub use qaoa::{Graph, GraphError, Qaoa};
+pub use states::{
+    basis_state_circuit, ghz_circuit, uniform_superposition_circuit, w_state_circuit,
+};
+pub use suite::{
+    suite_q14, suite_q5, table2_benchmarks, table2_graphs, Benchmark, BenchmarkKind,
+};

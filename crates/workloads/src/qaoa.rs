@@ -1,0 +1,584 @@
+//! The Quantum Approximate Optimization Algorithm for max-cut.
+//!
+//! QAOA (Farhi et al.) alternates `p` layers of a cost unitary
+//! `exp(−iγ_l C)` and a mixer `exp(−iβ_l Σ X_i)` on a uniform
+//! superposition; for max-cut the cost unitary is one `Rzz` per graph edge.
+//! The measured bit string encodes a graph partition; on an error-free
+//! machine the optimal cut has the highest output frequency (§4.1).
+//!
+//! The paper freezes trained circuits and studies how measurement errors
+//! corrupt the output distribution; accordingly this module trains the
+//! angles against the *ideal* simulator ([`Qaoa::optimized`]) and exposes
+//! the trained circuit for noisy execution.
+
+use qsim::{BitString, Circuit, StateVector};
+use std::fmt;
+
+/// An undirected, unweighted graph for max-cut instances.
+///
+/// # Examples
+///
+/// ```
+/// use qworkloads::Graph;
+///
+/// // A 4-cycle: the max cut (4 edges) is the alternating partition.
+/// let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.cut_value("0101".parse().unwrap()), 4);
+/// let (best, cuts) = g.max_cut_brute_force();
+/// assert_eq!(best, 4);
+/// assert!(cuts.contains(&"0101".parse().unwrap()));
+/// # Ok::<(), qworkloads::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+/// Error constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The node count was zero.
+    NoNodes,
+    /// An edge referenced a node outside `0..n_nodes`.
+    EdgeOutOfRange(usize, usize),
+    /// An edge connected a node to itself.
+    SelfLoop(usize),
+    /// The same edge appeared twice.
+    DuplicateEdge(usize, usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NoNodes => write!(f, "graph has no nodes"),
+            GraphError::EdgeOutOfRange(a, b) => write!(f, "edge ({a}, {b}) out of range"),
+            GraphError::SelfLoop(a) => write!(f, "self loop on node {a}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge ({a}, {b})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Creates a graph, normalizing each edge to `(min, max)` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the node count is zero, an edge is out of
+    /// range or a self-loop, or an edge repeats.
+    pub fn new(n_nodes: usize, edges: Vec<(usize, usize)>) -> Result<Self, GraphError> {
+        if n_nodes == 0 {
+            return Err(GraphError::NoNodes);
+        }
+        let mut normalized: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for (a, b) in edges {
+            if a >= n_nodes || b >= n_nodes {
+                return Err(GraphError::EdgeOutOfRange(a, b));
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+            let e = (a.min(b), a.max(b));
+            if normalized.contains(&e) {
+                return Err(GraphError::DuplicateEdge(e.0, e.1));
+            }
+            normalized.push(e);
+        }
+        Ok(Graph {
+            n_nodes,
+            edges: normalized,
+        })
+    }
+
+    /// The complete bipartite graph between the set bits of `partition` and
+    /// the rest. Its unique max cut (up to complement) is `partition`
+    /// itself, which makes it the canonical way to pin a benchmark's
+    /// correct answer to a chosen bit string (paper Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is all-zeros or all-ones (no cut exists).
+    pub fn complete_bipartite(partition: BitString) -> Graph {
+        let n = partition.width();
+        let w = partition.hamming_weight();
+        assert!(
+            w > 0 && (w as usize) < n,
+            "partition must be a proper cut, got {partition}"
+        );
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if partition.bit(a) != partition.bit(b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Graph { n_nodes: n, edges }
+    }
+
+    /// The cycle graph `0-1-…-(n-1)-0`. Its max cut is `n` for even `n`
+    /// (the alternating partition) and `n − 1` for odd `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Graph {
+        assert!(n >= 3, "a ring needs at least three nodes");
+        let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::new(n, edges).expect("ring edges are valid")
+    }
+
+    /// The path graph `0-1-…-(n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn path(n: usize) -> Graph {
+        assert!(n >= 2, "a path needs at least two nodes");
+        Graph::new(n, (0..n - 1).map(|i| (i, i + 1)).collect()).expect("path edges are valid")
+    }
+
+    /// The complete graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn complete(n: usize) -> Graph {
+        assert!(n >= 2, "a complete graph needs at least two nodes");
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Graph::new(n, edges).expect("complete edges are valid")
+    }
+
+    /// A deterministic Erdős–Rényi-style random graph: each possible edge
+    /// is included with probability `density`, driven by a seeded internal
+    /// generator (SplitMix64) so instances are reproducible without an RNG
+    /// dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `density` is outside `[0, 1]`.
+    pub fn random(n: usize, density: f64, seed: u64) -> Graph {
+        assert!(n >= 2, "a random graph needs at least two nodes");
+        assert!((0.0..=1.0).contains(&density), "density out of range");
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            // SplitMix64.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let u = next() as f64 / u64::MAX as f64;
+                if u < density {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Graph::new(n, edges).expect("random edges are valid")
+    }
+
+    /// The number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The edges in normalized order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The number of edges crossing the cut `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.width() != n_nodes`.
+    pub fn cut_value(&self, partition: BitString) -> usize {
+        assert_eq!(partition.width(), self.n_nodes, "partition width mismatch");
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| partition.bit(a) != partition.bit(b))
+            .count()
+    }
+
+    /// Brute-force max cut: the optimal value and every partition achieving
+    /// it (complement pairs both included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 nodes.
+    pub fn max_cut_brute_force(&self) -> (usize, Vec<BitString>) {
+        assert!(self.n_nodes <= 24, "brute force limited to 24 nodes");
+        let mut best = 0;
+        let mut cuts = Vec::new();
+        for s in BitString::all(self.n_nodes) {
+            let v = self.cut_value(s);
+            if v > best {
+                best = v;
+                cuts.clear();
+            }
+            if v == best {
+                cuts.push(s);
+            }
+        }
+        (best, cuts)
+    }
+}
+
+/// A trained QAOA max-cut instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qaoa {
+    graph: Graph,
+    gammas: Vec<f64>,
+    betas: Vec<f64>,
+}
+
+impl Qaoa {
+    /// Creates an instance with explicit angles (one `(γ, β)` pair per
+    /// layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the angle vectors are empty or have different lengths.
+    pub fn new(graph: Graph, gammas: Vec<f64>, betas: Vec<f64>) -> Self {
+        assert!(!gammas.is_empty(), "need at least one layer");
+        assert_eq!(gammas.len(), betas.len(), "angle vectors must match");
+        Qaoa {
+            graph,
+            gammas,
+            betas,
+        }
+    }
+
+    /// Trains a `p`-layer instance against the ideal simulator with a
+    /// coarse grid followed by coordinate-descent refinement, maximizing the
+    /// expected cut value.
+    ///
+    /// Deterministic: no randomness is used, so the trained circuit is
+    /// reproducible across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is 0 or the graph exceeds the simulator's size limit.
+    pub fn optimized(graph: Graph, p: usize) -> Self {
+        Qaoa::optimized_by(graph, p, |qaoa| qaoa.expected_cut_value())
+    }
+
+    /// Trains against a caller-supplied objective — the form real
+    /// experiments take, where the variational loop evaluates the cost on
+    /// *hardware* (shots under noise) rather than on an ideal simulator.
+    /// The optimizer itself is the same deterministic grid + coordinate
+    /// descent as [`Qaoa::optimized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is 0.
+    ///
+    /// # Examples
+    ///
+    /// Train against a shot-based objective (here the exact expectation for
+    /// brevity; a hardware loop would estimate it from sampled counts):
+    ///
+    /// ```
+    /// use qworkloads::{Graph, Qaoa};
+    ///
+    /// let g = Graph::ring(4);
+    /// let trained = Qaoa::optimized_by(g, 1, |q| q.expected_cut_value());
+    /// assert!(trained.expected_cut_value() > 2.0); // above the |E|/2 floor
+    /// ```
+    pub fn optimized_by<F>(graph: Graph, p: usize, mut objective: F) -> Self
+    where
+        F: FnMut(&Qaoa) -> f64,
+    {
+        assert!(p >= 1, "need at least one layer");
+        let mut qaoa = Qaoa::new(graph, vec![0.4; p], vec![0.4; p]);
+        // Coarse per-coordinate grid, then two refinement sweeps.
+        let coarse: Vec<f64> = (0..24).map(|k| k as f64 * std::f64::consts::PI / 24.0).collect();
+        for sweep in 0..3 {
+            let step = match sweep {
+                0 => None, // coarse grid
+                1 => Some(0.08),
+                _ => Some(0.02),
+            };
+            for layer in 0..p {
+                for angle_kind in 0..2 {
+                    let current = if angle_kind == 0 {
+                        qaoa.gammas[layer]
+                    } else {
+                        qaoa.betas[layer]
+                    };
+                    let candidates: Vec<f64> = match step {
+                        None => coarse.clone(),
+                        Some(d) => (-4..=4).map(|k| current + k as f64 * d).collect(),
+                    };
+                    let mut best_angle = current;
+                    let mut best_val = f64::NEG_INFINITY;
+                    for cand in candidates {
+                        if angle_kind == 0 {
+                            qaoa.gammas[layer] = cand;
+                        } else {
+                            qaoa.betas[layer] = cand;
+                        }
+                        let v = objective(&qaoa);
+                        if v > best_val {
+                            best_val = v;
+                            best_angle = cand;
+                        }
+                    }
+                    if angle_kind == 0 {
+                        qaoa.gammas[layer] = best_angle;
+                    } else {
+                        qaoa.betas[layer] = best_angle;
+                    }
+                }
+            }
+        }
+        qaoa
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The number of layers `p`.
+    pub fn p(&self) -> usize {
+        self.gammas.len()
+    }
+
+    /// The cost-layer angles.
+    pub fn gammas(&self) -> &[f64] {
+        &self.gammas
+    }
+
+    /// The mixer-layer angles.
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// The QAOA circuit: `H⊗n`, then per layer one `Rzz(γ)` per edge and
+    /// `Rx(2β)` on every qubit.
+    pub fn circuit(&self) -> Circuit {
+        let n = self.graph.n_nodes();
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for (g, b) in self.gammas.iter().zip(&self.betas) {
+            for &(a, bq) in self.graph.edges() {
+                c.rzz(a, bq, *g);
+            }
+            for q in 0..n {
+                c.rx(q, 2.0 * b);
+            }
+        }
+        c
+    }
+
+    /// The ideal output distribution's expected cut value `⟨C⟩`.
+    pub fn expected_cut_value(&self) -> f64 {
+        let psi = StateVector::from_circuit(&self.circuit());
+        psi.probabilities()
+            .iter()
+            .enumerate()
+            .map(|(i, &prob)| {
+                prob * self.graph.cut_value(BitString::from_value(i as u64, self.graph.n_nodes()))
+                    as f64
+            })
+            .sum()
+    }
+
+    /// The ideal probability of measuring an optimal cut (either
+    /// orientation).
+    pub fn ideal_success_probability(&self) -> f64 {
+        let (_, cuts) = self.graph.max_cut_brute_force();
+        let psi = StateVector::from_circuit(&self.circuit());
+        cuts.iter().map(|&s| psi.probability_of(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn graph_validation() {
+        assert_eq!(Graph::new(0, vec![]), Err(GraphError::NoNodes));
+        assert_eq!(
+            Graph::new(2, vec![(0, 2)]),
+            Err(GraphError::EdgeOutOfRange(0, 2))
+        );
+        assert_eq!(Graph::new(2, vec![(1, 1)]), Err(GraphError::SelfLoop(1)));
+        assert_eq!(
+            Graph::new(3, vec![(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+        let msg = GraphError::DuplicateEdge(0, 1).to_string();
+        assert!(msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.cut_value(bs("0101")), 4);
+        assert_eq!(g.cut_value(bs("0011")), 2);
+        assert_eq!(g.cut_value(bs("0000")), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_has_unique_max_cut() {
+        for target in ["010000", "010100", "101001", "101011", "110110"] {
+            let t = bs(target);
+            let g = Graph::complete_bipartite(t);
+            let (best, cuts) = g.max_cut_brute_force();
+            assert_eq!(best, g.edges().len(), "all edges should cross for {target}");
+            assert_eq!(
+                cuts.len(),
+                2,
+                "max cut of complete bipartite should be unique up to complement"
+            );
+            assert!(cuts.contains(&t));
+            assert!(cuts.contains(&t.inverted()));
+        }
+    }
+
+    #[test]
+    fn max_cut_brute_force_counts_complements() {
+        let g = Graph::new(2, vec![(0, 1)]).unwrap();
+        let (best, cuts) = g.max_cut_brute_force();
+        assert_eq!(best, 1);
+        assert_eq!(cuts, vec![bs("01"), bs("10")]);
+    }
+
+    #[test]
+    fn ring_max_cut() {
+        let (best_even, cuts) = Graph::ring(6).max_cut_brute_force();
+        assert_eq!(best_even, 6);
+        assert!(cuts.contains(&bs("010101")));
+        let (best_odd, _) = Graph::ring(5).max_cut_brute_force();
+        assert_eq!(best_odd, 4);
+    }
+
+    #[test]
+    fn path_and_complete_structure() {
+        assert_eq!(Graph::path(5).edges().len(), 4);
+        assert_eq!(Graph::complete(5).edges().len(), 10);
+        // Complete graph max cut: floor(n/2) * ceil(n/2).
+        let (best, _) = Graph::complete(5).max_cut_brute_force();
+        assert_eq!(best, 6);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_and_density_scaled() {
+        let a = Graph::random(8, 0.5, 42);
+        let b = Graph::random(8, 0.5, 42);
+        assert_eq!(a, b);
+        let c = Graph::random(8, 0.5, 43);
+        assert_ne!(a, c);
+        assert_eq!(Graph::random(8, 0.0, 1).edges().len(), 0);
+        assert_eq!(Graph::random(8, 1.0, 1).edges().len(), 28);
+        // Moderate density lands in a plausible band.
+        let mid = Graph::random(10, 0.4, 7).edges().len();
+        assert!((8..=28).contains(&mid), "got {mid} edges");
+    }
+
+    #[test]
+    fn qaoa_runs_on_random_graph() {
+        let g = Graph::random(5, 0.6, 11);
+        let (best, _) = g.max_cut_brute_force();
+        assert!(best > 0);
+        let n_edges = g.edges().len() as f64;
+        let qaoa = Qaoa::optimized(g, 1);
+        // The optimizer maximizes the expected cut, and (γ, β) = (0, 0) is
+        // the uniform superposition whose expectation is |E|/2 — so the
+        // trained value can never fall below it.
+        let trained = qaoa.expected_cut_value();
+        assert!(
+            trained >= n_edges / 2.0 - 1e-9,
+            "trained {trained} below uniform baseline {}",
+            n_edges / 2.0
+        );
+        // And must make real progress toward the optimum on this instance.
+        assert!(trained > n_edges / 2.0 + 0.2, "no training progress: {trained}");
+    }
+
+    #[test]
+    fn qaoa_p1_beats_random_guessing() {
+        let g = Graph::complete_bipartite(bs("0101"));
+        let qaoa = Qaoa::optimized(g, 1);
+        // Random guessing over 16 states finds one of the 2 optima with
+        // probability 1/8.
+        let p = qaoa.ideal_success_probability();
+        assert!(p > 0.3, "ideal success probability = {p}");
+    }
+
+    #[test]
+    fn qaoa_p2_improves_on_p1() {
+        let g = Graph::complete_bipartite(bs("101011"));
+        let p1 = Qaoa::optimized(g.clone(), 1).expected_cut_value();
+        let p2 = Qaoa::optimized(g, 2).expected_cut_value();
+        assert!(
+            p2 >= p1 - 1e-9,
+            "p=2 should not be worse than p=1: {p2} vs {p1}"
+        );
+    }
+
+    #[test]
+    fn qaoa_optimal_cut_is_the_mode() {
+        // The trained circuit's most likely output must be the optimal cut
+        // (or its complement) — the premise of the paper's QAOA metrics.
+        let target = bs("0111");
+        let g = Graph::complete_bipartite(target);
+        let qaoa = Qaoa::optimized(g, 2);
+        let psi = StateVector::from_circuit(&qaoa.circuit());
+        let probs = psi.probabilities();
+        let mode = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| BitString::from_value(i as u64, 4))
+            .unwrap();
+        assert!(
+            mode == target || mode == target.inverted(),
+            "mode {mode} is not the optimal cut"
+        );
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let qaoa = Qaoa::new(g, vec![0.5, 0.6], vec![0.1, 0.2]);
+        let c = qaoa.circuit();
+        // 3 H + per layer (2 Rzz + 3 Rx) * 2 layers.
+        assert_eq!(c.len(), 3 + 2 * (2 + 3));
+        assert_eq!(c.two_qubit_gate_count(), 4);
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let g = Graph::complete_bipartite(bs("0101"));
+        let a = Qaoa::optimized(g.clone(), 1);
+        let b = Qaoa::optimized(g, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proper cut")]
+    fn bipartite_rejects_trivial_partition() {
+        Graph::complete_bipartite(bs("0000"));
+    }
+}

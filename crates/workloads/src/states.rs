@@ -1,0 +1,144 @@
+//! State-preparation kernels used by the characterization experiments.
+//!
+//! * [`ghz_circuit`] — the maximally entangled GHZ state whose skewed
+//!   measurement statistics demonstrate that the bias extends to
+//!   superposition and entanglement (paper §3.2, Figure 6);
+//! * [`w_state_circuit`] — a W state (single excitation spread over all
+//!   qubits), used by the extended tests as a fixed-Hamming-weight
+//!   superposition probe;
+//! * basis-state and uniform-superposition preparation re-exported from
+//!   [`qsim::Circuit`].
+
+use qsim::{BitString, Circuit};
+
+/// The GHZ-`n` preparation: `H` on qubit 0 followed by a CNOT chain. The
+/// ideal output is `|0…0⟩` and `|1…1⟩` with probability ½ each.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qworkloads::ghz_circuit;
+/// use qsim::{BitString, StateVector};
+///
+/// let psi = StateVector::from_circuit(&ghz_circuit(5));
+/// assert!((psi.probability_of(BitString::zeros(5)) - 0.5).abs() < 1e-9);
+/// assert!((psi.probability_of(BitString::ones(5)) - 0.5).abs() < 1e-9);
+/// ```
+pub fn ghz_circuit(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// A W-state preparation over `n` qubits: the uniform superposition of all
+/// weight-1 basis states, built from cascaded controlled rotations.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn w_state_circuit(n: usize) -> Circuit {
+    assert!(n >= 2, "W state needs at least two qubits");
+    let mut c = Circuit::new(n);
+    // Start with the excitation on qubit 0, then distribute it: at step k
+    // rotate a share of the amplitude from qubit k onto qubit k+1.
+    c.x(0);
+    for k in 0..n - 1 {
+        let remaining = (n - k) as f64;
+        // Rotate so that qubit k keeps amplitude sqrt(1/remaining).
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        // Controlled-Ry(theta) decomposed as Ry(theta/2) CX Ry(-theta/2) CX.
+        c.ry(k + 1, theta / 2.0);
+        c.cx(k, k + 1);
+        c.ry(k + 1, -theta / 2.0);
+        c.cx(k, k + 1);
+        // Move the "excitation marker": if qubit k+1 took the amplitude,
+        // clear qubit k.
+        c.cx(k + 1, k);
+    }
+    c
+}
+
+/// The preparation circuit for the computational basis state `s` (X gates
+/// on set bits). Re-exported from [`qsim::Circuit::basis_state_preparation`]
+/// for discoverability alongside the other kernels.
+pub fn basis_state_circuit(s: BitString) -> Circuit {
+    Circuit::basis_state_preparation(s)
+}
+
+/// `H` on every qubit: the equal superposition used by the paper's ESCT
+/// characterization (Appendix A). Re-exported from
+/// [`qsim::Circuit::uniform_superposition`].
+pub fn uniform_superposition_circuit(n: usize) -> Circuit {
+    Circuit::uniform_superposition(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    #[test]
+    fn ghz_is_equal_cat_state() {
+        for n in 2..=8 {
+            let psi = StateVector::from_circuit(&ghz_circuit(n));
+            assert!((psi.probability_of(BitString::zeros(n)) - 0.5).abs() < 1e-9);
+            assert!((psi.probability_of(BitString::ones(n)) - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ghz_gate_budget_is_linear() {
+        let c = ghz_circuit(6);
+        assert_eq!(c.two_qubit_gate_count(), 5);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn w_state_is_uniform_over_weight_one() {
+        for n in 2..=6 {
+            let psi = StateVector::from_circuit(&w_state_circuit(n));
+            let probs = psi.probabilities();
+            let expect = 1.0 / n as f64;
+            for (i, &p) in probs.iter().enumerate() {
+                let w = (i as u64).count_ones();
+                if w == 1 {
+                    assert!(
+                        (p - expect).abs() < 1e-9,
+                        "n={n} state {i:b}: {p} vs {expect}"
+                    );
+                } else {
+                    assert!(p < 1e-9, "n={n} state {i:b} should be empty, got {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basis_circuit_prepares_state() {
+        let s: BitString = "10110".parse().unwrap();
+        let psi = StateVector::from_circuit(&basis_state_circuit(s));
+        assert!((psi.probability_of(s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_superposition_is_flat() {
+        let psi = StateVector::from_circuit(&uniform_superposition_circuit(4));
+        for &p in psi.probabilities().iter() {
+            assert!((p - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ghz_rejects_single_qubit() {
+        ghz_circuit(1);
+    }
+}

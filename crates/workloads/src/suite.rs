@@ -1,0 +1,369 @@
+//! The paper's benchmark suite (Tables 2 and 3).
+//!
+//! A [`Benchmark`] bundles a kernel circuit with its correct-answer set so
+//! measurement policies and metrics can be applied uniformly. The suite
+//! constructors reproduce the exact instances the paper evaluates:
+//!
+//! * **Table 3** — bv-4A/4B and qaoa-4A/4B for the five-qubit machines,
+//!   bv-6/7 and qaoa-6/7 for ibmq-melbourne;
+//! * **Table 2** — the five 6-node max-cut graphs (A–E) whose optimal cuts
+//!   have increasing Hamming weight.
+//!
+//! One deviation from the paper is documented in DESIGN.md: the paper used
+//! five graphs with identical gate counts; we pin each graph's optimal cut
+//! with a complete bipartite construction, whose edge count varies with the
+//! cut's weight (5–9 edges). Per-benchmark policy comparisons are unaffected
+//! because baseline and mitigated runs always share the same circuit.
+
+use crate::bv::BernsteinVazirani;
+use crate::qaoa::{Graph, Qaoa};
+use qmetrics::CorrectSet;
+use qsim::{BitString, Circuit};
+
+/// The kind of kernel behind a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkKind {
+    /// Bernstein-Vazirani (single correct output).
+    BernsteinVazirani,
+    /// QAOA max-cut (a cut and its complement are both correct).
+    QaoaMaxCut,
+}
+
+/// A runnable benchmark instance: circuit plus correct-answer set.
+///
+/// # Examples
+///
+/// ```
+/// use qworkloads::Benchmark;
+///
+/// let b = Benchmark::bv("bv-4A", "0111".parse()?);
+/// assert_eq!(b.circuit().n_qubits(), 5); // 4 key bits + ancilla
+/// assert_eq!(b.correct().outputs().len(), 1);
+/// # Ok::<(), qsim::ParseBitStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    name: String,
+    kind: BenchmarkKind,
+    circuit: Circuit,
+    correct: CorrectSet,
+}
+
+impl Benchmark {
+    /// A Bernstein-Vazirani benchmark with the hardware-style (ancilla)
+    /// oracle. The correct output is the key with the ancilla bit set.
+    pub fn bv(name: impl Into<String>, secret: BitString) -> Self {
+        let bv = BernsteinVazirani::with_ancilla(secret);
+        Benchmark {
+            name: name.into(),
+            kind: BenchmarkKind::BernsteinVazirani,
+            correct: CorrectSet::single(bv.expected_output()),
+            circuit: bv.circuit().clone(),
+        }
+    }
+
+    /// A Bernstein-Vazirani benchmark with the ancilla-free phase oracle
+    /// (used by the all-keys sweeps of Figures 11(b) and 13, where the
+    /// output register is exactly the key).
+    pub fn bv_phase(name: impl Into<String>, secret: BitString) -> Self {
+        let bv = BernsteinVazirani::phase_oracle(secret);
+        Benchmark {
+            name: name.into(),
+            kind: BenchmarkKind::BernsteinVazirani,
+            correct: CorrectSet::single(bv.expected_output()),
+            circuit: bv.circuit().clone(),
+        }
+    }
+
+    /// A QAOA max-cut benchmark on the complete bipartite graph pinned to
+    /// `target_cut`, trained to `p` layers on the ideal simulator. Both the
+    /// cut and its complement are correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_cut` is all-zeros or all-ones.
+    pub fn qaoa(name: impl Into<String>, target_cut: BitString, p: usize) -> Self {
+        let graph = Graph::complete_bipartite(target_cut);
+        let qaoa = Qaoa::optimized(graph, p);
+        Benchmark {
+            name: name.into(),
+            kind: BenchmarkKind::QaoaMaxCut,
+            circuit: qaoa.circuit(),
+            correct: CorrectSet::with_complement(target_cut),
+        }
+    }
+
+    /// A QAOA benchmark whose expected output is shifted to `target_cut` by
+    /// appending X gates, while the underlying trained circuit is built for
+    /// `base_cut`'s graph.
+    ///
+    /// The paper's Table 2 requires five instances with *identical* gate
+    /// structure whose correct outputs have different Hamming weights, so
+    /// that reliability differences are attributable to measurement bias
+    /// alone. Five distinct graphs cannot satisfy this exactly; XOR-shifting
+    /// one instance can: the appended X layer relabels every output by
+    /// `base_cut ^ target_cut`, moving the peak to `target_cut` while the
+    /// cost/mixer layers stay bit-identical (the X gates add ≤ n
+    /// single-qubit gates at ~0.2 % error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cuts have different widths or either is trivial
+    /// (all-zeros / all-ones).
+    pub fn qaoa_shifted(
+        name: impl Into<String>,
+        base_cut: BitString,
+        target_cut: BitString,
+        p: usize,
+    ) -> Self {
+        assert_eq!(base_cut.width(), target_cut.width(), "cut width mismatch");
+        let graph = Graph::complete_bipartite(base_cut);
+        let qaoa = Qaoa::optimized(graph, p);
+        let mask = base_cut ^ target_cut;
+        let circuit = qaoa.circuit().with_premeasure_inversion(mask);
+        Benchmark {
+            name: name.into(),
+            kind: BenchmarkKind::QaoaMaxCut,
+            circuit,
+            correct: CorrectSet::with_complement(target_cut),
+        }
+    }
+
+    /// A QAOA benchmark over an arbitrary pre-built graph. The correct set
+    /// is every optimal cut found by brute force.
+    pub fn qaoa_on_graph(name: impl Into<String>, graph: Graph, p: usize) -> Self {
+        let (_, cuts) = graph.max_cut_brute_force();
+        let qaoa = Qaoa::optimized(graph, p);
+        Benchmark {
+            name: name.into(),
+            kind: BenchmarkKind::QaoaMaxCut,
+            circuit: qaoa.circuit(),
+            correct: CorrectSet::new(cuts),
+        }
+    }
+
+    /// The benchmark's name (paper nomenclature, e.g. `bv-4A`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel kind.
+    pub fn kind(&self) -> BenchmarkKind {
+        self.kind
+    }
+
+    /// The kernel circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The correct-answer set.
+    pub fn correct(&self) -> &CorrectSet {
+        &self.correct
+    }
+
+    /// Replaces the correct-answer set (e.g. to score only the listed
+    /// partition of a max-cut instead of both orientations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new set's width differs from the circuit width.
+    #[must_use]
+    pub fn with_correct_set(mut self, correct: CorrectSet) -> Self {
+        assert_eq!(
+            correct.width(),
+            self.circuit.n_qubits(),
+            "correct set width must match the circuit"
+        );
+        self.correct = correct;
+        self
+    }
+}
+
+fn bits(s: &str) -> BitString {
+    s.parse().expect("suite bit strings are valid")
+}
+
+/// The Table 3 benchmarks sized for the five-qubit machines:
+/// bv-4A, bv-4B, qaoa-4A (p=1), qaoa-4B (p=2).
+pub fn suite_q5() -> Vec<Benchmark> {
+    vec![
+        Benchmark::bv("bv-4A", bits("0111")),
+        Benchmark::bv("bv-4B", bits("1111")),
+        Benchmark::qaoa("qaoa-4A", bits("0101"), 1),
+        Benchmark::qaoa("qaoa-4B", bits("0111"), 2),
+    ]
+}
+
+/// The Table 3 benchmarks sized for ibmq-melbourne:
+/// bv-6, bv-7, qaoa-6 (p=2), qaoa-7 (p=2).
+pub fn suite_q14() -> Vec<Benchmark> {
+    vec![
+        Benchmark::bv("bv-6", bits("011111")),
+        Benchmark::bv("bv-7", bits("0111111")),
+        Benchmark::qaoa("qaoa-6", bits("101011"), 2),
+        Benchmark::qaoa("qaoa-7", bits("1010110"), 2),
+    ]
+}
+
+/// The Table 2 QAOA study: five 6-node instances whose optimal cuts have
+/// Hamming weight 1, 2, 3, 4, 4. Returns `(label, target cut)` pairs.
+pub fn table2_graphs() -> Vec<(char, BitString)> {
+    vec![
+        ('A', bits("010000")),
+        ('B', bits("010100")),
+        ('C', bits("101001")),
+        ('D', bits("101011")),
+        ('E', bits("110110")),
+    ]
+}
+
+/// The five Table 2 benchmark instances, built as gate-identical
+/// XOR-shifted copies of the Graph-A program (see
+/// [`Benchmark::qaoa_shifted`]).
+///
+/// These score only the *listed* partition string, not its complement.
+/// QAOA output distributions are exactly Z2-symmetric (the global X flip
+/// commutes with both the cost and mixer layers), so a complement-inclusive
+/// PST would sum the weight-`w` and weight-`(n-w)` readout penalties and
+/// could never show the paper's Hamming-weight trend; the trend the paper
+/// reports is only consistent with counting the listed string.
+pub fn table2_benchmarks(p: usize) -> Vec<Benchmark> {
+    let base = bits("010000");
+    table2_graphs()
+        .into_iter()
+        .map(|(label, target)| {
+            Benchmark::qaoa_shifted(format!("graph-{label}"), base, target, p)
+                .with_correct_set(CorrectSet::single(target))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn q5_suite_matches_table3() {
+        let suite = suite_q5();
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["bv-4A", "bv-4B", "qaoa-4A", "qaoa-4B"]);
+        // BV instances are 5 qubits (4 + ancilla), QAOA 4 qubits.
+        assert_eq!(suite[0].circuit().n_qubits(), 5);
+        assert_eq!(suite[2].circuit().n_qubits(), 4);
+    }
+
+    #[test]
+    fn q14_suite_matches_table3() {
+        let suite = suite_q14();
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["bv-6", "bv-7", "qaoa-6", "qaoa-7"]);
+        assert_eq!(suite[0].circuit().n_qubits(), 7);
+        assert_eq!(suite[3].circuit().n_qubits(), 7);
+    }
+
+    #[test]
+    fn table2_weights_are_increasing() {
+        let weights: Vec<u32> = table2_graphs()
+            .iter()
+            .map(|(_, s)| s.hamming_weight())
+            .collect();
+        assert_eq!(weights, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn bv_benchmarks_have_certain_ideal_output() {
+        for b in suite_q5().iter().chain(suite_q14().iter()) {
+            if b.kind() != BenchmarkKind::BernsteinVazirani {
+                continue;
+            }
+            let psi = StateVector::from_circuit(b.circuit());
+            let p: f64 = b
+                .correct()
+                .outputs()
+                .iter()
+                .map(|&s| psi.probability_of(s))
+                .sum();
+            assert!((p - 1.0).abs() < 1e-9, "{}: ideal PST = {p}", b.name());
+        }
+    }
+
+    #[test]
+    fn qaoa_benchmarks_peak_on_correct_cut() {
+        for b in suite_q5() {
+            if b.kind() != BenchmarkKind::QaoaMaxCut {
+                continue;
+            }
+            let psi = StateVector::from_circuit(b.circuit());
+            let ideal_pst: f64 = b
+                .correct()
+                .outputs()
+                .iter()
+                .map(|&s| psi.probability_of(s))
+                .sum();
+            // Far above the 2/2^n random-guess floor.
+            assert!(
+                ideal_pst > 0.3,
+                "{}: ideal PST = {ideal_pst}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn qaoa_on_graph_uses_brute_force_cuts() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let b = Benchmark::qaoa_on_graph("path3", g, 1);
+        // Path of 3 nodes: max cut 2, achieved by 010 and 101.
+        assert_eq!(b.correct().outputs().len(), 2);
+        assert!(b.correct().contains(&"010".parse().unwrap()));
+        assert!(b.correct().contains(&"101".parse().unwrap()));
+    }
+
+    #[test]
+    fn table2_benchmarks_are_gate_identical() {
+        let benches = table2_benchmarks(1);
+        assert_eq!(benches.len(), 5);
+        let base_2q = benches[0].circuit().two_qubit_gate_count();
+        for b in &benches {
+            assert_eq!(
+                b.circuit().two_qubit_gate_count(),
+                base_2q,
+                "{} has a different two-qubit gate count",
+                b.name()
+            );
+        }
+        // Gate totals differ only by the X-shift layer (at most 6 gates).
+        let lens: Vec<usize> = benches.iter().map(|b| b.circuit().len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 6);
+    }
+
+    #[test]
+    fn qaoa_shifted_peaks_on_target() {
+        let base = bs("010000");
+        let target = bs("101011");
+        let b = Benchmark::qaoa_shifted("shifted", base, target, 1);
+        let psi = StateVector::from_circuit(b.circuit());
+        let base_b = Benchmark::qaoa("base", base, 1);
+        let psi_base = StateVector::from_circuit(base_b.circuit());
+        // The shifted instance gives `target` exactly the probability the
+        // base instance gives `base`.
+        assert!(
+            (psi.probability_of(target) - psi_base.probability_of(base)).abs() < 1e-9
+        );
+        assert!(b.correct().contains(&target));
+        assert!(b.correct().contains(&target.inverted()));
+    }
+
+    #[test]
+    fn bv_phase_output_is_key() {
+        let b = Benchmark::bv_phase("sweep", "10110".parse().unwrap());
+        assert_eq!(b.circuit().n_qubits(), 5);
+        assert!(b.correct().contains(&"10110".parse().unwrap()));
+    }
+}

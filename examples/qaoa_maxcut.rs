@@ -1,0 +1,66 @@
+//! QAOA max-cut under measurement noise — the paper's Table 2 / Figure 9
+//! scenario on a single graph.
+//!
+//! Solves max-cut for a 6-node graph whose optimal partition has high
+//! Hamming weight (the paper's graph D, output 101011), runs it on the
+//! 14-qubit machine model, and compares the three measurement policies on
+//! all three reliability metrics.
+//!
+//! ```sh
+//! cargo run --release -p invmeas --example qaoa_maxcut
+//! ```
+
+use invmeas::{AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use qmetrics::{fmt_prob, fmt_ratio, ReliabilityReport, Table};
+use qnoise::{DeviceModel, NoisyExecutor};
+use qworkloads::{Benchmark, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let shots = 16_000;
+
+    // The paper's graph D: optimal cut 101011 (Hamming weight 4).
+    let target: qsim::BitString = "101011".parse().expect("valid cut");
+    let graph = Graph::complete_bipartite(target);
+    println!(
+        "Max-cut on a 6-node graph: {} edges, optimal cut {target} (weight {})",
+        graph.edges().len(),
+        target.hamming_weight()
+    );
+
+    // Allocate the benchmark onto the six best qubits of the 14-qubit
+    // machine (the paper's variability-aware mapping).
+    let device = DeviceModel::ibmq_melbourne().best_qubits_subdevice(6);
+    let exec = NoisyExecutor::from_device(&device);
+    let bench = Benchmark::qaoa_on_graph("qaoa-6-graphD", graph, 2);
+    println!(
+        "QAOA p=2 circuit: {} gates ({} two-qubit) on {}\n",
+        bench.circuit().len(),
+        bench.circuit().two_qubit_gate_count(),
+        device.name()
+    );
+
+    let profile = RbmsTable::exact(&device.readout());
+    let policies: Vec<Box<dyn MeasurementPolicy>> = vec![
+        Box::new(Baseline),
+        Box::new(StaticInvertMeasure::four_mode(6)),
+        Box::new(AdaptiveInvertMeasure::new(profile)),
+    ];
+
+    let mut table = Table::new(&["policy", "PST", "IST", "ROCA"]);
+    for policy in &policies {
+        let log = policy.execute(bench.circuit(), shots, &exec, &mut rng);
+        let r = ReliabilityReport::evaluate(&log, bench.correct());
+        table.row_owned(vec![
+            policy.name(),
+            fmt_prob(r.pst),
+            fmt_ratio(r.ist),
+            r.roca.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{table}");
+    println!("A rank (ROCA) near 1 means classically re-checking the top few");
+    println!("outputs finds the optimal cut — the paper's Figure 9 improvement.");
+}

@@ -1,0 +1,136 @@
+//! Cross-crate characterization consistency: the RBMS estimators, the
+//! device models, and the workloads agree with each other.
+
+use invmeas::RbmsTable;
+use qnoise::{DeviceModel, Executor, NoisyExecutor};
+use qsim::{BitString, StateVector};
+use qworkloads::{uniform_superposition_circuit, Benchmark};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The uniform-superposition output distribution under readout noise
+/// correlates with the per-state measurement strength (§3.2's closing
+/// observation: the H⊗n output distribution tracks relative BMS).
+#[test]
+fn superposition_distribution_tracks_strength() {
+    let dev = DeviceModel::ibmqx2();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let dist = exec.exact_readout_distribution(&uniform_superposition_circuit(5));
+    let readout = dev.readout();
+    let table = RbmsTable::exact(&readout);
+    let corr = qmetrics::pearson_correlation(dist.probabilities(), &table.relative());
+    assert!(corr > 0.95, "superposition/strength correlation = {corr}");
+}
+
+/// The ESCT estimator agrees with the exact channel diagonal on every
+/// device model, not just ibmqx2.
+#[test]
+fn esct_agrees_with_exact_on_all_five_qubit_machines() {
+    for dev in [DeviceModel::ibmqx2(), DeviceModel::ibmqx4()] {
+        let exec = NoisyExecutor::readout_only(&dev);
+        let mut rng = StdRng::seed_from_u64(31);
+        let est = RbmsTable::esct(&exec, 300_000, &mut rng);
+        let readout = dev.readout();
+        let exact = RbmsTable::exact(&readout);
+        let mse = est.mse_vs(&exact);
+        assert!(mse < 0.02, "{}: ESCT MSE = {mse}", dev.name());
+    }
+}
+
+/// AWCT windows cover every qubit: perturbing any single qubit's error
+/// visibly changes the combined estimate.
+#[test]
+fn awct_is_sensitive_to_every_qubit() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let nominal = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&nominal);
+    let base = RbmsTable::awct(&exec, 3, 2, 60_000, &mut rng);
+    for q in 0..5 {
+        // A device where qubit q has a catastrophically *asymmetric* error
+        // (a symmetric one would shift all states uniformly and leave the
+        // relative table unchanged, by design).
+        let drifted = {
+            let mut specs: Vec<qnoise::QubitSpec> =
+                (0..5).map(|i| *nominal.qubit(i)).collect();
+            specs[q].assignment = qnoise::FlipPair::new(0.0, 0.6);
+            DeviceModel::from_parts(
+                "perturbed",
+                specs,
+                nominal.coupling().to_vec(),
+                0.0,
+                Vec::new(),
+                nominal.meas_duration_us(),
+                Vec::new(),
+            )
+        };
+        let exec2 = NoisyExecutor::readout_only(&drifted);
+        let perturbed = RbmsTable::awct(&exec2, 3, 2, 60_000, &mut rng);
+        let mse = perturbed.mse_vs(&base);
+        assert!(
+            mse > 0.01,
+            "AWCT blind to qubit {q}: MSE only {mse}"
+        );
+    }
+}
+
+/// Workload sanity across the noise boundary: the ideal Born distribution
+/// of every Table 3 benchmark is preserved by an ideal executor and only
+/// reshaped (never widened) by readout noise.
+#[test]
+fn benchmarks_survive_the_noise_boundary() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for bench in qworkloads::suite_q5() {
+        let n = bench.circuit().n_qubits();
+        let ideal_psi = StateVector::from_circuit(bench.circuit());
+        let ideal_pst: f64 = bench
+            .correct()
+            .outputs()
+            .iter()
+            .map(|&s| ideal_psi.probability_of(s))
+            .sum();
+        let dev = DeviceModel::ibmqx4().best_qubits_subdevice(n);
+        let exec = NoisyExecutor::readout_only(&dev);
+        let log = exec.run(bench.circuit(), 8_000, &mut rng);
+        let noisy_pst: f64 = bench
+            .correct()
+            .outputs()
+            .iter()
+            .map(|s| log.frequency(s))
+            .sum();
+        assert!(
+            noisy_pst < ideal_pst + 0.02,
+            "{}: readout noise should not raise PST ({noisy_pst} vs {ideal_pst})",
+            bench.name()
+        );
+        assert!(
+            noisy_pst > 0.05,
+            "{}: noise model too destructive ({noisy_pst})",
+            bench.name()
+        );
+    }
+}
+
+/// The confusion-matrix mitigation and the RBMS profile describe the same
+/// channel: the matrix diagonal equals the profile strengths.
+#[test]
+fn confusion_diagonal_is_rbms() {
+    let readout = DeviceModel::ibmqx4().readout();
+    let cm = invmeas::ConfusionMatrix::from_model(&readout);
+    let table = RbmsTable::exact(&readout);
+    for s in BitString::all(5) {
+        assert!(
+            (cm.probability(s, s) - table.strength(s)).abs() < 1e-12,
+            "diagonal mismatch at {s}"
+        );
+    }
+}
+
+/// Correct sets and benchmark circuits stay consistent: the BV ancilla bit
+/// is part of the correct output and the circuit width.
+#[test]
+fn bv_benchmark_widths_align() {
+    let bench = Benchmark::bv("bv-6", "011111".parse().unwrap());
+    assert_eq!(bench.circuit().n_qubits(), 7);
+    assert_eq!(bench.correct().outputs()[0].width(), 7);
+    assert!(bench.correct().outputs()[0].bit(6), "ancilla bit must be set");
+}

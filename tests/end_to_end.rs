@@ -1,0 +1,157 @@
+//! End-to-end integration: full stack (workload -> device noise -> policy
+//! -> metrics) across crates, checking the paper's qualitative claims hold
+//! on every machine model.
+
+use invmeas::{AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use qmetrics::{ist, pst};
+use qnoise::{DeviceModel, NoisyExecutor};
+use qworkloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHOTS: u64 = 6_000;
+
+fn profile_for(dev: &DeviceModel, exec: &NoisyExecutor, rng: &mut StdRng) -> RbmsTable {
+    if dev.n_qubits() <= 5 {
+        RbmsTable::brute_force(exec, 2_000, rng)
+    } else {
+        RbmsTable::awct(exec, 4, 2, 4_000, rng)
+    }
+}
+
+#[test]
+fn sim_and_aim_beat_baseline_on_hard_bv_across_machines() {
+    for (dev, secret) in [
+        (DeviceModel::ibmqx2(), "1111"),
+        (DeviceModel::ibmqx4(), "1111"),
+    ] {
+        let exec = NoisyExecutor::from_device(&dev);
+        let mut rng = StdRng::seed_from_u64(101);
+        let bench = Benchmark::bv("bv-4B", secret.parse().unwrap());
+        let profile = profile_for(&dev, &exec, &mut rng);
+
+        let base = pst(
+            &Baseline.execute(bench.circuit(), SHOTS, &exec, &mut rng),
+            bench.correct(),
+        );
+        let sim = pst(
+            &StaticInvertMeasure::four_mode(5).execute(bench.circuit(), SHOTS, &exec, &mut rng),
+            bench.correct(),
+        );
+        let aim = pst(
+            &AdaptiveInvertMeasure::new(profile).execute(bench.circuit(), SHOTS, &exec, &mut rng),
+            bench.correct(),
+        );
+        assert!(
+            sim > base,
+            "{}: SIM {sim} should beat baseline {base}",
+            dev.name()
+        );
+        assert!(
+            aim > sim,
+            "{}: AIM {aim} should beat SIM {sim}",
+            dev.name()
+        );
+    }
+}
+
+#[test]
+fn aim_beats_sim_on_melbourne_bv6() {
+    let machine = DeviceModel::ibmq_melbourne();
+    let dev = machine.best_qubits_subdevice(7);
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(7);
+    let bench = Benchmark::bv("bv-6", "011111".parse().unwrap());
+    let profile = profile_for(&dev, &exec, &mut rng);
+
+    let base = pst(
+        &Baseline.execute(bench.circuit(), SHOTS, &exec, &mut rng),
+        bench.correct(),
+    );
+    let aim = pst(
+        &AdaptiveInvertMeasure::new(profile).execute(bench.circuit(), SHOTS, &exec, &mut rng),
+        bench.correct(),
+    );
+    assert!(
+        aim > base,
+        "melbourne bv-6: AIM {aim} should beat baseline {base}"
+    );
+}
+
+#[test]
+fn ideal_machine_policies_are_statistically_equal() {
+    // On a noiseless machine all three policies must deliver PST = 1 for a
+    // deterministic workload — mitigation costs nothing when unneeded.
+    let dev = DeviceModel::ideal(5);
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(3);
+    let bench = Benchmark::bv("bv-4A", "0111".parse().unwrap());
+    let profile = RbmsTable::exact(&dev.readout());
+
+    for policy in [
+        Box::new(Baseline) as Box<dyn MeasurementPolicy>,
+        Box::new(StaticInvertMeasure::four_mode(5)),
+        Box::new(AdaptiveInvertMeasure::new(profile)),
+    ] {
+        let log = policy.execute(bench.circuit(), 2_000, &exec, &mut rng);
+        let p = pst(&log, bench.correct());
+        assert!(
+            (p - 1.0).abs() < 1e-9,
+            "{} on ideal machine: PST = {p}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn sim_unmasks_qaoa_answer() {
+    // A QAOA instance whose optimal cut is high-weight: the baseline ranks
+    // wrong low-weight outputs above it; SIM improves both IST and PST.
+    let dev = DeviceModel::ibmq_melbourne().best_qubits_subdevice(6);
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(17);
+    let bench = Benchmark::qaoa("graph-D", "101011".parse().unwrap(), 2);
+
+    let base_log = Baseline.execute(bench.circuit(), 16_000, &exec, &mut rng);
+    let sim_log =
+        StaticInvertMeasure::four_mode(6).execute(bench.circuit(), 16_000, &exec, &mut rng);
+
+    let base_pst = pst(&base_log, bench.correct());
+    let sim_pst = pst(&sim_log, bench.correct());
+    let base_ist = ist(&base_log, bench.correct());
+    let sim_ist = ist(&sim_log, bench.correct());
+    assert!(
+        sim_pst > base_pst,
+        "SIM PST {sim_pst} should beat baseline {base_pst}"
+    );
+    assert!(
+        sim_ist > base_ist,
+        "SIM IST {sim_ist} should beat baseline {base_ist}"
+    );
+}
+
+#[test]
+fn unfolding_and_aim_both_mitigate_but_differently() {
+    // The matrix-inversion baseline (related work) also recovers PST on a
+    // pure-readout workload; AIM additionally works shot-by-shot without
+    // post-processing the distribution.
+    let dev = DeviceModel::ibmqx2();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let mut rng = StdRng::seed_from_u64(23);
+    let target: qsim::BitString = "11111".parse().unwrap();
+    let circuit = qsim::Circuit::basis_state_preparation(target);
+
+    let observed = Baseline.execute(&circuit, 16_000, &exec, &mut rng);
+    let base_pst = observed.frequency(&target);
+
+    let cm = invmeas::ConfusionMatrix::from_model(&dev.readout());
+    let unfolded_pst = cm.unfold(&observed).probability_of(target);
+
+    let profile = RbmsTable::exact(&dev.readout());
+    let aim_log =
+        AdaptiveInvertMeasure::new(profile).execute(&circuit, 16_000, &exec, &mut rng);
+    let aim_pst = aim_log.frequency(&target);
+
+    assert!(unfolded_pst > base_pst + 0.2, "unfolding: {unfolded_pst} vs {base_pst}");
+    assert!(aim_pst > base_pst + 0.2, "AIM: {aim_pst} vs {base_pst}");
+}

@@ -1,0 +1,61 @@
+//! Smoke tests: every reproduction experiment runs at reduced scale and
+//! produces well-formed output.
+
+use repro::experiments::{self, ALL_EXPERIMENTS};
+use repro::Config;
+
+#[test]
+fn every_experiment_runs_at_low_scale() {
+    let cfg = Config::quick();
+    for (id, _) in ALL_EXPERIMENTS {
+        let outputs = experiments::run(id, &cfg).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(!outputs.is_empty(), "{id} produced nothing");
+        for out in &outputs {
+            assert_eq!(out.id, *id);
+            assert!(!out.sections.is_empty(), "{id} has no sections");
+            let rendered = out.to_string();
+            assert!(rendered.contains(out.id), "{id} render missing id");
+            assert!(rendered.len() > 50, "{id} render suspiciously short");
+        }
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(experiments::run("fig99", &Config::quick()).is_err());
+}
+
+#[test]
+fn run_all_covers_every_artifact() {
+    let outputs = experiments::run_all(&Config::quick());
+    assert_eq!(outputs.len(), ALL_EXPERIMENTS.len());
+    for ((id, _), out) in ALL_EXPERIMENTS.iter().zip(&outputs) {
+        assert_eq!(out.id, *id, "run_all order must match the index");
+    }
+}
+
+#[test]
+fn shots_scaling_keeps_minimum() {
+    let cfg = Config {
+        scale: 1e-9,
+        seed: 0,
+    };
+    assert_eq!(cfg.shots(32_000), 64);
+    let cfg = Config::default();
+    assert_eq!(cfg.shots(32_000), 32_000);
+}
+
+#[test]
+fn experiments_are_deterministic_for_fixed_seed() {
+    let cfg = Config::quick();
+    let a = experiments::run("fig1", &cfg).unwrap();
+    let b = experiments::run("fig1", &cfg).unwrap();
+    assert_eq!(a[0].to_string(), b[0].to_string());
+    // Different seed, different samples.
+    let cfg2 = Config {
+        seed: 1,
+        ..Config::quick()
+    };
+    let c = experiments::run("fig1", &cfg2).unwrap();
+    assert_ne!(a[0].to_string(), c[0].to_string());
+}

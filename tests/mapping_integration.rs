@@ -1,0 +1,153 @@
+//! Integration of the mapping compiler with noise, workloads, and
+//! mitigation: routed circuits keep their semantics, the allocation policy
+//! measurably improves reliability, and invert-and-measure composes with
+//! routing.
+
+use invmeas::{Baseline, InversionString, MeasurementPolicy};
+use qmapper::{allocate, route, route_auto, Placement};
+use qnoise::{DeviceModel, Executor, NoisyExecutor};
+use qsim::{BitString, Counts, StateVector};
+use qworkloads::{suite_q14, Benchmark};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_q14_benchmark_routes_and_stays_correct() {
+    let dev = DeviceModel::ibmq_melbourne();
+    for bench in suite_q14() {
+        let routed = route_auto(bench.circuit(), &dev)
+            .unwrap_or_else(|e| panic!("{} failed to route: {e}", bench.name()));
+        // Ideal-simulate the physical circuit; the logical marginal must
+        // put the same mass on the correct answers as the logical circuit.
+        let psi_log = StateVector::from_circuit(bench.circuit());
+        let ideal_pst: f64 = bench
+            .correct()
+            .outputs()
+            .iter()
+            .map(|&s| psi_log.probability_of(s))
+            .sum();
+        let psi_phys = StateVector::from_circuit(routed.circuit());
+        let mut routed_pst = 0.0;
+        for (idx, &p) in psi_phys.probabilities().iter().enumerate() {
+            let phys = BitString::from_value(idx as u64, 14);
+            if bench.correct().contains(&routed.logical_outcome(phys)) {
+                routed_pst += p;
+            }
+        }
+        assert!(
+            (ideal_pst - routed_pst).abs() < 1e-6,
+            "{}: ideal {ideal_pst} vs routed {routed_pst}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn variability_aware_allocation_beats_worst_allocation() {
+    let dev = DeviceModel::ibmq_melbourne();
+    let bench = Benchmark::bv("bv-4A", "0111".parse().unwrap());
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(11);
+    let shots = 12_000;
+
+    let run_with = |placement: &Placement, rng: &mut StdRng| {
+        let routed = route(bench.circuit(), &dev, placement).expect("routable");
+        let log = exec.run(routed.circuit(), shots, rng);
+        let logical = routed.logical_counts(&log);
+        qmetrics::pst(&logical, bench.correct())
+    };
+
+    let aware = allocate(&dev, 5).unwrap();
+    // A deliberately bad allocation: the five worst qubits (including q6's
+    // 31% readout error), if connected; q4..q8 is a connected stretch of
+    // poor qubits.
+    let bad = Placement::new(vec![4, 5, 6, 7, 8]);
+    let pst_aware = run_with(&aware, &mut rng);
+    let pst_bad = run_with(&bad, &mut rng);
+    assert!(
+        pst_aware > pst_bad + 0.1,
+        "aware {pst_aware} should clearly beat bad {pst_bad}"
+    );
+}
+
+#[test]
+fn inversion_composes_with_routing() {
+    // Applying a logical inversion string through the router's output
+    // layout and XOR-correcting the folded counts must equal the plain
+    // logical pipeline on an ideal device.
+    let dev = DeviceModel::ideal(6);
+    // Give the ideal device a line coupling so routing actually moves
+    // qubits around.
+    let line = DeviceModel::from_parts(
+        "ideal-line",
+        (0..6).map(|q| *dev.qubit(q)).collect(),
+        (0..5).map(|i| (i, i + 1)).collect(),
+        0.0,
+        Vec::new(),
+        0.0,
+        Vec::new(),
+    );
+    let bench = Benchmark::bv("bv-3", "101".parse().unwrap());
+    let routed = route_auto(bench.circuit(), &line).unwrap();
+    assert!(routed.swap_count() > 0, "want a routing-nontrivial case");
+
+    let exec = NoisyExecutor::from_device(&line);
+    let mut rng = StdRng::seed_from_u64(2);
+    let inv = InversionString::from_mask("1010".parse().unwrap());
+
+    // Physical-level inversion on the output layout.
+    let mut phys = routed.circuit().clone();
+    for logical in inv.mask().iter_ones() {
+        phys.x(routed.output_qubit(logical));
+    }
+    let log = exec.run(&phys, 500, &mut rng);
+    let corrected = inv.correct(&routed.logical_counts(&log));
+    // Noise-free: every trial yields the expected output.
+    assert_eq!(
+        corrected.get(&bench.correct().outputs()[0]),
+        500,
+        "inversion through routing failed"
+    );
+}
+
+#[test]
+fn routed_counts_widths_are_logical() {
+    let dev = DeviceModel::ibmq_melbourne();
+    let bench = Benchmark::bv("bv-4A", "0111".parse().unwrap());
+    let routed = route_auto(bench.circuit(), &dev).unwrap();
+    let mut physical = Counts::new(14);
+    physical.record(BitString::zeros(14));
+    let logical = routed.logical_counts(&physical);
+    assert_eq!(logical.width(), 5);
+    assert_eq!(logical.total(), 1);
+}
+
+#[test]
+fn swap_overhead_reported_against_baseline_policy() {
+    // Routing-induced SWAPs degrade PST; verify the effect is visible and
+    // bounded so the paper's "minimum number of SWAPs" goal is meaningful.
+    let dev = DeviceModel::ibmq_melbourne();
+    let bench = Benchmark::qaoa("qaoa-6", "101011".parse().unwrap(), 1);
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(21);
+
+    let routed = route_auto(bench.circuit(), &dev).unwrap();
+    assert!(routed.swap_count() > 0);
+    let log = exec.run(routed.circuit(), 8_000, &mut rng);
+    let pst_routed = qmetrics::pst(&routed.logical_counts(&log), bench.correct());
+
+    // The unrouted circuit on a 6-qubit subdevice (pretending all-to-all).
+    let sub = dev.best_qubits_subdevice(6);
+    let exec_sub = NoisyExecutor::from_device(&sub);
+    let log = Baseline.execute(bench.circuit(), 8_000, &exec_sub, &mut rng);
+    let pst_free = qmetrics::pst(&log, bench.correct());
+
+    assert!(
+        pst_routed <= pst_free + 0.02,
+        "routing should not beat connectivity-free execution: {pst_routed} vs {pst_free}"
+    );
+    assert!(
+        pst_routed > pst_free * 0.3,
+        "routing overhead implausibly large: {pst_routed} vs {pst_free}"
+    );
+}

@@ -1,0 +1,138 @@
+//! Quantitative paper-claim checks: the reproduction's *shapes* must match
+//! the paper — who wins, in which direction, and roughly by how much.
+
+use invmeas::RbmsTable;
+use qmetrics::average_by_hamming_weight;
+use qnoise::{DeviceModel, ReadoutModel};
+use qsim::BitString;
+
+/// §3.1 / Figure 4: the probability of successful measurement is strongly
+/// inversely correlated with Hamming weight on ibmqx2 (paper: −0.93).
+#[test]
+fn ibmqx2_weight_correlation_matches_paper() {
+    let table = RbmsTable::exact(&DeviceModel::ibmqx2().readout());
+    let r = table.hamming_correlation();
+    assert!(
+        (-1.0..=-0.85).contains(&r),
+        "ibmqx2 weight correlation = {r}, paper reports -0.93"
+    );
+}
+
+/// Figure 4: relative BMS of the all-ones state on ibmqx2 is ~0.38.
+#[test]
+fn ibmqx2_all_ones_relative_strength() {
+    let table = RbmsTable::exact(&DeviceModel::ibmqx2().readout());
+    let rel = table.relative();
+    let ones = rel[BitString::ones(5).index()];
+    assert!(
+        (0.25..=0.50).contains(&ones),
+        "relative BMS of 11111 = {ones}, paper reports 0.38"
+    );
+}
+
+/// Figure 5: on melbourne the per-weight-class average falls monotonically
+/// from 1.0 toward ~0.45 at weight 10.
+#[test]
+fn melbourne_weight_classes_fall_monotonically() {
+    let dev = DeviceModel::ibmq_melbourne().subdevice(&[0, 1, 2, 3, 4, 5, 7, 8, 9, 10]);
+    let table = RbmsTable::exact(&dev.readout());
+    let classes = average_by_hamming_weight(10, &table.relative());
+    for w in 1..classes.len() {
+        assert!(
+            classes[w] < classes[w - 1],
+            "class averages not monotone at weight {w}: {classes:?}"
+        );
+    }
+    let tail = classes[10];
+    assert!(
+        (0.30..=0.60).contains(&tail),
+        "weight-10 class average = {tail}, paper reports ~0.45"
+    );
+}
+
+/// Figure 1: direct measurement of 11111 is far weaker than 00000, and
+/// invert-and-measure recovers most of the loss.
+#[test]
+fn fig1_invert_and_measure_recovery() {
+    let readout = DeviceModel::ibmqx4().readout();
+    let zeros = readout.success_probability(BitString::zeros(5));
+    let ones = readout.success_probability(BitString::ones(5));
+    assert!(zeros > ones + 0.2, "bias too weak: {zeros} vs {ones}");
+    // Inverting 11111 measures 00000 physically: the recovered fidelity is
+    // the all-zeros strength (gate errors on the X layer are ~1%).
+    assert!(zeros > 0.7, "recovered strength should approach {zeros}");
+}
+
+/// §6.1: ibmqx4's bias is arbitrary — the Hamming-weight correlation is
+/// materially weaker than ibmqx2's, and the strength ordering is
+/// non-monotone.
+#[test]
+fn ibmqx4_bias_is_arbitrary_but_repeatable() {
+    let qx2 = RbmsTable::exact(&DeviceModel::ibmqx2().readout());
+    let qx4 = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+    assert!(qx4.hamming_correlation() - qx2.hamming_correlation() > 0.05);
+
+    // Repeatable across calibration windows (paper: 100 cycles, 35 days).
+    let drift = qnoise::CalibrationDrift::new(DeviceModel::ibmqx4(), 0.1);
+    let t1 = RbmsTable::exact(&drift.window(3).readout());
+    let t2 = RbmsTable::exact(&drift.window(77).readout());
+    let corr = qmetrics::pearson_correlation(&t1.relative(), &t2.relative());
+    assert!(corr > 0.95, "bias not repeatable across windows: {corr}");
+}
+
+/// Table 1: the three machines' assignment-error statistics match the
+/// paper's reported min/avg/max.
+#[test]
+fn table1_statistics() {
+    let cases = [
+        (DeviceModel::ibmqx2(), 0.012, 0.038, 0.128),
+        (DeviceModel::ibmqx4(), 0.034, 0.082, 0.207),
+        (DeviceModel::ibmq_melbourne(), 0.022, 0.0812, 0.31),
+    ];
+    for (dev, min, avg, max) in cases {
+        let (m, a, x) = dev.assignment_error_stats();
+        assert!((m - min).abs() < 0.002, "{}: min {m} vs {min}", dev.name());
+        assert!((a - avg).abs() < 0.005, "{}: avg {a} vs {avg}", dev.name());
+        assert!((x - max).abs() < 0.002, "{}: max {x} vs {max}", dev.name());
+    }
+}
+
+/// §3.2 / Figure 6: GHZ measurement asymmetry — the all-ones branch loses
+/// several times more probability than the all-zeros branch.
+#[test]
+fn ghz_branch_asymmetry() {
+    use qnoise::{Executor, NoisyExecutor};
+    use rand::SeedableRng;
+    let dev = DeviceModel::ibmq_melbourne().best_qubits_subdevice(5);
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let log = exec.run(&qworkloads::ghz_circuit(5), 16_000, &mut rng);
+    let p0 = log.frequency(&BitString::zeros(5));
+    let p1 = log.frequency(&BitString::ones(5));
+    let loss_ratio = (0.5 - p1) / (0.5 - p0);
+    // Direction and magnitude-order of the paper's claim. (The paper's own
+    // Figure 5 per-qubit bias cannot produce its Figure 6 4x asymmetry under
+    // any independent readout model; see EXPERIMENTS.md.)
+    assert!(
+        loss_ratio > 1.5,
+        "all-ones branch should lose much more: p0={p0} p1={p1} ratio={loss_ratio}"
+    );
+    assert!(p0 > p1 + 0.05, "all-zeros branch must dominate: {p0} vs {p1}");
+}
+
+/// Appendix A: ESCT reproduces the direct characterization within the
+/// paper's 5% MSE bound, and AWCT uses exponentially fewer trials.
+#[test]
+fn appendix_a_characterization_bounds() {
+    use qnoise::NoisyExecutor;
+    use rand::SeedableRng;
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let direct = RbmsTable::brute_force(&exec, 8_000, &mut rng);
+    let esct = RbmsTable::esct(&exec, 256_000, &mut rng);
+    let awct = RbmsTable::awct(&exec, 3, 2, 85_000, &mut rng);
+    assert!(esct.mse_vs(&direct) < 0.05, "ESCT MSE {}", esct.mse_vs(&direct));
+    assert!(awct.mse_vs(&direct) < 0.05, "AWCT MSE {}", awct.mse_vs(&direct));
+    assert!(awct.trials_used() < direct.trials_used());
+}

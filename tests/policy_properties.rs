@@ -1,0 +1,147 @@
+//! Property-based tests over the measurement policies and inversion
+//! machinery, spanning invmeas + qnoise + qsim.
+
+use invmeas::{
+    AdaptiveInvertMeasure, Baseline, InversionString, MeasurementPolicy, RbmsTable,
+    StaticInvertMeasure,
+};
+use proptest::prelude::*;
+use qnoise::{CorrelatedReadout, FlipPair, GateNoise, NoisyExecutor, ReadoutModel, TensorReadout};
+use qsim::{BitString, Circuit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_bitstring(width: usize) -> impl Strategy<Value = BitString> {
+    (0u64..(1u64 << width)).prop_map(move |v| BitString::from_value(v, width))
+}
+
+fn arb_flip_pair() -> impl Strategy<Value = FlipPair> {
+    (0.0..0.4f64, 0.0..0.4f64).prop_map(|(a, b)| FlipPair::new(a, b))
+}
+
+fn arb_readout(width: usize) -> impl Strategy<Value = CorrelatedReadout> {
+    proptest::collection::vec(arb_flip_pair(), width)
+        .prop_map(|pairs| CorrelatedReadout::from_tensor(TensorReadout::new(pairs)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inversion is an involution on outcomes: measuring under `m` and
+    /// correcting by `m` is the identity relabeling.
+    #[test]
+    fn inversion_correction_roundtrip(mask in arb_bitstring(5), outcome in arb_bitstring(5)) {
+        let inv = InversionString::from_mask(mask);
+        let mut measured = qsim::Counts::new(5);
+        measured.record(inv.measured_state(outcome));
+        let corrected = inv.correct(&measured);
+        prop_assert_eq!(corrected.get(&outcome), 1);
+    }
+
+    /// The targeted inversion always maps the prediction onto the target
+    /// state, whatever they are.
+    #[test]
+    fn targeting_always_lands(pred in arb_bitstring(6), strongest in arb_bitstring(6)) {
+        let inv = InversionString::targeting(pred, strongest);
+        prop_assert_eq!(inv.measured_state(pred), strongest);
+    }
+
+    /// Every policy preserves the trial budget exactly on arbitrary
+    /// readout channels.
+    #[test]
+    fn policies_preserve_budget(
+        readout in arb_readout(4),
+        shots in 1u64..600,
+        target in arb_bitstring(4),
+    ) {
+        let exec = NoisyExecutor::new(readout.clone(), GateNoise::ideal(4));
+        let circuit = Circuit::basis_state_preparation(target);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = RbmsTable::exact(&readout);
+        let policies: [&dyn MeasurementPolicy; 3] = [
+            &Baseline,
+            &StaticInvertMeasure::four_mode(4),
+            &AdaptiveInvertMeasure::new(profile.clone()),
+        ];
+        for policy in policies {
+            let log = policy.execute(&circuit, shots, &exec, &mut rng);
+            prop_assert_eq!(log.total(), shots, "{} broke the budget", policy.name());
+        }
+    }
+
+    /// The exact success probability of the SIM aggregate equals the mean
+    /// of the per-mode success probabilities of the measured states.
+    #[test]
+    fn sim_success_is_mode_average(
+        readout in arb_readout(4),
+        target in arb_bitstring(4),
+    ) {
+        let strings = InversionString::sim_four(4);
+        let expected: f64 = strings
+            .iter()
+            .map(|inv| readout.success_probability(inv.measured_state(target)))
+            .sum::<f64>() / 4.0;
+        // Estimate empirically with a decent budget.
+        let exec = NoisyExecutor::new(readout, GateNoise::ideal(4));
+        let circuit = Circuit::basis_state_preparation(target);
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = StaticInvertMeasure::four_mode(4).execute(&circuit, 20_000, &exec, &mut rng);
+        let measured = log.frequency(&target);
+        prop_assert!(
+            (measured - expected).abs() < 0.03,
+            "SIM aggregate {} vs expected mode average {}", measured, expected
+        );
+    }
+
+    /// AIM's candidate prediction never exceeds k and never invents
+    /// unobserved states.
+    #[test]
+    fn aim_candidates_are_observed(
+        strengths in proptest::collection::vec(0.05f64..1.0, 16),
+        observed in proptest::collection::vec(arb_bitstring(4), 1..10),
+    ) {
+        let profile = RbmsTable::from_strengths(4, strengths);
+        let aim = AdaptiveInvertMeasure::new(profile);
+        let mut canary = qsim::Counts::new(4);
+        for s in &observed {
+            canary.record(*s);
+        }
+        let candidates = aim.predict_candidates(&canary);
+        prop_assert!(candidates.len() <= 4);
+        for c in &candidates {
+            prop_assert!(observed.contains(c), "candidate {} never observed", c);
+        }
+    }
+
+    /// Readout channels are proper stochastic maps: rows sum to one for
+    /// arbitrary parameters (checked through the public confusion API).
+    #[test]
+    fn readout_rows_are_stochastic(readout in arb_readout(4), ideal in arb_bitstring(4)) {
+        let total: f64 = BitString::all(4)
+            .map(|obs| readout.confusion(ideal, obs))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "row sums to {}", total);
+    }
+
+    /// XOR-relabeling a distribution never changes its mass and the exact
+    /// SIM mixture is again a distribution.
+    #[test]
+    fn exact_sim_mixture_is_distribution(
+        readout in arb_readout(4),
+        target in arb_bitstring(4),
+    ) {
+        let born = qsim::Distribution::point(target);
+        let parts: Vec<qsim::Distribution> = InversionString::sim_four(4)
+            .into_iter()
+            .map(|inv| {
+                readout
+                    .apply_to_distribution(&born.xor_relabeled(inv.mask()))
+                    .xor_relabeled(inv.mask())
+            })
+            .collect();
+        let refs: Vec<(&qsim::Distribution, f64)> = parts.iter().map(|d| (d, 1.0)).collect();
+        let merged = qsim::Distribution::mixture(&refs);
+        let total: f64 = merged.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-validation of the stochastic execution stack against exact
+//! density-matrix evolution: the Monte-Carlo trajectory executor and the
+//! composed readout channel must converge to the closed-form answers.
+
+use qnoise::{
+    CorrelatedReadout, DeviceModel, Executor, FlipPair, GateNoise, NoisyExecutor, ReadoutModel,
+    TensorReadout,
+};
+use qsim::{BitString, Circuit, DensityMatrix, Distribution, KrausChannel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evolves a circuit under per-gate single-qubit depolarizing noise,
+/// exactly, on the density matrix.
+fn exact_noisy_density(circuit: &Circuit, p1q: f64) -> DensityMatrix {
+    let mut rho = DensityMatrix::zero(circuit.n_qubits());
+    let ch = KrausChannel::depolarizing(p1q);
+    for g in circuit.gates() {
+        rho.apply_gate(g);
+        if !g.is_two_qubit() {
+            rho.apply_channel(&ch, g.qubits()[0]);
+        }
+    }
+    rho
+}
+
+#[test]
+fn trajectories_converge_to_density_matrix() {
+    // Single-qubit gates only, so the trajectory model (insert X/Y/Z with
+    // probability p after each gate) is exactly the depolarizing channel.
+    let mut c = Circuit::new(2);
+    c.h(0).rx(1, 0.9).rz(0, 0.4).ry(1, -1.2).h(1);
+    let p1q = 0.08;
+
+    let exact = exact_noisy_density(&c, p1q);
+
+    let readout = CorrelatedReadout::from_tensor(TensorReadout::uniform(2, FlipPair::IDEAL));
+    let gate_noise = GateNoise::uniform(2, p1q, 0.0);
+    let exec = NoisyExecutor::new(readout, gate_noise).with_max_trajectories(u64::MAX);
+    let mut rng = StdRng::seed_from_u64(1234);
+    let shots = 400_000;
+    let log = exec.run(&c, shots, &mut rng);
+
+    for s in BitString::all(2) {
+        let expect = exact.probability_of(s);
+        let got = log.frequency(&s);
+        assert!(
+            (expect - got).abs() < 0.004,
+            "state {s}: exact {expect} vs sampled {got}"
+        );
+    }
+}
+
+#[test]
+fn trajectories_with_readout_converge() {
+    let mut c = Circuit::new(2);
+    c.h(0).ry(1, 0.7).rz(0, 1.1);
+    let p1q = 0.05;
+    let pairs = vec![FlipPair::new(0.03, 0.12), FlipPair::new(0.06, 0.20)];
+
+    // Exact: density diagonal pushed through the readout channel.
+    let rho = exact_noisy_density(&c, p1q);
+    let born = Distribution::from_probabilities(2, rho.probabilities());
+    let tensor = TensorReadout::new(pairs.clone());
+    let exact = tensor.apply_to_distribution(&born);
+
+    let exec = NoisyExecutor::new(
+        CorrelatedReadout::from_tensor(TensorReadout::new(pairs)),
+        GateNoise::uniform(2, p1q, 0.0),
+    )
+    .with_max_trajectories(u64::MAX);
+    let mut rng = StdRng::seed_from_u64(77);
+    let log = exec.run(&c, 400_000, &mut rng);
+    for s in BitString::all(2) {
+        assert!(
+            (exact.probability_of(s) - log.frequency(&s)).abs() < 0.004,
+            "state {s}: exact {} vs sampled {}",
+            exact.probability_of(s),
+            log.frequency(&s)
+        );
+    }
+}
+
+#[test]
+fn t1_composition_matches_kraus_damping() {
+    // The readout model's FlipPair::with_t1_decay must equal "amplitude
+    // damping, then asymmetric discriminator flip" computed on the density
+    // matrix.
+    let t1 = 60.0;
+    let t_meas = 8.0;
+    let gamma = 1.0 - (-t_meas / t1f(t1)).exp();
+    fn t1f(x: f64) -> f64 {
+        x
+    }
+    let assignment = FlipPair::new(0.03, 0.07);
+    let effective = assignment.with_t1_decay(t1, t_meas);
+
+    // Exact: |1><1| under damping, then the classical flip channel.
+    let mut rho = DensityMatrix::basis("1".parse().unwrap());
+    rho.apply_channel(&KrausChannel::amplitude_damping(gamma), 0);
+    let p = rho.probabilities();
+    // Discriminator: observed 0 with prob (1-p01) from true 0, p10 from true 1.
+    let read0 = p[0] * (1.0 - assignment.p01) + p[1] * assignment.p10;
+    assert!(
+        (read0 - effective.p10).abs() < 1e-12,
+        "composed channel {read0} vs effective pair {}",
+        effective.p10
+    );
+}
+
+#[test]
+fn readout_only_executor_is_unbiased_for_superpositions() {
+    // Readout noise applied shot-by-shot must equal the exact channel
+    // applied to the Born distribution, including for superposed states.
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::readout_only(&dev);
+    let c = Circuit::uniform_superposition(5);
+    let exact = exec.exact_readout_distribution(&c);
+    let mut rng = StdRng::seed_from_u64(3);
+    let log = exec.run(&c, 300_000, &mut rng);
+    let mut worst: f64 = 0.0;
+    for s in BitString::all(5) {
+        worst = worst.max((exact.probability_of(s) - log.frequency(&s)).abs());
+    }
+    assert!(worst < 0.004, "worst deviation {worst}");
+}
+
+#[test]
+fn two_qubit_fault_insertion_preserves_distribution_support() {
+    // With maximal 2q noise the output must stay a valid distribution and
+    // cover states unreachable without faults.
+    let mut c = Circuit::new(2);
+    c.cx(0, 1); // from |00> the ideal output is always 00
+    let exec = NoisyExecutor::new(
+        CorrelatedReadout::from_tensor(TensorReadout::uniform(2, FlipPair::IDEAL)),
+        GateNoise::uniform(2, 0.0, 0.9),
+    )
+    .with_max_trajectories(u64::MAX);
+    let mut rng = StdRng::seed_from_u64(5);
+    let log = exec.run(&c, 50_000, &mut rng);
+    assert_eq!(log.total(), 50_000);
+    // Faults populate other basis states.
+    assert!(log.distinct() > 1, "faults never fired");
+    // And the no-fault component keeps 00 dominant or at least present.
+    assert!(log.get(&BitString::zeros(2)) > 0);
+}
