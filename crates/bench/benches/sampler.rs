@@ -1,0 +1,90 @@
+//! Shot-execution engine benchmarks: per-shot reference vs the batched
+//! engine (alias-table sampling + exact-channel shot synthesis).
+//!
+//! The headline comparison is the acceptance target of the batched-engine
+//! work: readout-only 5-qubit brute-force characterization at 8192
+//! shots/state, per-shot vs synthesized. Set `CRITERION_JSON=<path>` to
+//! record the timings (see `BENCH_sampler.json` at the repo root).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use invmeas::RbmsTable;
+use qbenches::bench_rng;
+use qnoise::{DeviceModel, Executor, NoisyExecutor};
+use qsim::{Circuit, StateVector};
+
+const SHOTS_PER_STATE: u64 = 8_192;
+
+/// Per-shot reference vs batched engine on the acceptance workload:
+/// 5-qubit readout-only brute-force characterization, 8192 shots/state.
+fn bench_brute_force_paths(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx2();
+    let per_shot = NoisyExecutor::readout_only(&dev)
+        .with_shot_synthesis(false)
+        .with_threads(1);
+    let batched = NoisyExecutor::readout_only(&dev).with_threads(1);
+
+    let mut group = c.benchmark_group("brute_force_5q_8192");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32 * SHOTS_PER_STATE));
+    group.bench_function("per_shot", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| RbmsTable::brute_force(&per_shot, SHOTS_PER_STATE, &mut rng))
+    });
+    group.bench_function("batched", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| RbmsTable::brute_force(&batched, SHOTS_PER_STATE, &mut rng))
+    });
+    group.finish();
+}
+
+/// Raw sampling throughput: alias table vs linear scan over the state
+/// vector, per shot, on a dense superposition.
+fn bench_sampling_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("born_sampling");
+    for n in [5usize, 10, 14] {
+        let psi = StateVector::from_circuit(&Circuit::uniform_superposition(n));
+        let sampler = psi.sampler();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &psi, |b, psi| {
+            let mut rng = bench_rng();
+            b.iter(|| psi.sample(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("alias_table", n), &sampler, |b, s| {
+            let mut rng = bench_rng();
+            b.iter(|| s.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Shot-count scaling of one readout-only execution: the synthesized
+/// path should be flat in shots, the per-shot path linear.
+fn bench_shot_scaling(c: &mut Criterion) {
+    let dev = DeviceModel::ibmqx4();
+    let circuit = Circuit::basis_state_preparation("10110".parse().unwrap());
+    let synth = NoisyExecutor::readout_only(&dev);
+    let per_shot = NoisyExecutor::readout_only(&dev).with_shot_synthesis(false);
+
+    let mut group = c.benchmark_group("shot_scaling");
+    group.sample_size(10);
+    for shots in [1_024u64, 8_192, 65_536] {
+        group.throughput(Throughput::Elements(shots));
+        group.bench_with_input(BenchmarkId::new("per_shot", shots), &shots, |b, &shots| {
+            let mut rng = bench_rng();
+            b.iter(|| per_shot.run(&circuit, shots, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("synthesized", shots), &shots, |b, &shots| {
+            let mut rng = bench_rng();
+            b.iter(|| synth.run(&circuit, shots, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_brute_force_paths,
+    bench_sampling_paths,
+    bench_shot_scaling
+);
+criterion_main!(benches);

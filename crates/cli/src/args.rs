@@ -59,6 +59,8 @@ pub struct CharacterizeArgs {
     pub out: Option<String>,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for batched sweeps (`None` = all available cores).
+    pub threads: Option<usize>,
 }
 
 /// Arguments to `run`.
@@ -80,6 +82,8 @@ pub struct RunArgs {
     pub route: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for batched sweeps (`None` = all available cores).
+    pub threads: Option<usize>,
 }
 
 /// Error produced while parsing arguments.
@@ -105,13 +109,17 @@ invmeas — Invert-and-Measure command line
 USAGE:
   invmeas devices
   invmeas characterize --device <NAME> [--method brute|esct|awct]
-                       [--shots N] [--out FILE] [--seed N]
+                       [--shots N] [--out FILE] [--seed N] [--threads N]
   invmeas profile-info <FILE>
   invmeas run <FILE.qasm> --device <NAME> [--policy baseline|sim|aim]
               [--shots N] [--expected BITS] [--profile FILE] [--route]
-              [--seed N]
+              [--seed N] [--threads N]
 
 DEVICES: ibmqx2, ibmqx4, ibmq-melbourne, ideal-N (e.g. ideal-5)
+
+--threads controls the worker pool for batched circuit sweeps
+(characterization states/windows, SIM groups, AIM targeted runs); the
+default uses every available core. Results are identical for any value.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -151,6 +159,17 @@ fn parse_u64(flag: &str, value: Option<&str>) -> Result<u64, ArgError> {
         .map_err(|_| err(format!("{flag} needs an integer")))
 }
 
+fn parse_threads(value: Option<&str>) -> Result<usize, ArgError> {
+    let n: usize = value
+        .ok_or_else(|| err("--threads needs a value"))?
+        .parse()
+        .map_err(|_| err("--threads needs an integer"))?;
+    if n == 0 {
+        return Err(err("--threads must be at least 1"));
+    }
+    Ok(n)
+}
+
 fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
     let mut out = CharacterizeArgs {
         device: String::new(),
@@ -158,6 +177,7 @@ fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
         shots: 8192,
         out: None,
         seed: 2019,
+        threads: None,
     };
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
@@ -178,6 +198,7 @@ fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
             }
             "--shots" => out.shots = parse_u64("--shots", it.next())?,
             "--seed" => out.seed = parse_u64("--seed", it.next())?,
+            "--threads" => out.threads = Some(parse_threads(it.next())?),
             "--out" => {
                 out.out = Some(
                     it.next()
@@ -205,6 +226,7 @@ fn parse_run(args: &[String]) -> Result<Command, ArgError> {
         profile: None,
         route: false,
         seed: 2019,
+        threads: None,
     };
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(tok) = it.next() {
@@ -225,6 +247,7 @@ fn parse_run(args: &[String]) -> Result<Command, ArgError> {
             }
             "--shots" => out.shots = parse_u64("--shots", it.next())?,
             "--seed" => out.seed = parse_u64("--seed", it.next())?,
+            "--threads" => out.threads = Some(parse_threads(it.next())?),
             "--expected" => {
                 out.expected = Some(
                     it.next()
@@ -277,7 +300,8 @@ mod tests {
     #[test]
     fn parses_characterize() {
         let cmd = parse(&argv(
-            "characterize --device ibmqx4 --method awct --shots 1000 --out p.rbms --seed 7",
+            "characterize --device ibmqx4 --method awct --shots 1000 --out p.rbms --seed 7 \
+             --threads 3",
         ))
         .unwrap();
         match cmd {
@@ -287,6 +311,7 @@ mod tests {
                 assert_eq!(a.shots, 1000);
                 assert_eq!(a.out.as_deref(), Some("p.rbms"));
                 assert_eq!(a.seed, 7);
+                assert_eq!(a.threads, Some(3));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -300,6 +325,7 @@ mod tests {
                 assert_eq!(a.method, Method::Brute);
                 assert_eq!(a.shots, 8192);
                 assert_eq!(a.out, None);
+                assert_eq!(a.threads, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -309,7 +335,7 @@ mod tests {
     fn parses_run_with_everything() {
         let cmd = parse(&argv(
             "run prog.qasm --device ibmq-melbourne --policy aim --shots 500 \
-             --expected 10110 --profile p.rbms --route",
+             --expected 10110 --profile p.rbms --route --threads 8",
         ))
         .unwrap();
         match cmd {
@@ -318,7 +344,17 @@ mod tests {
                 assert_eq!(a.policy, Policy::Aim);
                 assert!(a.route);
                 assert_eq!(a.expected.as_deref(), Some("10110"));
+                assert_eq!(a.threads, Some(8));
             }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_threads_default_is_auto() {
+        let cmd = parse(&argv("run prog.qasm --device ibmqx2")).unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.threads, None),
             other => panic!("wrong command {other:?}"),
         }
     }
@@ -330,9 +366,12 @@ mod tests {
             ("characterize --device", "--device needs a name"),
             ("characterize --device x --shots abc", "--shots needs an integer"),
             ("characterize --device x --method nope", "bad --method"),
+            ("characterize --device x --threads 0", "--threads must be at least 1"),
+            ("characterize --device x --threads no", "--threads needs an integer"),
             ("run --device x", "requires a QASM file"),
             ("run a.qasm b.qasm --device x", "unexpected argument"),
             ("run a.qasm --device x --policy nope", "bad --policy"),
+            ("run a.qasm --device x --threads 0", "--threads must be at least 1"),
             ("nonsense", "unknown command"),
         ];
         for (input, expect) in cases {

@@ -93,14 +93,24 @@ fn render_devices() -> String {
     format!("{t}\nplus ideal-N for a noiseless N-qubit reference\n")
 }
 
+/// The worker-thread count to use: the `--threads` value if given,
+/// otherwise every available core.
+fn resolve_threads(requested: Option<usize>) -> usize {
+    requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 fn characterize(a: &CharacterizeArgs) -> Result<String, CliError> {
     let dev = resolve_device(&a.device)?;
-    let exec = NoisyExecutor::from_device(&dev);
+    let exec = NoisyExecutor::from_device(&dev).with_threads(resolve_threads(a.threads));
     let mut rng = StdRng::seed_from_u64(a.seed);
     let table = match a.method {
         Method::Brute => {
-            if dev.n_qubits() > 12 {
-                return Err("brute-force characterization limited to 12 qubits; use awct".into());
+            if dev.n_qubits() > 14 {
+                return Err("brute-force characterization limited to 14 qubits; use awct".into());
             }
             RbmsTable::brute_force(&exec, a.shots, &mut rng)
         }
@@ -201,7 +211,7 @@ fn run(a: &RunArgs) -> Result<String, CliError> {
         (logical.clone(), None)
     };
 
-    let exec = NoisyExecutor::from_device(&dev);
+    let exec = NoisyExecutor::from_device(&dev).with_threads(resolve_threads(a.threads));
     let width = circuit.n_qubits();
     let policy: Box<dyn MeasurementPolicy> = match a.policy {
         Policy::Baseline => Box::new(Baseline),
@@ -303,6 +313,7 @@ mod tests {
             shots: 256,
             out: Some(path.to_string_lossy().into_owned()),
             seed: 1,
+            threads: Some(2),
         }))
         .unwrap();
         assert!(out.contains("RBMS profile"));
@@ -333,6 +344,7 @@ mod tests {
             profile: None,
             route: false,
             seed: 5,
+            threads: Some(2),
         }))
         .unwrap();
         assert!(base.contains("PST"), "{base}");
@@ -345,6 +357,7 @@ mod tests {
             profile: None,
             route: false,
             seed: 5,
+            threads: Some(2),
         }))
         .unwrap();
         assert!(aim.contains("policy aim"), "{aim}");
@@ -367,6 +380,7 @@ mod tests {
             profile: None,
             route: true,
             seed: 3,
+            threads: None,
         }))
         .unwrap();
         assert!(out.contains("routed onto"), "{out}");
@@ -390,6 +404,7 @@ mod tests {
             profile: None,
             route: false,
             seed: 0,
+            threads: None,
         }))
         .unwrap_err()
         .to_string();

@@ -185,11 +185,16 @@ impl AdaptiveInvertMeasure {
             merged.merge(&log);
         } else {
             let budget = split_shots(remaining, candidates.len());
-            for (&candidate, &group_shots) in candidates.iter().zip(&budget) {
-                let inv = InversionString::targeting(candidate, strongest);
-                let raw = executor.run(&inv.apply(circuit), group_shots, rng);
-                merged.merge(&inv.correct(&raw));
-                inversions.push(inv);
+            // One targeted circuit per candidate, dispatched as a single
+            // group run so the executor can sweep them in parallel.
+            for &candidate in &candidates {
+                inversions.push(InversionString::targeting(candidate, strongest));
+            }
+            let targeted: Vec<Circuit> =
+                inversions.iter().map(|inv| inv.apply(circuit)).collect();
+            let raw_logs = executor.run_groups(&targeted, &budget, rng);
+            for (inv, raw) in inversions.iter().zip(&raw_logs) {
+                merged.merge(&inv.correct(raw));
             }
         }
         AimReport {

@@ -103,12 +103,16 @@ impl RbmsTable {
         let n = executor.n_qubits();
         assert!(n <= 16, "brute force limited to 16 qubits");
         assert!(shots_per_state > 0, "need at least one shot per state");
-        let mut strengths = Vec::with_capacity(1 << n);
-        for s in BitString::all(n) {
-            let circuit = Circuit::basis_state_preparation(s);
-            let log = executor.run(&circuit, shots_per_state, rng);
-            strengths.push(log.frequency(&s));
-        }
+        // One preparation circuit per basis state, dispatched as a single
+        // batch so the executor can sweep them in parallel.
+        let circuits: Vec<Circuit> = BitString::all(n)
+            .map(Circuit::basis_state_preparation)
+            .collect();
+        let logs = executor.run_batch(&circuits, shots_per_state, rng);
+        let strengths = BitString::all(n)
+            .zip(&logs)
+            .map(|(s, log)| log.frequency(&s))
+            .collect();
         let mut table = RbmsTable::from_strengths(n, strengths);
         table.trials_used = shots_per_state << n;
         table
@@ -189,16 +193,22 @@ impl RbmsTable {
             pos += stride;
         }
 
-        // Per-window relative strength estimates (sqrt-corrected).
+        // One superposition circuit per window, swept as a batch; then
+        // per-window relative strength estimates (sqrt-corrected).
+        let circuits: Vec<Circuit> = starts
+            .iter()
+            .map(|&lo| {
+                let mut circuit = Circuit::new(n);
+                for q in lo..lo + window {
+                    circuit.h(q);
+                }
+                circuit
+            })
+            .collect();
+        let logs = executor.run_batch(&circuits, shots_per_window, rng);
+        let trials = shots_per_window * starts.len() as u64;
         let mut window_tables: Vec<Vec<f64>> = Vec::with_capacity(starts.len());
-        let mut trials = 0u64;
-        for &lo in &starts {
-            let mut circuit = Circuit::new(n);
-            for q in lo..lo + window {
-                circuit.h(q);
-            }
-            let log = executor.run(&circuit, shots_per_window, rng);
-            trials += shots_per_window;
+        for (&lo, log) in starts.iter().zip(&logs) {
             // Marginalize onto the window bits.
             let mut marg = Counts::new(window);
             for (s, &cnt) in log.iter() {

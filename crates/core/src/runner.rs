@@ -76,6 +76,19 @@ impl Runner {
         self
     }
 
+    /// Sets the executor's worker-thread count for batched sweeps
+    /// (characterization, SIM groups, AIM targeted runs). Results are
+    /// bitwise identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = self.executor.with_threads(threads);
+        self
+    }
+
     /// Overrides the AIM profiling budget.
     ///
     /// # Panics
@@ -192,6 +205,20 @@ mod tests {
         let aim = runner.evaluate(PolicyChoice::Aim, &circuit, answer.into(), shots);
         assert!(sim.pst > base.pst);
         assert!(aim.pst > sim.pst);
+    }
+
+    #[test]
+    fn threaded_runner_matches_serial_bitwise() {
+        let answer = BitString::ones(5);
+        let circuit = Circuit::basis_state_preparation(answer);
+        let run = |threads: usize| {
+            let mut runner = Runner::new(DeviceModel::ibmqx4())
+                .with_seed(9)
+                .with_threads(threads)
+                .with_profile_shots(256);
+            runner.run(PolicyChoice::Aim, &circuit, 2_000)
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

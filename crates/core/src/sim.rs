@@ -92,31 +92,39 @@ impl StaticInvertMeasure {
     /// # Panics
     ///
     /// Panics if `k` is 0, exceeds `2^width`, or the profile is wider than
-    /// 12 qubits (the greedy search scans all `2^n` candidate masks).
+    /// 14 qubits (the greedy search scans all `2^n` candidate masks).
     pub fn profile_guided(rbms: &crate::rbms::RbmsTable, k: usize) -> Self {
         let n = rbms.width();
-        assert!(n <= 12, "profile-guided search limited to 12 qubits");
+        assert!(n <= 14, "profile-guided search limited to 14 qubits");
         assert!(k >= 1 && k <= (1usize << n), "bad mode count {k}");
         let strengths = rbms.strengths();
         let dim = 1usize << n;
         // avg[s] accumulates Σ strength(s ⊕ m) over chosen masks.
         let mut acc = vec![0.0f64; dim];
+        // O(1) membership instead of scanning the chosen list per candidate.
+        let mut in_set = vec![false; dim];
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
         for _ in 0..k {
             let mut best: Option<(f64, usize)> = None;
             for mask in 0..dim {
-                if chosen.contains(&mask) {
+                if in_set[mask] {
                     continue;
                 }
                 // Worst-case accumulated strength if `mask` joins the set.
+                // The running minimum only decreases, so the scan can stop
+                // as soon as it cannot beat the incumbent candidate.
+                let floor = best.map_or(f64::NEG_INFINITY, |(bw, _)| bw);
                 let mut worst = f64::INFINITY;
                 for s in 0..dim {
                     let v = acc[s] + strengths[s ^ mask];
                     if v < worst {
                         worst = v;
+                        if worst <= floor {
+                            break;
+                        }
                     }
                 }
-                if best.map_or(true, |(bw, _)| worst > bw) {
+                if worst > floor {
                     best = Some((worst, mask));
                 }
             }
@@ -124,32 +132,51 @@ impl StaticInvertMeasure {
             for s in 0..dim {
                 acc[s] += strengths[s ^ mask];
             }
+            in_set[mask] = true;
             chosen.push(mask);
         }
         // The maximin objective is not submodular, so a greedy set can be
         // dominated by hand-picked ones. Refine with single-swap local
         // search from several seeds (the greedy set, the paper's static
         // strings, and a low-index fill) and keep the best optimum.
-        let worst_of = |set: &[usize]| -> f64 {
-            (0..dim)
-                .map(|s| set.iter().map(|&m| strengths[s ^ m]).sum::<f64>())
-                .fold(f64::INFINITY, f64::min)
+        //
+        // `floor` prunes the min-scan: once the running minimum cannot
+        // exceed it the true value no longer matters (any result ≤ floor is
+        // rejected identically by the caller).
+        let worst_of = |set: &[usize], floor: f64| -> f64 {
+            let mut worst = f64::INFINITY;
+            for s in 0..dim {
+                let v: f64 = set.iter().map(|&m| strengths[s ^ m]).sum();
+                if v < worst {
+                    worst = v;
+                    if worst <= floor {
+                        break;
+                    }
+                }
+            }
+            worst
         };
         let local_search = |mut set: Vec<usize>| -> (f64, Vec<usize>) {
-            let mut current = worst_of(&set);
+            let mut member = vec![false; dim];
+            for &m in &set {
+                member[m] = true;
+            }
+            let mut current = worst_of(&set, f64::NEG_INFINITY);
             let mut improved = true;
             while improved {
                 improved = false;
                 for slot in 0..set.len() {
                     for candidate in 0..dim {
-                        if set.contains(&candidate) {
+                        if member[candidate] {
                             continue;
                         }
                         let old = set[slot];
                         set[slot] = candidate;
-                        let w = worst_of(&set);
+                        let w = worst_of(&set, current + 1e-15);
                         if w > current + 1e-15 {
                             current = w;
+                            member[old] = false;
+                            member[candidate] = true;
                             improved = true;
                         } else {
                             set[slot] = old;
@@ -224,12 +251,15 @@ impl StaticInvertMeasure {
             "circuit width must match inversion strings"
         );
         let budget = split_shots(shots, self.strings.len());
+        // One transformed circuit per inversion mode, dispatched as a
+        // single group run so the executor can sweep modes in parallel.
+        let transformed: Vec<Circuit> =
+            self.strings.iter().map(|inv| inv.apply(circuit)).collect();
+        let raw_logs = executor.run_groups(&transformed, &budget, rng);
         let mut groups = Vec::with_capacity(self.strings.len());
         let mut merged = Counts::new(circuit.n_qubits());
-        for (inv, &group_shots) in self.strings.iter().zip(&budget) {
-            let transformed = inv.apply(circuit);
-            let raw = executor.run(&transformed, group_shots, rng);
-            let corrected = inv.correct(&raw);
+        for (inv, raw) in self.strings.iter().zip(&raw_logs) {
+            let corrected = inv.correct(raw);
             merged.merge(&corrected);
             groups.push(corrected);
         }

@@ -125,6 +125,7 @@ impl ConfusionMatrix {
     /// Panics if the observed log's width differs, the log is empty, or the
     /// matrix is numerically singular (cannot happen for physical readout
     /// channels with error < 50 % per qubit).
+    #[allow(clippy::needless_range_loop)] // Gaussian elimination index notation
     pub fn unfold(&self, observed: &Counts) -> Distribution {
         assert_eq!(observed.width(), self.width, "width mismatch");
         assert!(observed.total() > 0, "cannot unfold an empty log");

@@ -152,6 +152,7 @@ pub fn allocate(device: &DeviceModel, n_logical: usize) -> Result<Placement, All
     // Adjacency list; an edgeless device is treated as fully connected.
     let mut adj = vec![Vec::new(); n_phys];
     if device.coupling().is_empty() {
+        #[allow(clippy::needless_range_loop)] // symmetric pair enumeration
         for a in 0..n_phys {
             for b in 0..n_phys {
                 if a != b {
@@ -191,7 +192,7 @@ pub fn allocate(device: &DeviceModel, n_logical: usize) -> Result<Placement, All
                         continue;
                     }
                     let c = qubit_cost(device, nb);
-                    if candidate.map_or(true, |(bc, _)| c < bc) {
+                    if candidate.is_none_or(|(bc, _)| c < bc) {
                         candidate = Some((c, nb));
                     }
                 }
@@ -205,7 +206,7 @@ pub fn allocate(device: &DeviceModel, n_logical: usize) -> Result<Placement, All
             continue;
         }
         let cost = region_cost(&region);
-        if best.as_ref().map_or(true, |(bc, _)| cost < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
             best = Some((cost, region));
         }
     }

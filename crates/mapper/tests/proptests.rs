@@ -1,9 +1,15 @@
-//! Property-based tests for allocation and routing.
+//! Randomized property tests for allocation and routing.
+//!
+//! Cases come from fixed-seed [`StdRng`] streams; the case index in every
+//! assertion message makes any failure reproducible.
 
-use proptest::prelude::*;
 use qmapper::{allocate, route, Placement};
 use qnoise::DeviceModel;
 use qsim::{BitString, Circuit, Gate, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 48;
 
 /// A line-coupled noiseless device for routing checks.
 fn line_device(n: usize) -> DeviceModel {
@@ -19,34 +25,47 @@ fn line_device(n: usize) -> DeviceModel {
     )
 }
 
-fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    prop_oneof![
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::H),
-        (q, -2.0..2.0f64).prop_map(|(qubit, theta)| Gate::Rz { qubit, theta }),
-        q2.clone()
-            .prop_map(|(control, target)| Gate::Cx { control, target }),
-        (q2, -2.0..2.0f64).prop_map(|((a, b), theta)| Gate::Rzz { a, b, theta }),
-    ]
+/// A random gate from the router-relevant set (X, H, Rz, Cx, Rzz).
+fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
+    fn pair(n: usize, rng: &mut StdRng) -> (usize, usize) {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+    let q = rng.gen_range(0..n);
+    let theta = rng.gen_range(-2.0..2.0f64);
+    match rng.gen_range(0..5u32) {
+        0 => Gate::X(q),
+        1 => Gate::H(q),
+        2 => Gate::Rz { qubit: q, theta },
+        3 => {
+            let (control, target) = pair(n, rng);
+            Gate::Cx { control, target }
+        }
+        _ => {
+            let (a, b) = pair(n, rng);
+            Gate::Rzz { a, b, theta }
+        }
+    }
 }
 
-fn arb_circuit(n: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(arb_gate(n), 0..16).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        c.extend(gates);
-        c
-    })
+fn random_circuit(n: usize, rng: &mut StdRng) -> Circuit {
+    let len = rng.gen_range(0..16usize);
+    let mut c = Circuit::new(n);
+    c.extend((0..len).map(|_| random_gate(n, rng)));
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any circuit routed onto a line keeps its logical output
-    /// distribution exactly (the fundamental router contract).
-    #[test]
-    fn routing_preserves_semantics(c in arb_circuit(4)) {
+/// Any circuit routed onto a line keeps its logical output distribution
+/// exactly (the fundamental router contract).
+#[test]
+fn routing_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x307);
+    for case in 0..CASES {
+        let c = random_circuit(4, &mut rng);
         let dev = line_device(5);
         let placement = Placement::new(vec![0, 1, 2, 3]);
         let routed = route(&c, &dev, &placement).expect("line is connected");
@@ -58,54 +77,65 @@ proptest! {
             p_marg[routed.logical_outcome(phys).index()] += p;
         }
         for (a, b) in p_orig.iter().zip(&p_marg) {
-            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-8, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// The output layout is always a valid injection of logical into
-    /// physical qubits.
-    #[test]
-    fn output_layout_is_injective(c in arb_circuit(4)) {
+/// The output layout is always a valid injection of logical into
+/// physical qubits.
+#[test]
+fn output_layout_is_injective() {
+    let mut rng = StdRng::seed_from_u64(0x308);
+    for case in 0..CASES {
+        let c = random_circuit(4, &mut rng);
         let dev = line_device(6);
         let placement = Placement::new(vec![1, 2, 3, 4]);
         let routed = route(&c, &dev, &placement).unwrap();
         let layout = routed.output_layout();
-        prop_assert_eq!(layout.len(), 4);
+        assert_eq!(layout.len(), 4, "case {case}");
         for (i, &p) in layout.iter().enumerate() {
-            prop_assert!(p < 6);
-            prop_assert!(!layout[..i].contains(&p), "layout not injective: {:?}", layout);
+            assert!(p < 6, "case {case}");
+            assert!(
+                !layout[..i].contains(&p),
+                "case {case}: layout not injective: {layout:?}"
+            );
         }
     }
+}
 
-    /// Every inserted gate acts on coupled qubits — the router's whole
-    /// point.
-    #[test]
-    fn routed_two_qubit_gates_respect_coupling(c in arb_circuit(4)) {
+/// Every inserted gate acts on coupled qubits — the router's whole point.
+#[test]
+fn routed_two_qubit_gates_respect_coupling() {
+    let mut rng = StdRng::seed_from_u64(0x309);
+    for case in 0..CASES {
+        let c = random_circuit(4, &mut rng);
         let dev = line_device(4);
         let routed = route(&c, &dev, &Placement::identity(4)).unwrap();
         for g in routed.circuit().gates() {
             if g.is_two_qubit() {
                 let qs = g.qubits();
-                prop_assert!(
+                assert!(
                     qs[0].abs_diff(qs[1]) == 1,
-                    "gate {} not on a line edge",
-                    g
+                    "case {case}: gate {g} not on a line edge"
                 );
             }
         }
     }
+}
 
-    /// Allocation always returns the requested size with in-range,
-    /// distinct physical qubits.
-    #[test]
-    fn allocation_is_well_formed(k in 1usize..=14) {
+/// Allocation always returns the requested size with in-range, distinct
+/// physical qubits.
+#[test]
+fn allocation_is_well_formed() {
+    for k in 1usize..=14 {
         let dev = DeviceModel::ibmq_melbourne();
         let placement = allocate(&dev, k).expect("melbourne is connected");
-        prop_assert_eq!(placement.n_logical(), k);
+        assert_eq!(placement.n_logical(), k);
         let phys = placement.physical();
         for (i, &p) in phys.iter().enumerate() {
-            prop_assert!(p < 14);
-            prop_assert!(!phys[..i].contains(&p));
+            assert!(p < 14, "k = {k}");
+            assert!(!phys[..i].contains(&p), "k = {k}");
         }
     }
 }

@@ -115,6 +115,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // q indexes two parallel tables
     fn calibration_recovers_effective_pairs() {
         let dev = DeviceModel::ibmqx2();
         let exec = NoisyExecutor::readout_only(&dev);

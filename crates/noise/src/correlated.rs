@@ -20,7 +20,7 @@ use rand::{Rng, RngCore};
 
 /// A pairwise readout-crosstalk term: when `source`'s ideal value is 1, the
 /// flip probabilities of `target` increase by `extra`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Crosstalk {
     /// The qubit whose excitation perturbs the neighbour's readout.
     pub source: usize,

@@ -429,7 +429,7 @@ mod tests {
     fn ibmqx2_bias_is_monotone_in_weight_on_average() {
         let r = DeviceModel::ibmqx2().readout();
         // Average BMS per Hamming-weight class decreases.
-        let mut class_avg = vec![(0.0, 0u32); 6];
+        let mut class_avg = [(0.0, 0u32); 6];
         for s in BitString::all(5) {
             let e = &mut class_avg[s.hamming_weight() as usize];
             e.0 += r.success_probability(s);

@@ -9,13 +9,53 @@
 //!   shots ([`GateNoise`]);
 //! * **measurement errors** — every sampled outcome is pushed through the
 //!   device's readout channel ([`ReadoutModel`]).
+//!
+//! ## The batched execution engine
+//!
+//! Characterization and policy evaluation run *sweeps*: `2^n` basis-state
+//! preparations for a brute-force RBMS table, `k` inversion modes per SIM
+//! group run, one canary plus `k` targeted groups per AIM window. Three
+//! mechanisms keep those sweeps cheap:
+//!
+//! 1. **O(1) sampling** — each statevector builds one
+//!    [`qsim::AliasSampler`] over its Born distribution, so a shot costs a
+//!    table lookup instead of an `O(2^n)` CDF scan.
+//! 2. **Shot synthesis** — when gate noise is off, the Born distribution is
+//!    pushed through the readout channel *once*
+//!    ([`NoisyExecutor::exact_readout_distribution`]) and the entire trial
+//!    log is drawn as one multinomial sample
+//!    ([`qsim::Counts::synthesize_from`]); cost is independent of the shot
+//!    count. A cost model picks between this and the per-shot path (see
+//!    [`NoisyExecutor::with_shot_synthesis`]).
+//! 3. **Parallel sweeps** — [`Executor::run_groups`] runs many circuits at
+//!    once; [`NoisyExecutor`] distributes them over a thread pool
+//!    ([`NoisyExecutor::with_threads`]).
+//!
+//! ### Determinism contract
+//!
+//! For a fixed RNG seed and configuration, every path is reproducible.
+//! `run_groups`/`run_batch` draw one sub-seed per circuit *sequentially*
+//! from the caller's RNG before any work is dispatched, so their results
+//! are bitwise identical **regardless of the thread count** (and identical
+//! to the serial default implementation). The synthesis and per-shot paths
+//! consume the RNG stream differently, so toggling
+//! [`NoisyExecutor::with_shot_synthesis`] changes the sampled log — but
+//! both are exact samples of the same law, and each is deterministic per
+//! seed.
 
 use crate::correlated::CorrelatedReadout;
 use crate::device::DeviceModel;
 use crate::gate_noise::GateNoise;
 use crate::readout::ReadoutModel;
-use qsim::{Circuit, Counts, Distribution, StateVector};
-use rand::RngCore;
+use qsim::{BitString, Circuit, Counts, Distribution, StateVector};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Widest register the dense per-basis-state count accumulator is used for;
+/// beyond this the per-shot paths fall back to hash-map logging.
+const MAX_DENSE_WIDTH: usize = 26;
 
 /// A shot-based circuit runner.
 ///
@@ -31,6 +71,69 @@ pub trait Executor {
     ///
     /// Implementations may panic if `circuit.n_qubits() != self.n_qubits()`.
     fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts;
+
+    /// Runs each circuit for its own shot budget and returns one log per
+    /// circuit — the engine entry point for characterization sweeps and
+    /// grouped policy runs.
+    ///
+    /// One sub-seed per circuit is drawn sequentially from `rng` up front,
+    /// and circuit `i` is executed against `StdRng::seed_from_u64(seed_i)`.
+    /// Implementations that parallelize (see [`NoisyExecutor`]) MUST keep
+    /// this scheme so results are bitwise independent of the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `circuits.len() != shots.len()` or any
+    /// circuit width mismatches.
+    fn run_groups(&self, circuits: &[Circuit], shots: &[u64], rng: &mut dyn RngCore) -> Vec<Counts> {
+        assert_eq!(
+            circuits.len(),
+            shots.len(),
+            "one shot budget per circuit required"
+        );
+        circuits
+            .iter()
+            .zip(shots)
+            .map(|(c, &s)| {
+                let mut circuit_rng = StdRng::seed_from_u64(rng.next_u64());
+                self.run(c, s, &mut circuit_rng)
+            })
+            .collect()
+    }
+
+    /// Runs every circuit for the same number of shots — the uniform-budget
+    /// convenience form of [`Executor::run_groups`].
+    fn run_batch(
+        &self,
+        circuits: &[Circuit],
+        shots_each: u64,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Counts> {
+        let shots = vec![shots_each; circuits.len()];
+        self.run_groups(circuits, &shots, rng)
+    }
+}
+
+/// Draws `shots` outcomes from `psi`'s Born distribution via a one-time
+/// alias table, accumulating densely when the register is small enough.
+fn sample_state_counts(psi: &StateVector, shots: u64, rng: &mut dyn RngCore) -> Counts {
+    let n = psi.n_qubits();
+    let mut counts = Counts::new(n);
+    if shots == 0 {
+        return counts;
+    }
+    let sampler = psi.sampler();
+    if n <= MAX_DENSE_WIDTH {
+        let mut dense = vec![0u64; 1usize << n];
+        for _ in 0..shots {
+            dense[sampler.sample(rng)] += 1;
+        }
+        return Counts::from_dense(n, &dense);
+    }
+    for _ in 0..shots {
+        counts.record(BitString::from_value(sampler.sample(rng) as u64, n));
+    }
+    counts
 }
 
 /// A noise-free executor: samples directly from the Born distribution.
@@ -69,12 +172,11 @@ impl Executor for IdealExecutor {
 
     fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
         assert_eq!(circuit.n_qubits(), self.n_qubits, "circuit width mismatch");
-        let psi = StateVector::from_circuit(circuit);
-        let mut counts = Counts::new(self.n_qubits);
-        for _ in 0..shots {
-            counts.record(psi.sample(rng));
+        if shots == 0 {
+            return Counts::new(self.n_qubits);
         }
-        counts
+        let psi = StateVector::from_circuit(circuit);
+        sample_state_counts(&psi, shots, rng)
     }
 }
 
@@ -84,6 +186,8 @@ pub struct NoisyExecutor {
     readout: CorrelatedReadout,
     gate_noise: GateNoise,
     max_trajectories: u64,
+    threads: usize,
+    shot_synthesis: bool,
 }
 
 impl NoisyExecutor {
@@ -110,6 +214,8 @@ impl NoisyExecutor {
             readout,
             gate_noise,
             max_trajectories: Self::DEFAULT_MAX_TRAJECTORIES,
+            threads: 1,
+            shot_synthesis: true,
         }
     }
 
@@ -137,6 +243,41 @@ impl NoisyExecutor {
         self
     }
 
+    /// Sets the worker-thread count used by [`Executor::run_groups`] /
+    /// [`Executor::run_batch`]. The default is 1 (serial). Results are
+    /// bitwise identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables or disables the multinomial shot-synthesis fast path
+    /// (enabled by default).
+    ///
+    /// When enabled and gate noise is off, [`Executor::run`] composes the
+    /// Born distribution with the readout channel once and synthesizes the
+    /// whole log in time independent of the shot count, provided the
+    /// composition is cheaper than per-shot sampling (cost model:
+    /// `support · 2^n ≤ shots · n`, and `n ≤ 14` for the dense channel).
+    /// Disabling forces the per-shot path — useful for statistical
+    /// equivalence tests and benchmarking the engine against itself.
+    #[must_use]
+    pub fn with_shot_synthesis(mut self, enabled: bool) -> Self {
+        self.shot_synthesis = enabled;
+        self
+    }
+
     /// The readout channel in use.
     pub fn readout(&self) -> &CorrelatedReadout {
         &self.readout
@@ -148,10 +289,13 @@ impl NoisyExecutor {
     }
 
     /// Parallel variant of [`Executor::run`]: splits the shot budget across
-    /// `threads` worker threads (crossbeam scoped threads), each with an
+    /// `threads` worker threads (std scoped threads), each with an
     /// independent RNG stream seeded deterministically from `rng`. For the
     /// same `rng` state and `threads` count the merged log is reproducible;
     /// different thread counts yield different (equally valid) samples.
+    ///
+    /// Prefer [`Executor::run_groups`] when the sweep has many circuits:
+    /// its results do not depend on the thread count at all.
     ///
     /// # Panics
     ///
@@ -173,15 +317,14 @@ impl NoisyExecutor {
         let threads_u = threads as u64;
         let base = shots / threads_u;
         let extra = shots % threads_u;
-        let logs = crossbeam::thread::scope(|scope| {
+        let logs: Vec<Counts> = std::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .iter()
                 .enumerate()
                 .map(|(t, &seed)| {
                     let worker_shots = base + u64::from((t as u64) < extra);
-                    scope.spawn(move |_| {
-                        use rand::SeedableRng;
-                        let mut worker_rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    scope.spawn(move || {
+                        let mut worker_rng = StdRng::seed_from_u64(seed);
                         self.run(circuit, worker_shots, &mut worker_rng)
                     })
                 })
@@ -189,9 +332,8 @@ impl NoisyExecutor {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<Counts>>()
-        })
-        .expect("crossbeam scope panicked");
+                .collect()
+        });
         let mut merged = Counts::new(self.n_qubits());
         for log in &logs {
             merged.merge(log);
@@ -215,6 +357,40 @@ impl NoisyExecutor {
         );
         self.readout.apply_to_distribution(&born)
     }
+
+    /// Whether synthesizing the log beats sampling `shots` outcomes one by
+    /// one: composing the channel costs `O(support · 2^n)`, the per-shot
+    /// path roughly `O(shots · n)` after its alias table is built.
+    fn synthesis_pays_off(&self, born: &[f64], shots: u64) -> bool {
+        if !self.shot_synthesis || self.n_qubits() > 14 {
+            return false;
+        }
+        let support = born.iter().filter(|&&p| p > 0.0).count();
+        let compose_cost = support as u128 * born.len() as u128;
+        compose_cost <= shots as u128 * self.n_qubits().max(1) as u128
+    }
+
+    /// Per-shot sampling + readout corruption from a fixed state, densely
+    /// accumulated.
+    fn corrupt_shots_dense(
+        &self,
+        sampler: &qsim::AliasSampler,
+        shots: u64,
+        dense: &mut [u64],
+        counts: &mut Counts,
+        rng: &mut dyn RngCore,
+    ) {
+        let n = self.n_qubits();
+        for _ in 0..shots {
+            let ideal = BitString::from_value(sampler.sample(rng) as u64, n);
+            let observed = self.readout.corrupt(ideal, rng);
+            if n <= MAX_DENSE_WIDTH {
+                dense[observed.index()] += 1;
+            } else {
+                counts.record(observed);
+            }
+        }
+    }
 }
 
 impl Executor for NoisyExecutor {
@@ -224,38 +400,103 @@ impl Executor for NoisyExecutor {
 
     fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
         assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
-        let mut counts = Counts::new(self.n_qubits());
+        let n = self.n_qubits();
         if shots == 0 {
-            return counts;
+            return Counts::new(n);
         }
         let ideal_psi = StateVector::from_circuit(circuit);
         if self.gate_noise.is_ideal() {
-            for _ in 0..shots {
-                let outcome = ideal_psi.sample(rng);
-                counts.record(self.readout.corrupt(outcome, rng));
+            let born = ideal_psi.probabilities();
+            if self.synthesis_pays_off(&born, shots) {
+                // Exact-channel shot synthesis: one channel composition, one
+                // multinomial draw, cost independent of `shots`.
+                let observed = self
+                    .readout
+                    .apply_to_distribution(&Distribution::from_probabilities(n, born));
+                return Counts::synthesize_from(&observed, shots, rng);
             }
-            return counts;
+            let sampler = ideal_psi.sampler();
+            let mut dense = vec![0u64; if n <= MAX_DENSE_WIDTH { 1usize << n } else { 0 }];
+            let mut counts = Counts::new(n);
+            self.corrupt_shots_dense(&sampler, shots, &mut dense, &mut counts, rng);
+            return if n <= MAX_DENSE_WIDTH {
+                Counts::from_dense(n, &dense)
+            } else {
+                counts
+            };
         }
         // Gate noise: split shots across Monte-Carlo fault trajectories.
         let n_traj = shots.min(self.max_trajectories);
         let base = shots / n_traj;
         let extra = shots % n_traj;
+        let ideal_sampler = ideal_psi.sampler();
+        let mut dense = vec![0u64; if n <= MAX_DENSE_WIDTH { 1usize << n } else { 0 }];
+        let mut counts = Counts::new(n);
         for t in 0..n_traj {
             let traj_shots = base + u64::from(t < extra);
             let (traj_circuit, faults) = self.gate_noise.sample_trajectory(circuit, rng);
-            let psi;
-            let state = if faults == 0 {
-                &ideal_psi
+            let sampler;
+            let active = if faults == 0 {
+                &ideal_sampler
             } else {
-                psi = StateVector::from_circuit(&traj_circuit);
-                &psi
+                sampler = StateVector::from_circuit(&traj_circuit).sampler();
+                &sampler
             };
-            for _ in 0..traj_shots {
-                let outcome = state.sample(rng);
-                counts.record(self.readout.corrupt(outcome, rng));
-            }
+            self.corrupt_shots_dense(active, traj_shots, &mut dense, &mut counts, rng);
         }
-        counts
+        if n <= MAX_DENSE_WIDTH {
+            Counts::from_dense(n, &dense)
+        } else {
+            counts
+        }
+    }
+
+    fn run_groups(&self, circuits: &[Circuit], shots: &[u64], rng: &mut dyn RngCore) -> Vec<Counts> {
+        assert_eq!(
+            circuits.len(),
+            shots.len(),
+            "one shot budget per circuit required"
+        );
+        // One seed per circuit, drawn sequentially before any dispatch: the
+        // output is bitwise independent of the worker count and identical
+        // to the serial default implementation.
+        let seeds: Vec<u64> = circuits.iter().map(|_| rng.next_u64()).collect();
+        let threads = self.threads.min(circuits.len()).max(1);
+        if threads == 1 {
+            return circuits
+                .iter()
+                .zip(shots)
+                .zip(&seeds)
+                .map(|((c, &s), &seed)| {
+                    let mut circuit_rng = StdRng::seed_from_u64(seed);
+                    self.run(c, s, &mut circuit_rng)
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Counts>>> =
+            circuits.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= circuits.len() {
+                        break;
+                    }
+                    let mut circuit_rng = StdRng::seed_from_u64(seeds[i]);
+                    let log = self.run(&circuits[i], shots[i], &mut circuit_rng);
+                    *slots[i].lock().expect("result slot poisoned") = Some(log);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was claimed by a worker")
+            })
+            .collect()
     }
 }
 
@@ -297,6 +538,27 @@ mod tests {
                 "{s}: {} vs {}",
                 log.frequency(&s),
                 exact.probability_of(s)
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_and_per_shot_paths_agree_statistically() {
+        let dev = DeviceModel::ibmqx2();
+        let synth = NoisyExecutor::readout_only(&dev);
+        let per_shot = NoisyExecutor::readout_only(&dev).with_shot_synthesis(false);
+        let c = Circuit::basis_state_preparation(bs("10110"));
+        let shots = 60_000u64;
+        let a = synth.run(&c, shots, &mut StdRng::seed_from_u64(4));
+        let b = per_shot.run(&c, shots, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.total(), shots);
+        assert_eq!(b.total(), shots);
+        for s in BitString::all(5) {
+            assert!(
+                (a.frequency(&s) - b.frequency(&s)).abs() < 0.012,
+                "{s}: synth {} vs per-shot {}",
+                a.frequency(&s),
+                b.frequency(&s)
             );
         }
     }
@@ -420,6 +682,61 @@ mod tests {
         // Fewer shots than threads falls back to serial.
         assert_eq!(exec.run_parallel(&c, 2, 8, &mut rng).total(), 2);
         assert_eq!(exec.run_parallel(&c, 0, 4, &mut rng).total(), 0);
+    }
+
+    #[test]
+    fn run_groups_is_independent_of_thread_count() {
+        let dev = DeviceModel::ibmqx4();
+        let circuits: Vec<Circuit> = BitString::all(5)
+            .map(Circuit::basis_state_preparation)
+            .collect();
+        let shots: Vec<u64> = (0..circuits.len() as u64).map(|i| 50 + 17 * i).collect();
+        let sweep = |threads: usize| {
+            let exec = NoisyExecutor::from_device(&dev).with_threads(threads);
+            let mut rng = StdRng::seed_from_u64(0xAB);
+            exec.run_groups(&circuits, &shots, &mut rng)
+        };
+        let serial = sweep(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, sweep(threads), "thread count {threads} diverged");
+        }
+        for (log, &s) in serial.iter().zip(&shots) {
+            assert_eq!(log.total(), s);
+        }
+    }
+
+    #[test]
+    fn run_batch_uniform_budget() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev).with_threads(4);
+        let circuits: Vec<Circuit> = ["00000", "11111", "10101"]
+            .iter()
+            .map(|s| Circuit::basis_state_preparation(bs(s)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let logs = exec.run_batch(&circuits, 300, &mut rng);
+        assert_eq!(logs.len(), 3);
+        for log in &logs {
+            assert_eq!(log.total(), 300);
+        }
+        // Each log is dominated by its own prepared state.
+        assert_eq!(logs[0].mode(), Some(bs("00000")));
+        assert_eq!(logs[1].mode(), Some(bs("11111")));
+    }
+
+    #[test]
+    fn run_groups_empty_and_zero_shot_edges() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev).with_threads(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(exec.run_groups(&[], &[], &mut rng).is_empty());
+        let c = Circuit::new(5);
+        let logs = exec.run_groups(
+            std::slice::from_ref(&c),
+            &[0],
+            &mut rng,
+        );
+        assert_eq!(logs[0].total(), 0);
     }
 
     #[test]

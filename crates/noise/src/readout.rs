@@ -149,7 +149,7 @@ impl ReadoutModel for IdealReadout {
 ///
 /// On superconducting hardware `p10 > p01` because the excited state relaxes
 /// toward ground during the measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlipPair {
     /// Probability of reading 1 when the qubit is in state 0.
     pub p01: f64,

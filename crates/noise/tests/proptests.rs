@@ -1,81 +1,96 @@
-//! Property-based tests for the noise substrate.
+//! Randomized property tests for the noise substrate.
+//!
+//! Cases are drawn from fixed-seed [`StdRng`] streams so every failure is
+//! reproducible; assertion messages carry the case index.
 
-use proptest::prelude::*;
 use qnoise::{
     CalibrationDrift, CorrelatedReadout, Crosstalk, DeviceModel, Executor, FlipPair, GateNoise,
     NoisyExecutor, ReadoutModel, TensorReadout,
 };
 use qsim::{BitString, Circuit, Distribution};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_flip_pair() -> impl Strategy<Value = FlipPair> {
-    (0.0..0.5f64, 0.0..0.5f64).prop_map(|(a, b)| FlipPair::new(a, b))
+const CASES: usize = 48;
+
+fn random_flip_pair(rng: &mut StdRng) -> FlipPair {
+    FlipPair::new(rng.gen_range(0.0..0.5f64), rng.gen_range(0.0..0.5f64))
 }
 
-fn arb_tensor(width: usize) -> impl Strategy<Value = TensorReadout> {
-    proptest::collection::vec(arb_flip_pair(), width).prop_map(TensorReadout::new)
+fn random_tensor(width: usize, rng: &mut StdRng) -> TensorReadout {
+    TensorReadout::new((0..width).map(|_| random_flip_pair(rng)).collect())
 }
 
-fn arb_correlated(width: usize) -> impl Strategy<Value = CorrelatedReadout> {
-    (
-        arb_tensor(width),
-        proptest::collection::vec(
-            ((0..width, 0..width).prop_filter("distinct", |(a, b)| a != b), 0.0..0.3f64),
-            0..3,
-        ),
-    )
-        .prop_map(|(base, xts)| {
-            CorrelatedReadout::new(
-                base,
-                xts.into_iter()
-                    .map(|((s, t), e)| Crosstalk::new(s, t, e))
-                    .collect(),
-            )
+fn random_correlated(width: usize, rng: &mut StdRng) -> CorrelatedReadout {
+    let base = random_tensor(width, rng);
+    let n_xt = rng.gen_range(0..3usize);
+    let xts = (0..n_xt)
+        .map(|_| {
+            let s = rng.gen_range(0..width);
+            let mut t = rng.gen_range(0..width - 1);
+            if t >= s {
+                t += 1;
+            }
+            Crosstalk::new(s, t, rng.gen_range(0.0..0.3f64))
         })
+        .collect();
+    CorrelatedReadout::new(base, xts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every readout channel is a proper stochastic map.
-    #[test]
-    fn confusion_rows_sum_to_one(r in arb_correlated(4), ideal in 0u64..16) {
-        let ideal = BitString::from_value(ideal, 4);
+/// Every readout channel is a proper stochastic map.
+#[test]
+fn confusion_rows_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(0x401);
+    for case in 0..CASES {
+        let r = random_correlated(4, &mut rng);
+        let ideal = BitString::from_value(rng.gen_range(0u64..16), 4);
         let total: f64 = BitString::all(4).map(|o| r.confusion(ideal, o)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: row sums to {total}");
     }
+}
 
-    /// Pushing any distribution through a channel yields a distribution,
-    /// and the tensor fast path matches the generic dense path.
-    #[test]
-    fn distribution_push_is_stochastic(
-        t in arb_tensor(3),
-        weights in proptest::collection::vec(0.0..1.0f64, 8),
-    ) {
+/// Pushing any distribution through a channel yields a distribution,
+/// and the tensor fast path matches the generic dense path.
+#[test]
+fn distribution_push_is_stochastic() {
+    let mut rng = StdRng::seed_from_u64(0x402);
+    let mut done = 0;
+    while done < CASES {
+        let t = random_tensor(3, &mut rng);
+        let weights: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0f64)).collect();
         let sum: f64 = weights.iter().sum();
-        prop_assume!(sum > 1e-6);
+        if sum <= 1e-6 {
+            continue;
+        }
+        done += 1;
         let probs: Vec<f64> = weights.iter().map(|w| w / sum).collect();
         let d = Distribution::from_probabilities(3, probs);
         let fast = t.apply_to_distribution(&d);
-        prop_assert!((fast.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((fast.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Dense reference via confusion sums.
         for obs in BitString::all(3) {
             let expect: f64 = BitString::all(3)
                 .map(|i| d.probability_of(i) * t.confusion(i, obs))
                 .sum();
-            prop_assert!((fast.probability_of(obs) - expect).abs() < 1e-9);
+            assert!(
+                (fast.probability_of(obs) - expect).abs() < 1e-9,
+                "case {done}: {} vs {expect}",
+                fast.probability_of(obs)
+            );
         }
     }
+}
 
-    /// Success probability never increases when any single error rate
-    /// grows (monotonicity of the tensor channel).
-    #[test]
-    fn success_monotone_in_error(pairs in proptest::collection::vec(arb_flip_pair(), 3),
-                                 bump in 0.0..0.4f64,
-                                 which in 0usize..3,
-                                 state in 0u64..8) {
-        let s = BitString::from_value(state, 3);
+/// Success probability never increases when any single error rate grows
+/// (monotonicity of the tensor channel).
+#[test]
+fn success_monotone_in_error() {
+    let mut rng = StdRng::seed_from_u64(0x403);
+    for case in 0..CASES {
+        let pairs: Vec<FlipPair> = (0..3).map(|_| random_flip_pair(&mut rng)).collect();
+        let bump = rng.gen_range(0.0..0.4f64);
+        let which = rng.gen_range(0..3usize);
+        let s = BitString::from_value(rng.gen_range(0u64..8), 3);
         let base = TensorReadout::new(pairs.clone());
         let mut worse_pairs = pairs;
         let p = worse_pairs[which];
@@ -84,63 +99,86 @@ proptest! {
             (p.p10 + if s.bit(which) { bump } else { 0.0 }).min(1.0),
         );
         let worse = TensorReadout::new(worse_pairs);
-        prop_assert!(worse.success_probability(s) <= base.success_probability(s) + 1e-12);
+        assert!(
+            worse.success_probability(s) <= base.success_probability(s) + 1e-12,
+            "case {case}"
+        );
     }
+}
 
-    /// The executor's trial accounting is exact for any shots/trajectory
-    /// cap combination.
-    #[test]
-    fn executor_budget_exact(shots in 0u64..500, cap in 1u64..64, seed in any::<u64>()) {
+/// The executor's trial accounting is exact for any shots/trajectory cap
+/// combination.
+#[test]
+fn executor_budget_exact() {
+    let mut rng = StdRng::seed_from_u64(0x404);
+    for case in 0..CASES {
+        let shots = rng.gen_range(0u64..500);
+        let cap = rng.gen_range(1u64..64);
         let dev = DeviceModel::ibmqx4();
         let exec = NoisyExecutor::from_device(&dev).with_max_trajectories(cap);
         let c = Circuit::uniform_superposition(5);
-        let mut rng = StdRng::seed_from_u64(seed);
         let log = exec.run(&c, shots, &mut rng);
-        prop_assert_eq!(log.total(), shots);
+        assert_eq!(log.total(), shots, "case {case}");
     }
+}
 
-    /// Gate-noise trajectories always contain the original gates in order.
-    #[test]
-    fn trajectories_preserve_program(seed in any::<u64>(), p in 0.0..0.9f64) {
+/// Gate-noise trajectories always contain the original gates in order.
+#[test]
+fn trajectories_preserve_program() {
+    let mut rng = StdRng::seed_from_u64(0x405);
+    for case in 0..CASES {
+        let p = rng.gen_range(0.0..0.9f64);
         let noise = GateNoise::uniform(3, p, p);
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).rz(1, 0.3).cx(1, 2).h(2);
-        let mut rng = StdRng::seed_from_u64(seed);
         let (traj, faults) = noise.sample_trajectory(&c, &mut rng);
         let mut it = traj.gates().iter();
         for g in c.gates() {
-            prop_assert!(it.any(|t| t == g), "missing {}", g);
+            assert!(it.any(|t| t == g), "case {case}: missing {g}");
         }
-        prop_assert!(traj.len() >= c.len());
-        prop_assert!(traj.len() <= c.len() + 2 * faults);
+        assert!(traj.len() >= c.len(), "case {case}");
+        assert!(traj.len() <= c.len() + 2 * faults, "case {case}");
     }
+}
 
-    /// Calibration drift stays within its amplitude and is deterministic.
-    #[test]
-    fn drift_bounded_and_deterministic(window in 0u64..200, amp in 0.01..0.5f64) {
+/// Calibration drift stays within its amplitude and is deterministic.
+#[test]
+fn drift_bounded_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x406);
+    for case in 0..CASES {
+        let window = rng.gen_range(0u64..200);
+        let amp = rng.gen_range(0.01..0.5f64);
         let nominal = DeviceModel::ibmqx2();
         let drift = CalibrationDrift::new(nominal.clone(), amp);
         let a = drift.window(window);
         let b = drift.window(window);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}");
         for q in 0..nominal.n_qubits() {
             let n = nominal.qubit(q).assignment.p10;
             let d = a.qubit(q).assignment.p10;
-            prop_assert!((d / n - 1.0).abs() <= amp + 1e-9);
+            assert!((d / n - 1.0).abs() <= amp + 1e-9, "case {case}");
         }
     }
+}
 
-    /// T1 composition is monotone in the measurement window and reduces to
-    /// the assignment pair at zero duration.
-    #[test]
-    fn t1_composition_monotone(pair in arb_flip_pair(), t1 in 5.0..200.0f64) {
+/// T1 composition is monotone in the measurement window and reduces to
+/// the assignment pair at zero duration.
+#[test]
+fn t1_composition_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x407);
+    for case in 0..CASES {
+        let pair = random_flip_pair(&mut rng);
+        let t1 = rng.gen_range(5.0..200.0f64);
         let at_zero = pair.with_t1_decay(t1, 0.0);
-        prop_assert!((at_zero.p10 - pair.p10).abs() < 1e-12);
+        assert!((at_zero.p10 - pair.p10).abs() < 1e-12, "case {case}");
         let mut last = pair.p10;
         for k in 1..6 {
             let t = k as f64 * 2.0;
             let eff = pair.with_t1_decay(t1, t).p10;
-            prop_assert!(eff >= last - 1e-12, "p10 decreased: {} -> {}", last, eff);
+            assert!(
+                eff >= last - 1e-12,
+                "case {case}: p10 decreased: {last} -> {eff}"
+            );
             last = eff;
         }
     }

@@ -9,7 +9,6 @@
 //! convention used in the paper (and by IBM): the **leftmost** character of
 //! `"01101"` is the highest-index qubit, the rightmost is qubit 0.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 use std::str::FromStr;
@@ -31,7 +30,7 @@ pub const MAX_WIDTH: usize = 64;
 /// assert_eq!(s.inverted().to_string(), "10010");
 /// # Ok::<(), qsim::ParseBitStringError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BitString {
     bits: u64,
     width: u8,
@@ -44,7 +43,7 @@ impl BitString {
     ///
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
     pub fn zeros(width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        assert!((1..=MAX_WIDTH).contains(&width), "width must be in 1..=64");
         BitString {
             bits: 0,
             width: width as u8,
@@ -67,7 +66,7 @@ impl BitString {
     /// Panics if `width` is 0, exceeds [`MAX_WIDTH`], or `value` has bits set
     /// above `width`.
     pub fn from_value(value: u64, width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        assert!((1..=MAX_WIDTH).contains(&width), "width must be in 1..=64");
         assert!(
             width == MAX_WIDTH || value < (1u64 << width),
             "value {value:#x} does not fit in {width} bits"
@@ -93,7 +92,7 @@ impl BitString {
     }
 
     fn width_mask(width: usize) -> u64 {
-        assert!(width >= 1 && width <= MAX_WIDTH, "width must be in 1..=64");
+        assert!((1..=MAX_WIDTH).contains(&width), "width must be in 1..=64");
         if width == MAX_WIDTH {
             u64::MAX
         } else {
@@ -209,7 +208,7 @@ impl BitString {
     /// Panics if `width` is 0 or exceeds 32 (enumerating more is never
     /// meaningful for characterization).
     pub fn all(width: usize) -> impl Iterator<Item = BitString> {
-        assert!(width >= 1 && width <= 32, "enumeration limited to 32 bits");
+        assert!((1..=32).contains(&width), "enumeration limited to 32 bits");
         (0u64..(1u64 << width)).map(move |v| BitString::from_value(v, width))
     }
 

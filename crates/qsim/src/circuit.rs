@@ -39,7 +39,7 @@ impl Circuit {
     /// Panics if `n_qubits` is 0 or exceeds [`crate::bitstring::MAX_WIDTH`].
     pub fn new(n_qubits: usize) -> Self {
         assert!(
-            n_qubits >= 1 && n_qubits <= crate::bitstring::MAX_WIDTH,
+            (1..=crate::bitstring::MAX_WIDTH).contains(&n_qubits),
             "circuit must have between 1 and 64 qubits"
         );
         Circuit {

@@ -9,6 +9,7 @@
 //! distribution through a readout confusion channel).
 
 use crate::bitstring::BitString;
+use crate::sampler::{self, AliasSampler};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -43,7 +44,7 @@ impl Counts {
     /// Panics if `width` is 0 or exceeds [`crate::bitstring::MAX_WIDTH`].
     pub fn new(width: usize) -> Self {
         assert!(
-            width >= 1 && width <= crate::bitstring::MAX_WIDTH,
+            (1..=crate::bitstring::MAX_WIDTH).contains(&width),
             "width must be in 1..=64"
         );
         Counts {
@@ -198,17 +199,70 @@ impl Counts {
         Distribution::from_probabilities(self.width, p)
     }
 
-    /// Samples a log of `shots` trials from an exact distribution.
+    /// Builds a log from a dense per-basis-state count vector, the
+    /// accumulation format the batched execution engine uses internally
+    /// (indexing a `Vec<u64>` per shot instead of hashing a `BitString`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.len()` is not `2^width` or `width` is outside
+    /// `1..=26`.
+    pub fn from_dense(width: usize, dense: &[u64]) -> Counts {
+        assert!(
+            (1..=26).contains(&width),
+            "dense counts limited to 1..=26 qubits"
+        );
+        assert_eq!(dense.len(), 1usize << width, "length must be 2^width");
+        let mut counts = Counts::new(width);
+        for (i, &n) in dense.iter().enumerate() {
+            if n > 0 {
+                counts.record_n(BitString::from_value(i as u64, width), n);
+            }
+        }
+        counts
+    }
+
+    /// Samples a log of `shots` independent trials from an exact
+    /// distribution.
+    ///
+    /// Builds an alias table once (`O(2^width)`) and then draws each shot in
+    /// O(1), accumulating into a dense vector — the per-shot analogue of
+    /// [`Counts::synthesize_from`], kept for callers that need the
+    /// shot-by-shot RNG stream.
     pub fn sample_from<R: rand::Rng + ?Sized>(
         dist: &Distribution,
         shots: u64,
         rng: &mut R,
     ) -> Counts {
-        let mut counts = Counts::new(dist.width());
-        for _ in 0..shots {
-            counts.record(dist.sample(rng));
+        if shots == 0 {
+            return Counts::new(dist.width());
         }
-        counts
+        let sampler = AliasSampler::new(dist.probabilities());
+        let mut dense = vec![0u64; dist.probabilities().len()];
+        for _ in 0..shots {
+            dense[sampler.sample(rng)] += 1;
+        }
+        Counts::from_dense(dist.width(), &dense)
+    }
+
+    /// Synthesizes the log of `shots` independent trials from an exact
+    /// distribution in `O(2^width)` time — independent of the shot count.
+    ///
+    /// The result is an exact sample from the same multinomial law as
+    /// [`Counts::sample_from`] (via [`sampler::multinomial`] binomial
+    /// splitting), but consumes a different portion of the RNG stream, so
+    /// the two are statistically — not bitwise — equivalent for a fixed
+    /// seed.
+    pub fn synthesize_from<R: rand::Rng + ?Sized>(
+        dist: &Distribution,
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        if shots == 0 {
+            return Counts::new(dist.width());
+        }
+        let dense = sampler::multinomial(dist.probabilities(), shots, rng);
+        Counts::from_dense(dist.width(), &dense)
     }
 }
 
@@ -571,5 +625,42 @@ mod tests {
                 c.frequency(&s)
             );
         }
+    }
+
+    #[test]
+    fn from_dense_roundtrips() {
+        let c = Counts::from_dense(2, &[3, 0, 1, 6]);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.get(&bs("00")), 3);
+        assert_eq!(c.get(&bs("01")), 0);
+        assert_eq!(c.get(&bs("11")), 6);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn synthesize_matches_sample_statistics() {
+        let d = Distribution::from_probabilities(2, vec![0.5, 0.25, 0.125, 0.125]);
+        let mut rng = StdRng::seed_from_u64(43);
+        let shots = 200_000u64;
+        let synth = Counts::synthesize_from(&d, shots, &mut rng);
+        assert_eq!(synth.total(), shots);
+        for (i, &p) in d.probabilities().iter().enumerate() {
+            let s = BitString::from_value(i as u64, 2);
+            let sd = (p * (1.0 - p) / shots as f64).sqrt();
+            assert!(
+                (synth.frequency(&s) - p).abs() < 6.0 * sd,
+                "state {s}: {} vs {p}",
+                synth.frequency(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn synthesize_zero_shots() {
+        let d = Distribution::uniform(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Counts::synthesize_from(&d, 0, &mut rng);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
     }
 }

@@ -28,6 +28,7 @@ impl KrausChannel {
     ///
     /// Panics if `ops` is empty or the completeness relation
     /// `Σ K† K = I` fails beyond `1e-9`.
+    #[allow(clippy::needless_range_loop)] // matrix index notation
     pub fn new(ops: Vec<[[C64; 2]; 2]>) -> Self {
         assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
         // Completeness: sum of K† K equals identity.
@@ -147,7 +148,7 @@ impl DensityMatrix {
     /// already 2^20 complex numbers).
     pub fn zero(n_qubits: usize) -> Self {
         assert!(
-            n_qubits >= 1 && n_qubits <= 10,
+            (1..=10).contains(&n_qubits),
             "density matrix limited to 1..=10 qubits"
         );
         let dim = 1usize << n_qubits;
@@ -241,6 +242,7 @@ impl DensityMatrix {
     /// # Panics
     ///
     /// Panics if the gate references qubits outside the register.
+    #[allow(clippy::needless_range_loop)] // matrix index notation
     pub fn apply_gate(&mut self, gate: &Gate) {
         // Apply U to every column of rho (as ket index), then U* to every
         // row (bra index). Reuse the state-vector kernels by viewing the
@@ -293,6 +295,7 @@ impl DensityMatrix {
     /// # Panics
     ///
     /// Panics if `qubit` is out of range.
+    #[allow(clippy::needless_range_loop)] // matrix index notation
     pub fn apply_channel(&mut self, channel: &KrausChannel, qubit: usize) {
         assert!(qubit < self.n_qubits, "qubit out of range");
         let dim = self.dim();

@@ -300,6 +300,7 @@ impl fmt::Display for Gate {
 
 /// Checks that a 2×2 matrix is unitary within tolerance (used by tests and
 /// debug assertions).
+#[allow(clippy::needless_range_loop)] // matrix index notation
 pub fn is_unitary2(m: &Matrix2, tol: f64) -> bool {
     // M† M == I
     for r in 0..2 {
@@ -318,6 +319,7 @@ pub fn is_unitary2(m: &Matrix2, tol: f64) -> bool {
 }
 
 /// Checks that a 4×4 matrix is unitary within tolerance.
+#[allow(clippy::needless_range_loop)] // matrix index notation
 pub fn is_unitary4(m: &Matrix4, tol: f64) -> bool {
     for r in 0..4 {
         for c in 0..4 {
@@ -382,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // matrix index notation
     fn inverse_gives_identity_2x2() {
         for g in all_single() {
             let m = g.matrix2();
@@ -408,6 +411,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // matrix index notation
     fn hadamard_squares_to_identity() {
         let m = Gate::H(0).matrix2();
         for r in 0..2 {

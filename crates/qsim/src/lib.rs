@@ -50,6 +50,7 @@ pub mod density;
 pub mod gate;
 pub mod optimize;
 pub mod qasm;
+pub mod sampler;
 pub mod statevector;
 pub mod transpile;
 
@@ -58,4 +59,5 @@ pub use density::{DensityMatrix, KrausChannel};
 pub use circuit::Circuit;
 pub use counts::{Counts, Distribution};
 pub use gate::Gate;
+pub use sampler::AliasSampler;
 pub use statevector::StateVector;

@@ -272,13 +272,13 @@ mod tests {
                     3 => c.s(rng.gen_range(0..3)),
                     4 => {
                         let a = rng.gen_range(0..3);
-                        let b = (a + 1 + rng.gen_range(0..2)) % 3;
+                        let b = (a + 1 + rng.gen_range(0..2usize)) % 3;
                         c.cx(a, b)
                     }
                     5 => c.rx(rng.gen_range(0..3), rng.gen_range(-1.0..1.0)),
                     _ => {
                         let a = rng.gen_range(0..3);
-                        let b = (a + 1 + rng.gen_range(0..2)) % 3;
+                        let b = (a + 1 + rng.gen_range(0..2usize)) % 3;
                         c.rzz(a, b, rng.gen_range(-1.0..1.0))
                     }
                 };

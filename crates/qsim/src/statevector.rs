@@ -10,6 +10,7 @@ use crate::bitstring::BitString;
 use crate::c64::C64;
 use crate::circuit::Circuit;
 use crate::gate::Gate;
+use crate::sampler::AliasSampler;
 use rand::Rng;
 
 /// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
@@ -46,7 +47,7 @@ impl StateVector {
     /// exponential allocations).
     pub fn zero(n_qubits: usize) -> Self {
         assert!(
-            n_qubits >= 1 && n_qubits <= 30,
+            (1..=30).contains(&n_qubits),
             "state vector limited to 1..=30 qubits"
         );
         let mut amps = vec![C64::ZERO; 1usize << n_qubits];
@@ -234,6 +235,17 @@ impl StateVector {
         BitString::from_value((self.amps.len() - 1) as u64, self.n_qubits)
     }
 
+    /// Builds an O(1)-per-draw alias sampler over the Born distribution.
+    ///
+    /// [`StateVector::sample`] scans the full amplitude vector per draw
+    /// (`O(2^n)`), which dominates shot loops; building this table once per
+    /// state (`O(2^n)`) amortizes that cost away. Draw indices with
+    /// [`AliasSampler::sample`] and lift to outcomes with
+    /// [`BitString::from_value`].
+    pub fn sampler(&self) -> AliasSampler {
+        AliasSampler::new(&self.probabilities())
+    }
+
     /// The inner product `⟨self|other⟩`.
     ///
     /// # Panics
@@ -282,7 +294,7 @@ impl StateVector {
         for (i, a) in self.amps.iter().enumerate() {
             let p = a.norm_sqr();
             // Parity of the masked bits decides the sign.
-            if (i & mask).count_ones() % 2 == 0 {
+            if (i & mask).count_ones().is_multiple_of(2) {
                 ez += p;
             } else {
                 ez -= p;
@@ -421,6 +433,29 @@ mod tests {
         let f = count00 as f64 / n as f64;
         assert!((f - 0.5).abs() < 0.02, "f = {f}");
         assert_eq!(count00 + count11, n);
+    }
+
+    #[test]
+    fn alias_sampler_respects_support() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for q in 0..2 {
+            c.cx(q, q + 1);
+        }
+        let sv = StateVector::from_circuit(&c);
+        let sampler = sv.sampler();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut zeros = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            match sampler.sample(&mut rng) {
+                0 => zeros += 1,
+                0b111 => {}
+                other => panic!("impossible outcome {other:b}"),
+            }
+        }
+        let f = zeros as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.02, "f = {f}");
     }
 
     #[test]

@@ -1,145 +1,226 @@
-//! Property-based tests for the simulator's core data structures.
+//! Randomized property tests for the simulator's core data structures.
+//!
+//! Each test draws its cases from a fixed-seed [`StdRng`], so failures are
+//! perfectly reproducible without an external shrinking framework; the case
+//! index is included in every assertion message to pinpoint the input.
 
-use proptest::prelude::*;
 use qsim::{qasm, BitString, Circuit, Counts, DensityMatrix, Gate, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_bitstring(width: usize) -> impl Strategy<Value = BitString> {
-    (0u64..(1u64 << width)).prop_map(move |v| BitString::from_value(v, width))
+const CASES: usize = 64;
+
+fn random_bitstring(width: usize, rng: &mut StdRng) -> BitString {
+    BitString::from_value(rng.gen_range(0u64..(1u64 << width)), width)
 }
 
-/// A random gate over `n` qubits.
-fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    prop_oneof![
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::Y),
-        q.clone().prop_map(Gate::Z),
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::Tdg),
-        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Rx { qubit, theta }),
-        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Ry { qubit, theta }),
-        (q.clone(), -3.0..3.0f64).prop_map(|(qubit, theta)| Gate::Rz { qubit, theta }),
-        (q, -3.0..3.0f64).prop_map(|(qubit, lambda)| Gate::Phase { qubit, lambda }),
-        q2.clone()
-            .prop_map(|(control, target)| Gate::Cx { control, target }),
-        q2.clone()
-            .prop_map(|(control, target)| Gate::Cz { control, target }),
-        (q2.clone(), -3.0..3.0f64).prop_map(|((a, b), theta)| Gate::Rzz { a, b, theta }),
-        q2.prop_map(|(a, b)| Gate::Swap { a, b }),
-    ]
+/// Two distinct qubit indices below `n`.
+fn distinct_pair(n: usize, rng: &mut StdRng) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
 }
 
-fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        c.extend(gates);
-        c
-    })
+/// A random gate over `n` qubits drawn from the full supported gate set.
+fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
+    let q = rng.gen_range(0..n);
+    let theta = rng.gen_range(-3.0..3.0f64);
+    match rng.gen_range(0..14u32) {
+        0 => Gate::X(q),
+        1 => Gate::Y(q),
+        2 => Gate::Z(q),
+        3 => Gate::H(q),
+        4 => Gate::S(q),
+        5 => Gate::Tdg(q),
+        6 => Gate::Rx { qubit: q, theta },
+        7 => Gate::Ry { qubit: q, theta },
+        8 => Gate::Rz { qubit: q, theta },
+        9 => Gate::Phase {
+            qubit: q,
+            lambda: theta,
+        },
+        10 => {
+            let (control, target) = distinct_pair(n, rng);
+            Gate::Cx { control, target }
+        }
+        11 => {
+            let (control, target) = distinct_pair(n, rng);
+            Gate::Cz { control, target }
+        }
+        12 => {
+            let (a, b) = distinct_pair(n, rng);
+            Gate::Rzz { a, b, theta }
+        }
+        _ => {
+            let (a, b) = distinct_pair(n, rng);
+            Gate::Swap { a, b }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_circuit(n: usize, max_gates: usize, rng: &mut StdRng) -> Circuit {
+    let len = rng.gen_range(0..max_gates);
+    let mut c = Circuit::new(n);
+    c.extend((0..len).map(|_| random_gate(n, rng)));
+    c
+}
 
-    /// Bit-string display/parse round-trips for every width and value.
-    #[test]
-    fn bitstring_display_parse_roundtrip(width in 1usize..=16, raw in any::<u64>()) {
-        let value = raw & ((1u64 << width) - 1);
+/// Bit-string display/parse round-trips for every width and value.
+#[test]
+fn bitstring_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x51a1);
+    for case in 0..CASES {
+        let width = rng.gen_range(1usize..=16);
+        let value = rng.gen::<u64>() & ((1u64 << width) - 1);
         let s = BitString::from_value(value, width);
         let text = s.to_string();
-        prop_assert_eq!(text.len(), width);
+        assert_eq!(text.len(), width, "case {case}");
         let back: BitString = text.parse().unwrap();
-        prop_assert_eq!(back, s);
+        assert_eq!(back, s, "case {case}");
     }
+}
 
-    /// Hamming weight is invariant under complement pairs and XOR identity.
-    #[test]
-    fn bitstring_algebra(a in arb_bitstring(8), b in arb_bitstring(8)) {
-        prop_assert_eq!(a.hamming_weight() + a.inverted().hamming_weight(), 8);
-        prop_assert_eq!((a ^ b).hamming_weight(), a.hamming_distance(&b));
-        prop_assert_eq!(a ^ a, BitString::zeros(8));
-        prop_assert_eq!((a ^ b) ^ b, a);
+/// Hamming weight is invariant under complement pairs and XOR identity.
+#[test]
+fn bitstring_algebra() {
+    let mut rng = StdRng::seed_from_u64(0x51a2);
+    for case in 0..CASES {
+        let a = random_bitstring(8, &mut rng);
+        let b = random_bitstring(8, &mut rng);
+        assert_eq!(
+            a.hamming_weight() + a.inverted().hamming_weight(),
+            8,
+            "case {case}"
+        );
+        assert_eq!((a ^ b).hamming_weight(), a.hamming_distance(&b), "case {case}");
+        assert_eq!(a ^ a, BitString::zeros(8), "case {case}");
+        assert_eq!((a ^ b) ^ b, a, "case {case}");
     }
+}
 
-    /// Unitarity: every random circuit preserves the state norm.
-    #[test]
-    fn circuits_preserve_norm(c in arb_circuit(4, 24)) {
+/// Unitarity: every random circuit preserves the state norm.
+#[test]
+fn circuits_preserve_norm() {
+    let mut rng = StdRng::seed_from_u64(0x51a3);
+    for case in 0..CASES {
+        let c = random_circuit(4, 24, &mut rng);
         let psi = StateVector::from_circuit(&c);
-        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+        assert!(
+            (psi.norm_sqr() - 1.0).abs() < 1e-9,
+            "case {case}: norm² {}",
+            psi.norm_sqr()
+        );
     }
+}
 
-    /// Reversibility: a circuit followed by its inverse is the identity.
-    #[test]
-    fn circuit_inverse_is_identity(c in arb_circuit(4, 16)) {
+/// Reversibility: a circuit followed by its inverse is the identity.
+#[test]
+fn circuit_inverse_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x51a4);
+    for case in 0..CASES {
+        let c = random_circuit(4, 16, &mut rng);
         let mut psi = StateVector::zero(4);
         psi.apply_circuit(&c);
         psi.apply_circuit(&c.inverse());
-        prop_assert!((psi.probability_of(BitString::zeros(4)) - 1.0).abs() < 1e-8);
+        let p0 = psi.probability_of(BitString::zeros(4));
+        assert!((p0 - 1.0).abs() < 1e-8, "case {case}: P(0…0) = {p0}");
     }
+}
 
-    /// Density-matrix evolution agrees with the state vector for pure
-    /// states.
-    #[test]
-    fn density_matches_statevector(c in arb_circuit(3, 12)) {
+/// Density-matrix evolution agrees with the state vector for pure states.
+#[test]
+fn density_matches_statevector() {
+    let mut rng = StdRng::seed_from_u64(0x51a5);
+    for case in 0..CASES {
+        let c = random_circuit(3, 12, &mut rng);
         let psi = StateVector::from_circuit(&c);
         let mut rho = DensityMatrix::zero(3);
         rho.apply_circuit(&c);
         let p_sv = psi.probabilities();
         let p_dm = rho.probabilities();
         for (a, b) in p_sv.iter().zip(&p_dm) {
-            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-8, "case {case}: {a} vs {b}");
         }
-        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+        assert!((rho.purity() - 1.0).abs() < 1e-8, "case {case}");
     }
+}
 
-    /// QASM round-trip preserves arbitrary circuits exactly.
-    #[test]
-    fn qasm_roundtrip(c in arb_circuit(5, 20)) {
+/// QASM round-trip preserves arbitrary circuits exactly.
+#[test]
+fn qasm_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x51a6);
+    for case in 0..CASES {
+        let c = random_circuit(5, 20, &mut rng);
         let text = qasm::to_qasm(&c);
         let back = qasm::from_qasm(&text).unwrap();
-        prop_assert_eq!(back, c);
+        assert_eq!(back, c, "case {case}");
     }
+}
 
-    /// Counts bookkeeping: totals and frequencies stay consistent under
-    /// merges and XOR corrections.
-    #[test]
-    fn counts_invariants(
-        outcomes in proptest::collection::vec(arb_bitstring(5), 1..100),
-        mask in arb_bitstring(5),
-    ) {
+/// Counts bookkeeping: totals and frequencies stay consistent under
+/// merges and XOR corrections.
+#[test]
+fn counts_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x51a7);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..100);
+        let outcomes: Vec<BitString> =
+            (0..len).map(|_| random_bitstring(5, &mut rng)).collect();
+        let mask = random_bitstring(5, &mut rng);
+
         let counts: Counts = outcomes.iter().copied().collect();
-        prop_assert_eq!(counts.total(), outcomes.len() as u64);
+        assert_eq!(counts.total(), outcomes.len() as u64, "case {case}");
         let total_freq: f64 = BitString::all(5).map(|s| counts.frequency(&s)).sum();
-        prop_assert!((total_freq - 1.0).abs() < 1e-9);
+        assert!((total_freq - 1.0).abs() < 1e-9, "case {case}");
 
         let corrected = counts.xor_corrected(mask);
-        prop_assert_eq!(corrected.total(), counts.total());
-        prop_assert_eq!(corrected.distinct(), counts.distinct());
+        assert_eq!(corrected.total(), counts.total(), "case {case}");
+        assert_eq!(corrected.distinct(), counts.distinct(), "case {case}");
         for s in BitString::all(5) {
-            prop_assert_eq!(corrected.get(&(s ^ mask)), counts.get(&s));
+            assert_eq!(corrected.get(&(s ^ mask)), counts.get(&s), "case {case}");
         }
     }
+}
 
-    /// Circuit depth is monotone under composition and bounded by length.
-    #[test]
-    fn depth_bounds(a in arb_circuit(4, 12), b in arb_circuit(4, 12)) {
+/// Circuit depth is monotone under composition and bounded by length.
+#[test]
+fn depth_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x51a8);
+    for case in 0..CASES {
+        let a = random_circuit(4, 12, &mut rng);
+        let b = random_circuit(4, 12, &mut rng);
         let mut ab = a.clone();
         ab.append(&b);
-        prop_assert!(ab.depth() <= a.depth() + b.depth());
-        prop_assert!(ab.depth() >= a.depth());
-        prop_assert!(a.depth() <= a.len());
+        assert!(ab.depth() <= a.depth() + b.depth(), "case {case}");
+        assert!(ab.depth() >= a.depth(), "case {case}");
+        assert!(a.depth() <= a.len(), "case {case}");
     }
+}
 
-    /// Born sampling only ever yields states with non-zero probability.
-    #[test]
-    fn sampling_respects_support(c in arb_circuit(3, 10), seed in any::<u64>()) {
-        use rand::SeedableRng;
+/// Born sampling only ever yields states with non-zero probability — on
+/// both the linear-scan path and the alias-table fast path.
+#[test]
+fn sampling_respects_support() {
+    let mut rng = StdRng::seed_from_u64(0x51a9);
+    for case in 0..CASES {
+        let c = random_circuit(3, 10, &mut rng);
         let psi = StateVector::from_circuit(&c);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sampler = psi.sampler();
         for _ in 0..32 {
             let s = psi.sample(&mut rng);
-            prop_assert!(psi.probability_of(s) > 0.0, "sampled zero-probability state {}", s);
+            assert!(
+                psi.probability_of(s) > 0.0,
+                "case {case}: linear scan sampled zero-probability state {s}"
+            );
+            let idx = sampler.sample(&mut rng);
+            let s = BitString::from_value(idx as u64, 3);
+            assert!(
+                psi.probability_of(s) > 0.0,
+                "case {case}: alias table sampled zero-probability state {s}"
+            );
         }
     }
 }

@@ -1,0 +1,219 @@
+//! Integration tests for the batched shot-execution engine: alias-table
+//! sampling, exact-channel shot synthesis, and parallel circuit sweeps.
+//!
+//! These pin the engine's two contracts across crate boundaries:
+//!
+//! 1. **Statistical equivalence** — every fast path (alias table, shot
+//!    synthesis, dense accumulation) draws from the same distribution as
+//!    the straightforward per-shot reference, verified on the paper's
+//!    device models at tight frequency tolerances.
+//! 2. **Determinism** — batched sweeps are bitwise reproducible per seed
+//!    and independent of the worker-thread count.
+
+use invmeas::runner::{PolicyChoice, Runner};
+use invmeas::RbmsTable;
+use qnoise::{DeviceModel, Executor, NoisyExecutor, ReadoutModel};
+use qsim::{sampler, AliasSampler, BitString, Circuit, Distribution, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Alias-table draws match linear-scan Born sampling on a structured
+/// state: same support, frequencies within statistical tolerance.
+#[test]
+fn alias_table_matches_linear_scan() {
+    let mut circuit = Circuit::new(3);
+    circuit.h(0).cx(0, 1).ry(2, 0.7);
+    let psi = StateVector::from_circuit(&circuit);
+    let probs = psi.probabilities();
+    let sampler = psi.sampler();
+
+    let shots = 120_000usize;
+    let mut rng_a = StdRng::seed_from_u64(11);
+    let mut rng_b = StdRng::seed_from_u64(12);
+    let mut freq_alias = [0u64; 8];
+    let mut freq_scan = [0u64; 8];
+    for _ in 0..shots {
+        freq_alias[sampler.sample(&mut rng_a)] += 1;
+        freq_scan[psi.sample(&mut rng_b).index()] += 1;
+    }
+    for (i, &p) in probs.iter().enumerate() {
+        let fa = freq_alias[i] as f64 / shots as f64;
+        let fs = freq_scan[i] as f64 / shots as f64;
+        // ~6 sigma for a binomial proportion at this budget.
+        let tol = 6.0 * (p.max(1e-12) * (1.0 - p) / shots as f64).sqrt() + 1e-9;
+        assert!((fa - p).abs() < tol, "alias state {i}: {fa} vs {p}");
+        assert!((fs - p).abs() < tol, "scan state {i}: {fs} vs {p}");
+        if p == 0.0 {
+            assert_eq!(freq_alias[i], 0, "alias sampled off-support state {i}");
+        }
+    }
+}
+
+/// Synthesized shot logs match per-shot corruption on ibmqx2: same
+/// marginal frequencies for every observable outcome.
+#[test]
+fn synthesis_matches_per_shot_on_ibmqx2() {
+    let dev = DeviceModel::ibmqx2();
+    let circuit = Circuit::basis_state_preparation("10110".parse().unwrap());
+    let shots = 80_000u64;
+
+    let synth_exec = NoisyExecutor::from_device(&dev).with_shot_synthesis(true);
+    let per_shot_exec = NoisyExecutor::from_device(&dev).with_shot_synthesis(false);
+    let mut rng_a = StdRng::seed_from_u64(21);
+    let mut rng_b = StdRng::seed_from_u64(22);
+    let synth = synth_exec.run(&circuit, shots, &mut rng_a);
+    let per_shot = per_shot_exec.run(&circuit, shots, &mut rng_b);
+
+    assert_eq!(synth.total(), shots);
+    assert_eq!(per_shot.total(), shots);
+    for s in BitString::all(5) {
+        let a = synth.frequency(&s);
+        let b = per_shot.frequency(&s);
+        assert!(
+            (a - b).abs() < 0.012,
+            "state {s}: synthesized {a} vs per-shot {b}"
+        );
+    }
+}
+
+/// The synthesized log's frequencies converge on the *exact* channel
+/// output: Born distribution pushed through the ibmqx4 readout channel.
+#[test]
+fn synthesis_converges_to_exact_channel() {
+    let dev = DeviceModel::ibmqx4();
+    let target: BitString = "11011".parse().unwrap();
+    let circuit = Circuit::basis_state_preparation(target);
+    let exact = dev
+        .readout()
+        .apply_to_distribution(&Distribution::point(target));
+
+    let exec = NoisyExecutor::from_device(&dev).with_shot_synthesis(true);
+    let shots = 200_000u64;
+    let mut rng = StdRng::seed_from_u64(31);
+    let log = exec.run(&circuit, shots, &mut rng);
+
+    for s in BitString::all(5) {
+        let p = exact.probability_of(s);
+        let f = log.frequency(&s);
+        let tol = 6.0 * (p.max(1e-12) * (1.0 - p) / shots as f64).sqrt() + 1e-9;
+        assert!((f - p).abs() < tol, "state {s}: {f} vs exact {p}");
+    }
+}
+
+/// Batched sweeps are bitwise deterministic per seed and independent of
+/// the worker-thread count, end to end through brute-force RBMS
+/// characterization.
+#[test]
+fn brute_force_characterization_thread_invariant() {
+    let dev = DeviceModel::ibmqx4();
+    let table_with = |threads: usize, seed: u64| {
+        let exec = NoisyExecutor::from_device(&dev).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        RbmsTable::brute_force(&exec, 400, &mut rng)
+    };
+    let serial = table_with(1, 7);
+    assert_eq!(serial, table_with(4, 7), "4 threads diverged from serial");
+    assert_eq!(serial, table_with(16, 7), "16 threads diverged from serial");
+    assert_eq!(serial, table_with(1, 7), "same seed not reproducible");
+    assert_ne!(serial, table_with(1, 8), "different seed gave same table");
+}
+
+/// Full policy runs through the Runner are thread-invariant too (SIM
+/// groups and AIM canary + targeted batches all route through
+/// `run_groups`).
+#[test]
+fn policy_runs_thread_invariant() {
+    let answer = BitString::ones(5);
+    let circuit = Circuit::basis_state_preparation(answer);
+    for policy in [PolicyChoice::Baseline, PolicyChoice::Sim, PolicyChoice::Aim] {
+        let run = |threads: usize| {
+            let mut runner = Runner::new(DeviceModel::ibmqx2())
+                .with_seed(13)
+                .with_threads(threads)
+                .with_profile_shots(256);
+            runner.run(policy, &circuit, 1_500)
+        };
+        assert_eq!(run(1), run(8), "{policy:?} diverged across thread counts");
+    }
+}
+
+/// Edge cases: zero shots, a single possible outcome, and fewer shots
+/// than outcomes all behave.
+#[test]
+fn execution_edge_cases() {
+    let dev = DeviceModel::ibmqx4();
+    let exec = NoisyExecutor::from_device(&dev);
+    let mut rng = StdRng::seed_from_u64(41);
+
+    // Zero shots: empty log, correct width.
+    let c = Circuit::uniform_superposition(5);
+    let empty = exec.run(&c, 0, &mut rng);
+    assert_eq!(empty.total(), 0);
+    assert_eq!(empty.width(), 5);
+
+    // Zero shots through the batch API.
+    let logs = exec.run_batch(&[c.clone(), c.clone()], 0, &mut rng);
+    assert_eq!(logs.len(), 2);
+    assert!(logs.iter().all(|l| l.total() == 0));
+
+    // Single possible outcome (ideal device, basis prep): point mass.
+    let ideal = NoisyExecutor::from_device(&DeviceModel::ideal(4));
+    let target: BitString = "0101".parse().unwrap();
+    let log = ideal.run(&Circuit::basis_state_preparation(target), 500, &mut rng);
+    assert_eq!(log.get(&target), 500);
+    assert_eq!(log.distinct(), 1);
+
+    // Fewer shots than outcomes: totals still exact.
+    let few = exec.run(&c, 7, &mut rng);
+    assert_eq!(few.total(), 7);
+    assert!(few.distinct() <= 7);
+}
+
+/// Multinomial synthesis degenerates gracefully when shots are scarcer
+/// than outcomes and when the distribution is a point mass.
+#[test]
+fn multinomial_edge_behavior() {
+    let mut rng = StdRng::seed_from_u64(51);
+
+    // 3 shots over 32 outcomes: totals exact, all on-support.
+    let probs = vec![1.0 / 32.0; 32];
+    let counts = sampler::multinomial(&probs, 3, &mut rng);
+    assert_eq!(counts.iter().sum::<u64>(), 3);
+
+    // Point mass: everything lands on the one outcome.
+    let mut point = vec![0.0; 16];
+    point[9] = 1.0;
+    let counts = sampler::multinomial(&point, 1000, &mut rng);
+    assert_eq!(counts[9], 1000);
+    assert_eq!(counts.iter().sum::<u64>(), 1000);
+
+    // Alias sampler over a point mass never leaves the support.
+    let alias = AliasSampler::new(&point);
+    for _ in 0..100 {
+        assert_eq!(alias.sample(&mut rng), 9);
+    }
+}
+
+/// `run_groups` honors per-circuit budgets and stays deterministic when
+/// budgets differ across the batch.
+#[test]
+fn run_groups_mixed_budgets_deterministic() {
+    let dev = DeviceModel::ibmqx2();
+    let circuits: Vec<Circuit> = BitString::all(5)
+        .take(6)
+        .map(Circuit::basis_state_preparation)
+        .collect();
+    let budgets: Vec<u64> = (0..6).map(|i| 100 + 37 * i).collect();
+
+    let run = |threads: usize| {
+        let exec = NoisyExecutor::from_device(&dev).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(61);
+        exec.run_groups(&circuits, &budgets, &mut rng)
+    };
+    let serial = run(1);
+    for (log, &budget) in serial.iter().zip(&budgets) {
+        assert_eq!(log.total(), budget);
+    }
+    assert_eq!(serial, run(3));
+    assert_eq!(serial, run(8));
+}

@@ -1,62 +1,72 @@
-//! Property-based tests over the measurement policies and inversion
+//! Randomized property tests over the measurement policies and inversion
 //! machinery, spanning invmeas + qnoise + qsim.
+//!
+//! Cases come from fixed-seed [`StdRng`] streams so failures are exactly
+//! reproducible; assertion messages carry the case index.
 
 use invmeas::{
     AdaptiveInvertMeasure, Baseline, InversionString, MeasurementPolicy, RbmsTable,
     StaticInvertMeasure,
 };
-use proptest::prelude::*;
 use qnoise::{CorrelatedReadout, FlipPair, GateNoise, NoisyExecutor, ReadoutModel, TensorReadout};
 use qsim::{BitString, Circuit};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_bitstring(width: usize) -> impl Strategy<Value = BitString> {
-    (0u64..(1u64 << width)).prop_map(move |v| BitString::from_value(v, width))
+const CASES: usize = 64;
+
+fn random_bitstring(width: usize, rng: &mut StdRng) -> BitString {
+    BitString::from_value(rng.gen_range(0u64..(1u64 << width)), width)
 }
 
-fn arb_flip_pair() -> impl Strategy<Value = FlipPair> {
-    (0.0..0.4f64, 0.0..0.4f64).prop_map(|(a, b)| FlipPair::new(a, b))
+fn random_readout(width: usize, rng: &mut StdRng) -> CorrelatedReadout {
+    let pairs = (0..width)
+        .map(|_| FlipPair::new(rng.gen_range(0.0..0.4f64), rng.gen_range(0.0..0.4f64)))
+        .collect();
+    CorrelatedReadout::from_tensor(TensorReadout::new(pairs))
 }
 
-fn arb_readout(width: usize) -> impl Strategy<Value = CorrelatedReadout> {
-    proptest::collection::vec(arb_flip_pair(), width)
-        .prop_map(|pairs| CorrelatedReadout::from_tensor(TensorReadout::new(pairs)))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Inversion is an involution on outcomes: measuring under `m` and
-    /// correcting by `m` is the identity relabeling.
-    #[test]
-    fn inversion_correction_roundtrip(mask in arb_bitstring(5), outcome in arb_bitstring(5)) {
+/// Inversion is an involution on outcomes: measuring under `m` and
+/// correcting by `m` is the identity relabeling.
+#[test]
+fn inversion_correction_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x901);
+    for case in 0..CASES {
+        let mask = random_bitstring(5, &mut rng);
+        let outcome = random_bitstring(5, &mut rng);
         let inv = InversionString::from_mask(mask);
         let mut measured = qsim::Counts::new(5);
         measured.record(inv.measured_state(outcome));
         let corrected = inv.correct(&measured);
-        prop_assert_eq!(corrected.get(&outcome), 1);
+        assert_eq!(corrected.get(&outcome), 1, "case {case}");
     }
+}
 
-    /// The targeted inversion always maps the prediction onto the target
-    /// state, whatever they are.
-    #[test]
-    fn targeting_always_lands(pred in arb_bitstring(6), strongest in arb_bitstring(6)) {
+/// The targeted inversion always maps the prediction onto the target
+/// state, whatever they are.
+#[test]
+fn targeting_always_lands() {
+    let mut rng = StdRng::seed_from_u64(0x902);
+    for case in 0..CASES {
+        let pred = random_bitstring(6, &mut rng);
+        let strongest = random_bitstring(6, &mut rng);
         let inv = InversionString::targeting(pred, strongest);
-        prop_assert_eq!(inv.measured_state(pred), strongest);
+        assert_eq!(inv.measured_state(pred), strongest, "case {case}");
     }
+}
 
-    /// Every policy preserves the trial budget exactly on arbitrary
-    /// readout channels.
-    #[test]
-    fn policies_preserve_budget(
-        readout in arb_readout(4),
-        shots in 1u64..600,
-        target in arb_bitstring(4),
-    ) {
+/// Every policy preserves the trial budget exactly on arbitrary readout
+/// channels.
+#[test]
+fn policies_preserve_budget() {
+    let mut rng = StdRng::seed_from_u64(0x903);
+    for case in 0..CASES {
+        let readout = random_readout(4, &mut rng);
+        let shots = rng.gen_range(1u64..600);
+        let target = random_bitstring(4, &mut rng);
         let exec = NoisyExecutor::new(readout.clone(), GateNoise::ideal(4));
         let circuit = Circuit::basis_state_preparation(target);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy_rng = StdRng::seed_from_u64(1);
         let profile = RbmsTable::exact(&readout);
         let policies: [&dyn MeasurementPolicy; 3] = [
             &Baseline,
@@ -64,42 +74,56 @@ proptest! {
             &AdaptiveInvertMeasure::new(profile.clone()),
         ];
         for policy in policies {
-            let log = policy.execute(&circuit, shots, &exec, &mut rng);
-            prop_assert_eq!(log.total(), shots, "{} broke the budget", policy.name());
+            let log = policy.execute(&circuit, shots, &exec, &mut policy_rng);
+            assert_eq!(
+                log.total(),
+                shots,
+                "case {case}: {} broke the budget",
+                policy.name()
+            );
         }
     }
+}
 
-    /// The exact success probability of the SIM aggregate equals the mean
-    /// of the per-mode success probabilities of the measured states.
-    #[test]
-    fn sim_success_is_mode_average(
-        readout in arb_readout(4),
-        target in arb_bitstring(4),
-    ) {
+/// The exact success probability of the SIM aggregate equals the mean of
+/// the per-mode success probabilities of the measured states.
+#[test]
+fn sim_success_is_mode_average() {
+    let mut rng = StdRng::seed_from_u64(0x904);
+    // Fewer cases: each one runs a 20k-shot experiment.
+    for case in 0..12 {
+        let readout = random_readout(4, &mut rng);
+        let target = random_bitstring(4, &mut rng);
         let strings = InversionString::sim_four(4);
         let expected: f64 = strings
             .iter()
             .map(|inv| readout.success_probability(inv.measured_state(target)))
-            .sum::<f64>() / 4.0;
+            .sum::<f64>()
+            / 4.0;
         // Estimate empirically with a decent budget.
         let exec = NoisyExecutor::new(readout, GateNoise::ideal(4));
         let circuit = Circuit::basis_state_preparation(target);
-        let mut rng = StdRng::seed_from_u64(2);
-        let log = StaticInvertMeasure::four_mode(4).execute(&circuit, 20_000, &exec, &mut rng);
+        let mut policy_rng = StdRng::seed_from_u64(2);
+        let log =
+            StaticInvertMeasure::four_mode(4).execute(&circuit, 20_000, &exec, &mut policy_rng);
         let measured = log.frequency(&target);
-        prop_assert!(
+        assert!(
             (measured - expected).abs() < 0.03,
-            "SIM aggregate {} vs expected mode average {}", measured, expected
+            "case {case}: SIM aggregate {measured} vs expected mode average {expected}"
         );
     }
+}
 
-    /// AIM's candidate prediction never exceeds k and never invents
-    /// unobserved states.
-    #[test]
-    fn aim_candidates_are_observed(
-        strengths in proptest::collection::vec(0.05f64..1.0, 16),
-        observed in proptest::collection::vec(arb_bitstring(4), 1..10),
-    ) {
+/// AIM's candidate prediction never exceeds k and never invents
+/// unobserved states.
+#[test]
+fn aim_candidates_are_observed() {
+    let mut rng = StdRng::seed_from_u64(0x905);
+    for case in 0..CASES {
+        let strengths: Vec<f64> = (0..16).map(|_| rng.gen_range(0.05f64..1.0)).collect();
+        let n_obs = rng.gen_range(1usize..10);
+        let observed: Vec<BitString> =
+            (0..n_obs).map(|_| random_bitstring(4, &mut rng)).collect();
         let profile = RbmsTable::from_strengths(4, strengths);
         let aim = AdaptiveInvertMeasure::new(profile);
         let mut canary = qsim::Counts::new(4);
@@ -107,29 +131,39 @@ proptest! {
             canary.record(*s);
         }
         let candidates = aim.predict_candidates(&canary);
-        prop_assert!(candidates.len() <= 4);
+        assert!(candidates.len() <= 4, "case {case}");
         for c in &candidates {
-            prop_assert!(observed.contains(c), "candidate {} never observed", c);
+            assert!(
+                observed.contains(c),
+                "case {case}: candidate {c} never observed"
+            );
         }
     }
+}
 
-    /// Readout channels are proper stochastic maps: rows sum to one for
-    /// arbitrary parameters (checked through the public confusion API).
-    #[test]
-    fn readout_rows_are_stochastic(readout in arb_readout(4), ideal in arb_bitstring(4)) {
+/// Readout channels are proper stochastic maps: rows sum to one for
+/// arbitrary parameters (checked through the public confusion API).
+#[test]
+fn readout_rows_are_stochastic() {
+    let mut rng = StdRng::seed_from_u64(0x906);
+    for case in 0..CASES {
+        let readout = random_readout(4, &mut rng);
+        let ideal = random_bitstring(4, &mut rng);
         let total: f64 = BitString::all(4)
             .map(|obs| readout.confusion(ideal, obs))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "row sums to {}", total);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: row sums to {total}");
     }
+}
 
-    /// XOR-relabeling a distribution never changes its mass and the exact
-    /// SIM mixture is again a distribution.
-    #[test]
-    fn exact_sim_mixture_is_distribution(
-        readout in arb_readout(4),
-        target in arb_bitstring(4),
-    ) {
+/// XOR-relabeling a distribution never changes its mass and the exact
+/// SIM mixture is again a distribution.
+#[test]
+fn exact_sim_mixture_is_distribution() {
+    let mut rng = StdRng::seed_from_u64(0x907);
+    for case in 0..CASES {
+        let readout = random_readout(4, &mut rng);
+        let target = random_bitstring(4, &mut rng);
         let born = qsim::Distribution::point(target);
         let parts: Vec<qsim::Distribution> = InversionString::sim_four(4)
             .into_iter()
@@ -142,6 +176,6 @@ proptest! {
         let refs: Vec<(&qsim::Distribution, f64)> = parts.iter().map(|d| (d, 1.0)).collect();
         let merged = qsim::Distribution::mixture(&refs);
         let total: f64 = merged.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}");
     }
 }

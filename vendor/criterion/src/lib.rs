@@ -1,0 +1,373 @@
+//! Offline vendored micro-benchmark harness, API-compatible with the slice
+//! of `criterion` 0.5 the workspace uses.
+//!
+//! The build container has no crates.io access, so this crate re-implements
+//! the benchmarking surface the `qbenches` crate is written against:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`, `sample_size`,
+//! `throughput`, and [`Bencher::iter`]. Statistics are intentionally simple
+//! — per-sample median / mean / min over wall-clock time — but measured the
+//! same way criterion measures: each sample times a batch of iterations
+//! sized from a calibration pass, so per-iteration overhead is amortized.
+//!
+//! Extras:
+//!
+//! * positional CLI arguments act as substring filters on `group/name` ids
+//!   (like `cargo bench -- <filter>`); flags (`--bench`, …) are ignored;
+//! * setting `CRITERION_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"id": …, "median_ns": …, "mean_ns": …, "min_ns": …, "samples": …}`),
+//!   which is how `BENCH_sampler.json` baselines are produced.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and CLI filter state.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            sample_size: 20,
+            measurement: Duration::from_millis(1000),
+            warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default per-benchmark sample count.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, None, &mut f);
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches_filter(id) {
+            return;
+        }
+        // Calibration: double the batch size until one batch is long enough
+        // to time reliably, also serving as warm-up.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let elapsed = time_batch(f, iters);
+            let long_enough = elapsed >= Duration::from_millis(5);
+            if (long_enough && Instant::now() >= warm_deadline) || iters >= 1 << 40 {
+                break (elapsed.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            if !long_enough {
+                iters = iters.saturating_mul(2);
+            }
+        };
+        let per_sample = self.measurement.as_nanos() as f64 / sample_size as f64;
+        let sample_iters = ((per_sample / per_iter_ns) as u64).max(1);
+        let mut samples: Vec<f64> = (0..sample_size)
+            .map(|_| time_batch(f, sample_iters).as_nanos() as f64 / sample_iters as f64)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = samples[0];
+        let median = if samples.len() % 2 == 1 {
+            samples[samples.len() / 2]
+        } else {
+            0.5 * (samples[samples.len() / 2 - 1] + samples[samples.len() / 2])
+        };
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+        let mut line = format!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        if let Some(tp) = throughput {
+            let _ = write!(line, "  thrpt: {}", tp.render(median));
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"{id}\", \"median_ns\": {median:.1}, \"mean_ns\": {mean:.1}, \
+                     \"min_ns\": {min:.1}, \"samples\": {}, \"iters_per_sample\": {sample_iters}}}",
+                    samples.len()
+                );
+            }
+        }
+    }
+}
+
+fn time_batch(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn render(&self, median_ns: f64) -> String {
+        let (count, unit) = match self {
+            Throughput::Elements(n) => (*n, "elem/s"),
+            Throughput::Bytes(n) => (*n, "B/s"),
+        };
+        let rate = count as f64 * 1e9 / median_ns;
+        if rate >= 1e9 {
+            format!("{:.3} G{unit}", rate / 1e9)
+        } else if rate >= 1e6 {
+            format!("{:.3} M{unit}", rate / 1e6)
+        } else if rate >= 1e3 {
+            format!("{:.3} K{unit}", rate / 1e3)
+        } else {
+            format!("{rate:.1} {unit}")
+        }
+    }
+}
+
+/// A parameterized benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the target measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, sample_size, throughput.as_ref(), &mut f);
+    }
+
+    /// Times `f` with a borrowed input under `group_name/benchmark_id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id.id, |b| f(b, input));
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to it over a fixed iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch's iteration count and records the wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_batches() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            sample_size: 3,
+            measurement: Duration::from_millis(20),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark closure never ran");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            filters: vec!["wanted".into()],
+            sample_size: 2,
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(!ran, "filtered benchmark should not run");
+        c.bench_function("the_wanted_one", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran, "matching benchmark should run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("brute", 5).id, "brute/5");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2.0e9).contains(" s"));
+    }
+}
