@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qbenches::bench_rng;
 use qnoise::{DeviceModel, ReadoutModel};
-use qsim::{BitString, Circuit, StateVector};
+use qsim::{BitString, Circuit, Distribution, FusedProgram, StateVector};
 
 /// A representative layered circuit: H wall, CX chain, Rz layer, repeated.
 fn layered_circuit(n: usize, layers: usize) -> Circuit {
@@ -32,6 +32,58 @@ fn bench_statevector(c: &mut Criterion) {
             b.iter(|| StateVector::from_circuit(circ))
         });
     }
+    // Unfused gate-by-gate reference at the largest width: the headline
+    // speedup is apply_circuit/14 vs this baseline.
+    let circuit = layered_circuit(14, 4);
+    group.throughput(Throughput::Elements(circuit.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("apply_unfused", 14),
+        &circuit,
+        |b, circ| {
+            b.iter(|| {
+                let mut sv = StateVector::zero(circ.n_qubits());
+                sv.apply_circuit(circ);
+                sv
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_threaded_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded");
+    let n = 16usize;
+    let prog = FusedProgram::from_circuit(&layered_circuit(n, 4));
+    group.throughput(Throughput::Elements(prog.n_ops() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("apply_fused_16q", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut sv = StateVector::zero(n);
+                    sv.apply_fused_threaded(&prog, threads);
+                    sv
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_variant_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variants");
+    let n = 14usize;
+    let base = layered_circuit(n, 4);
+    let mask = BitString::ones(n);
+    // Naive: re-simulate the inverted variant end to end.
+    group.bench_function("resimulate_14q", |b| {
+        let inverted = base.with_premeasure_inversion(mask);
+        b.iter(|| StateVector::from_circuit(&inverted).probabilities())
+    });
+    // Amortized: one base distribution, XOR-permuted per variant.
+    let dist = Distribution::from_probabilities(n, StateVector::born_probabilities(&base));
+    group.bench_function("permute_xor_14q", |b| b.iter(|| dist.permute_xor(mask)));
     group.finish();
 }
 
@@ -81,5 +133,12 @@ fn bench_readout_channel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_sampling, bench_readout_channel);
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_threaded_apply,
+    bench_variant_amortization,
+    bench_sampling,
+    bench_readout_channel
+);
 criterion_main!(benches);

@@ -14,6 +14,13 @@
 //!
 //! All logs (canary + targeted, XOR-corrected) merge into the final output;
 //! the total trial count equals the baseline's.
+//!
+//! **Cost note:** both the canary (k inversion modes) and the targeted
+//! phase (k predicted states) run the *same* base circuit under different
+//! trailing X layers, each through one batched
+//! [`qnoise::Executor::run_groups`] call — so a readout-only AIM window
+//! costs two statevector simulations total (one per phase), independent of
+//! the mode/prediction counts.
 
 use crate::inversion::InversionString;
 use crate::policy::{split_shots, MeasurementPolicy};

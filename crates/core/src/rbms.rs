@@ -90,6 +90,11 @@ impl RbmsTable {
     /// states and measures it `shots_per_state` times (paper §3.1 used 16k
     /// trials per state on the 5-qubit machines).
     ///
+    /// Basis-state preparations are X-only circuits, which the execution
+    /// engine detects and turns into point-mass distributions without
+    /// building any statevector — the sweep costs `O(2^n)` per state
+    /// (channel work) instead of `O(n · 4^n)` total simulation work.
+    ///
     /// # Panics
     ///
     /// Panics if the executor covers more than 16 qubits (the exponential

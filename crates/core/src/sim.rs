@@ -13,6 +13,13 @@
 //! [`StaticInvertMeasure::four_mode`] build the two configurations studied
 //! in the evaluation; arbitrary string sets are supported for the
 //! mode-count ablation.
+//!
+//! **Cost note:** every SIM group is the same base circuit with a trailing
+//! X layer, and groups are executed through one
+//! [`qnoise::Executor::run_groups`] call — so in the readout-only regime a
+//! k-group run performs exactly *one* statevector simulation, with each
+//! group's distribution derived by XOR permutation (see the
+//! variant-amortization notes in `qnoise::executor`).
 
 use crate::inversion::InversionString;
 use crate::policy::{split_shots, MeasurementPolicy};

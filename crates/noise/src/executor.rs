@@ -30,6 +30,16 @@
 //! 3. **Parallel sweeps** — [`Executor::run_groups`] runs many circuits at
 //!    once; [`NoisyExecutor`] distributes them over a thread pool
 //!    ([`NoisyExecutor::with_threads`]).
+//! 4. **Inversion-variant amortization** — circuits in a sweep that differ
+//!    only by a trailing X layer (every Invert-and-Measure group, every
+//!    basis-state preparation) share one base simulation: the X layer is a
+//!    pure basis permutation, so each variant's Born distribution is an XOR
+//!    relabeling of the base's ([`qsim::StateVector::probabilities_xor`]).
+//!    [`NoisyExecutor`]'s `run_groups` memoizes bases per sweep; single
+//!    `run` calls apply the same trailing-X split, so the memo changes
+//!    nothing but the simulation count. Exact only in the readout-only
+//!    regime — with gate noise on, trailing X gates are fault sites and
+//!    variants are simulated in full.
 //!
 //! ### Determinism contract
 //!
@@ -47,11 +57,11 @@ use crate::correlated::CorrelatedReadout;
 use crate::device::DeviceModel;
 use crate::gate_noise::GateNoise;
 use crate::readout::ReadoutModel;
-use qsim::{BitString, Circuit, Counts, Distribution, StateVector};
+use qsim::{BitString, Circuit, Counts, Distribution, Gate, StateVector};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Widest register the dense per-basis-state count accumulator is used for;
 /// beyond this the per-shot paths fall back to hash-map logging.
@@ -114,15 +124,19 @@ pub trait Executor {
     }
 }
 
-/// Draws `shots` outcomes from `psi`'s Born distribution via a one-time
-/// alias table, accumulating densely when the register is small enough.
-fn sample_state_counts(psi: &StateVector, shots: u64, rng: &mut dyn RngCore) -> Counts {
-    let n = psi.n_qubits();
+/// Registers at or above this size run their statevector evolution on the
+/// executor's worker pool ([`NoisyExecutor::with_threads`]); below it the
+/// thread spawn/barrier overhead outweighs the kernel work.
+pub const THREADED_SIM_MIN_QUBITS: usize = 15;
+
+/// Draws `shots` outcomes from a Born distribution via a one-time alias
+/// table, accumulating densely when the register is small enough.
+fn sample_born_counts(n: usize, born: &[f64], shots: u64, rng: &mut dyn RngCore) -> Counts {
     let mut counts = Counts::new(n);
     if shots == 0 {
         return counts;
     }
-    let sampler = psi.sampler();
+    let sampler = qsim::AliasSampler::new(born);
     if n <= MAX_DENSE_WIDTH {
         let mut dense = vec![0u64; 1usize << n];
         for _ in 0..shots {
@@ -175,8 +189,11 @@ impl Executor for IdealExecutor {
         if shots == 0 {
             return Counts::new(self.n_qubits);
         }
-        let psi = StateVector::from_circuit(circuit);
-        sample_state_counts(&psi, shots, rng)
+        // `born_probabilities` strips the trailing X layer and permutes,
+        // so inversion variants and basis-state preparations skip most (or
+        // all) of the statevector work.
+        let born = StateVector::born_probabilities(circuit);
+        sample_born_counts(self.n_qubits, &born, shots, rng)
     }
 }
 
@@ -353,9 +370,72 @@ impl NoisyExecutor {
         assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
         let born = Distribution::from_probabilities(
             circuit.n_qubits(),
-            StateVector::from_circuit(circuit).probabilities(),
+            StateVector::born_probabilities(circuit),
         );
         self.readout.apply_to_distribution(&born)
+    }
+
+    /// The worker-thread count to use for a single statevector evolution:
+    /// the configured pool for large registers, serial otherwise.
+    fn sim_threads(&self) -> usize {
+        if self.n_qubits() >= THREADED_SIM_MIN_QUBITS {
+            self.threads
+        } else {
+            1
+        }
+    }
+
+    /// Computes the Born distribution of every circuit in a sweep,
+    /// simulating each distinct *base* (the circuit prefix left after
+    /// [`Circuit::trailing_x_split`]) exactly once and deriving each
+    /// trailing-X variant by XOR permutation.
+    ///
+    /// This is exact in the readout-only regime — a noiseless trailing X
+    /// layer is a pure basis permutation — and is bitwise identical to
+    /// computing [`StateVector::born_probabilities`] per circuit, since
+    /// that entry point performs the same split-and-permute. Returns `None`
+    /// per circuit when gate noise is on (trailing X gates can then fault,
+    /// so variants must be simulated in full).
+    fn memoized_borns(&self, circuits: &[Circuit]) -> Vec<Option<Arc<Vec<f64>>>> {
+        if !self.gate_noise.is_ideal() {
+            return vec![None; circuits.len()];
+        }
+        let n = self.n_qubits();
+        let sim_threads = self.sim_threads();
+        // `Gate` has no `Hash`/`Eq` (float angles), so bases are matched by
+        // linear slice scan — sweeps share a handful of bases at most.
+        let mut bases: Vec<(&[Gate], Arc<Vec<f64>>)> = Vec::new();
+        circuits
+            .iter()
+            .map(|c| {
+                let (prefix, mask) = c.trailing_x_split();
+                let base = match bases.iter().find(|(p, _)| *p == prefix) {
+                    Some((_, b)) => Arc::clone(b),
+                    None => {
+                        let b: Arc<Vec<f64>> = Arc::new(if prefix.is_empty() {
+                            let mut probs = vec![0.0; 1usize << n];
+                            probs[0] = 1.0;
+                            probs
+                        } else {
+                            StateVector::from_gates_threaded(n, prefix, sim_threads)
+                                .probabilities()
+                        });
+                        bases.push((prefix, Arc::clone(&b)));
+                        b
+                    }
+                };
+                let m = mask.index();
+                if m == 0 {
+                    Some(base)
+                } else {
+                    let mut probs = vec![0.0; base.len()];
+                    for (i, &p) in base.iter().enumerate() {
+                        probs[i ^ m] = p;
+                    }
+                    Some(Arc::new(probs))
+                }
+            })
+            .collect()
     }
 
     /// Whether synthesizing the log beats sampling `shots` outcomes one by
@@ -391,31 +471,48 @@ impl NoisyExecutor {
             }
         }
     }
-}
 
-impl Executor for NoisyExecutor {
-    fn n_qubits(&self) -> usize {
-        self.readout.n_qubits()
-    }
-
-    fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
+    /// The shared core of [`Executor::run`] and [`Executor::run_groups`]:
+    /// runs one circuit, optionally against a pre-computed Born
+    /// distribution (from the variant-amortization memo).
+    ///
+    /// In the readout-only regime only the Born distribution is needed —
+    /// both the synthesis and per-shot paths sample from it — so a memoized
+    /// `born` skips circuit evolution entirely and the result is bitwise
+    /// identical to the unmemoized path (which derives the same vector via
+    /// [`StateVector::born_probabilities`]). With gate noise on, `born` is
+    /// ignored and full Monte-Carlo trajectory simulation runs.
+    fn run_with_born(
+        &self,
+        circuit: &Circuit,
+        born: Option<&[f64]>,
+        shots: u64,
+        rng: &mut dyn RngCore,
+    ) -> Counts {
         assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
         let n = self.n_qubits();
         if shots == 0 {
             return Counts::new(n);
         }
-        let ideal_psi = StateVector::from_circuit(circuit);
         if self.gate_noise.is_ideal() {
-            let born = ideal_psi.probabilities();
-            if self.synthesis_pays_off(&born, shots) {
+            let born_owned;
+            let born = match born {
+                Some(b) => b,
+                None => {
+                    born_owned =
+                        StateVector::born_probabilities_threaded(circuit, self.sim_threads());
+                    &born_owned[..]
+                }
+            };
+            if self.synthesis_pays_off(born, shots) {
                 // Exact-channel shot synthesis: one channel composition, one
                 // multinomial draw, cost independent of `shots`.
-                let observed = self
-                    .readout
-                    .apply_to_distribution(&Distribution::from_probabilities(n, born));
+                let observed = self.readout.apply_to_distribution(
+                    &Distribution::from_probabilities(n, born.to_vec()),
+                );
                 return Counts::synthesize_from(&observed, shots, rng);
             }
-            let sampler = ideal_psi.sampler();
+            let sampler = qsim::AliasSampler::new(born);
             let mut dense = vec![0u64; if n <= MAX_DENSE_WIDTH { 1usize << n } else { 0 }];
             let mut counts = Counts::new(n);
             self.corrupt_shots_dense(&sampler, shots, &mut dense, &mut counts, rng);
@@ -426,6 +523,9 @@ impl Executor for NoisyExecutor {
             };
         }
         // Gate noise: split shots across Monte-Carlo fault trajectories.
+        // Trailing X gates are themselves fault sites here, so no variant
+        // shortcut applies; the base state is still evolved fused.
+        let ideal_psi = StateVector::from_circuit(circuit);
         let n_traj = shots.min(self.max_trajectories);
         let base = shots / n_traj;
         let extra = shots % n_traj;
@@ -450,6 +550,16 @@ impl Executor for NoisyExecutor {
             counts
         }
     }
+}
+
+impl Executor for NoisyExecutor {
+    fn n_qubits(&self) -> usize {
+        self.readout.n_qubits()
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
+        self.run_with_born(circuit, None, shots, rng)
+    }
 
     fn run_groups(&self, circuits: &[Circuit], shots: &[u64], rng: &mut dyn RngCore) -> Vec<Counts> {
         assert_eq!(
@@ -461,15 +571,20 @@ impl Executor for NoisyExecutor {
         // output is bitwise independent of the worker count and identical
         // to the serial default implementation.
         let seeds: Vec<u64> = circuits.iter().map(|_| rng.next_u64()).collect();
+        // Variant amortization: every distinct base circuit in the sweep is
+        // simulated exactly once (on the caller thread, threaded for large
+        // registers); trailing-X variants reuse it by XOR permutation.
+        let borns = self.memoized_borns(circuits);
         let threads = self.threads.min(circuits.len()).max(1);
         if threads == 1 {
             return circuits
                 .iter()
                 .zip(shots)
                 .zip(&seeds)
-                .map(|((c, &s), &seed)| {
+                .zip(&borns)
+                .map(|(((c, &s), &seed), born)| {
                     let mut circuit_rng = StdRng::seed_from_u64(seed);
-                    self.run(c, s, &mut circuit_rng)
+                    self.run_with_born(c, born.as_ref().map(|b| &b[..]), s, &mut circuit_rng)
                 })
                 .collect();
         }
@@ -484,7 +599,12 @@ impl Executor for NoisyExecutor {
                         break;
                     }
                     let mut circuit_rng = StdRng::seed_from_u64(seeds[i]);
-                    let log = self.run(&circuits[i], shots[i], &mut circuit_rng);
+                    let log = self.run_with_born(
+                        &circuits[i],
+                        borns[i].as_ref().map(|b| &b[..]),
+                        shots[i],
+                        &mut circuit_rng,
+                    );
                     *slots[i].lock().expect("result slot poisoned") = Some(log);
                 });
             }

@@ -239,6 +239,45 @@ impl Circuit {
         c
     }
 
+    /// Splits the circuit into its prefix and the XOR mask of its trailing
+    /// X layer: the returned slice holds every gate before the final run of
+    /// X gates, and the mask has bit `q` set iff an odd number of trailing
+    /// X gates act on qubit `q`.
+    ///
+    /// Because a pre-measurement X layer only permutes basis states, the
+    /// Born distribution of the full circuit equals the prefix's
+    /// distribution with indices XOR-ed by the mask
+    /// ([`crate::StateVector::probabilities_xor`]). Every
+    /// [`Circuit::with_premeasure_inversion`] variant of a base circuit
+    /// shares the same prefix, which is what lets the execution engine
+    /// simulate the base exactly once per inversion family. For an X-only
+    /// circuit (e.g. [`Circuit::basis_state_preparation`]) the prefix is
+    /// empty and the distribution is a point mass at the mask.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsim::Circuit;
+    ///
+    /// let mut c = Circuit::new(3);
+    /// c.h(0).cx(0, 1);
+    /// let inverted = c.with_premeasure_inversion("110".parse()?);
+    /// let (prefix, mask) = inverted.trailing_x_split();
+    /// assert_eq!(prefix, c.gates());
+    /// assert_eq!(mask, "110".parse()?);
+    /// # Ok::<(), qsim::ParseBitStringError>(())
+    /// ```
+    pub fn trailing_x_split(&self) -> (&[Gate], BitString) {
+        let mut end = self.gates.len();
+        let mut mask = 0u64;
+        while end > 0 {
+            let Gate::X(q) = self.gates[end - 1] else { break };
+            mask ^= 1u64 << q;
+            end -= 1;
+        }
+        (&self.gates[..end], BitString::from_value(mask, self.n_qubits))
+    }
+
     /// Returns a circuit that prepares the computational basis state `s`
     /// from `|0…0⟩` (X on every set bit).
     ///
@@ -332,6 +371,27 @@ mod tests {
         c.h(0);
         let inv = c.with_premeasure_inversion(BitString::zeros(3));
         assert_eq!(inv, c);
+    }
+
+    #[test]
+    fn trailing_x_split_cases() {
+        // Duplicate trailing X gates on one qubit cancel in the mask.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).x(2).x(0).x(2);
+        let (prefix, mask) = c.trailing_x_split();
+        assert_eq!(prefix, &c.gates()[..2]);
+        assert_eq!(mask, "001".parse().unwrap());
+        // X-only circuit: empty prefix, full mask.
+        let prep = Circuit::basis_state_preparation("101".parse().unwrap());
+        let (prefix, mask) = prep.trailing_x_split();
+        assert!(prefix.is_empty());
+        assert_eq!(mask, "101".parse().unwrap());
+        // No trailing X at all.
+        let mut c = Circuit::new(2);
+        c.x(0).h(1);
+        let (prefix, mask) = c.trailing_x_split();
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(mask, BitString::zeros(2));
     }
 
     #[test]

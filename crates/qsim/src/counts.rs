@@ -390,21 +390,36 @@ impl Distribution {
     /// Returns a new distribution with labels XOR-ed by `mask` (exact
     /// analogue of [`Counts::xor_corrected`]).
     ///
+    /// This is both the correction step of Invert-and-Measure *and* the
+    /// variant-amortization primitive: appending a pre-measurement X layer
+    /// to a circuit permutes its Born distribution by exactly this map, so
+    /// one base distribution yields every inversion variant at `O(2^n)`
+    /// each with no further simulation (see
+    /// [`crate::StateVector::probabilities_xor`]). It is an involution:
+    /// permuting twice by the same mask is the identity.
+    ///
     /// # Panics
     ///
     /// Panics if widths differ.
     #[must_use]
-    pub fn xor_relabeled(&self, mask: BitString) -> Distribution {
+    pub fn permute_xor(&self, mask: BitString) -> Distribution {
         assert_eq!(mask.width(), self.width, "mask width mismatch");
+        let m = mask.index();
         let mut probs = vec![0.0; self.probs.len()];
         for (i, &p) in self.probs.iter().enumerate() {
-            let j = (BitString::from_value(i as u64, self.width) ^ mask).index();
-            probs[j] = p;
+            probs[i ^ m] = p;
         }
         Distribution {
             width: self.width,
             probs,
         }
+    }
+
+    /// Alias for [`Distribution::permute_xor`], named for symmetry with
+    /// [`Counts::xor_corrected`].
+    #[must_use]
+    pub fn xor_relabeled(&self, mask: BitString) -> Distribution {
+        self.permute_xor(mask)
     }
 
     /// Mixes distributions with the given non-negative weights (weights are

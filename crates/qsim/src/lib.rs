@@ -9,7 +9,8 @@
 //!   including the pre-measurement inversion transform at the heart of the
 //!   paper ([`Circuit::with_premeasure_inversion`]),
 //! * [`StateVector`] — dense `2^n` amplitude simulation with Born-rule
-//!   sampling,
+//!   sampling, specialized monomial/dense kernels, gate fusion
+//!   ([`fuse::FusedProgram`]) and optional threaded apply,
 //! * [`Counts`] / [`Distribution`] — the trial logs and exact distributions
 //!   the reliability metrics are computed from.
 //!
@@ -47,6 +48,7 @@ pub mod c64;
 pub mod circuit;
 pub mod counts;
 pub mod density;
+pub mod fuse;
 pub mod gate;
 pub mod optimize;
 pub mod qasm;
@@ -58,6 +60,7 @@ pub use bitstring::{BitString, ParseBitStringError, MAX_WIDTH};
 pub use density::{DensityMatrix, KrausChannel};
 pub use circuit::Circuit;
 pub use counts::{Counts, Distribution};
+pub use fuse::FusedProgram;
 pub use gate::Gate;
 pub use sampler::AliasSampler;
-pub use statevector::StateVector;
+pub use statevector::{simulation_count, StateVector};

@@ -1,17 +1,746 @@
 //! Dense state-vector representation of an n-qubit register.
 //!
 //! This is the execution substrate for every experiment in the
-//! reproduction: circuits are applied gate-by-gate to a `2^n` amplitude
-//! vector, and measurement outcomes are sampled from the Born-rule
-//! distribution. Registers up to ~20 qubits are practical; the paper's
-//! machines max out at 14.
+//! reproduction: circuits are applied to a `2^n` amplitude vector, and
+//! measurement outcomes are sampled from the Born-rule distribution.
+//! Registers up to ~20 qubits are practical; the paper's machines max out
+//! at 14.
+//!
+//! ## Kernel structure
+//!
+//! Circuit evolution runs through specialized kernels (see [`crate::fuse`]):
+//! monomial gates (diagonals, X/Y, CX/CZ/Rzz/Swap) are applied as index
+//! permutations with phase multiplies, everything else as dense 2×2/4×4
+//! blocks enumerating only the `2^n/2` (or `2^n/4`) base indices of each
+//! amplitude group. [`StateVector::from_circuit`] additionally *fuses*
+//! adjacent gates into one kernel per run ([`crate::fuse::FusedProgram`]),
+//! while [`StateVector::apply_circuit`] keeps the plain gate-by-gate
+//! reference path. Large registers can spread kernel application across a
+//! scoped thread pool with [`StateVector::apply_fused_threaded`]; the
+//! amplitude array is chunked so results are bitwise identical to the
+//! serial path for every thread count.
+//!
+//! Every circuit-level evolution bumps a process-wide counter
+//! ([`simulation_count`]) so tests can assert how many full statevector
+//! simulations a pipeline performed — the XOR variant-amortization fast
+//! paths ([`StateVector::born_probabilities`]) are measured by the
+//! simulations they *don't* run.
 
 use crate::bitstring::BitString;
 use crate::c64::C64;
 use crate::circuit::Circuit;
-use crate::gate::Gate;
+use crate::fuse::{classify_gate, FusedOp, FusedProgram};
+use crate::gate::{Gate, Matrix2, Matrix4};
 use crate::sampler::AliasSampler;
 use rand::Rng;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Process-wide count of full statevector circuit simulations.
+static CIRCUIT_SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of circuit-level statevector evolutions performed by this
+/// process so far ([`StateVector::from_circuit`], [`StateVector::from_gates`]
+/// and [`StateVector::apply_circuit`] each count once; per-gate calls and
+/// the permutation fast paths do not).
+///
+/// The counter is monotonic and process-global: tests should record it
+/// before and after the work under measurement and assert on the delta.
+pub fn simulation_count() -> u64 {
+    CIRCUIT_SIMULATIONS.load(Ordering::Relaxed)
+}
+
+/// Inserts a zero bit at position `p`, shifting higher bits up — the
+/// standard trick for enumerating only amplitude-group base indices.
+#[inline(always)]
+fn insert_zero(x: usize, p: usize) -> usize {
+    ((x >> p) << (p + 1)) | (x & ((1usize << p) - 1))
+}
+
+/// Raw amplitude pointer that may be shared across a scoped thread pool.
+/// Safety rests on each worker touching a disjoint set of amplitude
+/// groups per kernel, with a barrier between kernels.
+struct SharedAmps(*mut C64);
+unsafe impl Send for SharedAmps {}
+unsafe impl Sync for SharedAmps {}
+
+// ---------------------------------------------------------------------------
+// Slice-level kernel primitives.
+//
+// Every kernel below decomposes its amplitude groups into contiguous *runs*
+// (maximal stretches of base indices whose low bits stay below the op's
+// lowest qubit) and hands the run's columns to these helpers as disjoint
+// `&mut` slices. The `&mut` noalias guarantee is what lets LLVM vectorize
+// the inner loops; the per-element arithmetic is identical regardless of
+// how a range is split into runs, so threaded application stays bitwise
+// identical to serial.
+// ---------------------------------------------------------------------------
+
+/// `a · b` with each component's final product contracted into an FMA —
+/// the exact per-lane arithmetic of a packed `vfmaddsub` complex multiply,
+/// so the scalar kernels and the AVX2 kernels produce bit-identical
+/// amplitudes. One rounding fewer per component than the `Mul` impl (≤ 1
+/// ulp apart from operator arithmetic); every kernel below uses this
+/// primitive exclusively, which keeps the simulator self-consistent and
+/// bitwise reproducible across thread counts.
+#[inline(always)]
+fn cmul(a: C64, b: C64) -> C64 {
+    C64::new(
+        f64::mul_add(a.re, b.re, -(a.im * b.im)),
+        f64::mul_add(a.re, b.im, a.im * b.re),
+    )
+}
+
+/// `s[k] = p · s[k]`.
+#[inline(always)]
+fn scale(s: &mut [C64], p: C64) {
+    for a in s {
+        *a = cmul(p, *a);
+    }
+}
+
+/// Dense 2×2 across two columns: `(a, b) ← m · (a, b)ᵀ`.
+#[inline(always)]
+fn two_mix(m: &Matrix2, sa: &mut [C64], sb: &mut [C64]) {
+    for (a, b) in sa.iter_mut().zip(sb.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = cmul(m[0][0], x) + cmul(m[0][1], y);
+        *b = cmul(m[1][0], x) + cmul(m[1][1], y);
+    }
+}
+
+/// Two-cycle of a monomial op: `out_b = pa · in_a`, `out_a = pb · in_b`.
+#[inline(always)]
+fn swap_phase(sa: &mut [C64], sb: &mut [C64], pa: C64, pb: C64) {
+    if pa == C64::ONE && pb == C64::ONE {
+        for (a, b) in sa.iter_mut().zip(sb.iter_mut()) {
+            core::mem::swap(a, b);
+        }
+    } else {
+        for (a, b) in sa.iter_mut().zip(sb.iter_mut()) {
+            let t = *a;
+            *a = cmul(pb, *b);
+            *b = cmul(pa, t);
+        }
+    }
+}
+
+/// Three-cycle `c0 → c1 → c2 → c0` with per-source phases.
+#[inline(always)]
+fn cycle3(s0: &mut [C64], s1: &mut [C64], s2: &mut [C64], p0: C64, p1: C64, p2: C64) {
+    for ((a, b), c) in s0.iter_mut().zip(s1.iter_mut()).zip(s2.iter_mut()) {
+        let t = *a;
+        *a = cmul(p2, *c);
+        *c = cmul(p1, *b);
+        *b = cmul(p0, t);
+    }
+}
+
+/// Four-cycle `c0 → c1 → c2 → c3 → c0` with per-source phases.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn cycle4(
+    s0: &mut [C64],
+    s1: &mut [C64],
+    s2: &mut [C64],
+    s3: &mut [C64],
+    p0: C64,
+    p1: C64,
+    p2: C64,
+    p3: C64,
+) {
+    for (((a, b), c), d) in s0
+        .iter_mut()
+        .zip(s1.iter_mut())
+        .zip(s2.iter_mut())
+        .zip(s3.iter_mut())
+    {
+        let t = *a;
+        *a = cmul(p3, *d);
+        *d = cmul(p2, *c);
+        *c = cmul(p1, *b);
+        *b = cmul(p0, t);
+    }
+}
+
+/// Dense 4×4 across four columns.
+#[inline(always)]
+fn dense_mix4(m: &Matrix4, s0: &mut [C64], s1: &mut [C64], s2: &mut [C64], s3: &mut [C64]) {
+    for (((a, b), c), d) in s0
+        .iter_mut()
+        .zip(s1.iter_mut())
+        .zip(s2.iter_mut())
+        .zip(s3.iter_mut())
+    {
+        let v = [*a, *b, *c, *d];
+        let mut out = [C64::ZERO; 4];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let mr = &m[r];
+            *out_r = cmul(mr[0], v[0]) + cmul(mr[1], v[1]) + cmul(mr[2], v[2]) + cmul(mr[3], v[3]);
+        }
+        *a = out[0];
+        *b = out[1];
+        *c = out[2];
+        *d = out[3];
+    }
+}
+
+/// One cycle of a 4-column monomial permutation, precomputed per op.
+#[derive(Clone, Copy)]
+enum MonoCycle {
+    /// Fixed column `c` scaled by `ph[c]` (unit phases are dropped).
+    Fix(usize),
+    /// Two-cycle `(a b)`.
+    Two(usize, usize),
+    /// Three-cycle `a → b → c → a`.
+    Three(usize, usize, usize),
+    /// Four-cycle `a → b → c → d → a`.
+    Four(usize, usize, usize, usize),
+}
+
+/// Decomposes `out[perm[c]] = ph[c] · in[c]` into disjoint cycles, dropping
+/// unit-phase fixed points (so CX touches 2 columns and CZ just 1).
+fn mono_cycles(perm: [u8; 4], ph: [C64; 4]) -> ([MonoCycle; 4], usize) {
+    let mut cycles = [MonoCycle::Fix(0); 4];
+    let mut n = 0;
+    let mut visited = [false; 4];
+    for c0 in 0..4 {
+        if visited[c0] {
+            continue;
+        }
+        let mut cyc = [0usize; 4];
+        let mut len = 0;
+        let mut c = c0;
+        loop {
+            visited[c] = true;
+            cyc[len] = c;
+            len += 1;
+            c = perm[c] as usize;
+            if c == c0 {
+                break;
+            }
+        }
+        let cycle = match len {
+            1 => {
+                if ph[c0] == C64::ONE {
+                    continue;
+                }
+                MonoCycle::Fix(c0)
+            }
+            2 => MonoCycle::Two(cyc[0], cyc[1]),
+            3 => MonoCycle::Three(cyc[0], cyc[1], cyc[2]),
+            _ => MonoCycle::Four(cyc[0], cyc[1], cyc[2], cyc[3]),
+        };
+        cycles[n] = cycle;
+        n += 1;
+    }
+    (cycles, n)
+}
+
+/// Builds the disjoint column slices of one run.
+///
+/// # Safety
+///
+/// Caller guarantees the regions `[base + offs[c], base + offs[c] + run)`
+/// are in bounds, pairwise disjoint, and unaliased for the borrow.
+unsafe fn col<'a>(amps: *mut C64, start: usize, run: usize) -> &'a mut [C64] {
+    std::slice::from_raw_parts_mut(amps.add(start), run)
+}
+
+/// Applies a 4-column monomial permutation (as cycles) to one run.
+///
+/// # Safety
+///
+/// Same contract as [`col`] for all four column offsets.
+unsafe fn apply_cycles(
+    amps: *mut C64,
+    i00: usize,
+    offs: [usize; 4],
+    run: usize,
+    cycles: &[MonoCycle],
+    ph: [C64; 4],
+) {
+    for &cycle in cycles {
+        match cycle {
+            MonoCycle::Fix(c) => scale(col(amps, i00 + offs[c], run), ph[c]),
+            MonoCycle::Two(a, b) => swap_phase(
+                col(amps, i00 + offs[a], run),
+                col(amps, i00 + offs[b], run),
+                ph[a],
+                ph[b],
+            ),
+            MonoCycle::Three(a, b, c) => cycle3(
+                col(amps, i00 + offs[a], run),
+                col(amps, i00 + offs[b], run),
+                col(amps, i00 + offs[c], run),
+                ph[a],
+                ph[b],
+                ph[c],
+            ),
+            MonoCycle::Four(a, b, c, d) => cycle4(
+                col(amps, i00 + offs[a], run),
+                col(amps, i00 + offs[b], run),
+                col(amps, i00 + offs[c], run),
+                col(amps, i00 + offs[d], run),
+                ph[a],
+                ph[b],
+                ph[c],
+                ph[d],
+            ),
+        }
+    }
+}
+
+/// Iterates the contiguous runs of a group range: `f(i00, run)` where
+/// `i00` is the first base index (with the op's qubit bits deposited as
+/// zero) and `run ≤ 1 << low_qubit` amplitudes are contiguous from it.
+#[inline(always)]
+fn for_runs(groups: Range<usize>, low_qubit: usize, insert: impl Fn(usize) -> usize, mut f: impl FnMut(usize, usize)) {
+    let blo = 1usize << low_qubit;
+    let mut g = groups.start;
+    while g < groups.end {
+        let run = (blo - (g & (blo - 1))).min(groups.end - g);
+        f(insert(g), run);
+        g += run;
+    }
+}
+
+/// Below this run length the slice-based helpers cost more than a plain
+/// scalar gather/compute/scatter per group, so kernels whose lowest qubit
+/// sits under `log2(RUN_MIN)` take the scalar path instead.
+const RUN_MIN: usize = 8;
+
+/// True when the running CPU has AVX2 and FMA, detected once per process.
+#[cfg(target_arch = "x86_64")]
+fn has_avx2_fma() -> bool {
+    use std::sync::atomic::AtomicU8;
+    static CACHE: AtomicU8 = AtomicU8::new(0);
+    match CACHE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            CACHE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// Packed-complex `Fact2` loop body: two amplitude groups per iteration.
+///
+/// A 256-bit lane holds two interleaved `C64`s; `cmul2` is the classic
+/// `permute / mul / fmaddsub` complex product by a constant, whose per-lane
+/// arithmetic is exactly the scalar [`cmul`] — the scalar tail that handles
+/// an odd trailing group therefore matches these lanes bit for bit, and so
+/// does any serial/threaded split of a run.
+///
+/// Leg matrices arrive as per-column-pair variants with the core's phases
+/// pre-folded into the last active leg (see [`fact2_runs`]), so the loop
+/// body is nothing but the leg arithmetic plus permuted stores.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2+FMA at runtime, and `inp`/`out` must
+/// point to `n` valid amplitudes per column with the disjointness contract
+/// of [`apply_op_groups`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fact2_avx<const LO: bool, const HI: bool>(
+    inp: [*mut C64; 4],
+    out: [*mut C64; 4],
+    n: usize,
+    mlo: &[Matrix2; 2],
+    mhi: &[Matrix2; 2],
+    ph: [C64; 4],
+) {
+    use std::arch::x86_64::*;
+    #[inline(always)]
+    unsafe fn cmul2(m: C64, v: __m256d) -> __m256d {
+        let vsw = _mm256_permute_pd(v, 0b0101);
+        let t = _mm256_mul_pd(vsw, _mm256_set1_pd(m.im));
+        _mm256_fmaddsub_pd(v, _mm256_set1_pd(m.re), t)
+    }
+    let mut k = 0;
+    while k < n {
+        let mut v = [
+            _mm256_loadu_pd(inp[0].add(k) as *const f64),
+            _mm256_loadu_pd(inp[1].add(k) as *const f64),
+            _mm256_loadu_pd(inp[2].add(k) as *const f64),
+            _mm256_loadu_pd(inp[3].add(k) as *const f64),
+        ];
+        if LO {
+            let (x, y) = (v[0], v[1]);
+            v[0] = _mm256_add_pd(cmul2(mlo[0][0][0], x), cmul2(mlo[0][0][1], y));
+            v[1] = _mm256_add_pd(cmul2(mlo[0][1][0], x), cmul2(mlo[0][1][1], y));
+            let (x, y) = (v[2], v[3]);
+            v[2] = _mm256_add_pd(cmul2(mlo[1][0][0], x), cmul2(mlo[1][0][1], y));
+            v[3] = _mm256_add_pd(cmul2(mlo[1][1][0], x), cmul2(mlo[1][1][1], y));
+        }
+        if HI {
+            let (x, y) = (v[0], v[2]);
+            v[0] = _mm256_add_pd(cmul2(mhi[0][0][0], x), cmul2(mhi[0][0][1], y));
+            v[2] = _mm256_add_pd(cmul2(mhi[0][1][0], x), cmul2(mhi[0][1][1], y));
+            let (x, y) = (v[1], v[3]);
+            v[1] = _mm256_add_pd(cmul2(mhi[1][0][0], x), cmul2(mhi[1][0][1], y));
+            v[3] = _mm256_add_pd(cmul2(mhi[1][1][0], x), cmul2(mhi[1][1][1], y));
+        }
+        if LO || HI {
+            _mm256_storeu_pd(out[0].add(k) as *mut f64, v[0]);
+            _mm256_storeu_pd(out[1].add(k) as *mut f64, v[1]);
+            _mm256_storeu_pd(out[2].add(k) as *mut f64, v[2]);
+            _mm256_storeu_pd(out[3].add(k) as *mut f64, v[3]);
+        } else {
+            _mm256_storeu_pd(out[0].add(k) as *mut f64, cmul2(ph[0], v[0]));
+            _mm256_storeu_pd(out[1].add(k) as *mut f64, cmul2(ph[1], v[1]));
+            _mm256_storeu_pd(out[2].add(k) as *mut f64, cmul2(ph[2], v[2]));
+            _mm256_storeu_pd(out[3].add(k) as *mut f64, cmul2(ph[3], v[3]));
+        }
+        k += 2;
+    }
+}
+
+/// Single-pass `Fact2` kernel over the runs of a group range: the dense
+/// legs and the monomial core land in one read–modify–write sweep. Two
+/// precomputations keep the inner loop lean for any monomial core:
+///
+/// 1. the core's column permutation is pre-applied to the four *output
+///    pointers* of each run — `out[c]` receives column `c`'s result — so
+///    there is no data-dependent lane selection;
+/// 2. the core's phases are pre-folded into the rows of the last active
+///    leg (each column pair gets its own scaled copy of the 2×2), so a
+///    one-dense-leg op spends exactly 8 complex multiplies per group.
+///
+/// A pure-monomial op (both legs identity) keeps the phases at the
+/// scatter. On x86-64 with AVX2+FMA the bulk of each run goes through
+/// [`fact2_avx`] two groups at a time; the scalar tail and any
+/// serial/threaded split produce bit-identical amplitudes.
+///
+/// # Safety
+///
+/// Same contract as [`apply_op_groups`] for a two-qubit op on `lo < hi`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn fact2_runs<const LO: bool, const HI: bool>(
+    amps: *mut C64,
+    groups: Range<usize>,
+    lo: usize,
+    hi: usize,
+    mlo: &Matrix2,
+    mhi: &Matrix2,
+    perm: [u8; 4],
+    ph: [C64; 4],
+) {
+    let blo = 1usize << lo;
+    let bhi = 1usize << hi;
+    let offs = [0, blo, bhi, blo | bhi];
+    // Phase folding: scale the rows of the last active leg by the phases of
+    // the columns that leg's pairs feed (lo pairs (0,1)/(2,3); hi pairs
+    // (0,2)/(1,3)).
+    let scale_rows = |m: &Matrix2, pa: C64, pb: C64| -> Matrix2 {
+        [
+            [cmul(pa, m[0][0]), cmul(pa, m[0][1])],
+            [cmul(pb, m[1][0]), cmul(pb, m[1][1])],
+        ]
+    };
+    let (mlo2, mhi2) = if HI {
+        (
+            [*mlo, *mlo],
+            [scale_rows(mhi, ph[0], ph[2]), scale_rows(mhi, ph[1], ph[3])],
+        )
+    } else if LO {
+        (
+            [scale_rows(mlo, ph[0], ph[1]), scale_rows(mlo, ph[2], ph[3])],
+            [*mhi, *mhi],
+        )
+    } else {
+        ([*mlo, *mlo], [*mhi, *mhi])
+    };
+    #[cfg(target_arch = "x86_64")]
+    let simd = has_avx2_fma();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+    for_runs(
+        groups,
+        lo,
+        |g| insert_zero(insert_zero(g, lo), hi),
+        |i00, run| {
+            let inp = [
+                amps.add(i00),
+                amps.add(i00 + blo),
+                amps.add(i00 + bhi),
+                amps.add(i00 + blo + bhi),
+            ];
+            let out = [
+                amps.add(i00 + offs[perm[0] as usize]),
+                amps.add(i00 + offs[perm[1] as usize]),
+                amps.add(i00 + offs[perm[2] as usize]),
+                amps.add(i00 + offs[perm[3] as usize]),
+            ];
+            let mut k = 0;
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                let n2 = run & !1;
+                if n2 > 0 {
+                    fact2_avx::<LO, HI>(inp, out, n2, &mlo2, &mhi2, ph);
+                }
+                k = n2;
+            }
+            let _ = simd;
+            while k < run {
+                let mut v = [
+                    *inp[0].add(k),
+                    *inp[1].add(k),
+                    *inp[2].add(k),
+                    *inp[3].add(k),
+                ];
+                if LO {
+                    let (x, y) = (v[0], v[1]);
+                    v[0] = cmul(mlo2[0][0][0], x) + cmul(mlo2[0][0][1], y);
+                    v[1] = cmul(mlo2[0][1][0], x) + cmul(mlo2[0][1][1], y);
+                    let (x, y) = (v[2], v[3]);
+                    v[2] = cmul(mlo2[1][0][0], x) + cmul(mlo2[1][0][1], y);
+                    v[3] = cmul(mlo2[1][1][0], x) + cmul(mlo2[1][1][1], y);
+                }
+                if HI {
+                    let (x, y) = (v[0], v[2]);
+                    v[0] = cmul(mhi2[0][0][0], x) + cmul(mhi2[0][0][1], y);
+                    v[2] = cmul(mhi2[0][1][0], x) + cmul(mhi2[0][1][1], y);
+                    let (x, y) = (v[1], v[3]);
+                    v[1] = cmul(mhi2[1][0][0], x) + cmul(mhi2[1][0][1], y);
+                    v[3] = cmul(mhi2[1][1][0], x) + cmul(mhi2[1][1][1], y);
+                }
+                if LO || HI {
+                    *out[0].add(k) = v[0];
+                    *out[1].add(k) = v[1];
+                    *out[2].add(k) = v[2];
+                    *out[3].add(k) = v[3];
+                } else {
+                    *out[0].add(k) = cmul(ph[0], v[0]);
+                    *out[1].add(k) = cmul(ph[1], v[1]);
+                    *out[2].add(k) = cmul(ph[2], v[2]);
+                    *out[3].add(k) = cmul(ph[3], v[3]);
+                }
+                k += 1;
+            }
+        },
+    );
+}
+
+/// Applies one fused kernel to the amplitude groups in `groups`.
+///
+/// Group `g` covers the amplitudes whose index equals `g` with the op's
+/// qubit bits deposited as zero (base index) plus every combination of
+/// those bits. Distinct groups touch disjoint amplitudes.
+///
+/// # Safety
+///
+/// `amps` must point to at least `groups.end << op.arity()` amplitudes, the
+/// op's qubits must be in range, and no other thread may touch the groups
+/// in `groups` concurrently.
+unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
+    match *op {
+        FusedOp::Mono1 { q, perm, ph } => {
+            let bit = 1usize << q;
+            let (p0, p1) = (ph[0], ph[1]);
+            if perm == [0, 1] {
+                // Diagonal: in-place phase multiply; skip unit phases so
+                // plain S/T/Phase gates touch half the memory.
+                if bit >= RUN_MIN {
+                    for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
+                        if p0 != C64::ONE {
+                            scale(col(amps, i0, run), p0);
+                        }
+                        if p1 != C64::ONE {
+                            scale(col(amps, i0 + bit, run), p1);
+                        }
+                    });
+                } else {
+                    let (skip0, skip1) = (p0 == C64::ONE, p1 == C64::ONE);
+                    for g in groups {
+                        let i0 = insert_zero(g, q);
+                        if !skip0 {
+                            *amps.add(i0) = cmul(p0, *amps.add(i0));
+                        }
+                        if !skip1 {
+                            *amps.add(i0 | bit) = cmul(p1, *amps.add(i0 | bit));
+                        }
+                    }
+                }
+            } else {
+                // Antidiagonal (X/Y-like): pair swap with phases.
+                if bit >= RUN_MIN {
+                    for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
+                        swap_phase(col(amps, i0, run), col(amps, i0 + bit, run), p0, p1);
+                    });
+                } else {
+                    for g in groups {
+                        let i0 = insert_zero(g, q);
+                        let a0 = *amps.add(i0);
+                        let a1 = *amps.add(i0 | bit);
+                        *amps.add(i0 | bit) = cmul(p0, a0);
+                        *amps.add(i0) = cmul(p1, a1);
+                    }
+                }
+            }
+        }
+        FusedOp::Dense1 { q, m } => {
+            let bit = 1usize << q;
+            if bit >= RUN_MIN {
+                for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
+                    two_mix(&m, col(amps, i0, run), col(amps, i0 + bit, run));
+                });
+            } else {
+                for g in groups {
+                    let i0 = insert_zero(g, q);
+                    let i1 = i0 | bit;
+                    let a0 = *amps.add(i0);
+                    let a1 = *amps.add(i1);
+                    *amps.add(i0) = cmul(m[0][0], a0) + cmul(m[0][1], a1);
+                    *amps.add(i1) = cmul(m[1][0], a0) + cmul(m[1][1], a1);
+                }
+            }
+        }
+        FusedOp::Mono2 { lo, hi, perm, ph } => {
+            let blo = 1usize << lo;
+            let bhi = 1usize << hi;
+            let offs = [0, blo, bhi, blo | bhi];
+            if blo >= RUN_MIN {
+                let (cycles, n_cycles) = mono_cycles(perm, ph);
+                let cycles = &cycles[..n_cycles];
+                for_runs(
+                    groups,
+                    lo,
+                    |g| insert_zero(insert_zero(g, lo), hi),
+                    |i00, run| apply_cycles(amps, i00, offs, run, cycles, ph),
+                );
+            } else {
+                // Scalar path: touch only the columns that move or pick up
+                // a non-unit phase (CX reads/writes 2 of 4, CZ just 1).
+                let mut active = [0usize; 4];
+                let mut n_active = 0;
+                for c in 0..4 {
+                    if !(perm[c] as usize == c && ph[c] == C64::ONE) {
+                        active[n_active] = c;
+                        n_active += 1;
+                    }
+                }
+                let active = &active[..n_active];
+                for g in groups {
+                    let i00 = insert_zero(insert_zero(g, lo), hi);
+                    let mut v = [C64::ZERO; 4];
+                    for &c in active {
+                        v[c] = *amps.add(i00 + offs[c]);
+                    }
+                    for &c in active {
+                        *amps.add(i00 + offs[perm[c] as usize]) = cmul(ph[c], v[c]);
+                    }
+                }
+            }
+        }
+        FusedOp::Dense2 { lo, hi, m } => {
+            let blo = 1usize << lo;
+            let bhi = 1usize << hi;
+            if blo >= RUN_MIN {
+                for_runs(
+                    groups,
+                    lo,
+                    |g| insert_zero(insert_zero(g, lo), hi),
+                    |i00, run| {
+                        dense_mix4(
+                            &m,
+                            col(amps, i00, run),
+                            col(amps, i00 + blo, run),
+                            col(amps, i00 + bhi, run),
+                            col(amps, i00 + blo + bhi, run),
+                        );
+                    },
+                );
+            } else {
+                for g in groups {
+                    let i00 = insert_zero(insert_zero(g, lo), hi);
+                    let idx = [i00, i00 | blo, i00 | bhi, i00 | blo | bhi];
+                    let v = [
+                        *amps.add(idx[0]),
+                        *amps.add(idx[1]),
+                        *amps.add(idx[2]),
+                        *amps.add(idx[3]),
+                    ];
+                    for (r, &i) in idx.iter().enumerate() {
+                        let mr = &m[r];
+                        *amps.add(i) =
+                            cmul(mr[0], v[0]) + cmul(mr[1], v[1]) + cmul(mr[2], v[2]) + cmul(mr[3], v[3]);
+                    }
+                }
+            }
+        }
+        FusedOp::Fact2 { lo, hi, mlo, mhi, perm, ph } => {
+            // One pass for `Mono(perm, ph) · (mhi ⊗ mlo)`: long runs take
+            // the fused single-sweep kernel (SIMD on x86-64), short runs a
+            // scalar gather/compute/scatter per group. The common
+            // one-dense-leg case (e.g. H riding a CX) costs 8 multiplies
+            // per group — half a dense 4×4.
+            let blo = 1usize << lo;
+            let bhi = 1usize << hi;
+            let offs = [0, blo, bhi, blo | bhi];
+            let apply_lo = !crate::fuse::is_identity2(&mlo);
+            let apply_hi = !crate::fuse::is_identity2(&mhi);
+            // Even length-2 runs win with the packed kernel: one 2-group
+            // SIMD iteration amortizes the per-run pointer setup. Only
+            // lo = 0 (single-group runs) stays scalar.
+            if blo >= 2 {
+                match (apply_lo, apply_hi) {
+                    (false, false) => {
+                        fact2_runs::<false, false>(amps, groups, lo, hi, &mlo, &mhi, perm, ph)
+                    }
+                    (false, true) => {
+                        fact2_runs::<false, true>(amps, groups, lo, hi, &mlo, &mhi, perm, ph)
+                    }
+                    (true, false) => {
+                        fact2_runs::<true, false>(amps, groups, lo, hi, &mlo, &mhi, perm, ph)
+                    }
+                    (true, true) => {
+                        fact2_runs::<true, true>(amps, groups, lo, hi, &mlo, &mhi, perm, ph)
+                    }
+                }
+            } else {
+                let unit_ph = ph == [C64::ONE; 4];
+                for g in groups {
+                    let i00 = insert_zero(insert_zero(g, lo), hi);
+                    let mut v = [
+                        *amps.add(i00),
+                        *amps.add(i00 | blo),
+                        *amps.add(i00 | bhi),
+                        *amps.add(i00 | blo | bhi),
+                    ];
+                    if apply_lo {
+                        for (a, b) in [(0, 1), (2, 3)] {
+                            let (x, y) = (v[a], v[b]);
+                            v[a] = cmul(mlo[0][0], x) + cmul(mlo[0][1], y);
+                            v[b] = cmul(mlo[1][0], x) + cmul(mlo[1][1], y);
+                        }
+                    }
+                    if apply_hi {
+                        for (a, b) in [(0, 2), (1, 3)] {
+                            let (x, y) = (v[a], v[b]);
+                            v[a] = cmul(mhi[0][0], x) + cmul(mhi[0][1], y);
+                            v[b] = cmul(mhi[1][0], x) + cmul(mhi[1][1], y);
+                        }
+                    }
+                    if unit_ph {
+                        for c in 0..4 {
+                            *amps.add(i00 + offs[perm[c] as usize]) = v[c];
+                        }
+                    } else {
+                        for c in 0..4 {
+                            *amps.add(i00 + offs[perm[c] as usize]) = cmul(ph[c], v[c]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
 ///
@@ -82,9 +811,36 @@ impl StateVector {
     }
 
     /// Runs `circuit` from `|0…0⟩` and returns the final state.
+    ///
+    /// The circuit is gate-fused and run through the specialized kernels
+    /// (see [`crate::fuse`]); results agree with the gate-by-gate reference
+    /// path ([`StateVector::apply_circuit`]) to ~1e-15 per amplitude.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        let mut sv = StateVector::zero(circuit.n_qubits());
-        sv.apply_circuit(circuit);
+        Self::from_gates(circuit.n_qubits(), circuit.gates())
+    }
+
+    /// Like [`StateVector::from_circuit`], but spreads kernel application
+    /// across `threads` scoped worker threads. Bitwise identical to the
+    /// serial path for every thread count; worthwhile only for large
+    /// registers (the executor gates it at ≥ 15 qubits).
+    pub fn from_circuit_with_threads(circuit: &Circuit, threads: usize) -> Self {
+        Self::from_gates_threaded(circuit.n_qubits(), circuit.gates(), threads)
+    }
+
+    /// Runs a gate slice from `|0…0⟩` over an `n_qubits` register — the
+    /// fused evolution entry point for circuit *prefixes* (e.g. the base
+    /// circuit shared by a family of inversion variants, see
+    /// [`Circuit::trailing_x_split`]).
+    pub fn from_gates(n_qubits: usize, gates: &[Gate]) -> Self {
+        Self::from_gates_threaded(n_qubits, gates, 1)
+    }
+
+    /// Threaded variant of [`StateVector::from_gates`].
+    pub fn from_gates_threaded(n_qubits: usize, gates: &[Gate], threads: usize) -> Self {
+        let mut sv = StateVector::zero(n_qubits);
+        let prog = FusedProgram::from_gates(n_qubits, gates);
+        CIRCUIT_SIMULATIONS.fetch_add(1, Ordering::Relaxed);
+        sv.apply_fused_threaded(&prog, threads);
         sv
     }
 
@@ -115,83 +871,95 @@ impl StateVector {
         }
     }
 
-    /// Applies a single gate in place.
+    /// Applies a single gate in place through its specialized kernel:
+    /// monomial gates (diagonals, X/Y, CX/CZ/Rzz/Swap) run as permutations
+    /// with phase multiplies, dense gates enumerate only the `dim/2`
+    /// (`dim/4` for two-qubit gates) amplitude-group base indices.
     ///
     /// # Panics
     ///
     /// Panics if the gate references qubits outside the register.
     pub fn apply_gate(&mut self, gate: &Gate) {
-        let qs = gate.qubits();
-        for &q in &qs {
+        for &q in &gate.qubits() {
             assert!(q < self.n_qubits, "gate {gate} out of range");
         }
-        if gate.is_two_qubit() {
-            self.apply_two_qubit(gate, qs[0], qs[1]);
-        } else {
-            self.apply_single_qubit(gate, qs[0]);
-        }
+        let op = classify_gate(gate);
+        self.apply_op(&op);
     }
 
-    fn apply_single_qubit(&mut self, gate: &Gate, q: usize) {
-        let m = gate.matrix2();
-        let bit = 1usize << q;
-        let dim = self.amps.len();
-        // Iterate over all indices with qubit q = 0; pair with q = 1.
-        let mut base = 0usize;
-        while base < dim {
-            for offset in 0..bit {
-                let i0 = base + offset;
-                let i1 = i0 | bit;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+    /// Applies one classified kernel over the full register.
+    fn apply_op(&mut self, op: &FusedOp) {
+        let n_groups = self.amps.len() >> op.arity();
+        // SAFETY: exclusive `&mut self`, op qubits validated by the caller,
+        // and the full group range covers exactly the amplitude vector.
+        unsafe { apply_op_groups(self.amps.as_mut_ptr(), op, 0..n_groups) }
+    }
+
+    /// Applies a fused program serially — one specialized kernel pass per
+    /// fused op (see [`crate::fuse::FusedProgram`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled for more qubits than the state.
+    pub fn apply_fused(&mut self, prog: &FusedProgram) {
+        self.apply_fused_threaded(prog, 1);
+    }
+
+    /// Applies a fused program, chunking each kernel's amplitude groups
+    /// across `threads` scoped worker threads with a barrier between
+    /// kernels.
+    ///
+    /// Every thread computes the same per-group arithmetic as the serial
+    /// path and group sets are disjoint, so the result is **bitwise
+    /// identical for every thread count**. Thread spawn/barrier overhead is
+    /// only worth paying for large registers; callers gate on size (the
+    /// executor uses ≥ 15 qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the program was compiled for more qubits
+    /// than the state.
+    pub fn apply_fused_threaded(&mut self, prog: &FusedProgram, threads: usize) {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(
+            prog.n_qubits() <= self.n_qubits,
+            "program acts on more qubits than the state has"
+        );
+        if threads == 1 || prog.ops().is_empty() {
+            for op in prog.ops() {
+                self.apply_op(op);
             }
-            base += bit << 1;
+            return;
         }
-    }
-
-    fn apply_two_qubit(&mut self, gate: &Gate, qa: usize, qb: usize) {
-        // Matrix basis: index = 2*(second qubit) + (first qubit), where
-        // "first" is qubits()[0] = qa.
-        let m = gate.matrix4();
-        let ba = 1usize << qa;
-        let bb = 1usize << qb;
         let dim = self.amps.len();
-        let (lo, hi) = if qa < qb { (ba, bb) } else { (bb, ba) };
-        // Enumerate indices where both qa and qb bits are zero.
-        let mut block = 0usize;
-        while block < dim {
-            // block iterates with the hi bit stripped region
-            for mid in (0..hi).step_by(lo << 1) {
-                for low in 0..lo {
-                    let i00 = block + mid + low;
-                    if i00 & lo != 0 || i00 & hi != 0 {
-                        continue;
-                    }
-                    let i_a = i00 | ba; // qa = 1
-                    let i_b = i00 | bb; // qb = 1
-                    let i_ab = i00 | ba | bb;
-                    // Vector order must match matrix basis |qb qa⟩:
-                    // index 0 = 00, 1 = qa set, 2 = qb set, 3 = both.
-                    let v = [self.amps[i00], self.amps[i_a], self.amps[i_b], self.amps[i_ab]];
-                    let mut out = [C64::ZERO; 4];
-                    for (r, out_r) in out.iter_mut().enumerate() {
-                        for (c, vc) in v.iter().enumerate() {
-                            *out_r += m[r][c] * *vc;
+        let shared = SharedAmps(self.amps.as_mut_ptr());
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for op in prog.ops() {
+                        let n_groups = dim >> op.arity();
+                        let chunk = n_groups.div_ceil(threads);
+                        let start = (t * chunk).min(n_groups);
+                        let end = ((t + 1) * chunk).min(n_groups);
+                        if start < end {
+                            // SAFETY: chunks partition the group range, so
+                            // workers touch disjoint amplitudes; the
+                            // barrier orders kernels.
+                            unsafe { apply_op_groups(shared.0, op, start..end) }
                         }
+                        barrier.wait();
                     }
-                    self.amps[i00] = out[0];
-                    self.amps[i_a] = out[1];
-                    self.amps[i_b] = out[2];
-                    self.amps[i_ab] = out[3];
-                }
+                });
             }
-            block += hi << 1;
-        }
+        });
     }
 
-    /// Applies every gate of `circuit` in order.
+    /// Applies every gate of `circuit` in order, gate by gate — the
+    /// unfused reference path (fusion-based evolution lives in
+    /// [`StateVector::from_circuit`] / [`StateVector::apply_fused`]).
     ///
     /// # Panics
     ///
@@ -201,6 +969,7 @@ impl StateVector {
             circuit.n_qubits() <= self.n_qubits,
             "circuit acts on more qubits than the state has"
         );
+        CIRCUIT_SIMULATIONS.fetch_add(1, Ordering::Relaxed);
         for g in circuit.gates() {
             self.apply_gate(g);
         }
@@ -209,6 +978,58 @@ impl StateVector {
     /// The Born-rule probability of each basis state (length `2^n`).
     pub fn probabilities(&self) -> Vec<f64> {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The Born distribution of this state with a trailing X layer applied
+    /// on the set bits of `mask`: entry `i ^ mask` holds `|amps[i]|²`.
+    ///
+    /// A pre-measurement X layer is a pure index permutation of the state,
+    /// so this equals — bit for bit — simulating
+    /// [`Circuit::with_premeasure_inversion`] on top of this state and
+    /// taking [`StateVector::probabilities`], at `O(2^n)` cost and with no
+    /// extra statevector. This is the primitive behind inversion-variant
+    /// amortization: one base simulation serves every X-layer variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has bits beyond the register.
+    pub fn probabilities_xor(&self, mask: usize) -> Vec<f64> {
+        assert!(
+            mask < self.amps.len(),
+            "mask {mask:#x} outside the {}-qubit register",
+            self.n_qubits
+        );
+        let mut probs = vec![0.0; self.amps.len()];
+        for (i, a) in self.amps.iter().enumerate() {
+            probs[i ^ mask] = a.norm_sqr();
+        }
+        probs
+    }
+
+    /// The Born distribution of `circuit` run on `|0…0⟩`, using the
+    /// trailing-X fast paths: the circuit is split by
+    /// [`Circuit::trailing_x_split`], only the prefix is simulated, and the
+    /// X layer is applied as an XOR permutation
+    /// ([`StateVector::probabilities_xor`]). If the circuit is X-only (every
+    /// basis-state preparation, and every inversion variant of one) **no
+    /// statevector is built at all** — the result is a point mass, and
+    /// [`simulation_count`] does not move.
+    pub fn born_probabilities(circuit: &Circuit) -> Vec<f64> {
+        Self::born_probabilities_threaded(circuit, 1)
+    }
+
+    /// Threaded variant of [`StateVector::born_probabilities`]; the prefix
+    /// simulation (if any) runs on `threads` workers.
+    pub fn born_probabilities_threaded(circuit: &Circuit, threads: usize) -> Vec<f64> {
+        let (prefix, mask) = circuit.trailing_x_split();
+        let m = mask.index();
+        if prefix.is_empty() {
+            let mut probs = vec![0.0; 1usize << circuit.n_qubits()];
+            probs[m] = 1.0;
+            return probs;
+        }
+        StateVector::from_gates_threaded(circuit.n_qubits(), prefix, threads)
+            .probabilities_xor(m)
     }
 
     /// The probability of measuring exactly `s`.

@@ -1,0 +1,77 @@
+//! Variant-amortization accounting: inversion variants of one base circuit
+//! must cost one statevector simulation, not one per variant.
+//!
+//! The global [`qsim::simulation_count`] counter is process-wide, so every
+//! assertion lives in a single `#[test]` (tests inside one binary run in
+//! parallel; separate binaries run sequentially). Each section measures a
+//! counter delta around one workload.
+
+use invmeas::{AdaptiveInvertMeasure, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use qnoise::{DeviceModel, Executor, NoisyExecutor};
+use qsim::{simulation_count, BitString, Circuit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn inversion_variants_share_one_simulation() {
+    let dev = DeviceModel::ibmqx4();
+    let n = dev.n_qubits();
+    let executor = NoisyExecutor::readout_only(&dev);
+    let mut rng = StdRng::seed_from_u64(0xA407);
+
+    // A genuinely entangling base circuit: the trailing-X strip cannot
+    // reduce it to a point mass, so it needs exactly one real simulation.
+    let mut circuit = Circuit::new(n);
+    circuit.h(0);
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    circuit.rz(n - 1, 0.3);
+
+    // SIM four-mode: four inversion variants of one base circuit, one
+    // statevector simulation total (the paper's headline amortization).
+    let before = simulation_count();
+    let sim = StaticInvertMeasure::four_mode(n);
+    let merged = sim.execute(&circuit, 4_000, &executor, &mut rng);
+    assert_eq!(merged.total(), 4_000);
+    assert_eq!(
+        simulation_count() - before,
+        1,
+        "SIM four-mode readout-only run must simulate the base circuit exactly once"
+    );
+
+    // RBMS brute force: every circuit is a pure X-layer basis preparation,
+    // which the trailing-X split resolves to a point mass — zero simulations.
+    let before = simulation_count();
+    let table = RbmsTable::brute_force(&executor, 256, &mut rng);
+    assert_eq!(table.width(), n);
+    assert_eq!(
+        simulation_count() - before,
+        0,
+        "basis-state sweeps must never touch the statevector engine"
+    );
+
+    // AIM window: canary group (4 variants) plus targeted group (k variants),
+    // both over the same base circuit — two simulations total.
+    let before = simulation_count();
+    let strengths = BitString::all(n).map(|s| 1.0 + s.index() as f64).collect();
+    let aim = AdaptiveInvertMeasure::new(RbmsTable::from_strengths(n, strengths));
+    let merged = aim.execute(&circuit, 4_000, &executor, &mut rng);
+    assert_eq!(merged.total(), 4_000);
+    assert_eq!(
+        simulation_count() - before,
+        2,
+        "readout-only AIM window = one canary + one targeted simulation"
+    );
+
+    // Single basis-state run through the executor: point-mass fast path.
+    let before = simulation_count();
+    let prep = Circuit::basis_state_preparation("10110".parse().unwrap());
+    let log = executor.run(&prep, 1_000, &mut rng);
+    assert_eq!(log.total(), 1_000);
+    assert_eq!(
+        simulation_count() - before,
+        0,
+        "basis-state preparation must use the point-mass fast path"
+    );
+}
