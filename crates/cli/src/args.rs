@@ -20,6 +20,12 @@ pub enum Command {
     },
     /// Run a QASM program under a policy.
     Run(RunArgs),
+    /// Start the long-running mitigation server.
+    Serve(ServeArgs),
+    /// Submit a QASM program to a running server.
+    Submit(SubmitArgs),
+    /// Control-plane calls against a running server.
+    Svc(SvcArgs),
     /// Print usage.
     Help,
 }
@@ -86,6 +92,80 @@ pub struct RunArgs {
     pub threads: Option<usize>,
 }
 
+/// Arguments to `serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (`HOST:PORT`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue: usize,
+    /// Executor threads per job.
+    pub exec_threads: usize,
+    /// Default characterization budget.
+    pub profile_shots: u64,
+    /// Characterization RNG seed.
+    pub profile_seed: u64,
+    /// Per-window calibration-drift amplitude.
+    pub drift_amplitude: f64,
+    /// Profile-cache drift-score invalidation threshold.
+    pub drift_threshold: f64,
+    /// Optional profile persistence directory.
+    pub profile_dir: Option<String>,
+}
+
+/// Arguments to `submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Path to the OpenQASM 2.0 program.
+    pub qasm: String,
+    /// Server address (`HOST:PORT`).
+    pub addr: String,
+    /// Device name.
+    pub device: String,
+    /// Policy.
+    pub policy: Policy,
+    /// Trial budget.
+    pub shots: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Expected correct output (enables metrics in the response).
+    pub expected: Option<String>,
+}
+
+/// A control-plane operation for `svc`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvcOp {
+    /// Queue/cache/counter snapshot.
+    Status,
+    /// Graceful drain and stop.
+    Shutdown,
+    /// Set the calibration-window index.
+    SetWindow {
+        /// The new window index.
+        window: u64,
+    },
+    /// Warm or refresh the profile cache.
+    Characterize {
+        /// Device name.
+        device: String,
+        /// Technique.
+        method: Method,
+        /// Trial budget (0 = server default).
+        shots: u64,
+    },
+}
+
+/// Arguments to `svc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvcArgs {
+    /// Server address (`HOST:PORT`).
+    pub addr: String,
+    /// The operation.
+    pub op: SvcOp,
+}
+
 /// Error produced while parsing arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArgError(pub String);
@@ -114,13 +194,32 @@ USAGE:
   invmeas run <FILE.qasm> --device <NAME> [--policy baseline|sim|aim]
               [--shots N] [--expected BITS] [--profile FILE] [--route]
               [--seed N] [--threads N]
+  invmeas serve [--addr HOST:PORT] [--workers N] [--queue N]
+                [--exec-threads N] [--profile-shots N] [--profile-seed N]
+                [--drift-amplitude X] [--drift-threshold X]
+                [--profile-dir DIR]
+  invmeas submit <FILE.qasm> --device <NAME> [--addr HOST:PORT]
+                 [--policy baseline|sim|aim] [--shots N] [--seed N]
+                 [--expected BITS]
+  invmeas svc status|shutdown [--addr HOST:PORT]
+  invmeas svc set-window <N> [--addr HOST:PORT]
+  invmeas svc characterize --device <NAME> [--addr HOST:PORT]
+                           [--method brute|esct|awct] [--shots N]
 
 DEVICES: ibmqx2, ibmqx4, ibmq-melbourne, ideal-N (e.g. ideal-5)
 
 --threads controls the worker pool for batched circuit sweeps
 (characterization states/windows, SIM groups, AIM targeted runs); the
 default uses every available core. Results are identical for any value.
+
+serve runs the mitigation service (newline-delimited JSON over TCP) and
+prints `listening on HOST:PORT` once the socket is bound; submit and svc
+talk to it (default --addr 127.0.0.1:7878). Exit codes: 2 for usage
+errors, 1 for runtime failures.
 ";
+
+/// The default service address shared by `serve`, `submit`, and `svc`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 /// Parses an argument vector (without the program name).
 ///
@@ -148,6 +247,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         Some("characterize") => parse_characterize(&args[1..]),
         Some("run") => parse_run(&args[1..]),
+        Some("serve") => parse_serve(&args[1..]),
+        Some("submit") => parse_submit(&args[1..]),
+        Some("svc") => parse_svc(&args[1..]),
         Some(other) => Err(err(format!("unknown command {other:?}"))),
     }
 }
@@ -281,6 +383,218 @@ fn parse_run(args: &[String]) -> Result<Command, ArgError> {
     Ok(Command::Run(out))
 }
 
+fn parse_usize(flag: &str, value: Option<&str>) -> Result<usize, ArgError> {
+    let n: usize = value
+        .ok_or_else(|| err(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| err(format!("{flag} needs an integer")))?;
+    if n == 0 {
+        return Err(err(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
+fn parse_f64(flag: &str, value: Option<&str>) -> Result<f64, ArgError> {
+    let x: f64 = value
+        .ok_or_else(|| err(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| err(format!("{flag} needs a number")))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(err(format!("{flag} must be a non-negative number")));
+    }
+    Ok(x)
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
+    let mut out = ServeArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        workers: 2,
+        queue: 32,
+        exec_threads: 1,
+        profile_shots: 2048,
+        profile_seed: 2019,
+        drift_amplitude: 0.05,
+        drift_threshold: 0.0,
+        profile_dir: None,
+    };
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        match flag {
+            "--addr" => {
+                out.addr = it
+                    .next()
+                    .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                    .to_string()
+            }
+            "--workers" => out.workers = parse_usize("--workers", it.next())?,
+            "--queue" => out.queue = parse_usize("--queue", it.next())?,
+            "--exec-threads" => out.exec_threads = parse_usize("--exec-threads", it.next())?,
+            "--profile-shots" => out.profile_shots = parse_u64("--profile-shots", it.next())?,
+            "--profile-seed" => out.profile_seed = parse_u64("--profile-seed", it.next())?,
+            "--drift-amplitude" => {
+                out.drift_amplitude = parse_f64("--drift-amplitude", it.next())?
+            }
+            "--drift-threshold" => {
+                out.drift_threshold = parse_f64("--drift-threshold", it.next())?
+            }
+            "--profile-dir" => {
+                out.profile_dir = Some(
+                    it.next()
+                        .ok_or_else(|| err("--profile-dir needs a path"))?
+                        .to_string(),
+                )
+            }
+            other => return Err(err(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(Command::Serve(out))
+}
+
+fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
+    let mut qasm: Option<String> = None;
+    let mut out = SubmitArgs {
+        qasm: String::new(),
+        addr: DEFAULT_ADDR.to_string(),
+        device: String::new(),
+        policy: Policy::Baseline,
+        shots: 4096,
+        seed: 2019,
+        expected: None,
+    };
+    let mut it = args.iter().map(String::as_str);
+    while let Some(tok) = it.next() {
+        match tok {
+            "--addr" => {
+                out.addr = it
+                    .next()
+                    .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                    .to_string()
+            }
+            "--device" => {
+                out.device = it
+                    .next()
+                    .ok_or_else(|| err("--device needs a name"))?
+                    .to_string()
+            }
+            "--policy" => {
+                out.policy = match it.next() {
+                    Some("baseline") => Policy::Baseline,
+                    Some("sim") => Policy::Sim,
+                    Some("aim") => Policy::Aim,
+                    other => return Err(err(format!("bad --policy {other:?}"))),
+                }
+            }
+            "--shots" => out.shots = parse_u64("--shots", it.next())?,
+            "--seed" => out.seed = parse_u64("--seed", it.next())?,
+            "--expected" => {
+                out.expected = Some(
+                    it.next()
+                        .ok_or_else(|| err("--expected needs a bit string"))?
+                        .to_string(),
+                )
+            }
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag {flag:?}")))
+            }
+            positional => {
+                if qasm.is_some() {
+                    return Err(err(format!("unexpected argument {positional:?}")));
+                }
+                qasm = Some(positional.to_string());
+            }
+        }
+    }
+    out.qasm = qasm.ok_or_else(|| err("submit requires a QASM file"))?;
+    if out.device.is_empty() {
+        return Err(err("submit requires --device"));
+    }
+    Ok(Command::Submit(out))
+}
+
+fn parse_svc(args: &[String]) -> Result<Command, ArgError> {
+    let mut it = args.iter().map(String::as_str);
+    let op_name = it.next().ok_or_else(|| {
+        err("svc needs an operation: status, shutdown, set-window, characterize")
+    })?;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let op = match op_name {
+        "status" | "shutdown" => {
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                            .to_string()
+                    }
+                    other => return Err(err(format!("unknown flag {other:?}"))),
+                }
+            }
+            if op_name == "status" {
+                SvcOp::Status
+            } else {
+                SvcOp::Shutdown
+            }
+        }
+        "set-window" => {
+            let window = parse_u64("set-window", it.next())?;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                            .to_string()
+                    }
+                    other => return Err(err(format!("unknown flag {other:?}"))),
+                }
+            }
+            SvcOp::SetWindow { window }
+        }
+        "characterize" => {
+            let mut device = String::new();
+            let mut method = Method::Brute;
+            let mut shots = 0u64;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                            .to_string()
+                    }
+                    "--device" => {
+                        device = it
+                            .next()
+                            .ok_or_else(|| err("--device needs a name"))?
+                            .to_string()
+                    }
+                    "--method" => {
+                        method = match it.next() {
+                            Some("brute") => Method::Brute,
+                            Some("esct") => Method::Esct,
+                            Some("awct") => Method::Awct,
+                            other => return Err(err(format!("bad --method {other:?}"))),
+                        }
+                    }
+                    "--shots" => shots = parse_u64("--shots", it.next())?,
+                    other => return Err(err(format!("unknown flag {other:?}"))),
+                }
+            }
+            if device.is_empty() {
+                return Err(err("svc characterize requires --device"));
+            }
+            SvcOp::Characterize {
+                device,
+                method,
+                shots,
+            }
+        }
+        other => return Err(err(format!("unknown svc operation {other:?}"))),
+    };
+    Ok(Command::Svc(SvcArgs { addr, op }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +670,123 @@ mod tests {
         match cmd {
             Command::Run(a) => assert_eq!(a.threads, None),
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.addr, DEFAULT_ADDR);
+                assert_eq!(a.workers, 2);
+                assert_eq!(a.queue, 32);
+                assert_eq!(a.profile_shots, 2048);
+                assert_eq!(a.profile_dir, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 4 --queue 8 --exec-threads 2 \
+             --profile-shots 512 --profile-seed 9 --drift-amplitude 0.1 \
+             --drift-threshold 0.02 --profile-dir cache",
+        ))
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.addr, "127.0.0.1:0");
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue, 8);
+                assert_eq!(a.exec_threads, 2);
+                assert_eq!(a.profile_shots, 512);
+                assert_eq!(a.profile_seed, 9);
+                assert_eq!(a.drift_amplitude, 0.1);
+                assert_eq!(a.drift_threshold, 0.02);
+                assert_eq!(a.profile_dir.as_deref(), Some("cache"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_submit() {
+        match parse(&argv(
+            "submit prog.qasm --device ibmqx4 --addr 127.0.0.1:9999 --policy aim \
+             --shots 1000 --seed 3 --expected 11111",
+        ))
+        .unwrap()
+        {
+            Command::Submit(a) => {
+                assert_eq!(a.qasm, "prog.qasm");
+                assert_eq!(a.device, "ibmqx4");
+                assert_eq!(a.addr, "127.0.0.1:9999");
+                assert_eq!(a.policy, Policy::Aim);
+                assert_eq!(a.shots, 1000);
+                assert_eq!(a.seed, 3);
+                assert_eq!(a.expected.as_deref(), Some("11111"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("submit p.qasm --device ibmqx2")).unwrap() {
+            Command::Submit(a) => {
+                assert_eq!(a.addr, DEFAULT_ADDR);
+                assert_eq!(a.policy, Policy::Baseline);
+                assert_eq!(a.shots, 4096);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_svc_operations() {
+        match parse(&argv("svc status")).unwrap() {
+            Command::Svc(a) => {
+                assert_eq!(a.addr, DEFAULT_ADDR);
+                assert_eq!(a.op, SvcOp::Status);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("svc shutdown --addr 127.0.0.1:1234")).unwrap() {
+            Command::Svc(a) => {
+                assert_eq!(a.addr, "127.0.0.1:1234");
+                assert_eq!(a.op, SvcOp::Shutdown);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("svc set-window 3")).unwrap() {
+            Command::Svc(a) => assert_eq!(a.op, SvcOp::SetWindow { window: 3 }),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("svc characterize --device ibmqx4 --method awct --shots 256")).unwrap() {
+            Command::Svc(a) => assert_eq!(
+                a.op,
+                SvcOp::Characterize {
+                    device: "ibmqx4".into(),
+                    method: Method::Awct,
+                    shots: 256,
+                }
+            ),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_error_messages_are_specific() {
+        let cases = [
+            ("serve --workers 0", "--workers must be at least 1"),
+            ("serve --drift-amplitude -1", "non-negative"),
+            ("serve --bogus", "unknown flag"),
+            ("submit --device x", "requires a QASM file"),
+            ("submit p.qasm", "requires --device"),
+            ("svc", "needs an operation"),
+            ("svc reboot", "unknown svc operation"),
+            ("svc set-window", "set-window needs a value"),
+            ("svc set-window nope", "set-window needs an integer"),
+            ("svc characterize", "requires --device"),
+            ("svc characterize --device x --method nope", "bad --method"),
+        ];
+        for (input, expect) in cases {
+            let e = parse(&argv(input)).unwrap_err().to_string();
+            assert!(e.contains(expect), "{input:?}: {e}");
         }
     }
 

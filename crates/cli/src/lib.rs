@@ -1,6 +1,6 @@
 //! # invmeas-cli — command-line front end for the Invert-and-Measure stack
 //!
-//! Four subcommands tie the workspace together for interactive use:
+//! Seven subcommands tie the workspace together for interactive use:
 //!
 //! * `devices` — the built-in machine models and their Table-1 statistics;
 //! * `characterize` — measure a device's RBMS (brute force / ESCT / AWCT)
@@ -8,27 +8,91 @@
 //! * `profile-info` — inspect a saved profile;
 //! * `run` — execute an OpenQASM 2.0 program on a device model under
 //!   baseline/SIM/AIM, optionally routed through the mapper, with
-//!   reliability metrics when the expected output is given.
+//!   reliability metrics when the expected output is given;
+//! * `serve` — start the long-running mitigation server
+//!   ([`invmeas_service`]), which amortizes characterization across
+//!   requests through its drift-aware profile cache;
+//! * `submit` — send a QASM job to a running server and print the JSON
+//!   response line;
+//! * `svc` — control-plane calls (`status`, `shutdown`, `set-window`,
+//!   `characterize`) against a running server.
 //!
 //! The command implementations live in this library so they are unit- and
-//! integration-testable; `main.rs` is a thin shim.
+//! integration-testable; `main.rs` is a thin shim. Failures carry their
+//! intended process exit code via [`CliFailure`]: usage errors exit 2,
+//! runtime failures exit 1.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod args;
 
-use args::{CharacterizeArgs, Command, Method, Policy, RunArgs};
+use args::{CharacterizeArgs, Command, Method, Policy, RunArgs, ServeArgs, SubmitArgs, SvcArgs};
 use invmeas::{
     AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
+};
+use invmeas_service::{
+    CharacterizeRequest, MethodKind, PolicyKind, Request, Response, Server, ServerConfig,
+    SubmitRequest,
 };
 use qmetrics::{fmt_pct, fmt_prob, fmt_ratio, CorrectSet, ReliabilityReport, Table};
 use qnoise::{DeviceModel, NoisyExecutor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// Boxed error type for command execution.
 pub type CliError = Box<dyn std::error::Error + Send + Sync>;
+
+/// A CLI failure carrying its intended process exit code, so scripts can
+/// tell a bad invocation (fix the command line) from a bad run (look at
+/// the environment): usage errors exit 2, runtime failures exit 1.
+#[derive(Debug)]
+pub enum CliFailure {
+    /// The argument vector did not parse (exit code 2).
+    Usage(args::ArgError),
+    /// The command parsed but failed while executing (exit code 1).
+    Runtime(CliError),
+}
+
+impl CliFailure {
+    /// The process exit code this failure maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliFailure::Usage(_) => 2,
+            CliFailure::Runtime(_) => 1,
+        }
+    }
+
+    /// Whether this is a usage error (and the caller should print usage).
+    #[must_use]
+    pub fn is_usage(&self) -> bool {
+        matches!(self, CliFailure::Usage(_))
+    }
+}
+
+impl fmt::Display for CliFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliFailure::Usage(e) => write!(f, "{e}"),
+            CliFailure::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliFailure {}
+
+/// Parses and executes an argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CliFailure::Usage`] when the arguments do not parse,
+/// [`CliFailure::Runtime`] when execution fails.
+pub fn run_cli(argv: &[String]) -> Result<String, CliFailure> {
+    let cmd = args::parse(argv).map_err(CliFailure::Usage)?;
+    execute(&cmd).map_err(CliFailure::Runtime)
+}
 
 /// Resolves a device name (`ibmqx2`, `ibmqx4`, `ibmq-melbourne`, or
 /// `ideal-N`).
@@ -72,7 +136,92 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Characterize(a) => characterize(a),
         Command::ProfileInfo { path } => profile_info(path),
         Command::Run(a) => run(a),
+        Command::Serve(a) => serve(a),
+        Command::Submit(a) => submit(a),
+        Command::Svc(a) => svc(a),
     }
+}
+
+fn policy_kind(p: Policy) -> PolicyKind {
+    match p {
+        Policy::Baseline => PolicyKind::Baseline,
+        Policy::Sim => PolicyKind::Sim,
+        Policy::Aim => PolicyKind::Aim,
+    }
+}
+
+fn method_kind(m: Method) -> MethodKind {
+    match m {
+        Method::Brute => MethodKind::Brute,
+        Method::Esct => MethodKind::Esct,
+        Method::Awct => MethodKind::Awct,
+    }
+}
+
+fn serve(a: &ServeArgs) -> Result<String, CliError> {
+    let config = ServerConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        queue_capacity: a.queue,
+        exec_threads: a.exec_threads,
+        profile_shots: a.profile_shots,
+        profile_seed: a.profile_seed,
+        drift_amplitude: a.drift_amplitude,
+        drift_threshold: a.drift_threshold,
+        profile_dir: a.profile_dir.clone().map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config)?;
+    // Scripts (and the CI smoke job) parse this line to learn the actual
+    // port when binding to port 0, so it must reach stdout before serve()
+    // blocks.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let counters = server.serve()?;
+    Ok(format!("final counters after drain:\n{}", counters.render()))
+}
+
+/// Sends one request and renders the response as its JSON wire line, so
+/// shell pipelines see exactly what the protocol carries.
+fn service_call(addr: &str, request: &Request) -> Result<String, CliError> {
+    let response = invmeas_service::call(addr, request)
+        .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+    if let Response::Error { code, message } = &response {
+        return Err(format!("server error {code}: {message}").into());
+    }
+    Ok(response.to_line() + "\n")
+}
+
+fn submit(a: &SubmitArgs) -> Result<String, CliError> {
+    let qasm = std::fs::read_to_string(&a.qasm)?;
+    let request = Request::Submit(SubmitRequest {
+        device: a.device.clone(),
+        qasm,
+        policy: policy_kind(a.policy),
+        shots: a.shots,
+        seed: a.seed,
+        expected: a.expected.clone(),
+    });
+    service_call(&a.addr, &request)
+}
+
+fn svc(a: &SvcArgs) -> Result<String, CliError> {
+    let request = match &a.op {
+        args::SvcOp::Status => Request::Status,
+        args::SvcOp::Shutdown => Request::Shutdown,
+        args::SvcOp::SetWindow { window } => Request::SetWindow { window: *window },
+        args::SvcOp::Characterize {
+            device,
+            method,
+            shots,
+        } => Request::Characterize(CharacterizeRequest {
+            device: device.clone(),
+            method: method_kind(*method),
+            shots: *shots,
+        }),
+    };
+    service_call(&a.addr, &request)
 }
 
 fn render_devices() -> String {
@@ -385,6 +534,102 @@ mod tests {
         .unwrap();
         assert!(out.contains("routed onto"), "{out}");
         assert!(out.contains("PST"), "{out}");
+        std::fs::remove_file(&qasm_path).ok();
+    }
+
+    #[test]
+    fn usage_and_runtime_failures_map_to_distinct_exit_codes() {
+        let argv = |s: &str| -> Vec<String> {
+            s.split_whitespace().map(str::to_string).collect()
+        };
+        // Bad command line → usage error, exit 2.
+        let usage = run_cli(&argv("characterize")).unwrap_err();
+        assert_eq!(usage.exit_code(), 2);
+        assert!(usage.is_usage());
+        assert!(usage.to_string().contains("requires --device"));
+        let usage = run_cli(&argv("svc reboot")).unwrap_err();
+        assert_eq!(usage.exit_code(), 2);
+        // Well-formed command that fails at runtime → exit 1.
+        let runtime = run_cli(&argv("run missing.qasm --device tokyo")).unwrap_err();
+        assert_eq!(runtime.exit_code(), 1);
+        assert!(!runtime.is_usage());
+        let runtime = run_cli(&argv("profile-info no-such-file.rbms")).unwrap_err();
+        assert_eq!(runtime.exit_code(), 1);
+        // Success path still returns output.
+        assert!(run_cli(&argv("devices")).unwrap().contains("ibmqx2"));
+    }
+
+    #[test]
+    fn submit_without_a_server_is_a_runtime_failure() {
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qasm_path = dir.join("svc.qasm");
+        let circuit = qsim::Circuit::basis_state_preparation("11".parse().unwrap());
+        std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
+        // Port 9 (discard) is never a live mitigation server.
+        let argv: Vec<String> = [
+            "submit",
+            qasm_path.to_str().unwrap(),
+            "--device",
+            "ibmqx2",
+            "--addr",
+            "127.0.0.1:9",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let failure = run_cli(&argv).unwrap_err();
+        assert_eq!(failure.exit_code(), 1, "connection refusal is a runtime failure");
+        assert!(failure.to_string().contains("cannot reach server"), "{failure}");
+        std::fs::remove_file(&qasm_path).ok();
+    }
+
+    #[test]
+    fn serve_and_submit_roundtrip_through_the_cli_layer() {
+        // Bind the server directly (port 0) so the test does not race over
+        // a fixed port; the CLI layer is exercised for submit + svc.
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            profile_shots: 64,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let dir = std::env::temp_dir().join("invmeas-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qasm_path = dir.join("cli-serve.qasm");
+        let circuit = qsim::Circuit::basis_state_preparation("11111".parse().unwrap());
+        std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
+
+        let argv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(ToString::to_string).collect()
+        };
+        let out = run_cli(&argv(&[
+            "submit",
+            qasm_path.to_str().unwrap(),
+            "--device",
+            "ibmqx4",
+            "--addr",
+            &addr,
+            "--policy",
+            "sim",
+            "--shots",
+            "500",
+            "--expected",
+            "11111",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"op\":\"submit\""), "{out}");
+        assert!(out.contains("\"pst\":"), "{out}");
+
+        let out = run_cli(&argv(&["svc", "status", "--addr", &addr])).unwrap();
+        assert!(out.contains("\"op\":\"status\""), "{out}");
+
+        let out = run_cli(&argv(&["svc", "shutdown", "--addr", &addr])).unwrap();
+        assert!(out.contains("\"op\":\"shutdown\""), "{out}");
+        handle.join().unwrap().unwrap();
         std::fs::remove_file(&qasm_path).ok();
     }
 

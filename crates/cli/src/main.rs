@@ -1,24 +1,23 @@
 //! Thin binary shim over the testable library commands.
+//!
+//! Exit codes: 0 success, 2 usage error (bad command line, usage text is
+//! printed), 1 runtime failure (the command was well-formed but failed).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match invmeas_cli::args::parse(&args) {
-        Ok(cmd) => cmd,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", invmeas_cli::args::USAGE);
-            return ExitCode::FAILURE;
-        }
-    };
-    match invmeas_cli::execute(&cmd) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match invmeas_cli::run_cli(&argv) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: {failure}");
+            if failure.is_usage() {
+                eprintln!("\n{}", invmeas_cli::args::USAGE);
+            }
+            ExitCode::from(failure.exit_code())
         }
     }
 }

@@ -119,8 +119,10 @@ impl RbmsTable {
 
         let mut strengths = vec![f64::NAN; 1usize << width];
         let mut seen = 0usize;
+        let mut last_line = 3usize;
         for (idx, line) in lines {
             let lineno = idx + 1;
+            last_line = lineno;
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -147,10 +149,17 @@ impl RbmsTable {
             strengths[s.index()] = v;
             seen += 1;
         }
+        // The width header is a promise about the table body: a declared
+        // width of `w` requires exactly `2^w` rows. Truncated or padded
+        // files (the common corruption when profiles are copied around)
+        // must be rejected, not silently zero/NaN-filled.
         if seen != strengths.len() {
             return Err(parse_err(
-                0,
-                format!("expected {} entries, found {seen}", strengths.len()),
+                last_line,
+                format!(
+                    "width {width} declares {} table rows, found {seen}",
+                    strengths.len()
+                ),
             ));
         }
         let mut table = RbmsTable::from_strengths(width, strengths);
@@ -238,11 +247,43 @@ mod tests {
         // Missing entry.
         let missing = "rbms v1\nwidth 1\ntrials 10\n0 1.0";
         let err = RbmsTable::from_text(missing).unwrap_err().to_string();
-        assert!(err.contains("expected 2 entries"), "{err}");
+        assert!(err.contains("width 1 declares 2 table rows, found 1"), "{err}");
         // Duplicate entry.
         let dup = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n0 1.0";
         let err = RbmsTable::from_text(dup).unwrap_err().to_string();
         assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn width_row_disagreement_rejected_on_roundtrip() {
+        // Serialize a healthy profile, then corrupt it the two realistic
+        // ways — truncation and padding — and check both are rejected with
+        // an error naming the declared width and the observed row count.
+        let table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+        let text = table.to_text();
+
+        let truncated: String = text.lines().take(3 + 20).fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+        let err = RbmsTable::from_text(&truncated).unwrap_err().to_string();
+        assert!(err.contains("width 5 declares 32 table rows, found 20"), "{err}");
+
+        // Padding with a row of a *different* width is a width violation…
+        let padded = format!("{text}000000 0.5\n");
+        let err = RbmsTable::from_text(&padded).unwrap_err().to_string();
+        assert!(err.contains("wrong width"), "{err}");
+        // …and a same-width extra row necessarily collides with a slot.
+        let dup = format!("{text}00000 0.5\n");
+        let err = RbmsTable::from_text(&dup).unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
+
+        // A width header that under-declares the body is caught on the
+        // first row wider than the header, before any count check.
+        let shrunk = text.replacen("width 5", "width 4", 1);
+        let err = RbmsTable::from_text(&shrunk).unwrap_err().to_string();
+        assert!(err.contains("wrong width"), "{err}");
     }
 
     #[test]

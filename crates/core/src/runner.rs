@@ -119,6 +119,33 @@ impl Runner {
         self
     }
 
+    /// Injects a machine profile after construction — the mutable-reference
+    /// counterpart of [`Runner::with_profile`], used by long-lived hosts
+    /// (e.g. the mitigation service) that hand one cached [`RbmsTable`] to
+    /// many per-request runners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile width differs from the device.
+    pub fn set_profile(&mut self, profile: RbmsTable) {
+        assert_eq!(
+            profile.width(),
+            self.device.n_qubits(),
+            "profile width must match the device"
+        );
+        self.profile = Some(profile);
+    }
+
+    /// Drops any cached or injected profile so the next AIM run re-measures.
+    pub fn clear_profile(&mut self) {
+        self.profile = None;
+    }
+
+    /// The currently held profile, if one has been measured or injected.
+    pub fn cached_profile(&self) -> Option<&RbmsTable> {
+        self.profile.as_ref()
+    }
+
     /// The device in use.
     pub fn device(&self) -> &DeviceModel {
         &self.device
@@ -237,6 +264,27 @@ mod tests {
         let table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
         let mut runner = Runner::new(DeviceModel::ibmqx4()).with_profile(table.clone());
         assert_eq!(runner.profile(), &table);
+    }
+
+    #[test]
+    fn injected_profile_replaces_and_clears() {
+        let table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+        let mut runner = Runner::new(DeviceModel::ibmqx4()).with_profile_shots(128);
+        assert!(runner.cached_profile().is_none());
+        runner.set_profile(table.clone());
+        assert_eq!(runner.cached_profile(), Some(&table));
+        assert_eq!(runner.profile(), &table); // injected, not measured
+        runner.clear_profile();
+        assert!(runner.cached_profile().is_none());
+        // Next access measures afresh.
+        assert!(runner.profile().trials_used() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile width must match")]
+    fn injected_profile_width_checked() {
+        let mut runner = Runner::new(DeviceModel::ibmqx2());
+        runner.set_profile(RbmsTable::from_strengths(2, vec![1.0; 4]));
     }
 
     #[test]

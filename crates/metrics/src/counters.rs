@@ -1,0 +1,239 @@
+//! Lock-free operational counters for long-lived hosts.
+//!
+//! The mitigation service (and any future daemon built on this workspace)
+//! needs cheap always-on observability: request and job totals, cache
+//! effectiveness, backpressure rejections, queue depth, and latency. A
+//! [`ServiceCounters`] is a bundle of atomics safe to share across worker
+//! threads; [`ServiceCounters::snapshot`] captures a consistent-enough view
+//! for a status endpoint, and the snapshot renders as a [`Table`] for
+//! human consumption.
+
+use crate::table::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters and gauges for a request-serving process.
+///
+/// All updates are `Relaxed` atomics: the counters are statistics, not
+/// synchronization, and must never contend on the hot path.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::ServiceCounters;
+///
+/// let c = ServiceCounters::new();
+/// c.inc_requests();
+/// c.inc_cache_miss();
+/// c.record_latency_us(1500);
+/// let snap = c.snapshot();
+/// assert_eq!(snap.requests, 1);
+/// assert_eq!(snap.cache_misses, 1);
+/// assert_eq!(snap.latency_max_us, 1500);
+/// ```
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    requests: AtomicU64,
+    jobs_executed: AtomicU64,
+    jobs_failed: AtomicU64,
+    busy_rejections: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    latency_us_total: AtomicU64,
+    latency_us_max: AtomicU64,
+}
+
+/// A point-in-time copy of a [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the documentation
+pub struct CountersSnapshot {
+    pub requests: u64,
+    pub jobs_executed: u64,
+    pub jobs_failed: u64,
+    pub busy_rejections: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub queue_depth_peak: u64,
+    pub latency_total_us: u64,
+    pub latency_max_us: u64,
+}
+
+impl ServiceCounters {
+    /// Creates a zeroed counter bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one received request (of any kind, accepted or rejected).
+    pub fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job executed to completion by a worker.
+    pub fn inc_jobs_executed(&self) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job that reached a worker but failed.
+    pub fn inc_jobs_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request turned away because the queue was full.
+    pub fn inc_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one profile served from cache.
+    pub fn inc_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one profile that had to be (re)measured.
+    pub fn inc_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an observed queue depth, keeping the high-water mark.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end latency in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency_us_total.fetch_add(us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Captures the current values.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            latency_total_us: self.latency_us_total.load(Ordering::Relaxed),
+            latency_max_us: self.latency_us_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CountersSnapshot {
+    /// Mean per-job latency in microseconds (0 when nothing ran).
+    pub fn latency_mean_us(&self) -> u64 {
+        let jobs = self.jobs_executed + self.jobs_failed;
+        self.latency_total_us.checked_div(jobs).unwrap_or(0)
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when the cache was never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let looked = self.cache_hits + self.cache_misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked as f64
+        }
+    }
+
+    /// Renders the snapshot as a two-column table.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(&["counter", "value"]);
+        let rows: [(&str, String); 11] = [
+            ("requests", self.requests.to_string()),
+            ("jobs executed", self.jobs_executed.to_string()),
+            ("jobs failed", self.jobs_failed.to_string()),
+            ("busy rejections", self.busy_rejections.to_string()),
+            ("cache hits", self.cache_hits.to_string()),
+            ("cache misses", self.cache_misses.to_string()),
+            ("cache hit rate", format!("{:.3}", self.cache_hit_rate())),
+            ("queue depth peak", self.queue_depth_peak.to_string()),
+            ("latency mean (us)", self.latency_mean_us().to_string()),
+            ("latency max (us)", self.latency_max_us.to_string()),
+            ("latency total (us)", self.latency_total_us.to_string()),
+        ];
+        for (k, v) in rows {
+            t.row_owned(vec![k.to_string(), v]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ServiceCounters::new();
+        for _ in 0..3 {
+            c.inc_requests();
+        }
+        c.inc_jobs_executed();
+        c.inc_jobs_executed();
+        c.inc_jobs_failed();
+        c.inc_busy_rejection();
+        c.inc_cache_hit();
+        c.inc_cache_hit();
+        c.inc_cache_hit();
+        c.inc_cache_miss();
+        c.observe_queue_depth(2);
+        c.observe_queue_depth(7);
+        c.observe_queue_depth(4);
+        c.record_latency_us(100);
+        c.record_latency_us(500);
+        c.record_latency_us(300);
+
+        let s = c.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.jobs_executed, 2);
+        assert_eq!(s.jobs_failed, 1);
+        assert_eq!(s.busy_rejections, 1);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.queue_depth_peak, 7);
+        assert_eq!(s.latency_max_us, 500);
+        assert_eq!(s.latency_mean_us(), 900 / 3);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = ServiceCounters::new().snapshot();
+        assert_eq!(s.latency_mean_us(), 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = Arc::new(ServiceCounters::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc_requests();
+                        c.record_latency_us(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.requests, 8000);
+        assert_eq!(s.latency_total_us, 8000);
+    }
+
+    #[test]
+    fn render_includes_every_counter() {
+        let text = ServiceCounters::new().snapshot().render().to_string();
+        for key in ["requests", "cache hit rate", "busy rejections", "latency max"] {
+            assert!(text.contains(key), "{key} missing from:\n{text}");
+        }
+    }
+}

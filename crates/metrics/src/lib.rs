@@ -8,7 +8,10 @@
 //! * [`roca`] — Rank of the Correct Answer,
 //! * [`pearson_correlation`], [`hamming_weight_correlation`],
 //!   [`average_by_hamming_weight`] — the bias statistics of §3,
-//! * [`Table`] — plain-text rendering for the reproduction harness.
+//! * [`Table`] — plain-text rendering for the reproduction harness,
+//! * [`ServiceCounters`] — lock-free operational counters (requests, cache
+//!   effectiveness, queue depth, latency) for long-lived hosts like the
+//!   mitigation service.
 //!
 //! ## Example
 //!
@@ -34,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bootstrap;
+pub mod counters;
 pub mod reliability;
 pub mod stats;
 pub mod table;
 
 pub use bootstrap::{bootstrap_pst, bootstrap_statistic, BootstrapEstimate};
+pub use counters::{CountersSnapshot, ServiceCounters};
 pub use reliability::{ist, pst, roca, CorrectSet, ReliabilityReport};
 pub use stats::{
     average_by_hamming_weight, hamming_weight_correlation, in_hamming_axis_order,

@@ -237,6 +237,23 @@ impl DeviceModel {
         )
     }
 
+    /// Resolves a built-in model by name: `ibmqx2`, `ibmqx4`,
+    /// `ibmq-melbourne` (or `ibmq_melbourne`), and `ideal-N` for a
+    /// noiseless N-qubit reference (1 ≤ N ≤ 20). Returns `None` for
+    /// anything else — callers own the error message.
+    pub fn by_name(name: &str) -> Option<DeviceModel> {
+        match name {
+            "ibmqx2" => Some(DeviceModel::ibmqx2()),
+            "ibmqx4" => Some(DeviceModel::ibmqx4()),
+            "ibmq-melbourne" | "ibmq_melbourne" => Some(DeviceModel::ibmq_melbourne()),
+            other => other
+                .strip_prefix("ideal-")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| (1..=20).contains(&n))
+                .map(DeviceModel::ideal),
+        }
+    }
+
     /// The machine's name.
     pub fn name(&self) -> &str {
         &self.name

@@ -125,6 +125,44 @@ impl DeviceModel {
     }
 }
 
+/// How far device snapshot `b` has drifted from snapshot `a`: the mean
+/// relative deviation over every per-qubit error parameter (both assignment
+/// rates, the 1q gate error, and T1).
+///
+/// Two snapshots of the same calibration are at distance `0`; a snapshot
+/// whose every parameter moved by 10 % scores `0.10`. The mitigation
+/// service's profile cache uses this as its invalidation hook: a cached
+/// RBMS profile is served only while the current calibration's score
+/// against the profiled calibration stays below a threshold (§6.1's
+/// repeatability claim is exactly that the score stays small across
+/// windows).
+///
+/// # Panics
+///
+/// Panics if the two devices have different qubit counts.
+pub fn drift_score(a: &DeviceModel, b: &DeviceModel) -> f64 {
+    assert_eq!(
+        a.n_qubits(),
+        b.n_qubits(),
+        "drift score needs devices of equal width"
+    );
+    let rel = |x: f64, y: f64| {
+        let scale = x.abs().max(1e-12);
+        (y - x).abs() / scale
+    };
+    let mut total = 0.0;
+    let mut terms = 0usize;
+    for q in 0..a.n_qubits() {
+        let (qa, qb) = (a.qubit(q), b.qubit(q));
+        total += rel(qa.assignment.p01, qb.assignment.p01);
+        total += rel(qa.assignment.p10, qb.assignment.p10);
+        total += rel(qa.gate_error_1q, qb.gate_error_1q);
+        total += rel(qa.t1_us, qb.t1_us);
+        terms += 4;
+    }
+    total / terms as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +216,54 @@ mod tests {
         let tail_overlap = r1[28..].iter().filter(|s| r2[28..].contains(s)).count();
         assert!(head_overlap >= 3, "weak states not repeatable: {head_overlap}");
         assert!(tail_overlap >= 3, "strong states not repeatable: {tail_overlap}");
+    }
+
+    #[test]
+    fn window_is_deterministic_for_a_fixed_seed_across_calls() {
+        // The profile cache keys on the window index, so window(k) must be
+        // a pure function of (nominal, amplitude, seed, k) — across repeated
+        // calls AND across independently constructed generators.
+        let make = || CalibrationDrift::new(DeviceModel::ibmqx4(), 0.15).with_seed(42);
+        let drift = make();
+        for k in [0u64, 1, 7, 100] {
+            let first = drift.window(k);
+            let second = drift.window(k);
+            assert_eq!(first, second, "repeated call differs for window {k}");
+            assert_eq!(first, make().window(k), "fresh generator differs for window {k}");
+        }
+    }
+
+    #[test]
+    fn crosstalk_structure_is_preserved_under_drift() {
+        // Cache-invalidation contract: drift perturbs rates but never the
+        // crosstalk graph, so a drifted snapshot's correlated-readout
+        // structure matches the nominal device's term for term.
+        let nominal = DeviceModel::ibmqx4();
+        let base = nominal.readout_crosstalk();
+        assert!(!base.is_empty(), "ibmqx4 should model crosstalk");
+        let drift = CalibrationDrift::new(nominal, 0.2).with_seed(9);
+        for w in [1u64, 13, 64] {
+            let snap = drift.window(w).readout_crosstalk();
+            assert_eq!(snap.len(), base.len());
+            for (s, b) in snap.iter().zip(&base) {
+                assert_eq!(s.source, b.source, "window {w}");
+                assert_eq!(s.target, b.target, "window {w}");
+                assert_eq!(s.extra, b.extra, "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_score_is_zero_on_identical_snapshots_and_grows_with_amplitude() {
+        let nominal = DeviceModel::ibmqx2();
+        assert_eq!(drift_score(&nominal, &nominal), 0.0);
+        let drift = CalibrationDrift::new(nominal.clone(), 0.1);
+        let w = drift.window(4);
+        assert_eq!(drift_score(&nominal, &w), drift_score(&nominal, &w));
+        let small = drift_score(&nominal, &CalibrationDrift::new(nominal.clone(), 0.02).window(4));
+        let large = drift_score(&nominal, &CalibrationDrift::new(nominal.clone(), 0.3).window(4));
+        assert!(small < large, "{small} vs {large}");
+        assert!(large <= 0.3 + 1e-12, "score bounded by the amplitude: {large}");
     }
 
     #[test]

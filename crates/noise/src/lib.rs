@@ -47,7 +47,7 @@ pub mod tensor;
 pub use calibration::{calibrate_readout, ReadoutCalibration};
 pub use correlated::{CorrelatedReadout, Crosstalk};
 pub use device::{DeviceModel, QubitSpec};
-pub use drift::CalibrationDrift;
+pub use drift::{drift_score, CalibrationDrift};
 pub use executor::{Executor, IdealExecutor, NoisyExecutor};
 pub use gate_noise::GateNoise;
 pub use readout::{FlipPair, IdealReadout, ReadoutModel};

@@ -1,0 +1,344 @@
+//! The drift-aware RBMS profile cache.
+//!
+//! Characterization is the expensive part of AIM (§6.2.1) but profiles are
+//! stable across calibration windows (§6.1), so the service measures each
+//! (device, method) profile once and reuses it until the calibration
+//! moves. Cache keying and invalidation:
+//!
+//! * **key** — `(device, method)`; each entry records the calibration
+//!   window and the exact device snapshot it was measured against;
+//! * **invalidation** — an entry is stale as soon as the current window
+//!   differs from the entry's, or [`qnoise::drift_score`] between the
+//!   entry's snapshot and the current one exceeds the configured
+//!   threshold, or the requested trial budget changed;
+//! * **single-flight** — concurrent requests for the same key serialize on
+//!   a per-key slot, so a burst of N requests performs exactly one
+//!   characterization and N−1 hits;
+//! * **persistence** — with a profile directory configured, measured
+//!   tables are written through via `profile_io` (`rbms v1` files named
+//!   `<device>-<method>-w<window>.rbms`) and later instances warm up from
+//!   disk;
+//! * **determinism** — the measurement RNG seed is derived from the
+//!   server's profile seed and the key (never from the request), so the
+//!   cached table does not depend on which concurrent request got there
+//!   first.
+
+use crate::protocol::{CacheOutcome, MethodKind};
+use invmeas::RbmsTable;
+use qnoise::{drift_score, DeviceModel, NoisyExecutor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    window: u64,
+    shots: u64,
+    snapshot: DeviceModel,
+    table: RbmsTable,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Base RNG seed for characterization runs.
+    pub profile_seed: u64,
+    /// Maximum [`drift_score`] against the profiled snapshot before an
+    /// entry is considered stale (0.0 = any parameter change invalidates).
+    pub drift_threshold: f64,
+    /// Worker threads per characterization sweep.
+    pub exec_threads: usize,
+    /// Optional write-through persistence directory.
+    pub profile_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            profile_seed: 2019,
+            drift_threshold: 0.0,
+            exec_threads: 1,
+            profile_dir: None,
+        }
+    }
+}
+
+/// A per-key slot: the outer `Arc<Mutex>` is what single-flights
+/// concurrent misses for one `(device, method)` pair.
+type Slot = Arc<Mutex<Option<Entry>>>;
+
+/// A concurrent profile cache. See the module docs for semantics.
+#[derive(Debug)]
+pub struct ProfileCache {
+    config: CacheConfig,
+    slots: Mutex<HashMap<(String, MethodKind), Slot>>,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        ProfileCache {
+            config,
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the profile for `(device, method)` in calibration window
+    /// `window`, measuring it against `snapshot` only when no valid cached
+    /// or persisted copy exists. The outcome reports which path served it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the method cannot characterize this device
+    /// (e.g. brute force beyond 14 qubits).
+    pub fn get_or_measure(
+        &self,
+        device: &str,
+        snapshot: &DeviceModel,
+        window: u64,
+        method: MethodKind,
+        shots: u64,
+    ) -> Result<(RbmsTable, CacheOutcome), String> {
+        assert!(shots > 0, "characterization needs a trial budget");
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache poisoned");
+            Arc::clone(
+                slots
+                    .entry((device.to_string(), method))
+                    .or_insert_with(|| Arc::new(Mutex::new(None))),
+            )
+        };
+        // Per-key critical section: the winner of a concurrent burst
+        // measures while the rest block here, then observe a fresh entry.
+        let mut entry = slot.lock().expect("cache slot poisoned");
+        if let Some(e) = entry.as_ref() {
+            let fresh = e.window == window
+                && e.shots == shots
+                && drift_score(&e.snapshot, snapshot) <= self.config.drift_threshold;
+            if fresh {
+                return Ok((e.table.clone(), CacheOutcome::Hit));
+            }
+        }
+
+        let (table, outcome) = match self.load_persisted(device, method, window, snapshot) {
+            Some(table) => (table, CacheOutcome::DiskHit),
+            None => {
+                let table = self.measure(snapshot, window, method, shots)?;
+                self.persist(device, method, window, &table);
+                (table, CacheOutcome::Miss)
+            }
+        };
+        *entry = Some(Entry {
+            window,
+            shots,
+            snapshot: snapshot.clone(),
+            table: table.clone(),
+        });
+        Ok((table, outcome))
+    }
+
+    /// Measures a profile with a seed that is a pure function of the
+    /// configuration and the (device, method, window) key.
+    fn measure(
+        &self,
+        snapshot: &DeviceModel,
+        window: u64,
+        method: MethodKind,
+        shots: u64,
+    ) -> Result<RbmsTable, String> {
+        let n = snapshot.n_qubits();
+        if method == MethodKind::Brute && n > 14 {
+            return Err(format!(
+                "brute-force characterization limited to 14 qubits ({n} requested); use awct"
+            ));
+        }
+        let exec = NoisyExecutor::from_device(snapshot).with_threads(self.config.exec_threads);
+        let seed = self
+            .config
+            .profile_seed
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(fnv(snapshot.name()))
+            .wrapping_add(fnv(method.as_str()))
+            .wrapping_add(window);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(match method {
+            MethodKind::Brute => RbmsTable::brute_force(&exec, shots, &mut rng),
+            MethodKind::Esct => RbmsTable::esct(&exec, shots, &mut rng),
+            MethodKind::Awct => {
+                RbmsTable::awct(&exec, 4.min(n), 2.min(n.saturating_sub(1)), shots, &mut rng)
+            }
+        })
+    }
+
+    fn profile_path(&self, device: &str, method: MethodKind, window: u64) -> Option<PathBuf> {
+        let dir = self.config.profile_dir.as_ref()?;
+        let sane: String = device
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .collect();
+        Some(dir.join(format!("{sane}-{}-w{window}.rbms", method.as_str())))
+    }
+
+    fn load_persisted(
+        &self,
+        device: &str,
+        method: MethodKind,
+        window: u64,
+        snapshot: &DeviceModel,
+    ) -> Option<RbmsTable> {
+        let path = self.profile_path(device, method, window)?;
+        let table = RbmsTable::load(&path).ok()?;
+        (table.width() == snapshot.n_qubits()).then_some(table)
+    }
+
+    fn persist(&self, device: &str, method: MethodKind, window: u64, table: &RbmsTable) {
+        if let Some(path) = self.profile_path(device, method, window) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            // Best effort: a full disk must not fail the request.
+            let _ = table.save(&path);
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnoise::CalibrationDrift;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn cache() -> ProfileCache {
+        ProfileCache::new(CacheConfig::default())
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches() {
+        let dev = DeviceModel::ibmqx2();
+        let c = cache();
+        let (t1, o1) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        let (t2, o2) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn window_advance_invalidates() {
+        let drift = CalibrationDrift::new(DeviceModel::ibmqx2(), 0.05);
+        let c = cache();
+        let (_, o1) = c
+            .get_or_measure("ibmqx2", &drift.window(0), 0, MethodKind::Esct, 256)
+            .unwrap();
+        let (_, o2) = c
+            .get_or_measure("ibmqx2", &drift.window(1), 1, MethodKind::Esct, 256)
+            .unwrap();
+        let (_, o3) = c
+            .get_or_measure("ibmqx2", &drift.window(1), 1, MethodKind::Esct, 256)
+            .unwrap();
+        assert_eq!((o1, o2, o3), (CacheOutcome::Miss, CacheOutcome::Miss, CacheOutcome::Hit));
+    }
+
+    #[test]
+    fn drift_score_beyond_threshold_invalidates_within_a_window() {
+        // Same window index, but the device recalibrated underneath us:
+        // the score check catches what window keying cannot.
+        let nominal = DeviceModel::ibmqx2();
+        let recalibrated = CalibrationDrift::new(nominal.clone(), 0.2).window(17);
+        let c = ProfileCache::new(CacheConfig {
+            drift_threshold: 0.01,
+            ..CacheConfig::default()
+        });
+        let (_, o1) = c.get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128).unwrap();
+        let (_, o2) = c
+            .get_or_measure("ibmqx2", &recalibrated, 4, MethodKind::Esct, 128)
+            .unwrap();
+        assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Miss));
+        // And a small perturbation under a loose threshold stays a hit.
+        let loose = ProfileCache::new(CacheConfig {
+            drift_threshold: 0.5,
+            ..CacheConfig::default()
+        });
+        let (_, _) = loose.get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128).unwrap();
+        let (_, o) = loose
+            .get_or_measure("ibmqx2", &recalibrated, 4, MethodKind::Esct, 128)
+            .unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn concurrent_burst_measures_once() {
+        let dev = DeviceModel::ibmqx4();
+        let c = std::sync::Arc::new(cache());
+        let misses = std::sync::Arc::new(AtomicUsize::new(0));
+        let tables: Vec<RbmsTable> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let c = std::sync::Arc::clone(&c);
+                    let misses = std::sync::Arc::clone(&misses);
+                    let dev = &dev;
+                    scope.spawn(move || {
+                        let (t, o) = c
+                            .get_or_measure("ibmqx4", dev, 0, MethodKind::Brute, 32)
+                            .unwrap();
+                        if o == CacheOutcome::Miss {
+                            misses.fetch_add(1, Ordering::SeqCst);
+                        }
+                        t
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(misses.load(Ordering::SeqCst), 1, "exactly one characterization");
+        for t in &tables[1..] {
+            assert_eq!(t, &tables[0], "every requester sees the same table");
+        }
+    }
+
+    #[test]
+    fn persisted_profiles_warm_new_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "invmeas-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CacheConfig {
+            profile_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let dev = DeviceModel::ibmqx2();
+        let first = ProfileCache::new(cfg.clone());
+        let (t1, o1) = first.get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert!(dir.join("ibmqx2-brute-w2.rbms").exists());
+
+        let second = ProfileCache::new(cfg);
+        let (t2, o2) = second.get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o2, CacheOutcome::DiskHit);
+        for (a, b) in t1.strengths().iter().zip(t2.strengths()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn brute_force_width_guard() {
+        let wide = DeviceModel::ideal(15);
+        let e = cache()
+            .get_or_measure("ideal-15", &wide, 0, MethodKind::Brute, 8)
+            .unwrap_err();
+        assert!(e.contains("limited to 14"), "{e}");
+    }
+}

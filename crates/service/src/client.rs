@@ -1,0 +1,104 @@
+//! A blocking line-protocol client, used by `invmeas submit` and tests.
+
+use crate::protocol::{ProtocolError, Request, Response};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket trouble.
+    Io(std::io::Error),
+    /// The server sent something the protocol module cannot parse.
+    Protocol(ProtocolError),
+    /// The server closed the connection before responding.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "client {e}"),
+            ClientError::Closed => write!(f, "server closed the connection before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Closed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A persistent connection to a mitigation server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Bounds how long [`Client::request`] waits for a response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an early close, or an unparseable response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(request.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        Response::from_line(line.trim_end()).map_err(ClientError::Protocol)
+    }
+}
+
+/// One-shot convenience: connect, send `request`, return the response.
+///
+/// # Errors
+///
+/// See [`Client::request`].
+pub fn call(addr: impl ToSocketAddrs, request: &Request) -> Result<Response, ClientError> {
+    Client::connect(addr)?.request(request)
+}

@@ -1,0 +1,55 @@
+//! # invmeas-service — the long-running mitigation server
+//!
+//! PR 1–2 made single runs fast; this crate makes them *servable*. The
+//! paper's deployment story (§6.1–§6.2) is that RBMS profiles are
+//! expensive to measure but stable across calibration windows, which only
+//! pays off in a long-lived process that amortizes characterization across
+//! requests. The service is that process:
+//!
+//! * [`protocol`] — a versioned newline-delimited JSON request/response
+//!   schema (`submit`, `characterize`, `status`, `set-window`, `sleep`,
+//!   `shutdown`) with a hand-rolled serializer/parser ([`json`]) in the
+//!   spirit of `profile_io`'s `rbms v1` format — `std` only, per the
+//!   workspace's offline-dependency policy;
+//! * [`queue`] — a bounded job queue; a full queue answers `503 busy`
+//!   instead of growing without bound (backpressure);
+//! * [`cache`] — the drift-aware profile cache keyed by
+//!   `(device, method)` and invalidated on calibration-window advance or
+//!   a [`qnoise::drift_score`] above threshold, with `profile_io`
+//!   write-through persistence — a burst of N AIM requests against one
+//!   device performs **one** characterization;
+//! * [`server`] — the accept loop, worker pool, and graceful drain;
+//! * [`client`] — the blocking client used by `invmeas submit` and tests.
+//!
+//! Everything is deterministic under fixed seeds: request results depend
+//! only on `(device, window, policy, shots, seed)` and cached profiles
+//! depend only on server configuration — never on request arrival order.
+//!
+//! ```no_run
+//! use invmeas_service::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! server.serve()?; // blocks until a shutdown request drains the queue
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheConfig, ProfileCache};
+pub use client::{call, Client, ClientError};
+pub use json::Json;
+pub use protocol::{
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, MethodKind, PolicyKind, Request,
+    Response, StatusResponse, SubmitRequest, SubmitResponse, PROTOCOL_VERSION,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig};

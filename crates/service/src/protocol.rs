@@ -1,0 +1,764 @@
+//! The mitigation service's wire protocol: one JSON object per line.
+//!
+//! ## Grammar (v1)
+//!
+//! Every request and response is a single newline-free JSON object
+//! terminated by `\n`. Requests carry an `op` discriminator and an
+//! optional `v` protocol version (assumed `1` when absent; any other
+//! value is rejected). Responses always carry `v`, `ok`, and — when
+//! `ok` is true — echo the `op`.
+//!
+//! ```text
+//! → {"v":1,"op":"submit","device":"ibmqx4","qasm":"...","policy":"sim","shots":4096,"seed":7}
+//! ← {"v":1,"ok":true,"op":"submit","device":"ibmqx4","window":0,"policy":"sim",
+//!    "shots":4096,"total":4096,"distinct":17,"cache":"none","latency_us":1234,
+//!    "counts":{"00000":3901,"00001":88,...}}
+//!
+//! → {"op":"characterize","device":"ibmqx4","method":"brute","shots":512}
+//! ← {"v":1,"ok":true,"op":"characterize","device":"ibmqx4","window":0,"method":"brute",
+//!    "width":5,"trials":16384,"strongest":"00000","weakest":"11111","cache":"miss",
+//!    "latency_us":5678}
+//!
+//! → {"op":"status"} / {"op":"set-window","window":3} / {"op":"sleep","ms":50} / {"op":"shutdown"}
+//! ← {"v":1,"ok":false,"code":503,"error":"busy: queue is full"}   (backpressure)
+//! ```
+//!
+//! The schema is versioned so a future `rbms v2`-style evolution can keep
+//! old clients working: servers reject requests whose `v` they do not
+//! speak with a `400` error naming the supported version.
+
+use crate::json::Json;
+use std::fmt;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Mitigation policy names on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Standard measurement.
+    Baseline,
+    /// Static Invert-and-Measure.
+    Sim,
+    /// Adaptive Invert-and-Measure (consults the profile cache).
+    Aim,
+}
+
+impl PolicyKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "baseline",
+            PolicyKind::Sim => "sim",
+            PolicyKind::Aim => "aim",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "baseline" => Ok(PolicyKind::Baseline),
+            "sim" => Ok(PolicyKind::Sim),
+            "aim" => Ok(PolicyKind::Aim),
+            other => Err(ProtocolError::new(format!("unknown policy {other:?}"))),
+        }
+    }
+}
+
+/// Characterization technique names on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Prepare-and-measure every basis state.
+    Brute,
+    /// Equal-superposition characterization.
+    Esct,
+    /// Sliding-window characterization.
+    Awct,
+}
+
+impl MethodKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MethodKind::Brute => "brute",
+            MethodKind::Esct => "esct",
+            MethodKind::Awct => "awct",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "brute" => Ok(MethodKind::Brute),
+            "esct" => Ok(MethodKind::Esct),
+            "awct" => Ok(MethodKind::Awct),
+            other => Err(ProtocolError::new(format!("unknown method {other:?}"))),
+        }
+    }
+}
+
+/// How a request's profile need was met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory cache.
+    Hit,
+    /// Loaded from the persisted profile directory.
+    DiskHit,
+    /// Measured fresh (a characterization ran).
+    Miss,
+    /// The request did not need a profile.
+    None,
+}
+
+impl CacheOutcome {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::DiskHit => "disk-hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::None => "none",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "hit" => Ok(CacheOutcome::Hit),
+            "disk-hit" => Ok(CacheOutcome::DiskHit),
+            "miss" => Ok(CacheOutcome::Miss),
+            "none" => Ok(CacheOutcome::None),
+            other => Err(ProtocolError::new(format!("unknown cache outcome {other:?}"))),
+        }
+    }
+}
+
+/// A `submit` request: run one QASM program under a policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Device name (resolved server-side, e.g. `ibmqx4`).
+    pub device: String,
+    /// OpenQASM 2.0 source.
+    pub qasm: String,
+    /// Mitigation policy.
+    pub policy: PolicyKind,
+    /// Trial budget.
+    pub shots: u64,
+    /// RNG seed — responses are deterministic per seed.
+    pub seed: u64,
+    /// Expected correct output; enables PST/IST/ROCA in the response.
+    pub expected: Option<String>,
+}
+
+/// A `characterize` request: warm or refresh the profile cache.
+///
+/// The characterization RNG seed is *server* configuration, not a request
+/// field: a burst of concurrent requests must converge on one profile
+/// regardless of which request reaches the cache first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeRequest {
+    /// Device name.
+    pub device: String,
+    /// Technique.
+    pub method: MethodKind,
+    /// Trial budget (0 = server default).
+    pub shots: u64,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a program.
+    Submit(SubmitRequest),
+    /// Measure (or fetch) a device profile.
+    Characterize(CharacterizeRequest),
+    /// Report queue, cache, and counter state.
+    Status,
+    /// Set the current calibration-window index (cache invalidation hook).
+    SetWindow {
+        /// The new window index.
+        window: u64,
+    },
+    /// Occupy a worker for `ms` milliseconds — a backpressure/testing aid.
+    Sleep {
+        /// Sleep duration in milliseconds (servers clamp this).
+        ms: u64,
+    },
+    /// Drain in-flight jobs and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to a single wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs = vec![("v", Json::int(PROTOCOL_VERSION))];
+        match self {
+            Request::Submit(r) => {
+                pairs.push(("op", Json::str("submit")));
+                pairs.push(("device", Json::str(&r.device)));
+                pairs.push(("qasm", Json::str(&r.qasm)));
+                pairs.push(("policy", Json::str(r.policy.as_str())));
+                pairs.push(("shots", Json::int(r.shots)));
+                pairs.push(("seed", Json::int(r.seed)));
+                if let Some(e) = &r.expected {
+                    pairs.push(("expected", Json::str(e)));
+                }
+            }
+            Request::Characterize(r) => {
+                pairs.push(("op", Json::str("characterize")));
+                pairs.push(("device", Json::str(&r.device)));
+                pairs.push(("method", Json::str(r.method.as_str())));
+                pairs.push(("shots", Json::int(r.shots)));
+            }
+            Request::Status => pairs.push(("op", Json::str("status"))),
+            Request::SetWindow { window } => {
+                pairs.push(("op", Json::str("set-window")));
+                pairs.push(("window", Json::int(*window)));
+            }
+            Request::Sleep { ms } => {
+                pairs.push(("op", Json::str("sleep")));
+                pairs.push(("ms", Json::int(*ms)));
+            }
+            Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
+        }
+        Json::obj(pairs).to_string()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on malformed JSON, an unsupported
+    /// version, a missing/unknown `op`, or missing required fields.
+    pub fn from_line(line: &str) -> Result<Request, ProtocolError> {
+        let v = Json::parse(line).map_err(|e| ProtocolError::new(e.to_string()))?;
+        check_version(&v)?;
+        let op = require_str(&v, "op")?;
+        match op {
+            "submit" => Ok(Request::Submit(SubmitRequest {
+                device: require_str(&v, "device")?.to_string(),
+                qasm: require_str(&v, "qasm")?.to_string(),
+                policy: PolicyKind::parse(opt_str(&v, "policy").unwrap_or("baseline"))?,
+                shots: opt_u64(&v, "shots")?.unwrap_or(4096),
+                seed: opt_u64(&v, "seed")?.unwrap_or(2019),
+                expected: opt_str(&v, "expected").map(str::to_string),
+            })),
+            "characterize" => Ok(Request::Characterize(CharacterizeRequest {
+                device: require_str(&v, "device")?.to_string(),
+                method: MethodKind::parse(opt_str(&v, "method").unwrap_or("brute"))?,
+                shots: opt_u64(&v, "shots")?.unwrap_or(0),
+            })),
+            "status" => Ok(Request::Status),
+            "set-window" => Ok(Request::SetWindow {
+                window: opt_u64(&v, "window")?
+                    .ok_or_else(|| ProtocolError::new("set-window needs a window index"))?,
+            }),
+            "sleep" => Ok(Request::Sleep {
+                ms: opt_u64(&v, "ms")?
+                    .ok_or_else(|| ProtocolError::new("sleep needs ms"))?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::new(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// The result of a `submit` job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitResponse {
+    /// Device the job ran on.
+    pub device: String,
+    /// Calibration window it ran in.
+    pub window: u64,
+    /// Policy applied.
+    pub policy: PolicyKind,
+    /// Trial budget.
+    pub shots: u64,
+    /// Total logged trials (equals `shots`).
+    pub total: u64,
+    /// Number of distinct outputs observed.
+    pub distinct: u64,
+    /// Ranked output log, strongest first, truncated to the top
+    /// [`SubmitResponse::MAX_COUNTS`] entries.
+    pub counts: Vec<(String, u64)>,
+    /// How the profile need was met (`none` for baseline/SIM).
+    pub cache: CacheOutcome,
+    /// End-to-end latency (enqueue to completion), microseconds.
+    pub latency_us: u64,
+    /// PST, present when `expected` was given.
+    pub pst: Option<f64>,
+    /// IST, present when `expected` was given.
+    pub ist: Option<f64>,
+    /// ROCA, present when `expected` was given and the answer was observed.
+    pub roca: Option<u64>,
+}
+
+impl SubmitResponse {
+    /// Ranked-count entries included in a response.
+    pub const MAX_COUNTS: usize = 32;
+}
+
+/// The result of a `characterize` job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeResponse {
+    /// Device characterized.
+    pub device: String,
+    /// Calibration window.
+    pub window: u64,
+    /// Technique.
+    pub method: MethodKind,
+    /// Register width.
+    pub width: u64,
+    /// Trials spent measuring the profile.
+    pub trials: u64,
+    /// Strongest basis state.
+    pub strongest: String,
+    /// Weakest basis state.
+    pub weakest: String,
+    /// Hit/miss/disk-hit.
+    pub cache: CacheOutcome,
+    /// End-to-end latency, microseconds.
+    pub latency_us: u64,
+}
+
+/// The `status` snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusResponse {
+    /// Current calibration window.
+    pub window: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+    /// Jobs currently queued (excludes in-flight).
+    pub queue_depth: u64,
+    /// Queue capacity.
+    pub queue_capacity: u64,
+    /// Whether a shutdown is draining.
+    pub draining: bool,
+    /// Operational counters.
+    pub counters: qmetrics::CountersSnapshot,
+}
+
+/// A parsed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `submit` result.
+    Submit(SubmitResponse),
+    /// `characterize` result.
+    Characterize(CharacterizeResponse),
+    /// `status` result.
+    Status(StatusResponse),
+    /// `set-window` acknowledgement (echoes the window now in force).
+    Window {
+        /// The window index now in force.
+        window: u64,
+    },
+    /// `sleep` acknowledgement.
+    Slept {
+        /// Milliseconds actually slept.
+        ms: u64,
+    },
+    /// `shutdown` acknowledgement.
+    Shutdown,
+    /// Any failure; `code` follows HTTP conventions (`400` bad request,
+    /// `503` busy/draining, `500` execution failure).
+    Error {
+        /// Status code.
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// A `400 bad request` error.
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A `503 busy` backpressure error.
+    pub fn busy(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: 503,
+            message: message.into(),
+        }
+    }
+
+    /// A `500` execution error.
+    pub fn failed(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: 500,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes to a single wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs = vec![("v", Json::int(PROTOCOL_VERSION))];
+        match self {
+            Response::Error { code, message } => {
+                pairs.push(("ok", Json::Bool(false)));
+                pairs.push(("code", Json::int(u64::from(*code))));
+                pairs.push(("error", Json::str(message)));
+            }
+            Response::Submit(r) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("submit")));
+                pairs.push(("device", Json::str(&r.device)));
+                pairs.push(("window", Json::int(r.window)));
+                pairs.push(("policy", Json::str(r.policy.as_str())));
+                pairs.push(("shots", Json::int(r.shots)));
+                pairs.push(("total", Json::int(r.total)));
+                pairs.push(("distinct", Json::int(r.distinct)));
+                pairs.push(("cache", Json::str(r.cache.as_str())));
+                pairs.push(("latency_us", Json::int(r.latency_us)));
+                pairs.push((
+                    "counts",
+                    Json::Obj(
+                        r.counts
+                            .iter()
+                            .map(|(s, n)| (s.clone(), Json::int(*n)))
+                            .collect(),
+                    ),
+                ));
+                if let Some(pst) = r.pst {
+                    pairs.push(("pst", Json::Num(pst)));
+                }
+                if let Some(ist) = r.ist {
+                    pairs.push(("ist", Json::Num(ist)));
+                }
+                if let Some(roca) = r.roca {
+                    pairs.push(("roca", Json::int(roca)));
+                }
+            }
+            Response::Characterize(r) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("characterize")));
+                pairs.push(("device", Json::str(&r.device)));
+                pairs.push(("window", Json::int(r.window)));
+                pairs.push(("method", Json::str(r.method.as_str())));
+                pairs.push(("width", Json::int(r.width)));
+                pairs.push(("trials", Json::int(r.trials)));
+                pairs.push(("strongest", Json::str(&r.strongest)));
+                pairs.push(("weakest", Json::str(&r.weakest)));
+                pairs.push(("cache", Json::str(r.cache.as_str())));
+                pairs.push(("latency_us", Json::int(r.latency_us)));
+            }
+            Response::Status(r) => {
+                let c = &r.counters;
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("status")));
+                pairs.push(("window", Json::int(r.window)));
+                pairs.push(("workers", Json::int(r.workers)));
+                pairs.push(("queue_depth", Json::int(r.queue_depth)));
+                pairs.push(("queue_capacity", Json::int(r.queue_capacity)));
+                pairs.push(("draining", Json::Bool(r.draining)));
+                pairs.push((
+                    "counters",
+                    Json::obj(vec![
+                        ("requests", Json::int(c.requests)),
+                        ("jobs_executed", Json::int(c.jobs_executed)),
+                        ("jobs_failed", Json::int(c.jobs_failed)),
+                        ("busy_rejections", Json::int(c.busy_rejections)),
+                        ("cache_hits", Json::int(c.cache_hits)),
+                        ("cache_misses", Json::int(c.cache_misses)),
+                        ("queue_depth_peak", Json::int(c.queue_depth_peak)),
+                        ("latency_total_us", Json::int(c.latency_total_us)),
+                        ("latency_max_us", Json::int(c.latency_max_us)),
+                    ]),
+                ));
+            }
+            Response::Window { window } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("set-window")));
+                pairs.push(("window", Json::int(*window)));
+            }
+            Response::Slept { ms } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("sleep")));
+                pairs.push(("ms", Json::int(*ms)));
+            }
+            Response::Shutdown => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("shutdown")));
+            }
+        }
+        Json::obj(pairs).to_string()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on malformed JSON or schema violations.
+    pub fn from_line(line: &str) -> Result<Response, ProtocolError> {
+        let v = Json::parse(line).map_err(|e| ProtocolError::new(e.to_string()))?;
+        check_version(&v)?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ProtocolError::new("response missing ok"))?;
+        if !ok {
+            let code = opt_u64(&v, "code")?.unwrap_or(500) as u16;
+            let message = opt_str(&v, "error").unwrap_or("unknown error").to_string();
+            return Ok(Response::Error { code, message });
+        }
+        match require_str(&v, "op")? {
+            "submit" => {
+                let counts = v
+                    .get("counts")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| ProtocolError::new("submit response missing counts"))?
+                    .iter()
+                    .map(|(k, n)| {
+                        n.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| ProtocolError::new(format!("bad count for {k:?}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Submit(SubmitResponse {
+                    device: require_str(&v, "device")?.to_string(),
+                    window: require_u64(&v, "window")?,
+                    policy: PolicyKind::parse(require_str(&v, "policy")?)?,
+                    shots: require_u64(&v, "shots")?,
+                    total: require_u64(&v, "total")?,
+                    distinct: require_u64(&v, "distinct")?,
+                    counts,
+                    cache: CacheOutcome::parse(require_str(&v, "cache")?)?,
+                    latency_us: require_u64(&v, "latency_us")?,
+                    pst: v.get("pst").and_then(Json::as_f64),
+                    ist: v.get("ist").and_then(Json::as_f64),
+                    roca: v.get("roca").and_then(Json::as_u64),
+                }))
+            }
+            "characterize" => Ok(Response::Characterize(CharacterizeResponse {
+                device: require_str(&v, "device")?.to_string(),
+                window: require_u64(&v, "window")?,
+                method: MethodKind::parse(require_str(&v, "method")?)?,
+                width: require_u64(&v, "width")?,
+                trials: require_u64(&v, "trials")?,
+                strongest: require_str(&v, "strongest")?.to_string(),
+                weakest: require_str(&v, "weakest")?.to_string(),
+                cache: CacheOutcome::parse(require_str(&v, "cache")?)?,
+                latency_us: require_u64(&v, "latency_us")?,
+            })),
+            "status" => {
+                let c = v
+                    .get("counters")
+                    .ok_or_else(|| ProtocolError::new("status response missing counters"))?;
+                let counters = qmetrics::CountersSnapshot {
+                    requests: require_u64(c, "requests")?,
+                    jobs_executed: require_u64(c, "jobs_executed")?,
+                    jobs_failed: require_u64(c, "jobs_failed")?,
+                    busy_rejections: require_u64(c, "busy_rejections")?,
+                    cache_hits: require_u64(c, "cache_hits")?,
+                    cache_misses: require_u64(c, "cache_misses")?,
+                    queue_depth_peak: require_u64(c, "queue_depth_peak")?,
+                    latency_total_us: require_u64(c, "latency_total_us")?,
+                    latency_max_us: require_u64(c, "latency_max_us")?,
+                };
+                Ok(Response::Status(StatusResponse {
+                    window: require_u64(&v, "window")?,
+                    workers: require_u64(&v, "workers")?,
+                    queue_depth: require_u64(&v, "queue_depth")?,
+                    queue_capacity: require_u64(&v, "queue_capacity")?,
+                    draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
+                    counters,
+                }))
+            }
+            "set-window" => Ok(Response::Window {
+                window: require_u64(&v, "window")?,
+            }),
+            "sleep" => Ok(Response::Slept {
+                ms: require_u64(&v, "ms")?,
+            }),
+            "shutdown" => Ok(Response::Shutdown),
+            other => Err(ProtocolError::new(format!("unknown response op {other:?}"))),
+        }
+    }
+}
+
+/// A malformed or unsupported protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError(message.into())
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn check_version(v: &Json) -> Result<(), ProtocolError> {
+    match v.get("v") {
+        None => Ok(()), // absent ⇒ v1
+        Some(field) => match field.as_u64() {
+            Some(PROTOCOL_VERSION) => Ok(()),
+            _ => Err(ProtocolError::new(format!(
+                "unsupported protocol version {field} (this server speaks v{PROTOCOL_VERSION})"
+            ))),
+        },
+    }
+}
+
+fn require_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(format!("missing string field {key:?}")))
+}
+
+fn opt_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+fn require_u64(v: &Json, key: &str) -> Result<u64, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::new(format!("missing integer field {key:?}")))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(field) => field
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_request_roundtrips_with_qasm_newlines() {
+        let req = Request::Submit(SubmitRequest {
+            device: "ibmqx4".into(),
+            qasm: "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\n".into(),
+            policy: PolicyKind::Aim,
+            shots: 1000,
+            seed: 7,
+            expected: Some("11111".into()),
+        });
+        let line = req.to_line();
+        assert!(!line.contains('\n'), "wire lines must be newline-free");
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let req = Request::from_line(r#"{"op":"submit","device":"ibmqx2","qasm":"x"}"#).unwrap();
+        match req {
+            Request::Submit(r) => {
+                assert_eq!(r.policy, PolicyKind::Baseline);
+                assert_eq!(r.shots, 4096);
+                assert_eq!(r.seed, 2019);
+                assert_eq!(r.expected, None);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        assert_eq!(Request::from_line(r#"{"op":"status"}"#).unwrap(), Request::Status);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let e = Request::from_line(r#"{"v":2,"op":"status"}"#).unwrap_err();
+        assert!(e.to_string().contains("unsupported protocol version"), "{e}");
+        assert!(Request::from_line(r#"{"v":"x","op":"status"}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        for (line, expect) in [
+            ("not json", "json error"),
+            (r#"{"op":"nope"}"#, "unknown op"),
+            (r#"{"device":"x"}"#, "missing string field \"op\""),
+            (r#"{"op":"submit","device":"x"}"#, "missing string field \"qasm\""),
+            (r#"{"op":"submit","device":"x","qasm":"q","shots":-1}"#, "non-negative"),
+            (r#"{"op":"submit","device":"x","qasm":"q","policy":"magic"}"#, "unknown policy"),
+            (r#"{"op":"set-window"}"#, "needs a window"),
+        ] {
+            let e = Request::from_line(line).unwrap_err().to_string();
+            assert!(e.contains(expect), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            Response::Submit(SubmitResponse {
+                device: "ibmqx4".into(),
+                window: 3,
+                policy: PolicyKind::Sim,
+                shots: 4096,
+                total: 4096,
+                distinct: 17,
+                counts: vec![("00000".into(), 3901), ("00001".into(), 88)],
+                cache: CacheOutcome::None,
+                latency_us: 1234,
+                pst: Some(0.95),
+                ist: Some(44.0),
+                roca: Some(1),
+            }),
+            Response::Characterize(CharacterizeResponse {
+                device: "ibmqx4".into(),
+                window: 0,
+                method: MethodKind::Brute,
+                width: 5,
+                trials: 16384,
+                strongest: "00000".into(),
+                weakest: "11111".into(),
+                cache: CacheOutcome::Miss,
+                latency_us: 99,
+            }),
+            Response::Status(StatusResponse {
+                window: 2,
+                workers: 4,
+                queue_depth: 1,
+                queue_capacity: 32,
+                draining: false,
+                counters: qmetrics::CountersSnapshot {
+                    requests: 10,
+                    jobs_executed: 8,
+                    jobs_failed: 0,
+                    busy_rejections: 1,
+                    cache_hits: 7,
+                    cache_misses: 1,
+                    queue_depth_peak: 3,
+                    latency_total_us: 5000,
+                    latency_max_us: 900,
+                },
+            }),
+            Response::Window { window: 9 },
+            Response::Slept { ms: 50 },
+            Response::Shutdown,
+            Response::busy("busy: queue is full"),
+        ];
+        for resp in cases {
+            let line = resp.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::from_line(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn error_codes_on_the_wire() {
+        let line = Response::busy("busy: queue is full").to_line();
+        assert!(line.contains("\"code\":503"), "{line}");
+        assert!(line.contains("\"ok\":false"), "{line}");
+        match Response::from_line(&line).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, 503);
+                assert!(message.contains("busy"));
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+}

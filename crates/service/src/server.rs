@@ -1,0 +1,461 @@
+//! The long-running mitigation server.
+//!
+//! Threading model:
+//!
+//! * the **accept loop** (the thread that called [`Server::serve`]) hands
+//!   each connection to a detached handler thread;
+//! * **connection handlers** speak the line protocol: cheap requests
+//!   (`status`, `set-window`, `shutdown`) are answered inline, expensive
+//!   ones (`submit`, `characterize`, `sleep`) become jobs on the bounded
+//!   queue and the handler blocks on the job's response channel;
+//! * the **worker pool** drains the queue into [`invmeas::Runner`] /
+//!   the profile cache. The queue is the only buffer: when it is full the
+//!   handler answers `503 busy` immediately instead of queueing unbounded
+//!   memory.
+//!
+//! Graceful shutdown: a `shutdown` request is acknowledged, the server
+//! stops accepting work (new jobs get `503`), the queue is closed, workers
+//! finish every job admitted before the close, and [`Server::serve`]
+//! returns after joining them.
+
+use crate::cache::{CacheConfig, ProfileCache};
+use crate::protocol::{
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, MethodKind, PolicyKind, Request,
+    Response, StatusResponse, SubmitRequest, SubmitResponse,
+};
+use crate::queue::{BoundedQueue, PushError};
+use invmeas::{PolicyChoice, Runner};
+use qmetrics::{CorrectSet, ReliabilityReport, ServiceCounters};
+use qnoise::{CalibrationDrift, DeviceModel};
+use qsim::BitString;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Server configuration. The defaults favour test determinism over raw
+/// throughput; a production deployment raises `workers` and
+/// `queue_capacity`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Bounded job-queue capacity (jobs beyond this get `503 busy`).
+    pub queue_capacity: usize,
+    /// Executor threads per job (keep small: jobs already run in parallel).
+    pub exec_threads: usize,
+    /// Default characterization budget when a request does not name one.
+    pub profile_shots: u64,
+    /// Characterization RNG seed (request seeds never reach the cache, so
+    /// concurrent bursts converge on one profile) — see
+    /// [`crate::cache::ProfileCache`].
+    pub profile_seed: u64,
+    /// Per-window calibration-drift amplitude (0 disables drift).
+    pub drift_amplitude: f64,
+    /// Drift RNG seed.
+    pub drift_seed: u64,
+    /// Cache invalidation threshold on [`qnoise::drift_score`].
+    pub drift_threshold: f64,
+    /// Optional profile persistence directory.
+    pub profile_dir: Option<PathBuf>,
+    /// Upper bound honoured for `sleep` requests.
+    pub max_sleep_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 32,
+            exec_threads: 1,
+            profile_shots: 2048,
+            profile_seed: 2019,
+            drift_amplitude: 0.05,
+            drift_seed: 0x1b3_5de7,
+            drift_threshold: 0.0,
+            profile_dir: None,
+            max_sleep_ms: 5_000,
+        }
+    }
+}
+
+struct Job {
+    kind: JobKind,
+    respond: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+enum JobKind {
+    Submit(SubmitRequest),
+    Characterize(CharacterizeRequest),
+    Sleep { ms: u64 },
+}
+
+struct State {
+    config: ServerConfig,
+    counters: ServiceCounters,
+    cache: ProfileCache,
+    window: AtomicU64,
+    draining: AtomicBool,
+    queue: BoundedQueue<Job>,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-serving mitigation server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("State")
+            .field("local_addr", &self.local_addr)
+            .field("window", &self.window.load(Ordering::Relaxed))
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener (without serving yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = ProfileCache::new(CacheConfig {
+            profile_seed: config.profile_seed,
+            drift_threshold: config.drift_threshold,
+            exec_threads: config.exec_threads,
+            profile_dir: config.profile_dir.clone(),
+        });
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                config,
+                counters: ServiceCounters::new(),
+                cache,
+                window: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
+                queue,
+                local_addr,
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Serves until a `shutdown` request completes its drain. Blocks the
+    /// calling thread and returns the final counter values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors.
+    pub fn serve(self) -> std::io::Result<qmetrics::CountersSnapshot> {
+        let workers: Vec<_> = (0..self.state.config.workers)
+            .map(|i| {
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("invmeas-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.state.draining.load(Ordering::SeqCst) {
+                break; // the wake connection that unblocked accept
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("invmeas-conn".into())
+                .spawn(move || {
+                    let _ = handle_connection(stream, &state);
+                });
+        }
+
+        // Drain: no new jobs are admitted (handlers see `draining`), the
+        // queue closes, and workers finish everything already accepted.
+        self.state.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(self.state.counters.snapshot())
+    }
+}
+
+fn initiate_shutdown(state: &State) {
+    if !state.draining.swap(true, Ordering::SeqCst) {
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(state.local_addr);
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.counters.inc_requests();
+        let (response, shutdown_after) = match Request::from_line(&line) {
+            Err(e) => (Response::bad_request(e.to_string()), false),
+            Ok(Request::Shutdown) => (Response::Shutdown, true),
+            Ok(req) => (handle_request(state, req), false),
+        };
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown_after {
+            initiate_shutdown(state);
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(state: &State, request: Request) -> Response {
+    match request {
+        Request::Status => Response::Status(StatusResponse {
+            window: state.window.load(Ordering::SeqCst),
+            workers: state.config.workers as u64,
+            queue_depth: state.queue.depth() as u64,
+            queue_capacity: state.queue.capacity() as u64,
+            draining: state.draining.load(Ordering::SeqCst),
+            counters: state.counters.snapshot(),
+        }),
+        Request::SetWindow { window } => {
+            state.window.store(window, Ordering::SeqCst);
+            Response::Window { window }
+        }
+        Request::Submit(r) => enqueue_and_wait(state, JobKind::Submit(r)),
+        Request::Characterize(r) => enqueue_and_wait(state, JobKind::Characterize(r)),
+        Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }),
+        Request::Shutdown => unreachable!("handled by the connection loop"),
+    }
+}
+
+fn enqueue_and_wait(state: &State, kind: JobKind) -> Response {
+    if state.draining.load(Ordering::SeqCst) {
+        return Response::busy("busy: server is shutting down");
+    }
+    let (respond, receive) = mpsc::channel();
+    let job = Job {
+        kind,
+        respond,
+        enqueued: Instant::now(),
+    };
+    match state.queue.try_push(job) {
+        Ok(depth) => {
+            state.counters.observe_queue_depth(depth as u64);
+            receive
+                .recv()
+                .unwrap_or_else(|_| Response::failed("worker dropped the job"))
+        }
+        Err(PushError::Full(_)) => {
+            state.counters.inc_busy_rejection();
+            Response::busy("busy: queue is full")
+        }
+        Err(PushError::Closed(_)) => Response::busy("busy: server is shutting down"),
+    }
+}
+
+fn worker_loop(state: &State) {
+    while let Some(job) = state.queue.pop() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(state, &job.kind)
+        }));
+        let mut response =
+            result.unwrap_or_else(|_| Response::failed("job panicked; see server log"));
+        let latency_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.counters.record_latency_us(latency_us);
+        match &mut response {
+            Response::Submit(r) => r.latency_us = latency_us,
+            Response::Characterize(r) => r.latency_us = latency_us,
+            _ => {}
+        }
+        if matches!(response, Response::Error { .. }) {
+            state.counters.inc_jobs_failed();
+        } else {
+            state.counters.inc_jobs_executed();
+        }
+        // The handler may have disconnected; that only loses the reply.
+        let _ = job.respond.send(response);
+    }
+}
+
+/// The device as calibrated in the current window.
+fn snapshot_device(state: &State, name: &str, window: u64) -> Option<DeviceModel> {
+    let nominal = DeviceModel::by_name(name)?;
+    Some(
+        CalibrationDrift::new(nominal, state.config.drift_amplitude)
+            .with_seed(state.config.drift_seed)
+            .window(window),
+    )
+}
+
+fn count_cache_outcome(state: &State, outcome: CacheOutcome) {
+    match outcome {
+        CacheOutcome::Hit | CacheOutcome::DiskHit => state.counters.inc_cache_hit(),
+        CacheOutcome::Miss => state.counters.inc_cache_miss(),
+        CacheOutcome::None => {}
+    }
+}
+
+fn execute_job(state: &State, kind: &JobKind) -> Response {
+    match kind {
+        JobKind::Sleep { ms } => {
+            let ms = (*ms).min(state.config.max_sleep_ms);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Response::Slept { ms }
+        }
+        JobKind::Characterize(r) => execute_characterize(state, r),
+        JobKind::Submit(r) => execute_submit(state, r),
+    }
+}
+
+fn execute_characterize(state: &State, r: &CharacterizeRequest) -> Response {
+    let window = state.window.load(Ordering::SeqCst);
+    let Some(snapshot) = snapshot_device(state, &r.device, window) else {
+        return Response::bad_request(format!("unknown device {:?}", r.device));
+    };
+    let shots = if r.shots == 0 {
+        state.config.profile_shots
+    } else {
+        r.shots
+    };
+    match state
+        .cache
+        .get_or_measure(&r.device, &snapshot, window, r.method, shots)
+    {
+        Ok((table, outcome)) => {
+            count_cache_outcome(state, outcome);
+            Response::Characterize(CharacterizeResponse {
+                device: r.device.clone(),
+                window,
+                method: r.method,
+                width: table.width() as u64,
+                trials: table.trials_used(),
+                strongest: table.strongest_state().to_string(),
+                weakest: table.weakest_state().to_string(),
+                cache: outcome,
+                latency_us: 0, // patched by the worker loop
+            })
+        }
+        Err(message) => Response::bad_request(message),
+    }
+}
+
+fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
+    if r.shots == 0 {
+        return Response::bad_request("shots must be positive");
+    }
+    let window = state.window.load(Ordering::SeqCst);
+    let Some(snapshot) = snapshot_device(state, &r.device, window) else {
+        return Response::bad_request(format!("unknown device {:?}", r.device));
+    };
+    let circuit = match qsim::qasm::from_qasm(&r.qasm) {
+        Ok(c) => c,
+        Err(e) => return Response::bad_request(format!("bad qasm: {e}")),
+    };
+    let n = snapshot.n_qubits();
+    if circuit.n_qubits() != n {
+        return Response::bad_request(format!(
+            "program has {} qubits but {} has {n}; route it before submitting",
+            circuit.n_qubits(),
+            r.device
+        ));
+    }
+
+    let mut runner = Runner::new(snapshot)
+        .with_seed(r.seed)
+        .with_threads(state.config.exec_threads);
+    let (choice, cache_outcome) = match r.policy {
+        PolicyKind::Baseline => (PolicyChoice::Baseline, CacheOutcome::None),
+        PolicyKind::Sim => (PolicyChoice::Sim, CacheOutcome::None),
+        PolicyKind::Aim => {
+            // AIM's profile comes from the shared cache, never measured
+            // per-request — the whole point of the service (§6.2.1).
+            let method = if n <= 5 { MethodKind::Brute } else { MethodKind::Awct };
+            let window_snapshot = runner.device().clone();
+            match state.cache.get_or_measure(
+                &r.device,
+                &window_snapshot,
+                window,
+                method,
+                state.config.profile_shots,
+            ) {
+                Ok((table, outcome)) => {
+                    count_cache_outcome(state, outcome);
+                    runner.set_profile(table);
+                    (PolicyChoice::Aim, outcome)
+                }
+                Err(message) => return Response::bad_request(message),
+            }
+        }
+    };
+
+    let log = runner.run(choice, &circuit, r.shots);
+    let ranked = log.ranked();
+    let distinct = ranked.len() as u64;
+    let counts: Vec<(String, u64)> = ranked
+        .into_iter()
+        .take(SubmitResponse::MAX_COUNTS)
+        .map(|(s, c)| (s.to_string(), c))
+        .collect();
+
+    let (mut pst, mut ist, mut roca) = (None, None, None);
+    if let Some(expected) = &r.expected {
+        let expected: BitString = match expected.parse() {
+            Ok(b) => b,
+            Err(e) => return Response::bad_request(format!("bad expected bits: {e}")),
+        };
+        if expected.width() != log.width() {
+            return Response::bad_request(format!(
+                "expected has {} bits but outputs have {}",
+                expected.width(),
+                log.width()
+            ));
+        }
+        let report = ReliabilityReport::evaluate(&log, &CorrectSet::single(expected));
+        pst = Some(report.pst);
+        // IST is ∞ when no incorrect output was ever observed; JSON has no
+        // spelling for that, so the field is simply omitted.
+        ist = Some(report.ist).filter(|x| x.is_finite());
+        roca = report.roca.map(|x| x as u64);
+    }
+
+    Response::Submit(SubmitResponse {
+        device: r.device.clone(),
+        window,
+        policy: r.policy,
+        shots: r.shots,
+        total: log.total(),
+        distinct,
+        counts,
+        cache: cache_outcome,
+        latency_us: 0, // patched by the worker loop
+        pst,
+        ist,
+        roca,
+    })
+}
