@@ -113,6 +113,18 @@ pub struct ServeArgs {
     pub drift_threshold: f64,
     /// Optional profile persistence directory.
     pub profile_dir: Option<String>,
+    /// Idle-connection reap timeout in milliseconds (0 disables).
+    pub idle_timeout_ms: u64,
+    /// Retries after a transient characterization failure.
+    pub retry_limit: u32,
+    /// Base retry backoff in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Consecutive failures that open a device's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Degraded serves while open before a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Optional `faultplan v1` script for chaos testing.
+    pub fault_plan: Option<String>,
 }
 
 /// Arguments to `submit`.
@@ -132,6 +144,8 @@ pub struct SubmitArgs {
     pub seed: u64,
     /// Expected correct output (enables metrics in the response).
     pub expected: Option<String>,
+    /// Queue-time budget in milliseconds (expired jobs answer `504`).
+    pub deadline_ms: Option<u64>,
 }
 
 /// A control-plane operation for `svc`.
@@ -139,6 +153,9 @@ pub struct SubmitArgs {
 pub enum SvcOp {
     /// Queue/cache/counter snapshot.
     Status,
+    /// Liveness/degradation probe (exit 0 healthy, 1 degraded,
+    /// 2 unreachable).
+    Health,
     /// Graceful drain and stop.
     Shutdown,
     /// Set the calibration-window index.
@@ -197,11 +214,14 @@ USAGE:
   invmeas serve [--addr HOST:PORT] [--workers N] [--queue N]
                 [--exec-threads N] [--profile-shots N] [--profile-seed N]
                 [--drift-amplitude X] [--drift-threshold X]
-                [--profile-dir DIR]
+                [--profile-dir DIR] [--idle-timeout-ms N]
+                [--retry-limit N] [--retry-backoff-ms N]
+                [--breaker-threshold N] [--breaker-cooldown N]
+                [--fault-plan FILE]
   invmeas submit <FILE.qasm> --device <NAME> [--addr HOST:PORT]
                  [--policy baseline|sim|aim] [--shots N] [--seed N]
-                 [--expected BITS]
-  invmeas svc status|shutdown [--addr HOST:PORT]
+                 [--expected BITS] [--deadline-ms N]
+  invmeas svc status|shutdown|health [--addr HOST:PORT]
   invmeas svc set-window <N> [--addr HOST:PORT]
   invmeas svc characterize --device <NAME> [--addr HOST:PORT]
                            [--method brute|esct|awct] [--shots N]
@@ -216,6 +236,11 @@ serve runs the mitigation service (newline-delimited JSON over TCP) and
 prints `listening on HOST:PORT` once the socket is bound; submit and svc
 talk to it (default --addr 127.0.0.1:7878). Exit codes: 2 for usage
 errors, 1 for runtime failures.
+
+--fault-plan loads a `faultplan v1` script that injects deterministic
+faults (errors, latency, panics, torn writes) for chaos testing; see
+DESIGN.md §12. `svc health` exits 0 when healthy, 1 when degraded
+(open circuit breakers or draining), 2 when the server is unreachable.
 ";
 
 /// The default service address shared by `serve`, `submit`, and `svc`.
@@ -394,6 +419,13 @@ fn parse_usize(flag: &str, value: Option<&str>) -> Result<usize, ArgError> {
     Ok(n)
 }
 
+fn parse_u32(flag: &str, value: Option<&str>) -> Result<u32, ArgError> {
+    value
+        .ok_or_else(|| err(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| err(format!("{flag} needs an integer")))
+}
+
 fn parse_f64(flag: &str, value: Option<&str>) -> Result<f64, ArgError> {
     let x: f64 = value
         .ok_or_else(|| err(format!("{flag} needs a value")))?
@@ -416,6 +448,12 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         drift_amplitude: 0.05,
         drift_threshold: 0.0,
         profile_dir: None,
+        idle_timeout_ms: 30_000,
+        retry_limit: 2,
+        retry_backoff_ms: 25,
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        fault_plan: None,
     };
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
@@ -444,6 +482,32 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
                         .to_string(),
                 )
             }
+            "--idle-timeout-ms" => {
+                out.idle_timeout_ms = parse_u64("--idle-timeout-ms", it.next())?
+            }
+            "--retry-limit" => out.retry_limit = parse_u32("--retry-limit", it.next())?,
+            "--retry-backoff-ms" => {
+                out.retry_backoff_ms = parse_u64("--retry-backoff-ms", it.next())?
+            }
+            "--breaker-threshold" => {
+                out.breaker_threshold = parse_u32("--breaker-threshold", it.next())?;
+                if out.breaker_threshold == 0 {
+                    return Err(err("--breaker-threshold must be at least 1"));
+                }
+            }
+            "--breaker-cooldown" => {
+                out.breaker_cooldown = parse_u32("--breaker-cooldown", it.next())?;
+                if out.breaker_cooldown == 0 {
+                    return Err(err("--breaker-cooldown must be at least 1"));
+                }
+            }
+            "--fault-plan" => {
+                out.fault_plan = Some(
+                    it.next()
+                        .ok_or_else(|| err("--fault-plan needs a path"))?
+                        .to_string(),
+                )
+            }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
@@ -460,6 +524,7 @@ fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
         shots: 4096,
         seed: 2019,
         expected: None,
+        deadline_ms: None,
     };
     let mut it = args.iter().map(String::as_str);
     while let Some(tok) = it.next() {
@@ -493,6 +558,9 @@ fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
                         .to_string(),
                 )
             }
+            "--deadline-ms" => {
+                out.deadline_ms = Some(parse_u64("--deadline-ms", it.next())?)
+            }
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag {flag:?}")))
             }
@@ -514,11 +582,11 @@ fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
 fn parse_svc(args: &[String]) -> Result<Command, ArgError> {
     let mut it = args.iter().map(String::as_str);
     let op_name = it.next().ok_or_else(|| {
-        err("svc needs an operation: status, shutdown, set-window, characterize")
+        err("svc needs an operation: status, health, shutdown, set-window, characterize")
     })?;
     let mut addr = DEFAULT_ADDR.to_string();
     let op = match op_name {
-        "status" | "shutdown" => {
+        "status" | "shutdown" | "health" => {
             while let Some(flag) = it.next() {
                 match flag {
                     "--addr" => {
@@ -530,10 +598,10 @@ fn parse_svc(args: &[String]) -> Result<Command, ArgError> {
                     other => return Err(err(format!("unknown flag {other:?}"))),
                 }
             }
-            if op_name == "status" {
-                SvcOp::Status
-            } else {
-                SvcOp::Shutdown
+            match op_name {
+                "status" => SvcOp::Status,
+                "health" => SvcOp::Health,
+                _ => SvcOp::Shutdown,
             }
         }
         "set-window" => {
@@ -682,13 +750,21 @@ mod tests {
                 assert_eq!(a.queue, 32);
                 assert_eq!(a.profile_shots, 2048);
                 assert_eq!(a.profile_dir, None);
+                assert_eq!(a.idle_timeout_ms, 30_000);
+                assert_eq!(a.retry_limit, 2);
+                assert_eq!(a.retry_backoff_ms, 25);
+                assert_eq!(a.breaker_threshold, 3);
+                assert_eq!(a.breaker_cooldown, 4);
+                assert_eq!(a.fault_plan, None);
             }
             other => panic!("wrong command {other:?}"),
         }
         match parse(&argv(
             "serve --addr 127.0.0.1:0 --workers 4 --queue 8 --exec-threads 2 \
              --profile-shots 512 --profile-seed 9 --drift-amplitude 0.1 \
-             --drift-threshold 0.02 --profile-dir cache",
+             --drift-threshold 0.02 --profile-dir cache --idle-timeout-ms 500 \
+             --retry-limit 1 --retry-backoff-ms 0 --breaker-threshold 2 \
+             --breaker-cooldown 3 --fault-plan chaos.plan",
         ))
         .unwrap()
         {
@@ -702,6 +778,12 @@ mod tests {
                 assert_eq!(a.drift_amplitude, 0.1);
                 assert_eq!(a.drift_threshold, 0.02);
                 assert_eq!(a.profile_dir.as_deref(), Some("cache"));
+                assert_eq!(a.idle_timeout_ms, 500);
+                assert_eq!(a.retry_limit, 1);
+                assert_eq!(a.retry_backoff_ms, 0);
+                assert_eq!(a.breaker_threshold, 2);
+                assert_eq!(a.breaker_cooldown, 3);
+                assert_eq!(a.fault_plan.as_deref(), Some("chaos.plan"));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -711,7 +793,7 @@ mod tests {
     fn parses_submit() {
         match parse(&argv(
             "submit prog.qasm --device ibmqx4 --addr 127.0.0.1:9999 --policy aim \
-             --shots 1000 --seed 3 --expected 11111",
+             --shots 1000 --seed 3 --expected 11111 --deadline-ms 250",
         ))
         .unwrap()
         {
@@ -723,6 +805,7 @@ mod tests {
                 assert_eq!(a.shots, 1000);
                 assert_eq!(a.seed, 3);
                 assert_eq!(a.expected.as_deref(), Some("11111"));
+                assert_eq!(a.deadline_ms, Some(250));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -731,6 +814,7 @@ mod tests {
                 assert_eq!(a.addr, DEFAULT_ADDR);
                 assert_eq!(a.policy, Policy::Baseline);
                 assert_eq!(a.shots, 4096);
+                assert_eq!(a.deadline_ms, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -749,6 +833,13 @@ mod tests {
             Command::Svc(a) => {
                 assert_eq!(a.addr, "127.0.0.1:1234");
                 assert_eq!(a.op, SvcOp::Shutdown);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("svc health --addr 127.0.0.1:1234")).unwrap() {
+            Command::Svc(a) => {
+                assert_eq!(a.addr, "127.0.0.1:1234");
+                assert_eq!(a.op, SvcOp::Health);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -775,6 +866,10 @@ mod tests {
             ("serve --workers 0", "--workers must be at least 1"),
             ("serve --drift-amplitude -1", "non-negative"),
             ("serve --bogus", "unknown flag"),
+            ("serve --breaker-threshold 0", "--breaker-threshold must be at least 1"),
+            ("serve --retry-limit no", "--retry-limit needs an integer"),
+            ("serve --fault-plan", "--fault-plan needs a path"),
+            ("submit p.qasm --device x --deadline-ms no", "--deadline-ms needs an integer"),
             ("submit --device x", "requires a QASM file"),
             ("submit p.qasm", "requires --device"),
             ("svc", "needs an operation"),

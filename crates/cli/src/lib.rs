@@ -14,8 +14,10 @@
 //!   requests through its drift-aware profile cache;
 //! * `submit` — send a QASM job to a running server and print the JSON
 //!   response line;
-//! * `svc` — control-plane calls (`status`, `shutdown`, `set-window`,
-//!   `characterize`) against a running server.
+//! * `svc` — control-plane calls (`status`, `health`, `shutdown`,
+//!   `set-window`, `characterize`) against a running server; `health`
+//!   maps degradation onto exit codes (0 healthy, 1 degraded,
+//!   2 unreachable) for scripts and probes.
 //!
 //! The command implementations live in this library so they are unit- and
 //! integration-testable; `main.rs` is a thin shim. Failures carry their
@@ -53,6 +55,11 @@ pub enum CliFailure {
     Usage(args::ArgError),
     /// The command parsed but failed while executing (exit code 1).
     Runtime(CliError),
+    /// `svc health` reached a degraded server (exit code 1). Carries the
+    /// health response line so monitoring still sees the details.
+    Degraded(String),
+    /// `svc health` could not reach the server at all (exit code 2).
+    Unreachable(String),
 }
 
 impl CliFailure {
@@ -60,8 +67,8 @@ impl CliFailure {
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
-            CliFailure::Usage(_) => 2,
-            CliFailure::Runtime(_) => 1,
+            CliFailure::Usage(_) | CliFailure::Unreachable(_) => 2,
+            CliFailure::Runtime(_) | CliFailure::Degraded(_) => 1,
         }
     }
 
@@ -77,6 +84,8 @@ impl fmt::Display for CliFailure {
         match self {
             CliFailure::Usage(e) => write!(f, "{e}"),
             CliFailure::Runtime(e) => write!(f, "{e}"),
+            CliFailure::Degraded(line) => write!(f, "server is degraded: {line}"),
+            CliFailure::Unreachable(e) => write!(f, "{e}"),
         }
     }
 }
@@ -91,7 +100,35 @@ impl std::error::Error for CliFailure {}
 /// [`CliFailure::Runtime`] when execution fails.
 pub fn run_cli(argv: &[String]) -> Result<String, CliFailure> {
     let cmd = args::parse(argv).map_err(CliFailure::Usage)?;
+    // `svc health` has its own three-way exit-code contract (0 healthy,
+    // 1 degraded, 2 unreachable), so it bypasses the usual error mapping.
+    if let Command::Svc(a) = &cmd {
+        if a.op == args::SvcOp::Health {
+            return health(a);
+        }
+    }
     execute(&cmd).map_err(CliFailure::Runtime)
+}
+
+fn health(a: &SvcArgs) -> Result<String, CliFailure> {
+    match invmeas_service::call(&a.addr, &Request::Health) {
+        Err(e) => Err(CliFailure::Unreachable(format!(
+            "cannot reach server at {}: {e}",
+            a.addr
+        ))),
+        Ok(Response::Health(h)) => {
+            let degraded = h.degraded;
+            let line = Response::Health(h).to_line();
+            if degraded {
+                Err(CliFailure::Degraded(line))
+            } else {
+                Ok(line + "\n")
+            }
+        }
+        Ok(other) => Err(CliFailure::Runtime(
+            format!("unexpected response to health: {}", other.to_line()).into(),
+        )),
+    }
 }
 
 /// Resolves a device name (`ibmqx2`, `ibmqx4`, `ibmq-melbourne`, or
@@ -159,6 +196,13 @@ fn method_kind(m: Method) -> MethodKind {
 }
 
 fn serve(a: &ServeArgs) -> Result<String, CliError> {
+    let faults: std::sync::Arc<dyn invmeas_faults::FaultInjector> = match &a.fault_plan {
+        Some(path) => std::sync::Arc::new(
+            invmeas_faults::FaultPlan::load(path)
+                .map_err(|e| format!("cannot load fault plan {path}: {e}"))?,
+        ),
+        None => std::sync::Arc::new(invmeas_faults::NoFaults),
+    };
     let config = ServerConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -169,6 +213,12 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
         drift_amplitude: a.drift_amplitude,
         drift_threshold: a.drift_threshold,
         profile_dir: a.profile_dir.clone().map(std::path::PathBuf::from),
+        idle_timeout_ms: a.idle_timeout_ms,
+        retry_limit: a.retry_limit,
+        retry_backoff_ms: a.retry_backoff_ms,
+        breaker_failure_threshold: a.breaker_threshold,
+        breaker_cooldown: a.breaker_cooldown,
+        faults,
         ..ServerConfig::default()
     };
     let server = Server::bind(config)?;
@@ -202,6 +252,7 @@ fn submit(a: &SubmitArgs) -> Result<String, CliError> {
         shots: a.shots,
         seed: a.seed,
         expected: a.expected.clone(),
+        deadline_ms: a.deadline_ms,
     });
     service_call(&a.addr, &request)
 }
@@ -209,6 +260,9 @@ fn submit(a: &SubmitArgs) -> Result<String, CliError> {
 fn svc(a: &SvcArgs) -> Result<String, CliError> {
     let request = match &a.op {
         args::SvcOp::Status => Request::Status,
+        // `svc health` is routed to `health()` by `run_cli` for its exit
+        // codes; `execute` callers get the plain response line.
+        args::SvcOp::Health => Request::Health,
         args::SvcOp::Shutdown => Request::Shutdown,
         args::SvcOp::SetWindow { window } => Request::SetWindow { window: *window },
         args::SvcOp::Characterize {
@@ -560,6 +614,18 @@ mod tests {
     }
 
     #[test]
+    fn health_against_no_server_exits_unreachable() {
+        let argv: Vec<String> = ["svc", "health", "--addr", "127.0.0.1:9"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let failure = run_cli(&argv).unwrap_err();
+        assert_eq!(failure.exit_code(), 2, "unreachable is exit 2");
+        assert!(!failure.is_usage(), "not a usage error despite the code");
+        assert!(failure.to_string().contains("cannot reach server"), "{failure}");
+    }
+
+    #[test]
     fn submit_without_a_server_is_a_runtime_failure() {
         let dir = std::env::temp_dir().join("invmeas-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -626,6 +692,11 @@ mod tests {
 
         let out = run_cli(&argv(&["svc", "status", "--addr", &addr])).unwrap();
         assert!(out.contains("\"op\":\"status\""), "{out}");
+
+        // A quiet server with no open breakers is healthy: exit 0.
+        let out = run_cli(&argv(&["svc", "health", "--addr", &addr])).unwrap();
+        assert!(out.contains("\"op\":\"health\""), "{out}");
+        assert!(out.contains("\"degraded\":false"), "{out}");
 
         let out = run_cli(&argv(&["svc", "shutdown", "--addr", &addr])).unwrap();
         assert!(out.contains("\"op\":\"shutdown\""), "{out}");

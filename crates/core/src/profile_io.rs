@@ -18,8 +18,10 @@
 //! ```
 
 use crate::rbms::RbmsTable;
+use invmeas_faults::{Fault, FaultInjector, FaultSite};
 use qsim::BitString;
 use std::fmt;
+use std::io::Write as _;
 use std::path::Path;
 
 /// Error loading a persisted profile.
@@ -167,14 +169,67 @@ impl RbmsTable {
         Ok(table)
     }
 
-    /// Writes the profile to a file.
+    /// Writes the profile to a file, crash-safely.
+    ///
+    /// The text is written to a `.tmp` sibling in the same directory and
+    /// atomically renamed over `path`, so a crash (or torn write) mid-save
+    /// leaves either the previous profile or no profile at the final path
+    /// — never a truncated one. The temp file is cleaned up on failure.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ProfileError> {
-        std::fs::write(path, self.to_text())?;
-        Ok(())
+        self.save_with(path, &invmeas_faults::NoFaults)
+    }
+
+    /// [`save`](RbmsTable::save) with a fault-injection hook at the
+    /// [`FaultSite::ProfileWrite`] site.
+    ///
+    /// Injected faults model a failing disk: `Torn` writes a prefix of the
+    /// bytes and then fails (the rename never happens), `Error` fails
+    /// before any byte lands, and `Latency` stalls the write. In all
+    /// failure cases the final `path` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O failures and surfaces injected ones.
+    pub fn save_with(
+        &self,
+        path: impl AsRef<Path>,
+        faults: &dyn FaultInjector,
+    ) -> Result<(), ProfileError> {
+        let path = path.as_ref();
+        let fault = faults.check(FaultSite::ProfileWrite);
+        if let Some(f) = &fault {
+            f.apply_latency();
+            if let Fault::Error(m) = f {
+                return Err(ProfileError::Io(std::io::Error::other(m.clone())));
+            }
+        }
+        let text = self.to_text();
+        let tmp = tmp_sibling(path);
+        let result = (|| -> Result<(), ProfileError> {
+            let mut file = std::fs::File::create(&tmp)?;
+            if matches!(fault, Some(Fault::Torn)) {
+                // A torn write: some bytes land in the temp file, then the
+                // device gives up. The final path must never see them.
+                file.write_all(&text.as_bytes()[..text.len() / 2])?;
+                file.sync_all().ok();
+                return Err(ProfileError::Io(std::io::Error::other(
+                    "injected torn write",
+                )));
+            }
+            file.write_all(text.as_bytes())?;
+            file.sync_all().ok();
+            drop(file);
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Loads a profile from a file.
@@ -183,9 +238,48 @@ impl RbmsTable {
     ///
     /// Returns I/O or parse failures.
     pub fn load(path: impl AsRef<Path>) -> Result<RbmsTable, ProfileError> {
-        let text = std::fs::read_to_string(path)?;
+        RbmsTable::load_with(path, &invmeas_faults::NoFaults)
+    }
+
+    /// [`load`](RbmsTable::load) with a fault-injection hook at the
+    /// [`FaultSite::ProfileRead`] site.
+    ///
+    /// `Corrupt` garbles the bytes after reading (modelling on-disk rot —
+    /// the parser must reject, not mis-load), `Error` fails the read, and
+    /// `Latency` stalls it.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse failures, real or injected.
+    pub fn load_with(
+        path: impl AsRef<Path>,
+        faults: &dyn FaultInjector,
+    ) -> Result<RbmsTable, ProfileError> {
+        let fault = faults.check(FaultSite::ProfileRead);
+        if let Some(f) = &fault {
+            f.apply_latency();
+            if let Fault::Error(m) = f {
+                return Err(ProfileError::Io(std::io::Error::other(m.clone())));
+            }
+        }
+        let mut text = std::fs::read_to_string(path)?;
+        if matches!(fault, Some(Fault::Corrupt)) {
+            // Garble the middle of the payload; headers survive so the
+            // corruption is caught by the body checks, not the header.
+            let mid = text.len() / 2;
+            text.replace_range(mid..(mid + 1).min(text.len()), "\u{0}");
+            text.push_str("\ngarbage trailing row");
+        }
         RbmsTable::from_text(&text)
     }
+}
+
+/// A `.tmp` sibling of `path`, in the same directory so the final rename
+/// never crosses a filesystem boundary.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -290,5 +384,76 @@ mod tests {
     fn negative_strength_rejected() {
         let text = "rbms v1\nwidth 1\ntrials 0\n0 1.0\n1 -0.5";
         assert!(RbmsTable::from_text(text).is_err());
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_final_path() {
+        use invmeas_faults::{Fault, FaultPlan, FaultSite};
+
+        let dir = std::env::temp_dir().join("invmeas-torn-write-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx.rbms");
+        std::fs::remove_file(&path).ok();
+
+        let old = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        let new = RbmsTable::from_strengths(2, vec![1.0, 0.7, 0.6, 0.4]);
+
+        // Torn write with nothing at the final path: path stays absent.
+        let plan = FaultPlan::new(1)
+            .on_nth(FaultSite::ProfileWrite, 1, Fault::Torn)
+            .on_nth(FaultSite::ProfileWrite, 3, Fault::Torn);
+        assert!(new.save_with(&path, &plan).is_err());
+        assert!(!path.exists(), "torn write must not create the final path");
+
+        // Healthy write, then a torn overwrite: the old profile survives.
+        old.save_with(&path, &plan).unwrap();
+        assert!(new.save_with(&path, &plan).is_err());
+        let back = RbmsTable::load(&path).unwrap();
+        assert_eq!(back.strengths(), old.strengths());
+
+        // No temp litter either way.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_read_is_rejected_not_misloaded() {
+        use invmeas_faults::{Fault, FaultPlan, FaultSite};
+
+        let dir = std::env::temp_dir().join("invmeas-corrupt-read-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx.rbms");
+        let table = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        table.save(&path).unwrap();
+
+        let plan = FaultPlan::new(2).on_nth(FaultSite::ProfileRead, 1, Fault::Corrupt);
+        assert!(RbmsTable::load_with(&path, &plan).is_err());
+        // The file itself is intact; a clean read still works.
+        assert!(RbmsTable::load_with(&path, &plan).is_ok());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_write_error_fails_before_any_byte() {
+        use invmeas_faults::{Fault, FaultPlan, FaultSite};
+
+        let dir = std::env::temp_dir().join("invmeas-write-error-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx.rbms");
+        std::fs::remove_file(&path).ok();
+
+        let table = RbmsTable::from_strengths(1, vec![1.0, 0.5]);
+        let plan = FaultPlan::new(3)
+            .on_nth(FaultSite::ProfileWrite, 1, Fault::Error("disk on fire".into()));
+        let err = table.save_with(&path, &plan).unwrap_err().to_string();
+        assert!(err.contains("disk on fire"), "{err}");
+        assert!(!path.exists());
     }
 }

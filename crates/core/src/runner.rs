@@ -9,11 +9,13 @@ use crate::aim::AdaptiveInvertMeasure;
 use crate::policy::{Baseline, MeasurementPolicy};
 use crate::rbms::RbmsTable;
 use crate::sim::StaticInvertMeasure;
+use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::{CorrectSet, ReliabilityReport};
 use qnoise::{DeviceModel, NoisyExecutor};
 use qsim::{Circuit, Counts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which mitigation policy a [`Runner`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,7 @@ pub struct Runner {
     rng: StdRng,
     profile_shots: u64,
     profile: Option<RbmsTable>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl Runner {
@@ -66,6 +69,7 @@ impl Runner {
             rng: StdRng::seed_from_u64(0x1e4d),
             profile_shots: Self::DEFAULT_PROFILE_SHOTS,
             profile: None,
+            faults: Arc::new(NoFaults),
         }
     }
 
@@ -86,6 +90,18 @@ impl Runner {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.executor = self.executor.with_threads(threads);
+        self
+    }
+
+    /// Installs a fault injector on the runner *and* its executor: the
+    /// runner registers one [`FaultSite::Characterize`] arrival per profile
+    /// measurement (see [`Runner::try_profile`]) and the executor one
+    /// [`FaultSite::Exec`] arrival per batch-level run. Production code
+    /// never calls this; the default [`NoFaults`] costs nothing.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.executor = self.executor.with_faults(Arc::clone(&faults));
+        self.faults = faults;
         self
     }
 
@@ -153,8 +169,37 @@ impl Runner {
 
     /// The machine profile, measuring it on first use (brute force for ≤ 5
     /// qubits, AWCT windows beyond — the paper's §6.2.1 prescription).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed fault injector fails the measurement — hosts
+    /// that script faults must use [`Runner::try_profile`].
     pub fn profile(&mut self) -> &RbmsTable {
+        self.try_profile()
+            .expect("characterization failed (injected fault on an infallible path)")
+    }
+
+    /// Fallible form of [`Runner::profile`]: measures the machine profile
+    /// on first use, registering one [`FaultSite::Characterize`] arrival
+    /// per actual measurement (cached and injected profiles register
+    /// nothing). An injected `Error` is returned to the caller — this is
+    /// the hook the mitigation service's retry/breaker layer exercises;
+    /// `Latency` stalls the measurement and `Panic` panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected failure message. Without a fault injector this
+    /// never errors.
+    pub fn try_profile(&mut self) -> Result<&RbmsTable, String> {
         if self.profile.is_none() {
+            if let Some(f) = self.faults.check(FaultSite::Characterize) {
+                f.apply_latency();
+                match f {
+                    Fault::Error(m) => return Err(m),
+                    Fault::Panic(m) => panic!("{m}"),
+                    _ => {}
+                }
+            }
             let table = if self.device.n_qubits() <= 5 {
                 RbmsTable::brute_force(&self.executor, self.profile_shots, &mut self.rng)
             } else {
@@ -162,7 +207,7 @@ impl Runner {
             };
             self.profile = Some(table);
         }
-        self.profile.as_ref().expect("just inserted")
+        Ok(self.profile.as_ref().expect("just inserted"))
     }
 
     /// Executes `circuit` for `shots` trials under the chosen policy and
@@ -310,5 +355,51 @@ mod tests {
     fn wrong_profile_rejected() {
         let table = RbmsTable::from_strengths(2, vec![1.0; 4]);
         let _ = Runner::new(DeviceModel::ibmqx2()).with_profile(table);
+    }
+
+    #[test]
+    fn injected_characterization_fault_is_transient() {
+        use invmeas_faults::FaultPlan;
+
+        let plan = Arc::new(FaultPlan::new(5).on_nth(
+            FaultSite::Characterize,
+            1,
+            Fault::Error("injected characterization failure".into()),
+        ));
+        let mut runner = Runner::new(DeviceModel::ibmqx4())
+            .with_seed(2)
+            .with_profile_shots(256)
+            .with_faults(Arc::clone(&plan) as Arc<dyn FaultInjector>);
+        // First measurement hits the scripted fault; nothing is cached.
+        let err = runner.try_profile().unwrap_err();
+        assert!(err.contains("injected"), "{err}");
+        assert!(runner.cached_profile().is_none());
+        // The retry (arrival 2, nothing scheduled) succeeds and caches.
+        assert!(runner.try_profile().is_ok());
+        assert!(runner.cached_profile().is_some());
+        // Cached access registers no further Characterize arrivals.
+        let arrivals = plan.arrivals(FaultSite::Characterize);
+        let _ = runner.try_profile().unwrap();
+        assert_eq!(plan.arrivals(FaultSite::Characterize), arrivals);
+    }
+
+    #[test]
+    fn faulted_runner_matches_clean_runner_bitwise() {
+        use invmeas_faults::FaultPlan;
+
+        // A plan with only latency faults must not change any sampled data.
+        let plan = Arc::new(FaultPlan::new(6).on_nth(FaultSite::Exec, 1, Fault::Latency(1)));
+        let answer = BitString::ones(5);
+        let circuit = Circuit::basis_state_preparation(answer);
+        let run = |faults: Option<Arc<dyn FaultInjector>>| {
+            let mut runner = Runner::new(DeviceModel::ibmqx4())
+                .with_seed(11)
+                .with_profile_shots(256);
+            if let Some(f) = faults {
+                runner = runner.with_faults(f);
+            }
+            runner.run(PolicyChoice::Aim, &circuit, 1_000)
+        };
+        assert_eq!(run(None), run(Some(plan)));
     }
 }

@@ -41,6 +41,12 @@ pub struct ServiceCounters {
     queue_depth_peak: AtomicU64,
     latency_us_total: AtomicU64,
     latency_us_max: AtomicU64,
+    faults_injected: AtomicU64,
+    retries: AtomicU64,
+    degraded_responses: AtomicU64,
+    deadline_expirations: AtomicU64,
+    connections_reaped: AtomicU64,
+    breaker_trips: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -56,6 +62,12 @@ pub struct CountersSnapshot {
     pub queue_depth_peak: u64,
     pub latency_total_us: u64,
     pub latency_max_us: u64,
+    pub faults_injected: u64,
+    pub retries: u64,
+    pub degraded_responses: u64,
+    pub deadline_expirations: u64,
+    pub connections_reaped: u64,
+    pub breaker_trips: u64,
 }
 
 impl ServiceCounters {
@@ -105,6 +117,37 @@ impl ServiceCounters {
         self.latency_us_max.fetch_max(us, Ordering::Relaxed);
     }
 
+    /// Publishes the fault-injection total (a gauge owned by the fault
+    /// plan, mirrored here so one snapshot carries everything).
+    pub fn set_faults_injected(&self, total: u64) {
+        self.faults_injected.store(total, Ordering::Relaxed);
+    }
+
+    /// Counts one retry of a transient characterization failure.
+    pub fn inc_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response served degraded (stale last-good profile).
+    pub fn inc_degraded_response(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job answered 504 because its deadline expired in queue.
+    pub fn inc_deadline_expiration(&self) {
+        self.deadline_expirations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one idle or hung connection closed by the reaper.
+    pub fn inc_connection_reaped(&self) {
+        self.connections_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one circuit breaker opening (failures or drift trips).
+    pub fn inc_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -117,6 +160,12 @@ impl ServiceCounters {
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             latency_total_us: self.latency_us_total.load(Ordering::Relaxed),
             latency_max_us: self.latency_us_max.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+            deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
+            connections_reaped: self.connections_reaped.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,7 +190,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 11] = [
+        let rows: [(&str, String); 17] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -153,6 +202,12 @@ impl CountersSnapshot {
             ("latency mean (us)", self.latency_mean_us().to_string()),
             ("latency max (us)", self.latency_max_us.to_string()),
             ("latency total (us)", self.latency_total_us.to_string()),
+            ("faults injected", self.faults_injected.to_string()),
+            ("retries", self.retries.to_string()),
+            ("degraded responses", self.degraded_responses.to_string()),
+            ("deadline expirations", self.deadline_expirations.to_string()),
+            ("connections reaped", self.connections_reaped.to_string()),
+            ("breaker trips", self.breaker_trips.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -186,6 +241,13 @@ mod tests {
         c.record_latency_us(100);
         c.record_latency_us(500);
         c.record_latency_us(300);
+        c.set_faults_injected(4);
+        c.inc_retry();
+        c.inc_retry();
+        c.inc_degraded_response();
+        c.inc_deadline_expiration();
+        c.inc_connection_reaped();
+        c.inc_breaker_trip();
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -198,6 +260,12 @@ mod tests {
         assert_eq!(s.latency_max_us, 500);
         assert_eq!(s.latency_mean_us(), 900 / 3);
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.faults_injected, 4);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.degraded_responses, 1);
+        assert_eq!(s.deadline_expirations, 1);
+        assert_eq!(s.connections_reaped, 1);
+        assert_eq!(s.breaker_trips, 1);
     }
 
     #[test]
@@ -232,7 +300,18 @@ mod tests {
     #[test]
     fn render_includes_every_counter() {
         let text = ServiceCounters::new().snapshot().render().to_string();
-        for key in ["requests", "cache hit rate", "busy rejections", "latency max"] {
+        for key in [
+            "requests",
+            "cache hit rate",
+            "busy rejections",
+            "latency max",
+            "faults injected",
+            "retries",
+            "degraded responses",
+            "deadline expirations",
+            "connections reaped",
+            "breaker trips",
+        ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }
     }

@@ -57,6 +57,7 @@ use crate::correlated::CorrelatedReadout;
 use crate::device::DeviceModel;
 use crate::gate_noise::GateNoise;
 use crate::readout::ReadoutModel;
+use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qsim::{BitString, Circuit, Counts, Distribution, Gate, StateVector};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -205,6 +206,7 @@ pub struct NoisyExecutor {
     max_trajectories: u64,
     threads: usize,
     shot_synthesis: bool,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl NoisyExecutor {
@@ -233,6 +235,7 @@ impl NoisyExecutor {
             max_trajectories: Self::DEFAULT_MAX_TRAJECTORIES,
             threads: 1,
             shot_synthesis: true,
+            faults: Arc::new(NoFaults),
         }
     }
 
@@ -295,6 +298,32 @@ impl NoisyExecutor {
         self
     }
 
+    /// Installs a fault injector consulted once per batch-level execution
+    /// call ([`Executor::run`], [`Executor::run_groups`], and
+    /// [`NoisyExecutor::run_parallel`] each register exactly one arrival at
+    /// [`FaultSite::Exec`], never one per worker thread, so a scripted
+    /// plan replays identically under any thread count). The executor
+    /// applies `Latency` (stall) and `Panic` faults; other kinds are
+    /// ignored here because shot execution is infallible by design.
+    ///
+    /// The default is [`NoFaults`], whose check inlines to `None`.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// One arrival at the [`FaultSite::Exec`] site: stalls on `Latency`,
+    /// panics on `Panic`, ignores fault kinds execution cannot express.
+    fn check_exec_fault(&self) {
+        if let Some(f) = self.faults.check(FaultSite::Exec) {
+            f.apply_latency();
+            if let Fault::Panic(m) = f {
+                panic!("{m}");
+            }
+        }
+    }
+
     /// The readout channel in use.
     pub fn readout(&self) -> &CorrelatedReadout {
         &self.readout
@@ -326,8 +355,11 @@ impl NoisyExecutor {
     ) -> Counts {
         assert!(threads >= 1, "need at least one thread");
         assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        // One fault arrival per call, checked before any split so the
+        // site's arrival count is independent of `threads`.
+        self.check_exec_fault();
         if threads == 1 || shots < threads as u64 {
-            return self.run(circuit, shots, rng);
+            return self.run_with_born(circuit, None, shots, rng);
         }
         // Deterministic per-worker seeds drawn from the caller's stream.
         let seeds: Vec<u64> = (0..threads).map(|_| rng.next_u64()).collect();
@@ -342,7 +374,7 @@ impl NoisyExecutor {
                     let worker_shots = base + u64::from((t as u64) < extra);
                     scope.spawn(move || {
                         let mut worker_rng = StdRng::seed_from_u64(seed);
-                        self.run(circuit, worker_shots, &mut worker_rng)
+                        self.run_with_born(circuit, None, worker_shots, &mut worker_rng)
                     })
                 })
                 .collect();
@@ -558,6 +590,7 @@ impl Executor for NoisyExecutor {
     }
 
     fn run(&self, circuit: &Circuit, shots: u64, rng: &mut dyn RngCore) -> Counts {
+        self.check_exec_fault();
         self.run_with_born(circuit, None, shots, rng)
     }
 
@@ -567,6 +600,10 @@ impl Executor for NoisyExecutor {
             shots.len(),
             "one shot budget per circuit required"
         );
+        // One fault arrival for the whole sweep, not one per circuit or
+        // per worker: the scripted sequence must not depend on sweep
+        // decomposition or the thread pool.
+        self.check_exec_fault();
         // One seed per circuit, drawn sequentially before any dispatch: the
         // output is bitwise independent of the worker count and identical
         // to the serial default implementation.

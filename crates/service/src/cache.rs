@@ -1,4 +1,4 @@
-//! The drift-aware RBMS profile cache.
+//! The drift-aware RBMS profile cache, with retry and breaker resilience.
 //!
 //! Characterization is the expensive part of AIM (§6.2.1) but profiles are
 //! stable across calibration windows (§6.1), so the service measures each
@@ -16,19 +16,35 @@
 //!   characterization and N−1 hits;
 //! * **persistence** — with a profile directory configured, measured
 //!   tables are written through via `profile_io` (`rbms v1` files named
-//!   `<device>-<method>-w<window>.rbms`) and later instances warm up from
-//!   disk;
+//!   `<device>-<method>-w<window>.rbms`, crash-safe temp-and-rename
+//!   writes) and later instances warm up from disk;
 //! * **determinism** — the measurement RNG seed is derived from the
 //!   server's profile seed and the key (never from the request), so the
 //!   cached table does not depend on which concurrent request got there
 //!   first.
+//!
+//! ## Resilience
+//!
+//! A transient characterization failure is retried under the cache's
+//! [`RetryPolicy`] (bounded, exponential backoff, deterministic jitter).
+//! When retries exhaust — or a device's profile keeps tripping the drift
+//! threshold — the per-device [`CircuitBreaker`] opens and the cache
+//! serves the **last known-good** profile with [`CacheOutcome::Stale`]
+//! instead of failing or re-hammering the device. A stale RBMS table
+//! still ranks states usefully (strengths are stable across windows,
+//! §6.1), so mitigation degrades gracefully; requests only fail with
+//! [`CacheError::Unavailable`] when there is no last-good profile at all.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::protocol::{CacheOutcome, MethodKind};
 use invmeas::RbmsTable;
+use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
+use qmetrics::ServiceCounters;
 use qnoise::{drift_score, DeviceModel, NoisyExecutor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -38,6 +54,15 @@ struct Entry {
     shots: u64,
     snapshot: DeviceModel,
     table: RbmsTable,
+}
+
+/// One key's cached state: the entry serving fresh hits plus the last
+/// profile that was ever measured (or loaded) successfully, kept for
+/// degraded serves while the breaker is open.
+#[derive(Debug, Default)]
+struct SlotState {
+    current: Option<Entry>,
+    last_good: Option<Entry>,
 }
 
 /// Cache configuration.
@@ -65,34 +90,122 @@ impl Default for CacheConfig {
     }
 }
 
+/// Why the cache could not produce a profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The request can never succeed (e.g. brute force beyond 14 qubits) —
+    /// a client error, not a service degradation.
+    Invalid(String),
+    /// Characterization failed transiently, retries are exhausted, and no
+    /// last-good profile exists to serve degraded.
+    Unavailable(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Invalid(m) => write!(f, "{m}"),
+            CacheError::Unavailable(m) => write!(f, "unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A point-in-time summary of cache and breaker state for `health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheHealth {
+    /// Keys holding a profile (fresh or last-good).
+    pub entries: u64,
+    /// Devices whose breaker is currently open.
+    pub open_breakers: u64,
+    /// Windows behind the current one of the oldest held profile
+    /// (0 when empty or fully fresh).
+    pub oldest_age_windows: u64,
+}
+
+/// Outcome of one measurement attempt, split by retryability.
+enum MeasureError {
+    /// Client/config error — retrying cannot help.
+    Permanent(String),
+    /// Worth retrying (injected or environmental).
+    Transient(String),
+}
+
 /// A per-key slot: the outer `Arc<Mutex>` is what single-flights
 /// concurrent misses for one `(device, method)` pair.
-type Slot = Arc<Mutex<Option<Entry>>>;
+type Slot = Arc<Mutex<SlotState>>;
 
 /// A concurrent profile cache. See the module docs for semantics.
 #[derive(Debug)]
 pub struct ProfileCache {
     config: CacheConfig,
     slots: Mutex<HashMap<(String, MethodKind), Slot>>,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    breaker_config: BreakerConfig,
+    retry: RetryPolicy,
+    counters: Arc<ServiceCounters>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl ProfileCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with default retry/breaker tuning, private
+    /// counters, and no fault injection.
     pub fn new(config: CacheConfig) -> Self {
         ProfileCache {
             config,
             slots: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_config: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            counters: Arc::new(ServiceCounters::new()),
+            faults: Arc::new(NoFaults),
         }
+    }
+
+    /// Shares the server's counter bundle so retries, degraded serves, and
+    /// breaker trips land in the same status snapshot as everything else.
+    #[must_use]
+    pub fn with_counters(mut self, counters: Arc<ServiceCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Installs a fault injector consulted at [`FaultSite::Characterize`]
+    /// (one arrival per actual measurement attempt) and threaded through
+    /// profile I/O ([`FaultSite::ProfileWrite`] / [`FaultSite::ProfileRead`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the breaker tuning used for every device.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker_config = breaker;
+        self
     }
 
     /// Returns the profile for `(device, method)` in calibration window
     /// `window`, measuring it against `snapshot` only when no valid cached
-    /// or persisted copy exists. The outcome reports which path served it.
+    /// or persisted copy exists. The outcome reports which path served it;
+    /// [`CacheOutcome::Stale`] means the breaker (or exhausted retries)
+    /// forced a last-good serve and the response must carry
+    /// `degraded: true`.
     ///
     /// # Errors
     ///
-    /// Returns a message when the method cannot characterize this device
-    /// (e.g. brute force beyond 14 qubits).
+    /// [`CacheError::Invalid`] when the method cannot characterize this
+    /// device (e.g. brute force beyond 14 qubits); [`CacheError::Unavailable`]
+    /// when characterization failed and no last-good profile exists.
     pub fn get_or_measure(
         &self,
         device: &str,
@@ -100,59 +213,176 @@ impl ProfileCache {
         window: u64,
         method: MethodKind,
         shots: u64,
-    ) -> Result<(RbmsTable, CacheOutcome), String> {
+    ) -> Result<(RbmsTable, CacheOutcome), CacheError> {
         assert!(shots > 0, "characterization needs a trial budget");
         let slot = {
             let mut slots = self.slots.lock().expect("cache poisoned");
             Arc::clone(
                 slots
                     .entry((device.to_string(), method))
-                    .or_insert_with(|| Arc::new(Mutex::new(None))),
+                    .or_insert_with(|| Arc::new(Mutex::new(SlotState::default()))),
             )
         };
         // Per-key critical section: the winner of a concurrent burst
         // measures while the rest block here, then observe a fresh entry.
-        let mut entry = slot.lock().expect("cache slot poisoned");
-        if let Some(e) = entry.as_ref() {
+        let mut state = slot.lock().expect("cache slot poisoned");
+        if let Some(e) = state.current.as_ref() {
             let fresh = e.window == window
                 && e.shots == shots
                 && drift_score(&e.snapshot, snapshot) <= self.config.drift_threshold;
             if fresh {
+                self.with_breaker_of(device, |b| b.note_fresh_hit());
                 return Ok((e.table.clone(), CacheOutcome::Hit));
+            }
+            // A drift trip is calibration moving *within* a window — the
+            // profile went bad faster than window keying predicts. Window
+            // advances and budget changes are normal invalidation.
+            let drift_trip = e.window == window
+                && e.shots == shots
+                && self.config.drift_threshold > 0.0
+                && drift_score(&e.snapshot, snapshot) > self.config.drift_threshold;
+            if drift_trip && self.with_breaker_of(device, |b| b.record_drift_trip()) {
+                self.counters.inc_breaker_trip();
             }
         }
 
-        let (table, outcome) = match self.load_persisted(device, method, window, snapshot) {
-            Some(table) => (table, CacheOutcome::DiskHit),
-            None => {
-                let table = self.measure(snapshot, window, method, shots)?;
-                self.persist(device, method, window, &table);
-                (table, CacheOutcome::Miss)
+        // Open breaker: serve the last good profile degraded instead of
+        // attempting characterization (each serve counts toward cooldown).
+        if !self.with_breaker_of(device, |b| b.allow_attempt()) {
+            return self.serve_stale(&mut state, "circuit breaker open");
+        }
+
+        if let Some(table) = self.load_persisted(device, method, window, snapshot) {
+            self.install(&mut state, window, shots, snapshot, &table);
+            self.with_breaker_of(device, |b| b.record_success());
+            return Ok((table, CacheOutcome::DiskHit));
+        }
+
+        // Bounded retry around transient characterization failures, with a
+        // deterministic backoff schedule (seeded jitter, no RNG state).
+        let mut attempt = 0u32;
+        let failure = loop {
+            match self.measure(snapshot, window, method, shots) {
+                Ok(table) => {
+                    self.persist(device, method, window, &table);
+                    self.install(&mut state, window, shots, snapshot, &table);
+                    self.with_breaker_of(device, |b| b.record_success());
+                    return Ok((table, CacheOutcome::Miss));
+                }
+                Err(MeasureError::Permanent(m)) => return Err(CacheError::Invalid(m)),
+                Err(MeasureError::Transient(m)) => {
+                    if attempt >= self.retry.max_retries {
+                        break m;
+                    }
+                    self.counters.inc_retry();
+                    let ms = self.retry.backoff_ms(self.config.profile_seed, device, attempt);
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    attempt += 1;
+                }
             }
         };
-        *entry = Some(Entry {
+
+        if self.with_breaker_of(device, |b| b.record_failure()) {
+            self.counters.inc_breaker_trip();
+        }
+        self.serve_stale(&mut state, &failure)
+    }
+
+    /// Serves the last-good profile degraded, or fails `Unavailable`.
+    fn serve_stale(
+        &self,
+        state: &mut SlotState,
+        reason: &str,
+    ) -> Result<(RbmsTable, CacheOutcome), CacheError> {
+        match state.last_good.as_ref() {
+            Some(e) => {
+                self.counters.inc_degraded_response();
+                Ok((e.table.clone(), CacheOutcome::Stale))
+            }
+            None => Err(CacheError::Unavailable(format!(
+                "{reason} and no last-good profile is cached"
+            ))),
+        }
+    }
+
+    fn install(
+        &self,
+        state: &mut SlotState,
+        window: u64,
+        shots: u64,
+        snapshot: &DeviceModel,
+        table: &RbmsTable,
+    ) {
+        let entry = Entry {
             window,
             shots,
             snapshot: snapshot.clone(),
             table: table.clone(),
-        });
-        Ok((table, outcome))
+        };
+        state.current = Some(entry.clone());
+        state.last_good = Some(entry);
+    }
+
+    /// Runs `f` against the device's breaker (created closed on first use).
+    fn with_breaker_of<T>(&self, device: &str, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
+        let mut breakers = self.breakers.lock().expect("breakers poisoned");
+        let b = breakers
+            .entry(device.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_config));
+        f(b)
+    }
+
+    /// Summarizes cache and breaker state relative to `current_window`.
+    pub fn health(&self, current_window: u64) -> CacheHealth {
+        let open_breakers = {
+            let breakers = self.breakers.lock().expect("breakers poisoned");
+            breakers.values().filter(|b| b.is_open()).count() as u64
+        };
+        let slots: Vec<Slot> = {
+            let map = self.slots.lock().expect("cache poisoned");
+            map.values().map(Arc::clone).collect()
+        };
+        let mut entries = 0u64;
+        let mut oldest = 0u64;
+        for slot in slots {
+            let state = slot.lock().expect("cache slot poisoned");
+            if let Some(e) = state.current.as_ref().or(state.last_good.as_ref()) {
+                entries += 1;
+                oldest = oldest.max(current_window.saturating_sub(e.window));
+            }
+        }
+        CacheHealth {
+            entries,
+            open_breakers,
+            oldest_age_windows: oldest,
+        }
     }
 
     /// Measures a profile with a seed that is a pure function of the
-    /// configuration and the (device, method, window) key.
+    /// configuration and the (device, method, window) key. Registers one
+    /// [`FaultSite::Characterize`] arrival per call.
     fn measure(
         &self,
         snapshot: &DeviceModel,
         window: u64,
         method: MethodKind,
         shots: u64,
-    ) -> Result<RbmsTable, String> {
+    ) -> Result<RbmsTable, MeasureError> {
         let n = snapshot.n_qubits();
         if method == MethodKind::Brute && n > 14 {
-            return Err(format!(
+            return Err(MeasureError::Permanent(format!(
                 "brute-force characterization limited to 14 qubits ({n} requested); use awct"
-            ));
+            )));
+        }
+        if let Some(f) = self.faults.check(FaultSite::Characterize) {
+            f.apply_latency();
+            match f {
+                Fault::Error(m) => return Err(MeasureError::Transient(m)),
+                Fault::Panic(m) => panic!("{m}"),
+                _ => {}
+            }
         }
         let exec = NoisyExecutor::from_device(snapshot).with_threads(self.config.exec_threads);
         let seed = self
@@ -189,7 +419,12 @@ impl ProfileCache {
         snapshot: &DeviceModel,
     ) -> Option<RbmsTable> {
         let path = self.profile_path(device, method, window)?;
-        let table = RbmsTable::load(&path).ok()?;
+        if !path.exists() {
+            return None;
+        }
+        // A corrupt or unreadable file (injected or real) is not fatal:
+        // the caller falls through to a fresh measurement.
+        let table = RbmsTable::load_with(&path, self.faults.as_ref()).ok()?;
         (table.width() == snapshot.n_qubits()).then_some(table)
     }
 
@@ -198,8 +433,10 @@ impl ProfileCache {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
-            // Best effort: a full disk must not fail the request.
-            let _ = table.save(&path);
+            // Best effort: a full disk (or an injected torn write) must not
+            // fail the request — and the crash-safe writer guarantees the
+            // final path never holds a partial profile.
+            let _ = table.save_with(&path, self.faults.as_ref());
         }
     }
 }
@@ -216,11 +453,20 @@ fn fnv(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use invmeas_faults::FaultPlan;
     use qnoise::CalibrationDrift;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn cache() -> ProfileCache {
         ProfileCache::new(CacheConfig::default())
+    }
+
+    /// A retry policy with no backoff sleeps, for fast tests.
+    fn instant_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff_ms: 0,
+        }
     }
 
     #[test]
@@ -339,6 +585,165 @@ mod tests {
         let e = cache()
             .get_or_measure("ideal-15", &wide, 0, MethodKind::Brute, 8)
             .unwrap_err();
-        assert!(e.contains("limited to 14"), "{e}");
+        assert!(matches!(e, CacheError::Invalid(_)), "{e:?}");
+        assert!(e.to_string().contains("limited to 14"), "{e}");
+    }
+
+    #[test]
+    fn transient_failure_is_retried_then_succeeds() {
+        let dev = DeviceModel::ibmqx2();
+        let plan = Arc::new(
+            FaultPlan::new(1)
+                .on_nth(FaultSite::Characterize, 1, Fault::Error("flaky".into()))
+                .on_nth(FaultSite::Characterize, 2, Fault::Error("flaky".into())),
+        );
+        let counters = Arc::new(ServiceCounters::new());
+        let c = ProfileCache::new(CacheConfig::default())
+            .with_faults(plan)
+            .with_retry(instant_retry(2))
+            .with_counters(Arc::clone(&counters));
+        let (_, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap();
+        assert_eq!(o, CacheOutcome::Miss, "third attempt lands");
+        assert_eq!(counters.snapshot().retries, 2);
+        assert_eq!(counters.snapshot().breaker_trips, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_without_last_good_is_unavailable() {
+        let dev = DeviceModel::ibmqx2();
+        let plan = Arc::new(
+            FaultPlan::new(2)
+                .on_nth(FaultSite::Characterize, 1, Fault::Error("down".into()))
+                .on_nth(FaultSite::Characterize, 2, Fault::Error("down".into())),
+        );
+        let c = ProfileCache::new(CacheConfig::default())
+            .with_faults(plan)
+            .with_retry(instant_retry(1));
+        let e = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32)
+            .unwrap_err();
+        assert!(matches!(e, CacheError::Unavailable(_)), "{e:?}");
+        assert!(e.to_string().contains("down"), "{e}");
+    }
+
+    #[test]
+    fn breaker_opens_and_serves_last_good_degraded() {
+        let dev = DeviceModel::ibmqx2();
+        // Warm a last-good profile (arrival 1 is clean), then fail every
+        // subsequent characterization attempt.
+        let mut plan = FaultPlan::new(3);
+        for arrival in 2..40 {
+            plan = plan.on_nth(
+                FaultSite::Characterize,
+                arrival,
+                Fault::Error("device offline".into()),
+            );
+        }
+        let plan = Arc::new(plan);
+        let counters = Arc::new(ServiceCounters::new());
+        let c = ProfileCache::new(CacheConfig::default())
+            .with_faults(Arc::clone(&plan) as Arc<dyn FaultInjector>)
+            .with_retry(instant_retry(0))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                drift_trip_threshold: 4,
+                cooldown: 3,
+            })
+            .with_counters(Arc::clone(&counters));
+
+        let (warm, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+
+        // Window advances force re-measures that now fail. The first two
+        // failures serve stale (breaker trips on the second); after that
+        // the open breaker serves stale without attempting at all. Stop
+        // one serve short of the cooldown so the breaker is still open.
+        let mut stale_serves = 0;
+        for w in 1..=4 {
+            let (t, o) = c
+                .get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32)
+                .unwrap();
+            assert_eq!(o, CacheOutcome::Stale, "window {w}");
+            assert_eq!(t, warm, "stale serve returns the last good table");
+            stale_serves += 1;
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.degraded_responses, stale_serves);
+        assert_eq!(s.breaker_trips, 1);
+        // Attempts stop once the breaker opens: 1 warm + 2 failed = 3
+        // arrivals, the open-breaker serves add none until the cooldown.
+        assert_eq!(plan.arrivals(FaultSite::Characterize), 3);
+        let h = c.health(4);
+        assert_eq!(h.open_breakers, 1);
+        assert_eq!(h.entries, 1);
+        assert_eq!(h.oldest_age_windows, 4);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_after_cooldown() {
+        let dev = DeviceModel::ibmqx2();
+        // Arrival 1 clean (warm), arrivals 2-3 fail (trip), everything
+        // after succeeds — so the half-open probe closes the breaker.
+        let plan = FaultPlan::new(4)
+            .on_nth(FaultSite::Characterize, 2, Fault::Error("blip".into()))
+            .on_nth(FaultSite::Characterize, 3, Fault::Error("blip".into()));
+        let c = ProfileCache::new(CacheConfig::default())
+            .with_faults(Arc::new(plan))
+            .with_retry(instant_retry(0))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                drift_trip_threshold: 4,
+                cooldown: 2,
+            });
+
+        assert_eq!(
+            c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap().1,
+            CacheOutcome::Miss
+        );
+        // Two failing windows trip the breaker (stale serves).
+        for w in [1, 2] {
+            assert_eq!(
+                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32).unwrap().1,
+                CacheOutcome::Stale
+            );
+        }
+        assert_eq!(c.health(2).open_breakers, 1);
+        // Cooldown: two more degraded serves…
+        for w in [3, 4] {
+            assert_eq!(
+                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32).unwrap().1,
+                CacheOutcome::Stale
+            );
+        }
+        // …then the probe runs, succeeds, and the breaker closes.
+        assert_eq!(
+            c.get_or_measure("ibmqx2", &dev, 5, MethodKind::Brute, 32).unwrap().1,
+            CacheOutcome::Miss
+        );
+        assert_eq!(c.health(5).open_breakers, 0);
+    }
+
+    #[test]
+    fn corrupt_persisted_profile_falls_through_to_measurement() {
+        let dir = std::env::temp_dir().join(format!(
+            "invmeas-cache-corrupt-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CacheConfig {
+            profile_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let dev = DeviceModel::ibmqx2();
+        // Instance 1 persists a profile cleanly.
+        let first = ProfileCache::new(cfg.clone());
+        first.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        // Instance 2's first disk read is corrupted: it must re-measure,
+        // not mis-load.
+        let plan = Arc::new(FaultPlan::new(5).on_nth(FaultSite::ProfileRead, 1, Fault::Corrupt));
+        let second = ProfileCache::new(cfg).with_faults(plan);
+        let (_, o) = second.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o, CacheOutcome::Miss, "corrupt read falls back to measuring");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,10 +1,25 @@
 //! A blocking line-protocol client, used by `invmeas submit` and tests.
+//!
+//! Hardening (see `DESIGN.md` §12): every connection carries a default
+//! read/write timeout so a hung server cannot wedge the caller forever,
+//! and [`Client::request`] transparently reconnects **once** when the
+//! server dropped the connection between requests — but only retries
+//! *idempotent* requests (`status`, `health`, `characterize`). A `submit`
+//! that dies mid-flight is never resent: the job may already be running,
+//! and replaying it would double-spend shots.
 
 use crate::protocol::{ProtocolError, Request, Response};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Default socket read/write timeout applied by [`Client::connect`] and
+/// [`call`]. Override with [`Client::set_timeout`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Pause before the single reconnect-and-retry of an idempotent request.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(25);
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -43,45 +58,97 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Whether an error means "the connection is gone" (and a reconnect might
+/// help) as opposed to a timeout or protocol problem (where it won't —
+/// retrying after a *timeout* could resubmit work that is still running).
+fn is_disconnect(e: &ClientError) -> bool {
+    match e {
+        ClientError::Closed => true,
+        ClientError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::NotConnected
+        ),
+        ClientError::Protocol(_) => false,
+    }
+}
+
+/// Whether resending `request` after a reconnect is safe. Reads and cache
+/// lookups are; `submit`/`sleep` (work) and `set-window`/`shutdown`
+/// (state changes we cannot confirm were applied) are not.
+fn is_idempotent(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Status | Request::Health | Request::Characterize(_)
+    )
+}
+
 /// A persistent connection to a mitigation server.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The resolved peer, kept for transparent reconnects.
+    peer: SocketAddr,
+    timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) with
+    /// [`DEFAULT_TIMEOUT`] on reads and writes.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        let peer = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let stream = open(peer, Some(DEFAULT_TIMEOUT))?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            peer,
+            timeout: Some(DEFAULT_TIMEOUT),
         })
     }
 
-    /// Bounds how long [`Client::request`] waits for a response line.
+    /// Bounds how long [`Client::request`] waits for a response line
+    /// (`None` waits forever).
     ///
     /// # Errors
     ///
     /// Propagates socket-option failures.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.writer.set_read_timeout(timeout)?;
-        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        self.timeout = timeout;
         Ok(())
     }
 
-    /// Sends one request and blocks for its response.
+    /// Sends one request and blocks for its response. If the server
+    /// dropped the connection and the request is idempotent, reconnects
+    /// and retries exactly once.
     ///
     /// # Errors
     ///
     /// I/O failures, an early close, or an unparseable response line.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request_once(request) {
+            Err(e) if is_disconnect(&e) && is_idempotent(request) => {
+                std::thread::sleep(RECONNECT_BACKOFF);
+                self.reconnect()?;
+                self.request_once(request)
+            }
+            other => other,
+        }
+    }
+
+    fn request_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.writer.write_all(request.to_line().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -92,9 +159,25 @@ impl Client {
         }
         Response::from_line(line.trim_end()).map_err(ClientError::Protocol)
     }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = open(self.peer, self.timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
 }
 
-/// One-shot convenience: connect, send `request`, return the response.
+fn open(peer: SocketAddr, timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
+    let stream = TcpStream::connect(peer)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    Ok(stream)
+}
+
+/// One-shot convenience: connect (with [`DEFAULT_TIMEOUT`]), send
+/// `request`, return the response.
 ///
 /// # Errors
 ///

@@ -18,8 +18,17 @@
 //!   a [`qnoise::drift_score`] above threshold, with `profile_io`
 //!   write-through persistence — a burst of N AIM requests against one
 //!   device performs **one** characterization;
-//! * [`server`] — the accept loop, worker pool, and graceful drain;
-//! * [`client`] — the blocking client used by `invmeas submit` and tests.
+//! * [`breaker`] — per-device circuit breakers and a deterministic
+//!   bounded-retry policy around transient characterization failures;
+//! * [`server`] — the accept loop, worker pool, idle-connection reaper,
+//!   per-job deadlines, panic isolation, and graceful drain;
+//! * [`client`] — the blocking client used by `invmeas submit` and tests,
+//!   with default timeouts and reconnect-once retry of idempotent
+//!   requests.
+//!
+//! Failure paths are rehearsed, not hoped for: the whole resilience layer
+//! is driven by the deterministic fault-injection scripts in
+//! [`invmeas_faults`] (see `DESIGN.md` §12 and `crates/service/tests/chaos.rs`).
 //!
 //! Everything is deterministic under fixed seeds: request results depend
 //! only on `(device, window, policy, shots, seed)` and cached profiles
@@ -37,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod json;
@@ -44,12 +54,14 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::{CacheConfig, ProfileCache};
-pub use client::{call, Client, ClientError};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+pub use cache::{CacheConfig, CacheError, CacheHealth, ProfileCache};
+pub use client::{call, Client, ClientError, DEFAULT_TIMEOUT};
 pub use json::Json;
 pub use protocol::{
-    CacheOutcome, CharacterizeRequest, CharacterizeResponse, MethodKind, PolicyKind, Request,
-    Response, StatusResponse, SubmitRequest, SubmitResponse, PROTOCOL_VERSION,
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
+    PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
+    PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};

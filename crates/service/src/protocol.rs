@@ -104,6 +104,10 @@ pub enum CacheOutcome {
     DiskHit,
     /// Measured fresh (a characterization ran).
     Miss,
+    /// Served the last known-good profile because fresh characterization
+    /// is unavailable (circuit breaker open or retries exhausted). The
+    /// response carries `degraded: true`.
+    Stale,
     /// The request did not need a profile.
     None,
 }
@@ -115,6 +119,7 @@ impl CacheOutcome {
             CacheOutcome::Hit => "hit",
             CacheOutcome::DiskHit => "disk-hit",
             CacheOutcome::Miss => "miss",
+            CacheOutcome::Stale => "stale",
             CacheOutcome::None => "none",
         }
     }
@@ -124,6 +129,7 @@ impl CacheOutcome {
             "hit" => Ok(CacheOutcome::Hit),
             "disk-hit" => Ok(CacheOutcome::DiskHit),
             "miss" => Ok(CacheOutcome::Miss),
+            "stale" => Ok(CacheOutcome::Stale),
             "none" => Ok(CacheOutcome::None),
             other => Err(ProtocolError::new(format!("unknown cache outcome {other:?}"))),
         }
@@ -145,6 +151,9 @@ pub struct SubmitRequest {
     pub seed: u64,
     /// Expected correct output; enables PST/IST/ROCA in the response.
     pub expected: Option<String>,
+    /// Queue-time budget in milliseconds: if the job has not *started* by
+    /// this deadline it is answered `504` without consuming a worker slot.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A `characterize` request: warm or refresh the profile cache.
@@ -181,6 +190,8 @@ pub enum Request {
         /// Sleep duration in milliseconds (servers clamp this).
         ms: u64,
     },
+    /// Liveness/degradation probe, answered inline (never queued).
+    Health,
     /// Drain in-flight jobs and stop the server.
     Shutdown,
 }
@@ -200,6 +211,9 @@ impl Request {
                 if let Some(e) = &r.expected {
                     pairs.push(("expected", Json::str(e)));
                 }
+                if let Some(d) = r.deadline_ms {
+                    pairs.push(("deadline_ms", Json::int(d)));
+                }
             }
             Request::Characterize(r) => {
                 pairs.push(("op", Json::str("characterize")));
@@ -216,6 +230,7 @@ impl Request {
                 pairs.push(("op", Json::str("sleep")));
                 pairs.push(("ms", Json::int(*ms)));
             }
+            Request::Health => pairs.push(("op", Json::str("health"))),
             Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
         }
         Json::obj(pairs).to_string()
@@ -239,6 +254,7 @@ impl Request {
                 shots: opt_u64(&v, "shots")?.unwrap_or(4096),
                 seed: opt_u64(&v, "seed")?.unwrap_or(2019),
                 expected: opt_str(&v, "expected").map(str::to_string),
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
             })),
             "characterize" => Ok(Request::Characterize(CharacterizeRequest {
                 device: require_str(&v, "device")?.to_string(),
@@ -254,6 +270,7 @@ impl Request {
                 ms: opt_u64(&v, "ms")?
                     .ok_or_else(|| ProtocolError::new("sleep needs ms"))?,
             }),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::new(format!("unknown op {other:?}"))),
         }
@@ -282,6 +299,9 @@ pub struct SubmitResponse {
     pub cache: CacheOutcome,
     /// End-to-end latency (enqueue to completion), microseconds.
     pub latency_us: u64,
+    /// True when the profile came from a stale last-good entry because
+    /// fresh characterization was unavailable (`cache` is then `stale`).
+    pub degraded: bool,
     /// PST, present when `expected` was given.
     pub pst: Option<f64>,
     /// IST, present when `expected` was given.
@@ -312,10 +332,12 @@ pub struct CharacterizeResponse {
     pub strongest: String,
     /// Weakest basis state.
     pub weakest: String,
-    /// Hit/miss/disk-hit.
+    /// Hit/miss/disk-hit/stale.
     pub cache: CacheOutcome,
     /// End-to-end latency, microseconds.
     pub latency_us: u64,
+    /// True when a stale last-good profile was served (`cache` is `stale`).
+    pub degraded: bool,
 }
 
 /// The `status` snapshot.
@@ -333,6 +355,23 @@ pub struct StatusResponse {
     pub draining: bool,
     /// Operational counters.
     pub counters: qmetrics::CountersSnapshot,
+}
+
+/// The `health` probe result, answered inline without queueing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthResponse {
+    /// True when any circuit breaker is open (the service is serving
+    /// stale profiles for at least one device) or a drain is in progress.
+    pub degraded: bool,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Devices whose circuit breaker is currently open.
+    pub open_breakers: u64,
+    /// Profile-cache entries currently held (fresh or stale).
+    pub cache_entries: u64,
+    /// Age of the oldest cached profile, in calibration windows behind
+    /// the current one (0 when the cache is empty or fully fresh).
+    pub cache_age_windows: u64,
 }
 
 /// A parsed server response.
@@ -354,10 +393,13 @@ pub enum Response {
         /// Milliseconds actually slept.
         ms: u64,
     },
+    /// `health` probe result.
+    Health(HealthResponse),
     /// `shutdown` acknowledgement.
     Shutdown,
     /// Any failure; `code` follows HTTP conventions (`400` bad request,
-    /// `503` busy/draining, `500` execution failure).
+    /// `503` busy/draining/unavailable, `500` execution failure, `504`
+    /// deadline exceeded).
     Error {
         /// Status code.
         code: u16,
@@ -391,6 +433,14 @@ impl Response {
         }
     }
 
+    /// A `504 deadline exceeded` error: the job expired in queue.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: 504,
+            message: message.into(),
+        }
+    }
+
     /// Serializes to a single wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         let mut pairs = vec![("v", Json::int(PROTOCOL_VERSION))];
@@ -411,6 +461,9 @@ impl Response {
                 pairs.push(("distinct", Json::int(r.distinct)));
                 pairs.push(("cache", Json::str(r.cache.as_str())));
                 pairs.push(("latency_us", Json::int(r.latency_us)));
+                if r.degraded {
+                    pairs.push(("degraded", Json::Bool(true)));
+                }
                 pairs.push((
                     "counts",
                     Json::Obj(
@@ -442,6 +495,9 @@ impl Response {
                 pairs.push(("weakest", Json::str(&r.weakest)));
                 pairs.push(("cache", Json::str(r.cache.as_str())));
                 pairs.push(("latency_us", Json::int(r.latency_us)));
+                if r.degraded {
+                    pairs.push(("degraded", Json::Bool(true)));
+                }
             }
             Response::Status(r) => {
                 let c = &r.counters;
@@ -464,6 +520,12 @@ impl Response {
                         ("queue_depth_peak", Json::int(c.queue_depth_peak)),
                         ("latency_total_us", Json::int(c.latency_total_us)),
                         ("latency_max_us", Json::int(c.latency_max_us)),
+                        ("faults_injected", Json::int(c.faults_injected)),
+                        ("retries", Json::int(c.retries)),
+                        ("degraded_responses", Json::int(c.degraded_responses)),
+                        ("deadline_expirations", Json::int(c.deadline_expirations)),
+                        ("connections_reaped", Json::int(c.connections_reaped)),
+                        ("breaker_trips", Json::int(c.breaker_trips)),
                     ]),
                 ));
             }
@@ -476,6 +538,15 @@ impl Response {
                 pairs.push(("ok", Json::Bool(true)));
                 pairs.push(("op", Json::str("sleep")));
                 pairs.push(("ms", Json::int(*ms)));
+            }
+            Response::Health(r) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("health")));
+                pairs.push(("degraded", Json::Bool(r.degraded)));
+                pairs.push(("queue_depth", Json::int(r.queue_depth)));
+                pairs.push(("open_breakers", Json::int(r.open_breakers)));
+                pairs.push(("cache_entries", Json::int(r.cache_entries)));
+                pairs.push(("cache_age_windows", Json::int(r.cache_age_windows)));
             }
             Response::Shutdown => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -525,6 +596,7 @@ impl Response {
                     counts,
                     cache: CacheOutcome::parse(require_str(&v, "cache")?)?,
                     latency_us: require_u64(&v, "latency_us")?,
+                    degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
                     pst: v.get("pst").and_then(Json::as_f64),
                     ist: v.get("ist").and_then(Json::as_f64),
                     roca: v.get("roca").and_then(Json::as_u64),
@@ -540,6 +612,7 @@ impl Response {
                 weakest: require_str(&v, "weakest")?.to_string(),
                 cache: CacheOutcome::parse(require_str(&v, "cache")?)?,
                 latency_us: require_u64(&v, "latency_us")?,
+                degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
             })),
             "status" => {
                 let c = v
@@ -555,6 +628,14 @@ impl Response {
                     queue_depth_peak: require_u64(c, "queue_depth_peak")?,
                     latency_total_us: require_u64(c, "latency_total_us")?,
                     latency_max_us: require_u64(c, "latency_max_us")?,
+                    // Resilience counters postdate v1's first release;
+                    // default to 0 so older peers still parse.
+                    faults_injected: opt_u64(c, "faults_injected")?.unwrap_or(0),
+                    retries: opt_u64(c, "retries")?.unwrap_or(0),
+                    degraded_responses: opt_u64(c, "degraded_responses")?.unwrap_or(0),
+                    deadline_expirations: opt_u64(c, "deadline_expirations")?.unwrap_or(0),
+                    connections_reaped: opt_u64(c, "connections_reaped")?.unwrap_or(0),
+                    breaker_trips: opt_u64(c, "breaker_trips")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -571,6 +652,16 @@ impl Response {
             "sleep" => Ok(Response::Slept {
                 ms: require_u64(&v, "ms")?,
             }),
+            "health" => Ok(Response::Health(HealthResponse {
+                degraded: v
+                    .get("degraded")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtocolError::new("health response missing degraded"))?,
+                queue_depth: require_u64(&v, "queue_depth")?,
+                open_breakers: require_u64(&v, "open_breakers")?,
+                cache_entries: require_u64(&v, "cache_entries")?,
+                cache_age_windows: require_u64(&v, "cache_age_windows")?,
+            })),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(ProtocolError::new(format!("unknown response op {other:?}"))),
         }
@@ -646,6 +737,7 @@ mod tests {
             shots: 1000,
             seed: 7,
             expected: Some("11111".into()),
+            deadline_ms: Some(250),
         });
         let line = req.to_line();
         assert!(!line.contains('\n'), "wire lines must be newline-free");
@@ -661,10 +753,12 @@ mod tests {
                 assert_eq!(r.shots, 4096);
                 assert_eq!(r.seed, 2019);
                 assert_eq!(r.expected, None);
+                assert_eq!(r.deadline_ms, None);
             }
             other => panic!("wrong request {other:?}"),
         }
         assert_eq!(Request::from_line(r#"{"op":"status"}"#).unwrap(), Request::Status);
+        assert_eq!(Request::from_line(r#"{"op":"health"}"#).unwrap(), Request::Health);
     }
 
     #[test]
@@ -703,6 +797,7 @@ mod tests {
                 counts: vec![("00000".into(), 3901), ("00001".into(), 88)],
                 cache: CacheOutcome::None,
                 latency_us: 1234,
+                degraded: false,
                 pst: Some(0.95),
                 ist: Some(44.0),
                 roca: Some(1),
@@ -717,6 +812,19 @@ mod tests {
                 weakest: "11111".into(),
                 cache: CacheOutcome::Miss,
                 latency_us: 99,
+                degraded: false,
+            }),
+            Response::Characterize(CharacterizeResponse {
+                device: "ibmqx2".into(),
+                window: 4,
+                method: MethodKind::Awct,
+                width: 5,
+                trials: 8192,
+                strongest: "00000".into(),
+                weakest: "10110".into(),
+                cache: CacheOutcome::Stale,
+                latency_us: 120,
+                degraded: true,
             }),
             Response::Status(StatusResponse {
                 window: 2,
@@ -734,12 +842,26 @@ mod tests {
                     queue_depth_peak: 3,
                     latency_total_us: 5000,
                     latency_max_us: 900,
+                    faults_injected: 2,
+                    retries: 3,
+                    degraded_responses: 1,
+                    deadline_expirations: 1,
+                    connections_reaped: 2,
+                    breaker_trips: 1,
                 },
+            }),
+            Response::Health(HealthResponse {
+                degraded: true,
+                queue_depth: 2,
+                open_breakers: 1,
+                cache_entries: 3,
+                cache_age_windows: 2,
             }),
             Response::Window { window: 9 },
             Response::Slept { ms: 50 },
             Response::Shutdown,
             Response::busy("busy: queue is full"),
+            Response::deadline_exceeded("deadline exceeded after 250 ms in queue"),
         ];
         for resp in cases {
             let line = resp.to_line();

@@ -5,26 +5,47 @@
 //! * the **accept loop** (the thread that called [`Server::serve`]) hands
 //!   each connection to a detached handler thread;
 //! * **connection handlers** speak the line protocol: cheap requests
-//!   (`status`, `set-window`, `shutdown`) are answered inline, expensive
-//!   ones (`submit`, `characterize`, `sleep`) become jobs on the bounded
-//!   queue and the handler blocks on the job's response channel;
+//!   (`status`, `health`, `set-window`, `shutdown`) are answered inline,
+//!   expensive ones (`submit`, `characterize`, `sleep`) become jobs on the
+//!   bounded queue and the handler blocks on the job's response channel;
 //! * the **worker pool** drains the queue into [`invmeas::Runner`] /
 //!   the profile cache. The queue is the only buffer: when it is full the
 //!   handler answers `503 busy` immediately instead of queueing unbounded
 //!   memory.
+//!
+//! Resilience (see `DESIGN.md` §12):
+//!
+//! * **idle reaper** — connections are read under a socket timeout; a
+//!   client that hangs without sending a line is closed (counted in
+//!   `connections_reaped`) without ever consuming a worker;
+//! * **deadlines** — a `submit` carrying `deadline_ms` that is still
+//!   queued when the deadline passes is answered `504` at dequeue, again
+//!   without consuming worker time;
+//! * **panic isolation** — a panicking job answers `500` and the worker
+//!   thread survives at full pool strength;
+//! * **retry + breaker** — transient characterization failures retry with
+//!   deterministic backoff, and a repeatedly failing device's circuit
+//!   breaker serves the last good profile with `degraded: true` (see
+//!   [`crate::cache::ProfileCache`]);
+//! * **fault injection** — every failure path above is rehearsed by
+//!   scripting an [`invmeas_faults::FaultPlan`] into
+//!   [`ServerConfig::faults`]; production uses the free
+//!   [`invmeas_faults::NoFaults`] default.
 //!
 //! Graceful shutdown: a `shutdown` request is acknowledged, the server
 //! stops accepting work (new jobs get `503`), the queue is closed, workers
 //! finish every job admitted before the close, and [`Server::serve`]
 //! returns after joining them.
 
-use crate::cache::{CacheConfig, ProfileCache};
+use crate::breaker::{BreakerConfig, RetryPolicy};
+use crate::cache::{CacheConfig, CacheError, ProfileCache};
 use crate::protocol::{
-    CacheOutcome, CharacterizeRequest, CharacterizeResponse, MethodKind, PolicyKind, Request,
-    Response, StatusResponse, SubmitRequest, SubmitResponse,
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
+    PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
 };
 use crate::queue::{BoundedQueue, PushError};
 use invmeas::{PolicyChoice, Runner};
+use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::{CorrectSet, ReliabilityReport, ServiceCounters};
 use qnoise::{CalibrationDrift, DeviceModel};
 use qsim::BitString;
@@ -33,7 +54,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration. The defaults favour test determinism over raw
 /// throughput; a production deployment raises `workers` and
@@ -64,6 +85,25 @@ pub struct ServerConfig {
     pub profile_dir: Option<PathBuf>,
     /// Upper bound honoured for `sleep` requests.
     pub max_sleep_ms: u64,
+    /// Socket read timeout per connection in milliseconds; a client idle
+    /// (or hung) past this is reaped. 0 disables the reaper.
+    pub idle_timeout_ms: u64,
+    /// Socket write timeout per connection in milliseconds (0 disables) —
+    /// bounds the damage of a client that stops draining its socket.
+    pub write_timeout_ms: u64,
+    /// Retries after a transient characterization failure.
+    pub retry_limit: u32,
+    /// Base backoff between retries in milliseconds (0 = no waiting).
+    pub retry_backoff_ms: u64,
+    /// Consecutive characterization failures that open a device's breaker.
+    pub breaker_failure_threshold: u32,
+    /// Consecutive drift-threshold trips that open a device's breaker.
+    pub breaker_drift_trips: u32,
+    /// Degraded serves while open before a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Fault injector threaded through workers, characterization, profile
+    /// I/O, and execution. Production leaves the [`NoFaults`] default.
+    pub faults: Arc<dyn FaultInjector>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +120,14 @@ impl Default for ServerConfig {
             drift_threshold: 0.0,
             profile_dir: None,
             max_sleep_ms: 5_000,
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            retry_limit: 2,
+            retry_backoff_ms: 25,
+            breaker_failure_threshold: 3,
+            breaker_drift_trips: 4,
+            breaker_cooldown: 4,
+            faults: Arc::new(NoFaults),
         }
     }
 }
@@ -88,6 +136,8 @@ struct Job {
     kind: JobKind,
     respond: mpsc::Sender<Response>,
     enqueued: Instant,
+    /// Queue-time budget: expired jobs answer `504` at dequeue.
+    deadline: Option<Duration>,
 }
 
 enum JobKind {
@@ -98,12 +148,13 @@ enum JobKind {
 
 struct State {
     config: ServerConfig,
-    counters: ServiceCounters,
+    counters: Arc<ServiceCounters>,
     cache: ProfileCache,
     window: AtomicU64,
     draining: AtomicBool,
     queue: BoundedQueue<Job>,
     local_addr: SocketAddr,
+    faults: Arc<dyn FaultInjector>,
 }
 
 /// A bound, not-yet-serving mitigation server.
@@ -133,23 +184,37 @@ impl Server {
         assert!(config.workers > 0, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let counters = Arc::new(ServiceCounters::new());
+        let faults = Arc::clone(&config.faults);
         let cache = ProfileCache::new(CacheConfig {
             profile_seed: config.profile_seed,
             drift_threshold: config.drift_threshold,
             exec_threads: config.exec_threads,
             profile_dir: config.profile_dir.clone(),
+        })
+        .with_counters(Arc::clone(&counters))
+        .with_faults(Arc::clone(&faults))
+        .with_retry(RetryPolicy {
+            max_retries: config.retry_limit,
+            base_backoff_ms: config.retry_backoff_ms,
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: config.breaker_failure_threshold,
+            drift_trip_threshold: config.breaker_drift_trips,
+            cooldown: config.breaker_cooldown,
         });
         let queue = BoundedQueue::new(config.queue_capacity);
         Ok(Server {
             listener,
             state: Arc::new(State {
                 config,
-                counters: ServiceCounters::new(),
+                counters,
                 cache,
                 window: AtomicU64::new(0),
                 draining: AtomicBool::new(false),
                 queue,
                 local_addr,
+                faults,
             }),
         })
     }
@@ -198,6 +263,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        self.state
+            .counters
+            .set_faults_injected(self.state.faults.injected());
         Ok(self.state.counters.snapshot())
     }
 }
@@ -209,11 +277,39 @@ fn initiate_shutdown(state: &State) {
     }
 }
 
+/// Whether a read error is the idle timeout firing (spelled `WouldBlock`
+/// on unix, `TimedOut` on windows) rather than a real failure.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    if state.config.idle_timeout_ms > 0 {
+        stream.set_read_timeout(Some(Duration::from_millis(state.config.idle_timeout_ms)))?;
+    }
+    if state.config.write_timeout_ms > 0 {
+        stream.set_write_timeout(Some(Duration::from_millis(state.config.write_timeout_ms)))?;
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                // The reaper: this client sat idle (or hung mid-line) past
+                // the timeout without a completed request in flight —
+                // close it without ever having consumed a worker.
+                state.counters.inc_connection_reaped();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -230,31 +326,48 @@ fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
             initiate_shutdown(state);
         }
     }
-    Ok(())
 }
 
 fn handle_request(state: &State, request: Request) -> Response {
     match request {
-        Request::Status => Response::Status(StatusResponse {
-            window: state.window.load(Ordering::SeqCst),
-            workers: state.config.workers as u64,
-            queue_depth: state.queue.depth() as u64,
-            queue_capacity: state.queue.capacity() as u64,
-            draining: state.draining.load(Ordering::SeqCst),
-            counters: state.counters.snapshot(),
-        }),
+        Request::Status => {
+            state.counters.set_faults_injected(state.faults.injected());
+            Response::Status(StatusResponse {
+                window: state.window.load(Ordering::SeqCst),
+                workers: state.config.workers as u64,
+                queue_depth: state.queue.depth() as u64,
+                queue_capacity: state.queue.capacity() as u64,
+                draining: state.draining.load(Ordering::SeqCst),
+                counters: state.counters.snapshot(),
+            })
+        }
+        Request::Health => {
+            let window = state.window.load(Ordering::SeqCst);
+            let health = state.cache.health(window);
+            let draining = state.draining.load(Ordering::SeqCst);
+            Response::Health(HealthResponse {
+                degraded: health.open_breakers > 0 || draining,
+                queue_depth: state.queue.depth() as u64,
+                open_breakers: health.open_breakers,
+                cache_entries: health.entries,
+                cache_age_windows: health.oldest_age_windows,
+            })
+        }
         Request::SetWindow { window } => {
             state.window.store(window, Ordering::SeqCst);
             Response::Window { window }
         }
-        Request::Submit(r) => enqueue_and_wait(state, JobKind::Submit(r)),
-        Request::Characterize(r) => enqueue_and_wait(state, JobKind::Characterize(r)),
-        Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }),
+        Request::Submit(r) => {
+            let deadline = r.deadline_ms.map(Duration::from_millis);
+            enqueue_and_wait(state, JobKind::Submit(r), deadline)
+        }
+        Request::Characterize(r) => enqueue_and_wait(state, JobKind::Characterize(r), None),
+        Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }, None),
         Request::Shutdown => unreachable!("handled by the connection loop"),
     }
 }
 
-fn enqueue_and_wait(state: &State, kind: JobKind) -> Response {
+fn enqueue_and_wait(state: &State, kind: JobKind, deadline: Option<Duration>) -> Response {
     if state.draining.load(Ordering::SeqCst) {
         return Response::busy("busy: server is shutting down");
     }
@@ -263,6 +376,7 @@ fn enqueue_and_wait(state: &State, kind: JobKind) -> Response {
         kind,
         respond,
         enqueued: Instant::now(),
+        deadline,
     };
     match state.queue.try_push(job) {
         Ok(depth) => {
@@ -281,7 +395,32 @@ fn enqueue_and_wait(state: &State, kind: JobKind) -> Response {
 
 fn worker_loop(state: &State) {
     while let Some(job) = state.queue.pop() {
+        // Deadline check at dequeue: an expired job is answered without
+        // consuming worker time, so one slow job cannot cascade 504s into
+        // wasted execution for everything queued behind it.
+        if let Some(deadline) = job.deadline {
+            let waited = job.enqueued.elapsed();
+            if waited > deadline {
+                state.counters.inc_deadline_expiration();
+                state.counters.inc_jobs_failed();
+                let _ = job.respond.send(Response::deadline_exceeded(format!(
+                    "deadline exceeded: waited {} ms in queue (budget {} ms)",
+                    waited.as_millis(),
+                    deadline.as_millis()
+                )));
+                continue;
+            }
+        }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The worker fault site: one arrival per job picked up.
+            if let Some(f) = state.faults.check(FaultSite::Worker) {
+                f.apply_latency();
+                match f {
+                    Fault::Error(m) => return Response::failed(m),
+                    Fault::Panic(m) => panic!("{m}"),
+                    _ => {}
+                }
+            }
             execute_job(state, &job.kind)
         }));
         let mut response =
@@ -317,7 +456,17 @@ fn count_cache_outcome(state: &State, outcome: CacheOutcome) {
     match outcome {
         CacheOutcome::Hit | CacheOutcome::DiskHit => state.counters.inc_cache_hit(),
         CacheOutcome::Miss => state.counters.inc_cache_miss(),
-        CacheOutcome::None => {}
+        // Stale serves are tracked in `degraded_responses` by the cache;
+        // they are neither a hit (the entry was invalid) nor a miss (no
+        // characterization ran).
+        CacheOutcome::Stale | CacheOutcome::None => {}
+    }
+}
+
+fn cache_error_response(e: CacheError) -> Response {
+    match e {
+        CacheError::Invalid(m) => Response::bad_request(m),
+        CacheError::Unavailable(m) => Response::busy(m),
     }
 }
 
@@ -359,9 +508,10 @@ fn execute_characterize(state: &State, r: &CharacterizeRequest) -> Response {
                 weakest: table.weakest_state().to_string(),
                 cache: outcome,
                 latency_us: 0, // patched by the worker loop
+                degraded: outcome == CacheOutcome::Stale,
             })
         }
-        Err(message) => Response::bad_request(message),
+        Err(e) => cache_error_response(e),
     }
 }
 
@@ -388,7 +538,8 @@ fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
 
     let mut runner = Runner::new(snapshot)
         .with_seed(r.seed)
-        .with_threads(state.config.exec_threads);
+        .with_threads(state.config.exec_threads)
+        .with_faults(Arc::clone(&state.faults));
     let (choice, cache_outcome) = match r.policy {
         PolicyKind::Baseline => (PolicyChoice::Baseline, CacheOutcome::None),
         PolicyKind::Sim => (PolicyChoice::Sim, CacheOutcome::None),
@@ -409,7 +560,7 @@ fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
                     runner.set_profile(table);
                     (PolicyChoice::Aim, outcome)
                 }
-                Err(message) => return Response::bad_request(message),
+                Err(e) => return cache_error_response(e),
             }
         }
     };
@@ -454,6 +605,7 @@ fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
         counts,
         cache: cache_outcome,
         latency_us: 0, // patched by the worker loop
+        degraded: cache_outcome == CacheOutcome::Stale,
         pst,
         ist,
         roca,

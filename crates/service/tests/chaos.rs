@@ -1,0 +1,360 @@
+//! Chaos tests: the ISSUE 4 acceptance scenarios, driven by scripted
+//! [`invmeas_faults::FaultPlan`]s over real TCP sockets.
+//!
+//! Everything here is deterministic by construction — faults fire on
+//! arrival *counts*, the breaker cooldown is count-based, and retry
+//! jitter is a hash — so the same plan replays the same fault sequence,
+//! retry schedule, breaker transitions, and final counters on every run
+//! and at every worker-pool size (for a fixed request order).
+
+use invmeas_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
+use invmeas_service::{
+    call, CacheOutcome, CharacterizeRequest, Client, MethodKind, PolicyKind, Request, Response,
+    Server, ServerConfig, SubmitRequest,
+};
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type ServeHandle = JoinHandle<std::io::Result<qmetrics::CountersSnapshot>>;
+
+fn start(config: ServerConfig) -> (SocketAddr, ServeHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: ServeHandle) -> qmetrics::CountersSnapshot {
+    assert_eq!(call(addr, &Request::Shutdown).expect("shutdown"), Response::Shutdown);
+    handle
+        .join()
+        .expect("serve thread panicked")
+        .expect("serve returned an error")
+}
+
+/// A fast config: tiny characterization budget, instant retries.
+fn chaos_config(faults: Arc<dyn FaultInjector>) -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        profile_shots: 64,
+        retry_limit: 1,
+        retry_backoff_ms: 0,
+        breaker_failure_threshold: 2,
+        breaker_cooldown: 2,
+        faults,
+        ..ServerConfig::default()
+    }
+}
+
+fn qasm_5q() -> String {
+    qsim::qasm::to_qasm(&qsim::Circuit::basis_state_preparation(
+        "11111".parse().expect("bits"),
+    ))
+}
+
+fn submit_req(deadline_ms: Option<u64>) -> Request {
+    Request::Submit(SubmitRequest {
+        device: "ibmqx4".into(),
+        qasm: qasm_5q(),
+        policy: PolicyKind::Baseline,
+        shots: 200,
+        seed: 7,
+        expected: None,
+        deadline_ms,
+    })
+}
+
+fn characterize_req() -> Request {
+    Request::Characterize(CharacterizeRequest {
+        device: "ibmqx4".into(),
+        method: MethodKind::Brute,
+        shots: 64,
+    })
+}
+
+#[test]
+fn transient_characterization_failure_is_retried_to_success() {
+    // First measurement attempt fails; the in-cache retry succeeds, so
+    // the *client* never sees the fault.
+    let plan = Arc::new(
+        FaultPlan::new(1).on_nth(FaultSite::Characterize, 1, Fault::Error("blip".into())),
+    );
+    let (addr, handle) = start(chaos_config(plan));
+
+    match call(addr, &characterize_req()).expect("characterize") {
+        Response::Characterize(r) => {
+            assert_eq!(r.cache, CacheOutcome::Miss);
+            assert!(!r.degraded, "retry recovered — not a degraded serve");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+
+    let c = shutdown(addr, handle);
+    assert_eq!(c.retries, 1, "exactly one retry");
+    assert_eq!(c.faults_injected, 1);
+    assert_eq!(c.degraded_responses, 0);
+    assert_eq!(c.breaker_trips, 0);
+    assert_eq!(c.jobs_failed, 0);
+}
+
+#[test]
+fn breaker_opens_and_serves_last_good_profile_degraded() {
+    // Arrival 1 (the warm-up) is clean; arrivals 2-5 fail both requests'
+    // attempt+retry pairs, tripping the breaker (threshold 2); arrival 6
+    // is the half-open probe, which recovers.
+    let mut plan = FaultPlan::new(2);
+    for arrival in 2..=5 {
+        plan = plan.on_nth(
+            FaultSite::Characterize,
+            arrival,
+            Fault::Error("device offline".into()),
+        );
+    }
+    let (addr, handle) = start(chaos_config(Arc::new(plan)));
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Warm the cache in window 0, then advance so it must re-measure.
+    match client.request(&characterize_req()).expect("warm") {
+        Response::Characterize(r) => assert_eq!(r.cache, CacheOutcome::Miss),
+        other => panic!("wrong response {other:?}"),
+    }
+    client
+        .request(&Request::SetWindow { window: 1 })
+        .expect("set-window");
+
+    // Two failing requests (attempt + retry each) trip the breaker; both
+    // are served the window-0 profile, flagged degraded.
+    for _ in 0..2 {
+        match client.request(&characterize_req()).expect("degraded") {
+            Response::Characterize(r) => {
+                assert_eq!(r.cache, CacheOutcome::Stale);
+                assert!(r.degraded, "stale serve must be flagged");
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    // Health reflects the open breaker.
+    match client.request(&Request::Health).expect("health") {
+        Response::Health(h) => {
+            assert!(h.degraded);
+            assert_eq!(h.open_breakers, 1);
+            assert_eq!(h.cache_entries, 1);
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+
+    // Two more serves ride out the cooldown without touching the device…
+    for _ in 0..2 {
+        match client.request(&characterize_req()).expect("cooldown") {
+            Response::Characterize(r) => assert!(r.degraded),
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+    // …then the half-open probe re-measures and closes the breaker.
+    match client.request(&characterize_req()).expect("probe") {
+        Response::Characterize(r) => {
+            assert_eq!(r.cache, CacheOutcome::Miss);
+            assert!(!r.degraded);
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    match client.request(&Request::Health).expect("health") {
+        Response::Health(h) => {
+            assert!(!h.degraded, "breaker closed again");
+            assert_eq!(h.open_breakers, 0);
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+
+    let c = shutdown(addr, handle);
+    assert_eq!(c.breaker_trips, 1);
+    assert_eq!(c.degraded_responses, 4);
+    assert_eq!(c.retries, 2);
+    assert_eq!(c.faults_injected, 4);
+}
+
+#[test]
+fn worker_panic_answers_500_and_the_pool_survives() {
+    // One worker, a panic scripted for the second job it picks up. The
+    // same connection must see: success, 500, success — proving the lone
+    // worker thread survived its own panic.
+    let plan = Arc::new(
+        FaultPlan::new(3).on_nth(FaultSite::Worker, 2, Fault::Panic("chaos monkey".into())),
+    );
+    let (addr, handle) = start(chaos_config(plan));
+    let mut client = Client::connect(addr).expect("connect");
+
+    match client.request(&submit_req(None)).expect("first") {
+        Response::Submit(r) => assert_eq!(r.total, 200),
+        other => panic!("wrong response {other:?}"),
+    }
+    match client.request(&submit_req(None)).expect("panicked job") {
+        Response::Error { code, message } => {
+            assert_eq!(code, 500);
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    match client.request(&submit_req(None)).expect("after panic") {
+        Response::Submit(r) => assert_eq!(r.total, 200),
+        other => panic!("wrong response {other:?}"),
+    }
+
+    let c = shutdown(addr, handle);
+    assert_eq!(c.jobs_failed, 1);
+    assert_eq!(c.jobs_executed, 2);
+    assert_eq!(c.faults_injected, 1);
+}
+
+#[test]
+fn hung_client_is_reaped_without_consuming_a_worker() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        idle_timeout_ms: 150,
+        profile_shots: 64,
+        ..ServerConfig::default()
+    });
+
+    // A client that opens a connection, dribbles half a line, and hangs.
+    let mut hung = std::net::TcpStream::connect(addr).expect("connect");
+    hung.write_all(b"{\"v\":1,\"op\":\"sta").expect("partial line");
+    hung.flush().ok();
+
+    // While it hangs, real work flows through the (single) worker.
+    match call(addr, &submit_req(None)).expect("submit during hang") {
+        Response::Submit(r) => assert_eq!(r.total, 200),
+        other => panic!("wrong response {other:?}"),
+    }
+
+    // Give the reaper time to fire, then confirm it did.
+    std::thread::sleep(Duration::from_millis(400));
+    let c = shutdown(addr, handle);
+    assert_eq!(c.connections_reaped, 1, "the hung connection was reaped");
+    assert_eq!(c.jobs_executed, 1, "the hung client never consumed a worker");
+    assert_eq!(c.jobs_failed, 0);
+    drop(hung);
+}
+
+#[test]
+fn expired_deadline_answers_504_and_later_jobs_complete() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        profile_shots: 64,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker…
+    let sleeper = std::thread::spawn(move || call(addr, &Request::Sleep { ms: 600 }));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // …so this deadline-carrying submit expires in the queue.
+    match call(addr, &submit_req(Some(50))).expect("expired submit") {
+        Response::Error { code, message } => {
+            assert_eq!(code, 504);
+            assert!(message.contains("deadline exceeded"), "{message}");
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+    sleeper.join().expect("sleeper").expect("sleep response");
+
+    // The expired job cost no worker time: later jobs complete normally.
+    match call(addr, &submit_req(Some(30_000))).expect("later submit") {
+        Response::Submit(r) => {
+            assert_eq!(r.total, 200);
+            assert!(!r.degraded);
+        }
+        other => panic!("wrong response {other:?}"),
+    }
+
+    let c = shutdown(addr, handle);
+    assert_eq!(c.deadline_expirations, 1);
+    assert_eq!(c.jobs_executed, 2, "sleep + the later submit");
+    assert_eq!(c.jobs_failed, 1, "the expired job");
+}
+
+/// The scripted scenario shared by the determinism runs: a warm-up, a
+/// retry recovery, a breaker trip + cooldown + half-open recovery, one
+/// worker panic, and a couple of clean submits — every resilience path in
+/// one fixed request order.
+const DETERMINISM_SCRIPT: &str = "\
+faultplan v1
+seed 7
+# two failing requests (attempt + retry each) trip the breaker
+characterize 2 error flaky calibration
+characterize 3 error flaky calibration
+characterize 4 error flaky calibration
+characterize 5 error flaky calibration
+# the 8th job a worker picks up dies
+worker 8 panic chaos monkey
+";
+
+fn run_determinism_scenario(workers: usize) -> qmetrics::CountersSnapshot {
+    let plan = FaultPlan::from_text(DETERMINISM_SCRIPT).expect("plan");
+    let (addr, handle) = start(ServerConfig {
+        workers,
+        ..chaos_config(Arc::new(plan))
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = |r: &Request| client.request(r).expect("response");
+
+    req(&characterize_req()); // job 1: clean warm-up (arrival 1)
+    req(&Request::SetWindow { window: 1 });
+    req(&characterize_req()); // job 2: fails twice → failure 1, stale
+    req(&characterize_req()); // job 3: fails twice → trips, stale
+    req(&characterize_req()); // job 4: open, stale (cooldown 1/2)
+    req(&characterize_req()); // job 5: open, stale (cooldown 2/2)
+    req(&characterize_req()); // job 6: half-open probe succeeds
+    req(&submit_req(None)); // job 7: clean submit
+    match req(&submit_req(None)) {
+        // job 8: the scripted worker panic
+        Response::Error { code, .. } => assert_eq!(code, 500),
+        other => panic!("expected the panic 500, got {other:?}"),
+    }
+    req(&submit_req(None)); // job 9: clean again
+    drop(client);
+    shutdown(addr, handle)
+}
+
+#[test]
+fn fault_plan_replays_identically_across_runs_and_worker_counts() {
+    let runs = [
+        run_determinism_scenario(1),
+        run_determinism_scenario(1),
+        run_determinism_scenario(3),
+    ];
+
+    // Latency fields are wall-clock and excluded; everything else must be
+    // bit-identical across runs *and* worker-pool sizes.
+    let key = |c: &qmetrics::CountersSnapshot| {
+        vec![
+            c.requests,
+            c.jobs_executed,
+            c.jobs_failed,
+            c.busy_rejections,
+            c.cache_hits,
+            c.cache_misses,
+            c.queue_depth_peak,
+            c.faults_injected,
+            c.retries,
+            c.degraded_responses,
+            c.deadline_expirations,
+            c.connections_reaped,
+            c.breaker_trips,
+        ]
+    };
+    assert_eq!(key(&runs[0]), key(&runs[1]), "same plan, same counters");
+    assert_eq!(key(&runs[0]), key(&runs[2]), "worker count changes nothing");
+
+    let c = &runs[0];
+    assert_eq!(c.faults_injected, 5, "4 characterize errors + 1 panic");
+    assert_eq!(c.retries, 2);
+    assert_eq!(c.degraded_responses, 4);
+    assert_eq!(c.breaker_trips, 1);
+    assert_eq!(c.deadline_expirations, 0);
+    assert_eq!(c.jobs_failed, 1, "only the panicked job");
+    assert_eq!(c.jobs_executed, 8);
+}

@@ -42,6 +42,7 @@ fn submit_req(seed: u64) -> Request {
         shots: 2000,
         seed,
         expected: Some("11111".into()),
+        deadline_ms: None,
     })
 }
 
@@ -258,6 +259,7 @@ fn protocol_errors_over_the_wire() {
         shots: 10,
         seed: 1,
         expected: None,
+        deadline_ms: None,
     });
     match client.request(&bad_device).expect("response") {
         Response::Error { code, message } => {
@@ -273,6 +275,7 @@ fn protocol_errors_over_the_wire() {
         shots: 10,
         seed: 1,
         expected: None,
+        deadline_ms: None,
     });
     match client.request(&bad_qasm).expect("response") {
         Response::Error { code, message } => {
