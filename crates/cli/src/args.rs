@@ -67,6 +67,13 @@ pub struct CharacterizeArgs {
     pub seed: u64,
     /// Worker threads for batched sweeps (`None` = all available cores).
     pub threads: Option<usize>,
+    /// Optional checkpoint-journal path (defaults to `<out>.journal` when
+    /// `--resume` is given with `--out`).
+    pub journal: Option<String>,
+    /// Resume from an existing checkpoint journal instead of starting over.
+    pub resume: bool,
+    /// Optional `faultplan v1` script for chaos testing the journal path.
+    pub fault_plan: Option<String>,
 }
 
 /// Arguments to `run`.
@@ -207,6 +214,7 @@ USAGE:
   invmeas devices
   invmeas characterize --device <NAME> [--method brute|esct|awct]
                        [--shots N] [--out FILE] [--seed N] [--threads N]
+                       [--journal FILE] [--resume] [--fault-plan FILE]
   invmeas profile-info <FILE>
   invmeas run <FILE.qasm> --device <NAME> [--policy baseline|sim|aim]
               [--shots N] [--expected BITS] [--profile FILE] [--route]
@@ -241,6 +249,11 @@ errors, 1 for runtime failures.
 faults (errors, latency, panics, torn writes) for chaos testing; see
 DESIGN.md §12. `svc health` exits 0 when healthy, 1 when degraded
 (open circuit breakers or draining), 2 when the server is unreachable.
+
+characterize --journal writes a checkpoint after every completed work
+unit so an interrupted run can be resumed with --resume (bit-identical
+to an uninterrupted run); --resume with --out but no --journal uses
+<out>.journal. See DESIGN.md §13.
 ";
 
 /// The default service address shared by `serve`, `submit`, and `svc`.
@@ -305,6 +318,9 @@ fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
         out: None,
         seed: 2019,
         threads: None,
+        journal: None,
+        resume: false,
+        fault_plan: None,
     };
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
@@ -333,11 +349,29 @@ fn parse_characterize(args: &[String]) -> Result<Command, ArgError> {
                         .to_string(),
                 )
             }
+            "--journal" => {
+                out.journal = Some(
+                    it.next()
+                        .ok_or_else(|| err("--journal needs a path"))?
+                        .to_string(),
+                )
+            }
+            "--resume" => out.resume = true,
+            "--fault-plan" => {
+                out.fault_plan = Some(
+                    it.next()
+                        .ok_or_else(|| err("--fault-plan needs a path"))?
+                        .to_string(),
+                )
+            }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
     }
     if out.device.is_empty() {
         return Err(err("characterize requires --device"));
+    }
+    if out.resume && out.journal.is_none() && out.out.is_none() {
+        return Err(err("--resume needs --journal (or --out to derive one)"));
     }
     Ok(Command::Characterize(out))
 }
@@ -683,7 +717,7 @@ mod tests {
     fn parses_characterize() {
         let cmd = parse(&argv(
             "characterize --device ibmqx4 --method awct --shots 1000 --out p.rbms --seed 7 \
-             --threads 3",
+             --threads 3 --journal p.journal --resume --fault-plan chaos.plan",
         ))
         .unwrap();
         match cmd {
@@ -694,6 +728,9 @@ mod tests {
                 assert_eq!(a.out.as_deref(), Some("p.rbms"));
                 assert_eq!(a.seed, 7);
                 assert_eq!(a.threads, Some(3));
+                assert_eq!(a.journal.as_deref(), Some("p.journal"));
+                assert!(a.resume);
+                assert_eq!(a.fault_plan.as_deref(), Some("chaos.plan"));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -708,6 +745,9 @@ mod tests {
                 assert_eq!(a.shots, 8192);
                 assert_eq!(a.out, None);
                 assert_eq!(a.threads, None);
+                assert_eq!(a.journal, None);
+                assert!(!a.resume);
+                assert_eq!(a.fault_plan, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -894,6 +934,9 @@ mod tests {
             ("characterize --device x --method nope", "bad --method"),
             ("characterize --device x --threads 0", "--threads must be at least 1"),
             ("characterize --device x --threads no", "--threads needs an integer"),
+            ("characterize --device x --journal", "--journal needs a path"),
+            ("characterize --device x --resume", "--resume needs --journal"),
+            ("characterize --device x --fault-plan", "--fault-plan needs a path"),
             ("run --device x", "requires a QASM file"),
             ("run a.qasm b.qasm --device x", "unexpected argument"),
             ("run a.qasm --device x --policy nope", "bad --policy"),

@@ -31,7 +31,8 @@ pub mod args;
 
 use args::{CharacterizeArgs, Command, Method, Policy, RunArgs, ServeArgs, SubmitArgs, SvcArgs};
 use invmeas::{
-    AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
+    characterize_journaled, AdaptiveInvertMeasure, Baseline, CharSpec, MeasurementPolicy,
+    ProfileMeta, RbmsTable, StaticInvertMeasure,
 };
 use invmeas_service::{
     CharacterizeRequest, MethodKind, PolicyKind, Request, Response, Server, ServerConfig,
@@ -306,25 +307,106 @@ fn resolve_threads(requested: Option<usize>) -> usize {
     })
 }
 
+/// The journal path a `characterize` invocation should use: the explicit
+/// `--journal` value, or `<out>.journal` when `--resume` has only `--out`
+/// to work from. `None` means run without checkpoints (the legacy path).
+fn characterize_journal_path(a: &CharacterizeArgs) -> Option<std::path::PathBuf> {
+    match (&a.journal, a.resume, &a.out) {
+        (Some(j), _, _) => Some(std::path::PathBuf::from(j)),
+        (None, true, Some(out)) => Some(std::path::PathBuf::from(format!("{out}.journal"))),
+        _ => None,
+    }
+}
+
 fn characterize(a: &CharacterizeArgs) -> Result<String, CliError> {
+    use std::fmt::Write as _;
     let dev = resolve_device(&a.device)?;
+    let n = dev.n_qubits();
+    if a.method == Method::Brute && n > 14 {
+        return Err("brute-force characterization limited to 14 qubits; use awct".into());
+    }
     let exec = NoisyExecutor::from_device(&dev).with_threads(resolve_threads(a.threads));
-    let mut rng = StdRng::seed_from_u64(a.seed);
-    let table = match a.method {
-        Method::Brute => {
-            if dev.n_qubits() > 14 {
-                return Err("brute-force characterization limited to 14 qubits; use awct".into());
-            }
-            RbmsTable::brute_force(&exec, a.shots, &mut rng)
-        }
-        Method::Esct => RbmsTable::esct(&exec, a.shots, &mut rng),
-        Method::Awct => RbmsTable::awct(&exec, 4.min(dev.n_qubits()), 2.min(dev.n_qubits() - 1), a.shots, &mut rng),
-    };
+    let journal = characterize_journal_path(a);
     let mut out = String::new();
+    let table = match &journal {
+        Some(path) => {
+            // Checkpointed run: resumable and bit-identical to an
+            // uninterrupted journaled run, but chunked differently from
+            // the single-RNG legacy path, so the two paths' numerics are
+            // not interchangeable.
+            if a.method == Method::Esct && n > 16 {
+                return Err(
+                    "journaled ESCT characterization limited to 16 qubits; use awct".into(),
+                );
+            }
+            let faults: Box<dyn invmeas_faults::FaultInjector> = match &a.fault_plan {
+                Some(p) => Box::new(
+                    invmeas_faults::FaultPlan::load(p)
+                        .map_err(|e| format!("cannot load fault plan {p}: {e}"))?,
+                ),
+                None => Box::new(invmeas_faults::NoFaults),
+            };
+            let spec = match a.method {
+                Method::Brute => CharSpec::brute(dev.name(), n, a.shots, a.seed),
+                Method::Esct => CharSpec::esct(dev.name(), n, a.shots, a.seed),
+                Method::Awct => {
+                    CharSpec::awct(dev.name(), n, 4.min(n), 2.min(n - 1), a.shots, a.seed)
+                }
+            };
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            let (table, stats) =
+                characterize_journaled(&exec, &spec, Some(path), faults.as_ref())
+                    .map_err(|e| format!("characterization failed: {e}"))?;
+            if stats.resumed() {
+                let _ = writeln!(
+                    out,
+                    "resumed {} of {} units from {}",
+                    stats.resumed_units,
+                    stats.total_units,
+                    path.display()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "journal: {} checkpoints at {}",
+                stats.checkpoints_written,
+                path.display()
+            );
+            table
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(a.seed);
+            match a.method {
+                Method::Brute => RbmsTable::brute_force(&exec, a.shots, &mut rng),
+                Method::Esct => RbmsTable::esct(&exec, a.shots, &mut rng),
+                Method::Awct => RbmsTable::awct(&exec, 4.min(n), 2.min(n - 1), a.shots, &mut rng),
+            }
+        }
+    };
     out.push_str(&render_profile(&table, dev.name()));
     if let Some(path) = &a.out {
-        table.save(path)?;
+        let meta = ProfileMeta {
+            device: dev.name().to_string(),
+            method: match a.method {
+                Method::Brute => "brute",
+                Method::Esct => "esct",
+                Method::Awct => "awct",
+            }
+            .to_string(),
+            seed: a.seed,
+            window: if a.method == Method::Awct { 4.min(n) } else { 0 },
+        };
+        table.save_v2_with(path, &meta, &invmeas_faults::NoFaults)?;
         out.push_str(&format!("\nprofile written to {path}\n"));
+        // The journal exists to reproduce the profile; once the profile
+        // is durable the checkpoints have served their purpose.
+        if let Some(j) = &journal {
+            if std::fs::remove_file(j).is_ok() {
+                out.push_str(&format!("journal {} removed\n", j.display()));
+            }
+        }
     }
     Ok(out)
 }
@@ -370,8 +452,16 @@ fn render_profile(table: &RbmsTable, label: &str) -> String {
 }
 
 fn profile_info(path: &str) -> Result<String, CliError> {
-    let table = RbmsTable::load(path)?;
-    Ok(render_profile(&table, path))
+    let (table, meta) = RbmsTable::load_with_meta(path)?;
+    let mut out = match meta {
+        Some(m) => format!(
+            "format rbms v2 (checksummed): device {}  method {}  seed {}  window {}\n",
+            m.device, m.method, m.seed, m.window
+        ),
+        None => "format rbms v1 (no checksum; re-save to upgrade)\n".to_string(),
+    };
+    out.push_str(&render_profile(&table, path));
+    Ok(out)
 }
 
 fn run(a: &RunArgs) -> Result<String, CliError> {
@@ -517,6 +607,9 @@ mod tests {
             out: Some(path.to_string_lossy().into_owned()),
             seed: 1,
             threads: Some(2),
+            journal: None,
+            resume: false,
+            fault_plan: None,
         }))
         .unwrap();
         assert!(out.contains("RBMS profile"));
@@ -526,7 +619,62 @@ mod tests {
         })
         .unwrap();
         assert!(info.contains("strongest"));
+        assert!(info.contains("format rbms v2"), "{info}");
+        assert!(info.contains("device ibmqx4"), "{info}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journaled_characterize_resumes_after_crash_byte_identically() {
+        let dir = std::env::temp_dir().join("invmeas-cli-journal-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let args_for = |out: &std::path::Path, fault_plan: Option<&std::path::Path>, resume| {
+            CharacterizeArgs {
+                device: "ibmqx2".into(),
+                method: Method::Brute,
+                shots: 400,
+                out: Some(out.to_string_lossy().into_owned()),
+                seed: 11,
+                threads: Some(2),
+                journal: None,
+                resume,
+                fault_plan: fault_plan.map(|p| p.to_string_lossy().into_owned()),
+            }
+        };
+
+        // Reference: an uninterrupted journaled run.
+        let clean_out = dir.join("clean.rbms");
+        let report = execute(&Command::Characterize(args_for(&clean_out, None, true))).unwrap();
+        assert!(report.contains("journal:"), "{report}");
+        assert!(report.contains("journal") && report.contains("removed"), "{report}");
+        let clean_bytes = std::fs::read(&clean_out).unwrap();
+
+        // Crash run: a scripted panic at the third journal checkpoint.
+        let plan_path = dir.join("kill.plan");
+        std::fs::write(&plan_path, "faultplan v1\nseed 0\njournal-write 3 panic scripted kill\n")
+            .unwrap();
+        let crash_out = dir.join("crash.rbms");
+        let crash_args = args_for(&crash_out, Some(&plan_path), true);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&Command::Characterize(crash_args.clone()))
+        }));
+        assert!(panicked.is_err(), "scripted panic must fire");
+        let journal_path = dir.join("crash.rbms.journal");
+        assert!(journal_path.exists(), "journal must survive the crash");
+        assert!(!crash_out.exists(), "no profile was written before the crash");
+
+        // Resume: picks up the surviving checkpoints and finishes.
+        let report =
+            execute(&Command::Characterize(args_for(&crash_out, None, true))).unwrap();
+        assert!(report.contains("resumed 2 of"), "{report}");
+        let resumed_bytes = std::fs::read(&crash_out).unwrap();
+        assert_eq!(
+            resumed_bytes, clean_bytes,
+            "resumed profile must be byte-identical to the uninterrupted run"
+        );
+        assert!(!journal_path.exists(), "journal is removed after a durable save");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

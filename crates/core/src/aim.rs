@@ -135,9 +135,15 @@ impl AdaptiveInvertMeasure {
 
     /// The likelihood that state `s` is the correct output given its
     /// observed canary frequency (Equation 1: frequency divided by
-    /// measurement strength).
+    /// measurement strength). The rescaled mass is clamped through the
+    /// invariant guard: a NaN or negative strength in a damaged profile
+    /// must not poison the candidate ranking (whose comparison sort
+    /// requires finite values) — it scores 0 and is counted in the
+    /// process-wide `invariant_clamps` ledger instead.
     pub fn likelihood(&self, canary: &Counts, s: BitString) -> f64 {
-        canary.frequency(&s) / self.rbms.strength(s).max(MIN_STRENGTH)
+        crate::validate::clamp_mass(
+            canary.frequency(&s) / self.rbms.strength(s).max(MIN_STRENGTH),
+        )
     }
 
     /// Ranks every observed canary state by likelihood and returns the top

@@ -1,0 +1,74 @@
+//! Hand-rolled CRC32 (IEEE 802.3 polynomial), std-only.
+//!
+//! Both the `rbms v2` profile footer and each `charjournal v1` checkpoint
+//! line carry a CRC32 so that bit rot, torn appends, and truncation are
+//! *detected* rather than silently parsed into a wrong table. The
+//! reflected-polynomial table-driven variant here matches zlib's `crc32`
+//! (and `cksum -o 3`), so profiles can be checked with standard tools.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (IEEE, reflected, init and final XOR `0xFFFF_FFFF`).
+///
+/// # Examples
+///
+/// ```
+/// // The standard CRC32 check value.
+/// assert_eq!(invmeas::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value plus a few fixed points.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+        assert_eq!(crc32(b"rbms v2"), crc32(b"rbms v2"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let base = b"width 5\ntrials 512\n00000 9.03e-1\n".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! Journaled, resumable characterization (`charjournal v1`).
+//!
+//! Characterization is the most expensive artifact in the pipeline
+//! (§6.2.1: brute force is `O(2^N)` trials), yet a crash or injected
+//! fault mid-run used to throw the whole sweep away. This module
+//! decomposes each technique into deterministic **units** — a brute-force
+//! state batch, an ESCT shot chunk, an AWCT window — and checkpoints a
+//! line to a journal file after each completed unit:
+//!
+//! ```text
+//! charjournal v1
+//! device ibmqx4
+//! method brute
+//! width 5
+//! window 0
+//! overlap 0
+//! shots 8192
+//! seed 2019
+//! unit 0 9c2f41aa 0:8101 1:8052 …
+//! unit 1 17d00e3b 8:7990 9:7911 …
+//! ```
+//!
+//! Each unit draws from its **own** RNG stream, seeded by a splitmix64
+//! mix of the job seed and the unit index — never from a shared
+//! sequential stream. That is what makes a resumed run *bit-identical* to
+//! an uninterrupted one: completed units are replayed from the journal,
+//! missing units re-run with exactly the seed they would have had, and
+//! the combine step is a pure function of the unit results. Each `unit`
+//! line carries its own CRC32 (see [`crate::checksum`]), so a torn append
+//! (the process died mid-checkpoint) is detected and the partial line
+//! discarded — that unit simply re-runs.
+//!
+//! The [`FaultSite::JournalWrite`] hook fires once per checkpoint append,
+//! letting chaos tests kill (`Panic`), tear (`Torn`), or fail (`Error`)
+//! the journal mid-run and then assert byte-identical recovery.
+
+use crate::checksum::crc32;
+use crate::rbms::{awct_combine, awct_starts, awct_window_circuit, RbmsTable};
+use invmeas_faults::{Fault, FaultInjector, FaultSite};
+use qnoise::Executor;
+use qsim::{BitString, Circuit, Counts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Basis states per brute-force unit (journal checkpoint granularity).
+const BRUTE_BATCH_STATES: usize = 8;
+/// Maximum shot chunks an ESCT run is split into.
+const ESCT_CHUNKS: u64 = 8;
+
+/// The characterization technique being journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CharMethod {
+    /// Prepare-and-measure every basis state.
+    Brute,
+    /// Equal-superposition frequencies, sqrt-corrected.
+    Esct,
+    /// Sliding-window superpositions, multiplicatively combined.
+    Awct,
+}
+
+impl CharMethod {
+    /// The journal spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CharMethod::Brute => "brute",
+            CharMethod::Esct => "esct",
+            CharMethod::Awct => "awct",
+        }
+    }
+
+    /// Parses the journal spelling.
+    pub fn parse(s: &str) -> Option<CharMethod> {
+        match s {
+            "brute" => Some(CharMethod::Brute),
+            "esct" => Some(CharMethod::Esct),
+            "awct" => Some(CharMethod::Awct),
+            _ => None,
+        }
+    }
+}
+
+/// The full identity of one characterization job. Two runs with equal
+/// specs produce bit-identical tables; a journal whose header disagrees
+/// with the requesting spec is *not* resumed (the stale journal is
+/// discarded and the run starts fresh).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharSpec {
+    /// Device label (identity only — the executor does the measuring).
+    pub device: String,
+    /// Technique.
+    pub method: CharMethod,
+    /// Register width.
+    pub width: usize,
+    /// AWCT window size (0 for other methods).
+    pub window: usize,
+    /// AWCT window overlap (0 for other methods).
+    pub overlap: usize,
+    /// Trial budget: per state (brute), total (ESCT), per window (AWCT).
+    pub shots: u64,
+    /// Job seed; each unit derives its own stream from it.
+    pub seed: u64,
+}
+
+impl CharSpec {
+    /// A brute-force job spec.
+    pub fn brute(device: impl Into<String>, width: usize, shots: u64, seed: u64) -> Self {
+        CharSpec {
+            device: device.into(),
+            method: CharMethod::Brute,
+            width,
+            window: 0,
+            overlap: 0,
+            shots,
+            seed,
+        }
+    }
+
+    /// An ESCT job spec.
+    pub fn esct(device: impl Into<String>, width: usize, shots: u64, seed: u64) -> Self {
+        CharSpec {
+            device: device.into(),
+            method: CharMethod::Esct,
+            width,
+            window: 0,
+            overlap: 0,
+            shots,
+            seed,
+        }
+    }
+
+    /// An AWCT job spec.
+    pub fn awct(
+        device: impl Into<String>,
+        width: usize,
+        window: usize,
+        overlap: usize,
+        shots: u64,
+        seed: u64,
+    ) -> Self {
+        CharSpec {
+            device: device.into(),
+            method: CharMethod::Awct,
+            width,
+            window,
+            overlap,
+            shots,
+            seed,
+        }
+    }
+
+    /// How many units (journal checkpoints) this job decomposes into — a
+    /// pure function of the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid spec (zero shots, bad width or window).
+    pub fn unit_count(&self) -> usize {
+        self.assert_valid();
+        match self.method {
+            CharMethod::Brute => (1usize << self.width).div_ceil(BRUTE_BATCH_STATES),
+            CharMethod::Esct => self.shots.min(ESCT_CHUNKS) as usize,
+            CharMethod::Awct => awct_starts(self.width, self.window, self.overlap).len(),
+        }
+    }
+
+    fn assert_valid(&self) {
+        assert!(self.shots > 0, "characterization needs a trial budget");
+        match self.method {
+            CharMethod::Brute => {
+                assert!(self.width >= 1 && self.width <= 16, "brute force limited to 16 qubits")
+            }
+            CharMethod::Esct => {
+                assert!(self.width >= 1 && self.width <= 16, "ESCT table limited to 16 qubits")
+            }
+            CharMethod::Awct => {
+                assert!(self.width <= 20, "AWCT combined table limited to 20 qubits");
+                assert!(
+                    self.window >= 1 && self.window <= self.width,
+                    "bad window size {}",
+                    self.window
+                );
+                assert!(self.overlap < self.window, "overlap must be smaller than the window");
+            }
+        }
+    }
+
+    /// The journal header for this spec.
+    fn header(&self) -> String {
+        format!(
+            "charjournal v1\ndevice {}\nmethod {}\nwidth {}\nwindow {}\noverlap {}\nshots {}\nseed {}\n",
+            sanitize_token(&self.device),
+            self.method.as_str(),
+            self.width,
+            self.window,
+            self.overlap,
+            self.shots,
+            self.seed,
+        )
+    }
+}
+
+/// Tokens in the line-oriented format must not contain whitespace.
+fn sanitize_token(s: &str) -> String {
+    s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+}
+
+/// What one [`characterize_journaled`] run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Units the job decomposes into.
+    pub total_units: u64,
+    /// Checkpoints appended to the journal by this run.
+    pub checkpoints_written: u64,
+    /// Units replayed from an in-flight journal instead of re-measured.
+    pub resumed_units: u64,
+}
+
+impl JournalStats {
+    /// Whether this run picked up an in-flight journal.
+    pub fn resumed(&self) -> bool {
+        self.resumed_units > 0
+    }
+}
+
+/// Why a journaled characterization failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Journal file I/O failed (including injected journal-write faults).
+    Io(std::io::Error),
+    /// The combined results violate a table invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Invalid(m) => write!(f, "journaled characterization invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One unit's result: sparse `(state index, count)` pairs, sorted by
+/// state. Counts are integers, so replay is exact — no float round-trip.
+type UnitResult = Vec<(u64, u64)>;
+
+/// Derives the RNG seed for one unit from the job seed — splitmix64, so
+/// nearby unit indices get statistically independent streams and a
+/// resumed unit re-runs with exactly the stream it would have had.
+fn unit_seed(job_seed: u64, unit: u64) -> u64 {
+    let mut z = job_seed.wrapping_add((unit + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The canonical payload text of one unit line (what the line CRC covers).
+fn unit_payload(idx: usize, pairs: &[(u64, u64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{idx}");
+    for (state, count) in pairs {
+        let _ = write!(out, " {state}:{count}");
+    }
+    out
+}
+
+fn unit_line(idx: usize, pairs: &[(u64, u64)]) -> String {
+    let payload = unit_payload(idx, pairs);
+    format!("unit {:08x} {payload}\n", crc32(payload.as_bytes()))
+}
+
+/// Parses one `unit` line; `None` for anything malformed or checksum-bad
+/// (the loader stops at the first such line — it is the torn tail).
+fn parse_unit_line(line: &str) -> Option<(usize, UnitResult)> {
+    let rest = line.strip_prefix("unit ")?;
+    let (crc_text, payload) = rest.split_once(' ')?;
+    let stored = u32::from_str_radix(crc_text, 16).ok()?;
+    if crc32(payload.as_bytes()) != stored {
+        return None;
+    }
+    let mut fields = payload.split(' ');
+    let idx: usize = fields.next()?.parse().ok()?;
+    let mut pairs = Vec::new();
+    for field in fields {
+        let (state, count) = field.split_once(':')?;
+        pairs.push((state.parse().ok()?, count.parse().ok()?));
+    }
+    Some((idx, pairs))
+}
+
+/// Parses a journal file: the header spec plus every intact unit line.
+/// Stops (without erroring) at the first torn or garbled unit line.
+/// Returns `None` when the header itself is unusable — the journal
+/// belongs to some other run or is damaged beyond trust, so the caller
+/// starts fresh.
+fn load_journal(text: &str) -> Option<(CharSpec, Vec<(usize, UnitResult)>)> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != "charjournal v1" {
+        return None;
+    }
+    let mut field = |prefix: &str| -> Option<String> {
+        Some(lines.next()?.trim().strip_prefix(prefix)?.to_string())
+    };
+    let device = field("device ")?;
+    let method = CharMethod::parse(&field("method ")?)?;
+    let width: usize = field("width ")?.parse().ok()?;
+    let window: usize = field("window ")?.parse().ok()?;
+    let overlap: usize = field("overlap ")?.parse().ok()?;
+    let shots: u64 = field("shots ")?.parse().ok()?;
+    let seed: u64 = field("seed ")?.parse().ok()?;
+    let spec = CharSpec {
+        device,
+        method,
+        width,
+        window,
+        overlap,
+        shots,
+        seed,
+    };
+    let mut units = Vec::new();
+    for line in lines {
+        match parse_unit_line(line.trim_end()) {
+            Some(unit) => units.push(unit),
+            None => break, // torn tail: that unit (and anything after) re-runs
+        }
+    }
+    Some((spec, units))
+}
+
+/// Appends one checkpoint line, consulting [`FaultSite::JournalWrite`].
+fn append_checkpoint(
+    file: &mut File,
+    idx: usize,
+    pairs: &[(u64, u64)],
+    faults: &dyn FaultInjector,
+) -> std::io::Result<()> {
+    let line = unit_line(idx, pairs);
+    if let Some(f) = faults.check(FaultSite::JournalWrite) {
+        f.apply_latency();
+        match f {
+            Fault::Error(m) => return Err(std::io::Error::other(m)),
+            Fault::Panic(m) => panic!("{m}"),
+            Fault::Torn => {
+                // A torn append: half the line lands without a newline,
+                // then the device gives up. The loader's per-line CRC must
+                // reject it on resume.
+                file.write_all(&line.as_bytes()[..line.len() / 2])?;
+                file.sync_data().ok();
+                return Err(std::io::Error::other("injected torn journal append"));
+            }
+            Fault::Latency(_) | Fault::Corrupt => {}
+        }
+    }
+    file.write_all(line.as_bytes())?;
+    file.flush()
+}
+
+/// Runs one unit with its derived RNG stream and returns its result.
+fn run_unit(executor: &dyn Executor, spec: &CharSpec, idx: usize) -> UnitResult {
+    let n = spec.width;
+    let mut rng = StdRng::seed_from_u64(unit_seed(spec.seed, idx as u64));
+    match spec.method {
+        CharMethod::Brute => {
+            let lo = idx * BRUTE_BATCH_STATES;
+            let hi = ((idx + 1) * BRUTE_BATCH_STATES).min(1 << n);
+            let states: Vec<BitString> = (lo..hi)
+                .map(|v| BitString::from_value(v as u64, n))
+                .collect();
+            let circuits: Vec<Circuit> = states
+                .iter()
+                .map(|&s| Circuit::basis_state_preparation(s))
+                .collect();
+            let logs = executor.run_batch(&circuits, spec.shots, &mut rng);
+            states
+                .iter()
+                .zip(&logs)
+                .map(|(s, log)| (s.index() as u64, log.get(s)))
+                .collect()
+        }
+        CharMethod::Esct => {
+            let chunks = spec.shots.min(ESCT_CHUNKS);
+            let (base, rem) = (spec.shots / chunks, spec.shots % chunks);
+            let chunk_shots = base + u64::from((idx as u64) < rem);
+            let log = executor.run(&Circuit::uniform_superposition(n), chunk_shots, &mut rng);
+            sparse_counts(&log)
+        }
+        CharMethod::Awct => {
+            let starts = awct_starts(n, spec.window, spec.overlap);
+            let lo = starts[idx];
+            let log = executor.run(&awct_window_circuit(n, lo, spec.window), spec.shots, &mut rng);
+            // Marginalize onto the window bits before journaling: the
+            // combine step only needs the window marginal, and the
+            // checkpoint stays `2^window` pairs instead of `2^n`.
+            let mut marg = Counts::new(spec.window);
+            for (s, &cnt) in log.iter() {
+                marg.record_n(s.window(lo, spec.window), cnt);
+            }
+            sparse_counts(&marg)
+        }
+    }
+}
+
+/// Sorted nonzero `(state index, count)` pairs of a log.
+fn sparse_counts(log: &Counts) -> UnitResult {
+    let mut pairs: Vec<(u64, u64)> = log
+        .iter()
+        .filter(|(_, &cnt)| cnt > 0)
+        .map(|(s, &cnt)| (s.index() as u64, cnt))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Combines completed unit results into the final table — a pure
+/// function, so resumed and uninterrupted runs agree bit-for-bit.
+fn combine(spec: &CharSpec, units: &[UnitResult]) -> Result<RbmsTable, JournalError> {
+    let n = spec.width;
+    let dim = 1usize << n;
+    let (strengths, trials) = match spec.method {
+        CharMethod::Brute => {
+            let mut counts = vec![0u64; dim];
+            for unit in units {
+                for &(state, count) in unit {
+                    counts[state as usize] = count;
+                }
+            }
+            let shots = spec.shots as f64;
+            let strengths: Vec<f64> = counts.iter().map(|&c| c as f64 / shots).collect();
+            (strengths, spec.shots << n)
+        }
+        CharMethod::Esct => {
+            let mut counts = vec![0u64; dim];
+            for unit in units {
+                for &(state, count) in unit {
+                    counts[state as usize] += count;
+                }
+            }
+            let total = spec.shots as f64;
+            let strengths: Vec<f64> = counts
+                .iter()
+                .map(|&c| (c as f64 / total).sqrt())
+                .collect();
+            (strengths, spec.shots)
+        }
+        CharMethod::Awct => {
+            let starts = awct_starts(n, spec.window, spec.overlap);
+            let shots = spec.shots as f64;
+            let window_tables: Vec<Vec<f64>> = units
+                .iter()
+                .map(|unit| {
+                    let mut freqs = vec![0.0f64; 1 << spec.window];
+                    for &(pat, count) in unit {
+                        freqs[pat as usize] = (count as f64 / shots).sqrt();
+                    }
+                    freqs
+                })
+                .collect();
+            let strengths = awct_combine(n, spec.window, spec.overlap, &starts, &window_tables);
+            (strengths, spec.shots * starts.len() as u64)
+        }
+    };
+    let mut table = RbmsTable::try_from_strengths(n, strengths)
+        .map_err(|e| JournalError::Invalid(e.to_string()))?;
+    table.set_trials_used(trials);
+    Ok(table)
+}
+
+/// Runs (or resumes) a characterization job, checkpointing each completed
+/// unit to `journal` when a path is given.
+///
+/// * An existing journal whose header matches `spec` seeds the run: its
+///   intact units are replayed, only the missing ones re-measure, and the
+///   result is bit-identical to an uninterrupted run — for any executor
+///   worker count, since units execute in a fixed order with per-unit
+///   seeds and [`Executor::run_batch`] is itself thread-invariant.
+/// * A journal with a mismatched or damaged header is ignored and
+///   overwritten — resuming someone else's checkpoints would poison the
+///   table.
+/// * On resume the file is first compacted (header + intact unit lines
+///   rewritten through a temp sibling), so a torn tail from the previous
+///   crash never corrupts subsequent appends.
+///
+/// The journal file is *left in place* on success; callers delete it once
+/// the resulting profile is safely persisted (crash between "table
+/// combined" and "profile written" must stay resumable).
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on journal write failures (including injected
+/// [`FaultSite::JournalWrite`] faults); [`JournalError::Invalid`] when
+/// the combined results violate a table invariant.
+///
+/// # Panics
+///
+/// Panics on an invalid spec, an executor/spec width mismatch, or an
+/// injected `Panic` fault (the chaos "kill mid-checkpoint" scenario).
+pub fn characterize_journaled(
+    executor: &dyn Executor,
+    spec: &CharSpec,
+    journal: Option<&Path>,
+    faults: &dyn FaultInjector,
+) -> Result<(RbmsTable, JournalStats), JournalError> {
+    spec.assert_valid();
+    assert_eq!(
+        executor.n_qubits(),
+        spec.width,
+        "executor width must match the characterization spec"
+    );
+    let total = spec.unit_count();
+    let mut completed: Vec<Option<UnitResult>> = vec![None; total];
+    let mut stats = JournalStats {
+        total_units: total as u64,
+        ..JournalStats::default()
+    };
+
+    // Resume: replay intact units from a matching in-flight journal.
+    if let Some(path) = journal {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Some((found_spec, units)) = load_journal(&text) {
+                if found_spec == *spec {
+                    for (idx, pairs) in units {
+                        if idx < total && completed[idx].is_none() {
+                            completed[idx] = Some(pairs);
+                            stats.resumed_units += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // (Re)write the journal compacted — header plus replayed units — via
+    // a temp sibling so a crash here leaves the old journal intact.
+    let mut writer: Option<File> = match journal {
+        Some(path) => {
+            let mut text = spec.header();
+            for (idx, unit) in completed.iter().enumerate() {
+                if let Some(pairs) = unit {
+                    text.push_str(&unit_line(idx, pairs));
+                }
+            }
+            let tmp = {
+                let mut name = path.file_name().unwrap_or_default().to_os_string();
+                name.push(".tmp");
+                path.with_file_name(name)
+            };
+            std::fs::write(&tmp, &text)?;
+            std::fs::rename(&tmp, path)?;
+            Some(OpenOptions::new().append(true).open(path)?)
+        }
+        None => None,
+    };
+
+    for (idx, slot) in completed.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        let pairs = run_unit(executor, spec, idx);
+        if let Some(file) = writer.as_mut() {
+            append_checkpoint(file, idx, &pairs, faults)?;
+            stats.checkpoints_written += 1;
+        }
+        *slot = Some(pairs);
+    }
+
+    let units: Vec<UnitResult> = completed.into_iter().map(|u| u.expect("all units ran")).collect();
+    let table = combine(spec, &units)?;
+    Ok((table, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invmeas_faults::{FaultPlan, NoFaults};
+    use qnoise::{DeviceModel, NoisyExecutor};
+    use std::sync::Arc;
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("invmeas-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.journal"))
+    }
+
+    fn specs() -> Vec<CharSpec> {
+        vec![
+            CharSpec::brute("ibmqx4", 5, 256, 2019),
+            CharSpec::esct("ibmqx4", 5, 4096, 2019),
+            CharSpec::awct("ibmqx4", 5, 3, 2, 1024, 2019),
+        ]
+    }
+
+    #[test]
+    fn unit_seed_streams_differ() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..100).map(|u| unit_seed(7, u)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_eq!(unit_seed(7, 3), unit_seed(7, 3));
+        assert_ne!(unit_seed(7, 3), unit_seed(8, 3));
+    }
+
+    #[test]
+    fn journaled_run_is_deterministic_and_thread_invariant() {
+        let dev = DeviceModel::ibmqx4();
+        for spec in specs() {
+            let run = |threads: usize| {
+                let exec = NoisyExecutor::readout_only(&dev).with_threads(threads);
+                let (table, stats) =
+                    characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
+                assert_eq!(stats.total_units, spec.unit_count() as u64);
+                assert_eq!(stats.checkpoints_written, 0, "no journal, no checkpoints");
+                table
+            };
+            assert_eq!(run(1), run(4), "{:?}", spec.method);
+        }
+    }
+
+    #[test]
+    fn journal_replay_is_bit_identical_after_kill_at_every_checkpoint() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        for spec in specs() {
+            let baseline = {
+                let path = temp_journal(&format!("baseline-{}", spec.method.as_str()));
+                let _ = std::fs::remove_file(&path);
+                let (table, stats) =
+                    characterize_journaled(&exec, &spec, Some(&path), &NoFaults).unwrap();
+                assert_eq!(stats.checkpoints_written, stats.total_units);
+                std::fs::remove_file(&path).unwrap();
+                table
+            };
+            // Kill (panic) at every possible checkpoint ordinal, then
+            // resume; the result must match the uninterrupted run
+            // byte-for-byte in its serialized form.
+            for kill_at in 1..=spec.unit_count() as u64 {
+                let path = temp_journal(&format!("kill-{}-{kill_at}", spec.method.as_str()));
+                let _ = std::fs::remove_file(&path);
+                let plan = Arc::new(FaultPlan::new(1).on_nth(
+                    FaultSite::JournalWrite,
+                    kill_at,
+                    Fault::Panic("killed mid-checkpoint".into()),
+                ));
+                let exec2 = NoisyExecutor::readout_only(&dev);
+                let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    characterize_journaled(&exec2, &spec, Some(&path), plan.as_ref())
+                }));
+                assert!(died.is_err(), "scripted kill at {kill_at} did not fire");
+                let (resumed, stats) =
+                    characterize_journaled(&exec, &spec, Some(&path), &NoFaults).unwrap();
+                assert_eq!(
+                    stats.resumed_units,
+                    kill_at - 1,
+                    "{}: units before the kill replay from the journal",
+                    spec.method.as_str()
+                );
+                assert_eq!(
+                    resumed.to_text(),
+                    baseline.to_text(),
+                    "{} killed at checkpoint {kill_at}",
+                    spec.method.as_str()
+                );
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn torn_append_is_discarded_on_resume() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let spec = CharSpec::brute("ibmqx4", 5, 128, 11);
+        let path = temp_journal("torn");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new(2).on_nth(FaultSite::JournalWrite, 2, Fault::Torn);
+        let err = characterize_journaled(&exec, &spec, Some(&path), &plan).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // The file ends in a torn half-line; resume must drop exactly it.
+        let (resumed, stats) =
+            characterize_journaled(&exec, &spec, Some(&path), &NoFaults).unwrap();
+        assert_eq!(stats.resumed_units, 1);
+        let (clean, _) = characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
+        assert_eq!(resumed.to_text(), clean.to_text());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_journal_is_not_resumed() {
+        let dev = DeviceModel::ibmqx4();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let path = temp_journal("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let old = CharSpec::brute("ibmqx4", 5, 128, 1);
+        characterize_journaled(&exec, &old, Some(&path), &NoFaults).unwrap();
+        // Different seed: the stale journal must be ignored, not replayed.
+        let new = CharSpec::brute("ibmqx4", 5, 128, 2);
+        let (resumed, stats) =
+            characterize_journaled(&exec, &new, Some(&path), &NoFaults).unwrap();
+        assert_eq!(stats.resumed_units, 0);
+        assert_eq!(stats.checkpoints_written, stats.total_units);
+        let (clean, _) = characterize_journaled(&exec, &new, None, &NoFaults).unwrap();
+        assert_eq!(resumed.to_text(), clean.to_text());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journaled_brute_matches_exact_shape() {
+        // The chunked estimator is still an unbiased RBMS estimate.
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let spec = CharSpec::brute("ibmqx2", 5, 4000, 42);
+        let (est, _) = characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
+        assert_eq!(est.trials_used(), 4000 * 32);
+        let exact = RbmsTable::exact(&dev.readout());
+        assert!(est.mse_vs(&exact) < 0.002);
+    }
+
+    #[test]
+    fn journaled_esct_and_awct_match_exact_shape() {
+        let dev = DeviceModel::ibmqx2();
+        let exec = NoisyExecutor::readout_only(&dev);
+        let exact = RbmsTable::exact(&dev.readout());
+        let (esct, _) = characterize_journaled(
+            &exec,
+            &CharSpec::esct("ibmqx2", 5, 400_000, 9),
+            None,
+            &NoFaults,
+        )
+        .unwrap();
+        assert!(esct.mse_vs(&exact) < 0.05, "ESCT MSE {}", esct.mse_vs(&exact));
+        let (awct, _) = characterize_journaled(
+            &exec,
+            &CharSpec::awct("ibmqx2", 5, 3, 2, 150_000, 9),
+            None,
+            &NoFaults,
+        )
+        .unwrap();
+        assert!(awct.mse_vs(&exact) < 0.05, "AWCT MSE {}", awct.mse_vs(&exact));
+        assert_eq!(awct.trials_used(), 150_000 * 3);
+    }
+
+    #[test]
+    fn unit_line_roundtrip_and_crc_rejection() {
+        let pairs = vec![(0u64, 120u64), (3, 8), (31, 1)];
+        let line = unit_line(7, &pairs);
+        let (idx, back) = parse_unit_line(line.trim_end()).unwrap();
+        assert_eq!(idx, 7);
+        assert_eq!(back, pairs);
+        // A flipped digit fails the line CRC.
+        let bad = line.replace("120", "121");
+        assert!(parse_unit_line(bad.trim_end()).is_none());
+        // A truncated (torn) line fails too.
+        assert!(parse_unit_line(&line[..line.len() / 2]).is_none());
+    }
+}

@@ -58,19 +58,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aim;
+pub mod checksum;
 pub mod inversion;
+pub mod journal;
 pub mod policy;
 pub mod profile_io;
 pub mod rbms;
 pub mod runner;
 pub mod sim;
 pub mod unfolding;
+pub mod validate;
 
 pub use aim::{AdaptiveInvertMeasure, AimReport};
 pub use inversion::InversionString;
+pub use journal::{characterize_journaled, CharMethod, CharSpec, JournalError, JournalStats};
 pub use policy::{Baseline, MeasurementPolicy};
-pub use profile_io::ProfileError;
+pub use profile_io::{ProfileError, ProfileMeta};
 pub use rbms::RbmsTable;
 pub use runner::{PolicyChoice, Runner};
 pub use sim::StaticInvertMeasure;
 pub use unfolding::{ConfusionMatrix, TensorUnfolder};
+pub use validate::ValidateError;

@@ -6,23 +6,60 @@
 //! plain-text serialization — human-inspectable, diff-able, and free of
 //! extra dependencies — plus file helpers.
 //!
-//! Format (line-oriented):
+//! Two formats are understood:
 //!
 //! ```text
-//! rbms v1
-//! width 5
-//! trials 512000
-//! 00000 0.903700
-//! 00001 0.851200
-//! …
+//! rbms v1            rbms v2
+//! width 5            device ibmqx4
+//! trials 512000      method brute
+//! 00000 0.903700     seed 2019
+//! 00001 0.851200     window 0
+//! …                  width 5
+//!                    trials 512000
+//!                    00000 0.903700
+//!                    …
+//!                    crc32 7a4fc019
 //! ```
+//!
+//! `v2` adds provenance metadata ([`ProfileMeta`]) and a CRC32 footer (see
+//! [`crate::checksum`]) covering every preceding byte, so bit rot and
+//! truncation are detected as [`ProfileError::Checksum`] instead of being
+//! parsed into a silently-wrong table. New profiles are saved as `v2`;
+//! existing `v1` files load transparently (with no metadata). Profiles that
+//! fail the checksum or validation are never deleted — callers quarantine
+//! them aside with [`quarantine_profile`] for post-mortem inspection.
 
+use crate::checksum::crc32;
 use crate::rbms::RbmsTable;
 use invmeas_faults::{Fault, FaultInjector, FaultSite};
 use qsim::BitString;
 use std::fmt;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Provenance metadata carried in an `rbms v2` profile header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileMeta {
+    /// Device label the profile was characterized on.
+    pub device: String,
+    /// Characterization method (`brute`, `esct`, `awct`, …).
+    pub method: String,
+    /// Characterization job seed.
+    pub seed: u64,
+    /// AWCT window size (0 when not applicable).
+    pub window: usize,
+}
+
+impl Default for ProfileMeta {
+    fn default() -> Self {
+        ProfileMeta {
+            device: "unknown".into(),
+            method: "unknown".into(),
+            seed: 0,
+            window: 0,
+        }
+    }
+}
 
 /// Error loading a persisted profile.
 #[derive(Debug)]
@@ -36,6 +73,14 @@ pub enum ProfileError {
         /// What went wrong.
         message: String,
     },
+    /// A `v2` profile's CRC32 footer disagrees with its content — the file
+    /// was bit-rotted, truncated, or tampered with after it was written.
+    Checksum {
+        /// The checksum the footer declares.
+        expected: u32,
+        /// The checksum the content actually hashes to.
+        found: u32,
+    },
 }
 
 impl fmt::Display for ProfileError {
@@ -45,6 +90,10 @@ impl fmt::Display for ProfileError {
             ProfileError::Parse { line, message } => {
                 write!(f, "profile parse error at line {line}: {message}")
             }
+            ProfileError::Checksum { expected, found } => write!(
+                f,
+                "profile checksum mismatch: footer says {expected:08x}, content hashes to {found:08x}"
+            ),
         }
     }
 }
@@ -53,7 +102,7 @@ impl std::error::Error for ProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileError::Io(e) => Some(e),
-            ProfileError::Parse { .. } => None,
+            ProfileError::Parse { .. } | ProfileError::Checksum { .. } => None,
         }
     }
 }
@@ -71,8 +120,15 @@ fn parse_err(line: usize, message: impl Into<String>) -> ProfileError {
     }
 }
 
+/// Header tokens must stay single-line and whitespace-free.
+fn sanitize_token(s: &str) -> String {
+    s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+}
+
 impl RbmsTable {
-    /// Serializes the profile to the plain-text format.
+    /// Serializes the profile to the legacy `v1` plain-text format (no
+    /// metadata, no checksum). Kept as the canonical in-memory text form;
+    /// files are written as `v2` via [`save`](RbmsTable::save).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -85,91 +141,59 @@ impl RbmsTable {
         out
     }
 
-    /// Parses a profile from the plain-text format.
+    /// Serializes the profile to the `v2` format: provenance metadata plus
+    /// a CRC32 footer over every preceding byte.
+    pub fn to_text_v2(&self, meta: &ProfileMeta) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "rbms v2");
+        let _ = writeln!(out, "device {}", sanitize_token(&meta.device));
+        let _ = writeln!(out, "method {}", sanitize_token(&meta.method));
+        let _ = writeln!(out, "seed {}", meta.seed);
+        let _ = writeln!(out, "window {}", meta.window);
+        let _ = writeln!(out, "width {}", self.width());
+        let _ = writeln!(out, "trials {}", self.trials_used());
+        for s in BitString::all(self.width()) {
+            let _ = writeln!(out, "{s} {:.17e}", self.strength(s));
+        }
+        let footer = format!("crc32 {:08x}\n", crc32(out.as_bytes()));
+        out.push_str(&footer);
+        out
+    }
+
+    /// Parses a profile from either text format, discarding any metadata.
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Parse`] naming the offending line on any
-    /// malformed input (bad header, wrong entry count, invalid strengths).
+    /// malformed input, or [`ProfileError::Checksum`] when a `v2` footer
+    /// disagrees with the content.
     pub fn from_text(text: &str) -> Result<RbmsTable, ProfileError> {
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or_else(|| parse_err(1, "empty profile"))?;
-        if header.trim() != "rbms v1" {
-            return Err(parse_err(1, format!("bad header {header:?}")));
-        }
-        let (_, width_line) = lines
-            .next()
-            .ok_or_else(|| parse_err(2, "missing width"))?;
-        let width: usize = width_line
-            .trim()
-            .strip_prefix("width ")
-            .and_then(|w| w.parse().ok())
-            .ok_or_else(|| parse_err(2, format!("bad width line {width_line:?}")))?;
-        if width == 0 || width > 20 {
-            return Err(parse_err(2, format!("unsupported width {width}")));
-        }
-        let (_, trials_line) = lines
-            .next()
-            .ok_or_else(|| parse_err(3, "missing trials"))?;
-        let trials: u64 = trials_line
-            .trim()
-            .strip_prefix("trials ")
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| parse_err(3, format!("bad trials line {trials_line:?}")))?;
-
-        let mut strengths = vec![f64::NAN; 1usize << width];
-        let mut seen = 0usize;
-        let mut last_line = 3usize;
-        for (idx, line) in lines {
-            let lineno = idx + 1;
-            last_line = lineno;
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (state, value) = line
-                .split_once(' ')
-                .ok_or_else(|| parse_err(lineno, format!("malformed entry {line:?}")))?;
-            let s: BitString = state
-                .parse()
-                .map_err(|e| parse_err(lineno, format!("bad state {state:?}: {e}")))?;
-            if s.width() != width {
-                return Err(parse_err(lineno, format!("state {state} has wrong width")));
-            }
-            let v: f64 = value
-                .trim()
-                .parse()
-                .map_err(|_| parse_err(lineno, format!("bad strength {value:?}")))?;
-            if !v.is_finite() || v < 0.0 {
-                return Err(parse_err(lineno, format!("invalid strength {v}")));
-            }
-            if !strengths[s.index()].is_nan() {
-                return Err(parse_err(lineno, format!("duplicate entry for {state}")));
-            }
-            strengths[s.index()] = v;
-            seen += 1;
-        }
-        // The width header is a promise about the table body: a declared
-        // width of `w` requires exactly `2^w` rows. Truncated or padded
-        // files (the common corruption when profiles are copied around)
-        // must be rejected, not silently zero/NaN-filled.
-        if seen != strengths.len() {
-            return Err(parse_err(
-                last_line,
-                format!(
-                    "width {width} declares {} table rows, found {seen}",
-                    strengths.len()
-                ),
-            ));
-        }
-        let mut table = RbmsTable::from_strengths(width, strengths);
-        table.set_trials_used(trials);
-        Ok(table)
+        Ok(RbmsTable::from_text_with_meta(text)?.0)
     }
 
-    /// Writes the profile to a file, crash-safely.
+    /// Parses a profile from either text format. `v2` profiles return
+    /// their [`ProfileMeta`]; `v1` profiles return `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_text`](RbmsTable::from_text).
+    pub fn from_text_with_meta(
+        text: &str,
+    ) -> Result<(RbmsTable, Option<ProfileMeta>), ProfileError> {
+        let header = text
+            .lines()
+            .next()
+            .ok_or_else(|| parse_err(1, "empty profile"))?;
+        match header.trim() {
+            "rbms v1" => Ok((parse_v1(text)?, None)),
+            "rbms v2" => parse_v2(text).map(|(t, m)| (t, Some(m))),
+            _ => Err(parse_err(1, format!("bad header {header:?}"))),
+        }
+    }
+
+    /// Writes the profile to a file in the `v2` format (default metadata),
+    /// crash-safely.
     ///
     /// The text is written to a `.tmp` sibling in the same directory and
     /// atomically renamed over `path`, so a crash (or torn write) mid-save
@@ -199,6 +223,21 @@ impl RbmsTable {
         path: impl AsRef<Path>,
         faults: &dyn FaultInjector,
     ) -> Result<(), ProfileError> {
+        self.save_v2_with(path, &ProfileMeta::default(), faults)
+    }
+
+    /// [`save_with`](RbmsTable::save_with) carrying real provenance
+    /// metadata into the `v2` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O failures and surfaces injected ones.
+    pub fn save_v2_with(
+        &self,
+        path: impl AsRef<Path>,
+        meta: &ProfileMeta,
+        faults: &dyn FaultInjector,
+    ) -> Result<(), ProfileError> {
         let path = path.as_ref();
         let fault = faults.check(FaultSite::ProfileWrite);
         if let Some(f) = &fault {
@@ -207,7 +246,7 @@ impl RbmsTable {
                 return Err(ProfileError::Io(std::io::Error::other(m.clone())));
             }
         }
-        let text = self.to_text();
+        let text = self.to_text_v2(meta);
         let tmp = tmp_sibling(path);
         let result = (|| -> Result<(), ProfileError> {
             let mut file = std::fs::File::create(&tmp)?;
@@ -232,13 +271,24 @@ impl RbmsTable {
         result
     }
 
-    /// Loads a profile from a file.
+    /// Loads a profile from a file (either format).
     ///
     /// # Errors
     ///
-    /// Returns I/O or parse failures.
+    /// Returns I/O, parse, or checksum failures.
     pub fn load(path: impl AsRef<Path>) -> Result<RbmsTable, ProfileError> {
         RbmsTable::load_with(path, &invmeas_faults::NoFaults)
+    }
+
+    /// Loads a profile plus its `v2` metadata (`None` for `v1` files).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O, parse, or checksum failures.
+    pub fn load_with_meta(
+        path: impl AsRef<Path>,
+    ) -> Result<(RbmsTable, Option<ProfileMeta>), ProfileError> {
+        RbmsTable::from_text_with_meta(&std::fs::read_to_string(path)?)
     }
 
     /// [`load`](RbmsTable::load) with a fault-injection hook at the
@@ -250,7 +300,7 @@ impl RbmsTable {
     ///
     /// # Errors
     ///
-    /// Returns I/O or parse failures, real or injected.
+    /// Returns I/O, parse, or checksum failures, real or injected.
     pub fn load_with(
         path: impl AsRef<Path>,
         faults: &dyn FaultInjector,
@@ -274,12 +324,204 @@ impl RbmsTable {
     }
 }
 
+/// Parses the legacy `v1` format.
+fn parse_v1(text: &str) -> Result<RbmsTable, ProfileError> {
+    let mut lines = text.lines().enumerate();
+    lines.next(); // header, already matched by the dispatcher
+    let (_, width_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing width"))?;
+    let width = parse_width(width_line, 2)?;
+    let (_, trials_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(3, "missing trials"))?;
+    let trials = parse_trials(trials_line, 3)?;
+    build_table(width, trials, 3, lines)
+}
+
+/// Parses the `v2` format: checksum footer first (a rotten file must fail
+/// the integrity check before any of its content is trusted), then the
+/// metadata header, then the shared body.
+fn parse_v2(text: &str) -> Result<(RbmsTable, ProfileMeta), ProfileError> {
+    let line_count = text.lines().count();
+    let footer_start = text
+        .rfind("\ncrc32 ")
+        .map(|i| i + 1)
+        .ok_or_else(|| parse_err(line_count.max(1), "missing crc32 footer"))?;
+    let (body, footer) = text.split_at(footer_start);
+    let stored = footer
+        .trim()
+        .strip_prefix("crc32 ")
+        .and_then(|h| u32::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| parse_err(line_count, format!("bad crc32 footer {:?}", footer.trim())))?;
+    let found = crc32(body.as_bytes());
+    if found != stored {
+        return Err(ProfileError::Checksum {
+            expected: stored,
+            found,
+        });
+    }
+
+    let mut lines = body.lines().enumerate();
+    lines.next(); // header, already matched by the dispatcher
+    let mut meta_field = |prefix: &str, lineno: usize| -> Result<String, ProfileError> {
+        let (_, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(lineno, format!("missing {}", prefix.trim())))?;
+        line.trim()
+            .strip_prefix(prefix)
+            .map(str::to_string)
+            .ok_or_else(|| parse_err(lineno, format!("bad {} line {line:?}", prefix.trim())))
+    };
+    let device = meta_field("device ", 2)?;
+    let method = meta_field("method ", 3)?;
+    let seed: u64 = meta_field("seed ", 4)?
+        .parse()
+        .map_err(|_| parse_err(4, "bad seed"))?;
+    let window: usize = meta_field("window ", 5)?
+        .parse()
+        .map_err(|_| parse_err(5, "bad window"))?;
+    let (_, width_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(6, "missing width"))?;
+    let width = parse_width(width_line, 6)?;
+    let (_, trials_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(7, "missing trials"))?;
+    let trials = parse_trials(trials_line, 7)?;
+    let table = build_table(width, trials, 7, lines)?;
+    Ok((
+        table,
+        ProfileMeta {
+            device,
+            method,
+            seed,
+            window,
+        },
+    ))
+}
+
+fn parse_width(line: &str, lineno: usize) -> Result<usize, ProfileError> {
+    let width: usize = line
+        .trim()
+        .strip_prefix("width ")
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| parse_err(lineno, format!("bad width line {line:?}")))?;
+    if width == 0 || width > 20 {
+        return Err(parse_err(lineno, format!("unsupported width {width}")));
+    }
+    Ok(width)
+}
+
+fn parse_trials(line: &str, lineno: usize) -> Result<u64, ProfileError> {
+    line.trim()
+        .strip_prefix("trials ")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err(lineno, format!("bad trials line {line:?}")))
+}
+
+/// Parses the table body shared by both formats and constructs the table
+/// through the validating constructor. `lines` yields `(0-based index in
+/// the original text, line)`; `header_lines` is the 1-based number of the
+/// last header line (for errors on an empty body).
+fn build_table<'a>(
+    width: usize,
+    trials: u64,
+    header_lines: usize,
+    lines: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<RbmsTable, ProfileError> {
+    let mut strengths = vec![f64::NAN; 1usize << width];
+    let mut seen = 0usize;
+    let mut last_line = header_lines;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (state, value) = line
+            .split_once(' ')
+            .ok_or_else(|| parse_err(lineno, format!("malformed entry {line:?}")))?;
+        let s: BitString = state
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad state {state:?}: {e}")))?;
+        if s.width() != width {
+            return Err(parse_err(lineno, format!("state {state} has wrong width")));
+        }
+        let v: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("bad strength {value:?}")))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(parse_err(lineno, format!("invalid strength {v}")));
+        }
+        if !strengths[s.index()].is_nan() {
+            return Err(parse_err(lineno, format!("duplicate entry for {state}")));
+        }
+        strengths[s.index()] = v;
+        seen += 1;
+    }
+    // The width header is a promise about the table body: a declared
+    // width of `w` requires exactly `2^w` rows. Truncated or padded
+    // files (the common corruption when profiles are copied around)
+    // must be rejected, not silently zero/NaN-filled.
+    if seen != strengths.len() {
+        let first_missing = strengths
+            .iter()
+            .position(|v| v.is_nan())
+            .map(|i| BitString::from_value(i as u64, width))
+            .map(|s| format!("; first missing {s}"))
+            .unwrap_or_default();
+        return Err(parse_err(
+            last_line,
+            format!(
+                "width {width} declares {} table rows, found {seen}{first_missing}",
+                strengths.len()
+            ),
+        ));
+    }
+    let mut table = RbmsTable::try_from_strengths(width, strengths)
+        .map_err(|e| parse_err(last_line, e.to_string()))?;
+    table.set_trials_used(trials);
+    Ok(table)
+}
+
 /// A `.tmp` sibling of `path`, in the same directory so the final rename
 /// never crosses a filesystem boundary.
-fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".tmp");
     path.with_file_name(name)
+}
+
+/// Moves a damaged profile aside for post-mortem inspection: `path` is
+/// renamed to `<name>.quarantined` (then `.quarantined.1`, `.2`, … if
+/// earlier quarantines exist). The file is **never deleted** — a profile
+/// that failed its checksum is evidence, and deleting it would destroy the
+/// only copy of whatever went wrong.
+///
+/// Returns the quarantine path.
+///
+/// # Errors
+///
+/// Propagates the rename failure.
+pub fn quarantine_profile(path: &Path) -> std::io::Result<PathBuf> {
+    let base = {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".quarantined");
+        name
+    };
+    let mut target = path.with_file_name(&base);
+    let mut k = 1u32;
+    while target.exists() {
+        let mut name = base.clone();
+        name.push(format!(".{k}"));
+        target = path.with_file_name(name);
+        k += 1;
+    }
+    std::fs::rename(path, &target)?;
+    Ok(target)
 }
 
 #[cfg(test)]
@@ -304,6 +546,112 @@ mod tests {
         table.set_trials_used(4242);
         let back = RbmsTable::from_text(&table.to_text()).unwrap();
         assert_eq!(back.trials_used(), 4242);
+    }
+
+    #[test]
+    fn v2_text_roundtrip_with_meta() {
+        let mut table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+        table.set_trials_used(512_000);
+        let meta = ProfileMeta {
+            device: "ibmqx4".into(),
+            method: "brute".into(),
+            seed: 2019,
+            window: 0,
+        };
+        let text = table.to_text_v2(&meta);
+        assert!(text.starts_with("rbms v2\n"));
+        let (back, back_meta) = RbmsTable::from_text_with_meta(&text).unwrap();
+        assert_eq!(back_meta, Some(meta));
+        assert_eq!(back.trials_used(), 512_000);
+        assert_eq!(back.strengths(), table.strengths());
+        // And the meta-discarding entry point agrees.
+        assert_eq!(RbmsTable::from_text(&text).unwrap().strengths(), table.strengths());
+    }
+
+    #[test]
+    fn v1_profiles_still_load_and_report_no_meta() {
+        // Migration path: a v1 file written by an older release loads
+        // unchanged through the same entry points that handle v2.
+        let table = RbmsTable::exact(&DeviceModel::ibmqx4().readout());
+        let v1_text = table.to_text();
+        let (back, meta) = RbmsTable::from_text_with_meta(&v1_text).unwrap();
+        assert_eq!(meta, None);
+        assert_eq!(back.strengths(), table.strengths());
+
+        // On-disk migration: drop a v1 file, load it, re-save (v2), reload.
+        let dir = std::env::temp_dir().join("invmeas-v1-migration-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.rbms");
+        std::fs::write(&path, &v1_text).unwrap();
+        let migrated = RbmsTable::load(&path).unwrap();
+        migrated.save(&path).unwrap();
+        let (reloaded, meta) = RbmsTable::load_with_meta(&path).unwrap();
+        assert_eq!(meta, Some(ProfileMeta::default()));
+        assert_eq!(reloaded.strengths(), table.strengths());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_checksum_detects_single_bit_flips() {
+        let table = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        let text = table.to_text_v2(&ProfileMeta::default());
+        let footer_start = text.rfind("crc32").unwrap();
+        let mut checksum_hits = 0;
+        // Flip one bit in every body byte: each flip must be rejected, and
+        // flips that keep the text parseable must be caught *by the
+        // checksum*, not by luck of the parser.
+        for byte in 0..footer_start {
+            let mut bytes = text.clone().into_bytes();
+            bytes[byte] ^= 0x01;
+            let Ok(flipped) = String::from_utf8(bytes) else {
+                continue;
+            };
+            match RbmsTable::from_text(&flipped) {
+                Ok(_) => panic!("bit flip at byte {byte} loaded successfully"),
+                Err(ProfileError::Checksum { expected, found }) => {
+                    assert_ne!(expected, found);
+                    checksum_hits += 1;
+                }
+                Err(_) => {} // header flips may fail dispatch first — still rejected
+            }
+        }
+        assert!(checksum_hits > 0, "no flip exercised the checksum path");
+    }
+
+    #[test]
+    fn v2_truncation_and_footer_tamper_rejected() {
+        let table = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        let text = table.to_text_v2(&ProfileMeta::default());
+        // Truncation loses the footer entirely.
+        let footer_start = text.rfind("crc32").unwrap();
+        let err = RbmsTable::from_text(&text[..footer_start]).unwrap_err();
+        assert!(err.to_string().contains("missing crc32 footer"), "{err}");
+        // A rewritten footer fails against the (unchanged) content.
+        let tampered = format!("{}crc32 deadbeef\n", &text[..footer_start]);
+        let err = RbmsTable::from_text(&tampered).unwrap_err();
+        assert!(matches!(err, ProfileError::Checksum { expected: 0xdeadbeef, .. }), "{err}");
+    }
+
+    #[test]
+    fn quarantine_renames_and_never_deletes() {
+        let dir = std::env::temp_dir().join("invmeas-quarantine-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qx.rbms");
+
+        std::fs::write(&path, "first bad profile").unwrap();
+        let q1 = quarantine_profile(&path).unwrap();
+        assert_eq!(q1, dir.join("qx.rbms.quarantined"));
+        assert!(!path.exists());
+
+        std::fs::write(&path, "second bad profile").unwrap();
+        let q2 = quarantine_profile(&path).unwrap();
+        assert_eq!(q2, dir.join("qx.rbms.quarantined.1"));
+
+        // Both bodies survive, untouched.
+        assert_eq!(std::fs::read_to_string(&q1).unwrap(), "first bad profile");
+        assert_eq!(std::fs::read_to_string(&q2).unwrap(), "second bad profile");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -338,14 +686,19 @@ mod tests {
         // Width-1 states are "0" and "1".
         let good = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n1 0.25";
         assert!(RbmsTable::from_text(good).is_ok());
-        // Missing entry.
+        // Missing entry, naming the first absent state.
         let missing = "rbms v1\nwidth 1\ntrials 10\n0 1.0";
         let err = RbmsTable::from_text(missing).unwrap_err().to_string();
         assert!(err.contains("width 1 declares 2 table rows, found 1"), "{err}");
+        assert!(err.contains("first missing 1"), "{err}");
         // Duplicate entry.
         let dup = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n0 1.0";
         let err = RbmsTable::from_text(dup).unwrap_err().to_string();
         assert!(err.contains("duplicate"), "{err}");
+        // An all-zero body parses row-by-row but fails table validation.
+        let zeros = "rbms v1\nwidth 1\ntrials 10\n0 0.0\n1 0.0";
+        let err = RbmsTable::from_text(zeros).unwrap_err().to_string();
+        assert!(err.contains("all strengths are zero"), "{err}");
     }
 
     #[test]

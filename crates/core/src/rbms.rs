@@ -55,20 +55,34 @@ impl RbmsTable {
     /// # Panics
     ///
     /// Panics if the length is not `2^width`, any strength is negative or
-    /// non-finite, or all strengths are zero.
+    /// non-finite, or all strengths are zero. Fallible callers (loaders,
+    /// resumed characterizations) use [`RbmsTable::try_from_strengths`].
     pub fn from_strengths(width: usize, strengths: Vec<f64>) -> Self {
-        assert_eq!(strengths.len(), 1usize << width, "length must be 2^width");
-        let mut max = 0.0f64;
-        for &s in &strengths {
-            assert!(s.is_finite() && s >= 0.0, "invalid strength {s}");
-            max = max.max(s);
+        match Self::try_from_strengths(width, strengths) {
+            Ok(table) => table,
+            Err(e) => panic!("{e}"),
         }
-        assert!(max > 0.0, "all strengths are zero");
-        RbmsTable {
+    }
+
+    /// Fallible form of [`RbmsTable::from_strengths`]: validates that the
+    /// vector has `2^width` entries, every strength is finite and
+    /// non-negative, and at least one is positive — the invariants
+    /// [`RbmsTable::relative`] and AIM's likelihood rescaling divide by.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; NaN, ±∞, and negative
+    /// strengths are rejected here instead of propagating into divisions.
+    pub fn try_from_strengths(
+        width: usize,
+        strengths: Vec<f64>,
+    ) -> Result<Self, crate::validate::ValidateError> {
+        crate::validate::validate_strengths(width, &strengths)?;
+        Ok(RbmsTable {
             width,
             strengths,
             trials_used: 0,
-        }
+        })
     }
 
     /// The exact table computed from a readout channel's diagonal — ground
@@ -184,31 +198,13 @@ impl RbmsTable {
         assert!(overlap < window, "overlap must be smaller than the window");
         assert!(shots_per_window > 0, "need at least one shot per window");
 
-        // Window start positions: stride (window - overlap), clipped so the
-        // final window ends exactly at n.
-        let stride = window - overlap;
-        let mut starts = Vec::new();
-        let mut pos = 0usize;
-        loop {
-            if pos + window >= n {
-                starts.push(n - window);
-                break;
-            }
-            starts.push(pos);
-            pos += stride;
-        }
+        let starts = awct_starts(n, window, overlap);
 
         // One superposition circuit per window, swept as a batch; then
         // per-window relative strength estimates (sqrt-corrected).
         let circuits: Vec<Circuit> = starts
             .iter()
-            .map(|&lo| {
-                let mut circuit = Circuit::new(n);
-                for q in lo..lo + window {
-                    circuit.h(q);
-                }
-                circuit
-            })
+            .map(|&lo| awct_window_circuit(n, lo, window))
             .collect();
         let logs = executor.run_batch(&circuits, shots_per_window, rng);
         let trials = shots_per_window * starts.len() as u64;
@@ -225,42 +221,7 @@ impl RbmsTable {
             window_tables.push(freqs);
         }
 
-        // Overlap marginals for every window after the first: the marginal
-        // of the window estimate over its first `overlap` qubits.
-        let mut overlap_tables: Vec<Vec<f64>> = Vec::with_capacity(starts.len());
-        for (w, table) in window_tables.iter().enumerate() {
-            if w == 0 || overlap == 0 {
-                overlap_tables.push(Vec::new());
-                continue;
-            }
-            // Sum of squared (i.e. raw) frequencies over the suffix bits,
-            // then sqrt again to stay on the corrected scale.
-            let mut sums = vec![0.0f64; 1 << overlap];
-            for (pat_idx, &val) in table.iter().enumerate() {
-                sums[pat_idx & ((1 << overlap) - 1)] += val * val;
-            }
-            overlap_tables.push(sums.into_iter().map(f64::sqrt).collect());
-        }
-
-        // Combine into the full 2^n table.
-        let dim = 1usize << n;
-        let mut strengths = vec![0.0f64; dim];
-        for (idx, out) in strengths.iter_mut().enumerate() {
-            let s = BitString::from_value(idx as u64, n);
-            let mut val = 1.0f64;
-            for (w, &lo) in starts.iter().enumerate() {
-                let pat = s.window(lo, window).index();
-                val *= window_tables[w][pat];
-                if w > 0 && overlap > 0 {
-                    let ov = s.window(lo, overlap).index();
-                    let denom = overlap_tables[w][ov];
-                    if denom > 0.0 {
-                        val /= denom;
-                    }
-                }
-            }
-            *out = val;
-        }
+        let strengths = awct_combine(n, window, overlap, &starts, &window_tables);
         let mut table = RbmsTable::from_strengths(n, strengths);
         table.trials_used = trials;
         table
@@ -342,6 +303,83 @@ impl RbmsTable {
     pub fn hamming_correlation(&self) -> f64 {
         qmetrics::hamming_weight_correlation(self.width, &self.relative())
     }
+}
+
+/// AWCT window start positions: stride `window - overlap`, clipped so the
+/// final window ends exactly at `n`. A pure function of the geometry, so
+/// the journaled (unit-at-a-time) characterization and the batched
+/// [`RbmsTable::awct`] agree on the decomposition.
+pub(crate) fn awct_starts(n: usize, window: usize, overlap: usize) -> Vec<usize> {
+    let stride = window - overlap;
+    let mut starts = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + window >= n {
+            starts.push(n - window);
+            break;
+        }
+        starts.push(pos);
+        pos += stride;
+    }
+    starts
+}
+
+/// The uniform-superposition circuit over one AWCT window.
+pub(crate) fn awct_window_circuit(n: usize, lo: usize, window: usize) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    for q in lo..lo + window {
+        circuit.h(q);
+    }
+    circuit
+}
+
+/// Combines per-window sqrt-corrected frequency tables into the full
+/// `2^n` strength vector, dividing out the overlap marginals — the pure
+/// second half of [`RbmsTable::awct`], shared with the journaled path.
+pub(crate) fn awct_combine(
+    n: usize,
+    window: usize,
+    overlap: usize,
+    starts: &[usize],
+    window_tables: &[Vec<f64>],
+) -> Vec<f64> {
+    // Overlap marginals for every window after the first: the marginal
+    // of the window estimate over its first `overlap` qubits.
+    let mut overlap_tables: Vec<Vec<f64>> = Vec::with_capacity(starts.len());
+    for (w, table) in window_tables.iter().enumerate() {
+        if w == 0 || overlap == 0 {
+            overlap_tables.push(Vec::new());
+            continue;
+        }
+        // Sum of squared (i.e. raw) frequencies over the suffix bits,
+        // then sqrt again to stay on the corrected scale.
+        let mut sums = vec![0.0f64; 1 << overlap];
+        for (pat_idx, &val) in table.iter().enumerate() {
+            sums[pat_idx & ((1 << overlap) - 1)] += val * val;
+        }
+        overlap_tables.push(sums.into_iter().map(f64::sqrt).collect());
+    }
+
+    // Combine into the full 2^n table.
+    let dim = 1usize << n;
+    let mut strengths = vec![0.0f64; dim];
+    for (idx, out) in strengths.iter_mut().enumerate() {
+        let s = BitString::from_value(idx as u64, n);
+        let mut val = 1.0f64;
+        for (w, &lo) in starts.iter().enumerate() {
+            let pat = s.window(lo, window).index();
+            val *= window_tables[w][pat];
+            if w > 0 && overlap > 0 {
+                let ov = s.window(lo, overlap).index();
+                let denom = overlap_tables[w][ov];
+                if denom > 0.0 {
+                    val /= denom;
+                }
+            }
+        }
+        *out = val;
+    }
+    strengths
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! Invariant guards for the characterization → profile → mitigation
+//! pipeline.
+//!
+//! Every strength table and every rescaled distribution that flows through
+//! the system obeys a handful of invariants: strengths are finite and
+//! non-negative with at least one positive entry; probability
+//! distributions are normalized with every mass in `[0, 1]`; AIM's
+//! rescaled canary likelihoods are finite and non-negative. This module
+//! centralizes the checks so [`RbmsTable`](crate::RbmsTable) construction,
+//! `profile_io` loads, AIM's canary rescaling, and the service cache's
+//! admission path all enforce the same contract — and so violations that
+//! are *recoverable* (clamp and renormalize) are counted in one
+//! process-wide ledger that `svc status` surfaces as `invariant_clamps`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of clamped invariant violations (a gauge mirrored
+/// into `ServiceCounters`, like the fault-injection total).
+static INVARIANT_CLAMPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total invariant violations clamped so far in this process.
+pub fn invariant_clamps() -> u64 {
+    INVARIANT_CLAMPS.load(Ordering::Relaxed)
+}
+
+/// Records `n` clamped violations in the process-wide ledger.
+pub fn record_clamps(n: u64) {
+    if n > 0 {
+        INVARIANT_CLAMPS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Why a table or distribution failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// The value vector length does not match `2^width`.
+    WrongLength {
+        /// Declared register width.
+        width: usize,
+        /// Observed vector length.
+        len: usize,
+    },
+    /// An entry is NaN or infinite.
+    NonFinite {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An entry is negative.
+    Negative {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Every strength is zero — the table cannot rank states.
+    AllZero,
+    /// A distribution's masses do not sum to 1 within tolerance.
+    NotNormalized {
+        /// The observed sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::WrongLength { width, len } => {
+                write!(f, "length {len} does not match 2^{width} entries")
+            }
+            ValidateError::NonFinite { index, value } => {
+                write!(f, "invalid strength {value} at state index {index}")
+            }
+            ValidateError::Negative { index, value } => {
+                write!(f, "invalid strength {value} at state index {index} (negative)")
+            }
+            ValidateError::AllZero => write!(f, "all strengths are zero"),
+            ValidateError::NotNormalized { sum } => {
+                write!(f, "distribution masses sum to {sum}, not 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks a strength vector: length `2^width`, every entry finite and
+/// non-negative, at least one entry positive.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate_strengths(width: usize, strengths: &[f64]) -> Result<(), ValidateError> {
+    if strengths.len() != 1usize << width {
+        return Err(ValidateError::WrongLength {
+            width,
+            len: strengths.len(),
+        });
+    }
+    let mut max = 0.0f64;
+    for (index, &value) in strengths.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ValidateError::NonFinite { index, value });
+        }
+        if value < 0.0 {
+            return Err(ValidateError::Negative { index, value });
+        }
+        max = max.max(value);
+    }
+    if max <= 0.0 {
+        return Err(ValidateError::AllZero);
+    }
+    Ok(())
+}
+
+/// Checks that `probs` is a normalized distribution: every mass finite and
+/// in `[0, 1 + tol]`, masses summing to 1 within `tol`. This is the
+/// row-stochastic invariant a readout channel's rows and a frequency
+/// table both obey.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate_distribution(probs: &[f64], tol: f64) -> Result<(), ValidateError> {
+    let mut sum = 0.0f64;
+    for (index, &value) in probs.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ValidateError::NonFinite { index, value });
+        }
+        if value < 0.0 {
+            return Err(ValidateError::Negative { index, value });
+        }
+        if value > 1.0 + tol {
+            return Err(ValidateError::NotNormalized { sum: value });
+        }
+        sum += value;
+    }
+    if (sum - 1.0).abs() > tol {
+        return Err(ValidateError::NotNormalized { sum });
+    }
+    Ok(())
+}
+
+/// Clamps NaN, infinite, and negative entries of `values` to 0 and
+/// renormalizes the remainder to sum to 1 (left untouched when everything
+/// clamps to zero). Returns the number of entries clamped; the count is
+/// also recorded in the process-wide ledger.
+///
+/// This is the recovery path for rescaled masses (e.g. AIM's canary
+/// likelihoods): a single rotten entry must not poison the ranking or
+/// crash the comparison sort.
+pub fn clamp_and_renormalize(values: &mut [f64]) -> u64 {
+    let mut clamped = 0u64;
+    for v in values.iter_mut() {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+            clamped += 1;
+        }
+    }
+    let sum: f64 = values.iter().sum();
+    if sum > 0.0 && clamped > 0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    }
+    record_clamps(clamped);
+    clamped
+}
+
+/// Clamps one scalar mass: returns the value unchanged when it is finite
+/// and non-negative, otherwise 0 (recording one clamp in the ledger).
+pub fn clamp_mass(value: f64) -> f64 {
+    if value.is_finite() && value >= 0.0 {
+        value
+    } else {
+        record_clamps(1);
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_strengths_pass() {
+        assert!(validate_strengths(2, &[1.0, 0.5, 0.0, 0.25]).is_ok());
+    }
+
+    #[test]
+    fn strength_violations_are_named() {
+        let e = validate_strengths(2, &[1.0, 0.5]).unwrap_err();
+        assert!(matches!(e, ValidateError::WrongLength { width: 2, len: 2 }));
+        let e = validate_strengths(1, &[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(e, ValidateError::NonFinite { index: 1, .. }));
+        let e = validate_strengths(1, &[f64::INFINITY, 1.0]).unwrap_err();
+        assert!(matches!(e, ValidateError::NonFinite { index: 0, .. }));
+        let e = validate_strengths(1, &[1.0, -0.1]).unwrap_err();
+        assert!(matches!(e, ValidateError::Negative { index: 1, .. }));
+        let e = validate_strengths(1, &[0.0, 0.0]).unwrap_err();
+        assert_eq!(e, ValidateError::AllZero);
+        assert_eq!(e.to_string(), "all strengths are zero");
+    }
+
+    #[test]
+    fn distribution_checks() {
+        assert!(validate_distribution(&[0.25; 4], 1e-9).is_ok());
+        assert!(validate_distribution(&[0.5, 0.6], 1e-9).is_err());
+        assert!(validate_distribution(&[1.5, -0.5], 1e-9).is_err());
+        assert!(validate_distribution(&[0.5, f64::NAN], 1e-9).is_err());
+    }
+
+    #[test]
+    fn clamp_and_renormalize_recovers_and_counts() {
+        let before = invariant_clamps();
+        let mut v = [0.5, f64::NAN, -1.0, 0.5, f64::INFINITY];
+        let clamped = clamp_and_renormalize(&mut v);
+        assert_eq!(clamped, 3);
+        assert_eq!(invariant_clamps() - before, 3);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[2], 0.0);
+        assert_eq!(v[4], 0.0);
+        // A healthy vector is untouched and counts nothing.
+        let mut healthy = [0.25, 0.75];
+        assert_eq!(clamp_and_renormalize(&mut healthy), 0);
+        assert_eq!(healthy, [0.25, 0.75]);
+    }
+
+    #[test]
+    fn clamp_mass_guards_scalars() {
+        assert_eq!(clamp_mass(0.5), 0.5);
+        assert_eq!(clamp_mass(0.0), 0.0);
+        let before = invariant_clamps();
+        assert_eq!(clamp_mass(f64::NAN), 0.0);
+        assert_eq!(clamp_mass(-2.0), 0.0);
+        assert_eq!(clamp_mass(f64::NEG_INFINITY), 0.0);
+        assert_eq!(invariant_clamps() - before, 3);
+    }
+}

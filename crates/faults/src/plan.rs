@@ -4,7 +4,7 @@ use crate::FaultInjector;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of instrumented sites (array-indexed for lock-free counting).
-pub const SITE_COUNT: usize = 5;
+pub const SITE_COUNT: usize = 6;
 
 /// A place in the stack where faults can be injected.
 ///
@@ -31,6 +31,11 @@ pub enum FaultSite {
     ///
     /// [`Executor::run`]: https://docs.rs/ (see `qnoise::Executor`)
     Exec,
+    /// A characterization checkpoint is about to be appended to a
+    /// `charjournal v1` file. Supports `Panic` (kill mid-checkpoint — the
+    /// resumed run must be bit-identical), `Torn` (a partial line lands
+    /// and must be discarded on resume), `Error`, and `Latency`.
+    JournalWrite,
 }
 
 impl FaultSite {
@@ -41,6 +46,7 @@ impl FaultSite {
         FaultSite::ProfileRead,
         FaultSite::Worker,
         FaultSite::Exec,
+        FaultSite::JournalWrite,
     ];
 
     /// The array index of this site.
@@ -52,6 +58,7 @@ impl FaultSite {
             FaultSite::ProfileRead => 2,
             FaultSite::Worker => 3,
             FaultSite::Exec => 4,
+            FaultSite::JournalWrite => 5,
         }
     }
 
@@ -63,6 +70,7 @@ impl FaultSite {
             FaultSite::ProfileRead => "profile-read",
             FaultSite::Worker => "worker",
             FaultSite::Exec => "exec",
+            FaultSite::JournalWrite => "journal-write",
         }
     }
 

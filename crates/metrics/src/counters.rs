@@ -47,6 +47,10 @@ pub struct ServiceCounters {
     deadline_expirations: AtomicU64,
     connections_reaped: AtomicU64,
     breaker_trips: AtomicU64,
+    journal_checkpoints: AtomicU64,
+    resumed_jobs: AtomicU64,
+    profiles_quarantined: AtomicU64,
+    invariant_clamps: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -68,6 +72,10 @@ pub struct CountersSnapshot {
     pub deadline_expirations: u64,
     pub connections_reaped: u64,
     pub breaker_trips: u64,
+    pub journal_checkpoints: u64,
+    pub resumed_jobs: u64,
+    pub profiles_quarantined: u64,
+    pub invariant_clamps: u64,
 }
 
 impl ServiceCounters {
@@ -148,6 +156,30 @@ impl ServiceCounters {
         self.breaker_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` characterization checkpoints appended to a journal.
+    pub fn add_journal_checkpoints(&self, n: u64) {
+        if n > 0 {
+            self.journal_checkpoints.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one characterization job that resumed an in-flight journal
+    /// instead of starting from scratch.
+    pub fn inc_resumed_job(&self) {
+        self.resumed_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one damaged profile moved aside to a quarantine path.
+    pub fn inc_profile_quarantined(&self) {
+        self.profiles_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the invariant-clamp total (a gauge owned by the core
+    /// validation ledger, mirrored here like the fault-injection total).
+    pub fn set_invariant_clamps(&self, total: u64) {
+        self.invariant_clamps.store(total, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -166,6 +198,10 @@ impl ServiceCounters {
             deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
             connections_reaped: self.connections_reaped.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            journal_checkpoints: self.journal_checkpoints.load(Ordering::Relaxed),
+            resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
+            profiles_quarantined: self.profiles_quarantined.load(Ordering::Relaxed),
+            invariant_clamps: self.invariant_clamps.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,7 +226,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 17] = [
+        let rows: [(&str, String); 21] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -208,6 +244,10 @@ impl CountersSnapshot {
             ("deadline expirations", self.deadline_expirations.to_string()),
             ("connections reaped", self.connections_reaped.to_string()),
             ("breaker trips", self.breaker_trips.to_string()),
+            ("journal checkpoints", self.journal_checkpoints.to_string()),
+            ("resumed jobs", self.resumed_jobs.to_string()),
+            ("profiles quarantined", self.profiles_quarantined.to_string()),
+            ("invariant clamps", self.invariant_clamps.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -248,6 +288,11 @@ mod tests {
         c.inc_deadline_expiration();
         c.inc_connection_reaped();
         c.inc_breaker_trip();
+        c.add_journal_checkpoints(5);
+        c.add_journal_checkpoints(0);
+        c.inc_resumed_job();
+        c.inc_profile_quarantined();
+        c.set_invariant_clamps(3);
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -266,6 +311,10 @@ mod tests {
         assert_eq!(s.deadline_expirations, 1);
         assert_eq!(s.connections_reaped, 1);
         assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.journal_checkpoints, 5);
+        assert_eq!(s.resumed_jobs, 1);
+        assert_eq!(s.profiles_quarantined, 1);
+        assert_eq!(s.invariant_clamps, 3);
     }
 
     #[test]
@@ -311,6 +360,10 @@ mod tests {
             "deadline expirations",
             "connections reaped",
             "breaker trips",
+            "journal checkpoints",
+            "resumed jobs",
+            "profiles quarantined",
+            "invariant clamps",
         ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }

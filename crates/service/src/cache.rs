@@ -37,6 +37,8 @@
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::protocol::{CacheOutcome, MethodKind};
+use invmeas::journal::{characterize_journaled, CharSpec, JournalError, JournalStats};
+use invmeas::profile_io::{quarantine_profile, ProfileError, ProfileMeta};
 use invmeas::RbmsTable;
 use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::ServiceCounters;
@@ -46,7 +48,16 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a cache mutex, tolerating poison: an injected (or real) panic
+/// mid-measure must not wedge the slot for every later request for that
+/// key. The guarded state stays consistent across a panic because
+/// [`ProfileCache::install`] only runs after a measurement fully
+/// succeeds — a poisoned slot simply holds whatever was installed last.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 #[derive(Debug, Clone)]
 struct Entry {
@@ -216,7 +227,7 @@ impl ProfileCache {
     ) -> Result<(RbmsTable, CacheOutcome), CacheError> {
         assert!(shots > 0, "characterization needs a trial budget");
         let slot = {
-            let mut slots = self.slots.lock().expect("cache poisoned");
+            let mut slots = lock(&self.slots);
             Arc::clone(
                 slots
                     .entry((device.to_string(), method))
@@ -225,7 +236,7 @@ impl ProfileCache {
         };
         // Per-key critical section: the winner of a concurrent burst
         // measures while the rest block here, then observe a fresh entry.
-        let mut state = slot.lock().expect("cache slot poisoned");
+        let mut state = lock(&slot);
         if let Some(e) = state.current.as_ref() {
             let fresh = e.window == window
                 && e.shots == shots
@@ -262,9 +273,15 @@ impl ProfileCache {
         // deterministic backoff schedule (seeded jitter, no RNG state).
         let mut attempt = 0u32;
         let failure = loop {
-            match self.measure(snapshot, window, method, shots) {
-                Ok(table) => {
-                    self.persist(device, method, window, &table);
+            match self.measure(device, snapshot, window, method, shots) {
+                Ok((table, stats)) => {
+                    if let Some(stats) = stats {
+                        self.counters.add_journal_checkpoints(stats.checkpoints_written);
+                        if stats.resumed() {
+                            self.counters.inc_resumed_job();
+                        }
+                    }
+                    self.persist(device, snapshot, method, window, &table);
                     self.install(&mut state, window, shots, snapshot, &table);
                     self.with_breaker_of(device, |b| b.record_success());
                     return Ok((table, CacheOutcome::Miss));
@@ -327,7 +344,7 @@ impl ProfileCache {
 
     /// Runs `f` against the device's breaker (created closed on first use).
     fn with_breaker_of<T>(&self, device: &str, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
-        let mut breakers = self.breakers.lock().expect("breakers poisoned");
+        let mut breakers = lock(&self.breakers);
         let b = breakers
             .entry(device.to_string())
             .or_insert_with(|| CircuitBreaker::new(self.breaker_config));
@@ -337,17 +354,17 @@ impl ProfileCache {
     /// Summarizes cache and breaker state relative to `current_window`.
     pub fn health(&self, current_window: u64) -> CacheHealth {
         let open_breakers = {
-            let breakers = self.breakers.lock().expect("breakers poisoned");
+            let breakers = lock(&self.breakers);
             breakers.values().filter(|b| b.is_open()).count() as u64
         };
         let slots: Vec<Slot> = {
-            let map = self.slots.lock().expect("cache poisoned");
+            let map = lock(&self.slots);
             map.values().map(Arc::clone).collect()
         };
         let mut entries = 0u64;
         let mut oldest = 0u64;
         for slot in slots {
-            let state = slot.lock().expect("cache slot poisoned");
+            let state = lock(&slot);
             if let Some(e) = state.current.as_ref().or(state.last_good.as_ref()) {
                 entries += 1;
                 oldest = oldest.max(current_window.saturating_sub(e.window));
@@ -363,13 +380,22 @@ impl ProfileCache {
     /// Measures a profile with a seed that is a pure function of the
     /// configuration and the (device, method, window) key. Registers one
     /// [`FaultSite::Characterize`] arrival per call.
+    ///
+    /// With a profile directory configured the measurement runs through
+    /// the journaled characterization path, checkpointing each completed
+    /// work unit to `<profile path>.journal`: a worker that panics (or a
+    /// process that dies) mid-characterization leaves the journal behind,
+    /// and the retry — or the next process — resumes from it
+    /// bit-identically instead of re-measuring from scratch. The second
+    /// element of the result reports what the journal did.
     fn measure(
         &self,
+        device: &str,
         snapshot: &DeviceModel,
         window: u64,
         method: MethodKind,
         shots: u64,
-    ) -> Result<RbmsTable, MeasureError> {
+    ) -> Result<(RbmsTable, Option<JournalStats>), MeasureError> {
         let n = snapshot.n_qubits();
         if method == MethodKind::Brute && n > 14 {
             return Err(MeasureError::Permanent(format!(
@@ -385,21 +411,61 @@ impl ProfileCache {
             }
         }
         let exec = NoisyExecutor::from_device(snapshot).with_threads(self.config.exec_threads);
-        let seed = self
-            .config
-            .profile_seed
-            .wrapping_mul(0x100000001b3)
-            .wrapping_add(fnv(snapshot.name()))
-            .wrapping_add(fnv(method.as_str()))
-            .wrapping_add(window);
+        let seed = self.char_seed(snapshot.name(), method, window);
+        if let Some(journal) = self.journal_path(device, method, window) {
+            if let Some(dir) = journal.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let spec = self.char_spec(device, n, method, shots, seed);
+            return match characterize_journaled(&exec, &spec, Some(&journal), self.faults.as_ref())
+            {
+                Ok((table, stats)) => Ok((table, Some(stats))),
+                // A journal write failure is transient: the checkpoints
+                // already on disk survive, so the retry resumes them.
+                Err(JournalError::Io(e)) => {
+                    Err(MeasureError::Transient(format!("journal write failed: {e}")))
+                }
+                Err(JournalError::Invalid(m)) => Err(MeasureError::Permanent(m)),
+            };
+        }
         let mut rng = StdRng::seed_from_u64(seed);
-        Ok(match method {
+        let table = match method {
             MethodKind::Brute => RbmsTable::brute_force(&exec, shots, &mut rng),
             MethodKind::Esct => RbmsTable::esct(&exec, shots, &mut rng),
             MethodKind::Awct => {
                 RbmsTable::awct(&exec, 4.min(n), 2.min(n.saturating_sub(1)), shots, &mut rng)
             }
-        })
+        };
+        Ok((table, None))
+    }
+
+    /// The characterization seed: a pure function of the configuration and
+    /// the (device, method, window) key — never of the requesting client.
+    fn char_seed(&self, device_name: &str, method: MethodKind, window: u64) -> u64 {
+        self.config
+            .profile_seed
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(fnv(device_name))
+            .wrapping_add(fnv(method.as_str()))
+            .wrapping_add(window)
+    }
+
+    /// The journaled-characterization job for this key.
+    fn char_spec(
+        &self,
+        device: &str,
+        n: usize,
+        method: MethodKind,
+        shots: u64,
+        seed: u64,
+    ) -> CharSpec {
+        match method {
+            MethodKind::Brute => CharSpec::brute(device, n, shots, seed),
+            MethodKind::Esct => CharSpec::esct(device, n, shots, seed),
+            MethodKind::Awct => {
+                CharSpec::awct(device, n, 4.min(n), 2.min(n.saturating_sub(1)), shots, seed)
+            }
+        }
     }
 
     fn profile_path(&self, device: &str, method: MethodKind, window: u64) -> Option<PathBuf> {
@@ -409,6 +475,14 @@ impl ProfileCache {
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
             .collect();
         Some(dir.join(format!("{sane}-{}-w{window}.rbms", method.as_str())))
+    }
+
+    /// The in-flight journal sibling of this key's profile file.
+    fn journal_path(&self, device: &str, method: MethodKind, window: u64) -> Option<PathBuf> {
+        let path = self.profile_path(device, method, window)?;
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".journal");
+        Some(path.with_file_name(name))
     }
 
     fn load_persisted(
@@ -422,21 +496,54 @@ impl ProfileCache {
         if !path.exists() {
             return None;
         }
-        // A corrupt or unreadable file (injected or real) is not fatal:
-        // the caller falls through to a fresh measurement.
-        let table = RbmsTable::load_with(&path, self.faults.as_ref()).ok()?;
+        // A damaged or unreadable file (injected or real) is not fatal:
+        // the caller falls through to a fresh measurement. But damage and
+        // unreadability are handled differently — a file that *parses
+        // wrong* or fails its checksum is evidence of corruption, so it is
+        // quarantined aside (never deleted) where an operator can inspect
+        // it; a file that merely cannot be read right now is left alone.
+        let table = match RbmsTable::load_with(&path, self.faults.as_ref()) {
+            Ok(table) => table,
+            Err(ProfileError::Io(_)) => return None,
+            Err(ProfileError::Parse { .. } | ProfileError::Checksum { .. }) => {
+                if quarantine_profile(&path).is_ok() {
+                    self.counters.inc_profile_quarantined();
+                }
+                return None;
+            }
+        };
         (table.width() == snapshot.n_qubits()).then_some(table)
     }
 
-    fn persist(&self, device: &str, method: MethodKind, window: u64, table: &RbmsTable) {
+    fn persist(
+        &self,
+        device: &str,
+        snapshot: &DeviceModel,
+        method: MethodKind,
+        window: u64,
+        table: &RbmsTable,
+    ) {
         if let Some(path) = self.profile_path(device, method, window) {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
+            let n = snapshot.n_qubits();
+            let meta = ProfileMeta {
+                device: device.to_string(),
+                method: method.as_str().to_string(),
+                seed: self.char_seed(snapshot.name(), method, window),
+                window: if method == MethodKind::Awct { 4.min(n) } else { 0 },
+            };
             // Best effort: a full disk (or an injected torn write) must not
             // fail the request — and the crash-safe writer guarantees the
-            // final path never holds a partial profile.
-            let _ = table.save_with(&path, self.faults.as_ref());
+            // final path never holds a partial profile. The characterization
+            // journal outlives a failed save on purpose: until the profile
+            // is durably on disk, the checkpoints are the recovery story.
+            if table.save_v2_with(&path, &meta, self.faults.as_ref()).is_ok() {
+                if let Some(journal) = self.journal_path(device, method, window) {
+                    let _ = std::fs::remove_file(journal);
+                }
+            }
         }
     }
 }
@@ -721,6 +828,125 @@ mod tests {
             CacheOutcome::Miss
         );
         assert_eq!(c.health(5).open_breakers, 0);
+    }
+
+    #[test]
+    fn damaged_persisted_profile_is_quarantined_not_deleted() {
+        let dir = std::env::temp_dir().join(format!(
+            "invmeas-cache-quarantine-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CacheConfig {
+            profile_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let dev = DeviceModel::ibmqx2();
+        ProfileCache::new(cfg.clone())
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
+        // Flip one byte of the persisted profile — on-disk rot.
+        let path = dir.join("ibmqx2-brute-w0.rbms");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A fresh instance detects the checksum failure, quarantines the
+        // file aside, and re-measures.
+        let counters = Arc::new(ServiceCounters::new());
+        let second = ProfileCache::new(cfg).with_counters(Arc::clone(&counters));
+        let (_, o) = second.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(counters.snapshot().profiles_quarantined, 1);
+        // The damaged bytes survive, byte-for-byte, at the quarantine path…
+        let quarantined = dir.join("ibmqx2-brute-w0.rbms.quarantined");
+        assert_eq!(std::fs::read(&quarantined).unwrap(), bytes);
+        // …and the re-measured profile replaced the original.
+        assert!(RbmsTable::load(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_write_resumes_on_retry_bit_identically() {
+        let base = std::env::temp_dir().join(format!(
+            "invmeas-cache-journal-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let dev = DeviceModel::ibmqx2();
+        let cfg_for = |tag: &str| CacheConfig {
+            profile_dir: Some(base.join(tag)),
+            ..CacheConfig::default()
+        };
+        // Uninterrupted journaled run (separate directory, same seed
+        // derivation) is the baseline.
+        let (baseline, _) = ProfileCache::new(cfg_for("clean"))
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
+
+        // The faulted instance tears the second journal checkpoint: the
+        // measurement fails mid-characterization, and the retry resumes
+        // the surviving checkpoints instead of starting over.
+        let plan = Arc::new(FaultPlan::new(7).on_nth(FaultSite::JournalWrite, 2, Fault::Torn));
+        let counters = Arc::new(ServiceCounters::new());
+        let c = ProfileCache::new(cfg_for("torn"))
+            .with_faults(plan)
+            .with_retry(instant_retry(1))
+            .with_counters(Arc::clone(&counters));
+        let (table, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(table, baseline, "resumed run must match the uninterrupted one");
+        let s = counters.snapshot();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.resumed_jobs, 1, "the retry resumed the in-flight journal");
+        assert!(s.journal_checkpoints > 0);
+        // Once the profile is durably persisted, the journal is gone.
+        assert!(base.join("torn").join("ibmqx2-brute-w0.rbms").exists());
+        assert!(!base.join("torn").join("ibmqx2-brute-w0.rbms.journal").exists());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn panic_mid_journal_neither_wedges_the_slot_nor_loses_checkpoints() {
+        let base = std::env::temp_dir().join(format!(
+            "invmeas-cache-panic-journal-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let dev = DeviceModel::ibmqx2();
+        let cfg_for = |tag: &str| CacheConfig {
+            profile_dir: Some(base.join(tag)),
+            ..CacheConfig::default()
+        };
+        let (baseline, _) = ProfileCache::new(cfg_for("clean"))
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
+
+        // A panic mid-measure (injected at the third checkpoint) unwinds
+        // while the slot mutex is held, poisoning it.
+        let plan = Arc::new(FaultPlan::new(8).on_nth(
+            FaultSite::JournalWrite,
+            3,
+            Fault::Panic("worker crashed mid-characterization".into()),
+        ));
+        let counters = Arc::new(ServiceCounters::new());
+        let c = ProfileCache::new(cfg_for("panic"))
+            .with_faults(plan)
+            .with_counters(Arc::clone(&counters));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+        }));
+        assert!(died.is_err(), "scripted panic did not fire");
+
+        // The next request tolerates the poisoned slot, resumes the two
+        // surviving checkpoints, and lands the same table as a run that
+        // never crashed.
+        let (table, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(table, baseline);
+        assert_eq!(counters.snapshot().resumed_jobs, 1);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -526,6 +526,10 @@ impl Response {
                         ("deadline_expirations", Json::int(c.deadline_expirations)),
                         ("connections_reaped", Json::int(c.connections_reaped)),
                         ("breaker_trips", Json::int(c.breaker_trips)),
+                        ("journal_checkpoints", Json::int(c.journal_checkpoints)),
+                        ("resumed_jobs", Json::int(c.resumed_jobs)),
+                        ("profiles_quarantined", Json::int(c.profiles_quarantined)),
+                        ("invariant_clamps", Json::int(c.invariant_clamps)),
                     ]),
                 ));
             }
@@ -636,6 +640,10 @@ impl Response {
                     deadline_expirations: opt_u64(c, "deadline_expirations")?.unwrap_or(0),
                     connections_reaped: opt_u64(c, "connections_reaped")?.unwrap_or(0),
                     breaker_trips: opt_u64(c, "breaker_trips")?.unwrap_or(0),
+                    journal_checkpoints: opt_u64(c, "journal_checkpoints")?.unwrap_or(0),
+                    resumed_jobs: opt_u64(c, "resumed_jobs")?.unwrap_or(0),
+                    profiles_quarantined: opt_u64(c, "profiles_quarantined")?.unwrap_or(0),
+                    invariant_clamps: opt_u64(c, "invariant_clamps")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -848,6 +856,10 @@ mod tests {
                     deadline_expirations: 1,
                     connections_reaped: 2,
                     breaker_trips: 1,
+                    journal_checkpoints: 12,
+                    resumed_jobs: 1,
+                    profiles_quarantined: 1,
+                    invariant_clamps: 4,
                 },
             }),
             Response::Health(HealthResponse {

@@ -266,6 +266,9 @@ impl Server {
         self.state
             .counters
             .set_faults_injected(self.state.faults.injected());
+        self.state
+            .counters
+            .set_invariant_clamps(invmeas::validate::invariant_clamps());
         Ok(self.state.counters.snapshot())
     }
 }
@@ -332,6 +335,9 @@ fn handle_request(state: &State, request: Request) -> Response {
     match request {
         Request::Status => {
             state.counters.set_faults_injected(state.faults.injected());
+            state
+                .counters
+                .set_invariant_clamps(invmeas::validate::invariant_clamps());
             Response::Status(StatusResponse {
                 window: state.window.load(Ordering::SeqCst),
                 workers: state.config.workers as u64,
