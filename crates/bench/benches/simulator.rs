@@ -52,21 +52,25 @@ fn bench_statevector(c: &mut Criterion) {
 
 fn bench_threaded_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("threaded");
-    let n = 16usize;
-    let prog = FusedProgram::from_circuit(&layered_circuit(n, 4));
-    group.throughput(Throughput::Elements(prog.n_ops() as u64));
-    for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("apply_fused_16q", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let mut sv = StateVector::zero(n);
-                    sv.apply_fused_threaded(&prog, threads);
-                    sv
-                })
-            },
-        );
+    for n in [14usize, 16, 18, 20] {
+        let prog = FusedProgram::from_circuit(&layered_circuit(n, 4));
+        group.throughput(Throughput::Elements(prog.n_ops() as u64));
+        if n >= 18 {
+            group.sample_size(10);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("apply_fused_{n}q"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut sv = StateVector::zero(n);
+                        sv.apply_fused_threaded(&prog, threads);
+                        sv.recycle();
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -94,6 +94,12 @@ impl Runner {
     /// (characterization, SIM groups, AIM targeted runs). Results are
     /// bitwise identical for every thread count.
     ///
+    /// Worker threads come from the process-global persistent pool
+    /// (`qsim::pool`): the first multi-threaded batch parks `threads - 1`
+    /// workers and every later batch in the job reuses them, so long
+    /// characterization sweeps pay the spawn cost once instead of once
+    /// per circuit group.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is 0.

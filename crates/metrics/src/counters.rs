@@ -51,6 +51,9 @@ pub struct ServiceCounters {
     resumed_jobs: AtomicU64,
     profiles_quarantined: AtomicU64,
     invariant_clamps: AtomicU64,
+    pool_tasks: AtomicU64,
+    barrier_waits: AtomicU64,
+    arena_reuse_hits: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -76,6 +79,9 @@ pub struct CountersSnapshot {
     pub resumed_jobs: u64,
     pub profiles_quarantined: u64,
     pub invariant_clamps: u64,
+    pub pool_tasks: u64,
+    pub barrier_waits: u64,
+    pub arena_reuse_hits: u64,
 }
 
 impl ServiceCounters {
@@ -180,6 +186,24 @@ impl ServiceCounters {
         self.invariant_clamps.store(total, Ordering::Relaxed);
     }
 
+    /// Publishes the simulator worker-pool task total (a gauge owned by
+    /// `qsim::pool`, mirrored here so one snapshot carries everything).
+    pub fn set_pool_tasks(&self, total: u64) {
+        self.pool_tasks.store(total, Ordering::Relaxed);
+    }
+
+    /// Publishes the simulator barrier-episode total (a gauge owned by
+    /// `qsim::pool`).
+    pub fn set_barrier_waits(&self, total: u64) {
+        self.barrier_waits.store(total, Ordering::Relaxed);
+    }
+
+    /// Publishes the statevector arena reuse total (a gauge owned by
+    /// `qsim::arena`).
+    pub fn set_arena_reuse_hits(&self, total: u64) {
+        self.arena_reuse_hits.store(total, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -202,6 +226,9 @@ impl ServiceCounters {
             resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
             profiles_quarantined: self.profiles_quarantined.load(Ordering::Relaxed),
             invariant_clamps: self.invariant_clamps.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
+            arena_reuse_hits: self.arena_reuse_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,7 +253,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 21] = [
+        let rows: [(&str, String); 24] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -248,6 +275,9 @@ impl CountersSnapshot {
             ("resumed jobs", self.resumed_jobs.to_string()),
             ("profiles quarantined", self.profiles_quarantined.to_string()),
             ("invariant clamps", self.invariant_clamps.to_string()),
+            ("pool tasks", self.pool_tasks.to_string()),
+            ("barrier waits", self.barrier_waits.to_string()),
+            ("arena reuse hits", self.arena_reuse_hits.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -293,6 +323,9 @@ mod tests {
         c.inc_resumed_job();
         c.inc_profile_quarantined();
         c.set_invariant_clamps(3);
+        c.set_pool_tasks(12);
+        c.set_barrier_waits(34);
+        c.set_arena_reuse_hits(56);
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -315,6 +348,9 @@ mod tests {
         assert_eq!(s.resumed_jobs, 1);
         assert_eq!(s.profiles_quarantined, 1);
         assert_eq!(s.invariant_clamps, 3);
+        assert_eq!(s.pool_tasks, 12);
+        assert_eq!(s.barrier_waits, 34);
+        assert_eq!(s.arena_reuse_hits, 56);
     }
 
     #[test]
@@ -364,6 +400,9 @@ mod tests {
             "resumed jobs",
             "profiles quarantined",
             "invariant clamps",
+            "pool tasks",
+            "barrier waits",
+            "arena reuse hits",
         ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }

@@ -267,6 +267,12 @@ impl NoisyExecutor {
     /// [`Executor::run_batch`]. The default is 1 (serial). Results are
     /// bitwise identical for every thread count.
     ///
+    /// Workers come from the persistent process-global pool
+    /// (`qsim::pool`), so a whole characterization job reuses one set of
+    /// parked threads across every batch instead of spawning per call —
+    /// and large single-circuit evolutions (≥ [`THREADED_SIM_MIN_QUBITS`]
+    /// qubits) share the same pool for their kernel sweeps.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is 0.
@@ -449,8 +455,10 @@ impl NoisyExecutor {
                             probs[0] = 1.0;
                             probs
                         } else {
-                            StateVector::from_gates_threaded(n, prefix, sim_threads)
-                                .probabilities()
+                            let sv = StateVector::from_gates_threaded(n, prefix, sim_threads);
+                            let probs = sv.probabilities_threaded(sim_threads);
+                            sv.recycle();
+                            probs
                         });
                         bases.push((prefix, Arc::clone(&b)));
                         b
@@ -562,6 +570,9 @@ impl NoisyExecutor {
         let base = shots / n_traj;
         let extra = shots % n_traj;
         let ideal_sampler = ideal_psi.sampler();
+        // The alias table owns its weights; the amplitude buffer can go
+        // back to the arena for the trajectory states to reuse.
+        ideal_psi.recycle();
         let mut dense = vec![0u64; if n <= MAX_DENSE_WIDTH { 1usize << n } else { 0 }];
         let mut counts = Counts::new(n);
         for t in 0..n_traj {
@@ -571,7 +582,9 @@ impl NoisyExecutor {
             let active = if faults == 0 {
                 &ideal_sampler
             } else {
-                sampler = StateVector::from_circuit(&traj_circuit).sampler();
+                let traj_psi = StateVector::from_circuit(&traj_circuit);
+                sampler = traj_psi.sampler();
+                traj_psi.recycle();
                 &sampler
             };
             self.corrupt_shots_dense(active, traj_shots, &mut dense, &mut counts, rng);
@@ -628,23 +641,25 @@ impl Executor for NoisyExecutor {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Counts>>> =
             circuits.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= circuits.len() {
-                        break;
-                    }
-                    let mut circuit_rng = StdRng::seed_from_u64(seeds[i]);
-                    let log = self.run_with_born(
-                        &circuits[i],
-                        borns[i].as_ref().map(|b| &b[..]),
-                        shots[i],
-                        &mut circuit_rng,
-                    );
-                    *slots[i].lock().expect("result slot poisoned") = Some(log);
-                });
+        // Circuit-granularity parallelism on the persistent pool: workers
+        // pull circuit indices from a shared cursor, so a whole
+        // characterization sweep reuses one set of parked threads (and
+        // each worker's thread-local statevector arena stays warm across
+        // the batch). Which worker runs which circuit is irrelevant to the
+        // output — every circuit's RNG is seeded from `seeds[i]`.
+        qsim::pool::run(threads, &|_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= circuits.len() {
+                break;
             }
+            let mut circuit_rng = StdRng::seed_from_u64(seeds[i]);
+            let log = self.run_with_born(
+                &circuits[i],
+                borns[i].as_ref().map(|b| &b[..]),
+                shots[i],
+                &mut circuit_rng,
+            );
+            *slots[i].lock().expect("result slot poisoned") = Some(log);
         });
         slots
             .into_iter()

@@ -10,7 +10,8 @@
 //!   paper ([`Circuit::with_premeasure_inversion`]),
 //! * [`StateVector`] — dense `2^n` amplitude simulation with Born-rule
 //!   sampling, specialized monomial/dense kernels, gate fusion
-//!   ([`fuse::FusedProgram`]) and optional threaded apply,
+//!   ([`fuse::FusedProgram`]) and optional threaded apply on a persistent
+//!   worker pool ([`pool`]) with per-thread buffer reuse ([`arena`]),
 //! * [`Counts`] / [`Distribution`] — the trial logs and exact distributions
 //!   the reliability metrics are computed from.
 //!
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod bitstring;
 pub mod c64;
 pub mod circuit;
@@ -51,6 +53,7 @@ pub mod density;
 pub mod fuse;
 pub mod gate;
 pub mod optimize;
+pub mod pool;
 pub mod qasm;
 pub mod sampler;
 pub mod statevector;
@@ -62,5 +65,6 @@ pub use circuit::Circuit;
 pub use counts::{Counts, Distribution};
 pub use fuse::FusedProgram;
 pub use gate::Gate;
+pub use pool::{SpinBarrier, WorkerPool};
 pub use sampler::AliasSampler;
 pub use statevector::{simulation_count, StateVector};

@@ -15,10 +15,19 @@
 //! amplitude group. [`StateVector::from_circuit`] additionally *fuses*
 //! adjacent gates into one kernel per run ([`crate::fuse::FusedProgram`]),
 //! while [`StateVector::apply_circuit`] keeps the plain gate-by-gate
-//! reference path. Large registers can spread kernel application across a
-//! scoped thread pool with [`StateVector::apply_fused_threaded`]; the
-//! amplitude array is chunked so results are bitwise identical to the
-//! serial path for every thread count.
+//! reference path. Large registers can spread kernel application across
+//! the persistent worker pool ([`crate::pool`]) with
+//! [`StateVector::apply_fused_threaded`]: the whole fused program runs in
+//! **one** parallel region, ops whose qubits fit a cache-sized tile are
+//! applied tile-by-tile with no synchronization at all, and the remaining
+//! ops cross a lightweight [`crate::pool::SpinBarrier`]. The amplitude
+//! array is chunked so results are bitwise identical to the serial path
+//! for every thread count.
+//!
+//! Amplitude buffers come from a per-thread arena ([`crate::arena`]):
+//! [`StateVector::recycle`] parks a spent buffer and [`StateVector::zero`]
+//! reuses it, so batch sweeps over many small circuits stop paying an
+//! allocation per circuit.
 //!
 //! Every circuit-level evolution bumps a process-wide counter
 //! ([`simulation_count`]) so tests can assert how many full statevector
@@ -26,16 +35,17 @@
 //! paths ([`StateVector::born_probabilities`]) are measured by the
 //! simulations they *don't* run.
 
+use crate::arena;
 use crate::bitstring::BitString;
 use crate::c64::C64;
 use crate::circuit::Circuit;
 use crate::fuse::{classify_gate, FusedOp, FusedProgram};
 use crate::gate::{Gate, Matrix2, Matrix4};
+use crate::pool::{self, SpinBarrier};
 use crate::sampler::AliasSampler;
 use rand::Rng;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
 
 /// Process-wide count of full statevector circuit simulations.
 static CIRCUIT_SIMULATIONS: AtomicU64 = AtomicU64::new(0);
@@ -58,12 +68,18 @@ fn insert_zero(x: usize, p: usize) -> usize {
     ((x >> p) << (p + 1)) | (x & ((1usize << p) - 1))
 }
 
-/// Raw amplitude pointer that may be shared across a scoped thread pool.
+/// Raw amplitude pointer that may be shared across pool workers.
 /// Safety rests on each worker touching a disjoint set of amplitude
-/// groups per kernel, with a barrier between kernels.
+/// groups per schedule phase, with a barrier between phases.
 struct SharedAmps(*mut C64);
 unsafe impl Send for SharedAmps {}
 unsafe impl Sync for SharedAmps {}
+
+/// Raw `f64` output pointer shared across pool workers writing disjoint
+/// index sets (the probability scans).
+struct SharedF64(*mut f64);
+unsafe impl Send for SharedF64 {}
+unsafe impl Sync for SharedF64 {}
 
 // ---------------------------------------------------------------------------
 // Slice-level kernel primitives.
@@ -742,6 +758,170 @@ unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused-program schedule: cache-sized tiles and barrier phases.
+//
+// A fused program no longer runs as `n_ops` synchronized full sweeps.
+// Instead it is compiled into *phases*: a maximal run of ops whose qubits
+// all sit below the tile width executes tile-by-tile (each worker streams
+// its tiles through every op of the phase while they are cache-hot, with
+// no synchronization at all), and each op touching a higher qubit runs as
+// one classic chunked full sweep. Workers only meet at a [`SpinBarrier`]
+// between phases.
+//
+// Bitwise identity is preserved in both directions. Versus the serial
+// op-by-op order: a low op's amplitude groups are contained in single
+// tiles, so reordering "op then next tile" vs "tile then next op" permutes
+// writes to *disjoint* amplitudes only. Versus other thread counts: the
+// per-group arithmetic of `apply_op_groups` never depends on how a range
+// was split, and phases are ordered by barriers.
+// ---------------------------------------------------------------------------
+
+/// Hard cap on tile width: `2^15` amplitudes = 512 KB, sized to leave
+/// headroom in a ~1–2 MB per-core L2 once kernel constants and stack are
+/// accounted for.
+const TILE_BITS_MAX: usize = 15;
+
+/// Picks the tile width (in qubits) for an `n`-qubit apply on `workers`
+/// workers: small enough to fit L2 and to give every worker at least two
+/// tiles, but never below 10 qubits (16 KB) where per-tile loop overhead
+/// would beat the cache win — tiny registers collapse to a single tile.
+fn tile_bits_for(n: usize, workers: usize) -> usize {
+    let spread = (2 * workers.max(1)).next_power_of_two().trailing_zeros() as usize;
+    let t = n.saturating_sub(spread).min(TILE_BITS_MAX);
+    t.max(n.min(10))
+}
+
+/// One synchronization phase of a fused program.
+enum Phase {
+    /// `ops[range]` all act below the tile width: run tile-by-tile,
+    /// barrier-free within the phase.
+    Tiled(Range<usize>),
+    /// `ops[idx]` touches a qubit at or above the tile width: one chunked
+    /// full sweep.
+    Global(usize),
+}
+
+/// Highest qubit an op touches.
+fn max_qubit(op: &FusedOp) -> usize {
+    match *op {
+        FusedOp::Mono1 { q, .. } | FusedOp::Dense1 { q, .. } => q,
+        FusedOp::Mono2 { hi, .. } | FusedOp::Dense2 { hi, .. } | FusedOp::Fact2 { hi, .. } => hi,
+    }
+}
+
+/// Greedily groups consecutive below-tile ops into [`Phase::Tiled`] runs.
+fn build_schedule(ops: &[FusedOp], tile_bits: usize) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if max_qubit(&ops[i]) < tile_bits {
+            let start = i;
+            while i < ops.len() && max_qubit(&ops[i]) < tile_bits {
+                i += 1;
+            }
+            phases.push(Phase::Tiled(start..i));
+        } else {
+            phases.push(Phase::Global(i));
+            i += 1;
+        }
+    }
+    phases
+}
+
+/// Executes worker `w`'s share of every phase. All `workers` workers must
+/// call this with the same schedule; `barrier` is required iff `workers > 1`.
+///
+/// # Safety
+///
+/// `amps` must point to `dim` amplitudes, `dim` a power of two with
+/// `dim >= 1 << tile_bits`, every op's qubits in range, and the full
+/// worker set `0..workers` must execute concurrently so the barrier
+/// completes (except `workers == 1`, which needs no barrier).
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_schedule(
+    amps: *mut C64,
+    dim: usize,
+    ops: &[FusedOp],
+    phases: &[Phase],
+    tile_bits: usize,
+    w: usize,
+    workers: usize,
+    barrier: Option<&SpinBarrier>,
+) {
+    let n_tiles = dim >> tile_bits;
+    for (pi, phase) in phases.iter().enumerate() {
+        match phase {
+            Phase::Tiled(r) => {
+                let chunk = n_tiles.div_ceil(workers);
+                let t0 = (w * chunk).min(n_tiles);
+                let t1 = ((w + 1) * chunk).min(n_tiles);
+                for tile in t0..t1 {
+                    for op in &ops[r.clone()] {
+                        // All the op's qubits are below `tile_bits`, so its
+                        // groups partition each tile: tile `t` is exactly
+                        // groups `[t << gb, (t+1) << gb)`.
+                        let gb = tile_bits - op.arity();
+                        apply_op_groups(amps, op, (tile << gb)..((tile + 1) << gb));
+                    }
+                }
+            }
+            Phase::Global(i) => {
+                let op = &ops[*i];
+                let n_groups = dim >> op.arity();
+                let chunk = n_groups.div_ceil(workers);
+                let start = (w * chunk).min(n_groups);
+                let end = ((w + 1) * chunk).min(n_groups);
+                if start < end {
+                    apply_op_groups(amps, op, start..end);
+                }
+            }
+        }
+        if pi + 1 < phases.len() {
+            if let Some(b) = barrier {
+                b.wait();
+            }
+        }
+    }
+}
+
+/// Amplitudes per partial sum in the blocked reductions
+/// ([`StateVector::norm_sqr`]): fixed so serial and pool-threaded
+/// reductions accumulate in exactly the same order and stay bitwise
+/// identical. 4096 `f64` adds per block keeps partial-sum overhead
+/// negligible while giving plenty of blocks to spread across workers.
+const SUM_BLOCK: usize = 4096;
+
+/// Per-block squared-norm partial sums of `amps`, in block order.
+/// `threads > 1` computes blocks on the pool; the per-block arithmetic and
+/// the caller's sequential combine are identical either way.
+fn norm_block_partials(amps: &[C64], threads: usize) -> Vec<f64> {
+    let block_sum =
+        |block: &[C64]| -> f64 { block.iter().map(|a| a.norm_sqr()).sum() };
+    let n_blocks = amps.len().div_ceil(SUM_BLOCK).max(1);
+    if threads <= 1 || n_blocks < 2 {
+        return amps.chunks(SUM_BLOCK).map(block_sum).collect();
+    }
+    let mut partials = vec![0.0f64; n_blocks];
+    let out = SharedF64(partials.as_mut_ptr());
+    // Borrow the wrapper (not its pointer field) so the closure capture
+    // stays `Sync`.
+    let out = &out;
+    pool::run(threads, &|w| {
+        let chunk = n_blocks.div_ceil(threads);
+        let b0 = (w * chunk).min(n_blocks);
+        let b1 = ((w + 1) * chunk).min(n_blocks);
+        for b in b0..b1 {
+            let lo = b * SUM_BLOCK;
+            let hi = (lo + SUM_BLOCK).min(amps.len());
+            // SAFETY: workers write disjoint `partials` entries and the
+            // dispatch completes before `partials` is read.
+            unsafe { *out.0.add(b) = block_sum(&amps[lo..hi]) };
+        }
+    });
+    partials
+}
+
 /// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
 ///
 /// Amplitude `i` is the coefficient of the computational basis state whose
@@ -779,9 +959,22 @@ impl StateVector {
             (1..=30).contains(&n_qubits),
             "state vector limited to 1..=30 qubits"
         );
-        let mut amps = vec![C64::ZERO; 1usize << n_qubits];
+        let dim = 1usize << n_qubits;
+        // Reuse a buffer parked by `recycle` when one fits; the arena
+        // hands it back zeroed, so this is purely an allocation saving.
+        let mut amps = arena::take(dim).unwrap_or_else(|| vec![C64::ZERO; dim]);
         amps[0] = C64::ONE;
         StateVector { n_qubits, amps }
+    }
+
+    /// Parks this state's amplitude buffer in the per-thread arena
+    /// ([`crate::arena`]) so the next [`StateVector::zero`] of a compatible
+    /// size reuses it instead of allocating. Call it on states that die in
+    /// hot loops — one trajectory state per shot, one prefix state per
+    /// variant family; dropping a state instead is always correct, just
+    /// slower.
+    pub fn recycle(self) {
+        arena::recycle(self.amps);
     }
 
     /// Creates a basis state `|s⟩`.
@@ -857,18 +1050,58 @@ impl StateVector {
     }
 
     /// The squared 2-norm (should be 1 up to float error).
+    ///
+    /// Accumulated as fixed-width block partial sums combined in block
+    /// order, so [`StateVector::norm_sqr_threaded`] is bitwise identical
+    /// for every thread count (registers under `SUM_BLOCK` = 4096
+    /// amplitudes reduce in one block and match a plain sequential sum
+    /// exactly).
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum()
+        self.norm_sqr_threaded(1)
+    }
+
+    /// Pool-threaded [`StateVector::norm_sqr`]: block partial sums are
+    /// computed on `threads` workers and combined sequentially — bitwise
+    /// identical to the serial reduction.
+    pub fn norm_sqr_threaded(&self, threads: usize) -> f64 {
+        let threads = threads.min(pool::available_threads());
+        norm_block_partials(&self.amps, threads).iter().sum()
     }
 
     /// Renormalizes in place (useful after non-unitary trajectory jumps).
     pub fn normalize(&mut self) {
-        let n = self.norm_sqr().sqrt();
-        if n > 0.0 {
+        self.normalize_threaded(1);
+    }
+
+    /// Pool-threaded [`StateVector::normalize`]: the norm reduction and
+    /// the scaling sweep both run on `threads` workers, bitwise identical
+    /// to the serial path for every thread count (the norm is the blocked
+    /// reduction, and scaling is elementwise).
+    pub fn normalize_threaded(&mut self, threads: usize) {
+        let threads = threads.min(pool::available_threads()).max(1);
+        let n = self.norm_sqr_threaded(threads).sqrt();
+        if n <= 0.0 {
+            return;
+        }
+        let dim = self.amps.len();
+        if threads == 1 || dim < (1 << 15) {
             for a in &mut self.amps {
                 *a = *a / n;
             }
+            return;
         }
+        let shared = SharedAmps(self.amps.as_mut_ptr());
+        let shared = &shared;
+        pool::run(threads, &|w| {
+            let chunk = dim.div_ceil(threads);
+            let start = (w * chunk).min(dim);
+            let end = ((w + 1) * chunk).min(dim);
+            for i in start..end {
+                // SAFETY: workers scale disjoint index ranges; the
+                // dispatch completes before `amps` is used again.
+                unsafe { *shared.0.add(i) = *shared.0.add(i) / n };
+            }
+        });
     }
 
     /// Applies a single gate in place through its specialized kernel:
@@ -895,25 +1128,29 @@ impl StateVector {
         unsafe { apply_op_groups(self.amps.as_mut_ptr(), op, 0..n_groups) }
     }
 
-    /// Applies a fused program serially — one specialized kernel pass per
-    /// fused op (see [`crate::fuse::FusedProgram`]).
+    /// Applies a fused program serially through the cache-tiled schedule —
+    /// below-tile ops stream tile by tile, the rest run as full kernel
+    /// sweeps (see [`crate::fuse::FusedProgram`]).
     ///
     /// # Panics
     ///
     /// Panics if the program was compiled for more qubits than the state.
     pub fn apply_fused(&mut self, prog: &FusedProgram) {
-        self.apply_fused_threaded(prog, 1);
+        self.apply_fused_with_workers(prog, 1);
     }
 
-    /// Applies a fused program, chunking each kernel's amplitude groups
-    /// across `threads` scoped worker threads with a barrier between
-    /// kernels.
+    /// Applies a fused program on up to `threads` persistent pool workers,
+    /// executing the whole program in **one** parallel region: consecutive
+    /// below-tile ops run tile-by-tile with no synchronization, other ops
+    /// as chunked full sweeps, with one [`SpinBarrier`] wait per phase.
     ///
-    /// Every thread computes the same per-group arithmetic as the serial
-    /// path and group sets are disjoint, so the result is **bitwise
-    /// identical for every thread count**. Thread spawn/barrier overhead is
-    /// only worth paying for large registers; callers gate on size (the
-    /// executor uses ≥ 15 qubits).
+    /// `threads` is a parallelism *request*: it is clamped to
+    /// [`pool::available_threads`], because extra workers beyond physical
+    /// cores only add scheduling overhead. The clamp cannot change results
+    /// — every worker count computes the same per-group arithmetic over
+    /// disjoint group sets, so the result is **bitwise identical for every
+    /// thread count** (the invariant journal resume relies on). Callers
+    /// should still gate on size (the executor uses ≥ 15 qubits).
     ///
     /// # Panics
     ///
@@ -921,38 +1158,57 @@ impl StateVector {
     /// than the state.
     pub fn apply_fused_threaded(&mut self, prog: &FusedProgram, threads: usize) {
         assert!(threads >= 1, "need at least one thread");
+        self.apply_fused_with_workers(prog, threads.min(pool::available_threads()));
+    }
+
+    /// Like [`StateVector::apply_fused_threaded`] but runs on **exactly**
+    /// `workers` pool workers, even past the physical core count. Tests
+    /// and benchmarks use this to pin the dispatch width; production code
+    /// should prefer the clamped entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or the program was compiled for more qubits
+    /// than the state.
+    pub fn apply_fused_with_workers(&mut self, prog: &FusedProgram, workers: usize) {
+        assert!(workers >= 1, "need at least one worker");
         assert!(
             prog.n_qubits() <= self.n_qubits,
             "program acts on more qubits than the state has"
         );
-        if threads == 1 || prog.ops().is_empty() {
-            for op in prog.ops() {
-                self.apply_op(op);
-            }
+        if prog.ops().is_empty() {
             return;
         }
         let dim = self.amps.len();
-        let shared = SharedAmps(self.amps.as_mut_ptr());
-        let barrier = Barrier::new(threads);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let shared = &shared;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    for op in prog.ops() {
-                        let n_groups = dim >> op.arity();
-                        let chunk = n_groups.div_ceil(threads);
-                        let start = (t * chunk).min(n_groups);
-                        let end = ((t + 1) * chunk).min(n_groups);
-                        if start < end {
-                            // SAFETY: chunks partition the group range, so
-                            // workers touch disjoint amplitudes; the
-                            // barrier orders kernels.
-                            unsafe { apply_op_groups(shared.0, op, start..end) }
-                        }
-                        barrier.wait();
-                    }
-                });
+        let tile_bits = tile_bits_for(self.n_qubits, workers);
+        let phases = build_schedule(prog.ops(), tile_bits);
+        let amps = self.amps.as_mut_ptr();
+        if workers == 1 {
+            // SAFETY: exclusive `&mut self`; a single worker covers every
+            // group of every phase and needs no barrier.
+            unsafe {
+                run_schedule(amps, dim, prog.ops(), &phases, tile_bits, 0, 1, None);
+            }
+            return;
+        }
+        let shared = SharedAmps(amps);
+        let shared = &shared;
+        let barrier = SpinBarrier::new(workers);
+        pool::run(workers, &|w| {
+            // SAFETY: workers cover disjoint tiles/chunks per phase and
+            // the barrier orders phases; `pool::run` returns only after
+            // every worker finishes, keeping the borrow of `amps` valid.
+            unsafe {
+                run_schedule(
+                    shared.0,
+                    dim,
+                    prog.ops(),
+                    &phases,
+                    tile_bits,
+                    w,
+                    workers,
+                    Some(&barrier),
+                );
             }
         });
     }
@@ -977,7 +1233,34 @@ impl StateVector {
 
     /// The Born-rule probability of each basis state (length `2^n`).
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        self.probabilities_threaded(1)
+    }
+
+    /// Pool-threaded [`StateVector::probabilities`]: the `O(2^n)` scan is
+    /// chunked across `threads` workers. Elementwise, so bitwise identical
+    /// to the serial scan for every thread count; small registers fall
+    /// back to the serial loop.
+    pub fn probabilities_threaded(&self, threads: usize) -> Vec<f64> {
+        let threads = threads.min(pool::available_threads());
+        let dim = self.amps.len();
+        if threads <= 1 || dim < (1 << 15) {
+            return self.amps.iter().map(|a| a.norm_sqr()).collect();
+        }
+        let mut probs = vec![0.0; dim];
+        let out = SharedF64(probs.as_mut_ptr());
+        let out = &out;
+        let amps = &self.amps;
+        pool::run(threads, &|w| {
+            let chunk = dim.div_ceil(threads);
+            let start = (w * chunk).min(dim);
+            let end = ((w + 1) * chunk).min(dim);
+            for (i, a) in amps[start..end].iter().enumerate() {
+                // SAFETY: workers write disjoint output ranges; the
+                // dispatch completes before `probs` is read.
+                unsafe { *out.0.add(start + i) = a.norm_sqr() };
+            }
+        });
+        probs
     }
 
     /// The Born distribution of this state with a trailing X layer applied
@@ -994,15 +1277,47 @@ impl StateVector {
     ///
     /// Panics if `mask` has bits beyond the register.
     pub fn probabilities_xor(&self, mask: usize) -> Vec<f64> {
+        self.probabilities_xor_threaded(mask, 1)
+    }
+
+    /// Pool-threaded [`StateVector::probabilities_xor`]. XOR with a fixed
+    /// mask is a bijection, so workers scanning disjoint input chunks
+    /// write disjoint output indices; the per-entry arithmetic is
+    /// unchanged, keeping the result bitwise identical for every thread
+    /// count. Small registers fall back to the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has bits beyond the register.
+    pub fn probabilities_xor_threaded(&self, mask: usize, threads: usize) -> Vec<f64> {
         assert!(
             mask < self.amps.len(),
             "mask {mask:#x} outside the {}-qubit register",
             self.n_qubits
         );
-        let mut probs = vec![0.0; self.amps.len()];
-        for (i, a) in self.amps.iter().enumerate() {
-            probs[i ^ mask] = a.norm_sqr();
+        let threads = threads.min(pool::available_threads());
+        let dim = self.amps.len();
+        let mut probs = vec![0.0; dim];
+        if threads <= 1 || dim < (1 << 15) {
+            for (i, a) in self.amps.iter().enumerate() {
+                probs[i ^ mask] = a.norm_sqr();
+            }
+            return probs;
         }
+        let out = SharedF64(probs.as_mut_ptr());
+        let out = &out;
+        let amps = &self.amps;
+        pool::run(threads, &|w| {
+            let chunk = dim.div_ceil(threads);
+            let start = (w * chunk).min(dim);
+            let end = ((w + 1) * chunk).min(dim);
+            for (i, a) in amps[start..end].iter().enumerate() {
+                // SAFETY: XOR by `mask` maps this worker's disjoint input
+                // range to a disjoint output set; the dispatch completes
+                // before `probs` is read.
+                unsafe { *out.0.add((start + i) ^ mask) = a.norm_sqr() };
+            }
+        });
         probs
     }
 
@@ -1019,7 +1334,9 @@ impl StateVector {
     }
 
     /// Threaded variant of [`StateVector::born_probabilities`]; the prefix
-    /// simulation (if any) runs on `threads` workers.
+    /// simulation *and* the XOR probability scan (if any) run on `threads`
+    /// pool workers, and the prefix state's buffer is recycled through the
+    /// arena.
     pub fn born_probabilities_threaded(circuit: &Circuit, threads: usize) -> Vec<f64> {
         let (prefix, mask) = circuit.trailing_x_split();
         let m = mask.index();
@@ -1028,8 +1345,10 @@ impl StateVector {
             probs[m] = 1.0;
             return probs;
         }
-        StateVector::from_gates_threaded(circuit.n_qubits(), prefix, threads)
-            .probabilities_xor(m)
+        let sv = StateVector::from_gates_threaded(circuit.n_qubits(), prefix, threads);
+        let probs = sv.probabilities_xor_threaded(m, threads);
+        sv.recycle();
+        probs
     }
 
     /// The probability of measuring exactly `s`.

@@ -530,6 +530,9 @@ impl Response {
                         ("resumed_jobs", Json::int(c.resumed_jobs)),
                         ("profiles_quarantined", Json::int(c.profiles_quarantined)),
                         ("invariant_clamps", Json::int(c.invariant_clamps)),
+                        ("pool_tasks", Json::int(c.pool_tasks)),
+                        ("barrier_waits", Json::int(c.barrier_waits)),
+                        ("arena_reuse_hits", Json::int(c.arena_reuse_hits)),
                     ]),
                 ));
             }
@@ -644,6 +647,9 @@ impl Response {
                     resumed_jobs: opt_u64(c, "resumed_jobs")?.unwrap_or(0),
                     profiles_quarantined: opt_u64(c, "profiles_quarantined")?.unwrap_or(0),
                     invariant_clamps: opt_u64(c, "invariant_clamps")?.unwrap_or(0),
+                    pool_tasks: opt_u64(c, "pool_tasks")?.unwrap_or(0),
+                    barrier_waits: opt_u64(c, "barrier_waits")?.unwrap_or(0),
+                    arena_reuse_hits: opt_u64(c, "arena_reuse_hits")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -860,6 +866,9 @@ mod tests {
                     resumed_jobs: 1,
                     profiles_quarantined: 1,
                     invariant_clamps: 4,
+                    pool_tasks: 64,
+                    barrier_waits: 17,
+                    arena_reuse_hits: 9,
                 },
             }),
             Response::Health(HealthResponse {

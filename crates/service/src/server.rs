@@ -269,8 +269,18 @@ impl Server {
         self.state
             .counters
             .set_invariant_clamps(invmeas::validate::invariant_clamps());
+        mirror_simulator_gauges(&self.state.counters);
         Ok(self.state.counters.snapshot())
     }
+}
+
+/// Copies the simulator-owned gauges (worker-pool tasks, barrier episodes,
+/// arena reuse) into the service counter bundle, so a single snapshot
+/// carries them alongside the request counters.
+fn mirror_simulator_gauges(counters: &qmetrics::ServiceCounters) {
+    counters.set_pool_tasks(qsim::pool::pool_tasks());
+    counters.set_barrier_waits(qsim::pool::barrier_waits());
+    counters.set_arena_reuse_hits(qsim::arena::arena_reuse_hits());
 }
 
 fn initiate_shutdown(state: &State) {
@@ -338,6 +348,7 @@ fn handle_request(state: &State, request: Request) -> Response {
             state
                 .counters
                 .set_invariant_clamps(invmeas::validate::invariant_clamps());
+            mirror_simulator_gauges(&state.counters);
             Response::Status(StatusResponse {
                 window: state.window.load(Ordering::SeqCst),
                 workers: state.config.workers as u64,

@@ -71,6 +71,36 @@ fn killed_journaled_runs_resume_bit_identically_across_methods() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Thread counts above the machine's core count route through the same
+/// persistent worker pool, and a kill-and-resume at eight threads still
+/// lands byte-identical to a one-thread uninterrupted profile.
+#[test]
+fn eight_thread_resume_matches_one_thread_profile() {
+    let dev = DeviceModel::ibmqx2();
+    let dir = scratch_dir("resume8");
+    let spec = CharSpec::brute(dev.name(), dev.n_qubits(), 250, 0xBEEF);
+
+    let exec1 = NoisyExecutor::from_device(&dev).with_threads(1);
+    let clean = dir.join("clean.journal");
+    let (baseline, _) = characterize_journaled(&exec1, &spec, Some(&clean), &NoFaults).unwrap();
+
+    let exec8 = NoisyExecutor::from_device(&dev).with_threads(8);
+    let crash = dir.join("crash.journal");
+    let died = catch_unwind(AssertUnwindSafe(|| {
+        characterize_journaled(&exec8, &spec, Some(&crash), &kill_plan(2))
+    }));
+    assert!(died.is_err(), "scripted panic must fire");
+
+    let (resumed, stats) = characterize_journaled(&exec8, &spec, Some(&crash), &NoFaults).unwrap();
+    assert_eq!(stats.resumed_units, 1, "one checkpoint survived the kill");
+    assert_eq!(
+        resumed.to_text(),
+        baseline.to_text(),
+        "8-thread resumed profile must be byte-identical to the 1-thread run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A torn (half-written) checkpoint line is discarded on resume and the
 /// final profile still matches the uninterrupted run.
 #[test]
