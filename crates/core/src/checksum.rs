@@ -1,6 +1,6 @@
 //! Hand-rolled CRC32 (IEEE 802.3 polynomial), std-only.
 //!
-//! Both the `rbms v2` profile footer and each `charjournal v1` checkpoint
+//! Both the `rbms v2` profile footer and each `charjournal v2` checkpoint
 //! line carry a CRC32 so that bit rot, torn appends, and truncation are
 //! *detected* rather than silently parsed into a wrong table. The
 //! reflected-polynomial table-driven variant here matches zlib's `crc32`

@@ -1,4 +1,4 @@
-//! Journaled, resumable characterization (`charjournal v1`).
+//! Journaled, resumable characterization (`charjournal v2`).
 //!
 //! Characterization is the most expensive artifact in the pipeline
 //! (§6.2.1: brute force is `O(2^N)` trials), yet a crash or injected
@@ -8,7 +8,7 @@
 //! line to a journal file after each completed unit:
 //!
 //! ```text
-//! charjournal v1
+//! charjournal v2
 //! device ibmqx4
 //! method brute
 //! width 5
@@ -33,6 +33,16 @@
 //! The [`FaultSite::JournalWrite`] hook fires once per checkpoint append,
 //! letting chaos tests kill (`Panic`), tear (`Torn`), or fail (`Error`)
 //! the journal mid-run and then assert byte-identical recovery.
+//!
+//! The version tag covers **numerics**, not just line layout. Unit counts
+//! are sampled from simulated probabilities, so any change to simulator
+//! rounding changes them: `v2` marks the blocked (4096-amplitude) norm
+//! and probability reductions introduced with the persistent worker pool,
+//! which altered bitwise results versus `v1` binaries for registers
+//! larger than one block. A `v1` journal therefore fails the header check
+//! and is discarded — the run starts fresh, which is always safe — rather
+//! than splicing old-numerics replayed units into a new-numerics run and
+//! producing a profile reproducible under *neither* binary.
 
 use crate::checksum::crc32;
 use crate::rbms::{awct_combine, awct_starts, awct_window_circuit, RbmsTable};
@@ -45,6 +55,12 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
+
+/// Journal version line. The unit-line layout is unchanged since `v1`;
+/// the bump to `v2` marks a simulator numerics change (blocked
+/// reductions) that makes cross-version unit counts non-reproducible —
+/// see the module docs. Bump it again whenever sampled counts can change.
+const JOURNAL_VERSION_LINE: &str = "charjournal v2";
 
 /// Basis states per brute-force unit (journal checkpoint granularity).
 const BRUTE_BATCH_STATES: usize = 8;
@@ -191,7 +207,7 @@ impl CharSpec {
     /// The journal header for this spec.
     fn header(&self) -> String {
         format!(
-            "charjournal v1\ndevice {}\nmethod {}\nwidth {}\nwindow {}\noverlap {}\nshots {}\nseed {}\n",
+            "{JOURNAL_VERSION_LINE}\ndevice {}\nmethod {}\nwidth {}\nwindow {}\noverlap {}\nshots {}\nseed {}\n",
             sanitize_token(&self.device),
             self.method.as_str(),
             self.width,
@@ -314,7 +330,7 @@ fn parse_unit_line(line: &str) -> Option<(usize, UnitResult)> {
 /// starts fresh.
 fn load_journal(text: &str) -> Option<(CharSpec, Vec<(usize, UnitResult)>)> {
     let mut lines = text.lines();
-    if lines.next()?.trim() != "charjournal v1" {
+    if lines.next()?.trim() != JOURNAL_VERSION_LINE {
         return None;
     }
     let mut field = |prefix: &str| -> Option<String> {

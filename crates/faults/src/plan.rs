@@ -32,7 +32,7 @@ pub enum FaultSite {
     /// [`Executor::run`]: https://docs.rs/ (see `qnoise::Executor`)
     Exec,
     /// A characterization checkpoint is about to be appended to a
-    /// `charjournal v1` file. Supports `Panic` (kill mid-checkpoint — the
+    /// `charjournal v2` file. Supports `Panic` (kill mid-checkpoint — the
     /// resumed run must be bit-identical), `Torn` (a partial line lands
     /// and must be discarded on resume), `Error`, and `Latency`.
     JournalWrite,

@@ -8,7 +8,10 @@
 //! * [`WorkerPool`] — threads are spawned **once** and parked on a condvar;
 //!   dispatching a parallel region costs one mutex round-trip instead of
 //!   `threads` clone-and-spawns. The caller participates as worker 0, so a
-//!   pool of `t` threads holds `t − 1` parked helpers.
+//!   pool of `t` threads holds `t − 1` parked helpers. Dispatch is
+//!   serialized by an internal mutex held for the whole epoch; a
+//!   concurrent or re-entrant `run` on the same pool executes on plain
+//!   scoped threads instead (bitwise-identical results).
 //! * [`SpinBarrier`] — a sense-reversing barrier for the *inside* of a
 //!   parallel region (one wait per schedule phase). It spins briefly and
 //!   then yields, so it stays cheap when workers outnumber cores (CI
@@ -24,7 +27,7 @@
 //! actually absorbing.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, TryLockError};
 use std::thread::JoinHandle;
 
 /// Process-wide count of worker tasks dispatched through any pool entry
@@ -130,6 +133,12 @@ struct Shared {
 /// ```
 pub struct WorkerPool {
     shared: Arc<Shared>,
+    /// Held by [`WorkerPool::run`] for the full duration of an epoch, so
+    /// only one dispatcher at a time can touch the epoch bookkeeping. A
+    /// concurrent (or re-entrant) `run` observes contention and executes
+    /// its region on plain scoped threads instead — same worker indices,
+    /// same closure, bitwise-identical results.
+    dispatch: Mutex<()>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -170,7 +179,11 @@ impl WorkerPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, handles }
+        WorkerPool {
+            shared,
+            dispatch: Mutex::new(()),
+            handles,
+        }
     }
 
     /// The widest parallel region this pool can run (helpers + caller).
@@ -183,6 +196,12 @@ impl WorkerPool {
     /// when all of them have finished. `participants` is clamped to the
     /// pool width.
     ///
+    /// Dispatch is serialized internally: when another thread is already
+    /// running a region on this pool (or `f` itself calls back into the
+    /// same pool), the region executes on plain scoped threads instead of
+    /// the parked helpers — same worker indices, same closure, so the
+    /// results are bitwise identical either way.
+    ///
     /// # Panics
     ///
     /// Panics if any worker's `f` panicked (after every other participant
@@ -194,6 +213,26 @@ impl WorkerPool {
             f(0);
             return;
         }
+        // Exactly one dispatcher may own the epoch bookkeeping at a time:
+        // a second concurrent `run` overwriting `remaining` could drain the
+        // first caller's completion wait early and dangle the job borrow.
+        // Held for the whole epoch (dispatch through drain). Poisoning just
+        // means a previous region panicked — the bookkeeping is already
+        // drained, so the guard is safe to recover. Contention (including a
+        // re-entrant call from inside a job) falls back to scoped threads.
+        let _dispatch = match self.dispatch.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                std::thread::scope(|scope| {
+                    for worker in 1..participants {
+                        scope.spawn(move || f(worker));
+                    }
+                    f(0);
+                });
+                return;
+            }
+        };
         // SAFETY: only the fat-pointer layout changes; the completion wait
         // below (including the unwind path, via `WaitGuard`) keeps the
         // borrow alive for as long as any helper can dereference it.
@@ -207,6 +246,9 @@ impl WorkerPool {
             st.job = Some(job);
             st.participants = participants;
             st.remaining = participants - 1;
+            // A stale flag can survive an epoch whose caller-side `f(0)`
+            // unwound before the check below; it must not fail this epoch.
+            st.panicked = false;
             self.shared.work_cv.notify_all();
         }
         {
@@ -320,7 +362,17 @@ pub fn run(threads: usize, f: &(dyn Fn(usize) + Sync)) {
     // `try_lock`, not `lock`: a blocked dispatcher would serialize
     // independent parallel regions, and a *nested* region (a threaded
     // apply inside a pooled batch) would deadlock against its own caller.
-    if let Ok(mut guard) = GLOBAL.try_lock() {
+    // Only genuine contention (`WouldBlock`) falls back to scoped threads;
+    // a poisoned guard just means a previous job panicked while this mutex
+    // was held — the pool itself survives worker panics, so recover it
+    // rather than silently degrading every later region to scoped
+    // spawning for the rest of the process.
+    let guard = match GLOBAL.try_lock() {
+        Ok(guard) => Some(guard),
+        Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    };
+    if let Some(mut guard) = guard {
         let wide_enough = guard.as_ref().is_some_and(|p| p.threads() >= threads);
         if !wide_enough {
             // Assigning drops (and joins) the old, narrower pool first.
@@ -504,6 +556,90 @@ mod tests {
             });
         });
         assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_on_one_pool_are_safe() {
+        // Regression test: two threads calling `run(&pool, ..)` at once
+        // used to race on the epoch bookkeeping (a second dispatcher could
+        // drain the first caller's wait early and dangle the job borrow).
+        // Now one wins the dispatch lock and the rest run scoped.
+        let pool = Arc::new(WorkerPool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(4, &|w| {
+                            total.fetch_add(w as u64 + 1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 dispatchers x 50 regions x (1 + 2 + 3 + 4) per region.
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 10);
+    }
+
+    #[test]
+    fn reentrant_dispatch_on_one_pool_falls_back() {
+        let pool = WorkerPool::new(2);
+        let sum = AtomicU64::new(0);
+        pool.run(2, &|_| {
+            // Calling back into the same pool from inside a job must not
+            // deadlock against the held dispatch lock.
+            pool.run(2, &|w| {
+                sum.fetch_add(w as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn global_pool_survives_a_worker_panic() {
+        // A worker panic unwinds through `run` while the GLOBAL guard is
+        // held, poisoning it. The next dispatch must recover the guard and
+        // keep using the persistent pool, not degrade to scoped spawning
+        // for the rest of the process.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(2, &|w| {
+                if w == 1 {
+                    panic!("scripted worker failure");
+                }
+            });
+        }));
+        assert!(died.is_err(), "the worker panic must surface");
+
+        // Persistent-pool helpers are named qsim-pool-N; the scoped
+        // fallback runs on anonymous threads. Concurrent tests can steal
+        // the global pool for a moment (legitimate fallback), so retry a
+        // few times before declaring the pool dead.
+        let mut on_pool = false;
+        for _ in 0..100 {
+            let helper_pooled = AtomicU64::new(0);
+            run(2, &|w| {
+                if w == 1 {
+                    let named = std::thread::current()
+                        .name()
+                        .is_some_and(|n| n.starts_with("qsim-pool"));
+                    helper_pooled.store(named as u64, Ordering::Relaxed);
+                }
+            });
+            if helper_pooled.load(Ordering::Relaxed) == 1 {
+                on_pool = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(
+            on_pool,
+            "after a panic the global pool should keep dispatching on persistent helpers"
+        );
     }
 
     #[test]

@@ -1055,7 +1055,10 @@ impl StateVector {
     /// order, so [`StateVector::norm_sqr_threaded`] is bitwise identical
     /// for every thread count (registers under `SUM_BLOCK` = 4096
     /// amplitudes reduce in one block and match a plain sequential sum
-    /// exactly).
+    /// exactly). Note this blocked order is a numerics change versus
+    /// pre-pool releases for larger registers — a version boundary the
+    /// journal format tracks (see DESIGN.md §14, "Cross-version
+    /// numerics").
     pub fn norm_sqr(&self) -> f64 {
         self.norm_sqr_threaded(1)
     }

@@ -100,6 +100,51 @@ fn pooled_apply_is_bitwise_identical_for_every_worker_count() {
     }
 }
 
+/// The same contract *above* the tile width. The 2–10q cases collapse to
+/// a single tile (tile_bits clamps to n), so they never exercise the
+/// paths that could actually diverge: here 15–17 qubit registers give
+/// every worker several tiles per `Tiled` phase, and explicit gates on
+/// the top qubits (at or above every tile width the scheduler can pick
+/// for these sizes) force `Phase::Global` chunked sweeps and the
+/// barrier-ordered phase transitions between the two kinds.
+#[test]
+fn pooled_apply_is_bitwise_identical_across_tiles_and_global_phases() {
+    let mut rng = StdRng::seed_from_u64(0x7117_BEEF);
+    for (case, n) in [15usize, 16, 17].into_iter().enumerate() {
+        let mut circuit = random_circuit(n, 24, &mut rng);
+        // Top-qubit gates guarantee Global phases in every schedule;
+        // interleave more random gates so Tiled phases surround them.
+        circuit.push(Gate::H(n - 1));
+        circuit.push(Gate::Cx {
+            control: n - 1,
+            target: 0,
+        });
+        circuit.push(Gate::Rz {
+            qubit: n - 2,
+            theta: 0.37,
+        });
+        for _ in 0..8 {
+            circuit.push(random_gate(n, &mut rng));
+        }
+        let prog = FusedProgram::from_circuit(&circuit);
+
+        let mut serial = StateVector::zero(n);
+        serial.apply_fused_with_workers(&prog, 1);
+
+        for workers in [2usize, 3, 4, 8] {
+            let mut pooled = StateVector::zero(n);
+            pooled.apply_fused_with_workers(&prog, workers);
+            assert_bitwise_eq(
+                &serial,
+                &pooled,
+                &format!("case {case} ({n}q), {workers} workers"),
+            );
+            pooled.recycle();
+        }
+        serial.recycle();
+    }
+}
+
 /// Successive programs reuse the parked pool instead of respawning: the
 /// task counter keeps climbing while the thread count stays fixed.
 #[test]
