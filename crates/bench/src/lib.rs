@@ -1,9 +1,12 @@
 //! # qbenches — benchmark support library
 //!
 //! The Criterion benchmark targets live in `benches/`; this crate exports
-//! small shared helpers for them.
+//! small shared helpers for them, plus the [`loadgen`] module driving the
+//! `bench-service` service-level load benchmark (`BENCH_service.json`).
 
 #![warn(missing_docs)]
+
+pub mod loadgen;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -54,6 +54,11 @@ pub struct ServiceCounters {
     pool_tasks: AtomicU64,
     barrier_waits: AtomicU64,
     arena_reuse_hits: AtomicU64,
+    epoll_wakeups: AtomicU64,
+    frames_parsed: AtomicU64,
+    write_backpressure_events: AtomicU64,
+    shard_depth_peak: AtomicU64,
+    queue_steals: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -82,6 +87,11 @@ pub struct CountersSnapshot {
     pub pool_tasks: u64,
     pub barrier_waits: u64,
     pub arena_reuse_hits: u64,
+    pub epoll_wakeups: u64,
+    pub frames_parsed: u64,
+    pub write_backpressure_events: u64,
+    pub shard_depth_peak: u64,
+    pub queue_steals: u64,
 }
 
 impl ServiceCounters {
@@ -204,6 +214,39 @@ impl ServiceCounters {
         self.arena_reuse_hits.store(total, Ordering::Relaxed);
     }
 
+    /// Counts one return from the event loop's readiness wait (an
+    /// `epoll_wait` wakeup, or its portable-fallback equivalent).
+    pub fn inc_epoll_wakeup(&self) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` newline-delimited frames extracted by the incremental
+    /// parser (including blank keep-alive frames).
+    pub fn add_frames_parsed(&self, n: u64) {
+        if n > 0 {
+            self.frames_parsed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one transition of a connection into write backpressure (the
+    /// socket refused bytes and the response stayed buffered until the
+    /// poller reported writability).
+    pub fn inc_write_backpressure_event(&self) {
+        self.write_backpressure_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an observed per-shard run-queue depth, keeping the
+    /// high-water mark across all shards.
+    pub fn observe_shard_depth(&self, depth: u64) {
+        self.shard_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Publishes the cross-shard work-steal total (a gauge owned by the
+    /// sharded run queue, mirrored here like the fault-injection total).
+    pub fn set_queue_steals(&self, total: u64) {
+        self.queue_steals.store(total, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -229,6 +272,11 @@ impl ServiceCounters {
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
             arena_reuse_hits: self.arena_reuse_hits.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            frames_parsed: self.frames_parsed.load(Ordering::Relaxed),
+            write_backpressure_events: self.write_backpressure_events.load(Ordering::Relaxed),
+            shard_depth_peak: self.shard_depth_peak.load(Ordering::Relaxed),
+            queue_steals: self.queue_steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -253,7 +301,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 24] = [
+        let rows: [(&str, String); 29] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -278,6 +326,14 @@ impl CountersSnapshot {
             ("pool tasks", self.pool_tasks.to_string()),
             ("barrier waits", self.barrier_waits.to_string()),
             ("arena reuse hits", self.arena_reuse_hits.to_string()),
+            ("epoll wakeups", self.epoll_wakeups.to_string()),
+            ("frames parsed", self.frames_parsed.to_string()),
+            (
+                "write backpressure events",
+                self.write_backpressure_events.to_string(),
+            ),
+            ("shard depth peak", self.shard_depth_peak.to_string()),
+            ("queue steals", self.queue_steals.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -326,6 +382,15 @@ mod tests {
         c.set_pool_tasks(12);
         c.set_barrier_waits(34);
         c.set_arena_reuse_hits(56);
+        c.inc_epoll_wakeup();
+        c.inc_epoll_wakeup();
+        c.add_frames_parsed(6);
+        c.add_frames_parsed(0);
+        c.inc_write_backpressure_event();
+        c.observe_shard_depth(3);
+        c.observe_shard_depth(9);
+        c.observe_shard_depth(5);
+        c.set_queue_steals(11);
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -351,6 +416,11 @@ mod tests {
         assert_eq!(s.pool_tasks, 12);
         assert_eq!(s.barrier_waits, 34);
         assert_eq!(s.arena_reuse_hits, 56);
+        assert_eq!(s.epoll_wakeups, 2);
+        assert_eq!(s.frames_parsed, 6);
+        assert_eq!(s.write_backpressure_events, 1);
+        assert_eq!(s.shard_depth_peak, 9);
+        assert_eq!(s.queue_steals, 11);
     }
 
     #[test]
@@ -403,6 +473,11 @@ mod tests {
             "pool tasks",
             "barrier waits",
             "arena reuse hits",
+            "epoll wakeups",
+            "frames parsed",
+            "write backpressure events",
+            "shard depth peak",
+            "queue steals",
         ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }

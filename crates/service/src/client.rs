@@ -7,6 +7,13 @@
 //! *idempotent* requests (`status`, `health`, `characterize`). A `submit`
 //! that dies mid-flight is never resent: the job may already be running,
 //! and replaying it would double-spend shots.
+//!
+//! The client reuses one response-line buffer across requests (no
+//! per-response allocation on the hot path) and can pipeline: send K
+//! requests before reading K responses with [`Client::pipeline`], or use
+//! the [`Client::send`]/[`Client::recv`] halves directly. The server
+//! guarantees responses arrive in request order even when jobs complete
+//! out of order, which is what makes the split safe.
 
 use crate::protocol::{ProtocolError, Request, Response};
 use std::fmt;
@@ -94,6 +101,9 @@ pub struct Client {
     /// The resolved peer, kept for transparent reconnects.
     peer: SocketAddr,
     timeout: Option<Duration>,
+    /// Reused across responses so steady-state requests allocate nothing
+    /// for line assembly.
+    line: String,
 }
 
 impl Client {
@@ -114,6 +124,7 @@ impl Client {
             writer: stream,
             peer,
             timeout: Some(DEFAULT_TIMEOUT),
+            line: String::new(),
         })
     }
 
@@ -149,15 +160,53 @@ impl Client {
     }
 
     fn request_once(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes one request without waiting for its response (the pipelined
+    /// send half). Pair every `send` with a later [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         self.writer.write_all(request.to_line().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        Ok(())
+    }
+
+    /// Reads one response (the pipelined receive half), reusing the
+    /// client's persistent line buffer.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an early close, or an unparseable response line.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
         if n == 0 {
             return Err(ClientError::Closed);
         }
-        Response::from_line(line.trim_end()).map_err(ClientError::Protocol)
+        Response::from_line(self.line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Sends every request before reading any response — one round trip
+    /// for the whole batch instead of one per request. Responses come
+    /// back in request order. No reconnect-retry applies: after a
+    /// mid-batch disconnect the caller cannot know which requests
+    /// executed, so the error surfaces as-is.
+    ///
+    /// # Errors
+    ///
+    /// The first send or receive failure, which abandons the rest of the
+    /// batch.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        for request in requests {
+            self.send(request)?;
+        }
+        requests.iter().map(|_| self.recv()).collect()
     }
 
     fn reconnect(&mut self) -> Result<(), ClientError> {
@@ -165,6 +214,69 @@ impl Client {
         self.reader = BufReader::new(stream.try_clone()?);
         self.writer = stream;
         Ok(())
+    }
+
+    /// Splits the connection into an independent send half and receive
+    /// half so one thread can keep requests in flight while another
+    /// drains responses as the server produces them. Responses still
+    /// arrive in request order. Unlike [`Client::request`], split halves
+    /// never reconnect: a mid-stream disconnect surfaces as an error on
+    /// both halves.
+    #[must_use]
+    pub fn split(self) -> (ClientSender, ClientReader) {
+        (
+            ClientSender {
+                writer: self.writer,
+            },
+            ClientReader {
+                reader: self.reader,
+                line: self.line,
+            },
+        )
+    }
+}
+
+/// The write half of a [`Client::split`] connection.
+#[derive(Debug)]
+pub struct ClientSender {
+    writer: TcpStream,
+}
+
+impl ClientSender {
+    /// Writes one request without waiting for its response; the paired
+    /// [`ClientReader::recv`] observes it in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.writer.write_all(request.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// The read half of a [`Client::split`] connection.
+#[derive(Debug)]
+pub struct ClientReader {
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl ClientReader {
+    /// Reads the next in-order response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an early close, or an unparseable response line.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        Response::from_line(self.line.trim_end()).map_err(ClientError::Protocol)
     }
 }
 

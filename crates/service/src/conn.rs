@@ -1,0 +1,396 @@
+//! Per-connection state machines for the event-loop front end.
+//!
+//! Each connection owns two reusable buffers and a response reorder
+//! window:
+//!
+//! * **read side** — bytes append into a growable buffer; an incremental
+//!   scan extracts complete newline-delimited frames without waiting for
+//!   the whole request in one `read` (a frame may arrive one byte at a
+//!   time, or many frames may coalesce into one read — both are the same
+//!   code path);
+//! * **response slots** — every parsed frame allocates the next sequence
+//!   slot; cheap requests fill theirs inline and job responses fill theirs
+//!   whenever a worker finishes, but bytes only enter the write buffer in
+//!   slot order, so pipelined clients always see responses in request
+//!   order even when workers complete out of order;
+//! * **write side** — each response line is serialized exactly once and
+//!   appended to the connection's reusable write buffer, which drains
+//!   through the nonblocking socket; leftover bytes flag the connection
+//!   for `EPOLLOUT` interest (write backpressure) instead of blocking the
+//!   loop.
+//!
+//! Nothing here does readiness or queueing — the server wires those — so
+//! the frame/ordering logic is unit-testable without sockets.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// A connection's read buffer grows only while a frame is incomplete;
+/// past this it is a runaway (or hostile) client and the connection is
+/// closed rather than buffering without bound.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Shrink oversized buffers back to this once drained, so one burst does
+/// not pin memory for the connection's lifetime.
+const BUF_RETAIN_BYTES: usize = 64 * 1024;
+
+/// Incremental newline-delimited frame extraction over a reusable buffer.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes before this offset have been scanned and contain no `\n`.
+    scanned: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty frame buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (complete or partial).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Extracts the next complete frame (without its trailing `\n`),
+    /// or `None` while the tail is still partial.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let nl = self.buf[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| self.scanned + i)?;
+        let mut frame: Vec<u8> = self.buf.drain(..=nl).collect();
+        frame.pop(); // the '\n'
+        self.scanned = 0;
+        if self.buf.capacity() > BUF_RETAIN_BYTES && self.buf.len() <= BUF_RETAIN_BYTES {
+            self.buf.shrink_to(BUF_RETAIN_BYTES);
+        }
+        Some(frame)
+    }
+
+    /// Marks the current tail as scanned so the next scan resumes where
+    /// this one stopped instead of rescanning the partial frame.
+    pub fn mark_scanned(&mut self) {
+        self.scanned = self.buf.len();
+    }
+}
+
+/// What [`Conn::fill`] observed on the socket.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// More bytes may come later.
+    Open,
+    /// The peer closed its write side (EOF).
+    Eof,
+}
+
+/// What [`Conn::flush`] left behind.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Everything buffered went out.
+    Flushed,
+    /// The socket refused bytes; the rest stays buffered and the
+    /// connection needs writable-readiness.
+    Pending,
+}
+
+/// One client connection owned by the event loop.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    token: u64,
+    frames: FrameBuffer,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Response reorder window: front slot is `base_seq`. `None` slots
+    /// are still executing in the worker pool.
+    slots: VecDeque<Option<String>>,
+    base_seq: u64,
+    /// Jobs handed to the run queue whose responses have not come back.
+    pub inflight: usize,
+    /// Last moment the peer did something (bytes in) or we made progress
+    /// towards it (response buffered / bytes out) — the reaper clock.
+    pub last_activity: Instant,
+    /// Whether the registration currently includes write interest.
+    pub watching_write: bool,
+    /// Peer sent EOF; tear down once in-flight responses settle.
+    pub peer_closed: bool,
+    /// Close the connection once the write buffer fully drains (used by
+    /// protocol violations like an oversized frame).
+    pub close_after_flush: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted, already-nonblocking stream.
+    pub fn new(stream: TcpStream, token: u64, now: Instant) -> Conn {
+        Conn {
+            stream,
+            token,
+            frames: FrameBuffer::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            slots: VecDeque::new(),
+            base_seq: 0,
+            inflight: 0,
+            last_activity: now,
+            watching_write: false,
+            peer_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// The poller token / connection id.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The underlying socket (for poller registration changes).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads everything currently available into the frame buffer.
+    ///
+    /// # Errors
+    ///
+    /// Real socket errors only — `WouldBlock` ends the loop cleanly and
+    /// EOF is reported as [`ReadOutcome::Eof`].
+    pub fn fill(&mut self, scratch: &mut [u8], now: Instant) -> std::io::Result<ReadOutcome> {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return Ok(ReadOutcome::Eof);
+                }
+                Ok(n) => {
+                    self.frames.extend(&scratch[..n]);
+                    self.last_activity = now;
+                    if self.frames.len() > MAX_FRAME_BYTES {
+                        return Err(std::io::Error::other("frame exceeds maximum length"));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(ReadOutcome::Open)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extracts the next complete request frame.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let frame = self.frames.next_frame();
+        if frame.is_none() {
+            self.frames.mark_scanned();
+        }
+        frame
+    }
+
+    /// Allocates the response slot for the frame just parsed. Slots fill
+    /// via [`Conn::complete`] and leave in allocation order.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.base_seq + self.slots.len() as u64;
+        self.slots.push_back(None);
+        seq
+    }
+
+    /// Fills a response slot with its serialized line (no trailing
+    /// newline) and moves every now-contiguous response into the write
+    /// buffer — each response's bytes enter exactly once.
+    pub fn complete(&mut self, seq: u64, line: String, now: Instant) {
+        let idx = (seq - self.base_seq) as usize;
+        debug_assert!(idx < self.slots.len(), "completion for unallocated slot");
+        if let Some(slot) = self.slots.get_mut(idx) {
+            debug_assert!(slot.is_none(), "slot {seq} completed twice");
+            *slot = Some(line);
+        }
+        while let Some(Some(_)) = self.slots.front() {
+            let line = self.slots.pop_front().flatten().expect("checked front");
+            self.base_seq += 1;
+            self.write_buf.extend_from_slice(line.as_bytes());
+            self.write_buf.push(b'\n');
+        }
+        self.last_activity = now;
+    }
+
+    /// Whether response bytes are waiting for the socket.
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Whether the connection is quiescent (nothing queued, nothing
+    /// buffered) — the only state the idle reaper may take it in.
+    pub fn is_idle(&self) -> bool {
+        self.inflight == 0 && !self.wants_write()
+    }
+
+    /// Writes as much buffered response data as the socket accepts.
+    ///
+    /// # Errors
+    ///
+    /// Real socket errors only; `WouldBlock` returns
+    /// [`FlushOutcome::Pending`].
+    pub fn flush(&mut self, now: Instant) -> std::io::Result<FlushOutcome> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(FlushOutcome::Pending)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Fully drained: recycle the buffer, shedding burst capacity.
+        self.write_buf.clear();
+        self.write_pos = 0;
+        if self.write_buf.capacity() > BUF_RETAIN_BYTES {
+            self.write_buf.shrink_to(BUF_RETAIN_BYTES);
+        }
+        Ok(FlushOutcome::Flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_split_at_every_byte_boundary() {
+        let msg = b"{\"v\":1,\"op\":\"status\"}\n";
+        for split in 1..msg.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&msg[..split]);
+            if split < msg.len() {
+                // No complete frame until the newline arrives.
+                if msg[..split].contains(&b'\n') {
+                    // only the full message contains it
+                    unreachable!();
+                }
+                assert_eq!(fb.next_frame(), None, "split at {split}");
+                fb.mark_scanned();
+            }
+            fb.extend(&msg[split..]);
+            assert_eq!(
+                fb.next_frame().as_deref(),
+                Some(&msg[..msg.len() - 1][..]),
+                "split at {split}"
+            );
+            assert_eq!(fb.next_frame(), None);
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_come_out_one_by_one() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"first\nsecond\nthird");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"first"[..]));
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"second"[..]));
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.len(), 5); // "third" still partial
+        fb.extend(b"\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"third"[..]));
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn empty_frames_are_preserved() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"\n\nx\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b""[..]));
+        assert_eq!(fb.next_frame().as_deref(), Some(&b""[..]));
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"x"[..]));
+        assert_eq!(fb.next_frame(), None);
+    }
+
+    #[test]
+    fn mark_scanned_resumes_without_missing_late_newline() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"abc");
+        assert_eq!(fb.next_frame(), None);
+        fb.mark_scanned();
+        fb.extend(b"def\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"abcdef"[..]));
+    }
+
+    fn test_conn() -> (Conn, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (Conn::new(server, 1, Instant::now()), client)
+    }
+
+    #[test]
+    fn out_of_order_completions_flush_in_request_order() {
+        let (mut conn, mut client) = test_conn();
+        let now = Instant::now();
+        let a = conn.alloc_seq();
+        let b = conn.alloc_seq();
+        let c = conn.alloc_seq();
+        conn.complete(c, "third".into(), now);
+        assert!(!conn.wants_write(), "nothing contiguous yet");
+        conn.complete(a, "first".into(), now);
+        assert!(conn.wants_write(), "first is ready");
+        conn.complete(b, "second".into(), now);
+        assert_eq!(conn.flush(now).unwrap(), FlushOutcome::Flushed);
+
+        use std::io::Read;
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut got = String::new();
+        let mut buf = [0u8; 64];
+        while got.len() < "first\nsecond\nthird\n".len() {
+            let n = client.read(&mut buf).unwrap();
+            got.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        }
+        assert_eq!(got, "first\nsecond\nthird\n");
+    }
+
+    #[test]
+    fn fill_reports_eof_and_keeps_buffered_tail() {
+        let (mut conn, mut client) = test_conn();
+        use std::io::Write;
+        client.write_all(b"partial-frame-no-newline").unwrap();
+        drop(client);
+        let mut scratch = [0u8; 4096];
+        // Poll until both the bytes and the EOF have been observed.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match conn.fill(&mut scratch, Instant::now()).unwrap() {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Open => {
+                    assert!(Instant::now() < deadline, "EOF never surfaced");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+        assert!(conn.peer_closed);
+        assert_eq!(conn.next_frame(), None, "partial tail is not a frame");
+        assert_eq!(conn.frames.len(), 24);
+    }
+}

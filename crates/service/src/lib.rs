@@ -11,8 +11,18 @@
 //!   `shutdown`) with a hand-rolled serializer/parser ([`json`]) in the
 //!   spirit of `profile_io`'s `rbms v1` format — `std` only, per the
 //!   workspace's offline-dependency policy;
-//! * [`queue`] — a bounded job queue; a full queue answers `503 busy`
-//!   instead of growing without bound (backpressure);
+//! * [`queue`] — bounded job queues; a full queue answers `503 busy`
+//!   instead of growing without bound (backpressure). The server runs the
+//!   sharded variant ([`queue::ShardedQueue`]): jobs hash to a shard by
+//!   connection id and idle workers steal from foreign shards, so one hot
+//!   connection cannot serialize the pool behind a single lock;
+//! * [`poll`] — a dependency-free readiness poller (raw `epoll` syscalls
+//!   on Linux, a portable fallback elsewhere) plus a cross-thread
+//!   [`poll::Waker`], the foundation of the event-loop front end;
+//! * [`conn`] — per-connection state machines: incremental newline-frame
+//!   parsing over a reusable read buffer, in-order response slots for
+//!   pipelined clients, and write buffers that serialize each response
+//!   exactly once;
 //! * [`cache`] — the drift-aware profile cache keyed by
 //!   `(device, method)` and invalidated on calibration-window advance or
 //!   a [`qnoise::drift_score`] above threshold, with `profile_io`
@@ -20,8 +30,10 @@
 //!   device performs **one** characterization;
 //! * [`breaker`] — per-device circuit breakers and a deterministic
 //!   bounded-retry policy around transient characterization failures;
-//! * [`server`] — the accept loop, worker pool, idle-connection reaper,
-//!   per-job deadlines, panic isolation, and graceful drain;
+//! * [`server`] — the front ends (a readiness-driven event loop by
+//!   default, the original thread-per-connection design as a baseline),
+//!   worker pool, idle-connection reaper, per-job deadlines, panic
+//!   isolation, and graceful drain;
 //! * [`client`] — the blocking client used by `invmeas submit` and tests,
 //!   with default timeouts and reconnect-once retry of idempotent
 //!   requests.
@@ -49,19 +61,23 @@
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod conn;
 pub mod json;
+pub mod poll;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use cache::{CacheConfig, CacheError, CacheHealth, ProfileCache};
-pub use client::{call, Client, ClientError, DEFAULT_TIMEOUT};
+pub use client::{call, Client, ClientError, ClientReader, ClientSender, DEFAULT_TIMEOUT};
+pub use conn::{Conn, FrameBuffer};
 pub use json::Json;
+pub use poll::{Interest, PollEvent, Poller, Waker};
 pub use protocol::{
     CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
     PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
     PROTOCOL_VERSION,
 };
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, PushReceipt, ShardedQueue};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,903 @@
+//! Readiness polling for the event-loop front end.
+//!
+//! The workspace is offline and vendors no `libc`, so the Linux backend
+//! is a thin hand-rolled shim over the raw `syscall(2)` entry point (the
+//! symbol is already in the C runtime `std` links): `epoll_create1`,
+//! `epoll_ctl`, and `epoll_pwait`, with the arch-specific syscall numbers
+//! and the x86_64-packed `epoll_event` layout spelled out here. Everything
+//! above the shim is safe: [`Poller`] owns the epoll descriptor, tokens
+//! are opaque `u64`s, and errors surface as [`std::io::Error`] (which
+//! reads `errno` for us).
+//!
+//! On other targets [`Poller`] degrades to a portable fallback that
+//! reports every registered token as maybe-ready after a short sleep.
+//! That is correct — the event loop's nonblocking state machines treat
+//! readiness as a hint and handle `WouldBlock` — just not efficient, which
+//! keeps the service tests runnable off Linux without a second code path.
+//!
+//! Cross-thread wakeups ([`Waker`]) use a connected localhost UDP pair
+//! rather than an `eventfd`: it is `std`-only, works on every target, and
+//! a full socket buffer (send fails `WouldBlock`) can only happen when a
+//! wakeup is already pending, which is exactly when dropping one is safe.
+
+use std::io;
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// Which readiness a registration asks for. Readability is always
+/// watched; writability is opted into while a connection has buffered
+/// response bytes the socket refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or has hung up).
+    pub readable: bool,
+    /// Wake when the descriptor accepts writes again.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest, the steady state of a connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest, used while responses are backed up.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// Readable (or peer-closed — a read will observe the EOF).
+    pub readable: bool,
+    /// Writable again.
+    pub writable: bool,
+    /// Error or hangup: the connection should be torn down after a final
+    /// read drains whatever arrived before the close.
+    pub hangup: bool,
+}
+
+/// Anything the poller can watch. On unix this exposes the raw fd; the
+/// portable fallback never needs one.
+pub trait Source {
+    /// The raw descriptor to register with epoll.
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd;
+}
+
+#[cfg(unix)]
+impl<T: AsRawFd> Source for T {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> Source for T {}
+
+// ---------------------------------------------------------------------------
+// Linux backend: raw syscall shim.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_long};
+    use std::os::unix::io::RawFd;
+
+    extern "C" {
+        /// The variadic syscall trampoline from the C runtime; the only
+        /// foreign symbol this crate touches.
+        fn syscall(num: c_long, ...) -> c_long;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: i64 = 3;
+        pub const EPOLL_CTL: i64 = 233;
+        pub const EPOLL_PWAIT: i64 = 281;
+        pub const EPOLL_CREATE1: i64 = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: i64 = 20;
+        pub const EPOLL_CTL: i64 = 21;
+        pub const EPOLL_PWAIT: i64 = 22;
+        pub const CLOSE: i64 = 57;
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's `struct epoll_event`. The uapi header packs it on
+    /// x86_64 only (12 bytes there, 16 elsewhere) — reproduce that or
+    /// `epoll_ctl` reads garbage.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    fn cvt(ret: c_long) -> io::Result<c_long> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<RawFd> {
+        // SAFETY: epoll_create1 takes one flag and touches no caller
+        // memory. Every vararg is widened to c_long: syscall arguments
+        // are machine words.
+        let fd = cvt(unsafe { syscall(nr::EPOLL_CREATE1, EPOLL_CLOEXEC as c_long) })?;
+        Ok(fd as RawFd)
+    }
+
+    pub fn epoll_ctl(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        event: Option<EpollEvent>,
+    ) -> io::Result<()> {
+        let ptr = event
+            .as_ref()
+            .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+        // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent for
+        // the duration of the call; the kernel copies it before returning.
+        cvt(unsafe {
+            syscall(
+                nr::EPOLL_CTL,
+                epfd as c_long,
+                op as c_long,
+                fd as c_long,
+                ptr as c_long,
+            )
+        })?;
+        Ok(())
+    }
+
+    pub fn epoll_pwait(
+        epfd: RawFd,
+        events: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        loop {
+            // SAFETY: `events` is a live, writable slice; maxevents is its
+            // exact length; the null sigmask (with sigsetsize 8) keeps the
+            // signal mask untouched.
+            let ret = unsafe {
+                syscall(
+                    nr::EPOLL_PWAIT,
+                    epfd as c_long,
+                    events.as_mut_ptr() as c_long,
+                    events.len() as c_long,
+                    timeout_ms as c_long,
+                    0 as c_long, // NULL sigmask
+                    8 as c_long, // sigsetsize
+                )
+            };
+            match cvt(ret) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub fn close(fd: RawFd) {
+        // SAFETY: we own `fd` and never use it again after this.
+        unsafe { syscall(nr::CLOSE, fd as c_long) };
+    }
+
+    // -- sockets and rlimits (used by the load generator) ------------------
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr_net {
+        pub const SOCKET: i64 = 41;
+        pub const CONNECT: i64 = 42;
+        pub const BIND: i64 = 49;
+        pub const SETSOCKOPT: i64 = 54;
+        pub const PRLIMIT64: i64 = 302;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr_net {
+        pub const SOCKET: i64 = 198;
+        pub const BIND: i64 = 200;
+        pub const CONNECT: i64 = 203;
+        pub const SETSOCKOPT: i64 = 208;
+        pub const PRLIMIT64: i64 = 261;
+    }
+
+    const AF_INET: c_long = 2;
+    const SOCK_STREAM: c_long = 1;
+    const SOCK_CLOEXEC: c_long = 0o2000000;
+    const SOL_SOCKET: c_long = 1;
+    const SO_REUSEADDR: c_long = 2;
+    const SO_RCVTIMEO: c_long = 20;
+    const SO_SNDTIMEO: c_long = 21;
+    const SOL_IP: c_long = 0;
+    const IP_BIND_ADDRESS_NO_PORT: c_long = 24;
+    const RLIMIT_NOFILE: c_long = 7;
+
+    /// The kernel's IPv4 `struct sockaddr_in` (16 bytes, port/addr in
+    /// network byte order).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    impl SockaddrIn {
+        fn new(addr: std::net::SocketAddrV4) -> SockaddrIn {
+            SockaddrIn {
+                family: AF_INET as u16,
+                port_be: addr.port().to_be(),
+                addr_be: u32::from(*addr.ip()).to_be(),
+                zero: [0; 8],
+            }
+        }
+    }
+
+    /// 64-bit `struct timeval` for the socket-timeout options.
+    #[repr(C)]
+    struct Timeval {
+        tv_sec: i64,
+        tv_usec: i64,
+    }
+
+    /// `struct rlimit64`.
+    #[repr(C)]
+    struct Rlimit64 {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    /// Opens a blocking IPv4 TCP socket bound to `src` (any local address,
+    /// e.g. anywhere in `127.0.0.0/8`) and connects it to `dst` within
+    /// `timeout` (`SO_SNDTIMEO` bounds `connect(2)` on Linux). Returns the
+    /// raw fd; the caller takes ownership.
+    pub fn connect_from(
+        src: std::net::Ipv4Addr,
+        dst: std::net::SocketAddrV4,
+        timeout: std::time::Duration,
+    ) -> io::Result<RawFd> {
+        // SAFETY: socket(2) touches no caller memory.
+        let fd = cvt(unsafe { syscall(nr_net::SOCKET, AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) })?
+            as RawFd;
+        let result = (|| {
+            let tv = Timeval {
+                tv_sec: timeout.as_secs() as i64,
+                tv_usec: i64::from(timeout.subsec_micros()),
+            };
+            for opt in [SO_SNDTIMEO, SO_RCVTIMEO] {
+                // SAFETY: `tv` outlives the call; the kernel copies it.
+                cvt(unsafe {
+                    syscall(
+                        nr_net::SETSOCKOPT,
+                        fd as c_long,
+                        SOL_SOCKET,
+                        opt,
+                        &tv as *const Timeval as c_long,
+                        std::mem::size_of::<Timeval>() as c_long,
+                    )
+                })?;
+            }
+            // Binding with port 0 would pick the port NOW, and bind-time
+            // selection cannot reuse ports parked in TIME_WAIT (and only
+            // draws from half the ephemeral range). These two options defer
+            // port choice to connect(2), which reuses ports per-destination
+            // — without them, each benchmark rung's closed connections
+            // starve the next rung of source ports for a minute.
+            let one: c_int = 1;
+            for (level, opt) in [(SOL_IP, IP_BIND_ADDRESS_NO_PORT), (SOL_SOCKET, SO_REUSEADDR)] {
+                // SAFETY: `one` outlives the call; the kernel copies it.
+                // Best-effort: an old kernel without IP_BIND_ADDRESS_NO_PORT
+                // still works, just with bind-time port selection.
+                let _ = unsafe {
+                    syscall(
+                        nr_net::SETSOCKOPT,
+                        fd as c_long,
+                        level,
+                        opt,
+                        &one as *const c_int as c_long,
+                        std::mem::size_of::<c_int>() as c_long,
+                    )
+                };
+            }
+            let local = SockaddrIn::new(std::net::SocketAddrV4::new(src, 0));
+            // SAFETY: `local` is a live 16-byte sockaddr_in for the call.
+            cvt(unsafe {
+                syscall(
+                    nr_net::BIND,
+                    fd as c_long,
+                    &local as *const SockaddrIn as c_long,
+                    std::mem::size_of::<SockaddrIn>() as c_long,
+                )
+            })?;
+            let peer = SockaddrIn::new(dst);
+            // SAFETY: `peer` is a live 16-byte sockaddr_in for the call.
+            cvt(unsafe {
+                syscall(
+                    nr_net::CONNECT,
+                    fd as c_long,
+                    &peer as *const SockaddrIn as c_long,
+                    std::mem::size_of::<SockaddrIn>() as c_long,
+                )
+            })?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(fd),
+            Err(e) => {
+                close(fd);
+                Err(e)
+            }
+        }
+    }
+
+    /// Raises `RLIMIT_NOFILE` toward `target`, trying the hard limit too
+    /// (allowed for root / `CAP_SYS_RESOURCE`), else clamping to the
+    /// current hard limit. Returns the resulting `(soft, hard)`.
+    pub fn raise_nofile_limit(target: u64) -> io::Result<(u64, u64)> {
+        let mut old = Rlimit64 {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: pid 0 = self; `old` is live and writable for the call.
+        cvt(unsafe {
+            syscall(
+                nr_net::PRLIMIT64,
+                0 as c_long,
+                RLIMIT_NOFILE,
+                0 as c_long, // no new limit: read only
+                &mut old as *mut Rlimit64 as c_long,
+            )
+        })?;
+        let attempts = [
+            Rlimit64 {
+                rlim_cur: old.rlim_cur.max(target),
+                rlim_max: old.rlim_max.max(target),
+            },
+            Rlimit64 {
+                rlim_cur: old.rlim_cur.max(target.min(old.rlim_max)),
+                rlim_max: old.rlim_max,
+            },
+        ];
+        for new in &attempts {
+            // SAFETY: `new` is a live rlimit64 for the call.
+            let ret = unsafe {
+                syscall(
+                    nr_net::PRLIMIT64,
+                    0 as c_long,
+                    RLIMIT_NOFILE,
+                    new as *const Rlimit64 as c_long,
+                    0 as c_long,
+                )
+            };
+            if ret == 0 {
+                return Ok((new.rlim_cur, new.rlim_max));
+            }
+        }
+        Ok((old.rlim_cur, old.rlim_max))
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod backend {
+    use super::{sys, Interest, PollEvent, Source};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                epfd: sys::epoll_create1()?,
+            })
+        }
+
+        pub const BACKEND: &'static str = "epoll";
+
+        fn event(token: u64, interest: Interest) -> sys::EpollEvent {
+            let mut events = sys::EPOLLRDHUP;
+            if interest.readable {
+                events |= sys::EPOLLIN;
+            }
+            if interest.writable {
+                events |= sys::EPOLLOUT;
+            }
+            sys::EpollEvent { events, data: token }
+        }
+
+        pub fn register(&self, src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+            sys::epoll_ctl(
+                self.epfd,
+                sys::EPOLL_CTL_ADD,
+                src.raw_fd(),
+                Some(Self::event(token, interest)),
+            )
+        }
+
+        pub fn modify(&self, src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+            sys::epoll_ctl(
+                self.epfd,
+                sys::EPOLL_CTL_MOD,
+                src.raw_fd(),
+                Some(Self::event(token, interest)),
+            )
+        }
+
+        pub fn deregister(&self, src: &dyn Source, _token: u64) -> io::Result<()> {
+            sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, src.raw_fd(), None)
+        }
+
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<std::time::Duration>) -> io::Result<()> {
+            out.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => {
+                    // Round up so a 0.4 ms deadline does not spin at 0.
+                    let ms = d.as_millis();
+                    let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                    i32::try_from(ms).unwrap_or(i32::MAX)
+                }
+            };
+            let mut events = [sys::EpollEvent { events: 0, data: 0 }; 256];
+            let n = sys::epoll_pwait(self.epfd, &mut events, timeout_ms)?;
+            for e in &events[..n] {
+                let bits = e.events;
+                out.push(PollEvent {
+                    token: e.data,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback: report every registered token as maybe-ready.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod backend {
+    use super::{Interest, PollEvent, Source};
+    use std::io;
+    use std::sync::Mutex;
+
+    /// Granularity of the busy-poll: latency floor for the fallback path.
+    const TICK: std::time::Duration = std::time::Duration::from_millis(1);
+
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<Vec<(u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub const BACKEND: &'static str = "portable";
+
+        pub fn register(&self, _src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().push((token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, _src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            match reg.iter_mut().find(|(t, _)| *t == token) {
+                Some(slot) => {
+                    slot.1 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::other("token not registered")),
+            }
+        }
+
+        pub fn deregister(&self, _src: &dyn Source, token: u64) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|(t, _)| *t != token);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<std::time::Duration>) -> io::Result<()> {
+            out.clear();
+            // Without a kernel readiness facility we nap for one tick and
+            // let the nonblocking state machines discover actual state
+            // (reads return WouldBlock when there is nothing).
+            std::thread::sleep(match timeout {
+                Some(t) => t.min(TICK),
+                None => TICK,
+            });
+            for &(token, interest) in self.registered.lock().unwrap().iter() {
+                out.push(PollEvent {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Readiness poller over the platform backend (`epoll` on Linux
+/// x86_64/aarch64, a portable maybe-ready fallback elsewhere).
+#[derive(Debug)]
+pub struct Poller {
+    inner: backend::Poller,
+}
+
+impl Poller {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: backend::Poller::new()?,
+        })
+    }
+
+    /// Which backend this build uses (`"epoll"` or `"portable"`).
+    pub fn backend() -> &'static str {
+        backend::Poller::BACKEND
+    }
+
+    /// Watches `src` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn register(&self, src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(src, token, interest)
+    }
+
+    /// Changes the interest set of an existing registration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. an unregistered token).
+    pub fn modify(&self, src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(src, token, interest)
+    }
+
+    /// Stops watching `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn deregister(&self, src: &dyn Source, token: u64) -> io::Result<()> {
+        self.inner.deregister(src, token)
+    }
+
+    /// Blocks until readiness or `timeout` (`None` waits indefinitely),
+    /// filling `out` with the events. Spurious wakeups with an empty
+    /// `out` are allowed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_pwait` failure (`EINTR` is retried internally).
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.wait(out, timeout)
+    }
+}
+
+/// Opens a blocking TCP connection to `dst` from the given local source
+/// address (any address in `127.0.0.0/8` works on loopback), bounded by
+/// `timeout`. The load generator uses this to escape the ~28k ephemeral
+/// ports a single `(src, dst)` pair allows: spreading a connection storm
+/// over several loopback source IPs multiplies the usable port space.
+///
+/// On targets without the raw-syscall shim the source address is ignored
+/// and this degrades to [`std::net::TcpStream::connect_timeout`].
+///
+/// # Errors
+///
+/// Propagates socket/bind/connect failure (a refused or timed-out
+/// connection among them).
+pub fn connect_from(
+    src: std::net::Ipv4Addr,
+    dst: std::net::SocketAddrV4,
+    timeout: Duration,
+) -> io::Result<std::net::TcpStream> {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        use std::os::unix::io::FromRawFd;
+        let fd = sys::connect_from(src, dst, timeout)?;
+        // SAFETY: `fd` is a freshly connected socket we own; from_raw_fd
+        // transfers that ownership to the TcpStream.
+        Ok(unsafe { std::net::TcpStream::from_raw_fd(fd) })
+    }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        let _ = src;
+        std::net::TcpStream::connect_timeout(&std::net::SocketAddr::V4(dst), timeout)
+    }
+}
+
+/// Raises this process's open-file limit toward `target` (hard limit too
+/// when privileged, else clamped to the existing hard limit) and returns
+/// the resulting `(soft, hard)` pair. Lets the benchmark hold tens of
+/// thousands of sockets without external `ulimit` choreography; child
+/// processes inherit the raised limit.
+///
+/// # Errors
+///
+/// Fails where unsupported (no raw-syscall shim) or when the current
+/// limits cannot be read.
+pub fn raise_nofile_limit(target: u64) -> io::Result<(u64, u64)> {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        sys::raise_nofile_limit(target)
+    }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        let _ = target;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "rlimit shim requires the Linux syscall backend",
+        ))
+    }
+}
+
+/// Wakes a [`Poller`] from another thread (worker → event loop response
+/// hand-off). Cheap to clone; all clones poke the same receiver.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: Arc<UdpSocket>,
+}
+
+/// The receiving half of a [`Waker`], registered with the poller under a
+/// dedicated token.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UdpSocket,
+}
+
+impl Waker {
+    /// Creates a connected waker pair on localhost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failure.
+    pub fn new() -> io::Result<(Waker, WakeReceiver)> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        rx.set_nonblocking(true)?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.set_nonblocking(true)?;
+        tx.connect(rx.local_addr()?)?;
+        Ok((Waker { tx: Arc::new(tx) }, WakeReceiver { rx }))
+    }
+
+    /// Pokes the poller. Best-effort: a full socket buffer means a wakeup
+    /// is already pending, so the drop is harmless.
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1]);
+    }
+}
+
+impl WakeReceiver {
+    /// Drains pending wake datagrams so level-triggered polling settles.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+#[cfg(unix)]
+impl AsRawFd for WakeReceiver {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_readability_on_connect() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(&listener, 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait returns empty (epoll) or a
+        // maybe-ready hint (portable); either way accept() says WouldBlock.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(matches!(
+            listener.accept().map(|_| ()).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        ));
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no readiness event");
+        }
+        listener.accept().unwrap();
+    }
+
+    #[test]
+    fn stream_read_write_interest_transitions() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller.register(&server_side, 9, Interest::READ).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 9 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no read event");
+        }
+        let mut buf = [0u8; 8];
+        let n = (&server_side).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Ask for writability: an idle socket reports it immediately.
+        poller.modify(&server_side, 9, Interest::READ_WRITE).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 9 && e.writable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no write event");
+        }
+        poller.deregister(&server_side, 9).unwrap();
+    }
+
+    #[test]
+    fn waker_crosses_threads() {
+        let poller = Poller::new().unwrap();
+        let (waker, rx) = Waker::new().unwrap();
+        poller.register(&rx, 1, Interest::READ).unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 1 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "wakeup never arrived");
+        }
+        rx.drain();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn connect_from_binds_the_requested_source_address() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dst = match listener.local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4,
+            other => panic!("unexpected addr {other}"),
+        };
+        let src = std::net::Ipv4Addr::new(127, 0, 0, 5);
+        let mut client = connect_from(src, dst, Duration::from_secs(5)).unwrap();
+        let (mut server_side, peer) = listener.accept().unwrap();
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert_eq!(peer.ip(), std::net::IpAddr::V4(src), "source address held");
+        }
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server_side.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn connect_from_reports_refused_connections() {
+        // Grab a port and close the listener so nothing is listening there.
+        let dst = match TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4,
+            other => panic!("unexpected addr {other}"),
+        };
+        let err = connect_from(
+            std::net::Ipv4Addr::new(127, 0, 0, 6),
+            dst,
+            Duration::from_millis(500),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::ConnectionRefused | io::ErrorKind::TimedOut
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn raise_nofile_limit_never_lowers() {
+        let (soft, hard) = raise_nofile_limit(64).unwrap();
+        assert!(soft >= 64);
+        assert!(hard >= soft);
+    }
+
+    #[test]
+    fn timeout_returns_without_events() {
+        let poller = Poller::new().unwrap();
+        let start = std::time::Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        // epoll returns empty; the portable backend may report nothing
+        // since nothing is registered. Either way we came back promptly.
+        assert!(events.is_empty());
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+}

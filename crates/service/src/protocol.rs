@@ -533,6 +533,14 @@ impl Response {
                         ("pool_tasks", Json::int(c.pool_tasks)),
                         ("barrier_waits", Json::int(c.barrier_waits)),
                         ("arena_reuse_hits", Json::int(c.arena_reuse_hits)),
+                        ("epoll_wakeups", Json::int(c.epoll_wakeups)),
+                        ("frames_parsed", Json::int(c.frames_parsed)),
+                        (
+                            "write_backpressure_events",
+                            Json::int(c.write_backpressure_events),
+                        ),
+                        ("shard_depth_peak", Json::int(c.shard_depth_peak)),
+                        ("queue_steals", Json::int(c.queue_steals)),
                     ]),
                 ));
             }
@@ -650,6 +658,12 @@ impl Response {
                     pool_tasks: opt_u64(c, "pool_tasks")?.unwrap_or(0),
                     barrier_waits: opt_u64(c, "barrier_waits")?.unwrap_or(0),
                     arena_reuse_hits: opt_u64(c, "arena_reuse_hits")?.unwrap_or(0),
+                    epoll_wakeups: opt_u64(c, "epoll_wakeups")?.unwrap_or(0),
+                    frames_parsed: opt_u64(c, "frames_parsed")?.unwrap_or(0),
+                    write_backpressure_events: opt_u64(c, "write_backpressure_events")?
+                        .unwrap_or(0),
+                    shard_depth_peak: opt_u64(c, "shard_depth_peak")?.unwrap_or(0),
+                    queue_steals: opt_u64(c, "queue_steals")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -869,6 +883,11 @@ mod tests {
                     pool_tasks: 64,
                     barrier_waits: 17,
                     arena_reuse_hits: 9,
+                    epoll_wakeups: 41,
+                    frames_parsed: 12,
+                    write_backpressure_events: 2,
+                    shard_depth_peak: 3,
+                    queue_steals: 5,
                 },
             }),
             Response::Health(HealthResponse {

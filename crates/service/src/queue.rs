@@ -1,4 +1,4 @@
-//! A bounded MPMC job queue with non-blocking admission.
+//! Bounded MPMC job queues with non-blocking admission.
 //!
 //! Backpressure policy: producers never block and never buffer without
 //! bound — [`BoundedQueue::try_push`] fails fast when the queue is full so
@@ -6,8 +6,21 @@
 //! (workers) block on [`BoundedQueue::pop`] until a job arrives or the
 //! queue is closed *and* drained, which is exactly the graceful-shutdown
 //! contract: close, let workers finish what was admitted, exit.
+//!
+//! Two implementations share that contract:
+//!
+//! * [`BoundedQueue`] — the original single Mutex+Condvar FIFO, kept for
+//!   small embedders and as the reference semantics;
+//! * [`ShardedQueue`] — N independently locked shards hashed by
+//!   connection id with work-stealing consumers, so a hot front end never
+//!   serializes every push through one lock. Capacity stays *global* (one
+//!   atomic) so `503 busy` fires at exactly the same depth regardless of
+//!   the shard count, and workers prefer their home shard but steal from
+//!   the others before sleeping, so no shard can starve while any worker
+//!   is idle.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why [`BoundedQueue::try_push`] rejected an item (the item is handed
@@ -109,6 +122,205 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// What [`ShardedQueue::try_push`] reports on success, for depth-gauge
+/// accounting in the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Items across all shards after the insertion.
+    pub depth: usize,
+    /// The shard the item landed in.
+    pub shard: usize,
+    /// Items in that shard after the insertion.
+    pub shard_depth: usize,
+}
+
+/// A bounded MPMC FIFO split into independently locked shards.
+///
+/// Pushes hash a caller-supplied key (the connection id) to a home shard;
+/// consumers scan from their own home shard and steal from the rest, so
+/// ordering is FIFO *per shard* and admission order is preserved for any
+/// single connection. Close/drain semantics match [`BoundedQueue`]: after
+/// [`ShardedQueue::close`], pushes fail and [`ShardedQueue::pop`] hands
+/// out what remains before returning `None`.
+#[derive(Debug)]
+pub struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Global item count: capacity is enforced here, not per shard, so
+    /// backpressure depth is independent of the shard count.
+    depth: AtomicUsize,
+    capacity: usize,
+    closed: AtomicBool,
+    steals: AtomicU64,
+    /// Consumers park here when every shard is empty; producers take this
+    /// lock briefly after an insert so the check-then-wait cannot miss a
+    /// wakeup.
+    idle: Mutex<()>,
+    available: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Creates a queue holding at most `capacity` items across `shards`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is 0.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        assert!(shards > 0, "need at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth: AtomicUsize::new(0),
+            capacity,
+            closed: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            idle: Mutex::new(()),
+            available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// The maximum number of queued items (summed over all shards).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current number of queued items across all shards.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Cross-shard steals performed by [`ShardedQueue::pop`] so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// The home shard for a connection id (splitmix64 spreads sequential
+    /// ids evenly).
+    fn shard_for(&self, key: u64) -> usize {
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    /// Attempts to enqueue without blocking, hashing `key` to a shard.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the *global* capacity is reached,
+    /// [`PushError::Closed`] after [`ShardedQueue::close`]; both return
+    /// the rejected item.
+    pub fn try_push(&self, key: u64, item: T) -> Result<PushReceipt, PushError<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(PushError::Closed(item));
+        }
+        // Reserve a capacity slot first; undo on rejection. This keeps
+        // the full/busy threshold exact under concurrent pushes.
+        let prior = self.depth.fetch_add(1, Ordering::SeqCst);
+        if prior >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(PushError::Full(item));
+        }
+        let shard = self.shard_for(key);
+        let shard_depth = {
+            let mut items = self.shards[shard].lock().expect("queue poisoned");
+            // Re-check under the shard lock: `close` sets the flag and
+            // then acquires every shard lock, so an insert that saw
+            // `closed == false` here is ordered before the post-close
+            // drain scan and can never be stranded.
+            if self.closed.load(Ordering::SeqCst) {
+                drop(items);
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                return Err(PushError::Closed(item));
+            }
+            items.push_back(item);
+            items.len()
+        };
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.idle.lock().expect("queue poisoned"));
+            self.available.notify_one();
+        }
+        Ok(PushReceipt {
+            depth: prior + 1,
+            shard,
+            shard_depth,
+        })
+    }
+
+    /// One pass over every shard starting at the consumer's home shard.
+    fn scan(&self, home: usize) -> Option<T> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = (home + i) % n;
+            let item = self.shards[shard]
+                .lock()
+                .expect("queue poisoned")
+                .pop_front();
+            if let Some(item) = item {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                if i > 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Dequeues an item, preferring the consumer's home shard
+    /// (`worker % shards`) and stealing from the others before blocking.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let home = worker % self.shards.len();
+        loop {
+            if let Some(item) = self.scan(home) {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // One rescan after observing the close: any push admitted
+                // concurrently (it read `closed == false` under its shard
+                // lock) completed its insert before `close` flushed that
+                // lock, so this scan sees it.
+                return self.scan(home);
+            }
+            let guard = self.idle.lock().expect("queue poisoned");
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            // Re-check under the idle lock; a producer inserting after
+            // this check sees `sleepers > 0` and takes the idle lock to
+            // notify, so the wait below cannot miss it.
+            if self.depth.load(Ordering::SeqCst) == 0 && !self.closed.load(Ordering::SeqCst) {
+                // The timeout is belt-and-braces only; correctness does
+                // not depend on it.
+                let _ = self
+                    .available
+                    .wait_timeout(guard, std::time::Duration::from_millis(100))
+                    .expect("queue poisoned");
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain what
+    /// remains before seeing `None`. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Flush every shard lock: after this, any in-flight push that was
+        // admitted has fully inserted, so drain scans are complete.
+        for shard in &self.shards {
+            drop(shard.lock().expect("queue poisoned"));
+        }
+        drop(self.idle.lock().expect("queue poisoned"));
+        self.available.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +379,89 @@ mod tests {
         q.close();
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn sharded_capacity_is_global_not_per_shard() {
+        let q = ShardedQueue::new(2, 4);
+        // Two pushes from different connections land in (likely) different
+        // shards, yet the third is rejected at the global capacity.
+        let a = q.try_push(1, "a").unwrap();
+        let b = q.try_push(2, "b").unwrap();
+        assert_eq!(a.depth, 1);
+        assert_eq!(b.depth, 2);
+        assert_eq!(q.try_push(3, "c"), Err(PushError::Full("c")));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn sharded_per_connection_order_is_fifo() {
+        let q = ShardedQueue::new(16, 4);
+        for i in 0..8 {
+            q.try_push(42, i).unwrap(); // one connection → one shard
+        }
+        for want in 0..8 {
+            assert_eq!(q.pop(0), Some(want));
+        }
+    }
+
+    #[test]
+    fn sharded_workers_steal_from_foreign_shards() {
+        let q = ShardedQueue::new(64, 8);
+        for key in 0..32u64 {
+            q.try_push(key, key).unwrap();
+        }
+        // One consumer pinned to home shard 0 drains everything.
+        let mut got = Vec::new();
+        q.close();
+        while let Some(item) = q.pop(0) {
+            got.push(item);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        assert!(q.steals() > 0, "draining 8 shards from one home must steal");
+    }
+
+    #[test]
+    fn sharded_close_drains_then_ends() {
+        let q = ShardedQueue::new(8, 3);
+        q.try_push(1, "a").unwrap();
+        q.try_push(2, "b").unwrap();
+        q.close();
+        assert_eq!(q.try_push(3, "c"), Err(PushError::Closed("c")));
+        let mut got = vec![q.pop(0).unwrap(), q.pop(1).unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, ["a", "b"]);
+        assert_eq!(q.pop(2), None);
+        assert_eq!(q.pop(0), None); // stays ended
+    }
+
+    #[test]
+    fn sharded_blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(ShardedQueue::new(8, 4));
+        let consumers: Vec<_> = (0..3)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while q.pop(w).is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100u64 {
+            loop {
+                match q.try_push(i, i) {
+                    Ok(_) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 100);
     }
 }

@@ -1,23 +1,33 @@
 //! The long-running mitigation server.
 //!
-//! Threading model:
+//! Two front ends share one worker pool and one protocol implementation:
 //!
-//! * the **accept loop** (the thread that called [`Server::serve`]) hands
-//!   each connection to a detached handler thread;
-//! * **connection handlers** speak the line protocol: cheap requests
-//!   (`status`, `health`, `set-window`, `shutdown`) are answered inline,
-//!   expensive ones (`submit`, `characterize`, `sleep`) become jobs on the
-//!   bounded queue and the handler blocks on the job's response channel;
-//! * the **worker pool** drains the queue into [`invmeas::Runner`] /
-//!   the profile cache. The queue is the only buffer: when it is full the
-//!   handler answers `503 busy` immediately instead of queueing unbounded
-//!   memory.
+//! * the **event-loop front end** (default) runs every connection on a
+//!   single readiness-driven thread: a [`crate::poll::Poller`] multiplexes
+//!   the nonblocking listener, a worker-completion [`crate::poll::Waker`],
+//!   and every client socket; [`crate::conn::Conn`] state machines parse
+//!   newline-delimited frames incrementally and buffer responses through
+//!   reusable write buffers, so thousands of idle connections cost a few
+//!   KB each instead of a thread each;
+//! * the **thread-per-connection front end** (`event_loop: false`) is the
+//!   original blocking design, kept as the benchmark baseline and as a
+//!   portability fallback.
+//!
+//! In both, cheap requests (`status`, `health`, `set-window`, `shutdown`)
+//! are answered inline while expensive ones (`submit`, `characterize`,
+//! `sleep`) become jobs on the sharded run queue
+//! ([`crate::queue::ShardedQueue`], hashed by connection, drained with
+//! work stealing). The queue is the only buffer: when it is full the
+//! request is answered `503 busy` immediately instead of queueing
+//! unbounded memory.
 //!
 //! Resilience (see `DESIGN.md` §12):
 //!
-//! * **idle reaper** — connections are read under a socket timeout; a
-//!   client that hangs without sending a line is closed (counted in
-//!   `connections_reaped`) without ever consuming a worker;
+//! * **idle reaper** — a client that hangs without completing a request is
+//!   closed (counted in `connections_reaped`) without ever consuming a
+//!   worker. The threaded front end uses socket read timeouts; the event
+//!   loop folds the same deadline into its poll timeout, so a reap costs a
+//!   timer wakeup instead of a blocked thread;
 //! * **deadlines** — a `submit` carrying `deadline_ms` that is still
 //!   queued when the deadline passes is answered `504` at dequeue, again
 //!   without consuming worker time;
@@ -35,25 +45,29 @@
 //! Graceful shutdown: a `shutdown` request is acknowledged, the server
 //! stops accepting work (new jobs get `503`), the queue is closed, workers
 //! finish every job admitted before the close, and [`Server::serve`]
-//! returns after joining them.
+//! returns after joining them. The event loop additionally flushes every
+//! buffered response byte before returning.
 
 use crate::breaker::{BreakerConfig, RetryPolicy};
 use crate::cache::{CacheConfig, CacheError, ProfileCache};
+use crate::conn::{Conn, FlushOutcome, ReadOutcome};
+use crate::poll::{Interest, PollEvent, Poller, Waker};
 use crate::protocol::{
     CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
     PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
 };
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{PushError, ShardedQueue};
 use invmeas::{PolicyChoice, Runner};
 use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::{CorrectSet, ReliabilityReport, ServiceCounters};
 use qnoise::{CalibrationDrift, DeviceModel};
 use qsim::BitString;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server configuration. The defaults favour test determinism over raw
@@ -67,6 +81,13 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded job-queue capacity (jobs beyond this get `503 busy`).
     pub queue_capacity: usize,
+    /// Serve with the readiness-driven event loop (default) or fall back
+    /// to the thread-per-connection front end (the benchmark baseline).
+    pub event_loop: bool,
+    /// Run-queue shards, hashed by connection id and drained with work
+    /// stealing; `0` picks `min(workers, 8)`. The capacity above stays
+    /// global regardless of shard count.
+    pub queue_shards: usize,
     /// Executor threads per job (keep small: jobs already run in parallel).
     pub exec_threads: usize,
     /// Default characterization budget when a request does not name one.
@@ -85,11 +106,11 @@ pub struct ServerConfig {
     pub profile_dir: Option<PathBuf>,
     /// Upper bound honoured for `sleep` requests.
     pub max_sleep_ms: u64,
-    /// Socket read timeout per connection in milliseconds; a client idle
-    /// (or hung) past this is reaped. 0 disables the reaper.
+    /// Idle timeout per connection in milliseconds; a client idle (or
+    /// hung mid-frame) past this is reaped. 0 disables the reaper.
     pub idle_timeout_ms: u64,
-    /// Socket write timeout per connection in milliseconds (0 disables) —
-    /// bounds the damage of a client that stops draining its socket.
+    /// Write timeout per connection in milliseconds (0 disables) — bounds
+    /// the damage of a client that stops draining its socket.
     pub write_timeout_ms: u64,
     /// Retries after a transient characterization failure.
     pub retry_limit: u32,
@@ -112,6 +133,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue_capacity: 32,
+            event_loop: true,
+            queue_shards: 0,
             exec_threads: 1,
             profile_shots: 2048,
             profile_seed: 2019,
@@ -132,9 +155,60 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Effective shard count (`queue_shards`, with `0` resolved).
+    fn effective_shards(&self) -> usize {
+        if self.queue_shards == 0 {
+            self.workers.clamp(1, 8)
+        } else {
+            self.queue_shards
+        }
+    }
+}
+
+/// Where a finished job's response goes.
+enum Reply {
+    /// Threaded front end: a handler thread blocks on this channel.
+    Channel(mpsc::Sender<Response>),
+    /// Event-loop front end: the worker serializes the response (off the
+    /// loop thread), queues it for `(conn, seq)`, and wakes the loop.
+    Loop {
+        conn: u64,
+        seq: u64,
+        completions: Arc<Completions>,
+    },
+}
+
+impl Reply {
+    fn send(self, response: Response) {
+        match self {
+            // The handler may have disconnected; that only loses the reply.
+            Reply::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Reply::Loop {
+                conn,
+                seq,
+                completions,
+            } => {
+                let line = response.to_line();
+                completions.done.lock().unwrap().push((conn, seq, line));
+                completions.waker.wake();
+            }
+        }
+    }
+}
+
+/// Finished-job mailbox shared by the workers and the event loop.
+struct Completions {
+    /// `(connection token, response slot, serialized line)`.
+    done: Mutex<Vec<(u64, u64, String)>>,
+    waker: Waker,
+}
+
 struct Job {
     kind: JobKind,
-    respond: mpsc::Sender<Response>,
+    respond: Reply,
     enqueued: Instant,
     /// Queue-time budget: expired jobs answer `504` at dequeue.
     deadline: Option<Duration>,
@@ -152,9 +226,12 @@ struct State {
     cache: ProfileCache,
     window: AtomicU64,
     draining: AtomicBool,
-    queue: BoundedQueue<Job>,
+    queue: ShardedQueue<Job>,
     local_addr: SocketAddr,
     faults: Arc<dyn FaultInjector>,
+    /// Connection ids for the threaded front end (shard hashing); the
+    /// event loop uses poller tokens instead.
+    conn_ids: AtomicU64,
 }
 
 /// A bound, not-yet-serving mitigation server.
@@ -203,7 +280,7 @@ impl Server {
             drift_trip_threshold: config.breaker_drift_trips,
             cooldown: config.breaker_cooldown,
         });
-        let queue = BoundedQueue::new(config.queue_capacity);
+        let queue = ShardedQueue::new(config.queue_capacity, config.effective_shards());
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -215,6 +292,7 @@ impl Server {
                 queue,
                 local_addr,
                 faults,
+                conn_ids: AtomicU64::new(1),
             }),
         })
     }
@@ -229,46 +307,39 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket errors.
+    /// Propagates socket errors from the front end.
     pub fn serve(self) -> std::io::Result<qmetrics::CountersSnapshot> {
         let workers: Vec<_> = (0..self.state.config.workers)
             .map(|i| {
                 let state = Arc::clone(&self.state);
                 std::thread::Builder::new()
                     .name(format!("invmeas-worker-{i}"))
-                    .spawn(move || worker_loop(&state))
+                    .spawn(move || worker_loop(&state, i))
                     .expect("spawn worker")
             })
             .collect();
 
-        for stream in self.listener.incoming() {
-            if self.state.draining.load(Ordering::SeqCst) {
-                break; // the wake connection that unblocked accept
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue, // transient accept failure
-            };
-            let state = Arc::clone(&self.state);
-            let _ = std::thread::Builder::new()
-                .name("invmeas-conn".into())
-                .spawn(move || {
-                    let _ = handle_connection(stream, &state);
-                });
-        }
+        let served = if self.state.config.event_loop {
+            serve_event_loop(&self.listener, &self.state)
+        } else {
+            serve_threaded(&self.listener, &self.state);
+            Ok(())
+        };
 
-        // Drain: no new jobs are admitted (handlers see `draining`), the
+        // Drain: no new jobs are admitted (front ends see `draining`), the
         // queue closes, and workers finish everything already accepted.
         self.state.queue.close();
         for w in workers {
             let _ = w.join();
         }
+        served?;
         self.state
             .counters
             .set_faults_injected(self.state.faults.injected());
         self.state
             .counters
             .set_invariant_clamps(invmeas::validate::invariant_clamps());
+        self.state.counters.set_queue_steals(self.state.queue.steals());
         mirror_simulator_gauges(&self.state.counters);
         Ok(self.state.counters.snapshot())
     }
@@ -285,8 +356,33 @@ fn mirror_simulator_gauges(counters: &qmetrics::ServiceCounters) {
 
 fn initiate_shutdown(state: &State) {
     if !state.draining.swap(true, Ordering::SeqCst) {
-        // Unblock the accept loop with a throwaway connection.
+        // Stop admitting jobs; workers drain what was already accepted.
+        state.queue.close();
+        // Unblock a threaded accept loop with a throwaway connection (the
+        // event loop just sees one more accept it drops while draining).
         let _ = TcpStream::connect(state.local_addr);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection front end (benchmark baseline)
+// ---------------------------------------------------------------------------
+
+fn serve_threaded(listener: &TcpListener, state: &Arc<State>) {
+    for stream in listener.incoming() {
+        if state.draining.load(Ordering::SeqCst) {
+            break; // the wake connection that unblocked accept
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept failure
+        };
+        let state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("invmeas-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &state);
+            });
     }
 }
 
@@ -300,6 +396,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 }
 
 fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
+    let conn_id = state.conn_ids.fetch_add(1, Ordering::Relaxed);
     if state.config.idle_timeout_ms > 0 {
         stream.set_read_timeout(Some(Duration::from_millis(state.config.idle_timeout_ms)))?;
     }
@@ -327,10 +424,11 @@ fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
             continue;
         }
         state.counters.inc_requests();
+        state.counters.add_frames_parsed(1);
         let (response, shutdown_after) = match Request::from_line(&line) {
             Err(e) => (Response::bad_request(e.to_string()), false),
             Ok(Request::Shutdown) => (Response::Shutdown, true),
-            Ok(req) => (handle_request(state, req), false),
+            Ok(req) => (handle_request(state, req, conn_id), false),
         };
         writer.write_all(response.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
@@ -341,63 +439,45 @@ fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
     }
 }
 
-fn handle_request(state: &State, request: Request) -> Response {
+fn handle_request(state: &State, request: Request, conn_id: u64) -> Response {
     match request {
-        Request::Status => {
-            state.counters.set_faults_injected(state.faults.injected());
-            state
-                .counters
-                .set_invariant_clamps(invmeas::validate::invariant_clamps());
-            mirror_simulator_gauges(&state.counters);
-            Response::Status(StatusResponse {
-                window: state.window.load(Ordering::SeqCst),
-                workers: state.config.workers as u64,
-                queue_depth: state.queue.depth() as u64,
-                queue_capacity: state.queue.capacity() as u64,
-                draining: state.draining.load(Ordering::SeqCst),
-                counters: state.counters.snapshot(),
-            })
-        }
-        Request::Health => {
-            let window = state.window.load(Ordering::SeqCst);
-            let health = state.cache.health(window);
-            let draining = state.draining.load(Ordering::SeqCst);
-            Response::Health(HealthResponse {
-                degraded: health.open_breakers > 0 || draining,
-                queue_depth: state.queue.depth() as u64,
-                open_breakers: health.open_breakers,
-                cache_entries: health.entries,
-                cache_age_windows: health.oldest_age_windows,
-            })
-        }
-        Request::SetWindow { window } => {
-            state.window.store(window, Ordering::SeqCst);
-            Response::Window { window }
-        }
+        Request::Status => status_response(state),
+        Request::Health => health_response(state),
+        Request::SetWindow { window } => set_window_response(state, window),
         Request::Submit(r) => {
             let deadline = r.deadline_ms.map(Duration::from_millis);
-            enqueue_and_wait(state, JobKind::Submit(r), deadline)
+            enqueue_and_wait(state, JobKind::Submit(r), deadline, conn_id)
         }
-        Request::Characterize(r) => enqueue_and_wait(state, JobKind::Characterize(r), None),
-        Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }, None),
+        Request::Characterize(r) => {
+            enqueue_and_wait(state, JobKind::Characterize(r), None, conn_id)
+        }
+        Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }, None, conn_id),
         Request::Shutdown => unreachable!("handled by the connection loop"),
     }
 }
 
-fn enqueue_and_wait(state: &State, kind: JobKind, deadline: Option<Duration>) -> Response {
+fn enqueue_and_wait(
+    state: &State,
+    kind: JobKind,
+    deadline: Option<Duration>,
+    conn_id: u64,
+) -> Response {
     if state.draining.load(Ordering::SeqCst) {
         return Response::busy("busy: server is shutting down");
     }
     let (respond, receive) = mpsc::channel();
     let job = Job {
         kind,
-        respond,
+        respond: Reply::Channel(respond),
         enqueued: Instant::now(),
         deadline,
     };
-    match state.queue.try_push(job) {
-        Ok(depth) => {
-            state.counters.observe_queue_depth(depth as u64);
+    match state.queue.try_push(conn_id, job) {
+        Ok(receipt) => {
+            state.counters.observe_queue_depth(receipt.depth as u64);
+            state
+                .counters
+                .observe_shard_depth(receipt.shard_depth as u64);
             receive
                 .recv()
                 .unwrap_or_else(|_| Response::failed("worker dropped the job"))
@@ -410,8 +490,390 @@ fn enqueue_and_wait(state: &State, kind: JobKind, deadline: Option<Duration>) ->
     }
 }
 
-fn worker_loop(state: &State) {
-    while let Some(job) = state.queue.pop() {
+// ---------------------------------------------------------------------------
+// Cheap requests (shared by both front ends)
+// ---------------------------------------------------------------------------
+
+fn status_response(state: &State) -> Response {
+    state.counters.set_faults_injected(state.faults.injected());
+    state
+        .counters
+        .set_invariant_clamps(invmeas::validate::invariant_clamps());
+    state.counters.set_queue_steals(state.queue.steals());
+    mirror_simulator_gauges(&state.counters);
+    Response::Status(StatusResponse {
+        window: state.window.load(Ordering::SeqCst),
+        workers: state.config.workers as u64,
+        queue_depth: state.queue.depth() as u64,
+        queue_capacity: state.queue.capacity() as u64,
+        draining: state.draining.load(Ordering::SeqCst),
+        counters: state.counters.snapshot(),
+    })
+}
+
+fn health_response(state: &State) -> Response {
+    let window = state.window.load(Ordering::SeqCst);
+    let health = state.cache.health(window);
+    let draining = state.draining.load(Ordering::SeqCst);
+    Response::Health(HealthResponse {
+        degraded: health.open_breakers > 0 || draining,
+        queue_depth: state.queue.depth() as u64,
+        open_breakers: health.open_breakers,
+        cache_entries: health.entries,
+        cache_age_windows: health.oldest_age_windows,
+    })
+}
+
+fn set_window_response(state: &State, window: u64) -> Response {
+    state.window.store(window, Ordering::SeqCst);
+    Response::Window { window }
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop front end
+// ---------------------------------------------------------------------------
+
+/// Poller token of the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token of the worker-completion waker.
+const WAKER_TOKEN: u64 = 1;
+/// First connection token (also the first shard-hash key).
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Everything the event loop owns for its lifetime.
+struct EventLoop<'a> {
+    state: &'a Arc<State>,
+    poller: Poller,
+    completions: Arc<Completions>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Jobs dispatched for event-loop connections whose completions have
+    /// not been applied yet — the drain-exit gate.
+    outstanding: usize,
+    scratch: Vec<u8>,
+    /// Granularity of the reap scan, derived from the configured
+    /// timeouts; `None` when both timeouts are disabled. Scanning every
+    /// connection on every wakeup would be O(n) per event at tens of
+    /// thousands of connections, so deadlines are only checked on this
+    /// tick (a reap may therefore land up to one tick late).
+    scan_tick: Option<Duration>,
+    /// When the next reap scan is due.
+    next_scan: Instant,
+}
+
+fn serve_event_loop(listener: &TcpListener, state: &Arc<State>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let (waker, wake_rx) = Waker::new()?;
+    poller.register(listener, LISTENER_TOKEN, Interest::READ)?;
+    poller.register(&wake_rx, WAKER_TOKEN, Interest::READ)?;
+    let scan_tick = {
+        let timeouts = [
+            state.config.idle_timeout_ms,
+            state.config.write_timeout_ms,
+        ];
+        timeouts
+            .iter()
+            .filter(|&&ms| ms > 0)
+            .min()
+            .map(|&ms| Duration::from_millis((ms / 8).clamp(5, 250)))
+    };
+    let mut el = EventLoop {
+        state,
+        poller,
+        completions: Arc::new(Completions {
+            done: Mutex::new(Vec::new()),
+            waker,
+        }),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        outstanding: 0,
+        scratch: vec![0u8; 64 * 1024],
+        scan_tick,
+        next_scan: Instant::now() + scan_tick.unwrap_or(Duration::from_secs(3600)),
+    };
+
+    let mut events: Vec<PollEvent> = Vec::new();
+    loop {
+        let timeout = el.next_timer();
+        el.poller.wait(&mut events, timeout)?;
+        state.counters.inc_epoll_wakeup();
+        let now = Instant::now();
+        for ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => el.accept_ready(listener, now),
+                WAKER_TOKEN => wake_rx.drain(),
+                token => el.conn_ready(token, ev.readable || ev.hangup, ev.writable, now),
+            }
+        }
+        el.apply_completions(now);
+        if let Some(tick) = el.scan_tick {
+            if now >= el.next_scan {
+                el.reap(now);
+                el.next_scan = now + tick;
+            }
+        }
+        if state.draining.load(Ordering::SeqCst)
+            && el.outstanding == 0
+            && el.conns.values().all(|c| !c.wants_write())
+        {
+            // Every admitted job has answered and every response byte is
+            // on the wire: the drain is complete.
+            return Ok(());
+        }
+    }
+}
+
+impl EventLoop<'_> {
+    /// Accepts until the listener would block. While draining, accepted
+    /// connections are dropped immediately (their requests would only be
+    /// answered `busy` anyway).
+    fn accept_ready(&mut self, listener: &TcpListener, now: Instant) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.state.draining.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let conn = Conn::new(stream, token, now);
+                    if self
+                        .poller
+                        .register(conn.stream(), token, Interest::READ)
+                        .is_ok()
+                    {
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Per-connection accept failures (reset before accept,
+                // out of fds): drop that connection, keep serving.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Services one connection's readiness: drain reads, parse and answer
+    /// frames, flush writes, update interest, or close on error.
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, now: Instant) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return; // already closed this iteration
+        };
+        let mut keep = true;
+        if readable {
+            match conn.fill(&mut self.scratch, now) {
+                Ok(outcome) => {
+                    let mut parsed = 0u64;
+                    while let Some(frame) = conn.next_frame() {
+                        parsed += 1;
+                        self.process_frame(&mut conn, &frame, now);
+                    }
+                    self.state.counters.add_frames_parsed(parsed);
+                    if outcome == ReadOutcome::Eof && conn.is_idle() {
+                        keep = false; // clean EOF with nothing pending
+                    }
+                }
+                Err(_) => keep = false,
+            }
+        }
+        if keep && (writable || conn.wants_write()) {
+            keep = self.flush_conn(&mut conn, now);
+        }
+        if keep {
+            self.conns.insert(token, conn);
+        } else {
+            let _ = self.poller.deregister(conn.stream(), token);
+        }
+    }
+
+    /// Parses and answers one frame. Cheap requests complete their
+    /// response slot inline; expensive ones dispatch to the run queue and
+    /// complete later via [`Completions`].
+    fn process_frame(&mut self, conn: &mut Conn, frame: &[u8], now: Instant) {
+        let line = String::from_utf8_lossy(frame);
+        if line.trim().is_empty() {
+            return; // blank keep-alives are not requests
+        }
+        let state = self.state;
+        state.counters.inc_requests();
+        let seq = conn.alloc_seq();
+        let inline = match Request::from_line(&line) {
+            Err(e) => Some(Response::bad_request(e.to_string())),
+            Ok(Request::Shutdown) => {
+                // Ack first so the ack is ordered before the drain.
+                conn.complete(seq, Response::Shutdown.to_line(), now);
+                initiate_shutdown(state);
+                return;
+            }
+            Ok(Request::Status) => Some(status_response(state)),
+            Ok(Request::Health) => Some(health_response(state)),
+            Ok(Request::SetWindow { window }) => Some(set_window_response(state, window)),
+            Ok(Request::Submit(r)) => {
+                let deadline = r.deadline_ms.map(Duration::from_millis);
+                self.dispatch(conn, seq, JobKind::Submit(r), deadline)
+            }
+            Ok(Request::Characterize(r)) => {
+                self.dispatch(conn, seq, JobKind::Characterize(r), None)
+            }
+            Ok(Request::Sleep { ms }) => self.dispatch(conn, seq, JobKind::Sleep { ms }, None),
+        };
+        if let Some(response) = inline {
+            conn.complete(seq, response.to_line(), now);
+        }
+    }
+
+    /// Hands a job to the run queue; `Some(response)` means it was
+    /// rejected and must be answered inline.
+    fn dispatch(
+        &mut self,
+        conn: &mut Conn,
+        seq: u64,
+        kind: JobKind,
+        deadline: Option<Duration>,
+    ) -> Option<Response> {
+        let state = self.state;
+        if state.draining.load(Ordering::SeqCst) {
+            return Some(Response::busy("busy: server is shutting down"));
+        }
+        let job = Job {
+            kind,
+            respond: Reply::Loop {
+                conn: conn.token(),
+                seq,
+                completions: Arc::clone(&self.completions),
+            },
+            enqueued: Instant::now(),
+            deadline,
+        };
+        match state.queue.try_push(conn.token(), job) {
+            Ok(receipt) => {
+                state.counters.observe_queue_depth(receipt.depth as u64);
+                state
+                    .counters
+                    .observe_shard_depth(receipt.shard_depth as u64);
+                conn.inflight += 1;
+                self.outstanding += 1;
+                None
+            }
+            Err(PushError::Full(_)) => {
+                state.counters.inc_busy_rejection();
+                Some(Response::busy("busy: queue is full"))
+            }
+            Err(PushError::Closed(_)) => Some(Response::busy("busy: server is shutting down")),
+        }
+    }
+
+    /// Flushes a connection's write buffer and keeps its poller interest
+    /// in sync with whether bytes remain. Returns `false` to close.
+    fn flush_conn(&mut self, conn: &mut Conn, now: Instant) -> bool {
+        match conn.flush(now) {
+            Ok(FlushOutcome::Flushed) => {
+                if conn.watching_write {
+                    conn.watching_write = false;
+                    if self
+                        .poller
+                        .modify(conn.stream(), conn.token(), Interest::READ)
+                        .is_err()
+                    {
+                        return false;
+                    }
+                }
+                !(conn.close_after_flush || (conn.peer_closed && conn.is_idle()))
+            }
+            Ok(FlushOutcome::Pending) => {
+                if !conn.watching_write {
+                    // Entering backpressure: the socket refused bytes, so
+                    // ask for writable-readiness to finish later.
+                    self.state.counters.inc_write_backpressure_event();
+                    conn.watching_write = true;
+                    if self
+                        .poller
+                        .modify(conn.stream(), conn.token(), Interest::READ_WRITE)
+                        .is_err()
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Applies worker completions to their connections and flushes the
+    /// newly contiguous responses.
+    fn apply_completions(&mut self, now: Instant) {
+        let done = std::mem::take(&mut *self.completions.done.lock().unwrap());
+        for (token, seq, line) in done {
+            self.outstanding -= 1;
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue; // connection died while its job ran
+            };
+            conn.inflight -= 1;
+            conn.complete(seq, line, now);
+            if self.flush_conn(&mut conn, now) {
+                self.conns.insert(token, conn);
+            } else {
+                let _ = self.poller.deregister(conn.stream(), token);
+            }
+        }
+    }
+
+    /// The poll timeout: time until the next reap-scan tick, or `None`
+    /// (block until I/O) when timeouts are disabled or no connection is
+    /// open. Per-connection deadlines are deliberately NOT scanned here —
+    /// that would be O(n) on every wakeup; the coarse tick bounds the
+    /// scan rate instead.
+    fn next_timer(&self) -> Option<Duration> {
+        if self.scan_tick.is_none() || self.conns.is_empty() {
+            return None;
+        }
+        Some(self.next_scan.saturating_duration_since(Instant::now()))
+    }
+
+    /// The timer wheel's firing edge: closes idle connections past the
+    /// idle timeout (counted in `connections_reaped`, exactly like the
+    /// threaded reaper) and write-stalled connections past the write
+    /// timeout (a socket error in the threaded design, so not counted).
+    fn reap(&mut self, now: Instant) {
+        let idle = Duration::from_millis(self.state.config.idle_timeout_ms);
+        let stall = Duration::from_millis(self.state.config.write_timeout_ms);
+        let mut dead: Vec<(u64, bool)> = Vec::new();
+        for (token, conn) in &self.conns {
+            if self.state.config.idle_timeout_ms > 0
+                && conn.is_idle()
+                && now.duration_since(conn.last_activity) >= idle
+            {
+                dead.push((*token, true));
+            } else if self.state.config.write_timeout_ms > 0
+                && conn.wants_write()
+                && now.duration_since(conn.last_activity) >= stall
+            {
+                dead.push((*token, false));
+            }
+        }
+        for (token, idle_reap) in dead {
+            if idle_reap {
+                self.state.counters.inc_connection_reaped();
+            }
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.deregister(conn.stream(), token);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool (shared by both front ends)
+// ---------------------------------------------------------------------------
+
+fn worker_loop(state: &State, worker: usize) {
+    while let Some(job) = state.queue.pop(worker) {
         // Deadline check at dequeue: an expired job is answered without
         // consuming worker time, so one slow job cannot cascade 504s into
         // wasted execution for everything queued behind it.
@@ -420,7 +882,7 @@ fn worker_loop(state: &State) {
             if waited > deadline {
                 state.counters.inc_deadline_expiration();
                 state.counters.inc_jobs_failed();
-                let _ = job.respond.send(Response::deadline_exceeded(format!(
+                job.respond.send(Response::deadline_exceeded(format!(
                     "deadline exceeded: waited {} ms in queue (budget {} ms)",
                     waited.as_millis(),
                     deadline.as_millis()
@@ -454,8 +916,7 @@ fn worker_loop(state: &State) {
         } else {
             state.counters.inc_jobs_executed();
         }
-        // The handler may have disconnected; that only loses the reply.
-        let _ = job.respond.send(response);
+        job.respond.send(response);
     }
 }
 

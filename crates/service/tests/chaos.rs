@@ -220,6 +220,7 @@ fn hung_client_is_reaped_without_consuming_a_worker() {
     });
 
     // A client that opens a connection, dribbles half a line, and hangs.
+    let hang_started = std::time::Instant::now();
     let mut hung = std::net::TcpStream::connect(addr).expect("connect");
     hung.write_all(b"{\"v\":1,\"op\":\"sta").expect("partial line");
     hung.flush().ok();
@@ -230,8 +231,33 @@ fn hung_client_is_reaped_without_consuming_a_worker() {
         other => panic!("wrong response {other:?}"),
     }
 
-    // Give the reaper time to fire, then confirm it did.
-    std::thread::sleep(Duration::from_millis(400));
+    // The reap must land promptly after the 150 ms idle deadline — the
+    // event loop scans on a coarse tick derived from the deadline
+    // (deadline/8, clamped to [5 ms, 250 ms]), so reap latency is
+    // bounded by deadline + tick, not by traffic. Watch the counter.
+    let reaped_at = loop {
+        let reaped = match call(addr, &Request::Status).expect("status") {
+            Response::Status(s) => s.counters.connections_reaped,
+            other => panic!("wrong response {other:?}"),
+        };
+        if reaped >= 1 {
+            break hang_started.elapsed();
+        }
+        assert!(
+            hang_started.elapsed() < Duration::from_secs(5),
+            "hung connection was never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        reaped_at >= Duration::from_millis(150),
+        "reaped before the idle deadline: {reaped_at:?}"
+    );
+    assert!(
+        reaped_at < Duration::from_millis(600),
+        "reap latency out of bounds: {reaped_at:?}"
+    );
+
     let c = shutdown(addr, handle);
     assert_eq!(c.connections_reaped, 1, "the hung connection was reaped");
     assert_eq!(c.jobs_executed, 1, "the hung client never consumed a worker");
