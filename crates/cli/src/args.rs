@@ -137,6 +137,15 @@ pub struct ServeArgs {
     pub breaker_cooldown: u32,
     /// Optional `faultplan v1` script for chaos testing.
     pub fault_plan: Option<String>,
+    /// Profile-mesh membership: every node's listen address, identically
+    /// ordered on all nodes (empty = single-node, the default).
+    pub cluster: Vec<String>,
+    /// Followers per device when clustered.
+    pub replication: usize,
+    /// Heartbeat probe interval in milliseconds when clustered.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed heartbeats before a peer is declared dead.
+    pub heartbeat_miss_limit: u32,
 }
 
 /// Arguments to `submit`.
@@ -183,6 +192,12 @@ pub enum SvcOp {
         method: Method,
         /// Trial budget (0 = server default).
         shots: u64,
+    },
+    /// Fetch the cluster membership map (and optionally one device's
+    /// route) from a mesh node.
+    ClusterMap {
+        /// Device to route, if any.
+        device: Option<String>,
     },
 }
 
@@ -232,13 +247,16 @@ USAGE:
                 [--retry-limit N] [--retry-backoff-ms N]
                 [--breaker-threshold N] [--breaker-cooldown N]
                 [--fault-plan FILE]
-  invmeas submit <FILE.qasm> --device <NAME> [--addr HOST:PORT]
+                [--cluster ADDR,ADDR,...] [--replication N]
+                [--heartbeat-ms N] [--heartbeat-miss-limit N]
+  invmeas submit <FILE.qasm> --device <NAME> [--addr HOST:PORT[,HOST:PORT...]]
                  [--policy baseline|sim|aim] [--shots N] [--seed N]
                  [--expected BITS] [--deadline-ms N]
   invmeas svc status|shutdown|health [--addr HOST:PORT]
   invmeas svc set-window <N> [--addr HOST:PORT]
   invmeas svc characterize --device <NAME> [--addr HOST:PORT]
                            [--method brute|esct|awct] [--shots N]
+  invmeas svc cluster-map [--device <NAME>] [--addr HOST:PORT]
 
 DEVICES: ibmqx2, ibmqx4, ibmq-melbourne, ideal-N (e.g. ideal-5)
 
@@ -260,6 +278,15 @@ characterize --journal writes a checkpoint after every completed work
 unit so an interrupted run can be resumed with --resume (bit-identical
 to an uninterrupted run); --resume with --out but no --journal uses
 <out>.journal. See DESIGN.md §13.
+
+serve --cluster joins a profile mesh: pass the *same* comma-separated
+member list to every node (this node's --addr must appear in it) and a
+--profile-dir. Devices hash to an owning node; finished profiles and
+characterization journals replicate to --replication followers, and a
+follower promotes when the owner dies. submit/--addr accepts a
+comma-separated seed list and rotates through it on connection failure;
+`svc cluster-map` shows membership, liveness, and a device's route.
+See DESIGN.md §16.
 ";
 
 /// The default service address shared by `serve`, `submit`, and `svc`.
@@ -496,6 +523,10 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         breaker_threshold: 3,
         breaker_cooldown: 4,
         fault_plan: None,
+        cluster: Vec::new(),
+        replication: 1,
+        heartbeat_ms: 1000,
+        heartbeat_miss_limit: 3,
     };
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
@@ -557,6 +588,34 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
                         .ok_or_else(|| err("--fault-plan needs a path"))?
                         .to_string(),
                 )
+            }
+            "--cluster" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| err("--cluster needs a comma-separated member list"))?;
+                out.cluster = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|m| !m.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if out.cluster.len() < 2 {
+                    return Err(err("--cluster needs at least 2 members"));
+                }
+            }
+            "--replication" => out.replication = parse_usize("--replication", it.next())?,
+            "--heartbeat-ms" => {
+                out.heartbeat_ms = parse_u64("--heartbeat-ms", it.next())?;
+                if out.heartbeat_ms == 0 {
+                    return Err(err("--heartbeat-ms must be at least 1"));
+                }
+            }
+            "--heartbeat-miss-limit" => {
+                out.heartbeat_miss_limit =
+                    parse_u32("--heartbeat-miss-limit", it.next())?;
+                if out.heartbeat_miss_limit == 0 {
+                    return Err(err("--heartbeat-miss-limit must be at least 1"));
+                }
             }
             other => return Err(err(format!("unknown flag {other:?}"))),
         }
@@ -632,7 +691,7 @@ fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
 fn parse_svc(args: &[String]) -> Result<Command, ArgError> {
     let mut it = args.iter().map(String::as_str);
     let op_name = it.next().ok_or_else(|| {
-        err("svc needs an operation: status, health, shutdown, set-window, characterize")
+        err("svc needs an operation: status, health, shutdown, set-window, characterize, cluster-map")
     })?;
     let mut addr = DEFAULT_ADDR.to_string();
     let op = match op_name {
@@ -707,6 +766,28 @@ fn parse_svc(args: &[String]) -> Result<Command, ArgError> {
                 method,
                 shots,
             }
+        }
+        "cluster-map" => {
+            let mut device = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| err("--addr needs HOST:PORT"))?
+                            .to_string()
+                    }
+                    "--device" => {
+                        device = Some(
+                            it.next()
+                                .ok_or_else(|| err("--device needs a name"))?
+                                .to_string(),
+                        )
+                    }
+                    other => return Err(err(format!("unknown flag {other:?}"))),
+                }
+            }
+            SvcOp::ClusterMap { device }
         }
         other => return Err(err(format!("unknown svc operation {other:?}"))),
     };
@@ -814,6 +895,10 @@ mod tests {
                 assert_eq!(a.breaker_threshold, 3);
                 assert_eq!(a.breaker_cooldown, 4);
                 assert_eq!(a.fault_plan, None);
+                assert!(a.cluster.is_empty(), "single-node is the default");
+                assert_eq!(a.replication, 1);
+                assert_eq!(a.heartbeat_ms, 1000);
+                assert_eq!(a.heartbeat_miss_limit, 3);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -845,6 +930,28 @@ mod tests {
                 assert_eq!(a.breaker_threshold, 2);
                 assert_eq!(a.breaker_cooldown, 3);
                 assert_eq!(a.fault_plan.as_deref(), Some("chaos.plan"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_cluster_flags() {
+        match parse(&argv(
+            "serve --addr 127.0.0.1:7001 --profile-dir cache \
+             --cluster 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+             --replication 2 --heartbeat-ms 100 --heartbeat-miss-limit 2",
+        ))
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(
+                    a.cluster,
+                    vec!["127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"]
+                );
+                assert_eq!(a.replication, 2);
+                assert_eq!(a.heartbeat_ms, 100);
+                assert_eq!(a.heartbeat_miss_limit, 2);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -919,6 +1026,25 @@ mod tests {
             ),
             other => panic!("wrong command {other:?}"),
         }
+        match parse(&argv("svc cluster-map")).unwrap() {
+            Command::Svc(a) => {
+                assert_eq!(a.addr, DEFAULT_ADDR);
+                assert_eq!(a.op, SvcOp::ClusterMap { device: None });
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("svc cluster-map --device ibmqx4 --addr 127.0.0.1:7002")).unwrap() {
+            Command::Svc(a) => {
+                assert_eq!(a.addr, "127.0.0.1:7002");
+                assert_eq!(
+                    a.op,
+                    SvcOp::ClusterMap {
+                        device: Some("ibmqx4".into())
+                    }
+                );
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]
@@ -939,6 +1065,13 @@ mod tests {
             ("svc set-window nope", "set-window needs an integer"),
             ("svc characterize", "requires --device"),
             ("svc characterize --device x --method nope", "bad --method"),
+            ("svc cluster-map --device", "--device needs a name"),
+            ("svc cluster-map --bogus", "unknown flag"),
+            ("serve --cluster", "--cluster needs a comma-separated member list"),
+            ("serve --cluster 127.0.0.1:7001", "--cluster needs at least 2 members"),
+            ("serve --replication 0", "--replication must be at least 1"),
+            ("serve --heartbeat-ms 0", "--heartbeat-ms must be at least 1"),
+            ("serve --heartbeat-miss-limit 0", "--heartbeat-miss-limit must be at least 1"),
         ];
         for (input, expect) in cases {
             let e = parse(&argv(input)).unwrap_err().to_string();

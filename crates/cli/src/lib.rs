@@ -15,9 +15,13 @@
 //! * `submit` — send a QASM job to a running server and print the JSON
 //!   response line;
 //! * `svc` — control-plane calls (`status`, `health`, `shutdown`,
-//!   `set-window`, `characterize`) against a running server; `health`
-//!   maps degradation onto exit codes (0 healthy, 1 degraded,
-//!   2 unreachable) for scripts and probes.
+//!   `set-window`, `characterize`, `cluster-map`) against a running
+//!   server; `health` maps degradation onto exit codes (0 healthy,
+//!   1 degraded, 2 unreachable) for scripts and probes.
+//!
+//! `serve --cluster` joins the profile mesh (DESIGN.md §16); `submit`
+//! and `svc` accept a comma-separated `--addr` seed list and rotate
+//! through it when a node refuses the connection.
 //!
 //! The command implementations live in this library so they are unit- and
 //! integration-testable; `main.rs` is a thin shim. Failures carry their
@@ -35,8 +39,8 @@ use invmeas::{
     ProfileMeta, RbmsTable, StaticInvertMeasure,
 };
 use invmeas_service::{
-    CharacterizeRequest, MethodKind, PolicyKind, Request, Response, Server, ServerConfig,
-    SubmitRequest,
+    CharacterizeRequest, Client, ClusterConfig, MethodKind, PolicyKind, Request, Response, Server,
+    ServerConfig, SubmitRequest,
 };
 use qmetrics::{fmt_pct, fmt_prob, fmt_ratio, CorrectSet, ReliabilityReport, Table};
 use qnoise::{DeviceModel, NoisyExecutor};
@@ -204,6 +208,15 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
         ),
         None => std::sync::Arc::new(invmeas_faults::NoFaults),
     };
+    let cluster = if a.cluster.is_empty() {
+        None
+    } else {
+        let mut c = ClusterConfig::new(a.cluster.clone(), &a.addr)?;
+        c.replication = a.replication;
+        c.heartbeat_ms = a.heartbeat_ms;
+        c.heartbeat_miss_limit = a.heartbeat_miss_limit;
+        Some(c)
+    };
     let config = ServerConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -222,6 +235,7 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
         breaker_failure_threshold: a.breaker_threshold,
         breaker_cooldown: a.breaker_cooldown,
         faults,
+        cluster,
         ..ServerConfig::default()
     };
     let server = Server::bind(config)?;
@@ -235,10 +249,24 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
     Ok(format!("final counters after drain:\n{}", counters.render()))
 }
 
+/// Dials `addr`, which may be a single `HOST:PORT` or a comma-separated
+/// seed list — the mesh entry points. The client rotates through the
+/// seeds on connection failure, so a job survives any one node being
+/// down.
+fn dial(addr: &str) -> Result<Client, CliError> {
+    let seeds: Vec<&str> = addr
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    Client::connect_seeds(&seeds).map_err(|e| format!("cannot reach server at {addr}: {e}").into())
+}
+
 /// Sends one request and renders the response as its JSON wire line, so
 /// shell pipelines see exactly what the protocol carries.
 fn service_call(addr: &str, request: &Request) -> Result<String, CliError> {
-    let response = invmeas_service::call(addr, request)
+    let response = dial(addr)?
+        .request(request)
         .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
     if let Response::Error { code, message } = &response {
         return Err(format!("server error {code}: {message}").into());
@@ -256,11 +284,15 @@ fn submit(a: &SubmitArgs) -> Result<String, CliError> {
         seed: a.seed,
         expected: a.expected.clone(),
         deadline_ms: a.deadline_ms,
+        fwd: false,
     });
     service_call(&a.addr, &request)
 }
 
 fn svc(a: &SvcArgs) -> Result<String, CliError> {
+    if let args::SvcOp::ClusterMap { device } = &a.op {
+        return cluster_map(&a.addr, device.as_deref());
+    }
     let request = match &a.op {
         args::SvcOp::Status => Request::Status,
         // `svc health` is routed to `health()` by `run_cli` for its exit
@@ -276,9 +308,64 @@ fn svc(a: &SvcArgs) -> Result<String, CliError> {
             device: device.clone(),
             method: method_kind(*method),
             shots: *shots,
+            fwd: false,
         }),
+        args::SvcOp::ClusterMap { .. } => unreachable!("handled above"),
     };
     service_call(&a.addr, &request)
+}
+
+/// Renders `svc cluster-map` human-readably: membership with liveness as
+/// the answering node sees it, plus a device's route when requested.
+fn cluster_map(addr: &str, device: Option<&str>) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let request = Request::ClusterMap {
+        device: device.map(str::to_string),
+    };
+    let response = dial(addr)?
+        .request(&request)
+        .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+    let m = match response {
+        Response::ClusterMap(m) => m,
+        Response::Error { code, message } => {
+            return Err(format!("server error {code}: {message}").into())
+        }
+        other => {
+            return Err(format!("unexpected response to cluster-map: {}", other.to_line()).into())
+        }
+    };
+    let mut out = format!(
+        "cluster of {} members (answering node is #{}):\n",
+        m.members.len(),
+        m.self_index
+    );
+    for (i, name) in m.members.iter().enumerate() {
+        let alive = m.alive.get(i).copied().unwrap_or(false);
+        let _ = writeln!(
+            out,
+            "  #{i} {name} {}{}",
+            if alive { "alive" } else { "dead" },
+            if i as u64 == m.self_index { " (self)" } else { "" },
+        );
+    }
+    if let Some(r) = &m.route {
+        let _ = writeln!(
+            out,
+            "route for {}: owner #{}, followers {}",
+            r.device,
+            r.owner,
+            if r.followers.is_empty() {
+                "none".to_string()
+            } else {
+                r.followers
+                    .iter()
+                    .map(|f| format!("#{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        );
+    }
+    Ok(out)
 }
 
 fn render_devices() -> String {

@@ -323,6 +323,55 @@ fn parse_unit_line(line: &str) -> Option<(usize, UnitResult)> {
     Some((idx, pairs))
 }
 
+/// Inspects exported journal text: returns the header spec and the
+/// number of intact unit lines, or `None` when the header is unusable
+/// (wrong version, damaged, or not a journal at all). This is the
+/// receive-side validation for journal handoff between nodes — a
+/// follower should refuse to install text that does not inspect.
+pub fn inspect_journal(text: &str) -> Option<(CharSpec, u64)> {
+    load_journal(text).map(|(spec, units)| (spec, units.len() as u64))
+}
+
+/// Reads a journal file's raw text for handoff to another node, or
+/// `None` when no journal exists at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file being absent.
+pub fn export_journal(path: &Path) -> std::io::Result<Option<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Installs journal text received from another node, byte-for-byte, via
+/// a temp sibling and atomic rename (a crash mid-install leaves the old
+/// journal intact). The text must [`inspect_journal`] cleanly — garbage
+/// is refused rather than written, because a resumed run trusts every
+/// intact line it finds. Returns the number of intact units installed.
+///
+/// # Errors
+///
+/// `InvalidData` when the text fails inspection; otherwise I/O failures.
+pub fn install_journal(path: &Path, text: &str) -> std::io::Result<u64> {
+    let Some((_, units)) = inspect_journal(text) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "journal text failed inspection",
+        ));
+    };
+    let tmp = {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        path.with_file_name(name)
+    };
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(units)
+}
+
 /// Parses a journal file: the header spec plus every intact unit line.
 /// Stops (without erroring) at the first torn or garbled unit line.
 /// Returns `None` when the header itself is unusable — the journal
@@ -535,6 +584,33 @@ pub fn characterize_journaled(
     journal: Option<&Path>,
     faults: &dyn FaultInjector,
 ) -> Result<(RbmsTable, JournalStats), JournalError> {
+    characterize_journaled_with_hook(executor, spec, journal, faults, None)
+}
+
+/// [`characterize_journaled`] with a per-checkpoint hook.
+///
+/// The hook fires after each checkpoint line is durably appended, with
+/// the number of checkpoints this run has written so far. A cluster
+/// owner uses it to ship the in-flight journal to follower nodes as the
+/// run progresses, so a kill at any point leaves every *completed* unit
+/// already replicated — the handoff invariant behind cluster-wide
+/// single-flight characterization. Hook failures must be handled by the
+/// hook itself (replication is best-effort); it cannot fail the run.
+///
+/// # Errors
+///
+/// As [`characterize_journaled`].
+///
+/// # Panics
+///
+/// As [`characterize_journaled`].
+pub fn characterize_journaled_with_hook(
+    executor: &dyn Executor,
+    spec: &CharSpec,
+    journal: Option<&Path>,
+    faults: &dyn FaultInjector,
+    checkpoint_hook: Option<&(dyn Fn(u64) + Sync)>,
+) -> Result<(RbmsTable, JournalStats), JournalError> {
     spec.assert_valid();
     assert_eq!(
         executor.n_qubits(),
@@ -594,6 +670,9 @@ pub fn characterize_journaled(
         if let Some(file) = writer.as_mut() {
             append_checkpoint(file, idx, &pairs, faults)?;
             stats.checkpoints_written += 1;
+            if let Some(hook) = checkpoint_hook {
+                hook(stats.checkpoints_written);
+            }
         }
         *slot = Some(pairs);
     }
@@ -770,6 +849,74 @@ mod tests {
         .unwrap();
         assert!(awct.mse_vs(&exact) < 0.05, "AWCT MSE {}", awct.mse_vs(&exact));
         assert_eq!(awct.trials_used(), 150_000 * 3);
+    }
+
+    #[test]
+    fn checkpoint_hook_fires_per_append_and_exported_prefix_resumes() {
+        // Simulate journaled handoff: every checkpoint hook exports the
+        // in-flight journal (as a cluster owner replicating to a
+        // follower would), the run is killed partway, and the last
+        // exported snapshot resumes bit-identically elsewhere.
+        let dev = DeviceModel::ibmqx4();
+        let spec = CharSpec::brute("ibmqx4", 5, 128, 21);
+        let src = temp_journal("hook-src");
+        let dst = temp_journal("hook-dst");
+        let _ = std::fs::remove_file(&src);
+        let _ = std::fs::remove_file(&dst);
+
+        let baseline = {
+            let exec = NoisyExecutor::readout_only(&dev);
+            let (t, _) = characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
+            t
+        };
+
+        let kill_at = 3u64;
+        let shipped = std::sync::Mutex::new((0u64, String::new()));
+        let hook = |written: u64| {
+            let text = export_journal(&src).unwrap().expect("journal exists");
+            *shipped.lock().unwrap() = (written, text);
+        };
+        let plan = FaultPlan::new(5).on_nth(
+            FaultSite::JournalWrite,
+            kill_at,
+            Fault::Panic("killed mid-checkpoint".into()),
+        );
+        let exec = NoisyExecutor::readout_only(&dev);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            characterize_journaled_with_hook(&exec, &spec, Some(&src), &plan, Some(&hook))
+        }));
+        assert!(died.is_err(), "scripted kill did not fire");
+
+        let (hook_calls, text) = shipped.into_inner().unwrap();
+        assert_eq!(hook_calls, kill_at - 1, "one hook call per durable append");
+        let (found_spec, units) = inspect_journal(&text).expect("shipped text inspects");
+        assert_eq!(found_spec, spec);
+        assert_eq!(units, kill_at - 1);
+
+        // Install on the "follower" and resume there.
+        assert_eq!(install_journal(&dst, &text).unwrap(), kill_at - 1);
+        let (resumed, stats) =
+            characterize_journaled(&exec, &spec, Some(&dst), &NoFaults).unwrap();
+        assert_eq!(stats.resumed_units, kill_at - 1);
+        assert_eq!(
+            stats.checkpoints_written + stats.resumed_units,
+            stats.total_units,
+            "handoff must cost exactly one full run in total"
+        );
+        assert_eq!(resumed.to_text(), baseline.to_text());
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn install_journal_refuses_garbage() {
+        let path = temp_journal("install-garbage");
+        let _ = std::fs::remove_file(&path);
+        let err = install_journal(&path, "not a journal at all").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "refused text must not land on disk");
+        assert!(inspect_journal("charjournal v1\ndevice x").is_none(), "old version refused");
+        assert_eq!(export_journal(&path).unwrap(), None, "absent journal exports None");
     }
 
     #[test]

@@ -495,6 +495,45 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// Installs profile text received over the wire from another node.
+///
+/// The text must be a checksummed `rbms v2` profile: it is fully parsed
+/// first — which verifies the CRC32 footer before any content is
+/// trusted — and only then written **byte-for-byte** to `path` via a
+/// temp sibling and atomic rename. Writing the received bytes rather
+/// than a re-serialization keeps replicas byte-identical to the owner's
+/// file, so convergence can be asserted with `cmp`. A payload that
+/// fails the checksum is refused without touching the filesystem — the
+/// local copy (if any) is *not* quarantined, because nothing local is
+/// damaged; the sender's payload is.
+///
+/// Returns the parsed table and its metadata.
+///
+/// # Errors
+///
+/// [`ProfileError::Checksum`]/[`ProfileError::Parse`] on a bad payload
+/// (`v1` text is refused — it carries no checksum, so wire integrity
+/// cannot be verified); I/O failures from the install itself.
+pub fn install_profile_text(
+    path: &Path,
+    text: &str,
+) -> Result<(RbmsTable, ProfileMeta), ProfileError> {
+    let (table, meta) = RbmsTable::from_text_with_meta(text)?;
+    let Some(meta) = meta else {
+        return Err(parse_err(1, "replicated profiles must be rbms v2 (checksummed)"));
+    };
+    let tmp = tmp_sibling(path);
+    let result = (|| -> Result<(), ProfileError> {
+        std::fs::write(&tmp, text.as_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result.map(|()| (table, meta))
+}
+
 /// Moves a damaged profile aside for post-mortem inspection: `path` is
 /// renamed to `<name>.quarantined` (then `.quarantined.1`, `.2`, … if
 /// earlier quarantines exist). The file is **never deleted** — a profile
@@ -651,6 +690,54 @@ mod tests {
         // Both bodies survive, untouched.
         assert_eq!(std::fs::read_to_string(&q1).unwrap(), "first bad profile");
         assert_eq!(std::fs::read_to_string(&q2).unwrap(), "second bad profile");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_profile_text_is_byte_identical_and_refuses_bad_payloads() {
+        let dir = std::env::temp_dir().join("invmeas-install-profile-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replica.rbms");
+
+        let mut table = RbmsTable::from_strengths(2, vec![1.0, 0.8, 0.9, 0.5]);
+        table.set_trials_used(1024);
+        let meta = ProfileMeta {
+            device: "ibmqx4".into(),
+            method: "brute".into(),
+            seed: 7,
+            window: 0,
+        };
+        let text = table.to_text_v2(&meta);
+
+        // Clean payload: installed byte-for-byte.
+        let (back, back_meta) = install_profile_text(&path, &text).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(back.strengths(), table.strengths());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+
+        // One flipped bit in the body: refused by the checksum, and the
+        // previously installed replica is left untouched on disk.
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        let err = install_profile_text(&path, &flipped).unwrap_err();
+        assert!(matches!(err, ProfileError::Checksum { .. }), "{err}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+
+        // v1 text carries no checksum: refused outright.
+        let err = install_profile_text(&path, &table.to_text()).unwrap_err();
+        assert!(err.to_string().contains("rbms v2"), "{err}");
+
+        // Nothing quarantined, no temp litter.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "replica.rbms")
+            .collect();
+        assert!(leftovers.is_empty(), "unexpected files: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

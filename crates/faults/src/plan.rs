@@ -4,7 +4,7 @@ use crate::FaultInjector;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of instrumented sites (array-indexed for lock-free counting).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 /// A place in the stack where faults can be injected.
 ///
@@ -36,6 +36,15 @@ pub enum FaultSite {
     /// resumed run must be bit-identical), `Torn` (a partial line lands
     /// and must be discarded on resume), `Error`, and `Latency`.
     JournalWrite,
+    /// A profile or journal replica is about to be sent to a follower
+    /// node. Supports `Error` (the write is dropped on the wire — the
+    /// follower simply never sees it), `Corrupt` (the payload arrives
+    /// bit-flipped and must fail its checksum on receipt), and `Latency`.
+    ReplicateSend,
+    /// A heartbeat probe is about to be sent to a peer node. Supports
+    /// `Error` (the probe is dropped — a deterministic one-sided
+    /// partition) and `Latency`.
+    Heartbeat,
 }
 
 impl FaultSite {
@@ -47,6 +56,8 @@ impl FaultSite {
         FaultSite::Worker,
         FaultSite::Exec,
         FaultSite::JournalWrite,
+        FaultSite::ReplicateSend,
+        FaultSite::Heartbeat,
     ];
 
     /// The array index of this site.
@@ -59,6 +70,8 @@ impl FaultSite {
             FaultSite::Worker => 3,
             FaultSite::Exec => 4,
             FaultSite::JournalWrite => 5,
+            FaultSite::ReplicateSend => 6,
+            FaultSite::Heartbeat => 7,
         }
     }
 
@@ -71,6 +84,8 @@ impl FaultSite {
             FaultSite::Worker => "worker",
             FaultSite::Exec => "exec",
             FaultSite::JournalWrite => "journal-write",
+            FaultSite::ReplicateSend => "replicate-send",
+            FaultSite::Heartbeat => "heartbeat",
         }
     }
 

@@ -59,6 +59,11 @@ pub struct ServiceCounters {
     write_backpressure_events: AtomicU64,
     shard_depth_peak: AtomicU64,
     queue_steals: AtomicU64,
+    forwards: AtomicU64,
+    replication_writes: AtomicU64,
+    failovers: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    stale_map_retries: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -92,6 +97,11 @@ pub struct CountersSnapshot {
     pub write_backpressure_events: u64,
     pub shard_depth_peak: u64,
     pub queue_steals: u64,
+    pub forwards: u64,
+    pub replication_writes: u64,
+    pub failovers: u64,
+    pub heartbeats_missed: u64,
+    pub stale_map_retries: u64,
 }
 
 impl ServiceCounters {
@@ -247,6 +257,33 @@ impl ServiceCounters {
         self.queue_steals.store(total, Ordering::Relaxed);
     }
 
+    /// Counts one request forwarded to the owning node of its device.
+    pub fn inc_forward(&self) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one profile or journal replica installed from a peer node.
+    pub fn inc_replication_write(&self) {
+        self.replication_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one ownership takeover: this node served a device whose
+    /// owner was dead or unreachable.
+    pub fn inc_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one heartbeat probe that went unanswered.
+    pub fn inc_heartbeat_missed(&self) {
+        self.heartbeats_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that arrived at a node which neither owns nor
+    /// follows the device — the sender routed on a stale cluster map.
+    pub fn inc_stale_map_retry(&self) {
+        self.stale_map_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -277,6 +314,11 @@ impl ServiceCounters {
             write_backpressure_events: self.write_backpressure_events.load(Ordering::Relaxed),
             shard_depth_peak: self.shard_depth_peak.load(Ordering::Relaxed),
             queue_steals: self.queue_steals.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            replication_writes: self.replication_writes.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            heartbeats_missed: self.heartbeats_missed.load(Ordering::Relaxed),
+            stale_map_retries: self.stale_map_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -301,7 +343,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 29] = [
+        let rows: [(&str, String); 34] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -334,6 +376,11 @@ impl CountersSnapshot {
             ),
             ("shard depth peak", self.shard_depth_peak.to_string()),
             ("queue steals", self.queue_steals.to_string()),
+            ("forwards", self.forwards.to_string()),
+            ("replication writes", self.replication_writes.to_string()),
+            ("failovers", self.failovers.to_string()),
+            ("heartbeats missed", self.heartbeats_missed.to_string()),
+            ("stale map retries", self.stale_map_retries.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -391,6 +438,14 @@ mod tests {
         c.observe_shard_depth(9);
         c.observe_shard_depth(5);
         c.set_queue_steals(11);
+        c.inc_forward();
+        c.inc_forward();
+        c.inc_replication_write();
+        c.inc_failover();
+        c.inc_heartbeat_missed();
+        c.inc_heartbeat_missed();
+        c.inc_heartbeat_missed();
+        c.inc_stale_map_retry();
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -421,6 +476,11 @@ mod tests {
         assert_eq!(s.write_backpressure_events, 1);
         assert_eq!(s.shard_depth_peak, 9);
         assert_eq!(s.queue_steals, 11);
+        assert_eq!(s.forwards, 2);
+        assert_eq!(s.replication_writes, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.heartbeats_missed, 3);
+        assert_eq!(s.stale_map_retries, 1);
     }
 
     #[test]
@@ -478,6 +538,11 @@ mod tests {
             "write backpressure events",
             "shard depth peak",
             "queue steals",
+            "forwards",
+            "replication writes",
+            "failovers",
+            "heartbeats missed",
+            "stale map retries",
         ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }

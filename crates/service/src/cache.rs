@@ -37,8 +37,12 @@
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::protocol::{CacheOutcome, MethodKind};
-use invmeas::journal::{characterize_journaled, CharSpec, JournalError, JournalStats};
-use invmeas::profile_io::{quarantine_profile, ProfileError, ProfileMeta};
+use crate::replicate::ProfileReplicator;
+use invmeas::journal::{
+    characterize_journaled_with_hook, export_journal, install_journal, CharSpec, JournalError,
+    JournalStats,
+};
+use invmeas::profile_io::{install_profile_text, quarantine_profile, ProfileError, ProfileMeta};
 use invmeas::RbmsTable;
 use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::ServiceCounters;
@@ -157,6 +161,9 @@ pub struct ProfileCache {
     retry: RetryPolicy,
     counters: Arc<ServiceCounters>,
     faults: Arc<dyn FaultInjector>,
+    /// Mesh replication hook: when set, finished profiles and journal
+    /// checkpoints are pushed to the device's follower nodes.
+    replicator: Option<Arc<dyn ProfileReplicator>>,
 }
 
 impl ProfileCache {
@@ -171,6 +178,7 @@ impl ProfileCache {
             retry: RetryPolicy::default(),
             counters: Arc::new(ServiceCounters::new()),
             faults: Arc::new(NoFaults),
+            replicator: None,
         }
     }
 
@@ -202,6 +210,16 @@ impl ProfileCache {
     #[must_use]
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker_config = breaker;
+        self
+    }
+
+    /// Installs a mesh replicator: finished profiles (after persist) and
+    /// journal checkpoints (after every append) are pushed to the
+    /// device's followers. Requires a profile directory — replication
+    /// payloads are the exact on-disk text.
+    #[must_use]
+    pub fn with_replicator(mut self, replicator: Arc<dyn ProfileReplicator>) -> Self {
+        self.replicator = Some(replicator);
         self
     }
 
@@ -417,8 +435,27 @@ impl ProfileCache {
                 let _ = std::fs::create_dir_all(dir);
             }
             let spec = self.char_spec(device, n, method, shots, seed);
-            return match characterize_journaled(&exec, &spec, Some(&journal), self.faults.as_ref())
-            {
+            // With a replicator installed, every checkpoint append ships
+            // the whole journal to the followers — so a node that dies
+            // mid-characterization leaves its last completed unit on the
+            // survivors' disks, and the promoted follower resumes from
+            // there bit-identically instead of starting over.
+            let hook = self.replicator.as_ref().map(|r| {
+                let journal = journal.clone();
+                let device = device.to_string();
+                move |_checkpoints: u64| {
+                    if let Ok(Some(text)) = export_journal(&journal) {
+                        r.replicate_journal(&device, method, window, &text);
+                    }
+                }
+            });
+            return match characterize_journaled_with_hook(
+                &exec,
+                &spec,
+                Some(&journal),
+                self.faults.as_ref(),
+                hook.as_ref().map(|h| h as &(dyn Fn(u64) + Sync)),
+            ) {
                 Ok((table, stats)) => Ok((table, Some(stats))),
                 // A journal write failure is transient: the checkpoints
                 // already on disk survive, so the retry resumes them.
@@ -543,8 +580,84 @@ impl ProfileCache {
                 if let Some(journal) = self.journal_path(device, method, window) {
                     let _ = std::fs::remove_file(journal);
                 }
+                // Ship the finished profile to the followers as the exact
+                // bytes just persisted, so every replica is `cmp`-equal
+                // to the owner's file.
+                if let Some(r) = self.replicator.as_ref() {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        r.replicate_profile(device, method, window, &text);
+                    }
+                }
             }
         }
+    }
+
+    /// Installs a replicated `rbms v2` profile pushed by the owning node:
+    /// verifies the payload checksum *before* any byte reaches the final
+    /// path, then writes the raw received text so the replica is
+    /// byte-identical to the sender's file. A corrupt payload is rejected
+    /// without touching local state (no quarantine — nothing local is
+    /// suspect, the wire copy simply failed verification).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: no profile directory, a failed checksum,
+    /// or an I/O failure.
+    pub fn install_replica_profile(
+        &self,
+        device: &str,
+        method: MethodKind,
+        window: u64,
+        text: &str,
+    ) -> Result<(), String> {
+        let path = self
+            .profile_path(device, method, window)
+            .ok_or_else(|| "this node has no profile directory".to_string())?;
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        install_profile_text(&path, text).map_err(|e| e.to_string())?;
+        // The profile supersedes any in-flight journal replica for the
+        // same key, exactly as a local persist would.
+        if let Some(journal) = self.journal_path(device, method, window) {
+            let _ = std::fs::remove_file(journal);
+        }
+        self.counters.inc_replication_write();
+        Ok(())
+    }
+
+    /// Installs a replicated `charjournal v2` checkpoint file, verifying
+    /// its per-line checksums first. The journal lands at exactly the
+    /// path a local characterization would use, so a later
+    /// characterization of this key on this node resumes it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: no profile directory, an unparseable
+    /// payload, or an I/O failure.
+    pub fn install_replica_journal(
+        &self,
+        device: &str,
+        method: MethodKind,
+        window: u64,
+        text: &str,
+    ) -> Result<u64, String> {
+        let path = self
+            .journal_path(device, method, window)
+            .ok_or_else(|| "this node has no profile directory".to_string())?;
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let units = install_journal(&path, text).map_err(|e| e.to_string())?;
+        self.counters.inc_replication_write();
+        Ok(units)
+    }
+
+    /// The exact persisted profile text for a key, if any — what a
+    /// follower re-fetches after rejecting a corrupt replica.
+    pub fn read_profile_text(&self, device: &str, method: MethodKind, window: u64) -> Option<String> {
+        let path = self.profile_path(device, method, window)?;
+        std::fs::read_to_string(path).ok()
     }
 }
 

@@ -100,6 +100,10 @@ pub struct Client {
     writer: TcpStream,
     /// The resolved peer, kept for transparent reconnects.
     peer: SocketAddr,
+    /// Every seed address the caller supplied (always contains `peer`).
+    /// Reconnects rotate through these, so a clustered client survives
+    /// the death of the node it happened to be talking to.
+    seeds: Vec<SocketAddr>,
     timeout: Option<Duration>,
     /// Reused across responses so steady-state requests allocate nothing
     /// for line assembly.
@@ -123,9 +127,55 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             peer,
+            seeds: vec![peer],
             timeout: Some(DEFAULT_TIMEOUT),
             line: String::new(),
         })
+    }
+
+    /// Connects to the first reachable of several seed addresses (e.g.
+    /// the members of a profile-mesh cluster), trying them in order. The
+    /// whole list is retained: if the connected node later dies, the
+    /// reconnect path rotates to the next seed instead of giving up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *last* connection failure when every seed is down, or
+    /// an error when `addrs` is empty or nothing resolves.
+    pub fn connect_seeds<S: AsRef<str>>(addrs: &[S]) -> Result<Client, ClientError> {
+        let mut seeds = Vec::new();
+        for a in addrs {
+            if let Some(peer) = a.as_ref().to_socket_addrs()?.next() {
+                seeds.push(peer);
+            }
+        }
+        if seeds.is_empty() {
+            return Err(ClientError::Io(std::io::Error::other(
+                "no seed address resolved",
+            )));
+        }
+        let mut last: Option<ClientError> = None;
+        for peer in seeds.iter().copied() {
+            match open(peer, Some(DEFAULT_TIMEOUT)) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: stream,
+                        peer,
+                        seeds,
+                        timeout: Some(DEFAULT_TIMEOUT),
+                        line: String::new(),
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one seed was tried"))
+    }
+
+    /// The address of the node this client is currently connected to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
     }
 
     /// Bounds how long [`Client::request`] waits for a response line
@@ -210,10 +260,30 @@ impl Client {
     }
 
     fn reconnect(&mut self) -> Result<(), ClientError> {
-        let stream = open(self.peer, self.timeout)?;
-        self.reader = BufReader::new(stream.try_clone()?);
-        self.writer = stream;
-        Ok(())
+        // Current peer first, then the remaining seeds in list order —
+        // so a single-seed client behaves exactly as before, and a
+        // multi-seed client rotates off a dead node.
+        let start = self
+            .seeds
+            .iter()
+            .position(|s| *s == self.peer)
+            .unwrap_or(0);
+        let mut last: Option<ClientError> = None;
+        for k in 0..self.seeds.len() {
+            let peer = self.seeds[(start + k) % self.seeds.len()];
+            match open(peer, self.timeout) {
+                Ok(stream) => {
+                    self.reader = BufReader::new(stream.try_clone()?);
+                    self.writer = stream;
+                    self.peer = peer;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Io(std::io::Error::other("no seed address to reconnect to"))
+        }))
     }
 
     /// Splits the connection into an independent send half and receive

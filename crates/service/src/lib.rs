@@ -61,23 +61,29 @@
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod conn;
 pub mod json;
+pub mod membership;
 pub mod poll;
 pub mod protocol;
 pub mod queue;
+pub mod replicate;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use cache::{CacheConfig, CacheError, CacheHealth, ProfileCache};
 pub use client::{call, Client, ClientError, ClientReader, ClientSender, DEFAULT_TIMEOUT};
+pub use cluster::{ClusterConfig, ClusterError, HashRing, Route};
 pub use conn::{Conn, FrameBuffer};
 pub use json::Json;
+pub use membership::Membership;
 pub use poll::{Interest, PollEvent, Poller, Waker};
 pub use protocol::{
-    CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
-    PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
-    PROTOCOL_VERSION,
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, ClusterMapResponse, HealthResponse,
+    MethodKind, PolicyKind, ReplicateRequest, Request, Response, RouteInfo, StatusResponse,
+    SubmitRequest, SubmitResponse, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError, PushReceipt, ShardedQueue};
+pub use replicate::{MeshReplicator, ProfileReplicator};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,124 @@
+//! Peer liveness tracking for the profile mesh.
+//!
+//! Failure detection is deliberately simple: a background thread probes
+//! every peer with an inline `health` request each heartbeat interval,
+//! and a peer that misses `miss_limit` *consecutive* probes is declared
+//! dead. Any successful probe (or any request received from the peer)
+//! resurrects it instantly. There is no gossip and no quorum — the
+//! membership list is static, so each node's view only has to be good
+//! enough to pick a failover owner, and the consistent-hash ladder
+//! (owner, then followers in ring order) makes disagreeing views
+//! converge as soon as the views do.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Lock-free per-peer liveness state.
+#[derive(Debug)]
+pub struct Membership {
+    alive: Vec<AtomicBool>,
+    missed: Vec<AtomicU32>,
+    miss_limit: u32,
+    self_index: usize,
+}
+
+impl Membership {
+    /// Creates liveness state for `n` members; everyone starts alive
+    /// (optimism costs one failed forward, pessimism costs a spurious
+    /// failover).
+    pub fn new(n: usize, self_index: usize, miss_limit: u32) -> Membership {
+        Membership {
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            missed: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            miss_limit: miss_limit.max(1),
+            self_index,
+        }
+    }
+
+    /// Number of members tracked.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True when no members are tracked (never, in a real mesh).
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether `member` is currently considered alive. A node is always
+    /// alive to itself.
+    pub fn is_alive(&self, member: usize) -> bool {
+        member == self.self_index || self.alive[member].load(Ordering::Relaxed)
+    }
+
+    /// Records a successful probe of (or any traffic from) `member`.
+    /// Returns `true` when this resurrected a peer previously declared
+    /// dead.
+    pub fn mark_seen(&self, member: usize) -> bool {
+        self.missed[member].store(0, Ordering::Relaxed);
+        !self.alive[member].swap(true, Ordering::Relaxed)
+    }
+
+    /// Records a missed heartbeat. Returns `true` when this miss crossed
+    /// the limit and transitioned the peer from alive to dead.
+    pub fn mark_missed(&self, member: usize) -> bool {
+        let misses = self.missed[member].fetch_add(1, Ordering::Relaxed) + 1;
+        if misses >= self.miss_limit {
+            self.alive[member].swap(false, Ordering::Relaxed)
+        } else {
+            false
+        }
+    }
+
+    /// A point-in-time copy of every member's liveness.
+    pub fn snapshot(&self) -> Vec<bool> {
+        (0..self.len()).map(|m| self.is_alive(m)).collect()
+    }
+
+    /// The first alive member on a failover ladder, if any.
+    pub fn first_alive(&self, ladder: impl Iterator<Item = usize>) -> Option<usize> {
+        let mut ladder = ladder;
+        ladder.find(|m| self.is_alive(*m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn death_requires_consecutive_misses() {
+        let m = Membership::new(3, 0, 3);
+        assert!(m.is_alive(1));
+        assert!(!m.mark_missed(1));
+        assert!(!m.mark_missed(1));
+        // A success in between resets the streak.
+        assert!(!m.mark_seen(1));
+        assert!(!m.mark_missed(1));
+        assert!(!m.mark_missed(1));
+        assert!(m.mark_missed(1), "third consecutive miss kills the peer");
+        assert!(!m.is_alive(1));
+        // Only the transition reports true.
+        assert!(!m.mark_missed(1));
+        // Resurrection reports the transition back.
+        assert!(m.mark_seen(1));
+        assert!(m.is_alive(1));
+    }
+
+    #[test]
+    fn self_is_always_alive() {
+        let m = Membership::new(2, 0, 1);
+        assert!(m.mark_missed(0), "raw state does transition");
+        assert!(m.is_alive(0), "but a node never considers itself dead");
+        assert_eq!(m.snapshot(), vec![true, true]);
+    }
+
+    #[test]
+    fn first_alive_walks_the_ladder() {
+        let m = Membership::new(3, 2, 1);
+        m.mark_missed(0);
+        assert_eq!(m.first_alive([0usize, 1, 2].into_iter()), Some(1));
+        m.mark_missed(1);
+        assert_eq!(m.first_alive([0usize, 1, 2].into_iter()), Some(2));
+        assert_eq!(m.first_alive([0usize, 1].into_iter()), None);
+    }
+}

@@ -154,6 +154,10 @@ pub struct SubmitRequest {
     /// Queue-time budget in milliseconds: if the job has not *started* by
     /// this deadline it is answered `504` without consuming a worker slot.
     pub deadline_ms: Option<u64>,
+    /// True when a cluster peer already routed this request here: the
+    /// receiving node must serve it locally instead of forwarding again
+    /// (loop protection). Absent on the wire when false.
+    pub fwd: bool,
 }
 
 /// A `characterize` request: warm or refresh the profile cache.
@@ -169,6 +173,9 @@ pub struct CharacterizeRequest {
     pub method: MethodKind,
     /// Trial budget (0 = server default).
     pub shots: u64,
+    /// True when a cluster peer already routed this request here (see
+    /// [`SubmitRequest::fwd`]).
+    pub fwd: bool,
 }
 
 /// A parsed client request.
@@ -192,8 +199,47 @@ pub enum Request {
     },
     /// Liveness/degradation probe, answered inline (never queued).
     Health,
+    /// Cluster routing table: members, liveness, and — when `device` is
+    /// given — the owner/follower route for that device. Answered inline.
+    ClusterMap {
+        /// Device to route, if the caller wants a concrete route.
+        device: Option<String>,
+    },
+    /// A profile and/or characterization-journal replica pushed by the
+    /// owning node. Payloads are the exact on-disk text (`rbms v2` /
+    /// `charjournal v2`, both checksummed) so the receiver can verify
+    /// before trusting and store byte-identical copies.
+    Replicate(ReplicateRequest),
+    /// Fetch the persisted `rbms v2` profile text for a key — the
+    /// re-fetch path a follower uses after rejecting a corrupt replica.
+    FetchProfile {
+        /// Device name.
+        device: String,
+        /// Technique.
+        method: MethodKind,
+        /// Calibration window.
+        window: u64,
+    },
     /// Drain in-flight jobs and stop the server.
     Shutdown,
+}
+
+/// A `replicate` push from the owning node to a follower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicateRequest {
+    /// Device name.
+    pub device: String,
+    /// Technique.
+    pub method: MethodKind,
+    /// Calibration window the payloads belong to.
+    pub window: u64,
+    /// Full `rbms v2` profile text, when a finished profile is shipped.
+    pub profile: Option<String>,
+    /// Full `charjournal v2` text, when a checkpoint is shipped.
+    pub journal: Option<String>,
+    /// Member index of the sender, so a follower that rejects a corrupt
+    /// payload knows whom to re-fetch a clean copy from.
+    pub from: u64,
 }
 
 impl Request {
@@ -214,12 +260,47 @@ impl Request {
                 if let Some(d) = r.deadline_ms {
                     pairs.push(("deadline_ms", Json::int(d)));
                 }
+                if r.fwd {
+                    pairs.push(("fwd", Json::Bool(true)));
+                }
             }
             Request::Characterize(r) => {
                 pairs.push(("op", Json::str("characterize")));
                 pairs.push(("device", Json::str(&r.device)));
                 pairs.push(("method", Json::str(r.method.as_str())));
                 pairs.push(("shots", Json::int(r.shots)));
+                if r.fwd {
+                    pairs.push(("fwd", Json::Bool(true)));
+                }
+            }
+            Request::ClusterMap { device } => {
+                pairs.push(("op", Json::str("cluster-map")));
+                if let Some(d) = device {
+                    pairs.push(("device", Json::str(d)));
+                }
+            }
+            Request::Replicate(r) => {
+                pairs.push(("op", Json::str("replicate")));
+                pairs.push(("device", Json::str(&r.device)));
+                pairs.push(("method", Json::str(r.method.as_str())));
+                pairs.push(("window", Json::int(r.window)));
+                if let Some(p) = &r.profile {
+                    pairs.push(("profile", Json::str(p)));
+                }
+                if let Some(j) = &r.journal {
+                    pairs.push(("journal", Json::str(j)));
+                }
+                pairs.push(("from", Json::int(r.from)));
+            }
+            Request::FetchProfile {
+                device,
+                method,
+                window,
+            } => {
+                pairs.push(("op", Json::str("fetch-profile")));
+                pairs.push(("device", Json::str(device)));
+                pairs.push(("method", Json::str(method.as_str())));
+                pairs.push(("window", Json::int(*window)));
             }
             Request::Status => pairs.push(("op", Json::str("status"))),
             Request::SetWindow { window } => {
@@ -255,12 +336,31 @@ impl Request {
                 seed: opt_u64(&v, "seed")?.unwrap_or(2019),
                 expected: opt_str(&v, "expected").map(str::to_string),
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
+                fwd: v.get("fwd").and_then(Json::as_bool).unwrap_or(false),
             })),
             "characterize" => Ok(Request::Characterize(CharacterizeRequest {
                 device: require_str(&v, "device")?.to_string(),
                 method: MethodKind::parse(opt_str(&v, "method").unwrap_or("brute"))?,
                 shots: opt_u64(&v, "shots")?.unwrap_or(0),
+                fwd: v.get("fwd").and_then(Json::as_bool).unwrap_or(false),
             })),
+            "cluster-map" => Ok(Request::ClusterMap {
+                device: opt_str(&v, "device").map(str::to_string),
+            }),
+            "replicate" => Ok(Request::Replicate(ReplicateRequest {
+                device: require_str(&v, "device")?.to_string(),
+                method: MethodKind::parse(opt_str(&v, "method").unwrap_or("brute"))?,
+                window: opt_u64(&v, "window")?.unwrap_or(0),
+                profile: opt_str(&v, "profile").map(str::to_string),
+                journal: opt_str(&v, "journal").map(str::to_string),
+                from: opt_u64(&v, "from")?.unwrap_or(0),
+            })),
+            "fetch-profile" => Ok(Request::FetchProfile {
+                device: require_str(&v, "device")?.to_string(),
+                method: MethodKind::parse(opt_str(&v, "method").unwrap_or("brute"))?,
+                window: opt_u64(&v, "window")?
+                    .ok_or_else(|| ProtocolError::new("fetch-profile needs a window index"))?,
+            }),
             "status" => Ok(Request::Status),
             "set-window" => Ok(Request::SetWindow {
                 window: opt_u64(&v, "window")?
@@ -374,6 +474,31 @@ pub struct HealthResponse {
     pub cache_age_windows: u64,
 }
 
+/// The `cluster-map` routing table: who is in the mesh, who is alive,
+/// and — when a device was named — where its profile lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMapResponse {
+    /// The full static membership list, in ring order (index = member id).
+    pub members: Vec<String>,
+    /// Liveness of each member as seen by the answering node.
+    pub alive: Vec<bool>,
+    /// The answering node's own index in `members`.
+    pub self_index: u64,
+    /// The route for the requested device, when one was named.
+    pub route: Option<RouteInfo>,
+}
+
+/// The consistent-hash route for one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// The device routed.
+    pub device: String,
+    /// Member index of the owning node.
+    pub owner: u64,
+    /// Member indices of the replication followers, in ring order.
+    pub followers: Vec<u64>,
+}
+
 /// A parsed server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -395,6 +520,28 @@ pub enum Response {
     },
     /// `health` probe result.
     Health(HealthResponse),
+    /// `cluster-map` result.
+    ClusterMap(ClusterMapResponse),
+    /// `replicate` acknowledgement. `accepted` is false when the payload
+    /// failed its checksum on receipt; `refetched` reports whether the
+    /// receiver then pulled a clean copy from the sender.
+    Replicated {
+        /// Whether the pushed payload verified and was installed.
+        accepted: bool,
+        /// Whether a clean copy was re-fetched after a rejection.
+        refetched: bool,
+    },
+    /// `fetch-profile` result: the exact persisted `rbms v2` text.
+    Profile {
+        /// Device name.
+        device: String,
+        /// Technique.
+        method: MethodKind,
+        /// Calibration window.
+        window: u64,
+        /// Full profile text (checksummed `rbms v2`).
+        profile: String,
+    },
     /// `shutdown` acknowledgement.
     Shutdown,
     /// Any failure; `code` follows HTTP conventions (`400` bad request,
@@ -541,6 +688,11 @@ impl Response {
                         ),
                         ("shard_depth_peak", Json::int(c.shard_depth_peak)),
                         ("queue_steals", Json::int(c.queue_steals)),
+                        ("forwards", Json::int(c.forwards)),
+                        ("replication_writes", Json::int(c.replication_writes)),
+                        ("failovers", Json::int(c.failovers)),
+                        ("heartbeats_missed", Json::int(c.heartbeats_missed)),
+                        ("stale_map_retries", Json::int(c.stale_map_retries)),
                     ]),
                 ));
             }
@@ -562,6 +714,49 @@ impl Response {
                 pairs.push(("open_breakers", Json::int(r.open_breakers)));
                 pairs.push(("cache_entries", Json::int(r.cache_entries)));
                 pairs.push(("cache_age_windows", Json::int(r.cache_age_windows)));
+            }
+            Response::ClusterMap(r) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("cluster-map")));
+                pairs.push((
+                    "members",
+                    Json::Arr(r.members.iter().map(|m| Json::str(m.as_str())).collect()),
+                ));
+                pairs.push((
+                    "alive",
+                    Json::Arr(r.alive.iter().map(|a| Json::Bool(*a)).collect()),
+                ));
+                pairs.push(("self", Json::int(r.self_index)));
+                if let Some(route) = &r.route {
+                    pairs.push(("device", Json::str(&route.device)));
+                    pairs.push(("owner", Json::int(route.owner)));
+                    pairs.push((
+                        "followers",
+                        Json::Arr(route.followers.iter().map(|f| Json::int(*f)).collect()),
+                    ));
+                }
+            }
+            Response::Replicated {
+                accepted,
+                refetched,
+            } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("replicate")));
+                pairs.push(("accepted", Json::Bool(*accepted)));
+                pairs.push(("refetched", Json::Bool(*refetched)));
+            }
+            Response::Profile {
+                device,
+                method,
+                window,
+                profile,
+            } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("op", Json::str("fetch-profile")));
+                pairs.push(("device", Json::str(device)));
+                pairs.push(("method", Json::str(method.as_str())));
+                pairs.push(("window", Json::int(*window)));
+                pairs.push(("profile", Json::str(profile)));
             }
             Response::Shutdown => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -664,6 +859,11 @@ impl Response {
                         .unwrap_or(0),
                     shard_depth_peak: opt_u64(c, "shard_depth_peak")?.unwrap_or(0),
                     queue_steals: opt_u64(c, "queue_steals")?.unwrap_or(0),
+                    forwards: opt_u64(c, "forwards")?.unwrap_or(0),
+                    replication_writes: opt_u64(c, "replication_writes")?.unwrap_or(0),
+                    failovers: opt_u64(c, "failovers")?.unwrap_or(0),
+                    heartbeats_missed: opt_u64(c, "heartbeats_missed")?.unwrap_or(0),
+                    stale_map_retries: opt_u64(c, "stale_map_retries")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -690,6 +890,65 @@ impl Response {
                 cache_entries: require_u64(&v, "cache_entries")?,
                 cache_age_windows: require_u64(&v, "cache_age_windows")?,
             })),
+            "cluster-map" => {
+                let members = v
+                    .get("members")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtocolError::new("cluster-map response missing members"))?
+                    .iter()
+                    .map(|m| {
+                        m.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ProtocolError::new("bad member name"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let alive = v
+                    .get("alive")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtocolError::new("cluster-map response missing alive"))?
+                    .iter()
+                    .map(|a| {
+                        a.as_bool()
+                            .ok_or_else(|| ProtocolError::new("bad alive flag"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let route = match opt_str(&v, "device") {
+                    None => None,
+                    Some(device) => Some(RouteInfo {
+                        device: device.to_string(),
+                        owner: require_u64(&v, "owner")?,
+                        followers: v
+                            .get("followers")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| ProtocolError::new("route missing followers"))?
+                            .iter()
+                            .map(|f| {
+                                f.as_u64()
+                                    .ok_or_else(|| ProtocolError::new("bad follower index"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    }),
+                };
+                Ok(Response::ClusterMap(ClusterMapResponse {
+                    members,
+                    alive,
+                    self_index: require_u64(&v, "self")?,
+                    route,
+                }))
+            }
+            "replicate" => Ok(Response::Replicated {
+                accepted: v
+                    .get("accepted")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ProtocolError::new("replicate response missing accepted"))?,
+                refetched: v.get("refetched").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "fetch-profile" => Ok(Response::Profile {
+                device: require_str(&v, "device")?.to_string(),
+                method: MethodKind::parse(require_str(&v, "method")?)?,
+                window: require_u64(&v, "window")?,
+                profile: require_str(&v, "profile")?.to_string(),
+            }),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(ProtocolError::new(format!("unknown response op {other:?}"))),
         }
@@ -766,10 +1025,62 @@ mod tests {
             seed: 7,
             expected: Some("11111".into()),
             deadline_ms: Some(250),
+            fwd: false,
         });
         let line = req.to_line();
         assert!(!line.contains('\n'), "wire lines must be newline-free");
         assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn cluster_requests_roundtrip() {
+        let cases = vec![
+            Request::ClusterMap { device: None },
+            Request::ClusterMap {
+                device: Some("ibmqx4".into()),
+            },
+            Request::Characterize(CharacterizeRequest {
+                device: "ibmqx4".into(),
+                method: MethodKind::Awct,
+                shots: 512,
+                fwd: true,
+            }),
+            Request::Replicate(ReplicateRequest {
+                device: "ibmqx4".into(),
+                method: MethodKind::Brute,
+                window: 3,
+                profile: Some("rbms v2\n...\ncrc32 deadbeef\n".into()),
+                journal: None,
+                from: 1,
+            }),
+            Request::Replicate(ReplicateRequest {
+                device: "ibmqx2".into(),
+                method: MethodKind::Esct,
+                window: 0,
+                profile: None,
+                journal: Some("charjournal v2\nunit 00000000 0 00000:12\n".into()),
+                from: 2,
+            }),
+            Request::FetchProfile {
+                device: "ibmqx4".into(),
+                method: MethodKind::Brute,
+                window: 3,
+            },
+        ];
+        for req in cases {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::from_line(&line).unwrap(), req, "{line}");
+        }
+        // The fwd flag is absent from the wire when false, so pre-mesh
+        // parsers never see an unexpected field on ordinary traffic.
+        let plain = Request::Characterize(CharacterizeRequest {
+            device: "x".into(),
+            method: MethodKind::Brute,
+            shots: 0,
+            fwd: false,
+        });
+        assert!(!plain.to_line().contains("fwd"));
     }
 
     #[test]
@@ -888,8 +1199,43 @@ mod tests {
                     write_backpressure_events: 2,
                     shard_depth_peak: 3,
                     queue_steals: 5,
+                    forwards: 4,
+                    replication_writes: 6,
+                    failovers: 1,
+                    heartbeats_missed: 2,
+                    stale_map_retries: 1,
                 },
             }),
+            Response::ClusterMap(ClusterMapResponse {
+                members: vec![
+                    "127.0.0.1:7001".into(),
+                    "127.0.0.1:7002".into(),
+                    "127.0.0.1:7003".into(),
+                ],
+                alive: vec![true, false, true],
+                self_index: 2,
+                route: Some(RouteInfo {
+                    device: "ibmqx4".into(),
+                    owner: 1,
+                    followers: vec![2, 0],
+                }),
+            }),
+            Response::ClusterMap(ClusterMapResponse {
+                members: vec!["127.0.0.1:7001".into()],
+                alive: vec![true],
+                self_index: 0,
+                route: None,
+            }),
+            Response::Replicated {
+                accepted: false,
+                refetched: true,
+            },
+            Response::Profile {
+                device: "ibmqx4".into(),
+                method: MethodKind::Brute,
+                window: 3,
+                profile: "rbms v2\ndevice ibmqx4\ncrc32 0badf00d\n".into(),
+            },
             Response::Health(HealthResponse {
                 degraded: true,
                 queue_depth: 2,

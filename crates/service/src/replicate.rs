@@ -1,0 +1,210 @@
+//! Pushing profile and journal replicas to follower nodes.
+//!
+//! The owning node replicates two artifacts, both as their exact on-disk
+//! text so followers can verify checksums before trusting a byte and the
+//! whole mesh converges on *byte-identical* files:
+//!
+//! * the finished `rbms v2` profile, pushed right after it is persisted
+//!   locally, and
+//! * the `charjournal v2` characterization journal, pushed after every
+//!   checkpoint append — so a follower promoted mid-characterization
+//!   resumes from the owner's last completed unit instead of starting
+//!   over.
+//!
+//! Replication is **best effort and asynchronous to correctness**: a
+//! dropped replica costs a re-characterization on failover, never wrong
+//! data, because every payload is checksummed end-to-end. That is what
+//! keeps this path simple — no acks beyond one response line, no
+//! retries, no queues. The `replicate-send` fault site can drop
+//! (`Error`), bit-flip (`Corrupt`), or delay (`Latency`) any individual
+//! send to prove those properties hold.
+
+use crate::client;
+use crate::cluster::HashRing;
+use crate::membership::Membership;
+use crate::protocol::{MethodKind, ReplicateRequest, Request, Response};
+use invmeas_faults::{Fault, FaultInjector, FaultSite};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the profile cache hands finished artifacts for replication.
+///
+/// The cache calls these synchronously on its characterization path;
+/// implementations must be cheap-ish and must never panic the caller —
+/// all failures are swallowed (best effort, see the module docs).
+pub trait ProfileReplicator: Send + Sync + std::fmt::Debug {
+    /// A profile was just persisted locally as `text` (`rbms v2`).
+    fn replicate_profile(&self, device: &str, method: MethodKind, window: u64, text: &str);
+    /// A journal checkpoint was just appended; `text` is the full
+    /// `charjournal v2` file contents after the append.
+    fn replicate_journal(&self, device: &str, method: MethodKind, window: u64, text: &str);
+}
+
+/// The real mesh replicator: pushes to the device's followers over the
+/// wire protocol.
+pub struct MeshReplicator {
+    members: Vec<String>,
+    self_index: usize,
+    ring: HashRing,
+    replication: usize,
+    membership: Arc<Membership>,
+    faults: Arc<dyn FaultInjector>,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for MeshReplicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeshReplicator")
+            .field("members", &self.members)
+            .field("self_index", &self.self_index)
+            .field("replication", &self.replication)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MeshReplicator {
+    /// Builds a replicator for one node of the mesh.
+    pub fn new(
+        members: Vec<String>,
+        self_index: usize,
+        replication: usize,
+        membership: Arc<Membership>,
+        faults: Arc<dyn FaultInjector>,
+    ) -> MeshReplicator {
+        let ring = HashRing::new(&members);
+        MeshReplicator {
+            members,
+            self_index,
+            ring,
+            replication,
+            membership,
+            faults,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Every mesh node on the device's ladder except this one. When this
+    /// node is the hash-owner that is exactly the follower set; when a
+    /// *promoted follower* finishes a resumed characterization it also
+    /// covers the remaining ladder nodes, which is what re-converges the
+    /// mesh after a failover.
+    fn recipients(&self, device: &str) -> Vec<usize> {
+        self.ring
+            .route(device, self.replication)
+            .ladder()
+            .filter(|m| *m != self.self_index)
+            .collect()
+    }
+
+    /// Sends one replicate request to one member, best effort. Returns
+    /// whether a response came back at all (used only by tests).
+    fn push(&self, member: usize, req: &ReplicateRequest) -> bool {
+        let mut req = req.clone();
+        match self.faults.check(FaultSite::ReplicateSend) {
+            Some(Fault::Error(_)) => return false, // dropped on the wire
+            Some(Fault::Corrupt) => {
+                // The payload arrives bit-flipped; the follower's
+                // checksum verification must catch it.
+                if let Some(p) = req.profile.take() {
+                    req.profile = Some(flip_one_ascii_bit(p));
+                }
+                if let Some(j) = req.journal.take() {
+                    req.journal = Some(flip_one_ascii_bit(j));
+                }
+            }
+            Some(f) => {
+                f.apply_latency();
+            }
+            None => {}
+        }
+        let addr = &self.members[member];
+        let sent = (|| -> Result<Response, client::ClientError> {
+            let mut c = client::Client::connect(addr.as_str())?;
+            c.set_timeout(Some(self.timeout))?;
+            c.request(&Request::Replicate(req))
+        })();
+        match sent {
+            Ok(_) => {
+                self.membership.mark_seen(member);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn replicate(&self, req: &ReplicateRequest) {
+        for member in self.recipients(&req.device) {
+            // Best effort per follower: a failed push is not retried —
+            // the receiver counts `replication_writes` when a replica
+            // actually lands on its disk.
+            self.push(member, req);
+        }
+    }
+}
+
+impl ProfileReplicator for MeshReplicator {
+    fn replicate_profile(&self, device: &str, method: MethodKind, window: u64, text: &str) {
+        self.replicate(&ReplicateRequest {
+            device: device.to_string(),
+            method,
+            window,
+            profile: Some(text.to_string()),
+            journal: None,
+            from: self.self_index as u64,
+        });
+    }
+
+    fn replicate_journal(&self, device: &str, method: MethodKind, window: u64, text: &str) {
+        self.replicate(&ReplicateRequest {
+            device: device.to_string(),
+            method,
+            window,
+            profile: None,
+            journal: Some(text.to_string()),
+            from: self.self_index as u64,
+        });
+    }
+}
+
+/// Flips the low bit of one payload character, deterministically. The
+/// flip lands mid-payload on an ASCII byte, so the result is still a
+/// valid wire string — only the checksum disagrees.
+fn flip_one_ascii_bit(s: String) -> String {
+    let mut bytes = s.into_bytes();
+    let mut i = bytes.len() / 2;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphanumeric() {
+            bytes[i] ^= 0x01; // ASCII in, ASCII out — still valid UTF-8
+            return String::from_utf8(bytes).expect("ascii flip keeps utf-8");
+        }
+        i += 1;
+    }
+    let mut s = String::from_utf8(bytes).expect("unchanged bytes");
+    s.push('!'); // degenerate payload: corrupt by appending instead
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_changes_exactly_one_alphanumeric_byte() {
+        let orig = "rbms v2\ndevice ibmqx4\ncrc32 0badf00d\n".to_string();
+        let flipped = flip_one_ascii_bit(orig.clone());
+        assert_eq!(orig.len(), flipped.len());
+        let diffs: Vec<_> = orig
+            .bytes()
+            .zip(flipped.bytes())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte must differ");
+        assert!(flipped.is_ascii());
+    }
+
+    #[test]
+    fn degenerate_payload_still_corrupts() {
+        assert_ne!(flip_one_ascii_bit("\n\n".into()), "\n\n");
+    }
+}

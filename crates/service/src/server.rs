@@ -50,13 +50,18 @@
 
 use crate::breaker::{BreakerConfig, RetryPolicy};
 use crate::cache::{CacheConfig, CacheError, ProfileCache};
+use crate::client;
+use crate::cluster::{ClusterConfig, HashRing};
 use crate::conn::{Conn, FlushOutcome, ReadOutcome};
+use crate::membership::Membership;
 use crate::poll::{Interest, PollEvent, Poller, Waker};
 use crate::protocol::{
-    CacheOutcome, CharacterizeRequest, CharacterizeResponse, HealthResponse, MethodKind,
-    PolicyKind, Request, Response, StatusResponse, SubmitRequest, SubmitResponse,
+    CacheOutcome, CharacterizeRequest, CharacterizeResponse, ClusterMapResponse, HealthResponse,
+    MethodKind, PolicyKind, ReplicateRequest, Request, Response, RouteInfo, StatusResponse,
+    SubmitRequest, SubmitResponse,
 };
 use crate::queue::{PushError, ShardedQueue};
+use crate::replicate::MeshReplicator;
 use invmeas::{PolicyChoice, Runner};
 use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use qmetrics::{CorrectSet, ReliabilityReport, ServiceCounters};
@@ -125,6 +130,10 @@ pub struct ServerConfig {
     /// Fault injector threaded through workers, characterization, profile
     /// I/O, and execution. Production leaves the [`NoFaults`] default.
     pub faults: Arc<dyn FaultInjector>,
+    /// Profile-mesh clustering (see `DESIGN.md` §16). `None` — the
+    /// default — keeps this node byte-compatible single-node behaviour:
+    /// no heartbeats, no replication, no routing, no new wire traffic.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +160,7 @@ impl Default for ServerConfig {
             breaker_drift_trips: 4,
             breaker_cooldown: 4,
             faults: Arc::new(NoFaults),
+            cluster: None,
         }
     }
 }
@@ -218,7 +228,22 @@ enum JobKind {
     Submit(SubmitRequest),
     Characterize(CharacterizeRequest),
     Sleep { ms: u64 },
+    /// A replica push from a peer — queued (not inline) because a corrupt
+    /// payload triggers a synchronous clean-copy re-fetch over the wire,
+    /// which must not stall the event loop.
+    Replicate(ReplicateRequest),
 }
+
+/// Everything a clustered node knows about the mesh.
+struct ClusterState {
+    config: ClusterConfig,
+    ring: HashRing,
+    membership: Arc<Membership>,
+}
+
+/// How long a node-to-node call (forward, re-fetch) may take before the
+/// caller gives up and falls back to serving locally.
+const PEER_CALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 struct State {
     config: ServerConfig,
@@ -232,6 +257,7 @@ struct State {
     /// Connection ids for the threaded front end (shard hashing); the
     /// event loop uses poller tokens instead.
     conn_ids: AtomicU64,
+    cluster: Option<ClusterState>,
 }
 
 /// A bound, not-yet-serving mitigation server.
@@ -263,7 +289,28 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let counters = Arc::new(ServiceCounters::new());
         let faults = Arc::clone(&config.faults);
-        let cache = ProfileCache::new(CacheConfig {
+        let cluster = match config.cluster.as_ref() {
+            None => None,
+            Some(cl) => {
+                if config.profile_dir.is_none() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "clustering requires a profile directory \
+                         (replication payloads are the persisted profile text)",
+                    ));
+                }
+                Some(ClusterState {
+                    config: cl.clone(),
+                    ring: HashRing::new(&cl.members),
+                    membership: Arc::new(Membership::new(
+                        cl.members.len(),
+                        cl.self_index,
+                        cl.heartbeat_miss_limit,
+                    )),
+                })
+            }
+        };
+        let mut cache = ProfileCache::new(CacheConfig {
             profile_seed: config.profile_seed,
             drift_threshold: config.drift_threshold,
             exec_threads: config.exec_threads,
@@ -280,6 +327,15 @@ impl Server {
             drift_trip_threshold: config.breaker_drift_trips,
             cooldown: config.breaker_cooldown,
         });
+        if let Some(cl) = cluster.as_ref() {
+            cache = cache.with_replicator(Arc::new(MeshReplicator::new(
+                cl.config.members.clone(),
+                cl.config.self_index,
+                cl.config.effective_replication(),
+                Arc::clone(&cl.membership),
+                Arc::clone(&faults),
+            )));
+        }
         let queue = ShardedQueue::new(config.queue_capacity, config.effective_shards());
         Ok(Server {
             listener,
@@ -293,6 +349,7 @@ impl Server {
                 local_addr,
                 faults,
                 conn_ids: AtomicU64::new(1),
+                cluster,
             }),
         })
     }
@@ -319,6 +376,14 @@ impl Server {
             })
             .collect();
 
+        let heartbeat = self.state.cluster.is_some().then(|| {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("invmeas-heartbeat".into())
+                .spawn(move || heartbeat_loop(&state))
+                .expect("spawn heartbeat")
+        });
+
         let served = if self.state.config.event_loop {
             serve_event_loop(&self.listener, &self.state)
         } else {
@@ -331,6 +396,9 @@ impl Server {
         self.state.queue.close();
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(h) = heartbeat {
+            let _ = h.join();
         }
         served?;
         self.state
@@ -444,6 +512,12 @@ fn handle_request(state: &State, request: Request, conn_id: u64) -> Response {
         Request::Status => status_response(state),
         Request::Health => health_response(state),
         Request::SetWindow { window } => set_window_response(state, window),
+        Request::ClusterMap { device } => cluster_map_response(state, device.as_deref()),
+        Request::FetchProfile {
+            device,
+            method,
+            window,
+        } => fetch_profile_response(state, &device, method, window),
         Request::Submit(r) => {
             let deadline = r.deadline_ms.map(Duration::from_millis);
             enqueue_and_wait(state, JobKind::Submit(r), deadline, conn_id)
@@ -451,6 +525,7 @@ fn handle_request(state: &State, request: Request, conn_id: u64) -> Response {
         Request::Characterize(r) => {
             enqueue_and_wait(state, JobKind::Characterize(r), None, conn_id)
         }
+        Request::Replicate(r) => enqueue_and_wait(state, JobKind::Replicate(r), None, conn_id),
         Request::Sleep { ms } => enqueue_and_wait(state, JobKind::Sleep { ms }, None, conn_id),
         Request::Shutdown => unreachable!("handled by the connection loop"),
     }
@@ -527,6 +602,257 @@ fn health_response(state: &State) -> Response {
 fn set_window_response(state: &State, window: u64) -> Response {
     state.window.store(window, Ordering::SeqCst);
     Response::Window { window }
+}
+
+// ---------------------------------------------------------------------------
+// Profile mesh (see DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+fn cluster_map_response(state: &State, device: Option<&str>) -> Response {
+    let Some(cl) = state.cluster.as_ref() else {
+        return Response::bad_request("this server is not clustered");
+    };
+    let route = device.map(|d| {
+        let r = cl.ring.route(d, cl.config.effective_replication());
+        RouteInfo {
+            device: d.to_string(),
+            owner: r.owner as u64,
+            followers: r.followers.iter().map(|f| *f as u64).collect(),
+        }
+    });
+    Response::ClusterMap(ClusterMapResponse {
+        members: cl.config.members.clone(),
+        alive: cl.membership.snapshot(),
+        self_index: cl.config.self_index as u64,
+        route,
+    })
+}
+
+fn fetch_profile_response(state: &State, device: &str, method: MethodKind, window: u64) -> Response {
+    match state.cache.read_profile_text(device, method, window) {
+        Some(profile) => Response::Profile {
+            device: device.to_string(),
+            method,
+            window,
+            profile,
+        },
+        None => Response::Error {
+            code: 404,
+            message: format!(
+                "no persisted profile for {device:?} {} w{window}",
+                method.as_str()
+            ),
+        },
+    }
+}
+
+fn execute_replicate(state: &State, r: &ReplicateRequest) -> Response {
+    let Some(cl) = state.cluster.as_ref() else {
+        return Response::bad_request("this server is not clustered");
+    };
+    let from = r.from as usize;
+    if from < cl.config.members.len() {
+        // A replica is proof of life for its sender.
+        cl.membership.mark_seen(from);
+    }
+    let mut accepted = true;
+    let mut refetched = false;
+    if let Some(journal) = &r.journal {
+        // A journal replica that fails verification is just dropped:
+        // the next checkpoint ships the whole file again, so the stream
+        // self-heals without a re-fetch.
+        if state
+            .cache
+            .install_replica_journal(&r.device, r.method, r.window, journal)
+            .is_err()
+        {
+            accepted = false;
+        }
+    }
+    if let Some(profile) = &r.profile {
+        match state
+            .cache
+            .install_replica_profile(&r.device, r.method, r.window, profile)
+        {
+            Ok(()) => {}
+            Err(_) => {
+                // Checksum (or I/O) rejection. Nothing local is suspect —
+                // the wire copy failed — so nothing is quarantined; pull
+                // a clean copy from the sender instead.
+                accepted = false;
+                if from < cl.config.members.len() && from != cl.config.self_index {
+                    if let Some(text) =
+                        fetch_profile_from(cl, from, &r.device, r.method, r.window)
+                    {
+                        refetched = state
+                            .cache
+                            .install_replica_profile(&r.device, r.method, r.window, &text)
+                            .is_ok();
+                    }
+                }
+            }
+        }
+    }
+    Response::Replicated {
+        accepted,
+        refetched,
+    }
+}
+
+/// Pulls the persisted profile text from a peer, best effort.
+fn fetch_profile_from(
+    cl: &ClusterState,
+    member: usize,
+    device: &str,
+    method: MethodKind,
+    window: u64,
+) -> Option<String> {
+    let response = peer_call(
+        &cl.config.members[member],
+        &Request::FetchProfile {
+            device: device.to_string(),
+            method,
+            window,
+        },
+    )
+    .ok()?;
+    match response {
+        Response::Profile { profile, .. } => Some(profile),
+        _ => None,
+    }
+}
+
+/// One bounded node-to-node call.
+fn peer_call(addr: &str, request: &Request) -> Result<Response, client::ClientError> {
+    let mut c = client::Client::connect(addr)?;
+    c.set_timeout(Some(PEER_CALL_TIMEOUT))?;
+    c.request(request)
+}
+
+/// Where a profile-needing request for `device` should run.
+enum RouteDecision {
+    /// Serve from this node's cache/disk; `failover` marks a serve this
+    /// node is only doing because the nodes ahead of it on the ladder
+    /// are dead.
+    Local { failover: bool },
+    /// Forward to this member, who is alive and ahead on the ladder.
+    Forward(usize),
+}
+
+/// Routing policy: the hash-owner serves; everyone else forwards to the
+/// first *alive* node on the device's ladder (owner, then followers in
+/// ring order); a node that finds itself first on that ladder promotes
+/// and serves from its replicas. Forwarded requests (`fwd`) always serve
+/// locally — one hop maximum, loops impossible.
+fn route_request(state: &State, device: &str, fwd: bool) -> RouteDecision {
+    let Some(cl) = state.cluster.as_ref() else {
+        return RouteDecision::Local { failover: false };
+    };
+    if fwd {
+        return RouteDecision::Local { failover: false };
+    }
+    let route = cl.ring.route(device, cl.config.effective_replication());
+    let me = cl.config.self_index;
+    if route.owner == me {
+        return RouteDecision::Local { failover: false };
+    }
+    match cl.membership.first_alive(route.ladder()) {
+        Some(m) if m == me => RouteDecision::Local { failover: true },
+        Some(m) => {
+            if !route.involves(me) {
+                // A client with a current map would have sent this to the
+                // ladder directly; its map (or its guess) was stale.
+                state.counters.inc_stale_map_retry();
+            }
+            RouteDecision::Forward(m)
+        }
+        // The entire ladder looks dead, yet the request reached us:
+        // serving from whatever we have beats refusing.
+        None => RouteDecision::Local { failover: true },
+    }
+}
+
+/// Whether a forwarded request's answer means the target could not serve
+/// it (dead worker, open breaker with no last-good, drain) — in which
+/// case the forwarder falls back to its own replicas.
+fn is_unserved(response: &Response) -> bool {
+    matches!(
+        response,
+        Response::Error {
+            code: 500 | 503 | 504,
+            ..
+        }
+    )
+}
+
+/// Forwards a routed request to `member`; on transport failure or an
+/// unserved answer, promotes locally via `local` (counted as a failover:
+/// the mesh served degraded data rather than failing the client).
+fn forward_or_failover(
+    state: &State,
+    member: usize,
+    request: Request,
+    local: impl FnOnce() -> Response,
+) -> Response {
+    let cl = state.cluster.as_ref().expect("routed without a cluster");
+    match peer_call(&cl.config.members[member], &request) {
+        Ok(response) if !is_unserved(&response) => {
+            state.counters.inc_forward();
+            response
+        }
+        _ => {
+            state.counters.inc_failover();
+            local()
+        }
+    }
+}
+
+/// Peer liveness: probes every peer each interval with an inline
+/// `health` request. The `heartbeat` fault site can drop a probe
+/// (`Error`) — a deterministic one-sided partition — or delay it.
+fn heartbeat_loop(state: &State) {
+    let cl = state.cluster.as_ref().expect("heartbeat without a cluster");
+    let interval = Duration::from_millis(cl.config.heartbeat_ms.max(10));
+    while !state.draining.load(Ordering::SeqCst) {
+        for peer in 0..cl.config.members.len() {
+            if peer == cl.config.self_index || state.draining.load(Ordering::SeqCst) {
+                continue;
+            }
+            let dropped = match state.faults.check(FaultSite::Heartbeat) {
+                Some(Fault::Error(_)) => true,
+                Some(f) => {
+                    f.apply_latency();
+                    false
+                }
+                None => false,
+            };
+            let answered = !dropped
+                && matches!(
+                    probe_health(&cl.config.members[peer], interval),
+                    Some(Response::Health(_))
+                );
+            if answered {
+                cl.membership.mark_seen(peer);
+            } else {
+                state.counters.inc_heartbeat_missed();
+                cl.membership.mark_missed(peer);
+            }
+        }
+        // Sleep in small slices so a drain is noticed promptly.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !state.draining.load(Ordering::SeqCst) {
+            let chunk = (interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(chunk);
+            slept += chunk;
+        }
+    }
+}
+
+fn probe_health(addr: &str, interval: Duration) -> Option<Response> {
+    let mut c = client::Client::connect(addr).ok()?;
+    c.set_timeout(Some(interval.max(Duration::from_millis(250))))
+        .ok()?;
+    c.request(&Request::Health).ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -713,6 +1039,14 @@ impl EventLoop<'_> {
             Ok(Request::Status) => Some(status_response(state)),
             Ok(Request::Health) => Some(health_response(state)),
             Ok(Request::SetWindow { window }) => Some(set_window_response(state, window)),
+            Ok(Request::ClusterMap { device }) => {
+                Some(cluster_map_response(state, device.as_deref()))
+            }
+            Ok(Request::FetchProfile {
+                device,
+                method,
+                window,
+            }) => Some(fetch_profile_response(state, &device, method, window)),
             Ok(Request::Submit(r)) => {
                 let deadline = r.deadline_ms.map(Duration::from_millis);
                 self.dispatch(conn, seq, JobKind::Submit(r), deadline)
@@ -720,6 +1054,7 @@ impl EventLoop<'_> {
             Ok(Request::Characterize(r)) => {
                 self.dispatch(conn, seq, JobKind::Characterize(r), None)
             }
+            Ok(Request::Replicate(r)) => self.dispatch(conn, seq, JobKind::Replicate(r), None),
             Ok(Request::Sleep { ms }) => self.dispatch(conn, seq, JobKind::Sleep { ms }, None),
         };
         if let Some(response) = inline {
@@ -957,10 +1292,29 @@ fn execute_job(state: &State, kind: &JobKind) -> Response {
         }
         JobKind::Characterize(r) => execute_characterize(state, r),
         JobKind::Submit(r) => execute_submit(state, r),
+        JobKind::Replicate(r) => execute_replicate(state, r),
     }
 }
 
 fn execute_characterize(state: &State, r: &CharacterizeRequest) -> Response {
+    match route_request(state, &r.device, r.fwd) {
+        RouteDecision::Forward(member) => {
+            let mut forwarded = r.clone();
+            forwarded.fwd = true;
+            forward_or_failover(state, member, Request::Characterize(forwarded), || {
+                characterize_local(state, r)
+            })
+        }
+        RouteDecision::Local { failover } => {
+            if failover {
+                state.counters.inc_failover();
+            }
+            characterize_local(state, r)
+        }
+    }
+}
+
+fn characterize_local(state: &State, r: &CharacterizeRequest) -> Response {
     let window = state.window.load(Ordering::SeqCst);
     let Some(snapshot) = snapshot_device(state, &r.device, window) else {
         return Response::bad_request(format!("unknown device {:?}", r.device));
@@ -994,6 +1348,28 @@ fn execute_characterize(state: &State, r: &CharacterizeRequest) -> Response {
 }
 
 fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
+    // Only AIM consults a profile, so only AIM routes; baseline and SIM
+    // jobs run wherever they land, clustered or not.
+    if r.policy == PolicyKind::Aim {
+        match route_request(state, &r.device, r.fwd) {
+            RouteDecision::Forward(member) => {
+                let mut forwarded = r.clone();
+                forwarded.fwd = true;
+                return forward_or_failover(state, member, Request::Submit(forwarded), || {
+                    submit_local(state, r)
+                });
+            }
+            RouteDecision::Local { failover } => {
+                if failover {
+                    state.counters.inc_failover();
+                }
+            }
+        }
+    }
+    submit_local(state, r)
+}
+
+fn submit_local(state: &State, r: &SubmitRequest) -> Response {
     if r.shots == 0 {
         return Response::bad_request("shots must be positive");
     }

@@ -64,6 +64,7 @@ fn submit_req(deadline_ms: Option<u64>) -> Request {
         seed: 7,
         expected: None,
         deadline_ms,
+        fwd: false,
     })
 }
 
@@ -72,6 +73,7 @@ fn characterize_req() -> Request {
         device: "ibmqx4".into(),
         method: MethodKind::Brute,
         shots: 64,
+        fwd: false,
     })
 }
 

@@ -39,6 +39,7 @@ fn submit_req(seed: u64, deadline_ms: Option<u64>) -> Request {
         seed,
         expected: Some("11111".into()),
         deadline_ms,
+        fwd: false,
     })
 }
 

@@ -46,6 +46,7 @@ fn deterministic_lines() -> Vec<String> {
             seed: 1,
             expected: None,
             deadline_ms: None,
+            fwd: false,
         })
         .to_line(),
         Request::Submit(SubmitRequest {
@@ -56,6 +57,7 @@ fn deterministic_lines() -> Vec<String> {
             seed: 1,
             expected: None,
             deadline_ms: None,
+            fwd: false,
         })
         .to_line(),
     ]

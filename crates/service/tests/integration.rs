@@ -43,6 +43,7 @@ fn submit_req(seed: u64) -> Request {
         seed,
         expected: Some("11111".into()),
         deadline_ms: None,
+        fwd: false,
     })
 }
 
@@ -103,6 +104,7 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
         device: "ibmqx4".into(),
         method: MethodKind::Brute,
         shots: 0, // server default = profile_shots, same cache key
+        fwd: false,
     });
     match call(addr, &char_req).expect("characterize") {
         Response::Characterize(r) => {
@@ -260,6 +262,7 @@ fn protocol_errors_over_the_wire() {
         seed: 1,
         expected: None,
         deadline_ms: None,
+        fwd: false,
     });
     match client.request(&bad_device).expect("response") {
         Response::Error { code, message } => {
@@ -276,6 +279,7 @@ fn protocol_errors_over_the_wire() {
         seed: 1,
         expected: None,
         deadline_ms: None,
+        fwd: false,
     });
     match client.request(&bad_qasm).expect("response") {
         Response::Error { code, message } => {
