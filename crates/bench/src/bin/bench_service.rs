@@ -399,7 +399,7 @@ fn degraded_phase(opts: &Opts) -> Result<DegradedPhase, String> {
     }
     // Invalidate it, then let the scripted failures trip the breaker.
     client
-        .request(&Request::SetWindow { window: 1 })
+        .request(&Request::SetWindow { window: 1, fwd: false })
         .map_err(|e| format!("set-window: {e}"))?;
     let mut trip_errors = 0;
     loop {

@@ -299,7 +299,7 @@ fn svc(a: &SvcArgs) -> Result<String, CliError> {
         // codes; `execute` callers get the plain response line.
         args::SvcOp::Health => Request::Health,
         args::SvcOp::Shutdown => Request::Shutdown,
-        args::SvcOp::SetWindow { window } => Request::SetWindow { window: *window },
+        args::SvcOp::SetWindow { window } => Request::SetWindow { window: *window, fwd: false },
         args::SvcOp::Characterize {
             device,
             method,

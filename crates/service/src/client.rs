@@ -1,12 +1,17 @@
 //! A blocking line-protocol client, used by `invmeas submit` and tests.
 //!
 //! Hardening (see `DESIGN.md` §12): every connection carries a default
-//! read/write timeout so a hung server cannot wedge the caller forever,
-//! and [`Client::request`] transparently reconnects **once** when the
+//! read/write timeout so a hung server cannot wedge the caller forever —
+//! and the same bound applies to the TCP **connect** itself, because a
+//! partitioned host (no RST coming back) would otherwise block the
+//! caller for the OS SYN-retry window (~2 minutes on Linux). And
+//! [`Client::request`] transparently reconnects **once** when the
 //! server dropped the connection between requests — but only retries
-//! *idempotent* requests (`status`, `health`, `characterize`). A `submit`
-//! that dies mid-flight is never resent: the job may already be running,
-//! and replaying it would double-spend shots.
+//! *idempotent* requests (`status`, `health`, `characterize`, and the
+//! mesh's `replicate`/`fetch-profile`, which install or read checksummed
+//! bytes and are safe to repeat). A `submit` that dies mid-flight is
+//! never resent: the job may already be running, and replaying it would
+//! double-spend shots.
 //!
 //! The client reuses one response-line buffer across requests (no
 //! per-response allocation on the hot path) and can pipeline: send K
@@ -84,12 +89,18 @@ fn is_disconnect(e: &ClientError) -> bool {
 }
 
 /// Whether resending `request` after a reconnect is safe. Reads and cache
-/// lookups are; `submit`/`sleep` (work) and `set-window`/`shutdown`
-/// (state changes we cannot confirm were applied) are not.
+/// lookups are, as are replica installs and profile fetches (the same
+/// checksummed bytes land twice, harmlessly); `submit`/`sleep` (work) and
+/// `set-window`/`shutdown` (state changes we cannot confirm were applied)
+/// are not.
 fn is_idempotent(request: &Request) -> bool {
     matches!(
         request,
-        Request::Status | Request::Health | Request::Characterize(_)
+        Request::Status
+            | Request::Health
+            | Request::Characterize(_)
+            | Request::Replicate(_)
+            | Request::FetchProfile { .. }
     )
 }
 
@@ -118,17 +129,32 @@ impl Client {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connects to `addr` with `timeout` bounding the TCP connect *and*
+    /// every read/write. This is what node-to-node mesh calls use: a
+    /// partitioned peer costs at most `timeout`, never the OS SYN-retry
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including a connect timeout).
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
         let peer = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
-        let stream = open(peer, Some(DEFAULT_TIMEOUT))?;
+        let stream = open(peer, Some(timeout))?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             peer,
             seeds: vec![peer],
-            timeout: Some(DEFAULT_TIMEOUT),
+            timeout: Some(timeout),
             line: String::new(),
         })
     }
@@ -242,6 +268,35 @@ impl Client {
         Response::from_line(self.line.trim_end()).map_err(ClientError::Protocol)
     }
 
+    /// Like [`Client::recv`], but a read *timeout* leaves any partially
+    /// received bytes buffered so a later call resumes assembling the
+    /// same line. This is the slice-polling receive the mesh uses to wait
+    /// on a long-running forwarded job: the caller loops on timeouts
+    /// (checking liveness between slices) without corrupting a response
+    /// that happened to arrive split across a slice boundary.
+    ///
+    /// Do not interleave with [`Client::recv`]/[`Client::request`] after
+    /// a timeout: only this method knows the line buffer may hold a
+    /// partial frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (including timeouts, which are retryable here), an
+    /// early close, or an unparseable response line.
+    pub fn recv_resumable(&mut self) -> Result<Response, ClientError> {
+        // No clear on entry: `read_line` appends, so bytes banked by a
+        // timed-out previous call stay and the line completes across
+        // calls. (`BufRead::read_line` keeps already-read valid UTF-8 in
+        // the buffer when the underlying read errors.)
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        let response = Response::from_line(self.line.trim_end()).map_err(ClientError::Protocol);
+        self.line.clear();
+        response
+    }
+
     /// Sends every request before reading any response — one round trip
     /// for the whole batch instead of one per request. Responses come
     /// back in request order. No reconnect-retry applies: after a
@@ -351,7 +406,14 @@ impl ClientReader {
 }
 
 fn open(peer: SocketAddr, timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
-    let stream = TcpStream::connect(peer)?;
+    // The timeout bounds the connect too: a plain `TcpStream::connect`
+    // against a partitioned host (packets silently dropped, no RST) blocks
+    // for the OS SYN-retry window — minutes — which is exactly the hang
+    // the read/write timeouts exist to prevent.
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&peer, t)?,
+        None => TcpStream::connect(peer)?,
+    };
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;

@@ -188,9 +188,15 @@ pub enum Request {
     /// Report queue, cache, and counter state.
     Status,
     /// Set the current calibration-window index (cache invalidation hook).
+    /// On a clustered node the new window is broadcast to every member,
+    /// so routed requests execute under the same window everywhere.
     SetWindow {
         /// The new window index.
         window: u64,
+        /// True when a cluster peer already broadcast this change here:
+        /// apply locally, do not re-broadcast (loop protection, exactly
+        /// like [`SubmitRequest::fwd`]). Absent on the wire when false.
+        fwd: bool,
     },
     /// Occupy a worker for `ms` milliseconds — a backpressure/testing aid.
     Sleep {
@@ -303,9 +309,12 @@ impl Request {
                 pairs.push(("window", Json::int(*window)));
             }
             Request::Status => pairs.push(("op", Json::str("status"))),
-            Request::SetWindow { window } => {
+            Request::SetWindow { window, fwd } => {
                 pairs.push(("op", Json::str("set-window")));
                 pairs.push(("window", Json::int(*window)));
+                if *fwd {
+                    pairs.push(("fwd", Json::Bool(true)));
+                }
             }
             Request::Sleep { ms } => {
                 pairs.push(("op", Json::str("sleep")));
@@ -365,6 +374,7 @@ impl Request {
             "set-window" => Ok(Request::SetWindow {
                 window: opt_u64(&v, "window")?
                     .ok_or_else(|| ProtocolError::new("set-window needs a window index"))?,
+                fwd: v.get("fwd").and_then(Json::as_bool).unwrap_or(false),
             }),
             "sleep" => Ok(Request::Sleep {
                 ms: opt_u64(&v, "ms")?
@@ -1066,6 +1076,10 @@ mod tests {
                 method: MethodKind::Brute,
                 window: 3,
             },
+            Request::SetWindow {
+                window: 4,
+                fwd: true,
+            },
         ];
         for req in cases {
             let line = req.to_line();
@@ -1081,6 +1095,11 @@ mod tests {
             fwd: false,
         });
         assert!(!plain.to_line().contains("fwd"));
+        let plain_window = Request::SetWindow {
+            window: 4,
+            fwd: false,
+        };
+        assert!(!plain_window.to_line().contains("fwd"));
     }
 
     #[test]

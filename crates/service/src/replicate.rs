@@ -22,9 +22,9 @@
 use crate::client;
 use crate::cluster::HashRing;
 use crate::membership::Membership;
-use crate::protocol::{MethodKind, ReplicateRequest, Request, Response};
+use crate::protocol::{MethodKind, ReplicateRequest, Request};
 use invmeas_faults::{Fault, FaultInjector, FaultSite};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Where the profile cache hands finished artifacts for replication.
@@ -42,6 +42,15 @@ pub trait ProfileReplicator: Send + Sync + std::fmt::Debug {
 
 /// The real mesh replicator: pushes to the device's followers over the
 /// wire protocol.
+///
+/// Because the journal hook fires on the characterization critical path
+/// (per checkpoint, under the per-key slot lock), the per-push cost is
+/// kept bounded and small: connections to each follower are opened once
+/// and reused across pushes (re-dialled, with a connect timeout, only
+/// when the cached one has gone stale — e.g. the follower restarted or
+/// idle-reaped it), and followers the membership view already considers
+/// dead are skipped outright instead of paying a failed-connect penalty
+/// on every checkpoint.
 pub struct MeshReplicator {
     members: Vec<String>,
     self_index: usize,
@@ -50,6 +59,10 @@ pub struct MeshReplicator {
     membership: Arc<Membership>,
     faults: Arc<dyn FaultInjector>,
     timeout: Duration,
+    /// One cached connection per member, locked independently so pushes
+    /// for different devices (different characterizations) never contend
+    /// on one global lock.
+    conns: Vec<Mutex<Option<client::Client>>>,
 }
 
 impl std::fmt::Debug for MeshReplicator {
@@ -72,6 +85,7 @@ impl MeshReplicator {
         faults: Arc<dyn FaultInjector>,
     ) -> MeshReplicator {
         let ring = HashRing::new(&members);
+        let conns = members.iter().map(|_| Mutex::new(None)).collect();
         MeshReplicator {
             members,
             self_index,
@@ -80,6 +94,7 @@ impl MeshReplicator {
             membership,
             faults,
             timeout: Duration::from_secs(5),
+            conns,
         }
     }
 
@@ -96,8 +111,11 @@ impl MeshReplicator {
             .collect()
     }
 
-    /// Sends one replicate request to one member, best effort. Returns
-    /// whether a response came back at all (used only by tests).
+    /// Sends one replicate request to one member, best effort, over the
+    /// member's cached connection (dialling a fresh one — connect
+    /// bounded by the push timeout — when none is cached or the cached
+    /// one has gone stale). Returns whether a response came back at all
+    /// (used only by tests).
     fn push(&self, member: usize, req: &ReplicateRequest) -> bool {
         let mut req = req.clone();
         match self.faults.check(FaultSite::ReplicateSend) {
@@ -117,14 +135,29 @@ impl MeshReplicator {
             }
             None => {}
         }
+        let request = Request::Replicate(req);
+        let mut slot = self.conns[member]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Warm path: the cached connection. `replicate` is idempotent, so
+        // `Client::request` transparently redials once if the follower
+        // dropped the idle connection (restart, idle reap) in between.
+        if let Some(c) = slot.as_mut() {
+            if c.request(&request).is_ok() {
+                self.membership.mark_seen(member);
+                return true;
+            }
+            *slot = None; // stale beyond repair: fall through to a fresh dial
+        }
         let addr = &self.members[member];
-        let sent = (|| -> Result<Response, client::ClientError> {
-            let mut c = client::Client::connect(addr.as_str())?;
-            c.set_timeout(Some(self.timeout))?;
-            c.request(&Request::Replicate(req))
+        let dialled = (|| -> Result<client::Client, client::ClientError> {
+            let mut c = client::Client::connect_timeout(addr.as_str(), self.timeout)?;
+            c.request(&request)?;
+            Ok(c)
         })();
-        match sent {
-            Ok(_) => {
+        match dialled {
+            Ok(c) => {
+                *slot = Some(c);
                 self.membership.mark_seen(member);
                 true
             }
@@ -134,6 +167,15 @@ impl MeshReplicator {
 
     fn replicate(&self, req: &ReplicateRequest) {
         for member in self.recipients(&req.device) {
+            // A member the heartbeat view already declared dead is
+            // skipped outright: this path runs per journal checkpoint
+            // inside the characterization, and paying a connect timeout
+            // per checkpoint for a corpse would stall the owner's own
+            // progress. The member self-heals on resurrection — the next
+            // checkpoint (or the finished profile) re-ships in full.
+            if !self.membership.is_alive(member) {
+                continue;
+            }
             // Best effort per follower: a failed push is not retried —
             // the receiver counts `replication_writes` when a replica
             // actually lands on its disk.

@@ -15,7 +15,8 @@
 //!
 //! In both, cheap requests (`status`, `health`, `set-window`, `shutdown`)
 //! are answered inline while expensive ones (`submit`, `characterize`,
-//! `sleep`) become jobs on the sharded run queue
+//! `sleep`, and — on clustered nodes, where it broadcasts to the mesh —
+//! `set-window`) become jobs on the sharded run queue
 //! ([`crate::queue::ShardedQueue`], hashed by connection, drained with
 //! work stealing). The queue is the only buffer: when it is full the
 //! request is answered `503 busy` immediately instead of queueing
@@ -232,6 +233,11 @@ enum JobKind {
     /// payload triggers a synchronous clean-copy re-fetch over the wire,
     /// which must not stall the event loop.
     Replicate(ReplicateRequest),
+    /// A client's window change on a *clustered* node — queued (not
+    /// inline) because it broadcasts to every peer before answering,
+    /// which must not stall the event loop. Single-node servers (and
+    /// peer-broadcast deliveries) still answer inline.
+    SetWindow { window: u64 },
 }
 
 /// Everything a clustered node knows about the mesh.
@@ -241,9 +247,25 @@ struct ClusterState {
     membership: Arc<Membership>,
 }
 
-/// How long a node-to-node call (forward, re-fetch) may take before the
-/// caller gives up and falls back to serving locally.
+/// How long a node-to-node *control* call (re-fetch, set-window
+/// broadcast) may take — connect included — before the caller gives up.
+/// This also bounds the TCP connect of a forwarded work request: a
+/// reachable peer accepts in milliseconds, so anything slower is treated
+/// as dead rather than left to the OS SYN-retry window (~2 min).
 const PEER_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Upper bound on how long a forwarder waits for a *forwarded work
+/// request* (characterize, AIM submit) to finish on its owner. Work
+/// forwards must not use [`PEER_CALL_TIMEOUT`]: a characterization at
+/// production shot counts legitimately runs far longer than any
+/// transport timeout, and giving up on a slow-but-healthy owner would
+/// duplicate the whole job locally — breaking the cluster-wide
+/// single-flight invariant. A dead owner is still detected promptly:
+/// its socket answers EOF/RST the moment it dies, and a *partitioned*
+/// owner (no RST) is abandoned as soon as this node's membership view
+/// declares it dead (the wait polls in heartbeat-interval slices). This
+/// bound only backstops a peer that is alive, reachable, and wedged.
+const FORWARD_WORK_TIMEOUT: Duration = Duration::from_secs(600);
 
 struct State {
     config: ServerConfig,
@@ -511,7 +533,13 @@ fn handle_request(state: &State, request: Request, conn_id: u64) -> Response {
     match request {
         Request::Status => status_response(state),
         Request::Health => health_response(state),
-        Request::SetWindow { window } => set_window_response(state, window),
+        Request::SetWindow { window, fwd } => {
+            if !fwd && state.cluster.is_some() {
+                enqueue_and_wait(state, JobKind::SetWindow { window }, None, conn_id)
+            } else {
+                set_window_response(state, window)
+            }
+        }
         Request::ClusterMap { device } => cluster_map_response(state, device.as_deref()),
         Request::FetchProfile {
             device,
@@ -602,6 +630,34 @@ fn health_response(state: &State) -> Response {
 fn set_window_response(state: &State, window: u64) -> Response {
     state.window.store(window, Ordering::SeqCst);
     Response::Window { window }
+}
+
+/// Applies a window change on a clustered node: locally first, then
+/// broadcast to every *alive* peer (marked `fwd` so nobody re-broadcasts)
+/// before the client sees the acknowledgement. Without the broadcast the
+/// mesh diverges silently: forwarded submits/characterizes execute under
+/// the *owner's* window, so a client that set the window on its seed node
+/// and then submitted a routed device would get results for the old
+/// window with no error. Best effort per peer — a peer that is dead (or
+/// unreachable within [`PEER_CALL_TIMEOUT`]) is skipped and will serve
+/// its stale window until the next broadcast reaches it; operators drive
+/// `set-window` once per calibration window, so the divergence window is
+/// one calibration cycle at worst, and `cluster-map` exposes liveness to
+/// make the skip observable.
+fn execute_set_window(state: &State, window: u64) -> Response {
+    let response = set_window_response(state, window);
+    if let Some(cl) = state.cluster.as_ref() {
+        for peer in 0..cl.config.members.len() {
+            if peer == cl.config.self_index || !cl.membership.is_alive(peer) {
+                continue;
+            }
+            let _ = peer_call(
+                &cl.config.members[peer],
+                &Request::SetWindow { window, fwd: true },
+            );
+        }
+    }
+    response
 }
 
 // ---------------------------------------------------------------------------
@@ -722,11 +778,44 @@ fn fetch_profile_from(
     }
 }
 
-/// One bounded node-to-node call.
+/// One bounded node-to-node control call: connect, send, and receive all
+/// complete within [`PEER_CALL_TIMEOUT`] (a partitioned peer costs one
+/// timeout, never a worker pinned for minutes).
 fn peer_call(addr: &str, request: &Request) -> Result<Response, client::ClientError> {
-    let mut c = client::Client::connect(addr)?;
-    c.set_timeout(Some(PEER_CALL_TIMEOUT))?;
+    let mut c = client::Client::connect_timeout(addr, PEER_CALL_TIMEOUT)?;
     c.request(request)
+}
+
+/// One forwarded *work* call: the connect is bounded tightly (a live
+/// peer accepts instantly), but the response wait is generous — polled
+/// in heartbeat-interval slices so the wait aborts the moment this
+/// node's membership view declares the peer dead, and capped by
+/// [`FORWARD_WORK_TIMEOUT`] against a wedged-but-alive peer.
+fn forward_call(
+    cl: &ClusterState,
+    member: usize,
+    request: &Request,
+) -> Result<Response, client::ClientError> {
+    let mut c = client::Client::connect_timeout(
+        cl.config.members[member].as_str(),
+        PEER_CALL_TIMEOUT,
+    )?;
+    c.send(request)?;
+    let slice = Duration::from_millis(cl.config.heartbeat_ms.max(10)).max(Duration::from_millis(250));
+    c.set_timeout(Some(slice))?;
+    let started = Instant::now();
+    loop {
+        match c.recv_resumable() {
+            Err(client::ClientError::Io(e)) if is_timeout(&e) => {
+                if !cl.membership.is_alive(member) || started.elapsed() >= FORWARD_WORK_TIMEOUT {
+                    return Err(client::ClientError::Io(e));
+                }
+                // Peer still alive by heartbeat: the job is just slow.
+                // Keep waiting — failing over now would run it twice.
+            }
+            other => return other,
+        }
+    }
 }
 
 /// Where a profile-needing request for `device` should run.
@@ -774,12 +863,16 @@ fn route_request(state: &State, device: &str, fwd: bool) -> RouteDecision {
 
 /// Whether a forwarded request's answer means the target could not serve
 /// it (dead worker, open breaker with no last-good, drain) — in which
-/// case the forwarder falls back to its own replicas.
+/// case the forwarder falls back to its own replicas. A `504` is *not*
+/// unserved: it is the owner deliberately honouring the client's
+/// queue-time deadline, and must reach the client unchanged — serving
+/// the job locally after the deadline already passed would hand the
+/// client a late success it explicitly asked not to receive.
 fn is_unserved(response: &Response) -> bool {
     matches!(
         response,
         Response::Error {
-            code: 500 | 503 | 504,
+            code: 500 | 503,
             ..
         }
     )
@@ -795,7 +888,7 @@ fn forward_or_failover(
     local: impl FnOnce() -> Response,
 ) -> Response {
     let cl = state.cluster.as_ref().expect("routed without a cluster");
-    match peer_call(&cl.config.members[member], &request) {
+    match forward_call(cl, member, &request) {
         Ok(response) if !is_unserved(&response) => {
             state.counters.inc_forward();
             response
@@ -849,9 +942,12 @@ fn heartbeat_loop(state: &State) {
 }
 
 fn probe_health(addr: &str, interval: Duration) -> Option<Response> {
-    let mut c = client::Client::connect(addr).ok()?;
-    c.set_timeout(Some(interval.max(Duration::from_millis(250))))
-        .ok()?;
+    // The probe budget bounds the connect too: against a partitioned
+    // peer a plain connect blocks for the OS SYN-retry window (~2 min),
+    // which would stretch dead-peer detection from `miss_limit ×
+    // interval` to `miss_limit × minutes` — the opposite of failover.
+    let mut c =
+        client::Client::connect_timeout(addr, interval.max(Duration::from_millis(250))).ok()?;
     c.request(&Request::Health).ok()
 }
 
@@ -1038,7 +1134,15 @@ impl EventLoop<'_> {
             }
             Ok(Request::Status) => Some(status_response(state)),
             Ok(Request::Health) => Some(health_response(state)),
-            Ok(Request::SetWindow { window }) => Some(set_window_response(state, window)),
+            Ok(Request::SetWindow { window, fwd }) => {
+                if !fwd && state.cluster.is_some() {
+                    // Clustered: the broadcast is wire I/O, so it runs on
+                    // a worker instead of stalling the loop thread.
+                    self.dispatch(conn, seq, JobKind::SetWindow { window }, None)
+                } else {
+                    Some(set_window_response(state, window))
+                }
+            }
             Ok(Request::ClusterMap { device }) => {
                 Some(cluster_map_response(state, device.as_deref()))
             }
@@ -1235,7 +1339,7 @@ fn worker_loop(state: &State, worker: usize) {
                     _ => {}
                 }
             }
-            execute_job(state, &job.kind)
+            execute_job(state, &job.kind, job.enqueued)
         }));
         let mut response =
             result.unwrap_or_else(|_| Response::failed("job panicked; see server log"));
@@ -1283,7 +1387,7 @@ fn cache_error_response(e: CacheError) -> Response {
     }
 }
 
-fn execute_job(state: &State, kind: &JobKind) -> Response {
+fn execute_job(state: &State, kind: &JobKind, enqueued: Instant) -> Response {
     match kind {
         JobKind::Sleep { ms } => {
             let ms = (*ms).min(state.config.max_sleep_ms);
@@ -1291,8 +1395,9 @@ fn execute_job(state: &State, kind: &JobKind) -> Response {
             Response::Slept { ms }
         }
         JobKind::Characterize(r) => execute_characterize(state, r),
-        JobKind::Submit(r) => execute_submit(state, r),
+        JobKind::Submit(r) => execute_submit(state, r, enqueued),
         JobKind::Replicate(r) => execute_replicate(state, r),
+        JobKind::SetWindow { window } => execute_set_window(state, *window),
     }
 }
 
@@ -1347,7 +1452,7 @@ fn characterize_local(state: &State, r: &CharacterizeRequest) -> Response {
     }
 }
 
-fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
+fn execute_submit(state: &State, r: &SubmitRequest, enqueued: Instant) -> Response {
     // Only AIM consults a profile, so only AIM routes; baseline and SIM
     // jobs run wherever they land, clustered or not.
     if r.policy == PolicyKind::Aim {
@@ -1355,6 +1460,15 @@ fn execute_submit(state: &State, r: &SubmitRequest) -> Response {
             RouteDecision::Forward(member) => {
                 let mut forwarded = r.clone();
                 forwarded.fwd = true;
+                // The queue-time budget is end-to-end, not per-hop: spend
+                // what this node's queue already consumed before handing
+                // the remainder to the owner, so the total wait a client
+                // can see never exceeds the deadline it asked for.
+                if let Some(budget) = forwarded.deadline_ms {
+                    let spent =
+                        u64::try_from(enqueued.elapsed().as_millis()).unwrap_or(u64::MAX);
+                    forwarded.deadline_ms = Some(budget.saturating_sub(spent));
+                }
                 return forward_or_failover(state, member, Request::Submit(forwarded), || {
                     submit_local(state, r)
                 });

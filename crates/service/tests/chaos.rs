@@ -124,7 +124,7 @@ fn breaker_opens_and_serves_last_good_profile_degraded() {
         other => panic!("wrong response {other:?}"),
     }
     client
-        .request(&Request::SetWindow { window: 1 })
+        .request(&Request::SetWindow { window: 1, fwd: false })
         .expect("set-window");
 
     // Two failing requests (attempt + retry each) trip the breaker; both
@@ -330,7 +330,7 @@ fn run_determinism_scenario(workers: usize) -> qmetrics::CountersSnapshot {
     let mut req = |r: &Request| client.request(r).expect("response");
 
     req(&characterize_req()); // job 1: clean warm-up (arrival 1)
-    req(&Request::SetWindow { window: 1 });
+    req(&Request::SetWindow { window: 1, fwd: false });
     req(&characterize_req()); // job 2: fails twice → failure 1, stale
     req(&characterize_req()); // job 3: fails twice → trips, stale
     req(&characterize_req()); // job 4: open, stale (cooldown 1/2)

@@ -107,6 +107,64 @@ fn fresh_dir(name: &str) -> PathBuf {
 }
 
 #[test]
+fn set_window_broadcasts_across_the_mesh() {
+    let root = fresh_dir("invmeas-cluster-window-test");
+    let ports = pick_ports(2);
+    let members: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("node{i}"))).collect();
+    let nodes: Vec<(SocketAddr, ServeHandle)> = (0..2)
+        .map(|i| start(mesh_node(&members, i, &dirs[i], Arc::new(invmeas_faults::NoFaults))))
+        .collect();
+
+    let window_of = |addr: &str| -> u64 {
+        match call(addr, &Request::Status).expect("status") {
+            Response::Status(s) => s.window,
+            other => panic!("wrong response {other:?}"),
+        }
+    };
+
+    // A window set on either node must be in force on *both* before the
+    // acknowledgement returns: routed submits and characterizes execute
+    // under the owner's window, so a seed node acknowledging a window it
+    // did not propagate would silently serve stale results.
+    match call(members[0].as_str(), &Request::SetWindow { window: 5, fwd: false })
+        .expect("set-window on node 0")
+    {
+        Response::Window { window } => assert_eq!(window, 5),
+        other => panic!("wrong response {other:?}"),
+    }
+    assert_eq!(window_of(&members[0]), 5, "setting node must apply locally");
+    assert_eq!(window_of(&members[1]), 5, "peer must receive the broadcast");
+
+    match call(members[1].as_str(), &Request::SetWindow { window: 9, fwd: false })
+        .expect("set-window on node 1")
+    {
+        Response::Window { window } => assert_eq!(window, 9),
+        other => panic!("wrong response {other:?}"),
+    }
+    assert_eq!(window_of(&members[0]), 9, "broadcast works from either node");
+    assert_eq!(window_of(&members[1]), 9);
+
+    // A *broadcast* delivery applies locally but never re-broadcasts —
+    // otherwise two nodes would ping-pong forever. Proven indirectly:
+    // the fwd-marked request is answered inline and the mesh stays
+    // responsive afterwards.
+    match call(members[0].as_str(), &Request::SetWindow { window: 2, fwd: true })
+        .expect("fwd set-window")
+    {
+        Response::Window { window } => assert_eq!(window, 2),
+        other => panic!("wrong response {other:?}"),
+    }
+    assert_eq!(window_of(&members[0]), 2, "fwd delivery applies locally");
+    assert_eq!(window_of(&members[1]), 9, "fwd delivery must not re-broadcast");
+
+    for (addr, handle) in nodes {
+        shutdown(addr, handle);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn corrupt_replica_is_rejected_by_checksum_and_refetched_clean() {
     let device = "ibmqx4";
     let root = fresh_dir("invmeas-cluster-crc-test");

@@ -133,7 +133,7 @@ fn pipelined_responses_come_back_in_request_order() {
         // A mix whose response *types* encode the order, including jobs
         // that finish at different times (sleeps) between inline replies.
         let batch = vec![
-            Request::SetWindow { window: 7 },
+            Request::SetWindow { window: 7, fwd: false },
             Request::Sleep { ms: 120 },
             Request::Health,
             Request::Sleep { ms: 0 },

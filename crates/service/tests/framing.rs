@@ -35,7 +35,7 @@ fn shutdown(addr: SocketAddr, handle: ServeHandle) -> qmetrics::CountersSnapshot
 fn deterministic_lines() -> Vec<String> {
     vec![
         Request::Health.to_line(),
-        Request::SetWindow { window: 5 }.to_line(),
+        Request::SetWindow { window: 5, fwd: false }.to_line(),
         Request::Sleep { ms: 0 }.to_line(),
         "this is not json".to_string(),
         Request::Submit(SubmitRequest {

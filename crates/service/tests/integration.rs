@@ -117,7 +117,7 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
     assert_eq!(status(addr).counters.cache_hits, 8);
 
     // ── advancing the drift window invalidates the cached profile ───────
-    match call(addr, &Request::SetWindow { window: 1 }).expect("set-window") {
+    match call(addr, &Request::SetWindow { window: 1, fwd: false }).expect("set-window") {
         Response::Window { window } => assert_eq!(window, 1),
         other => panic!("wrong response {other:?}"),
     }
