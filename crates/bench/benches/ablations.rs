@@ -5,7 +5,9 @@
 //! doubles as the ablation study record.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use invmeas::{AdaptiveInvertMeasure, InversionString, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
+use invmeas::{
+    AdaptiveInvertMeasure, InversionString, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
+};
 use qbenches::bench_rng;
 use qnoise::{
     CorrelatedReadout, DeviceModel, Executor, NoisyExecutor, ReadoutModel, TensorReadout,
@@ -19,7 +21,9 @@ fn ablate_damping(c: &mut Criterion) {
     let dev = DeviceModel::ibmqx2();
     let with = dev.readout();
     let without = CorrelatedReadout::from_tensor(TensorReadout::new(
-        (0..dev.n_qubits()).map(|q| dev.qubit(q).assignment).collect(),
+        (0..dev.n_qubits())
+            .map(|q| dev.qubit(q).assignment)
+            .collect(),
     ));
     let rel = |r: &dyn ReadoutModel| {
         r.success_probability(BitString::ones(5)) / r.success_probability(BitString::zeros(5))
@@ -30,12 +34,8 @@ fn ablate_damping(c: &mut Criterion) {
         rel(&without)
     );
     let mut group = c.benchmark_group("ablate_damping");
-    group.bench_function("with_damping", |b| {
-        b.iter(|| RbmsTable::exact(&with))
-    });
-    group.bench_function("without_damping", |b| {
-        b.iter(|| RbmsTable::exact(&without))
-    });
+    group.bench_function("with_damping", |b| b.iter(|| RbmsTable::exact(&with)));
+    group.bench_function("without_damping", |b| b.iter(|| RbmsTable::exact(&without)));
     group.finish();
 }
 
@@ -53,7 +53,9 @@ fn ablate_correlation(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablate_correlation");
     group.bench_function("with_crosstalk", |b| b.iter(|| RbmsTable::exact(&with)));
-    group.bench_function("without_crosstalk", |b| b.iter(|| RbmsTable::exact(&without)));
+    group.bench_function("without_crosstalk", |b| {
+        b.iter(|| RbmsTable::exact(&without))
+    });
     group.finish();
 }
 
@@ -72,7 +74,10 @@ fn ablate_sim_modes(c: &mut Criterion) {
         eight.push(InversionString::from_mask(mask.parse().expect("valid")));
     }
     let variants: Vec<(&str, StaticInvertMeasure)> = vec![
-        ("modes1", StaticInvertMeasure::new(vec![InversionString::standard(5)])),
+        (
+            "modes1",
+            StaticInvertMeasure::new(vec![InversionString::standard(5)]),
+        ),
         ("modes2", StaticInvertMeasure::two_mode(5)),
         ("modes4", StaticInvertMeasure::four_mode(5)),
         ("modes8", StaticInvertMeasure::new(eight)),

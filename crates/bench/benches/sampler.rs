@@ -73,10 +73,14 @@ fn bench_shot_scaling(c: &mut Criterion) {
             let mut rng = bench_rng();
             b.iter(|| per_shot.run(&circuit, shots, &mut rng))
         });
-        group.bench_with_input(BenchmarkId::new("synthesized", shots), &shots, |b, &shots| {
-            let mut rng = bench_rng();
-            b.iter(|| synth.run(&circuit, shots, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthesized", shots),
+            &shots,
+            |b, &shots| {
+                let mut rng = bench_rng();
+                b.iter(|| synth.run(&circuit, shots, &mut rng))
+            },
+        );
     }
     group.finish();
 }

@@ -399,7 +399,10 @@ fn degraded_phase(opts: &Opts) -> Result<DegradedPhase, String> {
     }
     // Invalidate it, then let the scripted failures trip the breaker.
     client
-        .request(&Request::SetWindow { window: 1, fwd: false })
+        .request(&Request::SetWindow {
+            window: 1,
+            fwd: false,
+        })
         .map_err(|e| format!("set-window: {e}"))?;
     let mut trip_errors = 0;
     loop {
@@ -654,8 +657,8 @@ fn run(opts: &Opts) -> Result<(), String> {
     // Raised limits are inherited by the __serve children, so one call
     // covers client and servers alike. The ladder is clamped to what the
     // fd budget can actually park.
-    let (nofile_soft, nofile_hard) = invmeas_service::poll::raise_nofile_limit(300_000)
-        .unwrap_or((1024, 1024));
+    let (nofile_soft, nofile_hard) =
+        invmeas_service::poll::raise_nofile_limit(300_000).unwrap_or((1024, 1024));
     let mut opts = Opts {
         out: opts.out.clone(),
         cluster: Vec::new(),
@@ -692,7 +695,10 @@ fn run(opts: &Opts) -> Result<(), String> {
         load_old.report.protocol_errors
     );
 
-    eprintln!("phase 3/4: connection-scaling ladder (SLO {} ms)", opts.slo_ms);
+    eprintln!(
+        "phase 3/4: connection-scaling ladder (SLO {} ms)",
+        opts.slo_ms
+    );
     let ladder_new = ladder_phase(opts, true)?;
     let ladder_old = ladder_phase(opts, false)?;
     let ratio = if ladder_old.sustained > 0 {

@@ -259,11 +259,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
                     let client = Client::connect(cfg.addr).map_err(|e| format!("connect: {e}"))?;
                     let (mut sender, mut reader) = client.split();
                     // This connection's slice of the global schedule.
-                    let mine: Vec<usize> =
-                        (c..cfg.requests).step_by(cfg.connections).collect();
+                    let mine: Vec<usize> = (c..cfg.requests).step_by(cfg.connections).collect();
                     let in_flight = AtomicUsize::new(0);
-                    let (meta_tx, meta_rx) =
-                        std::sync::mpsc::channel::<(Instant, bool)>();
+                    let (meta_tx, meta_rx) = std::sync::mpsc::channel::<(Instant, bool)>();
 
                     // Responses are drained on their own thread the moment
                     // the server writes them. If they were only reaped
@@ -287,10 +285,10 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
                                     Ok(response) => {
                                         let now = Instant::now();
                                         tally.last_response = Some(now);
-                                        tally.latencies_us.push(
-                                            now.saturating_duration_since(sched).as_micros()
-                                                as u64,
-                                        );
+                                        tally
+                                            .latencies_us
+                                            .push(now.saturating_duration_since(sched).as_micros()
+                                                as u64);
                                         if matches!(response, Response::Error { .. }) {
                                             tally.rejected += 1;
                                         } else {
@@ -483,12 +481,8 @@ pub fn run_storm(cfg: &StormConfig, on_held: impl FnOnce()) -> StormReport {
                         // below what the event loop can hold.
                         let stream = match cfg.addr {
                             SocketAddr::V4(dst) if dst.ip().is_loopback() => {
-                                let src = std::net::Ipv4Addr::new(
-                                    127,
-                                    0,
-                                    0,
-                                    2 + (i % src_ips) as u8,
-                                );
+                                let src =
+                                    std::net::Ipv4Addr::new(127, 0, 0, 2 + (i % src_ips) as u8);
                                 invmeas_service::poll::connect_from(src, dst, cfg.slo)?
                             }
                             other => std::net::TcpStream::connect_timeout(&other, cfg.slo)?,
@@ -509,10 +503,7 @@ pub fn run_storm(cfg: &StormConfig, on_held: impl FnOnce()) -> StormReport {
                     match verdict {
                         Ok(stream) if elapsed <= cfg.slo => {
                             ok.fetch_add(1, Ordering::Relaxed);
-                            samples
-                                .lock()
-                                .unwrap()
-                                .push(elapsed.as_micros() as u64);
+                            samples.lock().unwrap().push(elapsed.as_micros() as u64);
                             // Park it open: the rung's whole point is that
                             // the server holds every one concurrently.
                             parked.lock().unwrap().push(stream);
@@ -562,8 +553,12 @@ mod tests {
             shots: 100,
         };
         let qasm = qasm_5q();
-        let a: Vec<String> = (0..64).map(|g| request_for(&cfg, &qasm, g).to_line()).collect();
-        let b: Vec<String> = (0..64).map(|g| request_for(&cfg, &qasm, g).to_line()).collect();
+        let a: Vec<String> = (0..64)
+            .map(|g| request_for(&cfg, &qasm, g).to_line())
+            .collect();
+        let b: Vec<String> = (0..64)
+            .map(|g| request_for(&cfg, &qasm, g).to_line())
+            .collect();
         assert_eq!(a, b, "same seed ⇒ same request stream");
         let submits = a.iter().filter(|l| l.contains("\"op\":\"submit\"")).count();
         assert!(submits > 20 && submits < 60, "mix holds roughly: {submits}");

@@ -137,6 +137,9 @@ pub struct ServeArgs {
     pub breaker_cooldown: u32,
     /// Optional `faultplan v1` script for chaos testing.
     pub fault_plan: Option<String>,
+    /// Optional `netfaults v1` script driving the network fault fabric
+    /// (partitions, byte drops, latency, slow writes) for chaos testing.
+    pub net_faults: Option<String>,
     /// Profile-mesh membership: every node's listen address, identically
     /// ordered on all nodes (empty = single-node, the default).
     pub cluster: Vec<String>,
@@ -246,7 +249,7 @@ USAGE:
                 [--profile-dir DIR] [--idle-timeout-ms N]
                 [--retry-limit N] [--retry-backoff-ms N]
                 [--breaker-threshold N] [--breaker-cooldown N]
-                [--fault-plan FILE]
+                [--fault-plan FILE] [--net-faults FILE]
                 [--cluster ADDR,ADDR,...] [--replication N]
                 [--heartbeat-ms N] [--heartbeat-miss-limit N]
   invmeas submit <FILE.qasm> --device <NAME> [--addr HOST:PORT[,HOST:PORT...]]
@@ -271,8 +274,12 @@ errors, 1 for runtime failures.
 
 --fault-plan loads a `faultplan v1` script that injects deterministic
 faults (errors, latency, panics, torn writes) for chaos testing; see
-DESIGN.md §12. `svc health` exits 0 when healthy, 1 when degraded
-(open circuit breakers or draining), 2 when the server is unreachable.
+DESIGN.md §12. --net-faults loads a `netfaults v1` script that drives
+the network fault fabric (connect refusals, partitions, byte drops,
+latency, slow writes, truncated and duplicated frames) deterministically
+by arrival count; see DESIGN.md §17. `svc health` exits 0 when healthy,
+1 when degraded (open circuit breakers or draining), 2 when the server
+is unreachable.
 
 characterize --journal writes a checkpoint after every completed work
 unit so an interrupted run can be resumed with --resume (bit-identical
@@ -457,9 +464,7 @@ fn parse_run(args: &[String]) -> Result<Command, ArgError> {
                 )
             }
             "--route" => out.route = true,
-            flag if flag.starts_with("--") => {
-                return Err(err(format!("unknown flag {flag:?}")))
-            }
+            flag if flag.starts_with("--") => return Err(err(format!("unknown flag {flag:?}"))),
             positional => {
                 if qasm.is_some() {
                     return Err(err(format!("unexpected argument {positional:?}")));
@@ -523,6 +528,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
         breaker_threshold: 3,
         breaker_cooldown: 4,
         fault_plan: None,
+        net_faults: None,
         cluster: Vec::new(),
         replication: 1,
         heartbeat_ms: 1000,
@@ -550,12 +556,8 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
             "--exec-threads" => out.exec_threads = parse_usize("--exec-threads", it.next())?,
             "--profile-shots" => out.profile_shots = parse_u64("--profile-shots", it.next())?,
             "--profile-seed" => out.profile_seed = parse_u64("--profile-seed", it.next())?,
-            "--drift-amplitude" => {
-                out.drift_amplitude = parse_f64("--drift-amplitude", it.next())?
-            }
-            "--drift-threshold" => {
-                out.drift_threshold = parse_f64("--drift-threshold", it.next())?
-            }
+            "--drift-amplitude" => out.drift_amplitude = parse_f64("--drift-amplitude", it.next())?,
+            "--drift-threshold" => out.drift_threshold = parse_f64("--drift-threshold", it.next())?,
             "--profile-dir" => {
                 out.profile_dir = Some(
                     it.next()
@@ -563,9 +565,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
                         .to_string(),
                 )
             }
-            "--idle-timeout-ms" => {
-                out.idle_timeout_ms = parse_u64("--idle-timeout-ms", it.next())?
-            }
+            "--idle-timeout-ms" => out.idle_timeout_ms = parse_u64("--idle-timeout-ms", it.next())?,
             "--retry-limit" => out.retry_limit = parse_u32("--retry-limit", it.next())?,
             "--retry-backoff-ms" => {
                 out.retry_backoff_ms = parse_u64("--retry-backoff-ms", it.next())?
@@ -586,6 +586,13 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
                 out.fault_plan = Some(
                     it.next()
                         .ok_or_else(|| err("--fault-plan needs a path"))?
+                        .to_string(),
+                )
+            }
+            "--net-faults" => {
+                out.net_faults = Some(
+                    it.next()
+                        .ok_or_else(|| err("--net-faults needs a path"))?
                         .to_string(),
                 )
             }
@@ -611,8 +618,7 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgError> {
                 }
             }
             "--heartbeat-miss-limit" => {
-                out.heartbeat_miss_limit =
-                    parse_u32("--heartbeat-miss-limit", it.next())?;
+                out.heartbeat_miss_limit = parse_u32("--heartbeat-miss-limit", it.next())?;
                 if out.heartbeat_miss_limit == 0 {
                     return Err(err("--heartbeat-miss-limit must be at least 1"));
                 }
@@ -667,12 +673,8 @@ fn parse_submit(args: &[String]) -> Result<Command, ArgError> {
                         .to_string(),
                 )
             }
-            "--deadline-ms" => {
-                out.deadline_ms = Some(parse_u64("--deadline-ms", it.next())?)
-            }
-            flag if flag.starts_with("--") => {
-                return Err(err(format!("unknown flag {flag:?}")))
-            }
+            "--deadline-ms" => out.deadline_ms = Some(parse_u64("--deadline-ms", it.next())?),
+            flag if flag.starts_with("--") => return Err(err(format!("unknown flag {flag:?}"))),
             positional => {
                 if qasm.is_some() {
                     return Err(err(format!("unexpected argument {positional:?}")));
@@ -895,6 +897,7 @@ mod tests {
                 assert_eq!(a.breaker_threshold, 3);
                 assert_eq!(a.breaker_cooldown, 4);
                 assert_eq!(a.fault_plan, None);
+                assert_eq!(a.net_faults, None);
                 assert!(a.cluster.is_empty(), "single-node is the default");
                 assert_eq!(a.replication, 1);
                 assert_eq!(a.heartbeat_ms, 1000);
@@ -908,7 +911,7 @@ mod tests {
              --profile-shots 512 --profile-seed 9 --drift-amplitude 0.1 \
              --drift-threshold 0.02 --profile-dir cache --idle-timeout-ms 500 \
              --retry-limit 1 --retry-backoff-ms 0 --breaker-threshold 2 \
-             --breaker-cooldown 3 --fault-plan chaos.plan",
+             --breaker-cooldown 3 --fault-plan chaos.plan --net-faults net.plan",
         ))
         .unwrap()
         {
@@ -930,6 +933,7 @@ mod tests {
                 assert_eq!(a.breaker_threshold, 2);
                 assert_eq!(a.breaker_cooldown, 3);
                 assert_eq!(a.fault_plan.as_deref(), Some("chaos.plan"));
+                assert_eq!(a.net_faults.as_deref(), Some("net.plan"));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1015,7 +1019,11 @@ mod tests {
             Command::Svc(a) => assert_eq!(a.op, SvcOp::SetWindow { window: 3 }),
             other => panic!("wrong command {other:?}"),
         }
-        match parse(&argv("svc characterize --device ibmqx4 --method awct --shots 256")).unwrap() {
+        match parse(&argv(
+            "svc characterize --device ibmqx4 --method awct --shots 256",
+        ))
+        .unwrap()
+        {
             Command::Svc(a) => assert_eq!(
                 a.op,
                 SvcOp::Characterize {
@@ -1033,7 +1041,11 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
-        match parse(&argv("svc cluster-map --device ibmqx4 --addr 127.0.0.1:7002")).unwrap() {
+        match parse(&argv(
+            "svc cluster-map --device ibmqx4 --addr 127.0.0.1:7002",
+        ))
+        .unwrap()
+        {
             Command::Svc(a) => {
                 assert_eq!(a.addr, "127.0.0.1:7002");
                 assert_eq!(
@@ -1053,10 +1065,17 @@ mod tests {
             ("serve --workers 0", "--workers must be at least 1"),
             ("serve --drift-amplitude -1", "non-negative"),
             ("serve --bogus", "unknown flag"),
-            ("serve --breaker-threshold 0", "--breaker-threshold must be at least 1"),
+            (
+                "serve --breaker-threshold 0",
+                "--breaker-threshold must be at least 1",
+            ),
             ("serve --retry-limit no", "--retry-limit needs an integer"),
             ("serve --fault-plan", "--fault-plan needs a path"),
-            ("submit p.qasm --device x --deadline-ms no", "--deadline-ms needs an integer"),
+            ("serve --net-faults", "--net-faults needs a path"),
+            (
+                "submit p.qasm --device x --deadline-ms no",
+                "--deadline-ms needs an integer",
+            ),
             ("submit --device x", "requires a QASM file"),
             ("submit p.qasm", "requires --device"),
             ("svc", "needs an operation"),
@@ -1067,11 +1086,23 @@ mod tests {
             ("svc characterize --device x --method nope", "bad --method"),
             ("svc cluster-map --device", "--device needs a name"),
             ("svc cluster-map --bogus", "unknown flag"),
-            ("serve --cluster", "--cluster needs a comma-separated member list"),
-            ("serve --cluster 127.0.0.1:7001", "--cluster needs at least 2 members"),
+            (
+                "serve --cluster",
+                "--cluster needs a comma-separated member list",
+            ),
+            (
+                "serve --cluster 127.0.0.1:7001",
+                "--cluster needs at least 2 members",
+            ),
             ("serve --replication 0", "--replication must be at least 1"),
-            ("serve --heartbeat-ms 0", "--heartbeat-ms must be at least 1"),
-            ("serve --heartbeat-miss-limit 0", "--heartbeat-miss-limit must be at least 1"),
+            (
+                "serve --heartbeat-ms 0",
+                "--heartbeat-ms must be at least 1",
+            ),
+            (
+                "serve --heartbeat-miss-limit 0",
+                "--heartbeat-miss-limit must be at least 1",
+            ),
         ];
         for (input, expect) in cases {
             let e = parse(&argv(input)).unwrap_err().to_string();
@@ -1084,17 +1115,38 @@ mod tests {
         let cases = [
             ("characterize", "requires --device"),
             ("characterize --device", "--device needs a name"),
-            ("characterize --device x --shots abc", "--shots needs an integer"),
+            (
+                "characterize --device x --shots abc",
+                "--shots needs an integer",
+            ),
             ("characterize --device x --method nope", "bad --method"),
-            ("characterize --device x --threads 0", "--threads must be at least 1"),
-            ("characterize --device x --threads no", "--threads needs an integer"),
-            ("characterize --device x --journal", "--journal needs a path"),
-            ("characterize --device x --resume", "--resume needs --journal"),
-            ("characterize --device x --fault-plan", "--fault-plan needs a path"),
+            (
+                "characterize --device x --threads 0",
+                "--threads must be at least 1",
+            ),
+            (
+                "characterize --device x --threads no",
+                "--threads needs an integer",
+            ),
+            (
+                "characterize --device x --journal",
+                "--journal needs a path",
+            ),
+            (
+                "characterize --device x --resume",
+                "--resume needs --journal",
+            ),
+            (
+                "characterize --device x --fault-plan",
+                "--fault-plan needs a path",
+            ),
             ("run --device x", "requires a QASM file"),
             ("run a.qasm b.qasm --device x", "unexpected argument"),
             ("run a.qasm --device x --policy nope", "bad --policy"),
-            ("run a.qasm --device x --threads 0", "--threads must be at least 1"),
+            (
+                "run a.qasm --device x --threads 0",
+                "--threads must be at least 1",
+            ),
             ("nonsense", "unknown command"),
         ];
         for (input, expect) in cases {

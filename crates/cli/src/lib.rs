@@ -208,6 +208,13 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
         ),
         None => std::sync::Arc::new(invmeas_faults::NoFaults),
     };
+    let net_faults = match &a.net_faults {
+        Some(path) => Some(std::sync::Arc::new(
+            invmeas_faults::NetFaultPlan::load(path)
+                .map_err(|e| format!("cannot load net faults {path}: {e}"))?,
+        )),
+        None => None,
+    };
     let cluster = if a.cluster.is_empty() {
         None
     } else {
@@ -235,6 +242,7 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
         breaker_failure_threshold: a.breaker_threshold,
         breaker_cooldown: a.breaker_cooldown,
         faults,
+        net_faults,
         cluster,
         ..ServerConfig::default()
     };
@@ -246,7 +254,10 @@ fn serve(a: &ServeArgs) -> Result<String, CliError> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     let counters = server.serve()?;
-    Ok(format!("final counters after drain:\n{}", counters.render()))
+    Ok(format!(
+        "final counters after drain:\n{}",
+        counters.render()
+    ))
 }
 
 /// Dials `addr`, which may be a single `HOST:PORT` or a comma-separated
@@ -299,7 +310,10 @@ fn svc(a: &SvcArgs) -> Result<String, CliError> {
         // codes; `execute` callers get the plain response line.
         args::SvcOp::Health => Request::Health,
         args::SvcOp::Shutdown => Request::Shutdown,
-        args::SvcOp::SetWindow { window } => Request::SetWindow { window: *window, fwd: false },
+        args::SvcOp::SetWindow { window } => Request::SetWindow {
+            window: *window,
+            fwd: false,
+        },
         args::SvcOp::Characterize {
             device,
             method,
@@ -345,7 +359,11 @@ fn cluster_map(addr: &str, device: Option<&str>) -> Result<String, CliError> {
             out,
             "  #{i} {name} {}{}",
             if alive { "alive" } else { "dead" },
-            if i as u64 == m.self_index { " (self)" } else { "" },
+            if i as u64 == m.self_index {
+                " (self)"
+            } else {
+                ""
+            },
         );
     }
     if let Some(r) = &m.route {
@@ -369,7 +387,12 @@ fn cluster_map(addr: &str, device: Option<&str>) -> Result<String, CliError> {
 }
 
 fn render_devices() -> String {
-    let mut t = Table::new(&["device", "qubits", "assign err (min/avg/max)", "meas window"]);
+    let mut t = Table::new(&[
+        "device",
+        "qubits",
+        "assign err (min/avg/max)",
+        "meas window",
+    ]);
     for dev in [
         DeviceModel::ibmqx2(),
         DeviceModel::ibmqx4(),
@@ -445,9 +468,8 @@ fn characterize(a: &CharacterizeArgs) -> Result<String, CliError> {
             if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
                 std::fs::create_dir_all(parent)?;
             }
-            let (table, stats) =
-                characterize_journaled(&exec, &spec, Some(path), faults.as_ref())
-                    .map_err(|e| format!("characterization failed: {e}"))?;
+            let (table, stats) = characterize_journaled(&exec, &spec, Some(path), faults.as_ref())
+                .map_err(|e| format!("characterization failed: {e}"))?;
             if stats.resumed() {
                 let _ = writeln!(
                     out,
@@ -485,7 +507,11 @@ fn characterize(a: &CharacterizeArgs) -> Result<String, CliError> {
             }
             .to_string(),
             seed: a.seed,
-            window: if a.method == Method::Awct { 4.min(n) } else { 0 },
+            window: if a.method == Method::Awct {
+                4.min(n)
+            } else {
+                0
+            },
         };
         table.save_v2_with(path, &meta, &invmeas_faults::NoFaults)?;
         out.push_str(&format!("\nprofile written to {path}\n"));
@@ -736,13 +762,19 @@ mod tests {
         let clean_out = dir.join("clean.rbms");
         let report = execute(&Command::Characterize(args_for(&clean_out, None, true))).unwrap();
         assert!(report.contains("journal:"), "{report}");
-        assert!(report.contains("journal") && report.contains("removed"), "{report}");
+        assert!(
+            report.contains("journal") && report.contains("removed"),
+            "{report}"
+        );
         let clean_bytes = std::fs::read(&clean_out).unwrap();
 
         // Crash run: a scripted panic at the third journal checkpoint.
         let plan_path = dir.join("kill.plan");
-        std::fs::write(&plan_path, "faultplan v1\nseed 0\njournal-write 3 panic scripted kill\n")
-            .unwrap();
+        std::fs::write(
+            &plan_path,
+            "faultplan v1\nseed 0\njournal-write 3 panic scripted kill\n",
+        )
+        .unwrap();
         let crash_out = dir.join("crash.rbms");
         let crash_args = args_for(&crash_out, Some(&plan_path), true);
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -751,18 +783,23 @@ mod tests {
         assert!(panicked.is_err(), "scripted panic must fire");
         let journal_path = dir.join("crash.rbms.journal");
         assert!(journal_path.exists(), "journal must survive the crash");
-        assert!(!crash_out.exists(), "no profile was written before the crash");
+        assert!(
+            !crash_out.exists(),
+            "no profile was written before the crash"
+        );
 
         // Resume: picks up the surviving checkpoints and finishes.
-        let report =
-            execute(&Command::Characterize(args_for(&crash_out, None, true))).unwrap();
+        let report = execute(&Command::Characterize(args_for(&crash_out, None, true))).unwrap();
         assert!(report.contains("resumed 2 of"), "{report}");
         let resumed_bytes = std::fs::read(&crash_out).unwrap();
         assert_eq!(
             resumed_bytes, clean_bytes,
             "resumed profile must be byte-identical to the uninterrupted run"
         );
-        assert!(!journal_path.exists(), "journal is removed after a durable save");
+        assert!(
+            !journal_path.exists(),
+            "journal is removed after a durable save"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -830,9 +867,7 @@ mod tests {
 
     #[test]
     fn usage_and_runtime_failures_map_to_distinct_exit_codes() {
-        let argv = |s: &str| -> Vec<String> {
-            s.split_whitespace().map(str::to_string).collect()
-        };
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_string).collect() };
         // Bad command line → usage error, exit 2.
         let usage = run_cli(&argv("characterize")).unwrap_err();
         assert_eq!(usage.exit_code(), 2);
@@ -859,7 +894,10 @@ mod tests {
         let failure = run_cli(&argv).unwrap_err();
         assert_eq!(failure.exit_code(), 2, "unreachable is exit 2");
         assert!(!failure.is_usage(), "not a usage error despite the code");
-        assert!(failure.to_string().contains("cannot reach server"), "{failure}");
+        assert!(
+            failure.to_string().contains("cannot reach server"),
+            "{failure}"
+        );
     }
 
     #[test]
@@ -882,8 +920,15 @@ mod tests {
         .map(ToString::to_string)
         .collect();
         let failure = run_cli(&argv).unwrap_err();
-        assert_eq!(failure.exit_code(), 1, "connection refusal is a runtime failure");
-        assert!(failure.to_string().contains("cannot reach server"), "{failure}");
+        assert_eq!(
+            failure.exit_code(),
+            1,
+            "connection refusal is a runtime failure"
+        );
+        assert!(
+            failure.to_string().contains("cannot reach server"),
+            "{failure}"
+        );
         std::fs::remove_file(&qasm_path).ok();
     }
 
@@ -906,9 +951,8 @@ mod tests {
         let circuit = qsim::Circuit::basis_state_preparation("11111".parse().unwrap());
         std::fs::write(&qasm_path, qsim::qasm::to_qasm(&circuit)).unwrap();
 
-        let argv = |parts: &[&str]| -> Vec<String> {
-            parts.iter().map(ToString::to_string).collect()
-        };
+        let argv =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(ToString::to_string).collect() };
         let out = run_cli(&argv(&[
             "submit",
             qasm_path.to_str().unwrap(),

@@ -141,9 +141,7 @@ impl AdaptiveInvertMeasure {
     /// requires finite values) — it scores 0 and is counted in the
     /// process-wide `invariant_clamps` ledger instead.
     pub fn likelihood(&self, canary: &Counts, s: BitString) -> f64 {
-        crate::validate::clamp_mass(
-            canary.frequency(&s) / self.rbms.strength(s).max(MIN_STRENGTH),
-        )
+        crate::validate::clamp_mass(canary.frequency(&s) / self.rbms.strength(s).max(MIN_STRENGTH))
     }
 
     /// Ranks every observed canary state by likelihood and returns the top
@@ -175,7 +173,11 @@ impl AdaptiveInvertMeasure {
         rng: &mut dyn RngCore,
     ) -> AimReport {
         let n = circuit.n_qubits();
-        assert_eq!(n, self.rbms.width(), "circuit width must match RBMS profile");
+        assert_eq!(
+            n,
+            self.rbms.width(),
+            "circuit width must match RBMS profile"
+        );
 
         // Phase 1: canary trials under SIM's four strings (§6.2.2).
         let canary_shots = ((shots as f64) * self.canary_fraction).round() as u64;
@@ -203,8 +205,7 @@ impl AdaptiveInvertMeasure {
             for &candidate in &candidates {
                 inversions.push(InversionString::targeting(candidate, strongest));
             }
-            let targeted: Vec<Circuit> =
-                inversions.iter().map(|inv| inv.apply(circuit)).collect();
+            let targeted: Vec<Circuit> = inversions.iter().map(|inv| inv.apply(circuit)).collect();
             let raw_logs = executor.run_groups(&targeted, &budget, rng);
             for (inv, raw) in inversions.iter().zip(&raw_logs) {
                 merged.merge(&inv.correct(raw));
@@ -367,9 +368,8 @@ mod tests {
             AdaptiveInvertMeasure::new(profile.clone()).with_canary_fraction(0.0)
         })
         .is_err());
-        assert!(std::panic::catch_unwind(|| {
-            AdaptiveInvertMeasure::new(profile).with_k(0)
-        })
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| { AdaptiveInvertMeasure::new(profile).with_k(0) }).is_err()
+        );
     }
 }

@@ -187,10 +187,16 @@ impl CharSpec {
         assert!(self.shots > 0, "characterization needs a trial budget");
         match self.method {
             CharMethod::Brute => {
-                assert!(self.width >= 1 && self.width <= 16, "brute force limited to 16 qubits")
+                assert!(
+                    self.width >= 1 && self.width <= 16,
+                    "brute force limited to 16 qubits"
+                )
             }
             CharMethod::Esct => {
-                assert!(self.width >= 1 && self.width <= 16, "ESCT table limited to 16 qubits")
+                assert!(
+                    self.width >= 1 && self.width <= 16,
+                    "ESCT table limited to 16 qubits"
+                )
             }
             CharMethod::Awct => {
                 assert!(self.width <= 20, "AWCT combined table limited to 20 qubits");
@@ -199,7 +205,10 @@ impl CharSpec {
                     "bad window size {}",
                     self.window
                 );
-                assert!(self.overlap < self.window, "overlap must be smaller than the window");
+                assert!(
+                    self.overlap < self.window,
+                    "overlap must be smaller than the window"
+                );
             }
         }
     }
@@ -221,7 +230,9 @@ impl CharSpec {
 
 /// Tokens in the line-oriented format must not contain whitespace.
 fn sanitize_token(s: &str) -> String {
-    s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    s.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 /// What one [`characterize_journaled`] run did.
@@ -471,7 +482,11 @@ fn run_unit(executor: &dyn Executor, spec: &CharSpec, idx: usize) -> UnitResult 
         CharMethod::Awct => {
             let starts = awct_starts(n, spec.window, spec.overlap);
             let lo = starts[idx];
-            let log = executor.run(&awct_window_circuit(n, lo, spec.window), spec.shots, &mut rng);
+            let log = executor.run(
+                &awct_window_circuit(n, lo, spec.window),
+                spec.shots,
+                &mut rng,
+            );
             // Marginalize onto the window bits before journaling: the
             // combine step only needs the window marginal, and the
             // checkpoint stays `2^window` pairs instead of `2^n`.
@@ -520,10 +535,7 @@ fn combine(spec: &CharSpec, units: &[UnitResult]) -> Result<RbmsTable, JournalEr
                 }
             }
             let total = spec.shots as f64;
-            let strengths: Vec<f64> = counts
-                .iter()
-                .map(|&c| (c as f64 / total).sqrt())
-                .collect();
+            let strengths: Vec<f64> = counts.iter().map(|&c| (c as f64 / total).sqrt()).collect();
             (strengths, spec.shots)
         }
         CharMethod::Awct => {
@@ -677,7 +689,10 @@ pub fn characterize_journaled_with_hook(
         *slot = Some(pairs);
     }
 
-    let units: Vec<UnitResult> = completed.into_iter().map(|u| u.expect("all units ran")).collect();
+    let units: Vec<UnitResult> = completed
+        .into_iter()
+        .map(|u| u.expect("all units ran"))
+        .collect();
     let table = combine(spec, &units)?;
     Ok((table, stats))
 }
@@ -705,8 +720,7 @@ mod tests {
 
     #[test]
     fn unit_seed_streams_differ() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..100).map(|u| unit_seed(7, u)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|u| unit_seed(7, u)).collect();
         assert_eq!(seeds.len(), 100);
         assert_eq!(unit_seed(7, 3), unit_seed(7, 3));
         assert_ne!(unit_seed(7, 3), unit_seed(8, 3));
@@ -718,8 +732,7 @@ mod tests {
         for spec in specs() {
             let run = |threads: usize| {
                 let exec = NoisyExecutor::readout_only(&dev).with_threads(threads);
-                let (table, stats) =
-                    characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
+                let (table, stats) = characterize_journaled(&exec, &spec, None, &NoFaults).unwrap();
                 assert_eq!(stats.total_units, spec.unit_count() as u64);
                 assert_eq!(stats.checkpoints_written, 0, "no journal, no checkpoints");
                 table
@@ -806,8 +819,7 @@ mod tests {
         characterize_journaled(&exec, &old, Some(&path), &NoFaults).unwrap();
         // Different seed: the stale journal must be ignored, not replayed.
         let new = CharSpec::brute("ibmqx4", 5, 128, 2);
-        let (resumed, stats) =
-            characterize_journaled(&exec, &new, Some(&path), &NoFaults).unwrap();
+        let (resumed, stats) = characterize_journaled(&exec, &new, Some(&path), &NoFaults).unwrap();
         assert_eq!(stats.resumed_units, 0);
         assert_eq!(stats.checkpoints_written, stats.total_units);
         let (clean, _) = characterize_journaled(&exec, &new, None, &NoFaults).unwrap();
@@ -839,7 +851,11 @@ mod tests {
             &NoFaults,
         )
         .unwrap();
-        assert!(esct.mse_vs(&exact) < 0.05, "ESCT MSE {}", esct.mse_vs(&exact));
+        assert!(
+            esct.mse_vs(&exact) < 0.05,
+            "ESCT MSE {}",
+            esct.mse_vs(&exact)
+        );
         let (awct, _) = characterize_journaled(
             &exec,
             &CharSpec::awct("ibmqx2", 5, 3, 2, 150_000, 9),
@@ -847,7 +863,11 @@ mod tests {
             &NoFaults,
         )
         .unwrap();
-        assert!(awct.mse_vs(&exact) < 0.05, "AWCT MSE {}", awct.mse_vs(&exact));
+        assert!(
+            awct.mse_vs(&exact) < 0.05,
+            "AWCT MSE {}",
+            awct.mse_vs(&exact)
+        );
         assert_eq!(awct.trials_used(), 150_000 * 3);
     }
 
@@ -895,8 +915,7 @@ mod tests {
 
         // Install on the "follower" and resume there.
         assert_eq!(install_journal(&dst, &text).unwrap(), kill_at - 1);
-        let (resumed, stats) =
-            characterize_journaled(&exec, &spec, Some(&dst), &NoFaults).unwrap();
+        let (resumed, stats) = characterize_journaled(&exec, &spec, Some(&dst), &NoFaults).unwrap();
         assert_eq!(stats.resumed_units, kill_at - 1);
         assert_eq!(
             stats.checkpoints_written + stats.resumed_units,
@@ -915,8 +934,15 @@ mod tests {
         let err = install_journal(&path, "not a journal at all").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(!path.exists(), "refused text must not land on disk");
-        assert!(inspect_journal("charjournal v1\ndevice x").is_none(), "old version refused");
-        assert_eq!(export_journal(&path).unwrap(), None, "absent journal exports None");
+        assert!(
+            inspect_journal("charjournal v1\ndevice x").is_none(),
+            "old version refused"
+        );
+        assert_eq!(
+            export_journal(&path).unwrap(),
+            None,
+            "absent journal exports None"
+        );
     }
 
     #[test]

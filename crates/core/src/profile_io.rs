@@ -122,7 +122,9 @@ fn parse_err(line: usize, message: impl Into<String>) -> ProfileError {
 
 /// Header tokens must stay single-line and whitespace-free.
 fn sanitize_token(s: &str) -> String {
-    s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    s.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 impl RbmsTable {
@@ -328,13 +330,9 @@ impl RbmsTable {
 fn parse_v1(text: &str) -> Result<RbmsTable, ProfileError> {
     let mut lines = text.lines().enumerate();
     lines.next(); // header, already matched by the dispatcher
-    let (_, width_line) = lines
-        .next()
-        .ok_or_else(|| parse_err(2, "missing width"))?;
+    let (_, width_line) = lines.next().ok_or_else(|| parse_err(2, "missing width"))?;
     let width = parse_width(width_line, 2)?;
-    let (_, trials_line) = lines
-        .next()
-        .ok_or_else(|| parse_err(3, "missing trials"))?;
+    let (_, trials_line) = lines.next().ok_or_else(|| parse_err(3, "missing trials"))?;
     let trials = parse_trials(trials_line, 3)?;
     build_table(width, trials, 3, lines)
 }
@@ -381,13 +379,9 @@ fn parse_v2(text: &str) -> Result<(RbmsTable, ProfileMeta), ProfileError> {
     let window: usize = meta_field("window ", 5)?
         .parse()
         .map_err(|_| parse_err(5, "bad window"))?;
-    let (_, width_line) = lines
-        .next()
-        .ok_or_else(|| parse_err(6, "missing width"))?;
+    let (_, width_line) = lines.next().ok_or_else(|| parse_err(6, "missing width"))?;
     let width = parse_width(width_line, 6)?;
-    let (_, trials_line) = lines
-        .next()
-        .ok_or_else(|| parse_err(7, "missing trials"))?;
+    let (_, trials_line) = lines.next().ok_or_else(|| parse_err(7, "missing trials"))?;
     let trials = parse_trials(trials_line, 7)?;
     let table = build_table(width, trials, 7, lines)?;
     Ok((
@@ -520,7 +514,10 @@ pub fn install_profile_text(
 ) -> Result<(RbmsTable, ProfileMeta), ProfileError> {
     let (table, meta) = RbmsTable::from_text_with_meta(text)?;
     let Some(meta) = meta else {
-        return Err(parse_err(1, "replicated profiles must be rbms v2 (checksummed)"));
+        return Err(parse_err(
+            1,
+            "replicated profiles must be rbms v2 (checksummed)",
+        ));
     };
     let tmp = tmp_sibling(path);
     let result = (|| -> Result<(), ProfileError> {
@@ -604,7 +601,10 @@ mod tests {
         assert_eq!(back.trials_used(), 512_000);
         assert_eq!(back.strengths(), table.strengths());
         // And the meta-discarding entry point agrees.
-        assert_eq!(RbmsTable::from_text(&text).unwrap().strengths(), table.strengths());
+        assert_eq!(
+            RbmsTable::from_text(&text).unwrap().strengths(),
+            table.strengths()
+        );
     }
 
     #[test]
@@ -668,7 +668,16 @@ mod tests {
         // A rewritten footer fails against the (unchanged) content.
         let tampered = format!("{}crc32 deadbeef\n", &text[..footer_start]);
         let err = RbmsTable::from_text(&tampered).unwrap_err();
-        assert!(matches!(err, ProfileError::Checksum { expected: 0xdeadbeef, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                ProfileError::Checksum {
+                    expected: 0xdeadbeef,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -776,7 +785,10 @@ mod tests {
         // Missing entry, naming the first absent state.
         let missing = "rbms v1\nwidth 1\ntrials 10\n0 1.0";
         let err = RbmsTable::from_text(missing).unwrap_err().to_string();
-        assert!(err.contains("width 1 declares 2 table rows, found 1"), "{err}");
+        assert!(
+            err.contains("width 1 declares 2 table rows, found 1"),
+            "{err}"
+        );
         assert!(err.contains("first missing 1"), "{err}");
         // Duplicate entry.
         let dup = "rbms v1\nwidth 1\ntrials 10\n0 1.0\n0 1.0";
@@ -802,7 +814,10 @@ mod tests {
             s
         });
         let err = RbmsTable::from_text(&truncated).unwrap_err().to_string();
-        assert!(err.contains("width 5 declares 32 table rows, found 20"), "{err}");
+        assert!(
+            err.contains("width 5 declares 32 table rows, found 20"),
+            "{err}"
+        );
 
         // Padding with a row of a *different* width is a width violation…
         let padded = format!("{text}000000 0.5\n");
@@ -890,8 +905,11 @@ mod tests {
         std::fs::remove_file(&path).ok();
 
         let table = RbmsTable::from_strengths(1, vec![1.0, 0.5]);
-        let plan = FaultPlan::new(3)
-            .on_nth(FaultSite::ProfileWrite, 1, Fault::Error("disk on fire".into()));
+        let plan = FaultPlan::new(3).on_nth(
+            FaultSite::ProfileWrite,
+            1,
+            Fault::Error("disk on fire".into()),
+        );
         let err = table.save_with(&path, &plan).unwrap_err().to_string();
         assert!(err.contains("disk on fire"), "{err}");
         assert!(!path.exists());

@@ -457,7 +457,8 @@ mod tests {
     fn journaled_runner_resumes_bit_identically_after_crash() {
         use invmeas_faults::FaultPlan;
 
-        let dir = std::env::temp_dir().join(format!("invmeas-runner-journal-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("invmeas-runner-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ibmqx4.journal");
         std::fs::remove_file(&path).ok();

@@ -63,14 +63,14 @@ impl StaticInvertMeasure {
     ///
     /// Panics if `strings` is empty, mixes widths, or contains duplicates.
     pub fn new(strings: Vec<InversionString>) -> Self {
-        assert!(!strings.is_empty(), "SIM needs at least one inversion string");
+        assert!(
+            !strings.is_empty(),
+            "SIM needs at least one inversion string"
+        );
         let w = strings[0].width();
         for (i, s) in strings.iter().enumerate() {
             assert_eq!(s.width(), w, "inversion strings must share a width");
-            assert!(
-                !strings[..i].contains(s),
-                "duplicate inversion string {s}"
-            );
+            assert!(!strings[..i].contains(s), "duplicate inversion string {s}");
         }
         StaticInvertMeasure { strings }
     }
@@ -219,9 +219,7 @@ impl StaticInvertMeasure {
         StaticInvertMeasure::new(
             chosen
                 .into_iter()
-                .map(|m| {
-                    InversionString::from_mask(qsim::BitString::from_value(m as u64, n))
-                })
+                .map(|m| InversionString::from_mask(qsim::BitString::from_value(m as u64, n)))
                 .collect(),
         )
     }
@@ -260,8 +258,7 @@ impl StaticInvertMeasure {
         let budget = split_shots(shots, self.strings.len());
         // One transformed circuit per inversion mode, dispatched as a
         // single group run so the executor can sweep modes in parallel.
-        let transformed: Vec<Circuit> =
-            self.strings.iter().map(|inv| inv.apply(circuit)).collect();
+        let transformed: Vec<Circuit> = self.strings.iter().map(|inv| inv.apply(circuit)).collect();
         let raw_logs = executor.run_groups(&transformed, &budget, rng);
         let mut groups = Vec::with_capacity(self.strings.len());
         let mut merged = Counts::new(circuit.n_qubits());
@@ -470,9 +467,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate inversion string")]
     fn duplicate_strings_rejected() {
-        StaticInvertMeasure::new(vec![
-            InversionString::full(3),
-            InversionString::full(3),
-        ]);
+        StaticInvertMeasure::new(vec![InversionString::full(3), InversionString::full(3)]);
     }
 }

@@ -74,7 +74,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "invalid strength {value} at state index {index}")
             }
             ValidateError::Negative { index, value } => {
-                write!(f, "invalid strength {value} at state index {index} (negative)")
+                write!(
+                    f,
+                    "invalid strength {value} at state index {index} (negative)"
+                )
             }
             ValidateError::AllZero => write!(f, "all strengths are zero"),
             ValidateError::NotNormalized { sum } => {

@@ -32,9 +32,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod netplan;
 mod plan;
 mod script;
 
+pub use netplan::{jitter, ConnectDecision, NetFault, NetFaultPlan, NetPlanParseError};
 pub use plan::{Fault, FaultPlan, FaultSite, SITE_COUNT};
 pub use script::PlanParseError;
 
@@ -81,9 +83,8 @@ mod tests {
 
     #[test]
     fn trait_objects_work() {
-        let plan: std::sync::Arc<dyn FaultInjector> = std::sync::Arc::new(
-            FaultPlan::new(7).on_nth(FaultSite::Worker, 1, Fault::Latency(5)),
-        );
+        let plan: std::sync::Arc<dyn FaultInjector> =
+            std::sync::Arc::new(FaultPlan::new(7).on_nth(FaultSite::Worker, 1, Fault::Latency(5)));
         assert_eq!(plan.check(FaultSite::Worker), Some(Fault::Latency(5)));
         assert_eq!(plan.injected(), 1);
     }

@@ -242,7 +242,9 @@ mod tests {
         let plan = FaultPlan::new(1)
             .on_nth(FaultSite::Characterize, 2, Fault::Error("x".into()))
             .on_nth(FaultSite::Characterize, 4, Fault::Latency(10));
-        let fired: Vec<_> = (0..5).map(|_| plan.check(FaultSite::Characterize)).collect();
+        let fired: Vec<_> = (0..5)
+            .map(|_| plan.check(FaultSite::Characterize))
+            .collect();
         assert_eq!(
             fired,
             vec![
@@ -263,7 +265,10 @@ mod tests {
             .on_nth(FaultSite::Worker, 1, Fault::Panic("boom".into()))
             .on_nth(FaultSite::ProfileWrite, 1, Fault::Torn);
         assert_eq!(plan.check(FaultSite::Exec), None);
-        assert_eq!(plan.check(FaultSite::Worker), Some(Fault::Panic("boom".into())));
+        assert_eq!(
+            plan.check(FaultSite::Worker),
+            Some(Fault::Panic("boom".into()))
+        );
         assert_eq!(plan.check(FaultSite::ProfileWrite), Some(Fault::Torn));
         assert_eq!(plan.check(FaultSite::Worker), None);
     }

@@ -31,7 +31,11 @@ pub struct PlanParseError {
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault-plan error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "fault-plan error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -173,7 +177,10 @@ worker 3 panic chaos monkey
     #[test]
     fn parsed_plan_fires_as_scripted() {
         let plan = FaultPlan::from_text(SCRIPT).unwrap();
-        assert_eq!(plan.check(FaultSite::Characterize), Some(Fault::Latency(200)));
+        assert_eq!(
+            plan.check(FaultSite::Characterize),
+            Some(Fault::Latency(200))
+        );
         assert_eq!(
             plan.check(FaultSite::Characterize),
             Some(Fault::Error("injected characterization failure".into()))
@@ -182,7 +189,10 @@ worker 3 panic chaos monkey
         assert_eq!(plan.check(FaultSite::ProfileRead), Some(Fault::Corrupt));
         assert_eq!(plan.check(FaultSite::Worker), None);
         assert_eq!(plan.check(FaultSite::Worker), None);
-        assert_eq!(plan.check(FaultSite::Worker), Some(Fault::Panic("chaos monkey".into())));
+        assert_eq!(
+            plan.check(FaultSite::Worker),
+            Some(Fault::Panic("chaos monkey".into()))
+        );
     }
 
     #[test]
@@ -195,8 +205,14 @@ worker 3 panic chaos monkey
     #[test]
     fn default_messages_apply() {
         let plan = FaultPlan::from_text("faultplan v1\nworker 1 error\nworker 2 panic\n").unwrap();
-        assert_eq!(plan.check(FaultSite::Worker), Some(Fault::Error("injected fault".into())));
-        assert_eq!(plan.check(FaultSite::Worker), Some(Fault::Panic("injected panic".into())));
+        assert_eq!(
+            plan.check(FaultSite::Worker),
+            Some(Fault::Error("injected fault".into()))
+        );
+        assert_eq!(
+            plan.check(FaultSite::Worker),
+            Some(Fault::Panic("injected panic".into()))
+        );
     }
 
     #[test]
@@ -206,11 +222,23 @@ worker 3 panic chaos monkey
             ("nope", "bad header"),
             ("faultplan v1\nseed x", "seed needs an integer"),
             ("faultplan v1\nmars 1 torn", "unknown site"),
-            ("faultplan v1\nworker 0 torn", "arrival must be a positive integer"),
-            ("faultplan v1\nworker x torn", "arrival must be a positive integer"),
+            (
+                "faultplan v1\nworker 0 torn",
+                "arrival must be a positive integer",
+            ),
+            (
+                "faultplan v1\nworker x torn",
+                "arrival must be a positive integer",
+            ),
             ("faultplan v1\nworker 1 explode", "unknown fault kind"),
-            ("faultplan v1\nworker 1 latency", "latency needs milliseconds"),
-            ("faultplan v1\nworker 1 latency soon", "latency needs milliseconds"),
+            (
+                "faultplan v1\nworker 1 latency",
+                "latency needs milliseconds",
+            ),
+            (
+                "faultplan v1\nworker 1 latency soon",
+                "latency needs milliseconds",
+            ),
         ];
         for (text, expect) in cases {
             let err = FaultPlan::from_text(text).unwrap_err().to_string();

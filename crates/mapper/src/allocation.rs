@@ -95,7 +95,10 @@ pub enum AllocationError {
 impl fmt::Display for AllocationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            AllocationError::TooManyQubits { requested, available } => write!(
+            AllocationError::TooManyQubits {
+                requested,
+                available,
+            } => write!(
                 f,
                 "requested {requested} qubits but the device has {available}"
             ),
@@ -111,16 +114,19 @@ impl std::error::Error for AllocationError {}
 /// Mean effective readout error of a physical qubit plus its single-qubit
 /// gate error — the per-qubit component of the allocation cost.
 fn qubit_cost(device: &DeviceModel, q: usize) -> f64 {
-    let eff = device.qubit(q).assignment.with_t1_decay(
-        device.qubit(q).t1_us,
-        device.meas_duration_us(),
-    );
+    let eff = device
+        .qubit(q)
+        .assignment
+        .with_t1_decay(device.qubit(q).t1_us, device.meas_duration_us());
     eff.mean_error() + device.qubit(q).gate_error_1q
 }
 
 /// Two-qubit gate error of a coupling edge.
 fn edge_cost(device: &DeviceModel, a: usize, b: usize) -> f64 {
-    device.gate_noise().gate_error(&Gate::Cx { control: a, target: b })
+    device.gate_noise().gate_error(&Gate::Cx {
+        control: a,
+        target: b,
+    })
 }
 
 /// Chooses `n_logical` physical qubits for a benchmark: a connected region

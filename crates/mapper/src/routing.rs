@@ -140,9 +140,7 @@ pub fn route(
 ) -> Result<RoutedCircuit, RoutingError> {
     let n_logical = circuit.n_qubits();
     let n_phys = device.n_qubits();
-    if placement.n_logical() != n_logical
-        || placement.physical().iter().any(|&p| p >= n_phys)
-    {
+    if placement.n_logical() != n_logical || placement.physical().iter().any(|&p| p >= n_phys) {
         return Err(RoutingError::PlacementMismatch);
     }
     let fully_connected = device.coupling().is_empty();
@@ -157,9 +155,8 @@ pub fn route(
     let mut out = Circuit::new(n_phys);
     let mut swap_count = 0usize;
 
-    let adjacent = |a: usize, b: usize, adj: &[Vec<usize>]| -> bool {
-        fully_connected || adj[a].contains(&b)
-    };
+    let adjacent =
+        |a: usize, b: usize, adj: &[Vec<usize>]| -> bool { fully_connected || adj[a].contains(&b) };
 
     for g in circuit.gates() {
         let qs = g.qubits();
@@ -221,13 +218,35 @@ fn retarget(gate: &Gate, qs: &[usize]) -> Gate {
         Gate::Sdg(_) => Gate::Sdg(qs[0]),
         Gate::T(_) => Gate::T(qs[0]),
         Gate::Tdg(_) => Gate::Tdg(qs[0]),
-        Gate::Rx { theta, .. } => Gate::Rx { qubit: qs[0], theta },
-        Gate::Ry { theta, .. } => Gate::Ry { qubit: qs[0], theta },
-        Gate::Rz { theta, .. } => Gate::Rz { qubit: qs[0], theta },
-        Gate::Phase { lambda, .. } => Gate::Phase { qubit: qs[0], lambda },
-        Gate::Cx { .. } => Gate::Cx { control: qs[0], target: qs[1] },
-        Gate::Cz { .. } => Gate::Cz { control: qs[0], target: qs[1] },
-        Gate::Rzz { theta, .. } => Gate::Rzz { a: qs[0], b: qs[1], theta },
+        Gate::Rx { theta, .. } => Gate::Rx {
+            qubit: qs[0],
+            theta,
+        },
+        Gate::Ry { theta, .. } => Gate::Ry {
+            qubit: qs[0],
+            theta,
+        },
+        Gate::Rz { theta, .. } => Gate::Rz {
+            qubit: qs[0],
+            theta,
+        },
+        Gate::Phase { lambda, .. } => Gate::Phase {
+            qubit: qs[0],
+            lambda,
+        },
+        Gate::Cx { .. } => Gate::Cx {
+            control: qs[0],
+            target: qs[1],
+        },
+        Gate::Cz { .. } => Gate::Cz {
+            control: qs[0],
+            target: qs[1],
+        },
+        Gate::Rzz { theta, .. } => Gate::Rzz {
+            a: qs[0],
+            b: qs[1],
+            theta,
+        },
         Gate::Swap { .. } => Gate::Swap { a: qs[0], b: qs[1] },
     }
 }

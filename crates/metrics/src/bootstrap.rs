@@ -212,7 +212,10 @@ mod tests {
         log.record_n(bs("00"), 70);
         let mut rng = StdRng::seed_from_u64(4);
         let est = bootstrap_statistic(&log, 100, 0.9, &mut rng, |l| {
-            l.ranked().first().map(|&(s, _)| s.hamming_weight() as f64).unwrap_or(0.0)
+            l.ranked()
+                .first()
+                .map(|&(s, _)| s.hamming_weight() as f64)
+                .unwrap_or(0.0)
         });
         // Mode is 00 with overwhelming probability.
         assert_eq!(est.point, 0.0);

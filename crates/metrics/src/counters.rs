@@ -64,6 +64,11 @@ pub struct ServiceCounters {
     failovers: AtomicU64,
     heartbeats_missed: AtomicU64,
     stale_map_retries: AtomicU64,
+    requests_shed: AtomicU64,
+    retry_budget_exhausted: AtomicU64,
+    peer_dials_suppressed: AtomicU64,
+    net_faults_injected: AtomicU64,
+    partitions_healed: AtomicU64,
 }
 
 /// A point-in-time copy of a [`ServiceCounters`].
@@ -102,6 +107,11 @@ pub struct CountersSnapshot {
     pub failovers: u64,
     pub heartbeats_missed: u64,
     pub stale_map_retries: u64,
+    pub requests_shed: u64,
+    pub retry_budget_exhausted: u64,
+    pub peer_dials_suppressed: u64,
+    pub net_faults_injected: u64,
+    pub partitions_healed: u64,
 }
 
 impl ServiceCounters {
@@ -242,7 +252,8 @@ impl ServiceCounters {
     /// socket refused bytes and the response stayed buffered until the
     /// poller reported writability).
     pub fn inc_write_backpressure_event(&self) {
-        self.write_backpressure_events.fetch_add(1, Ordering::Relaxed);
+        self.write_backpressure_events
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an observed per-shard run-queue depth, keeping the
@@ -284,6 +295,38 @@ impl ServiceCounters {
         self.stale_map_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one queued work job evicted by overload shedding to admit
+    /// newer work (the victim's deadline was already impossible).
+    pub fn inc_requests_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the retry-budget denial total (a gauge owned by the
+    /// node's `RetryBudget`, mirrored here like the fault-injection
+    /// total).
+    pub fn set_retry_budget_exhausted(&self, total: u64) {
+        self.retry_budget_exhausted.store(total, Ordering::Relaxed);
+    }
+
+    /// Publishes the suppressed-dial total (a gauge owned by the
+    /// per-peer `DialGate`).
+    pub fn set_peer_dials_suppressed(&self, total: u64) {
+        self.peer_dials_suppressed.store(total, Ordering::Relaxed);
+    }
+
+    /// Publishes the network fault-injection total (a gauge owned by the
+    /// node's `NetFaultPlan`, distinct from the request-level
+    /// `faults_injected`).
+    pub fn set_net_faults_injected(&self, total: u64) {
+        self.net_faults_injected.store(total, Ordering::Relaxed);
+    }
+
+    /// Publishes the healed-partition total (a gauge owned by the node's
+    /// `NetFaultPlan`).
+    pub fn set_partitions_healed(&self, total: u64) {
+        self.partitions_healed.store(total, Ordering::Relaxed);
+    }
+
     /// Captures the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -319,6 +362,11 @@ impl ServiceCounters {
             failovers: self.failovers.load(Ordering::Relaxed),
             heartbeats_missed: self.heartbeats_missed.load(Ordering::Relaxed),
             stale_map_retries: self.stale_map_retries.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
+            peer_dials_suppressed: self.peer_dials_suppressed.load(Ordering::Relaxed),
+            net_faults_injected: self.net_faults_injected.load(Ordering::Relaxed),
+            partitions_healed: self.partitions_healed.load(Ordering::Relaxed),
         }
     }
 }
@@ -343,7 +391,7 @@ impl CountersSnapshot {
     /// Renders the snapshot as a two-column table.
     pub fn render(&self) -> Table {
         let mut t = Table::new(&["counter", "value"]);
-        let rows: [(&str, String); 34] = [
+        let rows: [(&str, String); 39] = [
             ("requests", self.requests.to_string()),
             ("jobs executed", self.jobs_executed.to_string()),
             ("jobs failed", self.jobs_failed.to_string()),
@@ -358,12 +406,18 @@ impl CountersSnapshot {
             ("faults injected", self.faults_injected.to_string()),
             ("retries", self.retries.to_string()),
             ("degraded responses", self.degraded_responses.to_string()),
-            ("deadline expirations", self.deadline_expirations.to_string()),
+            (
+                "deadline expirations",
+                self.deadline_expirations.to_string(),
+            ),
             ("connections reaped", self.connections_reaped.to_string()),
             ("breaker trips", self.breaker_trips.to_string()),
             ("journal checkpoints", self.journal_checkpoints.to_string()),
             ("resumed jobs", self.resumed_jobs.to_string()),
-            ("profiles quarantined", self.profiles_quarantined.to_string()),
+            (
+                "profiles quarantined",
+                self.profiles_quarantined.to_string(),
+            ),
             ("invariant clamps", self.invariant_clamps.to_string()),
             ("pool tasks", self.pool_tasks.to_string()),
             ("barrier waits", self.barrier_waits.to_string()),
@@ -381,6 +435,17 @@ impl CountersSnapshot {
             ("failovers", self.failovers.to_string()),
             ("heartbeats missed", self.heartbeats_missed.to_string()),
             ("stale map retries", self.stale_map_retries.to_string()),
+            ("requests shed", self.requests_shed.to_string()),
+            (
+                "retry budget exhausted",
+                self.retry_budget_exhausted.to_string(),
+            ),
+            (
+                "peer dials suppressed",
+                self.peer_dials_suppressed.to_string(),
+            ),
+            ("net faults injected", self.net_faults_injected.to_string()),
+            ("partitions healed", self.partitions_healed.to_string()),
         ];
         for (k, v) in rows {
             t.row_owned(vec![k.to_string(), v]);
@@ -446,6 +511,12 @@ mod tests {
         c.inc_heartbeat_missed();
         c.inc_heartbeat_missed();
         c.inc_stale_map_retry();
+        c.inc_requests_shed();
+        c.inc_requests_shed();
+        c.set_retry_budget_exhausted(7);
+        c.set_peer_dials_suppressed(4);
+        c.set_net_faults_injected(9);
+        c.set_partitions_healed(1);
 
         let s = c.snapshot();
         assert_eq!(s.requests, 3);
@@ -481,6 +552,11 @@ mod tests {
         assert_eq!(s.failovers, 1);
         assert_eq!(s.heartbeats_missed, 3);
         assert_eq!(s.stale_map_retries, 1);
+        assert_eq!(s.requests_shed, 2);
+        assert_eq!(s.retry_budget_exhausted, 7);
+        assert_eq!(s.peer_dials_suppressed, 4);
+        assert_eq!(s.net_faults_injected, 9);
+        assert_eq!(s.partitions_healed, 1);
     }
 
     #[test]
@@ -543,6 +619,11 @@ mod tests {
             "failovers",
             "heartbeats missed",
             "stale map retries",
+            "requests shed",
+            "retry budget exhausted",
+            "peer dials suppressed",
+            "net faults injected",
+            "partitions healed",
         ] {
             assert!(text.contains(key), "{key} missing from:\n{text}");
         }

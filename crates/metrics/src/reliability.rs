@@ -63,10 +63,7 @@ impl CorrectSet {
         let w = outputs[0].width();
         for (i, s) in outputs.iter().enumerate() {
             assert_eq!(s.width(), w, "mixed widths in correct set");
-            assert!(
-                !outputs[..i].contains(s),
-                "duplicate correct output {s}"
-            );
+            assert!(!outputs[..i].contains(s), "duplicate correct output {s}");
         }
         CorrectSet { outputs }
     }

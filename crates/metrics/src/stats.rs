@@ -170,9 +170,7 @@ mod tests {
     fn correlation_is_symmetric() {
         let x = [0.3, 1.9, -0.5, 2.2];
         let y = [1.0, 0.1, 0.7, -0.2];
-        assert!(
-            (pearson_correlation(&x, &y) - pearson_correlation(&y, &x)).abs() < 1e-12
-        );
+        assert!((pearson_correlation(&x, &y) - pearson_correlation(&y, &x)).abs() < 1e-12);
     }
 
     #[test]

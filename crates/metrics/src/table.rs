@@ -72,7 +72,8 @@ impl Table {
     /// Panics if the cell count differs from the number of columns.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -158,7 +159,9 @@ mod tests {
         assert_eq!(lines.len(), 4);
         // All lines the same width.
         let w = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == w || l.trim_end().len() <= w));
+        assert!(lines
+            .iter()
+            .all(|l| l.len() == w || l.trim_end().len() <= w));
         assert!(lines[2].starts_with("a "));
         assert!(lines[3].starts_with("longer"));
     }

@@ -144,7 +144,11 @@ mod tests {
         let exec = NoisyExecutor::readout_only(&dev);
         let mut rng = StdRng::seed_from_u64(2);
         let cal = calibrate_readout(&exec, 20_000, &mut rng);
-        let eff: Vec<f64> = dev.effective_pairs().iter().map(|p| p.mean_error()).collect();
+        let eff: Vec<f64> = dev
+            .effective_pairs()
+            .iter()
+            .map(|p| p.mean_error())
+            .collect();
         let (tmin, tavg, tmax) = qstats_min_avg_max(&eff);
         let (min, avg, max) = cal.error_stats();
         assert!((avg - tavg).abs() < 0.01, "avg {avg} vs {tavg}");

@@ -125,10 +125,7 @@ impl CorrelatedReadout {
             }
         }
         if extra > 0.0 {
-            pair = FlipPair::new(
-                (pair.p01 + extra).min(1.0),
-                (pair.p10 + extra).min(1.0),
-            );
+            pair = FlipPair::new((pair.p01 + extra).min(1.0), (pair.p10 + extra).min(1.0));
         }
         pair
     }
@@ -198,9 +195,7 @@ mod tests {
             let ideal = BitString::from_value(v, 3);
             for o in 0..8u64 {
                 let obs = BitString::from_value(o, 3);
-                assert!(
-                    (corr.confusion(ideal, obs) - base.confusion(ideal, obs)).abs() < 1e-12
-                );
+                assert!((corr.confusion(ideal, obs) - base.confusion(ideal, obs)).abs() < 1e-12);
             }
         }
     }

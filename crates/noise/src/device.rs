@@ -81,7 +81,10 @@ impl DeviceModel {
             (0.0..=1.0).contains(&gate_error_2q),
             "2q error rate out of range"
         );
-        assert!(meas_duration_us >= 0.0, "measurement duration must be non-negative");
+        assert!(
+            meas_duration_us >= 0.0,
+            "measurement duration must be non-negative"
+        );
         for &(a, b) in &coupling {
             assert!(a < n && b < n && a != b, "bad coupling edge ({a}, {b})");
         }
@@ -286,7 +289,11 @@ impl DeviceModel {
     /// Min, mean, and max per-qubit assignment error — the numbers the
     /// paper's **Table 1** reports.
     pub fn assignment_error_stats(&self) -> (f64, f64, f64) {
-        let errs: Vec<f64> = self.qubits.iter().map(|q| q.assignment.mean_error()).collect();
+        let errs: Vec<f64> = self
+            .qubits
+            .iter()
+            .map(|q| q.assignment.mean_error())
+            .collect();
         let min = errs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = errs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
@@ -454,7 +461,10 @@ mod tests {
         }
         let avgs: Vec<f64> = class_avg.iter().map(|&(sum, n)| sum / n as f64).collect();
         for w in 1..avgs.len() {
-            assert!(avgs[w] < avgs[w - 1], "BMS class averages not decreasing: {avgs:?}");
+            assert!(
+                avgs[w] < avgs[w - 1],
+                "BMS class averages not decreasing: {avgs:?}"
+            );
         }
     }
 

@@ -109,9 +109,15 @@ impl CalibrationDrift {
         // to an uncoupled probe.
         let gn = self.nominal.gate_noise();
         if let Some(&(a, b)) = self.nominal.coupling().first() {
-            gn.gate_error(&qsim::Gate::Cx { control: a, target: b })
+            gn.gate_error(&qsim::Gate::Cx {
+                control: a,
+                target: b,
+            })
         } else if self.nominal.n_qubits() >= 2 {
-            gn.gate_error(&qsim::Gate::Cx { control: 0, target: 1 })
+            gn.gate_error(&qsim::Gate::Cx {
+                control: 0,
+                target: 1,
+            })
         } else {
             0.0
         }
@@ -214,8 +220,14 @@ mod tests {
         // The weakest four and strongest four states should largely agree.
         let head_overlap = r1[..4].iter().filter(|s| r2[..4].contains(s)).count();
         let tail_overlap = r1[28..].iter().filter(|s| r2[28..].contains(s)).count();
-        assert!(head_overlap >= 3, "weak states not repeatable: {head_overlap}");
-        assert!(tail_overlap >= 3, "strong states not repeatable: {tail_overlap}");
+        assert!(
+            head_overlap >= 3,
+            "weak states not repeatable: {head_overlap}"
+        );
+        assert!(
+            tail_overlap >= 3,
+            "strong states not repeatable: {tail_overlap}"
+        );
     }
 
     #[test]
@@ -229,7 +241,11 @@ mod tests {
             let first = drift.window(k);
             let second = drift.window(k);
             assert_eq!(first, second, "repeated call differs for window {k}");
-            assert_eq!(first, make().window(k), "fresh generator differs for window {k}");
+            assert_eq!(
+                first,
+                make().window(k),
+                "fresh generator differs for window {k}"
+            );
         }
     }
 
@@ -260,10 +276,19 @@ mod tests {
         let drift = CalibrationDrift::new(nominal.clone(), 0.1);
         let w = drift.window(4);
         assert_eq!(drift_score(&nominal, &w), drift_score(&nominal, &w));
-        let small = drift_score(&nominal, &CalibrationDrift::new(nominal.clone(), 0.02).window(4));
-        let large = drift_score(&nominal, &CalibrationDrift::new(nominal.clone(), 0.3).window(4));
+        let small = drift_score(
+            &nominal,
+            &CalibrationDrift::new(nominal.clone(), 0.02).window(4),
+        );
+        let large = drift_score(
+            &nominal,
+            &CalibrationDrift::new(nominal.clone(), 0.3).window(4),
+        );
         assert!(small < large, "{small} vs {large}");
-        assert!(large <= 0.3 + 1e-12, "score bounded by the amplitude: {large}");
+        assert!(
+            large <= 0.3 + 1e-12,
+            "score bounded by the amplitude: {large}"
+        );
     }
 
     #[test]

@@ -96,7 +96,12 @@ pub trait Executor {
     ///
     /// Implementations may panic if `circuits.len() != shots.len()` or any
     /// circuit width mismatches.
-    fn run_groups(&self, circuits: &[Circuit], shots: &[u64], rng: &mut dyn RngCore) -> Vec<Counts> {
+    fn run_groups(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> Vec<Counts> {
         assert_eq!(
             circuits.len(),
             shots.len(),
@@ -360,7 +365,11 @@ impl NoisyExecutor {
         rng: &mut dyn RngCore,
     ) -> Counts {
         assert!(threads >= 1, "need at least one thread");
-        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits(),
+            "circuit width mismatch"
+        );
         // One fault arrival per call, checked before any split so the
         // site's arrival count is independent of `threads`.
         self.check_exec_fault();
@@ -405,7 +414,11 @@ impl NoisyExecutor {
     ///
     /// Panics if the circuit width mismatches or `n_qubits > 14`.
     pub fn exact_readout_distribution(&self, circuit: &Circuit) -> Distribution {
-        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits(),
+            "circuit width mismatch"
+        );
         let born = Distribution::from_probabilities(
             circuit.n_qubits(),
             StateVector::born_probabilities(circuit),
@@ -529,7 +542,11 @@ impl NoisyExecutor {
         shots: u64,
         rng: &mut dyn RngCore,
     ) -> Counts {
-        assert_eq!(circuit.n_qubits(), self.n_qubits(), "circuit width mismatch");
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits(),
+            "circuit width mismatch"
+        );
         let n = self.n_qubits();
         if shots == 0 {
             return Counts::new(n);
@@ -547,9 +564,9 @@ impl NoisyExecutor {
             if self.synthesis_pays_off(born, shots) {
                 // Exact-channel shot synthesis: one channel composition, one
                 // multinomial draw, cost independent of `shots`.
-                let observed = self.readout.apply_to_distribution(
-                    &Distribution::from_probabilities(n, born.to_vec()),
-                );
+                let observed = self
+                    .readout
+                    .apply_to_distribution(&Distribution::from_probabilities(n, born.to_vec()));
                 return Counts::synthesize_from(&observed, shots, rng);
             }
             let sampler = qsim::AliasSampler::new(born);
@@ -607,7 +624,12 @@ impl Executor for NoisyExecutor {
         self.run_with_born(circuit, None, shots, rng)
     }
 
-    fn run_groups(&self, circuits: &[Circuit], shots: &[u64], rng: &mut dyn RngCore) -> Vec<Counts> {
+    fn run_groups(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> Vec<Counts> {
         assert_eq!(
             circuits.len(),
             shots.len(),
@@ -639,8 +661,7 @@ impl Executor for NoisyExecutor {
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Counts>>> =
-            circuits.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Counts>>> = circuits.iter().map(|_| Mutex::new(None)).collect();
         // Circuit-granularity parallelism on the persistent pool: workers
         // pull circuit indices from a shared cursor, so a whole
         // characterization sweep reuses one set of parked threads (and
@@ -748,9 +769,8 @@ mod tests {
         let readout_only = NoisyExecutor::readout_only(&dev);
         let full = noisy.run(&ghz, 8000, &mut rng);
         let ro = readout_only.run(&ghz, 8000, &mut rng);
-        let ok = |log: &Counts| {
-            log.frequency(&BitString::zeros(5)) + log.frequency(&BitString::ones(5))
-        };
+        let ok =
+            |log: &Counts| log.frequency(&BitString::zeros(5)) + log.frequency(&BitString::ones(5));
         assert!(
             ok(&full) < ok(&ro),
             "gate noise should lower success: {} vs {}",
@@ -903,11 +923,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(exec.run_groups(&[], &[], &mut rng).is_empty());
         let c = Circuit::new(5);
-        let logs = exec.run_groups(
-            std::slice::from_ref(&c),
-            &[0],
-            &mut rng,
-        );
+        let logs = exec.run_groups(std::slice::from_ref(&c), &[0], &mut rng);
         assert_eq!(logs[0].total(), 0);
     }
 

@@ -92,7 +92,10 @@ impl GateNoise {
         }
         if gate.is_two_qubit() {
             let key = (qs[0].min(qs[1]), qs[0].max(qs[1]));
-            self.p2q_edges.get(&key).copied().unwrap_or(self.p2q_default)
+            self.p2q_edges
+                .get(&key)
+                .copied()
+                .unwrap_or(self.p2q_default)
         } else {
             self.p1q[qs[0]]
         }
@@ -178,10 +181,28 @@ mod tests {
         let mut n = GateNoise::new(vec![0.001, 0.002, 0.003], 0.04);
         n.set_edge_error(2, 0, 0.08);
         assert_eq!(n.gate_error(&Gate::H(1)), 0.002);
-        assert_eq!(n.gate_error(&Gate::Cx { control: 0, target: 1 }), 0.04);
+        assert_eq!(
+            n.gate_error(&Gate::Cx {
+                control: 0,
+                target: 1
+            }),
+            0.04
+        );
         // Edge lookup is unordered.
-        assert_eq!(n.gate_error(&Gate::Cx { control: 0, target: 2 }), 0.08);
-        assert_eq!(n.gate_error(&Gate::Cx { control: 2, target: 0 }), 0.08);
+        assert_eq!(
+            n.gate_error(&Gate::Cx {
+                control: 0,
+                target: 2
+            }),
+            0.08
+        );
+        assert_eq!(
+            n.gate_error(&Gate::Cx {
+                control: 2,
+                target: 0
+            }),
+            0.08
+        );
     }
 
     #[test]

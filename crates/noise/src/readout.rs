@@ -60,7 +60,10 @@ pub trait ReadoutModel: fmt::Debug {
     fn apply_to_distribution(&self, d: &Distribution) -> Distribution {
         let n = self.n_qubits();
         assert_eq!(d.width(), n, "distribution width mismatch");
-        assert!(n <= 14, "dense O(4^n) channel application limited to 14 qubits");
+        assert!(
+            n <= 14,
+            "dense O(4^n) channel application limited to 14 qubits"
+        );
         let dim = 1usize << n;
         let mut out = vec![0.0; dim];
         for ideal_idx in 0..dim {
@@ -208,7 +211,10 @@ impl FlipPair {
     /// Panics if `t_meas_us` is negative or `t1_us` is not positive.
     #[must_use]
     pub fn with_t1_decay(&self, t1_us: f64, t_meas_us: f64) -> FlipPair {
-        assert!(t_meas_us >= 0.0, "measurement duration must be non-negative");
+        assert!(
+            t_meas_us >= 0.0,
+            "measurement duration must be non-negative"
+        );
         assert!(t1_us > 0.0, "T1 must be positive");
         let p_decay = 1.0 - (-t_meas_us / t1_us).exp();
         FlipPair::new(

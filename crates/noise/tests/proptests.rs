@@ -45,7 +45,10 @@ fn confusion_rows_sum_to_one() {
         let r = random_correlated(4, &mut rng);
         let ideal = BitString::from_value(rng.gen_range(0u64..16), 4);
         let total: f64 = BitString::all(4).map(|o| r.confusion(ideal, o)).sum();
-        assert!((total - 1.0).abs() < 1e-9, "case {case}: row sums to {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: row sums to {total}"
+        );
     }
 }
 

@@ -88,7 +88,10 @@ impl Circuit {
             );
         }
         if qs.len() == 2 {
-            assert!(qs[0] != qs[1], "two-qubit gate {gate} uses the same qubit twice");
+            assert!(
+                qs[0] != qs[1],
+                "two-qubit gate {gate} uses the same qubit twice"
+            );
         }
         self.gates.push(gate);
         self
@@ -271,11 +274,16 @@ impl Circuit {
         let mut end = self.gates.len();
         let mut mask = 0u64;
         while end > 0 {
-            let Gate::X(q) = self.gates[end - 1] else { break };
+            let Gate::X(q) = self.gates[end - 1] else {
+                break;
+            };
             mask ^= 1u64 << q;
             end -= 1;
         }
-        (&self.gates[..end], BitString::from_value(mask, self.n_qubits))
+        (
+            &self.gates[..end],
+            BitString::from_value(mask, self.n_qubits),
+        )
     }
 
     /// Returns a circuit that prepares the computational basis state `s`
@@ -307,7 +315,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]:", self.n_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]:",
+            self.n_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -351,8 +364,20 @@ mod tests {
         c.h(0).rz(0, 0.4).cx(0, 1);
         let inv = c.inverse();
         assert_eq!(inv.len(), 3);
-        assert_eq!(inv.gates()[0], Gate::Cx { control: 0, target: 1 });
-        assert_eq!(inv.gates()[1], Gate::Rz { qubit: 0, theta: -0.4 });
+        assert_eq!(
+            inv.gates()[0],
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+        );
+        assert_eq!(
+            inv.gates()[1],
+            Gate::Rz {
+                qubit: 0,
+                theta: -0.4
+            }
+        );
         assert_eq!(inv.gates()[2], Gate::H(0));
     }
 
@@ -441,7 +466,13 @@ mod tests {
     #[test]
     fn extend_from_iterator() {
         let mut c = Circuit::new(2);
-        c.extend([Gate::H(0), Gate::Cx { control: 0, target: 1 }]);
+        c.extend([
+            Gate::H(0),
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
+        ]);
         assert_eq!(c.len(), 2);
     }
 

@@ -119,7 +119,10 @@ impl Counts {
     ///
     /// Panics if widths differ.
     pub fn merge(&mut self, other: &Counts) {
-        assert_eq!(self.width, other.width, "cannot merge logs of different width");
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge logs of different width"
+        );
         for (s, &n) in other.iter() {
             self.record_n(*s, n);
         }
@@ -268,7 +271,12 @@ impl Counts {
 
 impl fmt::Display for Counts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counts[{} trials, {} outcomes]:", self.total, self.distinct())?;
+        writeln!(
+            f,
+            "counts[{} trials, {} outcomes]:",
+            self.total,
+            self.distinct()
+        )?;
         for (s, n) in self.ranked().into_iter().take(16) {
             writeln!(f, "  {s}: {n} ({:.4})", self.frequency(&s))?;
         }
@@ -285,7 +293,9 @@ impl FromIterator<BitString> for Counts {
     /// Panics if the iterator is empty or outcomes have mixed widths.
     fn from_iter<T: IntoIterator<Item = BitString>>(iter: T) -> Self {
         let mut it = iter.into_iter();
-        let first = it.next().expect("cannot collect an empty iterator into Counts");
+        let first = it
+            .next()
+            .expect("cannot collect an empty iterator into Counts");
         let mut counts = Counts::new(first.width());
         counts.record(first);
         for s in it {
@@ -549,7 +559,7 @@ mod tests {
         let mut c = Counts::new(3);
         c.record_n(bs("101"), 4); // q2=1 q1=0 q0=1
         c.record_n(bs("110"), 2); // q2=1 q1=1 q0=0
-        // Onto (q0, q2): outcome bit0 = q0, bit1 = q2.
+                                  // Onto (q0, q2): outcome bit0 = q0, bit1 = q2.
         let m = c.marginalize(&[0, 2]);
         assert_eq!(m.width(), 2);
         assert_eq!(m.get(&bs("11")), 4); // q0=1, q2=1

@@ -82,10 +82,7 @@ impl KrausChannel {
         let i = C64::I;
         let s = |w: f64, m: [[C64; 2]; 2]| {
             let f = C64::real(w.sqrt());
-            [
-                [f * m[0][0], f * m[0][1]],
-                [f * m[1][0], f * m[1][1]],
-            ]
+            [[f * m[0][0], f * m[0][1]], [f * m[1][0], f * m[1][1]]]
         };
         KrausChannel::new(vec![
             s(1.0 - p, [[o, z], [z, o]]),
@@ -494,7 +491,10 @@ mod tests {
         // all-zeros branch only *gains* (the fully decayed tail of the
         // other branch, 0.5 * gamma^3).
         assert!((p111 - 0.5 * 0.8f64.powi(3)).abs() < 1e-9, "p111 = {p111}");
-        assert!((p000 - (0.5 + 0.5 * 0.2f64.powi(3))).abs() < 1e-9, "p000 = {p000}");
+        assert!(
+            (p000 - (0.5 + 0.5 * 0.2f64.powi(3))).abs() < 1e-9,
+            "p000 = {p000}"
+        );
     }
 
     #[test]

@@ -159,9 +159,22 @@ pub struct FusedProgram {
 
 /// Builder-internal op: qubits + unclassified fused matrices.
 enum RawOp {
-    One { q: usize, m: Matrix2 },
-    Two { lo: usize, hi: usize, m: Matrix4 },
-    Fact { lo: usize, hi: usize, mlo: Matrix2, mhi: Matrix2, core: Matrix4 },
+    One {
+        q: usize,
+        m: Matrix2,
+    },
+    Two {
+        lo: usize,
+        hi: usize,
+        m: Matrix4,
+    },
+    Fact {
+        lo: usize,
+        hi: usize,
+        mlo: Matrix2,
+        mhi: Matrix2,
+        core: Matrix4,
+    },
 }
 
 impl RawOp {
@@ -198,7 +211,10 @@ impl FusedProgram {
         for gate in gates {
             let qs = gate.qubits();
             for &q in &qs {
-                assert!(q < n_qubits, "gate {gate} out of range for {n_qubits} qubits");
+                assert!(
+                    q < n_qubits,
+                    "gate {gate} out of range for {n_qubits} qubits"
+                );
             }
             if !gate.is_two_qubit() {
                 let q = qs[0];
@@ -256,7 +272,11 @@ impl FusedProgram {
                         if legs_dense {
                             full = mul4(&full, &kron(&mhi, &mlo));
                         }
-                        *prev = RawOp::Two { lo, hi, m: mul4(&full, &prev.flatten4()) };
+                        *prev = RawOp::Two {
+                            lo,
+                            hi,
+                            m: mul4(&full, &prev.flatten4()),
+                        };
                     }
                 }
                 continue;
@@ -264,7 +284,13 @@ impl FusedProgram {
             last_two[lo] = Some(raw.len());
             last_two[hi] = Some(raw.len());
             if legs_dense && monomial4(&m).is_some() {
-                raw.push(RawOp::Fact { lo, hi, mlo, mhi, core: m });
+                raw.push(RawOp::Fact {
+                    lo,
+                    hi,
+                    mlo,
+                    mhi,
+                    core: m,
+                });
             } else {
                 if legs_dense {
                     m = mul4(&m, &kron(&mhi, &mlo));
@@ -306,7 +332,11 @@ impl FusedProgram {
                     }
                     prev @ RawOp::Fact { .. } => {
                         let m = mul4(&expanded, &prev.flatten4());
-                        *prev = RawOp::Two { lo: op_lo, hi: op_hi, m };
+                        *prev = RawOp::Two {
+                            lo: op_lo,
+                            hi: op_hi,
+                            m,
+                        };
                         true
                     }
                     _ => false,
@@ -479,8 +509,21 @@ fn classify(op: RawOp) -> FusedOp {
             Some((perm, ph)) => FusedOp::Mono2 { lo, hi, perm, ph },
             None => FusedOp::Dense2 { lo, hi, m },
         },
-        RawOp::Fact { lo, hi, mlo, mhi, core } => match monomial4(&core) {
-            Some((perm, ph)) => FusedOp::Fact2 { lo, hi, mlo, mhi, perm, ph },
+        RawOp::Fact {
+            lo,
+            hi,
+            mlo,
+            mhi,
+            core,
+        } => match monomial4(&core) {
+            Some((perm, ph)) => FusedOp::Fact2 {
+                lo,
+                hi,
+                mlo,
+                mhi,
+                perm,
+                ph,
+            },
             // Construction keeps cores monomial; fall back defensively.
             None => FusedOp::Dense2 {
                 lo,
@@ -531,7 +574,10 @@ mod tests {
     fn canonical_orientation_roundtrip() {
         // CX with control above target must act identically after
         // canonicalization: truth table |hi=ctl, lo=tgt⟩.
-        let g = Gate::Cx { control: 1, target: 0 };
+        let g = Gate::Cx {
+            control: 1,
+            target: 0,
+        };
         let (lo, hi, m) = canonical4(&g, 1, 0);
         assert_eq!((lo, hi), (0, 1));
         // control = qubit 1 = hi bit. |10⟩ (index 2) -> |11⟩ (index 3).
@@ -544,10 +590,32 @@ mod tests {
     fn monomial_classification() {
         assert!(monomial2(&Gate::X(0).matrix2()).is_some());
         assert!(monomial2(&Gate::Y(0).matrix2()).is_some());
-        assert!(monomial2(&Gate::Rz { qubit: 0, theta: 0.3 }.matrix2()).is_some());
+        assert!(monomial2(
+            &Gate::Rz {
+                qubit: 0,
+                theta: 0.3
+            }
+            .matrix2()
+        )
+        .is_some());
         assert!(monomial2(&Gate::H(0).matrix2()).is_none());
-        assert!(monomial4(&Gate::Cx { control: 0, target: 1 }.matrix4()).is_some());
-        assert!(monomial4(&Gate::Rzz { a: 0, b: 1, theta: 0.4 }.matrix4()).is_some());
+        assert!(monomial4(
+            &Gate::Cx {
+                control: 0,
+                target: 1
+            }
+            .matrix4()
+        )
+        .is_some());
+        assert!(monomial4(
+            &Gate::Rzz {
+                a: 0,
+                b: 1,
+                theta: 0.4
+            }
+            .matrix4()
+        )
+        .is_some());
     }
 
     #[test]
@@ -591,7 +659,15 @@ mod tests {
         c.h(0).h(1).cx(0, 1);
         let prog = FusedProgram::from_circuit(&c);
         assert_eq!(prog.n_ops(), 1);
-        let FusedOp::Fact2 { lo, hi, mlo, mhi, perm, ph } = prog.ops()[0] else {
+        let FusedOp::Fact2 {
+            lo,
+            hi,
+            mlo,
+            mhi,
+            perm,
+            ph,
+        } = prog.ops()[0]
+        else {
             panic!("expected a factored block, got {:?}", prog.ops()[0]);
         };
         assert_eq!((lo, hi), (0, 1));
@@ -601,7 +677,11 @@ mod tests {
         }
         let h = Gate::H(0).matrix2();
         let expect = mul4(
-            &Gate::Cx { control: 0, target: 1 }.matrix4(),
+            &Gate::Cx {
+                control: 0,
+                target: 1,
+            }
+            .matrix4(),
             &kron(&h, &h),
         );
         let got = mul4(&mono, &kron(&mhi, &mlo));
@@ -662,10 +742,16 @@ mod tests {
 
     #[test]
     fn classify_gate_specializes() {
-        assert!(matches!(classify_gate(&Gate::X(2)), FusedOp::Mono1 { q: 2, .. }));
+        assert!(matches!(
+            classify_gate(&Gate::X(2)),
+            FusedOp::Mono1 { q: 2, .. }
+        ));
         assert!(matches!(classify_gate(&Gate::H(0)), FusedOp::Dense1 { .. }));
         assert!(matches!(
-            classify_gate(&Gate::Cx { control: 3, target: 1 }),
+            classify_gate(&Gate::Cx {
+                control: 3,
+                target: 1
+            }),
             FusedOp::Mono2 { lo: 1, hi: 3, .. }
         ));
     }

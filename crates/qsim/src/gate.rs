@@ -171,9 +171,7 @@ impl Gate {
                 let s = C64::real((theta / 2.0).sin());
                 [[c, -s], [s, c]]
             }
-            Gate::Rz { theta, .. } => {
-                [[C64::cis(-theta / 2.0), z], [z, C64::cis(theta / 2.0)]]
-            }
+            Gate::Rz { theta, .. } => [[C64::cis(-theta / 2.0), z], [z, C64::cis(theta / 2.0)]],
             Gate::Phase { lambda, .. } => [[o, z], [z, C64::cis(lambda)]],
             _ => panic!("matrix2 called on two-qubit gate {self:?}"),
         }
@@ -191,34 +189,14 @@ impl Gate {
         match *self {
             // Basis ordering |target, control⟩: index = 2*target + control.
             // CX flips target when control (bit 0 of the index) is 1.
-            Gate::Cx { .. } => [
-                [o, z, z, z],
-                [z, z, z, o],
-                [z, z, o, z],
-                [z, o, z, z],
-            ],
-            Gate::Cz { .. } => [
-                [o, z, z, z],
-                [z, o, z, z],
-                [z, z, o, z],
-                [z, z, z, -o],
-            ],
+            Gate::Cx { .. } => [[o, z, z, z], [z, z, z, o], [z, z, o, z], [z, o, z, z]],
+            Gate::Cz { .. } => [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]],
             Gate::Rzz { theta, .. } => {
                 let p = C64::cis(-theta / 2.0);
                 let m = C64::cis(theta / 2.0);
-                [
-                    [p, z, z, z],
-                    [z, m, z, z],
-                    [z, z, m, z],
-                    [z, z, z, p],
-                ]
+                [[p, z, z, z], [z, m, z, z], [z, z, m, z], [z, z, z, p]]
             }
-            Gate::Swap { .. } => [
-                [o, z, z, z],
-                [z, z, o, z],
-                [z, o, z, z],
-                [z, z, z, o],
-            ],
+            Gate::Swap { .. } => [[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]],
             _ => panic!("matrix4 called on single-qubit gate {self:?}"),
         }
     }
@@ -246,7 +224,11 @@ impl Gate {
                 qubit,
                 lambda: -lambda,
             },
-            Gate::Rzz { a, b, theta } => Gate::Rzz { a, b, theta: -theta },
+            Gate::Rzz { a, b, theta } => Gate::Rzz {
+                a,
+                b,
+                theta: -theta,
+            },
             // X, Y, Z, H, CX, CZ, SWAP are self-inverse.
             g => g,
         }
@@ -353,18 +335,40 @@ mod tests {
             Gate::Sdg(0),
             Gate::T(0),
             Gate::Tdg(0),
-            Gate::Rx { qubit: 0, theta: 0.3 },
-            Gate::Ry { qubit: 0, theta: 1.1 },
-            Gate::Rz { qubit: 0, theta: -0.7 },
-            Gate::Phase { qubit: 0, lambda: 2.2 },
+            Gate::Rx {
+                qubit: 0,
+                theta: 0.3,
+            },
+            Gate::Ry {
+                qubit: 0,
+                theta: 1.1,
+            },
+            Gate::Rz {
+                qubit: 0,
+                theta: -0.7,
+            },
+            Gate::Phase {
+                qubit: 0,
+                lambda: 2.2,
+            },
         ]
     }
 
     fn all_double() -> Vec<Gate> {
         vec![
-            Gate::Cx { control: 0, target: 1 },
-            Gate::Cz { control: 0, target: 1 },
-            Gate::Rzz { a: 0, b: 1, theta: 0.9 },
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cz {
+                control: 0,
+                target: 1,
+            },
+            Gate::Rzz {
+                a: 0,
+                b: 1,
+                theta: 0.9,
+            },
             Gate::Swap { a: 0, b: 1 },
         ]
     }
@@ -428,7 +432,11 @@ mod tests {
 
     #[test]
     fn rz_pi_is_z_up_to_phase() {
-        let rz = Gate::Rz { qubit: 0, theta: PI }.matrix2();
+        let rz = Gate::Rz {
+            qubit: 0,
+            theta: PI,
+        }
+        .matrix2();
         // Rz(π) = diag(e^{-iπ/2}, e^{iπ/2}) = -i · Z
         let phase = C64::cis(-PI / 2.0);
         assert!(rz[0][0].approx_eq(phase, TOL));
@@ -437,7 +445,12 @@ mod tests {
 
     #[test]
     fn rzz_diagonal_signs() {
-        let m = Gate::Rzz { a: 0, b: 1, theta: 2.0 }.matrix4();
+        let m = Gate::Rzz {
+            a: 0,
+            b: 1,
+            theta: 2.0,
+        }
+        .matrix4();
         // Even-parity basis states get e^{-iθ/2}, odd-parity get e^{+iθ/2}.
         assert!(m[0][0].approx_eq(C64::cis(-1.0), TOL));
         assert!(m[1][1].approx_eq(C64::cis(1.0), TOL));
@@ -448,7 +461,11 @@ mod tests {
     #[test]
     fn cx_truth_table() {
         // Index = 2*target + control; control is bit 0.
-        let m = Gate::Cx { control: 0, target: 1 }.matrix4();
+        let m = Gate::Cx {
+            control: 0,
+            target: 1,
+        }
+        .matrix4();
         // |t=0,c=1⟩ (index 1) -> |t=1,c=1⟩ (index 3)
         assert!(m[3][1].approx_eq(C64::ONE, TOL));
         // |t=0,c=0⟩ stays.
@@ -457,8 +474,22 @@ mod tests {
 
     #[test]
     fn qubit_lists() {
-        assert_eq!(Gate::Cx { control: 3, target: 1 }.qubits(), vec![3, 1]);
-        assert_eq!(Gate::Rz { qubit: 2, theta: 0.1 }.qubits(), vec![2]);
+        assert_eq!(
+            Gate::Cx {
+                control: 3,
+                target: 1
+            }
+            .qubits(),
+            vec![3, 1]
+        );
+        assert_eq!(
+            Gate::Rz {
+                qubit: 2,
+                theta: 0.1
+            }
+            .qubits(),
+            vec![2]
+        );
     }
 
     #[test]
@@ -469,9 +500,20 @@ mod tests {
 
     #[test]
     fn display_includes_angle() {
-        let s = Gate::Rz { qubit: 2, theta: 0.5 }.to_string();
+        let s = Gate::Rz {
+            qubit: 2,
+            theta: 0.5,
+        }
+        .to_string();
         assert!(s.starts_with("rz(0.5000)"), "{s}");
         assert!(s.ends_with("q2"));
-        assert_eq!(Gate::Cx { control: 0, target: 1 }.to_string(), "cx q0,q1");
+        assert_eq!(
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+            .to_string(),
+            "cx q0,q1"
+        );
     }
 }

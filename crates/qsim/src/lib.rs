@@ -60,9 +60,9 @@ pub mod statevector;
 pub mod transpile;
 
 pub use bitstring::{BitString, ParseBitStringError, MAX_WIDTH};
-pub use density::{DensityMatrix, KrausChannel};
 pub use circuit::Circuit;
 pub use counts::{Counts, Distribution};
+pub use density::{DensityMatrix, KrausChannel};
 pub use fuse::FusedProgram;
 pub use gate::Gate;
 pub use pool::{SpinBarrier, WorkerPool};

@@ -74,23 +74,69 @@ fn self_inverse(g: &Gate) -> bool {
 /// `None` if the pair does not fuse).
 fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
     match (*a, *b) {
-        (Gate::Rx { qubit: p, theta: t1 }, Gate::Rx { qubit: q, theta: t2 }) if p == q => {
-            Some(Gate::Rx { qubit: p, theta: t1 + t2 })
-        }
-        (Gate::Ry { qubit: p, theta: t1 }, Gate::Ry { qubit: q, theta: t2 }) if p == q => {
-            Some(Gate::Ry { qubit: p, theta: t1 + t2 })
-        }
-        (Gate::Rz { qubit: p, theta: t1 }, Gate::Rz { qubit: q, theta: t2 }) if p == q => {
-            Some(Gate::Rz { qubit: p, theta: t1 + t2 })
-        }
-        (Gate::Phase { qubit: p, lambda: l1 }, Gate::Phase { qubit: q, lambda: l2 })
-            if p == q =>
-        {
-            Some(Gate::Phase { qubit: p, lambda: l1 + l2 })
-        }
         (
-            Gate::Rzz { a: a1, b: b1, theta: t1 },
-            Gate::Rzz { a: a2, b: b2, theta: t2 },
+            Gate::Rx {
+                qubit: p,
+                theta: t1,
+            },
+            Gate::Rx {
+                qubit: q,
+                theta: t2,
+            },
+        ) if p == q => Some(Gate::Rx {
+            qubit: p,
+            theta: t1 + t2,
+        }),
+        (
+            Gate::Ry {
+                qubit: p,
+                theta: t1,
+            },
+            Gate::Ry {
+                qubit: q,
+                theta: t2,
+            },
+        ) if p == q => Some(Gate::Ry {
+            qubit: p,
+            theta: t1 + t2,
+        }),
+        (
+            Gate::Rz {
+                qubit: p,
+                theta: t1,
+            },
+            Gate::Rz {
+                qubit: q,
+                theta: t2,
+            },
+        ) if p == q => Some(Gate::Rz {
+            qubit: p,
+            theta: t1 + t2,
+        }),
+        (
+            Gate::Phase {
+                qubit: p,
+                lambda: l1,
+            },
+            Gate::Phase {
+                qubit: q,
+                lambda: l2,
+            },
+        ) if p == q => Some(Gate::Phase {
+            qubit: p,
+            lambda: l1 + l2,
+        }),
+        (
+            Gate::Rzz {
+                a: a1,
+                b: b1,
+                theta: t1,
+            },
+            Gate::Rzz {
+                a: a2,
+                b: b2,
+                theta: t2,
+            },
         ) if (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2) => Some(Gate::Rzz {
             a: a1,
             b: b1,
@@ -217,7 +263,13 @@ mod tests {
         let mut c = Circuit::new(1);
         c.rx(0, 0.2).rx(0, 0.3);
         let opt = peephole(&c);
-        assert_eq!(opt.gates(), &[Gate::Rx { qubit: 0, theta: 0.5 }]);
+        assert_eq!(
+            opt.gates(),
+            &[Gate::Rx {
+                qubit: 0,
+                theta: 0.5
+            }]
+        );
     }
 
     #[test]
@@ -236,7 +288,10 @@ mod tests {
         let opt = peephole(&c);
         assert_eq!(opt.gates(), &[Gate::Z(0)]);
         let mut c = Circuit::new(1);
-        c.push(Gate::T(0)).push(Gate::T(0)).push(Gate::T(0)).push(Gate::T(0));
+        c.push(Gate::T(0))
+            .push(Gate::T(0))
+            .push(Gate::T(0))
+            .push(Gate::T(0));
         // T^4 = Z: fuses pairwise to S·S, then Z.
         let opt = peephole(&c);
         assert_eq!(opt.gates(), &[Gate::Z(0)]);
@@ -251,8 +306,7 @@ mod tests {
         // twice (e.g. preparing 111 then applying the full inversion
         // string) leaves nothing to execute.
         let prep = Circuit::basis_state_preparation("111".parse().unwrap());
-        let double_inv = prep
-            .with_premeasure_inversion("111".parse().unwrap());
+        let double_inv = prep.with_premeasure_inversion("111".parse().unwrap());
         let opt = peephole(&double_inv);
         assert!(opt.is_empty());
     }

@@ -254,7 +254,9 @@ impl WorkerPool {
         {
             // Waits for the helpers even if `f(0)` unwinds: the job borrow
             // must outlive every helper's use of it.
-            let _wait = WaitGuard { shared: &self.shared };
+            let _wait = WaitGuard {
+                shared: &self.shared,
+            };
             f(0);
         }
         let mut st = lock_state(&self.shared.state);
@@ -440,7 +442,8 @@ impl SpinBarrier {
             // Reset before release: late waiters load `generation` with
             // Acquire, so they observe the reset before they can re-arrive.
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {

@@ -38,26 +38,54 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     let _ = writeln!(out, "creg c[{n}];");
     for g in circuit.gates() {
         match *g {
-            Gate::X(q) => { let _ = writeln!(out, "x q[{q}];"); },
-            Gate::Y(q) => { let _ = writeln!(out, "y q[{q}];"); },
-            Gate::Z(q) => { let _ = writeln!(out, "z q[{q}];"); },
-            Gate::H(q) => { let _ = writeln!(out, "h q[{q}];"); },
-            Gate::S(q) => { let _ = writeln!(out, "s q[{q}];"); },
-            Gate::Sdg(q) => { let _ = writeln!(out, "sdg q[{q}];"); },
-            Gate::T(q) => { let _ = writeln!(out, "t q[{q}];"); },
-            Gate::Tdg(q) => { let _ = writeln!(out, "tdg q[{q}];"); },
-            Gate::Rx { qubit, theta } => { let _ = writeln!(out, "rx({theta:.17e}) q[{qubit}];"); },
-            Gate::Ry { qubit, theta } => { let _ = writeln!(out, "ry({theta:.17e}) q[{qubit}];"); },
-            Gate::Rz { qubit, theta } => { let _ = writeln!(out, "rz({theta:.17e}) q[{qubit}];"); },
-            Gate::Phase { qubit, lambda } => { let _ = writeln!(out, "p({lambda:.17e}) q[{qubit}];"); },
+            Gate::X(q) => {
+                let _ = writeln!(out, "x q[{q}];");
+            }
+            Gate::Y(q) => {
+                let _ = writeln!(out, "y q[{q}];");
+            }
+            Gate::Z(q) => {
+                let _ = writeln!(out, "z q[{q}];");
+            }
+            Gate::H(q) => {
+                let _ = writeln!(out, "h q[{q}];");
+            }
+            Gate::S(q) => {
+                let _ = writeln!(out, "s q[{q}];");
+            }
+            Gate::Sdg(q) => {
+                let _ = writeln!(out, "sdg q[{q}];");
+            }
+            Gate::T(q) => {
+                let _ = writeln!(out, "t q[{q}];");
+            }
+            Gate::Tdg(q) => {
+                let _ = writeln!(out, "tdg q[{q}];");
+            }
+            Gate::Rx { qubit, theta } => {
+                let _ = writeln!(out, "rx({theta:.17e}) q[{qubit}];");
+            }
+            Gate::Ry { qubit, theta } => {
+                let _ = writeln!(out, "ry({theta:.17e}) q[{qubit}];");
+            }
+            Gate::Rz { qubit, theta } => {
+                let _ = writeln!(out, "rz({theta:.17e}) q[{qubit}];");
+            }
+            Gate::Phase { qubit, lambda } => {
+                let _ = writeln!(out, "p({lambda:.17e}) q[{qubit}];");
+            }
             Gate::Cx { control, target } => {
-                { let _ = writeln!(out, "cx q[{control}],q[{target}];"); }
+                let _ = writeln!(out, "cx q[{control}],q[{target}];");
             }
             Gate::Cz { control, target } => {
-                { let _ = writeln!(out, "cz q[{control}],q[{target}];"); }
+                let _ = writeln!(out, "cz q[{control}],q[{target}];");
             }
-            Gate::Rzz { a, b, theta } => { let _ = writeln!(out, "rzz({theta:.17e}) q[{a}],q[{b}];"); },
-            Gate::Swap { a, b } => { let _ = writeln!(out, "swap q[{a}],q[{b}];"); },
+            Gate::Rzz { a, b, theta } => {
+                let _ = writeln!(out, "rzz({theta:.17e}) q[{a}],q[{b}];");
+            }
+            Gate::Swap { a, b } => {
+                let _ = writeln!(out, "swap q[{a}],q[{b}];");
+            }
         }
     }
     for q in 0..n {
@@ -84,7 +112,11 @@ impl QasmError {
 
 impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -225,10 +257,18 @@ fn parse_statement(
             let (a, b) = two(&qubits)?;
             Gate::Swap { a, b }
         }
-        other => return Err(QasmError::new(lineno, format!("unsupported gate {other:?}"))),
+        other => {
+            return Err(QasmError::new(
+                lineno,
+                format!("unsupported gate {other:?}"),
+            ))
+        }
     };
     if gate.qubits().iter().any(|&q| q >= circuit.n_qubits()) {
-        return Err(QasmError::new(lineno, format!("qubit out of range in {stmt:?}")));
+        return Err(QasmError::new(
+            lineno,
+            format!("qubit out of range in {stmt:?}"),
+        ));
     }
     circuit.push(gate);
     Ok(())
@@ -312,7 +352,13 @@ mod tests {
     fn parses_u1_alias() {
         let text = "qreg q[1];\nu1(0.5) q[0];";
         let c = from_qasm(text).unwrap();
-        assert_eq!(c.gates(), &[Gate::Phase { qubit: 0, lambda: 0.5 }]);
+        assert_eq!(
+            c.gates(),
+            &[Gate::Phase {
+                qubit: 0,
+                lambda: 0.5
+            }]
+        );
     }
 
     #[test]

@@ -390,7 +390,10 @@ mod tests {
         for (i, &w) in weights.iter().enumerate() {
             let expect = w / total;
             let got = hist[i] as f64 / n as f64;
-            assert!((got - expect).abs() < 0.005, "outcome {i}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 0.005,
+                "outcome {i}: {got} vs {expect}"
+            );
         }
         assert_eq!(hist[4], 0, "zero-weight outcome sampled");
     }

@@ -312,7 +312,12 @@ unsafe fn apply_cycles(
 /// `i00` is the first base index (with the op's qubit bits deposited as
 /// zero) and `run ≤ 1 << low_qubit` amplitudes are contiguous from it.
 #[inline(always)]
-fn for_runs(groups: Range<usize>, low_qubit: usize, insert: impl Fn(usize) -> usize, mut f: impl FnMut(usize, usize)) {
+fn for_runs(
+    groups: Range<usize>,
+    low_qubit: usize,
+    insert: impl Fn(usize) -> usize,
+    mut f: impl FnMut(usize, usize),
+) {
     let blo = 1usize << low_qubit;
     let mut g = groups.start;
     while g < groups.end {
@@ -563,14 +568,19 @@ unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
                 // Diagonal: in-place phase multiply; skip unit phases so
                 // plain S/T/Phase gates touch half the memory.
                 if bit >= RUN_MIN {
-                    for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
-                        if p0 != C64::ONE {
-                            scale(col(amps, i0, run), p0);
-                        }
-                        if p1 != C64::ONE {
-                            scale(col(amps, i0 + bit, run), p1);
-                        }
-                    });
+                    for_runs(
+                        groups,
+                        q,
+                        |g| insert_zero(g, q),
+                        |i0, run| {
+                            if p0 != C64::ONE {
+                                scale(col(amps, i0, run), p0);
+                            }
+                            if p1 != C64::ONE {
+                                scale(col(amps, i0 + bit, run), p1);
+                            }
+                        },
+                    );
                 } else {
                     let (skip0, skip1) = (p0 == C64::ONE, p1 == C64::ONE);
                     for g in groups {
@@ -586,9 +596,14 @@ unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
             } else {
                 // Antidiagonal (X/Y-like): pair swap with phases.
                 if bit >= RUN_MIN {
-                    for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
-                        swap_phase(col(amps, i0, run), col(amps, i0 + bit, run), p0, p1);
-                    });
+                    for_runs(
+                        groups,
+                        q,
+                        |g| insert_zero(g, q),
+                        |i0, run| {
+                            swap_phase(col(amps, i0, run), col(amps, i0 + bit, run), p0, p1);
+                        },
+                    );
                 } else {
                     for g in groups {
                         let i0 = insert_zero(g, q);
@@ -603,9 +618,14 @@ unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
         FusedOp::Dense1 { q, m } => {
             let bit = 1usize << q;
             if bit >= RUN_MIN {
-                for_runs(groups, q, |g| insert_zero(g, q), |i0, run| {
-                    two_mix(&m, col(amps, i0, run), col(amps, i0 + bit, run));
-                });
+                for_runs(
+                    groups,
+                    q,
+                    |g| insert_zero(g, q),
+                    |i0, run| {
+                        two_mix(&m, col(amps, i0, run), col(amps, i0 + bit, run));
+                    },
+                );
             } else {
                 for g in groups {
                     let i0 = insert_zero(g, q);
@@ -684,13 +704,22 @@ unsafe fn apply_op_groups(amps: *mut C64, op: &FusedOp, groups: Range<usize>) {
                     ];
                     for (r, &i) in idx.iter().enumerate() {
                         let mr = &m[r];
-                        *amps.add(i) =
-                            cmul(mr[0], v[0]) + cmul(mr[1], v[1]) + cmul(mr[2], v[2]) + cmul(mr[3], v[3]);
+                        *amps.add(i) = cmul(mr[0], v[0])
+                            + cmul(mr[1], v[1])
+                            + cmul(mr[2], v[2])
+                            + cmul(mr[3], v[3]);
                     }
                 }
             }
         }
-        FusedOp::Fact2 { lo, hi, mlo, mhi, perm, ph } => {
+        FusedOp::Fact2 {
+            lo,
+            hi,
+            mlo,
+            mhi,
+            perm,
+            ph,
+        } => {
             // One pass for `Mono(perm, ph) · (mhi ⊗ mlo)`: long runs take
             // the fused single-sweep kernel (SIMD on x86-64), short runs a
             // scalar gather/compute/scatter per group. The common
@@ -896,8 +925,7 @@ const SUM_BLOCK: usize = 4096;
 /// `threads > 1` computes blocks on the pool; the per-block arithmetic and
 /// the caller's sequential combine are identical either way.
 fn norm_block_partials(amps: &[C64], threads: usize) -> Vec<f64> {
-    let block_sum =
-        |block: &[C64]| -> f64 { block.iter().map(|a| a.norm_sqr()).sum() };
+    let block_sum = |block: &[C64]| -> f64 { block.iter().map(|a| a.norm_sqr()).sum() };
     let n_blocks = amps.len().div_ceil(SUM_BLOCK).max(1);
     if threads <= 1 || n_blocks < 2 {
         return amps.chunks(SUM_BLOCK).map(block_sum).collect();
@@ -993,7 +1021,10 @@ impl StateVector {
     /// normalized within `1e-9`.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two");
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "length must be a power of two"
+        );
         let n_qubits = len.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(
@@ -1516,18 +1547,27 @@ mod tests {
     fn cx_control_target_orientation() {
         // Control q1 set, target q0: |q1=1,q0=0⟩ -> |11⟩.
         let mut sv = StateVector::basis("10".parse().unwrap());
-        sv.apply_gate(&Gate::Cx { control: 1, target: 0 });
+        sv.apply_gate(&Gate::Cx {
+            control: 1,
+            target: 0,
+        });
         assert!((sv.probability_of("11".parse().unwrap()) - 1.0).abs() < TOL);
         // Control q1 clear: |01⟩ unchanged.
         let mut sv = StateVector::basis("01".parse().unwrap());
-        sv.apply_gate(&Gate::Cx { control: 1, target: 0 });
+        sv.apply_gate(&Gate::Cx {
+            control: 1,
+            target: 0,
+        });
         assert!((sv.probability_of("01".parse().unwrap()) - 1.0).abs() < TOL);
     }
 
     #[test]
     fn cx_nonadjacent_qubits() {
         let mut sv = StateVector::basis("001".parse().unwrap());
-        sv.apply_gate(&Gate::Cx { control: 0, target: 2 });
+        sv.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 2,
+        });
         assert!((sv.probability_of("101".parse().unwrap()) - 1.0).abs() < TOL);
     }
 
@@ -1541,7 +1581,12 @@ mod tests {
     #[test]
     fn circuit_then_inverse_is_identity() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).rz(1, 0.7).ry(2, 1.3).cz(1, 2).rzz(0, 2, 0.5);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.7)
+            .ry(2, 1.3)
+            .cz(1, 2)
+            .rzz(0, 2, 0.5);
         let mut sv = StateVector::zero(3);
         sv.apply_circuit(&c);
         sv.apply_circuit(&c.inverse());
@@ -1694,7 +1739,11 @@ mod tests {
     fn rzz_phases_are_relative_only() {
         // Rzz on a basis state changes only global phase: probabilities fixed.
         let mut sv = StateVector::basis("11".parse().unwrap());
-        sv.apply_gate(&Gate::Rzz { a: 0, b: 1, theta: 1.234 });
+        sv.apply_gate(&Gate::Rzz {
+            a: 0,
+            b: 1,
+            theta: 1.234,
+        });
         assert!((sv.probability_of("11".parse().unwrap()) - 1.0).abs() < TOL);
     }
 

@@ -99,7 +99,9 @@ pub fn to_rotation_basis(circuit: &Circuit) -> Circuit {
             }
             Gate::Rx { qubit, theta } => {
                 // Rx(θ) = Rz(-π/2) Ry(θ) Rz(π/2)
-                out.rz(qubit, FRAC_PI_2).ry(qubit, theta).rz(qubit, -FRAC_PI_2);
+                out.rz(qubit, FRAC_PI_2)
+                    .ry(qubit, theta)
+                    .rz(qubit, -FRAC_PI_2);
             }
             Gate::Phase { qubit, lambda } => {
                 out.rz(qubit, lambda);
@@ -177,7 +179,12 @@ mod tests {
     #[test]
     fn mixed_circuit_roundtrip() {
         let mut c = Circuit::new(3);
-        c.h(0).cz(0, 1).rzz(1, 2, 0.6).swap(0, 2).ry(1, 0.4).cx(2, 1);
+        c.h(0)
+            .cz(0, 1)
+            .rzz(1, 2, 0.6)
+            .swap(0, 2)
+            .ry(1, 0.4)
+            .cx(2, 1);
         let lowered = to_cx_basis(&c);
         assert!(lowered
             .gates()
@@ -203,10 +210,10 @@ mod tests {
             .y(0)
             .z(1);
         let lowered = to_rotation_basis(&to_cx_basis(&c));
-        assert!(lowered.gates().iter().all(|g| matches!(
-            g,
-            Gate::Rz { .. } | Gate::Ry { .. } | Gate::Cx { .. }
-        )));
+        assert!(lowered
+            .gates()
+            .iter()
+            .all(|g| matches!(g, Gate::Rz { .. } | Gate::Ry { .. } | Gate::Cx { .. })));
         fidelity_preserved(&c, &lowered);
     }
 

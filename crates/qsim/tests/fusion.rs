@@ -37,7 +37,10 @@ fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
         8 => Gate::Rx { qubit: q, theta },
         9 => Gate::Ry { qubit: q, theta },
         10 => Gate::Rz { qubit: q, theta },
-        11 => Gate::Phase { qubit: q, lambda: theta },
+        11 => Gate::Phase {
+            qubit: q,
+            lambda: theta,
+        },
         12 => {
             let (control, target) = distinct_pair(n, rng);
             Gate::Cx { control, target }
@@ -277,15 +280,20 @@ fn distribution_permute_xor_properties() {
     for case in 0..40 {
         let n = rng.gen_range(2..6);
         let c = random_circuit(n, rng.gen_range(0..20), &mut rng);
-        let d = Distribution::from_probabilities(
-            n,
-            StateVector::from_circuit(&c).probabilities(),
-        );
+        let d = Distribution::from_probabilities(n, StateVector::from_circuit(&c).probabilities());
         let mask = BitString::from_value(rng.gen_range(0u64..(1u64 << n)), n);
         let permuted = d.permute_xor(mask);
         // Involution, alias agreement, and pointwise definition.
-        assert_eq!(permuted.permute_xor(mask), d, "case {case}: not an involution");
-        assert_eq!(permuted, d.xor_relabeled(mask), "case {case}: alias diverged");
+        assert_eq!(
+            permuted.permute_xor(mask),
+            d,
+            "case {case}: not an involution"
+        );
+        assert_eq!(
+            permuted,
+            d.xor_relabeled(mask),
+            "case {case}: alias diverged"
+        );
         for s in BitString::all(n) {
             assert_eq!(
                 permuted.probability_of(s),

@@ -36,7 +36,10 @@ fn random_gate(n: usize, rng: &mut StdRng) -> Gate {
         8 => Gate::Rx { qubit: q, theta },
         9 => Gate::Ry { qubit: q, theta },
         10 => Gate::Rz { qubit: q, theta },
-        11 => Gate::Phase { qubit: q, lambda: theta },
+        11 => Gate::Phase {
+            qubit: q,
+            lambda: theta,
+        },
         12 => {
             let (control, target) = distinct_pair(n, rng);
             Gate::Cx { control, target }

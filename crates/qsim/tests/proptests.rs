@@ -95,7 +95,11 @@ fn bitstring_algebra() {
             8,
             "case {case}"
         );
-        assert_eq!((a ^ b).hamming_weight(), a.hamming_distance(&b), "case {case}");
+        assert_eq!(
+            (a ^ b).hamming_weight(),
+            a.hamming_distance(&b),
+            "case {case}"
+        );
         assert_eq!(a ^ a, BitString::zeros(8), "case {case}");
         assert_eq!((a ^ b) ^ b, a, "case {case}");
     }
@@ -167,8 +171,7 @@ fn counts_invariants() {
     let mut rng = StdRng::seed_from_u64(0x51a7);
     for case in 0..CASES {
         let len = rng.gen_range(1usize..100);
-        let outcomes: Vec<BitString> =
-            (0..len).map(|_| random_bitstring(5, &mut rng)).collect();
+        let outcomes: Vec<BitString> = (0..len).map(|_| random_bitstring(5, &mut rng)).collect();
         let mask = random_bitstring(5, &mut rng);
 
         let counts: Counts = outcomes.iter().copied().collect();

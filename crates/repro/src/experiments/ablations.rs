@@ -15,10 +15,7 @@ use qsim::{BitString, Circuit};
 
 /// Runs every quality ablation and renders one section per design choice.
 pub fn ablations(cfg: &Config) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(
-        "ablations",
-        "Design-choice ablations (DESIGN.md §5)",
-    );
+    let mut out = ExperimentOutput::new("ablations", "Design-choice ablations (DESIGN.md §5)");
     damping(&mut out);
     crosstalk(&mut out);
     sim_modes(cfg, &mut out);
@@ -32,10 +29,15 @@ fn damping(out: &mut ExperimentOutput) {
     let dev = DeviceModel::ibmqx2();
     let with = dev.readout();
     let without = CorrelatedReadout::from_tensor(TensorReadout::new(
-        (0..dev.n_qubits()).map(|q| dev.qubit(q).assignment).collect(),
+        (0..dev.n_qubits())
+            .map(|q| dev.qubit(q).assignment)
+            .collect(),
     ));
     let mut t = Table::new(&["channel", "relative BMS(11111)", "weight correlation"]);
-    for (name, r) in [("assignment + T1 damping", &with), ("assignment only", &without)] {
+    for (name, r) in [
+        ("assignment + T1 damping", &with),
+        ("assignment only", &without),
+    ] {
         let table = RbmsTable::exact(r);
         let rel = table.relative()[BitString::ones(5).index()];
         t.row_owned(vec![
@@ -102,9 +104,15 @@ fn sim_modes(cfg: &Config, out: &mut ExperimentOutput) {
         eight.push(InversionString::from_mask(mask.parse().expect("valid")));
     }
     let variants: Vec<(String, StaticInvertMeasure)> = vec![
-        ("1 string (baseline)".into(), StaticInvertMeasure::new(vec![InversionString::standard(5)])),
+        (
+            "1 string (baseline)".into(),
+            StaticInvertMeasure::new(vec![InversionString::standard(5)]),
+        ),
         ("2 strings".into(), StaticInvertMeasure::two_mode(5)),
-        ("4 strings (paper)".into(), StaticInvertMeasure::four_mode(5)),
+        (
+            "4 strings (paper)".into(),
+            StaticInvertMeasure::four_mode(5),
+        ),
         ("8 strings".into(), StaticInvertMeasure::new(eight)),
         (
             "4 strings, profile-guided".into(),
@@ -114,10 +122,20 @@ fn sim_modes(cfg: &Config, out: &mut ExperimentOutput) {
     let mut t = Table::new(&["configuration", "PST of 11111", "PST of 00000"]);
     for (name, sim) in &variants {
         let weak = sim
-            .execute(&Circuit::basis_state_preparation(ones), shots, &exec, &mut rng)
+            .execute(
+                &Circuit::basis_state_preparation(ones),
+                shots,
+                &exec,
+                &mut rng,
+            )
             .frequency(&ones);
         let strong = sim
-            .execute(&Circuit::basis_state_preparation(zeros), shots, &exec, &mut rng)
+            .execute(
+                &Circuit::basis_state_preparation(zeros),
+                shots,
+                &exec,
+                &mut rng,
+            )
             .frequency(&zeros);
         t.row_owned(vec![name.clone(), fmt_prob(weak), fmt_prob(strong)]);
     }
@@ -152,10 +170,22 @@ fn aim_budget(cfg: &Config, out: &mut ExperimentOutput) {
             "canary 50%".into(),
             AdaptiveInvertMeasure::new(profile.clone()).with_canary_fraction(0.50),
         ),
-        ("k = 1".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(1)),
-        ("k = 2".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(2)),
-        ("k = 4 (paper)".into(), AdaptiveInvertMeasure::new(profile.clone()).with_k(4)),
-        ("k = 8".into(), AdaptiveInvertMeasure::new(profile).with_k(8)),
+        (
+            "k = 1".into(),
+            AdaptiveInvertMeasure::new(profile.clone()).with_k(1),
+        ),
+        (
+            "k = 2".into(),
+            AdaptiveInvertMeasure::new(profile.clone()).with_k(2),
+        ),
+        (
+            "k = 4 (paper)".into(),
+            AdaptiveInvertMeasure::new(profile.clone()).with_k(4),
+        ),
+        (
+            "k = 8".into(),
+            AdaptiveInvertMeasure::new(profile).with_k(8),
+        ),
     ];
     for (name, aim) in &configs {
         let pst = aim

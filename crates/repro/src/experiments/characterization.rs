@@ -136,7 +136,11 @@ pub fn fig5(cfg: &Config) -> ExperimentOutput {
         "fig5",
         "Average relative BMS per Hamming weight, 10-bit states on melbourne (paper Figure 5)",
     );
-    let mut t = Table::new(&["hamming weight", "measured (ESCT, 150k trials)", "exact channel"]);
+    let mut t = Table::new(&[
+        "hamming weight",
+        "measured (ESCT, 150k trials)",
+        "exact channel",
+    ]);
     for w in 0..=10usize {
         t.row_owned(vec![
             w.to_string(),
@@ -176,7 +180,10 @@ pub fn fig15(cfg: &Config) -> ExperimentOutput {
             fmt_prob(a[s.index()]),
         ]);
     }
-    out.section("relative strengths (x-axis in state order, as the paper plots)", t);
+    out.section(
+        "relative strengths (x-axis in state order, as the paper plots)",
+        t,
+    );
 
     let mut stats = Table::new(&["technique", "trials used", "MSE vs direct"]);
     for (name, table) in [("direct", &direct), ("ESCT", &esct), ("AWCT", &awct)] {

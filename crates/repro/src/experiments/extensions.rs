@@ -125,7 +125,10 @@ pub fn unfolding(cfg: &Config) -> ExperimentOutput {
             fmt_prob(tensor.unfold(&base_log).probability_of(target)),
         ]);
     }
-    out.section("recovered probability of the true state (ibmqx4, readout only)", t);
+    out.section(
+        "recovered probability of the true state (ibmqx4, readout only)",
+        t,
+    );
     out.section(
         "trade-offs",
         "dense unfolding is near-exact but needs 2^n calibration circuits and O(8^n) \
@@ -162,7 +165,11 @@ pub fn mapping(cfg: &Config) -> ExperimentOutput {
         let logical = routed.logical_counts(&physical_log);
         let success = logical.frequency(&qsim::BitString::zeros(5))
             + logical.frequency(&qsim::BitString::ones(5));
-        let qubits: Vec<String> = placement.physical().iter().map(|q| format!("Q{q}")).collect();
+        let qubits: Vec<String> = placement
+            .physical()
+            .iter()
+            .map(|q| format!("Q{q}"))
+            .collect();
         t.row_owned(vec![
             name.to_string(),
             qubits.join(","),

@@ -29,7 +29,11 @@ pub fn table1(_cfg: &Config) -> ExperimentOutput {
         DeviceModel::ibmq_melbourne(),
     ] {
         let (min, avg, max) = dev.assignment_error_stats();
-        let eff: Vec<f64> = dev.effective_pairs().iter().map(|p| p.mean_error()).collect();
+        let eff: Vec<f64> = dev
+            .effective_pairs()
+            .iter()
+            .map(|p| p.mean_error())
+            .collect();
         let (emin, eavg, emax) = qmetrics::min_avg_max(&eff);
         t.row_owned(vec![
             dev.name().to_string(),
@@ -53,8 +57,18 @@ pub fn table1(_cfg: &Config) -> ExperimentOutput {
 /// Table 3: benchmark characteristics.
 pub fn table3(_cfg: &Config) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("table3", "Benchmark characteristics (paper Table 3)");
-    let mut t = Table::new(&["benchmark", "problem", "output", "qubits", "gates", "2q gates"]);
-    for b in qworkloads::suite_q5().iter().chain(qworkloads::suite_q14().iter()) {
+    let mut t = Table::new(&[
+        "benchmark",
+        "problem",
+        "output",
+        "qubits",
+        "gates",
+        "2q gates",
+    ]);
+    for b in qworkloads::suite_q5()
+        .iter()
+        .chain(qworkloads::suite_q14().iter())
+    {
         let problem = match b.kind() {
             qworkloads::BenchmarkKind::BernsteinVazirani => "Bernstein-Vazirani",
             qworkloads::BenchmarkKind::QaoaMaxCut => "QAOA max-cut",

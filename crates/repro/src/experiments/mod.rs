@@ -16,26 +16,59 @@ use crate::{Config, ExperimentOutput};
 pub const ALL_EXPERIMENTS: &[(&str, &str)] = &[
     ("fig1", "PST of 00000 / 11111 / inverted 11111 on IBM-Q5"),
     ("table1", "min/avg/max measurement error per machine"),
-    ("fig3", "BV-2 output distributions: ideal, successful, masked"),
-    ("fig4", "relative BMS for all 32 ibmqx2 states (direct vs ESCT)"),
-    ("fig5", "relative BMS vs Hamming weight, 10 qubits on melbourne"),
+    (
+        "fig3",
+        "BV-2 output distributions: ideal, successful, masked",
+    ),
+    (
+        "fig4",
+        "relative BMS for all 32 ibmqx2 states (direct vs ESCT)",
+    ),
+    (
+        "fig5",
+        "relative BMS vs Hamming weight, 10 qubits on melbourne",
+    ),
     ("fig6", "GHZ-5 output distribution, ideal vs NISQ"),
     ("table2", "QAOA graphs A-E: PST/IST/ROCA vs output weight"),
     ("table3", "benchmark characteristics"),
     ("table4", "machine configurations"),
-    ("fig7", "SIM two-mode worked example (merge recovers answer)"),
+    (
+        "fig7",
+        "SIM two-mode worked example (merge recovers answer)",
+    ),
     ("fig8", "SIM four-string example on state 0101"),
     ("fig9", "QAOA graph-D distribution: baseline vs SIM (ROCA)"),
-    ("fig10", "SIM PST normalized to baseline, all benchmarks/machines"),
-    ("fig11", "ibmqx4 arbitrary bias: per-state PST and BV-4 PST per key"),
+    (
+        "fig10",
+        "SIM PST normalized to baseline, all benchmarks/machines",
+    ),
+    (
+        "fig11",
+        "ibmqx4 arbitrary bias: per-state PST and BV-4 PST per key",
+    ),
     ("fig13", "BV all 32 keys: baseline vs SIM vs AIM on ibmqx4"),
     ("table5", "Inference Strength for baseline/SIM/AIM"),
-    ("fig14", "PST improvement of SIM and AIM normalized to baseline"),
+    (
+        "fig14",
+        "PST improvement of SIM and AIM normalized to baseline",
+    ),
     ("fig15", "RBMS validation: direct vs ESCT vs AWCT on ibmqx4"),
-    ("drift", "EXTENSION: bias repeatability across calibration windows (6.1)"),
-    ("mapping", "EXTENSION: variability-aware allocation + SWAP routing (4.3)"),
-    ("unfolding", "EXTENSION: invert-and-measure vs matrix unfolding (related work)"),
-    ("ablations", "EXTENSION: design-choice ablation studies (DESIGN.md 5)"),
+    (
+        "drift",
+        "EXTENSION: bias repeatability across calibration windows (6.1)",
+    ),
+    (
+        "mapping",
+        "EXTENSION: variability-aware allocation + SWAP routing (4.3)",
+    ),
+    (
+        "unfolding",
+        "EXTENSION: invert-and-measure vs matrix unfolding (related work)",
+    ),
+    (
+        "ablations",
+        "EXTENSION: design-choice ablation studies (DESIGN.md 5)",
+    ),
 ];
 
 /// Runs one experiment by id.

@@ -21,14 +21,7 @@ pub fn table2(cfg: &Config) -> ExperimentOutput {
         "table2",
         "Impact of measurement bias on QAOA (paper Table 2)",
     );
-    let mut t = Table::new(&[
-        "graph",
-        "optimal output",
-        "weight",
-        "PST",
-        "IST",
-        "ROCA",
-    ]);
+    let mut t = Table::new(&["graph", "optimal output", "weight", "PST", "IST", "ROCA"]);
     for bench in table2_benchmarks(2) {
         let target = bench.correct().outputs()[0];
         let log = Baseline.execute(bench.circuit(), shots, &exec, &mut rng);
@@ -42,7 +35,10 @@ pub fn table2(cfg: &Config) -> ExperimentOutput {
             r.roca.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
         ]);
     }
-    out.section("baseline reliability per graph (gate-identical instances)", t);
+    out.section(
+        "baseline reliability per graph (gate-identical instances)",
+        t,
+    );
     out.section(
         "paper reference",
         "PST 6.5% -> 1.5%, IST 1.3 -> 0.23, ROCA 1 -> 24 as weight rises 1 -> 4",
@@ -81,7 +77,12 @@ pub fn fig9(cfg: &Config) -> ExperimentOutput {
                 s.to_string(),
                 s.hamming_weight().to_string(),
                 fmt_prob(n as f64 / log.total() as f64),
-                if bench.correct().contains(&s) { "YES" } else { "" }.to_string(),
+                if bench.correct().contains(&s) {
+                    "YES"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
         }
         out.section(

@@ -40,15 +40,15 @@ pub fn fig7(cfg: &Config) -> ExperimentOutput {
     let render = |log: &qsim::Counts| {
         let mut t = Table::new(&["output", "probability"]);
         for (s, n) in log.ranked().into_iter().take(5) {
-            t.row_owned(vec![
-                s.to_string(),
-                fmt_prob(n as f64 / log.total() as f64),
-            ]);
+            t.row_owned(vec![s.to_string(), fmt_prob(n as f64 / log.total() as f64)]);
         }
         t
     };
     out.section(
-        format!("A: standard mode (PST {})", fmt_prob(groups[0].frequency(&answer))),
+        format!(
+            "A: standard mode (PST {})",
+            fmt_prob(groups[0].frequency(&answer))
+        ),
         render(&groups[0]),
     );
     out.section(
@@ -95,7 +95,12 @@ pub fn fig8(cfg: &Config) -> ExperimentOutput {
     let answer: BitString = "0101".parse().expect("valid");
     let circuit = Circuit::basis_state_preparation(answer);
     let mut strengths = Table::new(&["physical state", "exact BMS"]);
-    for s in [answer, answer.inverted(), "0000".parse().expect("valid"), "1111".parse().expect("valid")] {
+    for s in [
+        answer,
+        answer.inverted(),
+        "0000".parse().expect("valid"),
+        "1111".parse().expect("valid"),
+    ] {
         strengths.row_owned(vec![
             s.to_string(),
             fmt_prob(qnoise::ReadoutModel::success_probability(&readout, s)),
@@ -130,9 +135,7 @@ pub fn fig8(cfg: &Config) -> ExperimentOutput {
     // The ideal four-string average for reference.
     let avg: f64 = InversionString::sim_four(4)
         .iter()
-        .map(|inv| {
-            qnoise::ReadoutModel::success_probability(&readout, inv.measured_state(answer))
-        })
+        .map(|inv| qnoise::ReadoutModel::success_probability(&readout, inv.measured_state(answer)))
         .sum::<f64>()
         / 4.0;
     out.section("measured PST per mode count", t);

@@ -4,9 +4,7 @@
 
 use crate::experiments::rng_for;
 use crate::{Config, ExperimentOutput};
-use invmeas::{
-    AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure,
-};
+use invmeas::{AdaptiveInvertMeasure, Baseline, MeasurementPolicy, RbmsTable, StaticInvertMeasure};
 use qmetrics::{fmt_prob, fmt_ratio, ist, pst, Table};
 use qnoise::{DeviceModel, NoisyExecutor};
 use qworkloads::{suite_q14, suite_q5, Benchmark};
@@ -90,7 +88,13 @@ pub fn fig10(rows: &[SuiteRow]) -> ExperimentOutput {
         "fig10",
         "Impact of SIM on PST, normalized to baseline (paper Figure 10)",
     );
-    let mut t = Table::new(&["machine", "benchmark", "baseline PST", "SIM PST", "relative"]);
+    let mut t = Table::new(&[
+        "machine",
+        "benchmark",
+        "baseline PST",
+        "SIM PST",
+        "relative",
+    ]);
     let mut per_machine: Vec<(String, Vec<f64>)> = Vec::new();
     for r in rows {
         let rel = r.pst[1] / r.pst[0].max(1e-9);

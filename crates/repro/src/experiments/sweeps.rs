@@ -41,11 +41,19 @@ pub fn fig3(cfg: &Config) -> ExperimentOutput {
             t.row_owned(vec![
                 s.to_string(),
                 fmt_prob(log.frequency(&s)),
-                if bench.correct().contains(&s) { "YES" } else { "" }.to_string(),
+                if bench.correct().contains(&s) {
+                    "YES"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
         }
         let p = pst(&log, bench.correct());
-        let inferable = log.mode().map(|m| bench.correct().contains(&m)).unwrap_or(false);
+        let inferable = log
+            .mode()
+            .map(|m| bench.correct().contains(&m))
+            .unwrap_or(false);
         out.section(
             format!("{label}: PST {}, inferable: {inferable}", fmt_prob(p)),
             t,
@@ -153,7 +161,11 @@ pub fn fig13(cfg: &Config) -> ExperimentOutput {
     );
     out.section("PST per key (x-axis in ascending Hamming weight)", t);
     let mut s = Table::new(&["policy", "min PST", "avg PST", "max PST"]);
-    for (name, vals) in [("baseline", &series[0]), ("SIM", &series[1]), ("AIM", &series[2])] {
+    for (name, vals) in [
+        ("baseline", &series[0]),
+        ("SIM", &series[1]),
+        ("AIM", &series[2]),
+    ] {
         let (min, avg, max) = min_avg_max(vals);
         s.row_owned(vec![
             name.to_string(),

@@ -189,9 +189,7 @@ impl RetryPolicy {
         if self.base_backoff_ms == 0 {
             return 0;
         }
-        let exp = self
-            .base_backoff_ms
-            .saturating_mul(1u64 << attempt.min(16));
+        let exp = self.base_backoff_ms.saturating_mul(1u64 << attempt.min(16));
         exp + deterministic_jitter(seed, key, attempt) % self.base_backoff_ms
     }
 }

@@ -36,6 +36,7 @@
 //! [`CacheError::Unavailable`] when there is no last-good profile at all.
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
+use crate::overload::RetryBudget;
 use crate::protocol::{CacheOutcome, MethodKind};
 use crate::replicate::ProfileReplicator;
 use invmeas::journal::{
@@ -164,6 +165,9 @@ pub struct ProfileCache {
     /// Mesh replication hook: when set, finished profiles and journal
     /// checkpoints are pushed to the device's follower nodes.
     replicator: Option<Arc<dyn ProfileReplicator>>,
+    /// Node-wide retry budget: when set, every characterization retry
+    /// must spend a token first (a denial serves stale immediately).
+    retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl ProfileCache {
@@ -179,6 +183,7 @@ impl ProfileCache {
             counters: Arc::new(ServiceCounters::new()),
             faults: Arc::new(NoFaults),
             replicator: None,
+            retry_budget: None,
         }
     }
 
@@ -220,6 +225,16 @@ impl ProfileCache {
     #[must_use]
     pub fn with_replicator(mut self, replicator: Arc<dyn ProfileReplicator>) -> Self {
         self.replicator = Some(replicator);
+        self
+    }
+
+    /// Couples characterization retries to the node-wide [`RetryBudget`]:
+    /// a retry that cannot spend a token is not attempted and the
+    /// failure serves stale (or `Unavailable`) immediately. First
+    /// attempts are never charged.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -294,7 +309,8 @@ impl ProfileCache {
             match self.measure(device, snapshot, window, method, shots) {
                 Ok((table, stats)) => {
                     if let Some(stats) = stats {
-                        self.counters.add_journal_checkpoints(stats.checkpoints_written);
+                        self.counters
+                            .add_journal_checkpoints(stats.checkpoints_written);
                         if stats.resumed() {
                             self.counters.inc_resumed_job();
                         }
@@ -309,8 +325,19 @@ impl ProfileCache {
                     if attempt >= self.retry.max_retries {
                         break m;
                     }
+                    // The node-wide retry budget gates every retry: an
+                    // empty bucket means the whole mesh is already
+                    // retrying too much, so this failure degrades now
+                    // instead of adding to the storm.
+                    if let Some(budget) = self.retry_budget.as_ref() {
+                        if !budget.try_spend() {
+                            break m;
+                        }
+                    }
                     self.counters.inc_retry();
-                    let ms = self.retry.backoff_ms(self.config.profile_seed, device, attempt);
+                    let ms = self
+                        .retry
+                        .backoff_ms(self.config.profile_seed, device, attempt);
                     if ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(ms));
                     }
@@ -459,9 +486,9 @@ impl ProfileCache {
                 Ok((table, stats)) => Ok((table, Some(stats))),
                 // A journal write failure is transient: the checkpoints
                 // already on disk survive, so the retry resumes them.
-                Err(JournalError::Io(e)) => {
-                    Err(MeasureError::Transient(format!("journal write failed: {e}")))
-                }
+                Err(JournalError::Io(e)) => Err(MeasureError::Transient(format!(
+                    "journal write failed: {e}"
+                ))),
                 Err(JournalError::Invalid(m)) => Err(MeasureError::Permanent(m)),
             };
         }
@@ -509,7 +536,13 @@ impl ProfileCache {
         let dir = self.config.profile_dir.as_ref()?;
         let sane: String = device
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         Some(dir.join(format!("{sane}-{}-w{window}.rbms", method.as_str())))
     }
@@ -569,14 +602,21 @@ impl ProfileCache {
                 device: device.to_string(),
                 method: method.as_str().to_string(),
                 seed: self.char_seed(snapshot.name(), method, window),
-                window: if method == MethodKind::Awct { 4.min(n) } else { 0 },
+                window: if method == MethodKind::Awct {
+                    4.min(n)
+                } else {
+                    0
+                },
             };
             // Best effort: a full disk (or an injected torn write) must not
             // fail the request — and the crash-safe writer guarantees the
             // final path never holds a partial profile. The characterization
             // journal outlives a failed save on purpose: until the profile
             // is durably on disk, the checkpoints are the recovery story.
-            if table.save_v2_with(&path, &meta, self.faults.as_ref()).is_ok() {
+            if table
+                .save_v2_with(&path, &meta, self.faults.as_ref())
+                .is_ok()
+            {
                 if let Some(journal) = self.journal_path(device, method, window) {
                     let _ = std::fs::remove_file(journal);
                 }
@@ -655,9 +695,63 @@ impl ProfileCache {
 
     /// The exact persisted profile text for a key, if any — what a
     /// follower re-fetches after rejecting a corrupt replica.
-    pub fn read_profile_text(&self, device: &str, method: MethodKind, window: u64) -> Option<String> {
+    pub fn read_profile_text(
+        &self,
+        device: &str,
+        method: MethodKind,
+        window: u64,
+    ) -> Option<String> {
         let path = self.profile_path(device, method, window)?;
         std::fs::read_to_string(path).ok()
+    }
+
+    /// Re-ships every persisted profile through the replicator — the
+    /// heal-path resync. Called when a peer transitions dead → alive:
+    /// the peer may have missed any number of replica pushes while
+    /// unreachable, and re-shipping the exact on-disk bytes is what
+    /// re-converges its copies `cmp`-equal after the partition heals.
+    ///
+    /// Keys are recovered from the `{device}-{method}-w{window}.rbms`
+    /// filenames, which round-trip for real device names (alphanumerics
+    /// and dashes — the sanitizer is the identity on those). Files are
+    /// shipped in sorted name order so replays are deterministic.
+    pub fn reship_profiles(&self) {
+        let (Some(dir), Some(replicator)) =
+            (self.config.profile_dir.as_ref(), self.replicator.as_ref())
+        else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rbms"))
+            .collect();
+        files.sort();
+        for path in files {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some((rest, wtag)) = stem.rsplit_once("-w") else {
+                continue;
+            };
+            let Ok(window) = wtag.parse::<u64>() else {
+                continue;
+            };
+            let Some((device, method)) = rest.rsplit_once('-') else {
+                continue;
+            };
+            let method = match method {
+                "brute" => MethodKind::Brute,
+                "esct" => MethodKind::Esct,
+                "awct" => MethodKind::Awct,
+                _ => continue,
+            };
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                replicator.replicate_profile(device, method, window, &text);
+            }
+        }
     }
 }
 
@@ -693,8 +787,12 @@ mod tests {
     fn second_lookup_hits_and_matches() {
         let dev = DeviceModel::ibmqx2();
         let c = cache();
-        let (t1, o1) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
-        let (t2, o2) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        let (t1, o1) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
+        let (t2, o2) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o1, CacheOutcome::Miss);
         assert_eq!(o2, CacheOutcome::Hit);
         assert_eq!(t1, t2);
@@ -713,7 +811,10 @@ mod tests {
         let (_, o3) = c
             .get_or_measure("ibmqx2", &drift.window(1), 1, MethodKind::Esct, 256)
             .unwrap();
-        assert_eq!((o1, o2, o3), (CacheOutcome::Miss, CacheOutcome::Miss, CacheOutcome::Hit));
+        assert_eq!(
+            (o1, o2, o3),
+            (CacheOutcome::Miss, CacheOutcome::Miss, CacheOutcome::Hit)
+        );
     }
 
     #[test]
@@ -726,7 +827,9 @@ mod tests {
             drift_threshold: 0.01,
             ..CacheConfig::default()
         });
-        let (_, o1) = c.get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128).unwrap();
+        let (_, o1) = c
+            .get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128)
+            .unwrap();
         let (_, o2) = c
             .get_or_measure("ibmqx2", &recalibrated, 4, MethodKind::Esct, 128)
             .unwrap();
@@ -736,7 +839,9 @@ mod tests {
             drift_threshold: 0.5,
             ..CacheConfig::default()
         });
-        let (_, _) = loose.get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128).unwrap();
+        let (_, _) = loose
+            .get_or_measure("ibmqx2", &nominal, 4, MethodKind::Esct, 128)
+            .unwrap();
         let (_, o) = loose
             .get_or_measure("ibmqx2", &recalibrated, 4, MethodKind::Esct, 128)
             .unwrap();
@@ -767,7 +872,11 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        assert_eq!(misses.load(Ordering::SeqCst), 1, "exactly one characterization");
+        assert_eq!(
+            misses.load(Ordering::SeqCst),
+            1,
+            "exactly one characterization"
+        );
         for t in &tables[1..] {
             assert_eq!(t, &tables[0], "every requester sees the same table");
         }
@@ -775,10 +884,7 @@ mod tests {
 
     #[test]
     fn persisted_profiles_warm_new_instances() {
-        let dir = std::env::temp_dir().join(format!(
-            "invmeas-cache-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("invmeas-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = CacheConfig {
             profile_dir: Some(dir.clone()),
@@ -786,12 +892,16 @@ mod tests {
         };
         let dev = DeviceModel::ibmqx2();
         let first = ProfileCache::new(cfg.clone());
-        let (t1, o1) = first.get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64).unwrap();
+        let (t1, o1) = first
+            .get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o1, CacheOutcome::Miss);
         assert!(dir.join("ibmqx2-brute-w2.rbms").exists());
 
         let second = ProfileCache::new(cfg);
-        let (t2, o2) = second.get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64).unwrap();
+        let (t2, o2) = second
+            .get_or_measure("ibmqx2", &dev, 2, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o2, CacheOutcome::DiskHit);
         for (a, b) in t1.strengths().iter().zip(t2.strengths()) {
             assert!((a - b).abs() < 1e-12);
@@ -822,7 +932,9 @@ mod tests {
             .with_faults(plan)
             .with_retry(instant_retry(2))
             .with_counters(Arc::clone(&counters));
-        let (_, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap();
+        let (_, o) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32)
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss, "third attempt lands");
         assert_eq!(counters.snapshot().retries, 2);
         assert_eq!(counters.snapshot().breaker_trips, 0);
@@ -871,7 +983,9 @@ mod tests {
             })
             .with_counters(Arc::clone(&counters));
 
-        let (warm, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap();
+        let (warm, o) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32)
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss);
 
         // Window advances force re-measures that now fail. The first two
@@ -917,13 +1031,17 @@ mod tests {
             });
 
         assert_eq!(
-            c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32).unwrap().1,
+            c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 32)
+                .unwrap()
+                .1,
             CacheOutcome::Miss
         );
         // Two failing windows trip the breaker (stale serves).
         for w in [1, 2] {
             assert_eq!(
-                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32).unwrap().1,
+                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32)
+                    .unwrap()
+                    .1,
                 CacheOutcome::Stale
             );
         }
@@ -931,13 +1049,17 @@ mod tests {
         // Cooldown: two more degraded serves…
         for w in [3, 4] {
             assert_eq!(
-                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32).unwrap().1,
+                c.get_or_measure("ibmqx2", &dev, w, MethodKind::Brute, 32)
+                    .unwrap()
+                    .1,
                 CacheOutcome::Stale
             );
         }
         // …then the probe runs, succeeds, and the breaker closes.
         assert_eq!(
-            c.get_or_measure("ibmqx2", &dev, 5, MethodKind::Brute, 32).unwrap().1,
+            c.get_or_measure("ibmqx2", &dev, 5, MethodKind::Brute, 32)
+                .unwrap()
+                .1,
             CacheOutcome::Miss
         );
         assert_eq!(c.health(5).open_breakers, 0);
@@ -969,7 +1091,9 @@ mod tests {
         // file aside, and re-measures.
         let counters = Arc::new(ServiceCounters::new());
         let second = ProfileCache::new(cfg).with_counters(Arc::clone(&counters));
-        let (_, o) = second.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        let (_, o) = second
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss);
         assert_eq!(counters.snapshot().profiles_quarantined, 1);
         // The damaged bytes survive, byte-for-byte, at the quarantine path…
@@ -982,10 +1106,8 @@ mod tests {
 
     #[test]
     fn torn_journal_write_resumes_on_retry_bit_identically() {
-        let base = std::env::temp_dir().join(format!(
-            "invmeas-cache-journal-test-{}",
-            std::process::id()
-        ));
+        let base =
+            std::env::temp_dir().join(format!("invmeas-cache-journal-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let dev = DeviceModel::ibmqx2();
         let cfg_for = |tag: &str| CacheConfig {
@@ -1007,16 +1129,24 @@ mod tests {
             .with_faults(plan)
             .with_retry(instant_retry(1))
             .with_counters(Arc::clone(&counters));
-        let (table, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        let (table, o) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss);
-        assert_eq!(table, baseline, "resumed run must match the uninterrupted one");
+        assert_eq!(
+            table, baseline,
+            "resumed run must match the uninterrupted one"
+        );
         let s = counters.snapshot();
         assert_eq!(s.retries, 1);
         assert_eq!(s.resumed_jobs, 1, "the retry resumed the in-flight journal");
         assert!(s.journal_checkpoints > 0);
         // Once the profile is durably persisted, the journal is gone.
         assert!(base.join("torn").join("ibmqx2-brute-w0.rbms").exists());
-        assert!(!base.join("torn").join("ibmqx2-brute-w0.rbms.journal").exists());
+        assert!(!base
+            .join("torn")
+            .join("ibmqx2-brute-w0.rbms.journal")
+            .exists());
         let _ = std::fs::remove_dir_all(&base);
     }
 
@@ -1055,7 +1185,9 @@ mod tests {
         // The next request tolerates the poisoned slot, resumes the two
         // surviving checkpoints, and lands the same table as a run that
         // never crashed.
-        let (table, o) = c.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        let (table, o) = c
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss);
         assert_eq!(table, baseline);
         assert_eq!(counters.snapshot().resumed_jobs, 1);
@@ -1064,10 +1196,8 @@ mod tests {
 
     #[test]
     fn corrupt_persisted_profile_falls_through_to_measurement() {
-        let dir = std::env::temp_dir().join(format!(
-            "invmeas-cache-corrupt-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("invmeas-cache-corrupt-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = CacheConfig {
             profile_dir: Some(dir.clone()),
@@ -1076,13 +1206,21 @@ mod tests {
         let dev = DeviceModel::ibmqx2();
         // Instance 1 persists a profile cleanly.
         let first = ProfileCache::new(cfg.clone());
-        first.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
+        first
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
         // Instance 2's first disk read is corrupted: it must re-measure,
         // not mis-load.
         let plan = Arc::new(FaultPlan::new(5).on_nth(FaultSite::ProfileRead, 1, Fault::Corrupt));
         let second = ProfileCache::new(cfg).with_faults(plan);
-        let (_, o) = second.get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64).unwrap();
-        assert_eq!(o, CacheOutcome::Miss, "corrupt read falls back to measuring");
+        let (_, o) = second
+            .get_or_measure("ibmqx2", &dev, 0, MethodKind::Brute, 64)
+            .unwrap();
+        assert_eq!(
+            o,
+            CacheOutcome::Miss,
+            "corrupt read falls back to measuring"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,10 +20,11 @@
 //! guarantees responses arrive in request order even when jobs complete
 //! out of order, which is what makes the split safe.
 
+use crate::net::{NetFabric, NetStream};
 use crate::protocol::{ProtocolError, Request, Response};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 /// Default socket read/write timeout applied by [`Client::connect`] and
@@ -107,8 +108,8 @@ fn is_idempotent(request: &Request) -> bool {
 /// A persistent connection to a mitigation server.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<NetStream>,
+    writer: NetStream,
     /// The resolved peer, kept for transparent reconnects.
     peer: SocketAddr,
     /// Every seed address the caller supplied (always contains `peer`).
@@ -116,6 +117,10 @@ pub struct Client {
     /// the death of the node it happened to be talking to.
     seeds: Vec<SocketAddr>,
     timeout: Option<Duration>,
+    /// The transport every (re)dial goes through — the production
+    /// direct fabric unless the caller routed this client through a
+    /// fault-scripted one with [`Client::connect_via`].
+    fabric: NetFabric,
     /// Reused across responses so steady-state requests allocate nothing
     /// for line assembly.
     line: String,
@@ -144,17 +149,35 @@ impl Client {
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Client, ClientError> {
+        Client::connect_via(&NetFabric::direct(), addr, Some(timeout))
+    }
+
+    /// Connects through an explicit [`NetFabric`], so mesh-internal
+    /// clients (peer calls, replication, forwarded work) and chaos tests
+    /// route every dial — including reconnects — through the fault
+    /// fabric. `timeout` bounds the connect and every read/write as in
+    /// [`Client::connect_timeout`]; `None` waits forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including injected refusals).
+    pub fn connect_via(
+        fabric: &NetFabric,
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let peer = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
-        let stream = open(peer, Some(timeout))?;
+        let stream = open(fabric, peer, timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             peer,
             seeds: vec![peer],
-            timeout: Some(timeout),
+            timeout,
+            fabric: fabric.clone(),
             line: String::new(),
         })
     }
@@ -180,9 +203,10 @@ impl Client {
                 "no seed address resolved",
             )));
         }
+        let fabric = NetFabric::direct();
         let mut last: Option<ClientError> = None;
         for peer in seeds.iter().copied() {
-            match open(peer, Some(DEFAULT_TIMEOUT)) {
+            match open(&fabric, peer, Some(DEFAULT_TIMEOUT)) {
                 Ok(stream) => {
                     return Ok(Client {
                         reader: BufReader::new(stream.try_clone()?),
@@ -190,6 +214,7 @@ impl Client {
                         peer,
                         seeds,
                         timeout: Some(DEFAULT_TIMEOUT),
+                        fabric,
                         line: String::new(),
                     });
                 }
@@ -318,15 +343,11 @@ impl Client {
         // Current peer first, then the remaining seeds in list order —
         // so a single-seed client behaves exactly as before, and a
         // multi-seed client rotates off a dead node.
-        let start = self
-            .seeds
-            .iter()
-            .position(|s| *s == self.peer)
-            .unwrap_or(0);
+        let start = self.seeds.iter().position(|s| *s == self.peer).unwrap_or(0);
         let mut last: Option<ClientError> = None;
         for k in 0..self.seeds.len() {
             let peer = self.seeds[(start + k) % self.seeds.len()];
-            match open(peer, self.timeout) {
+            match open(&self.fabric, peer, self.timeout) {
                 Ok(stream) => {
                     self.reader = BufReader::new(stream.try_clone()?);
                     self.writer = stream;
@@ -364,7 +385,7 @@ impl Client {
 /// The write half of a [`Client::split`] connection.
 #[derive(Debug)]
 pub struct ClientSender {
-    writer: TcpStream,
+    writer: NetStream,
 }
 
 impl ClientSender {
@@ -385,7 +406,7 @@ impl ClientSender {
 /// The read half of a [`Client::split`] connection.
 #[derive(Debug)]
 pub struct ClientReader {
-    reader: BufReader<TcpStream>,
+    reader: BufReader<NetStream>,
     line: String,
 }
 
@@ -405,15 +426,16 @@ impl ClientReader {
     }
 }
 
-fn open(peer: SocketAddr, timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
+fn open(
+    fabric: &NetFabric,
+    peer: SocketAddr,
+    timeout: Option<Duration>,
+) -> Result<NetStream, ClientError> {
     // The timeout bounds the connect too: a plain `TcpStream::connect`
     // against a partitioned host (packets silently dropped, no RST) blocks
     // for the OS SYN-retry window — minutes — which is exactly the hang
     // the read/write timeouts exist to prevent.
-    let stream = match timeout {
-        Some(t) => TcpStream::connect_timeout(&peer, t)?,
-        None => TcpStream::connect(peer)?,
-    };
+    let stream = fabric.dial(peer, timeout)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;

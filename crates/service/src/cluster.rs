@@ -69,15 +69,12 @@ impl ClusterConfig {
                 return Err(ClusterError(format!("duplicate cluster member {m:?}")));
             }
         }
-        let self_index = members
-            .iter()
-            .position(|m| m == self_addr)
-            .ok_or_else(|| {
-                ClusterError(format!(
-                    "own address {self_addr:?} is not in the cluster member list \
+        let self_index = members.iter().position(|m| m == self_addr).ok_or_else(|| {
+            ClusterError(format!(
+                "own address {self_addr:?} is not in the cluster member list \
                      (every node's --addr must appear verbatim in --cluster)"
-                ))
-            })?;
+            ))
+        })?;
         Ok(ClusterConfig {
             members,
             self_index,

@@ -22,6 +22,7 @@
 //! Nothing here does readiness or queueing — the server wires those — so
 //! the frame/ordering logic is unit-testable without sockets.
 
+use crate::net::NetStream;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -110,7 +111,7 @@ pub enum FlushOutcome {
 /// One client connection owned by the event loop.
 #[derive(Debug)]
 pub struct Conn {
-    stream: TcpStream,
+    stream: NetStream,
     token: u64,
     frames: FrameBuffer,
     write_buf: Vec<u8>,
@@ -134,8 +135,16 @@ pub struct Conn {
 }
 
 impl Conn {
-    /// Wraps an accepted, already-nonblocking stream.
+    /// Wraps an accepted, already-nonblocking stream. Raw sockets wrap
+    /// into a fault-free [`NetStream`] — the fabric-armed path goes
+    /// through [`Conn::from_net`].
     pub fn new(stream: TcpStream, token: u64, now: Instant) -> Conn {
+        Conn::from_net(NetStream::plain(stream), token, now)
+    }
+
+    /// Wraps a fabric-provided stream (possibly armed with injected
+    /// byte-level faults).
+    pub fn from_net(stream: NetStream, token: u64, now: Instant) -> Conn {
         Conn {
             stream,
             token,
@@ -157,9 +166,11 @@ impl Conn {
         self.token
     }
 
-    /// The underlying socket (for poller registration changes).
+    /// The underlying socket (for poller registration changes — the
+    /// poller watches fd readiness; injected faults act at the byte
+    /// layer above it).
     pub fn stream(&self) -> &TcpStream {
-        &self.stream
+        self.stream.tcp()
     }
 
     /// Reads everything currently available into the frame buffer.

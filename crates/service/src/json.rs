@@ -219,11 +219,19 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-        Some(c) => Err(JsonError::at(*pos, format!("unexpected byte {:?}", *c as char))),
+        Some(c) => Err(JsonError::at(
+            *pos,
+            format!("unexpected byte {:?}", *c as char),
+        )),
     }
 }
 
-fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, JsonError> {
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -389,7 +397,10 @@ mod tests {
     fn strings_escape_and_unescape() {
         let original = "qasm \"line1\"\nline2\ttab\\slash";
         let encoded = Json::Str(original.to_string()).to_string();
-        assert!(!encoded.contains('\n'), "newlines must be escaped: {encoded}");
+        assert!(
+            !encoded.contains('\n'),
+            "newlines must be escaped: {encoded}"
+        );
         assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(original));
         assert_eq!(Json::parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
     }
@@ -405,8 +416,17 @@ mod tests {
     #[test]
     fn trailing_garbage_and_malformed_inputs_rejected() {
         for bad in [
-            "{", "}", "{\"a\"}", "[1,", "\"open", "{\"a\":}", "tru", "1 2",
-            "{\"a\":1}x", "nan", "1e999",
+            "{",
+            "}",
+            "{\"a\"}",
+            "[1,",
+            "\"open",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "{\"a\":1}x",
+            "nan",
+            "1e999",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }

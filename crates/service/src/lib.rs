@@ -65,6 +65,8 @@ pub mod cluster;
 pub mod conn;
 pub mod json;
 pub mod membership;
+pub mod net;
+pub mod overload;
 pub mod poll;
 pub mod protocol;
 pub mod queue;
@@ -78,12 +80,14 @@ pub use cluster::{ClusterConfig, ClusterError, HashRing, Route};
 pub use conn::{Conn, FrameBuffer};
 pub use json::Json;
 pub use membership::Membership;
+pub use net::{NetFabric, NetStream};
+pub use overload::{DialGate, RetryBudget};
 pub use poll::{Interest, PollEvent, Poller, Waker};
 pub use protocol::{
     CacheOutcome, CharacterizeRequest, CharacterizeResponse, ClusterMapResponse, HealthResponse,
     MethodKind, PolicyKind, ReplicateRequest, Request, Response, RouteInfo, StatusResponse,
     SubmitRequest, SubmitResponse, PROTOCOL_VERSION,
 };
-pub use queue::{BoundedQueue, PushError, PushReceipt, ShardedQueue};
+pub use queue::{BoundedQueue, PushError, PushReceipt, ShardedQueue, ShedClass};
 pub use replicate::{MeshReplicator, ProfileReplicator};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,326 @@
+//! Overload control: the retry budget and the per-peer dial gate.
+//!
+//! Both primitives exist to bound *retry amplification*. When a mesh
+//! degrades — a peer partitioned away, a disk acting up — every layer
+//! that can retry (cache characterization, forward failover, replication
+//! redial) wants to, and the sum of those retries can multiply offered
+//! load into a storm precisely when capacity is lowest. The fix is
+//! classic and deliberately simple:
+//!
+//! * [`RetryBudget`] — a token bucket refilled by *request arrivals*
+//!   (not wall-clock), so retries across all layers are capped at a
+//!   fixed fraction (~10% by default) of the request rate. A retry that
+//!   cannot spend a token is simply not attempted; first attempts are
+//!   never charged. Driving the refill off request counts rather than
+//!   time keeps chaos replays deterministic: the same request order
+//!   yields the same grant/deny sequence.
+//! * [`DialGate`] — per-peer exponential backoff with deterministic
+//!   (FNV-jittered) hold-offs, so a dead member is not redialed on
+//!   every forwarded request. The gate remembers consecutive failures
+//!   per peer and refuses dials until the hold-off lapses; a single
+//!   success resets the peer. Only the *hold-off check* consults the
+//!   clock — which backoff is chosen depends only on the failure count
+//!   and the seed, so counters stay replayable.
+
+use invmeas_faults::jitter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Milli-tokens per whole retry token.
+const MILLI: u64 = 1000;
+
+/// A request-rate-coupled token bucket shared by every retry path.
+///
+/// Accounting is in milli-tokens so sub-unity refill rates (e.g. 0.1
+/// token per request) stay integral. The bucket starts full.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Current balance, in milli-tokens.
+    millitokens: AtomicU64,
+    /// Bucket capacity, in milli-tokens.
+    cap_milli: u64,
+    /// Milli-tokens added per request arrival.
+    refill_milli: u64,
+    /// Retries denied because the bucket was empty.
+    exhausted: AtomicU64,
+    /// Retries granted.
+    spent: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A bucket holding at most `cap_tokens` whole tokens, refilled by
+    /// `refill_milli` milli-tokens (1/1000ths of a retry) per request.
+    /// `refill_milli = 100` couples retries to ~10% of the request rate.
+    pub fn new(cap_tokens: u64, refill_milli: u64) -> RetryBudget {
+        let cap_milli = cap_tokens.max(1) * MILLI;
+        RetryBudget {
+            millitokens: AtomicU64::new(cap_milli),
+            cap_milli,
+            refill_milli,
+            exhausted: AtomicU64::new(0),
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers one request arrival, refilling the bucket (saturating
+    /// at capacity). Called once per parsed request frame.
+    pub fn note_request(&self) {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = (cur + self.refill_milli).min(self.cap_milli);
+            if next == cur {
+                return;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Tries to spend one whole retry token. Returns whether the retry
+    /// may proceed; a denial is counted and must mean *no attempt*.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < MILLI {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.spent.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.millitokens.load(Ordering::Relaxed) / MILLI
+    }
+
+    /// Retries denied so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Retries granted so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-peer backoff state: consecutive failures and the hold-off edge.
+#[derive(Debug, Default)]
+struct PeerGate {
+    failures: u32,
+    open_after: Option<Instant>,
+}
+
+/// Exponential-backoff dial suppression, one slot per mesh peer.
+///
+/// After `f` consecutive dial failures the peer is held off for
+/// `min(cap, base · 2^(f−1))` plus a deterministic jitter of up to half
+/// the backoff (FNV over the seed, peer index, and failure ordinal —
+/// no RNG state, so two runs with the same history pick the same
+/// hold-offs).
+#[derive(Debug)]
+pub struct DialGate {
+    peers: Vec<Mutex<PeerGate>>,
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    suppressed: AtomicU64,
+}
+
+impl DialGate {
+    /// A gate for `peers` members with the given backoff tuning.
+    pub fn new(peers: usize, base: Duration, cap: Duration, seed: u64) -> DialGate {
+        DialGate {
+            peers: (0..peers)
+                .map(|_| Mutex::new(PeerGate::default()))
+                .collect(),
+            base,
+            cap: cap.max(base),
+            seed,
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, peer: usize) -> std::sync::MutexGuard<'_, PeerGate> {
+        self.peers[peer].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether dialing `peer` is currently allowed. A refusal is counted
+    /// as a suppressed dial.
+    pub fn allow(&self, peer: usize) -> bool {
+        let gate = self.slot(peer);
+        match gate.open_after {
+            Some(edge) if Instant::now() < edge => {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Records a failed dial (or failed call) to `peer`, extending the
+    /// hold-off exponentially.
+    pub fn record_failure(&self, peer: usize) {
+        let mut gate = self.slot(peer);
+        gate.failures = gate.failures.saturating_add(1);
+        let shift = (gate.failures - 1).min(20);
+        let backoff_ms = (self.base.as_millis() as u64)
+            .saturating_mul(1u64 << shift)
+            .min(self.cap.as_millis() as u64);
+        let jit = jitter(
+            self.seed,
+            &format!("dial:{peer}"),
+            u64::from(gate.failures),
+            backoff_ms / 2 + 1,
+        );
+        gate.open_after = Some(Instant::now() + Duration::from_millis(backoff_ms + jit));
+    }
+
+    /// Records a successful call to `peer`, resetting its backoff.
+    pub fn record_success(&self, peer: usize) {
+        let mut gate = self.slot(peer);
+        gate.failures = 0;
+        gate.open_after = None;
+    }
+
+    /// Dials refused so far, across all peers.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Consecutive failures currently recorded for `peer` (test hook).
+    pub fn failures(&self, peer: usize) -> u32 {
+        self.slot(peer).failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_starts_full_and_spends_whole_tokens() {
+        let b = RetryBudget::new(3, 100);
+        assert_eq!(b.available(), 3);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket denies");
+        assert_eq!(b.spent(), 3);
+        assert_eq!(b.exhausted(), 1);
+    }
+
+    #[test]
+    fn requests_refill_at_the_configured_fraction() {
+        let b = RetryBudget::new(10, 100);
+        while b.try_spend() {}
+        assert_eq!(b.available(), 0);
+        // 10% coupling: ten requests buy exactly one retry.
+        for _ in 0..9 {
+            b.note_request();
+            assert!(!b.try_spend());
+        }
+        b.note_request();
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn refill_saturates_at_capacity() {
+        let b = RetryBudget::new(2, 1000);
+        for _ in 0..50 {
+            b.note_request();
+        }
+        assert_eq!(b.available(), 2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn budget_is_race_free_under_contention() {
+        let b = std::sync::Arc::new(RetryBudget::new(64, 0));
+        let granted = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = std::sync::Arc::clone(&b);
+                let granted = std::sync::Arc::clone(&granted);
+                s.spawn(move || {
+                    for _ in 0..32 {
+                        if b.try_spend() {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 256 attempts against 64 tokens: exactly 64 grants, no more.
+        assert_eq!(granted.load(Ordering::Relaxed), 64);
+        assert_eq!(b.spent(), 64);
+        assert_eq!(b.exhausted(), 256 - 64);
+    }
+
+    #[test]
+    fn gate_suppresses_after_failure_and_resets_on_success() {
+        let gate = DialGate::new(3, Duration::from_millis(200), Duration::from_secs(2), 7);
+        assert!(gate.allow(1), "fresh peers are open");
+        gate.record_failure(1);
+        assert!(!gate.allow(1), "held off right after a failure");
+        assert!(gate.allow(0), "other peers unaffected");
+        assert_eq!(gate.suppressed(), 1);
+        gate.record_success(1);
+        assert!(gate.allow(1), "success reopens immediately");
+        assert_eq!(gate.failures(1), 0);
+    }
+
+    #[test]
+    fn gate_backoff_grows_and_expires() {
+        let gate = DialGate::new(1, Duration::from_millis(5), Duration::from_millis(20), 7);
+        gate.record_failure(0);
+        assert!(!gate.allow(0));
+        // base 5ms + up-to-half jitter: open again within ~10ms.
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(gate.allow(0), "hold-off lapses");
+        for _ in 0..10 {
+            gate.record_failure(0);
+        }
+        assert_eq!(gate.failures(0), 11);
+        // Capped: even 11 consecutive failures stay within cap + jitter.
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(gate.allow(0));
+    }
+
+    #[test]
+    fn gate_jitter_is_deterministic() {
+        // Two gates with the same seed and history produce the same
+        // hold-off decisions (modulo the clock): we can only assert the
+        // derived jitter values agree.
+        for f in 1..6u64 {
+            assert_eq!(jitter(7, "dial:2", f, 101), jitter(7, "dial:2", f, 101));
+        }
+        assert_ne!(
+            jitter(7, "dial:2", 1, 1 << 30),
+            jitter(8, "dial:2", 1, 1 << 30)
+        );
+    }
+}

@@ -88,7 +88,10 @@ impl<T> Source for T {}
 // Linux backend: raw syscall shim.
 // ---------------------------------------------------------------------------
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 mod sys {
     use std::io;
     use std::os::raw::{c_int, c_long};
@@ -312,7 +315,10 @@ mod sys {
             // — without them, each benchmark rung's closed connections
             // starve the next rung of source ports for a minute.
             let one: c_int = 1;
-            for (level, opt) in [(SOL_IP, IP_BIND_ADDRESS_NO_PORT), (SOL_SOCKET, SO_REUSEADDR)] {
+            for (level, opt) in [
+                (SOL_IP, IP_BIND_ADDRESS_NO_PORT),
+                (SOL_SOCKET, SO_REUSEADDR),
+            ] {
                 // SAFETY: `one` outlives the call; the kernel copies it.
                 // Best-effort: an old kernel without IP_BIND_ADDRESS_NO_PORT
                 // still works, just with bind-time port selection.
@@ -405,7 +411,10 @@ mod sys {
     }
 }
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 mod backend {
     use super::{sys, Interest, PollEvent, Source};
     use std::io;
@@ -433,7 +442,10 @@ mod backend {
             if interest.writable {
                 events |= sys::EPOLLOUT;
             }
-            sys::EpollEvent { events, data: token }
+            sys::EpollEvent {
+                events,
+                data: token,
+            }
         }
 
         pub fn register(&self, src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
@@ -458,7 +470,11 @@ mod backend {
             sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, src.raw_fd(), None)
         }
 
-        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<std::time::Duration>,
+        ) -> io::Result<()> {
             out.clear();
             let timeout_ms = match timeout {
                 None => -1,
@@ -495,7 +511,10 @@ mod backend {
 // Portable fallback: report every registered token as maybe-ready.
 // ---------------------------------------------------------------------------
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 mod backend {
     use super::{Interest, PollEvent, Source};
     use std::io;
@@ -518,7 +537,12 @@ mod backend {
 
         pub const BACKEND: &'static str = "portable";
 
-        pub fn register(&self, _src: &dyn Source, token: u64, interest: Interest) -> io::Result<()> {
+        pub fn register(
+            &self,
+            _src: &dyn Source,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
             self.registered.lock().unwrap().push((token, interest));
             Ok(())
         }
@@ -539,7 +563,11 @@ mod backend {
             Ok(())
         }
 
-        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        pub fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<std::time::Duration>,
+        ) -> io::Result<()> {
             out.clear();
             // Without a kernel readiness facility we nap for one tick and
             // let the nonblocking state machines discover actual state
@@ -642,7 +670,10 @@ pub fn connect_from(
     dst: std::net::SocketAddrV4,
     timeout: Duration,
 ) -> io::Result<std::net::TcpStream> {
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     {
         use std::os::unix::io::FromRawFd;
         let fd = sys::connect_from(src, dst, timeout)?;
@@ -650,7 +681,10 @@ pub fn connect_from(
         // transfers that ownership to the TcpStream.
         Ok(unsafe { std::net::TcpStream::from_raw_fd(fd) })
     }
-    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
     {
         let _ = src;
         std::net::TcpStream::connect_timeout(&std::net::SocketAddr::V4(dst), timeout)
@@ -668,11 +702,17 @@ pub fn connect_from(
 /// Fails where unsupported (no raw-syscall shim) or when the current
 /// limits cannot be read.
 pub fn raise_nofile_limit(target: u64) -> io::Result<(u64, u64)> {
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     {
         sys::raise_nofile_limit(target)
     }
-    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
     {
         let _ = target;
         Err(io::Error::new(
@@ -797,7 +837,9 @@ mod tests {
         assert_eq!(&buf[..n], b"ping");
 
         // Ask for writability: an idle socket reports it immediately.
-        poller.modify(&server_side, 9, Interest::READ_WRITE).unwrap();
+        poller
+            .modify(&server_side, 9, Interest::READ_WRITE)
+            .unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
             poller
@@ -860,7 +902,11 @@ mod tests {
     #[test]
     fn connect_from_reports_refused_connections() {
         // Grab a port and close the listener so nothing is listening there.
-        let dst = match TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap() {
+        let dst = match TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+        {
             std::net::SocketAddr::V4(v4) => v4,
             other => panic!("unexpected addr {other}"),
         };
@@ -879,7 +925,10 @@ mod tests {
         );
     }
 
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     #[test]
     fn raise_nofile_limit_never_lowers() {
         let (soft, hard) = raise_nofile_limit(64).unwrap();

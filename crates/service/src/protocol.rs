@@ -131,7 +131,9 @@ impl CacheOutcome {
             "miss" => Ok(CacheOutcome::Miss),
             "stale" => Ok(CacheOutcome::Stale),
             "none" => Ok(CacheOutcome::None),
-            other => Err(ProtocolError::new(format!("unknown cache outcome {other:?}"))),
+            other => Err(ProtocolError::new(format!(
+                "unknown cache outcome {other:?}"
+            ))),
         }
     }
 }
@@ -377,8 +379,7 @@ impl Request {
                 fwd: v.get("fwd").and_then(Json::as_bool).unwrap_or(false),
             }),
             "sleep" => Ok(Request::Sleep {
-                ms: opt_u64(&v, "ms")?
-                    .ok_or_else(|| ProtocolError::new("sleep needs ms"))?,
+                ms: opt_u64(&v, "ms")?.ok_or_else(|| ProtocolError::new("sleep needs ms"))?,
             }),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
@@ -665,46 +666,58 @@ impl Response {
                 pairs.push(("queue_depth", Json::int(r.queue_depth)));
                 pairs.push(("queue_capacity", Json::int(r.queue_capacity)));
                 pairs.push(("draining", Json::Bool(r.draining)));
-                pairs.push((
-                    "counters",
-                    Json::obj(vec![
-                        ("requests", Json::int(c.requests)),
-                        ("jobs_executed", Json::int(c.jobs_executed)),
-                        ("jobs_failed", Json::int(c.jobs_failed)),
-                        ("busy_rejections", Json::int(c.busy_rejections)),
-                        ("cache_hits", Json::int(c.cache_hits)),
-                        ("cache_misses", Json::int(c.cache_misses)),
-                        ("queue_depth_peak", Json::int(c.queue_depth_peak)),
-                        ("latency_total_us", Json::int(c.latency_total_us)),
-                        ("latency_max_us", Json::int(c.latency_max_us)),
-                        ("faults_injected", Json::int(c.faults_injected)),
-                        ("retries", Json::int(c.retries)),
-                        ("degraded_responses", Json::int(c.degraded_responses)),
-                        ("deadline_expirations", Json::int(c.deadline_expirations)),
-                        ("connections_reaped", Json::int(c.connections_reaped)),
-                        ("breaker_trips", Json::int(c.breaker_trips)),
-                        ("journal_checkpoints", Json::int(c.journal_checkpoints)),
-                        ("resumed_jobs", Json::int(c.resumed_jobs)),
-                        ("profiles_quarantined", Json::int(c.profiles_quarantined)),
-                        ("invariant_clamps", Json::int(c.invariant_clamps)),
-                        ("pool_tasks", Json::int(c.pool_tasks)),
-                        ("barrier_waits", Json::int(c.barrier_waits)),
-                        ("arena_reuse_hits", Json::int(c.arena_reuse_hits)),
-                        ("epoll_wakeups", Json::int(c.epoll_wakeups)),
-                        ("frames_parsed", Json::int(c.frames_parsed)),
-                        (
-                            "write_backpressure_events",
-                            Json::int(c.write_backpressure_events),
-                        ),
-                        ("shard_depth_peak", Json::int(c.shard_depth_peak)),
-                        ("queue_steals", Json::int(c.queue_steals)),
-                        ("forwards", Json::int(c.forwards)),
-                        ("replication_writes", Json::int(c.replication_writes)),
-                        ("failovers", Json::int(c.failovers)),
-                        ("heartbeats_missed", Json::int(c.heartbeats_missed)),
-                        ("stale_map_retries", Json::int(c.stale_map_retries)),
-                    ]),
-                ));
+                let mut counter_pairs = vec![
+                    ("requests", Json::int(c.requests)),
+                    ("jobs_executed", Json::int(c.jobs_executed)),
+                    ("jobs_failed", Json::int(c.jobs_failed)),
+                    ("busy_rejections", Json::int(c.busy_rejections)),
+                    ("cache_hits", Json::int(c.cache_hits)),
+                    ("cache_misses", Json::int(c.cache_misses)),
+                    ("queue_depth_peak", Json::int(c.queue_depth_peak)),
+                    ("latency_total_us", Json::int(c.latency_total_us)),
+                    ("latency_max_us", Json::int(c.latency_max_us)),
+                    ("faults_injected", Json::int(c.faults_injected)),
+                    ("retries", Json::int(c.retries)),
+                    ("degraded_responses", Json::int(c.degraded_responses)),
+                    ("deadline_expirations", Json::int(c.deadline_expirations)),
+                    ("connections_reaped", Json::int(c.connections_reaped)),
+                    ("breaker_trips", Json::int(c.breaker_trips)),
+                    ("journal_checkpoints", Json::int(c.journal_checkpoints)),
+                    ("resumed_jobs", Json::int(c.resumed_jobs)),
+                    ("profiles_quarantined", Json::int(c.profiles_quarantined)),
+                    ("invariant_clamps", Json::int(c.invariant_clamps)),
+                    ("pool_tasks", Json::int(c.pool_tasks)),
+                    ("barrier_waits", Json::int(c.barrier_waits)),
+                    ("arena_reuse_hits", Json::int(c.arena_reuse_hits)),
+                    ("epoll_wakeups", Json::int(c.epoll_wakeups)),
+                    ("frames_parsed", Json::int(c.frames_parsed)),
+                    (
+                        "write_backpressure_events",
+                        Json::int(c.write_backpressure_events),
+                    ),
+                    ("shard_depth_peak", Json::int(c.shard_depth_peak)),
+                    ("queue_steals", Json::int(c.queue_steals)),
+                    ("forwards", Json::int(c.forwards)),
+                    ("replication_writes", Json::int(c.replication_writes)),
+                    ("failovers", Json::int(c.failovers)),
+                    ("heartbeats_missed", Json::int(c.heartbeats_missed)),
+                    ("stale_map_retries", Json::int(c.stale_map_retries)),
+                ];
+                // Overload/net-fault counters are additive v1 fields:
+                // omitted when zero so pre-fabric peers parse unchanged
+                // frames (same compatibility scheme as `fwd`).
+                for (key, value) in [
+                    ("requests_shed", c.requests_shed),
+                    ("retry_budget_exhausted", c.retry_budget_exhausted),
+                    ("peer_dials_suppressed", c.peer_dials_suppressed),
+                    ("net_faults_injected", c.net_faults_injected),
+                    ("partitions_healed", c.partitions_healed),
+                ] {
+                    if value > 0 {
+                        counter_pairs.push((key, Json::int(value)));
+                    }
+                }
+                pairs.push(("counters", Json::obj(counter_pairs)));
             }
             Response::Window { window } => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -874,6 +887,11 @@ impl Response {
                     failovers: opt_u64(c, "failovers")?.unwrap_or(0),
                     heartbeats_missed: opt_u64(c, "heartbeats_missed")?.unwrap_or(0),
                     stale_map_retries: opt_u64(c, "stale_map_retries")?.unwrap_or(0),
+                    requests_shed: opt_u64(c, "requests_shed")?.unwrap_or(0),
+                    retry_budget_exhausted: opt_u64(c, "retry_budget_exhausted")?.unwrap_or(0),
+                    peer_dials_suppressed: opt_u64(c, "peer_dials_suppressed")?.unwrap_or(0),
+                    net_faults_injected: opt_u64(c, "net_faults_injected")?.unwrap_or(0),
+                    partitions_healed: opt_u64(c, "partitions_healed")?.unwrap_or(0),
                 };
                 Ok(Response::Status(StatusResponse {
                     window: require_u64(&v, "window")?,
@@ -1014,10 +1032,9 @@ fn require_u64(v: &Json, key: &str) -> Result<u64, ProtocolError> {
 fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
     match v.get(key) {
         None => Ok(None),
-        Some(field) => field
-            .as_u64()
-            .map(Some)
-            .ok_or_else(|| ProtocolError::new(format!("field {key:?} must be a non-negative integer"))),
+        Some(field) => field.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::new(format!("field {key:?} must be a non-negative integer"))
+        }),
     }
 }
 
@@ -1115,14 +1132,23 @@ mod tests {
             }
             other => panic!("wrong request {other:?}"),
         }
-        assert_eq!(Request::from_line(r#"{"op":"status"}"#).unwrap(), Request::Status);
-        assert_eq!(Request::from_line(r#"{"op":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(
+            Request::from_line(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            Request::from_line(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
     }
 
     #[test]
     fn version_mismatch_rejected() {
         let e = Request::from_line(r#"{"v":2,"op":"status"}"#).unwrap_err();
-        assert!(e.to_string().contains("unsupported protocol version"), "{e}");
+        assert!(
+            e.to_string().contains("unsupported protocol version"),
+            "{e}"
+        );
         assert!(Request::from_line(r#"{"v":"x","op":"status"}"#).is_err());
     }
 
@@ -1132,9 +1158,18 @@ mod tests {
             ("not json", "json error"),
             (r#"{"op":"nope"}"#, "unknown op"),
             (r#"{"device":"x"}"#, "missing string field \"op\""),
-            (r#"{"op":"submit","device":"x"}"#, "missing string field \"qasm\""),
-            (r#"{"op":"submit","device":"x","qasm":"q","shots":-1}"#, "non-negative"),
-            (r#"{"op":"submit","device":"x","qasm":"q","policy":"magic"}"#, "unknown policy"),
+            (
+                r#"{"op":"submit","device":"x"}"#,
+                "missing string field \"qasm\"",
+            ),
+            (
+                r#"{"op":"submit","device":"x","qasm":"q","shots":-1}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"op":"submit","device":"x","qasm":"q","policy":"magic"}"#,
+                "unknown policy",
+            ),
             (r#"{"op":"set-window"}"#, "needs a window"),
         ] {
             let e = Request::from_line(line).unwrap_err().to_string();
@@ -1223,6 +1258,11 @@ mod tests {
                     failovers: 1,
                     heartbeats_missed: 2,
                     stale_map_retries: 1,
+                    requests_shed: 3,
+                    retry_budget_exhausted: 2,
+                    peer_dials_suppressed: 5,
+                    net_faults_injected: 7,
+                    partitions_healed: 1,
                 },
             }),
             Response::ClusterMap(ClusterMapResponse {

@@ -22,6 +22,29 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// How far past the global capacity control-plane pushes may overflow.
+/// Control ops (health, status, cluster-map, set-window) are tiny,
+/// bounded in number by the connection count, and are exactly what an
+/// operator needs *during* an overload — so they are never shed and get
+/// this much headroom before even they hit `Full`.
+const CONTROL_SLACK: usize = 64;
+
+/// How [`ShardedQueue::try_push_or_shed`] treats an item under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedClass {
+    /// Control-plane: never shed, admitted into the overflow slack even
+    /// at capacity.
+    Control,
+    /// Work: shed earliest-deadline-impossible first. `deadline` is the
+    /// absolute instant after which the job's answer is worthless
+    /// (`None` = no deadline; such work is never chosen as a victim).
+    Work {
+        /// Absolute completion deadline, if the job carries one.
+        deadline: Option<Instant>,
+    },
+}
 
 /// Why [`BoundedQueue::try_push`] rejected an item (the item is handed
 /// back so the caller can report on it).
@@ -254,6 +277,117 @@ impl<T> ShardedQueue<T> {
         })
     }
 
+    /// Like [`ShardedQueue::try_push`], but with priority-aware load
+    /// shedding when the queue is at capacity:
+    ///
+    /// * **control** items ([`ShedClass::Control`]) are never shed and
+    ///   are admitted into a small overflow slack past capacity, so
+    ///   health checks and operator commands keep answering while the
+    ///   data plane is saturated;
+    /// * **work** items at capacity first try to evict a queued work
+    ///   item whose deadline has *already expired* (it would only be
+    ///   dequeued to answer `deadline exceeded` anyway) — the evicted
+    ///   victim is handed back so the caller can answer it immediately,
+    ///   and the new item takes its slot. With no expired victim the
+    ///   push fails `Full` as before.
+    ///
+    /// Victim choice is the earliest deadline within the first shard
+    /// (in index order) holding an expired item — an approximation of
+    /// global earliest-deadline that keeps the scan to one shard lock
+    /// at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity with no sheddable victim
+    /// (or a control push exhausted even the slack), [`PushError::Closed`]
+    /// after [`ShardedQueue::close`]; both return the rejected item.
+    pub fn try_push_or_shed(
+        &self,
+        key: u64,
+        item: T,
+        now: Instant,
+        class_of: impl Fn(&T) -> ShedClass,
+    ) -> Result<(PushReceipt, Option<T>), PushError<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(PushError::Closed(item));
+        }
+        let class = class_of(&item);
+        let prior = self.depth.fetch_add(1, Ordering::SeqCst);
+        let mut shed = None;
+        match class {
+            ShedClass::Control => {
+                if prior >= self.capacity + CONTROL_SLACK {
+                    self.depth.fetch_sub(1, Ordering::SeqCst);
+                    return Err(PushError::Full(item));
+                }
+            }
+            ShedClass::Work { .. } if prior >= self.capacity => {
+                match self.evict_expired(now, &class_of) {
+                    // The victim freed a slot; our reservation stands.
+                    Some(victim) => shed = Some(victim),
+                    None => {
+                        self.depth.fetch_sub(1, Ordering::SeqCst);
+                        return Err(PushError::Full(item));
+                    }
+                }
+            }
+            ShedClass::Work { .. } => {}
+        }
+        let shard = self.shard_for(key);
+        let shard_depth = {
+            let mut items = self.shards[shard].lock().expect("queue poisoned");
+            if self.closed.load(Ordering::SeqCst) {
+                drop(items);
+                // Closed raced in: put any victim back (its position no
+                // longer matters — drain answers it either way) and
+                // reject ours.
+                if let Some(v) = shed.take() {
+                    self.depth.fetch_add(1, Ordering::SeqCst);
+                    self.shards[0].lock().expect("queue poisoned").push_front(v);
+                }
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                return Err(PushError::Closed(item));
+            }
+            items.push_back(item);
+            items.len()
+        };
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.idle.lock().expect("queue poisoned"));
+            self.available.notify_one();
+        }
+        Ok((
+            PushReceipt {
+                depth: self.depth.load(Ordering::SeqCst),
+                shard,
+                shard_depth,
+            },
+            shed,
+        ))
+    }
+
+    /// Removes and returns the earliest-deadline expired work item from
+    /// the first shard holding one, decrementing the global depth.
+    fn evict_expired(&self, now: Instant, class_of: &impl Fn(&T) -> ShedClass) -> Option<T> {
+        for shard in &self.shards {
+            let mut items = shard.lock().expect("queue poisoned");
+            let victim = items
+                .iter()
+                .enumerate()
+                .filter_map(|(i, it)| match class_of(it) {
+                    ShedClass::Work { deadline: Some(d) } if d <= now => Some((i, d)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, d)| d)
+                .map(|(i, _)| i);
+            if let Some(i) = victim {
+                let item = items.remove(i).expect("index just found");
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+        }
+        None
+    }
+
     /// One pass over every shard starting at the consumer's home shard.
     fn scan(&self, home: usize) -> Option<T> {
         let n = self.shards.len();
@@ -434,6 +568,106 @@ mod tests {
         assert_eq!(got, ["a", "b"]);
         assert_eq!(q.pop(2), None);
         assert_eq!(q.pop(0), None); // stays ended
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Job(&'static str, ShedClass);
+
+    fn class(j: &Job) -> ShedClass {
+        j.1
+    }
+
+    #[test]
+    fn control_pushes_overflow_capacity_but_work_does_not() {
+        let now = Instant::now();
+        let q = ShardedQueue::new(1, 2);
+        let work = ShedClass::Work { deadline: None };
+        q.try_push_or_shed(1, Job("w", work), now, class).unwrap();
+        // Work at capacity with no expired victim: Full, as before.
+        assert!(matches!(
+            q.try_push_or_shed(2, Job("w2", work), now, class),
+            Err(PushError::Full(Job("w2", _)))
+        ));
+        // Control rides the overflow slack.
+        let (receipt, shed) = q
+            .try_push_or_shed(3, Job("ctl", ShedClass::Control), now, class)
+            .unwrap();
+        assert!(shed.is_none());
+        assert!(receipt.depth > q.capacity());
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn control_slack_is_bounded() {
+        let now = Instant::now();
+        let q = ShardedQueue::new(1, 1);
+        let mut admitted = 0;
+        loop {
+            match q.try_push_or_shed(admitted, Job("c", ShedClass::Control), now, class) {
+                Ok(_) => admitted += 1,
+                Err(PushError::Full(_)) => break,
+                Err(PushError::Closed(_)) => unreachable!(),
+            }
+        }
+        assert_eq!(admitted as usize, q.capacity() + CONTROL_SLACK);
+    }
+
+    #[test]
+    fn work_at_capacity_sheds_the_expired_victim() {
+        let now = Instant::now();
+        let expired = ShedClass::Work {
+            deadline: Some(now - std::time::Duration::from_millis(1)),
+        };
+        let live = ShedClass::Work {
+            deadline: Some(now + std::time::Duration::from_secs(60)),
+        };
+        let q = ShardedQueue::new(2, 1);
+        q.try_push_or_shed(1, Job("live", live), now, class)
+            .unwrap();
+        q.try_push_or_shed(2, Job("expired", expired), now, class)
+            .unwrap();
+        // At capacity: the expired item is evicted, the live one stays.
+        let (receipt, shed) = q.try_push_or_shed(3, Job("new", live), now, class).unwrap();
+        assert_eq!(shed, Some(Job("expired", expired)));
+        assert_eq!(receipt.depth, 2, "slot swapped, not grown");
+        assert_eq!(q.depth(), 2);
+        let drained: Vec<_> = [q.pop(0).unwrap(), q.pop(0).unwrap()]
+            .into_iter()
+            .map(|j| j.0)
+            .collect();
+        assert_eq!(drained, ["live", "new"]);
+        // No expired victims left: back to plain Full.
+        assert!(q.try_push_or_shed(4, Job("x", live), now, class).is_ok());
+        assert!(q.try_push_or_shed(5, Job("y", live), now, class).is_ok());
+        assert!(matches!(
+            q.try_push_or_shed(6, Job("z", live), now, class),
+            Err(PushError::Full(_))
+        ));
+    }
+
+    #[test]
+    fn deadline_free_work_is_never_shed() {
+        let now = Instant::now();
+        let q = ShardedQueue::new(1, 1);
+        let eternal = ShedClass::Work { deadline: None };
+        q.try_push_or_shed(1, Job("eternal", eternal), now, class)
+            .unwrap();
+        assert!(matches!(
+            q.try_push_or_shed(2, Job("new", eternal), now, class),
+            Err(PushError::Full(_))
+        ));
+        assert_eq!(q.pop(0), Some(Job("eternal", eternal)));
+    }
+
+    #[test]
+    fn shed_push_respects_close() {
+        let now = Instant::now();
+        let q = ShardedQueue::new(4, 2);
+        q.close();
+        assert!(matches!(
+            q.try_push_or_shed(1, Job("c", ShedClass::Control), now, class),
+            Err(PushError::Closed(_))
+        ));
     }
 
     #[test]

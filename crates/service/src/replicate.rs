@@ -22,6 +22,8 @@
 use crate::client;
 use crate::cluster::HashRing;
 use crate::membership::Membership;
+use crate::net::NetFabric;
+use crate::overload::RetryBudget;
 use crate::protocol::{MethodKind, ReplicateRequest, Request};
 use invmeas_faults::{Fault, FaultInjector, FaultSite};
 use std::sync::{Arc, Mutex};
@@ -59,6 +61,12 @@ pub struct MeshReplicator {
     membership: Arc<Membership>,
     faults: Arc<dyn FaultInjector>,
     timeout: Duration,
+    /// The transport every replication dial goes through — direct by
+    /// default, the node's fault fabric when installed.
+    fabric: NetFabric,
+    /// When installed, a *redial* after a stale cached connection must
+    /// spend a retry token; the first dial to a member is free.
+    retry_budget: Option<Arc<RetryBudget>>,
     /// One cached connection per member, locked independently so pushes
     /// for different devices (different characterizations) never contend
     /// on one global lock.
@@ -94,8 +102,26 @@ impl MeshReplicator {
             membership,
             faults,
             timeout: Duration::from_secs(5),
+            fabric: NetFabric::direct(),
+            retry_budget: None,
             conns,
         }
+    }
+
+    /// Routes every replication dial through `fabric` (the node's fault
+    /// fabric), so scripted partitions and byte faults hit this path too.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: NetFabric) -> MeshReplicator {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Charges redials (a fresh dial after the cached connection went
+    /// stale) against the node-wide retry budget.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> MeshReplicator {
+        self.retry_budget = Some(budget);
+        self
     }
 
     /// Every mesh node on the device's ladder except this one. When this
@@ -142,6 +168,7 @@ impl MeshReplicator {
         // Warm path: the cached connection. `replicate` is idempotent, so
         // `Client::request` transparently redials once if the follower
         // dropped the idle connection (restart, idle reap) in between.
+        let had_conn = slot.is_some();
         if let Some(c) = slot.as_mut() {
             if c.request(&request).is_ok() {
                 self.membership.mark_seen(member);
@@ -149,9 +176,20 @@ impl MeshReplicator {
             }
             *slot = None; // stale beyond repair: fall through to a fresh dial
         }
+        // A redial after a dead cached connection is a retry and must
+        // spend a budget token; the very first dial to a member rides on
+        // the push itself (the mesh has to connect *some* time).
+        if had_conn {
+            if let Some(budget) = self.retry_budget.as_ref() {
+                if !budget.try_spend() {
+                    return false;
+                }
+            }
+        }
         let addr = &self.members[member];
         let dialled = (|| -> Result<client::Client, client::ClientError> {
-            let mut c = client::Client::connect_timeout(addr.as_str(), self.timeout)?;
+            let mut c =
+                client::Client::connect_via(&self.fabric, addr.as_str(), Some(self.timeout))?;
             c.request(&request)?;
             Ok(c)
         })();

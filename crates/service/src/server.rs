@@ -55,22 +55,24 @@ use crate::client;
 use crate::cluster::{ClusterConfig, HashRing};
 use crate::conn::{Conn, FlushOutcome, ReadOutcome};
 use crate::membership::Membership;
+use crate::net::NetFabric;
+use crate::overload::{DialGate, RetryBudget};
 use crate::poll::{Interest, PollEvent, Poller, Waker};
 use crate::protocol::{
     CacheOutcome, CharacterizeRequest, CharacterizeResponse, ClusterMapResponse, HealthResponse,
     MethodKind, PolicyKind, ReplicateRequest, Request, Response, RouteInfo, StatusResponse,
     SubmitRequest, SubmitResponse,
 };
-use crate::queue::{PushError, ShardedQueue};
+use crate::queue::{PushError, ShardedQueue, ShedClass};
 use crate::replicate::MeshReplicator;
 use invmeas::{PolicyChoice, Runner};
-use invmeas_faults::{Fault, FaultInjector, FaultSite, NoFaults};
+use invmeas_faults::{Fault, FaultInjector, FaultSite, NetFaultPlan, NoFaults};
 use qmetrics::{CorrectSet, ReliabilityReport, ServiceCounters};
 use qnoise::{CalibrationDrift, DeviceModel};
 use qsim::BitString;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -135,6 +137,23 @@ pub struct ServerConfig {
     /// default — keeps this node byte-compatible single-node behaviour:
     /// no heartbeats, no replication, no routing, no new wire traffic.
     pub cluster: Option<ClusterConfig>,
+    /// Deterministic network fault script (see `DESIGN.md` §17) applied
+    /// to every socket this node dials *and* accepts. `None` — the
+    /// default — is a zero-cost pass-through.
+    pub net_faults: Option<Arc<NetFaultPlan>>,
+    /// Retry-budget bucket capacity, in whole retry tokens. The budget
+    /// is shared by every retry path on the node: cache characterization
+    /// retries, forward-ladder failovers, and replication redials.
+    pub retry_budget_tokens: u64,
+    /// Milli-tokens (1/1000ths of a retry) refilled into the budget per
+    /// request arrival. The default `100` couples total retries to ~10%
+    /// of the request rate.
+    pub retry_budget_refill_milli: u64,
+    /// Base per-peer dial backoff after a failed peer call, in
+    /// milliseconds (clustered nodes only).
+    pub dial_backoff_base_ms: u64,
+    /// Cap on the per-peer exponential dial backoff, in milliseconds.
+    pub dial_backoff_cap_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +181,11 @@ impl Default for ServerConfig {
             breaker_cooldown: 4,
             faults: Arc::new(NoFaults),
             cluster: None,
+            net_faults: None,
+            retry_budget_tokens: 10,
+            retry_budget_refill_milli: 100,
+            dial_backoff_base_ms: 50,
+            dial_backoff_cap_ms: 2_000,
         }
     }
 }
@@ -228,7 +252,9 @@ struct Job {
 enum JobKind {
     Submit(SubmitRequest),
     Characterize(CharacterizeRequest),
-    Sleep { ms: u64 },
+    Sleep {
+        ms: u64,
+    },
     /// A replica push from a peer — queued (not inline) because a corrupt
     /// payload triggers a synchronous clean-copy re-fetch over the wire,
     /// which must not stall the event loop.
@@ -237,7 +263,33 @@ enum JobKind {
     /// inline) because it broadcasts to every peer before answering,
     /// which must not stall the event loop. Single-node servers (and
     /// peer-broadcast deliveries) still answer inline.
-    SetWindow { window: u64 },
+    SetWindow {
+        window: u64,
+    },
+}
+
+/// Shedding class of a queued job (see [`ShardedQueue::try_push_or_shed`]):
+/// mesh control traffic (replica installs, window broadcasts) is never
+/// shed — losing it desynchronizes the mesh — while client work
+/// (submit, characterize, sleep) competes for capacity and carries its
+/// queue-time deadline so the earliest-impossible job is evicted first.
+fn job_class(job: &Job) -> ShedClass {
+    match &job.kind {
+        JobKind::Replicate(_) | JobKind::SetWindow { .. } => ShedClass::Control,
+        JobKind::Submit(_) | JobKind::Characterize(_) | JobKind::Sleep { .. } => ShedClass::Work {
+            deadline: job.deadline.map(|d| job.enqueued + d),
+        },
+    }
+}
+
+/// Answers a job evicted by priority shedding: a `504`, exactly what the
+/// job would have received at dequeue, just earlier — its deadline was
+/// already impossible when a new job needed the slot.
+fn answer_shed(state: &State, victim: Job) {
+    state.counters.inc_requests_shed();
+    victim.respond.send(Response::deadline_exceeded(
+        "shed while queued: deadline already impossible at admission of newer work",
+    ));
 }
 
 /// Everything a clustered node knows about the mesh.
@@ -280,6 +332,15 @@ struct State {
     /// event loop uses poller tokens instead.
     conn_ids: AtomicU64,
     cluster: Option<ClusterState>,
+    /// The transport every socket goes through — dials (peer calls,
+    /// forwards, probes, replication) and accepts alike. Direct in
+    /// production; armed with the scripted [`NetFaultPlan`] under chaos.
+    net: NetFabric,
+    /// The node-wide retry budget (see [`RetryBudget`]): refilled by
+    /// request arrivals, spent by every retry path.
+    retry_budget: Arc<RetryBudget>,
+    /// Per-peer dial backoff, present only on clustered nodes.
+    dial_gate: Option<Arc<DialGate>>,
 }
 
 /// A bound, not-yet-serving mitigation server.
@@ -332,6 +393,41 @@ impl Server {
                 })
             }
         };
+        // The fault fabric names this node `n<self_index>` and its peers
+        // `n0..nK` in cluster-index order (the `netfaults v1` naming
+        // convention); a single-node server is `n0`. With no plan the
+        // fabric is a pass-through.
+        let net = match config.cluster.as_ref() {
+            Some(cl) => {
+                let names = cl
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| {
+                        let addr = m.to_socket_addrs().ok()?.next()?;
+                        Some((addr, format!("n{i}")))
+                    })
+                    .collect();
+                NetFabric::new(
+                    format!("n{}", cl.self_index),
+                    names,
+                    config.net_faults.clone(),
+                )
+            }
+            None => NetFabric::new("n0", Vec::new(), config.net_faults.clone()),
+        };
+        let retry_budget = Arc::new(RetryBudget::new(
+            config.retry_budget_tokens,
+            config.retry_budget_refill_milli,
+        ));
+        let dial_gate = config.cluster.as_ref().map(|cl| {
+            Arc::new(DialGate::new(
+                cl.members.len(),
+                Duration::from_millis(config.dial_backoff_base_ms),
+                Duration::from_millis(config.dial_backoff_cap_ms.max(1)),
+                config.profile_seed,
+            ))
+        });
         let mut cache = ProfileCache::new(CacheConfig {
             profile_seed: config.profile_seed,
             drift_threshold: config.drift_threshold,
@@ -348,15 +444,20 @@ impl Server {
             failure_threshold: config.breaker_failure_threshold,
             drift_trip_threshold: config.breaker_drift_trips,
             cooldown: config.breaker_cooldown,
-        });
+        })
+        .with_retry_budget(Arc::clone(&retry_budget));
         if let Some(cl) = cluster.as_ref() {
-            cache = cache.with_replicator(Arc::new(MeshReplicator::new(
-                cl.config.members.clone(),
-                cl.config.self_index,
-                cl.config.effective_replication(),
-                Arc::clone(&cl.membership),
-                Arc::clone(&faults),
-            )));
+            cache = cache.with_replicator(Arc::new(
+                MeshReplicator::new(
+                    cl.config.members.clone(),
+                    cl.config.self_index,
+                    cl.config.effective_replication(),
+                    Arc::clone(&cl.membership),
+                    Arc::clone(&faults),
+                )
+                .with_fabric(net.clone())
+                .with_retry_budget(Arc::clone(&retry_budget)),
+            ));
         }
         let queue = ShardedQueue::new(config.queue_capacity, config.effective_shards());
         Ok(Server {
@@ -372,6 +473,9 @@ impl Server {
                 faults,
                 conn_ids: AtomicU64::new(1),
                 cluster,
+                net,
+                retry_budget,
+                dial_gate,
             }),
         })
     }
@@ -429,9 +533,30 @@ impl Server {
         self.state
             .counters
             .set_invariant_clamps(invmeas::validate::invariant_clamps());
-        self.state.counters.set_queue_steals(self.state.queue.steals());
+        self.state
+            .counters
+            .set_queue_steals(self.state.queue.steals());
         mirror_simulator_gauges(&self.state.counters);
+        mirror_overload_gauges(&self.state);
         Ok(self.state.counters.snapshot())
+    }
+}
+
+/// Copies the overload-control and fault-fabric tallies (owned by the
+/// retry budget, the dial gate, and the net-fault plan) into the counter
+/// bundle, so every snapshot carries them.
+fn mirror_overload_gauges(state: &State) {
+    state
+        .counters
+        .set_retry_budget_exhausted(state.retry_budget.exhausted());
+    if let Some(gate) = state.dial_gate.as_ref() {
+        state.counters.set_peer_dials_suppressed(gate.suppressed());
+    }
+    if let Some(plan) = state.net.plan() {
+        state.counters.set_net_faults_injected(plan.injected());
+        state
+            .counters
+            .set_partitions_healed(plan.partitions_healed());
     }
 }
 
@@ -467,6 +592,12 @@ fn serve_threaded(listener: &TcpListener, state: &Arc<State>) {
             Ok(s) => s,
             Err(_) => continue, // transient accept failure
         };
+        // The fault fabric can refuse the accept (scripted `in → self`
+        // refusal): the socket is dropped, the dialer sees a vanished
+        // peer.
+        let Some(stream) = state.net.wrap_accepted(stream) else {
+            continue;
+        };
         let state = Arc::clone(state);
         let _ = std::thread::Builder::new()
             .name("invmeas-conn".into())
@@ -485,7 +616,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
+fn handle_connection(stream: crate::net::NetStream, state: &State) -> std::io::Result<()> {
     let conn_id = state.conn_ids.fetch_add(1, Ordering::Relaxed);
     if state.config.idle_timeout_ms > 0 {
         stream.set_read_timeout(Some(Duration::from_millis(state.config.idle_timeout_ms)))?;
@@ -515,6 +646,7 @@ fn handle_connection(stream: TcpStream, state: &State) -> std::io::Result<()> {
         }
         state.counters.inc_requests();
         state.counters.add_frames_parsed(1);
+        state.retry_budget.note_request();
         let (response, shutdown_after) = match Request::from_line(&line) {
             Err(e) => (Response::bad_request(e.to_string()), false),
             Ok(Request::Shutdown) => (Response::Shutdown, true),
@@ -575,8 +707,14 @@ fn enqueue_and_wait(
         enqueued: Instant::now(),
         deadline,
     };
-    match state.queue.try_push(conn_id, job) {
-        Ok(receipt) => {
+    match state
+        .queue
+        .try_push_or_shed(conn_id, job, Instant::now(), job_class)
+    {
+        Ok((receipt, victim)) => {
+            if let Some(v) = victim {
+                answer_shed(state, v);
+            }
             state.counters.observe_queue_depth(receipt.depth as u64);
             state
                 .counters
@@ -604,6 +742,7 @@ fn status_response(state: &State) -> Response {
         .set_invariant_clamps(invmeas::validate::invariant_clamps());
     state.counters.set_queue_steals(state.queue.steals());
     mirror_simulator_gauges(&state.counters);
+    mirror_overload_gauges(state);
     Response::Status(StatusResponse {
         window: state.window.load(Ordering::SeqCst),
         workers: state.config.workers as u64,
@@ -652,6 +791,7 @@ fn execute_set_window(state: &State, window: u64) -> Response {
                 continue;
             }
             let _ = peer_call(
+                &state.net,
                 &cl.config.members[peer],
                 &Request::SetWindow { window, fwd: true },
             );
@@ -684,7 +824,12 @@ fn cluster_map_response(state: &State, device: Option<&str>) -> Response {
     })
 }
 
-fn fetch_profile_response(state: &State, device: &str, method: MethodKind, window: u64) -> Response {
+fn fetch_profile_response(
+    state: &State,
+    device: &str,
+    method: MethodKind,
+    window: u64,
+) -> Response {
     match state.cache.read_profile_text(device, method, window) {
         Some(profile) => Response::Profile {
             device: device.to_string(),
@@ -738,7 +883,7 @@ fn execute_replicate(state: &State, r: &ReplicateRequest) -> Response {
                 accepted = false;
                 if from < cl.config.members.len() && from != cl.config.self_index {
                     if let Some(text) =
-                        fetch_profile_from(cl, from, &r.device, r.method, r.window)
+                        fetch_profile_from(state, cl, from, &r.device, r.method, r.window)
                     {
                         refetched = state
                             .cache
@@ -757,6 +902,7 @@ fn execute_replicate(state: &State, r: &ReplicateRequest) -> Response {
 
 /// Pulls the persisted profile text from a peer, best effort.
 fn fetch_profile_from(
+    state: &State,
     cl: &ClusterState,
     member: usize,
     device: &str,
@@ -764,6 +910,7 @@ fn fetch_profile_from(
     window: u64,
 ) -> Option<String> {
     let response = peer_call(
+        &state.net,
         &cl.config.members[member],
         &Request::FetchProfile {
             device: device.to_string(),
@@ -781,8 +928,12 @@ fn fetch_profile_from(
 /// One bounded node-to-node control call: connect, send, and receive all
 /// complete within [`PEER_CALL_TIMEOUT`] (a partitioned peer costs one
 /// timeout, never a worker pinned for minutes).
-fn peer_call(addr: &str, request: &Request) -> Result<Response, client::ClientError> {
-    let mut c = client::Client::connect_timeout(addr, PEER_CALL_TIMEOUT)?;
+fn peer_call(
+    net: &NetFabric,
+    addr: &str,
+    request: &Request,
+) -> Result<Response, client::ClientError> {
+    let mut c = client::Client::connect_via(net, addr, Some(PEER_CALL_TIMEOUT))?;
     c.request(request)
 }
 
@@ -792,16 +943,19 @@ fn peer_call(addr: &str, request: &Request) -> Result<Response, client::ClientEr
 /// node's membership view declares the peer dead, and capped by
 /// [`FORWARD_WORK_TIMEOUT`] against a wedged-but-alive peer.
 fn forward_call(
+    state: &State,
     cl: &ClusterState,
     member: usize,
     request: &Request,
 ) -> Result<Response, client::ClientError> {
-    let mut c = client::Client::connect_timeout(
+    let mut c = client::Client::connect_via(
+        &state.net,
         cl.config.members[member].as_str(),
-        PEER_CALL_TIMEOUT,
+        Some(PEER_CALL_TIMEOUT),
     )?;
     c.send(request)?;
-    let slice = Duration::from_millis(cl.config.heartbeat_ms.max(10)).max(Duration::from_millis(250));
+    let slice =
+        Duration::from_millis(cl.config.heartbeat_ms.max(10)).max(Duration::from_millis(250));
     c.set_timeout(Some(slice))?;
     let started = Instant::now();
     loop {
@@ -824,15 +978,18 @@ enum RouteDecision {
     /// node is only doing because the nodes ahead of it on the ladder
     /// are dead.
     Local { failover: bool },
-    /// Forward to this member, who is alive and ahead on the ladder.
-    Forward(usize),
+    /// Forward down this ladder of *alive* candidates (best first, all
+    /// ahead of this node); the walker falls down the rungs under dial
+    /// gate and retry-budget control.
+    Forward(Vec<usize>),
 }
 
 /// Routing policy: the hash-owner serves; everyone else forwards to the
 /// first *alive* node on the device's ladder (owner, then followers in
-/// ring order); a node that finds itself first on that ladder promotes
-/// and serves from its replicas. Forwarded requests (`fwd`) always serve
-/// locally — one hop maximum, loops impossible.
+/// ring order), keeping the rest of the alive ladder as fallback rungs;
+/// a node that finds itself first on that ladder promotes and serves
+/// from its replicas. Forwarded requests (`fwd`) always serve locally —
+/// one hop maximum, loops impossible.
 fn route_request(state: &State, device: &str, fwd: bool) -> RouteDecision {
     let Some(cl) = state.cluster.as_ref() else {
         return RouteDecision::Local { failover: false };
@@ -845,20 +1002,30 @@ fn route_request(state: &State, device: &str, fwd: bool) -> RouteDecision {
     if route.owner == me {
         return RouteDecision::Local { failover: false };
     }
-    match cl.membership.first_alive(route.ladder()) {
-        Some(m) if m == me => RouteDecision::Local { failover: true },
-        Some(m) => {
-            if !route.involves(me) {
-                // A client with a current map would have sent this to the
-                // ladder directly; its map (or its guess) was stale.
-                state.counters.inc_stale_map_retry();
-            }
-            RouteDecision::Forward(m)
+    // Alive ladder nodes ahead of this one, in ladder order. The scan
+    // stops at `me`: once every better-placed node is dead, serving our
+    // own replica beats forwarding to a worse-placed one.
+    let mut candidates = Vec::new();
+    for m in route.ladder() {
+        if m == me {
+            break;
         }
-        // The entire ladder looks dead, yet the request reached us:
-        // serving from whatever we have beats refusing.
-        None => RouteDecision::Local { failover: true },
+        if cl.membership.is_alive(m) {
+            candidates.push(m);
+        }
     }
+    if candidates.is_empty() {
+        // This node is first on the alive ladder (or the entire ladder
+        // looks dead, yet the request reached us): serving from
+        // whatever we have beats refusing.
+        return RouteDecision::Local { failover: true };
+    }
+    if !route.involves(me) {
+        // A client with a current map would have sent this to the
+        // ladder directly; its map (or its guess) was stale.
+        state.counters.inc_stale_map_retry();
+    }
+    RouteDecision::Forward(candidates)
 }
 
 /// Whether a forwarded request's answer means the target could not serve
@@ -878,54 +1045,127 @@ fn is_unserved(response: &Response) -> bool {
     )
 }
 
-/// Forwards a routed request to `member`; on transport failure or an
-/// unserved answer, promotes locally via `local` (counted as a failover:
-/// the mesh served degraded data rather than failing the client).
+/// Walks the forward ladder under overload control; when every rung is
+/// suppressed, exhausted, or unserved, promotes locally via `local`
+/// (counted as a failover: the mesh served degraded data rather than
+/// failing the client).
+///
+/// Two mechanisms bound what a degraded mesh can cost per request:
+///
+/// * the **dial gate** skips rungs still inside their per-peer backoff
+///   hold-off, so a dead member is not redialed by every request;
+/// * the **retry budget** charges every rung *after the first* — the
+///   first forward rides on the request itself, each further rung is a
+///   retry. A fully partitioned ladder therefore costs at most
+///   `1 + available_tokens` dials, not `rungs` dials, per request.
 fn forward_or_failover(
     state: &State,
-    member: usize,
+    ladder: &[usize],
     request: Request,
     local: impl FnOnce() -> Response,
 ) -> Response {
     let cl = state.cluster.as_ref().expect("routed without a cluster");
-    match forward_call(cl, member, &request) {
-        Ok(response) if !is_unserved(&response) => {
-            state.counters.inc_forward();
-            response
+    let gate = state.dial_gate.as_ref();
+    let mut attempted = false;
+    for &member in ladder {
+        if let Some(g) = gate {
+            if !g.allow(member) {
+                continue; // held off: the gate counts the suppression
+            }
         }
-        _ => {
-            state.counters.inc_failover();
-            local()
+        if attempted && !state.retry_budget.try_spend() {
+            break; // budget exhausted: no more rungs this request
+        }
+        attempted = true;
+        match forward_call(state, cl, member, &request) {
+            Ok(response) if !is_unserved(&response) => {
+                if let Some(g) = gate {
+                    g.record_success(member);
+                }
+                state.counters.inc_forward();
+                return response;
+            }
+            Ok(_) => {
+                // The peer answered: transport is healthy, it just could
+                // not serve. Reset its backoff and fall down the ladder.
+                if let Some(g) = gate {
+                    g.record_success(member);
+                }
+            }
+            Err(_) => {
+                if let Some(g) = gate {
+                    g.record_failure(member);
+                }
+            }
         }
     }
+    state.counters.inc_failover();
+    local()
 }
 
 /// Peer liveness: probes every peer each interval with an inline
 /// `health` request. The `heartbeat` fault site can drop a probe
 /// (`Error`) — a deterministic one-sided partition — or delay it.
+///
+/// The round is structured for determinism *and* boundedness:
+///
+/// 1. fault-site arrivals are consumed sequentially in peer order
+///    before any socket moves, so a scripted plan sees exactly the
+///    arrival numbering the old sequential loop produced;
+/// 2. the probes themselves run on scoped threads, so one slow or
+///    partitioned peer costs the round a single probe budget instead of
+///    stretching it by the sum of every peer's timeout — with `k` dead
+///    peers the sequential round took `k × budget`, long enough to blow
+///    straight through the miss limit for *healthy* peers;
+/// 3. membership updates apply in fixed peer order after every probe
+///    returned, so the verdict sequence is independent of probe timing.
+///
+/// A peer transitioning dead → alive triggers a full profile re-ship:
+/// it may have missed any number of replicas while unreachable, and the
+/// re-ship is what re-converges its disk byte-identically after a
+/// healed partition.
 fn heartbeat_loop(state: &State) {
     let cl = state.cluster.as_ref().expect("heartbeat without a cluster");
     let interval = Duration::from_millis(cl.config.heartbeat_ms.max(10));
+    let peers: Vec<usize> = (0..cl.config.members.len())
+        .filter(|&p| p != cl.config.self_index)
+        .collect();
     while !state.draining.load(Ordering::SeqCst) {
-        for peer in 0..cl.config.members.len() {
-            if peer == cl.config.self_index || state.draining.load(Ordering::SeqCst) {
-                continue;
-            }
-            let dropped = match state.faults.check(FaultSite::Heartbeat) {
+        let dropped: Vec<bool> = peers
+            .iter()
+            .map(|_| match state.faults.check(FaultSite::Heartbeat) {
                 Some(Fault::Error(_)) => true,
                 Some(f) => {
                     f.apply_latency();
                     false
                 }
                 None => false,
-            };
-            let answered = !dropped
-                && matches!(
-                    probe_health(&cl.config.members[peer], interval),
-                    Some(Response::Health(_))
-                );
+            })
+            .collect();
+        let answers: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = peers
+                .iter()
+                .zip(&dropped)
+                .map(|(&peer, &dropped)| {
+                    s.spawn(move || {
+                        !dropped
+                            && matches!(
+                                probe_health(&state.net, &cl.config.members[peer], interval),
+                                Some(Response::Health(_))
+                            )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(false))
+                .collect()
+        });
+        for (&peer, answered) in peers.iter().zip(answers) {
             if answered {
-                cl.membership.mark_seen(peer);
+                if cl.membership.mark_seen(peer) {
+                    state.cache.reship_profiles();
+                }
             } else {
                 state.counters.inc_heartbeat_missed();
                 cl.membership.mark_missed(peer);
@@ -941,13 +1181,14 @@ fn heartbeat_loop(state: &State) {
     }
 }
 
-fn probe_health(addr: &str, interval: Duration) -> Option<Response> {
+fn probe_health(net: &NetFabric, addr: &str, interval: Duration) -> Option<Response> {
     // The probe budget bounds the connect too: against a partitioned
     // peer a plain connect blocks for the OS SYN-retry window (~2 min),
     // which would stretch dead-peer detection from `miss_limit ×
     // interval` to `miss_limit × minutes` — the opposite of failover.
     let mut c =
-        client::Client::connect_timeout(addr, interval.max(Duration::from_millis(250))).ok()?;
+        client::Client::connect_via(net, addr, Some(interval.max(Duration::from_millis(250))))
+            .ok()?;
     c.request(&Request::Health).ok()
 }
 
@@ -990,10 +1231,7 @@ fn serve_event_loop(listener: &TcpListener, state: &Arc<State>) -> std::io::Resu
     poller.register(listener, LISTENER_TOKEN, Interest::READ)?;
     poller.register(&wake_rx, WAKER_TOKEN, Interest::READ)?;
     let scan_tick = {
-        let timeouts = [
-            state.config.idle_timeout_ms,
-            state.config.write_timeout_ms,
-        ];
+        let timeouts = [state.config.idle_timeout_ms, state.config.write_timeout_ms];
         timeouts
             .iter()
             .filter(|&&ms| ms > 0)
@@ -1057,12 +1295,16 @@ impl EventLoop<'_> {
                     if self.state.draining.load(Ordering::SeqCst) {
                         continue;
                     }
+                    // Scripted `in → self` refusal: drop the socket.
+                    let Some(stream) = self.state.net.wrap_accepted(stream) else {
+                        continue;
+                    };
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
                     let token = self.next_token;
                     self.next_token += 1;
-                    let conn = Conn::new(stream, token, now);
+                    let conn = Conn::from_net(stream, token, now);
                     if self
                         .poller
                         .register(conn.stream(), token, Interest::READ)
@@ -1123,6 +1365,7 @@ impl EventLoop<'_> {
         }
         let state = self.state;
         state.counters.inc_requests();
+        state.retry_budget.note_request();
         let seq = conn.alloc_seq();
         let inline = match Request::from_line(&line) {
             Err(e) => Some(Response::bad_request(e.to_string())),
@@ -1189,8 +1432,17 @@ impl EventLoop<'_> {
             enqueued: Instant::now(),
             deadline,
         };
-        match state.queue.try_push(conn.token(), job) {
-            Ok(receipt) => {
+        match state
+            .queue
+            .try_push_or_shed(conn.token(), job, Instant::now(), job_class)
+        {
+            Ok((receipt, victim)) => {
+                if let Some(v) = victim {
+                    // The victim's 504 flows back through the completion
+                    // mailbox like any finished job, so its connection's
+                    // inflight/outstanding accounting balances normally.
+                    answer_shed(state, v);
+                }
                 state.counters.observe_queue_depth(receipt.depth as u64);
                 state
                     .counters
@@ -1403,10 +1655,10 @@ fn execute_job(state: &State, kind: &JobKind, enqueued: Instant) -> Response {
 
 fn execute_characterize(state: &State, r: &CharacterizeRequest) -> Response {
     match route_request(state, &r.device, r.fwd) {
-        RouteDecision::Forward(member) => {
+        RouteDecision::Forward(ladder) => {
             let mut forwarded = r.clone();
             forwarded.fwd = true;
-            forward_or_failover(state, member, Request::Characterize(forwarded), || {
+            forward_or_failover(state, &ladder, Request::Characterize(forwarded), || {
                 characterize_local(state, r)
             })
         }
@@ -1457,7 +1709,7 @@ fn execute_submit(state: &State, r: &SubmitRequest, enqueued: Instant) -> Respon
     // jobs run wherever they land, clustered or not.
     if r.policy == PolicyKind::Aim {
         match route_request(state, &r.device, r.fwd) {
-            RouteDecision::Forward(member) => {
+            RouteDecision::Forward(ladder) => {
                 let mut forwarded = r.clone();
                 forwarded.fwd = true;
                 // The queue-time budget is end-to-end, not per-hop: spend
@@ -1465,11 +1717,10 @@ fn execute_submit(state: &State, r: &SubmitRequest, enqueued: Instant) -> Respon
                 // the remainder to the owner, so the total wait a client
                 // can see never exceeds the deadline it asked for.
                 if let Some(budget) = forwarded.deadline_ms {
-                    let spent =
-                        u64::try_from(enqueued.elapsed().as_millis()).unwrap_or(u64::MAX);
+                    let spent = u64::try_from(enqueued.elapsed().as_millis()).unwrap_or(u64::MAX);
                     forwarded.deadline_ms = Some(budget.saturating_sub(spent));
                 }
-                return forward_or_failover(state, member, Request::Submit(forwarded), || {
+                return forward_or_failover(state, &ladder, Request::Submit(forwarded), || {
                     submit_local(state, r)
                 });
             }
@@ -1514,7 +1765,11 @@ fn submit_local(state: &State, r: &SubmitRequest) -> Response {
         PolicyKind::Aim => {
             // AIM's profile comes from the shared cache, never measured
             // per-request — the whole point of the service (§6.2.1).
-            let method = if n <= 5 { MethodKind::Brute } else { MethodKind::Awct };
+            let method = if n <= 5 {
+                MethodKind::Brute
+            } else {
+                MethodKind::Awct
+            };
             let window_snapshot = runner.device().clone();
             match state.cache.get_or_measure(
                 &r.device,

@@ -28,7 +28,10 @@ fn start(config: ServerConfig) -> (SocketAddr, ServeHandle) {
 }
 
 fn shutdown(addr: SocketAddr, handle: ServeHandle) -> qmetrics::CountersSnapshot {
-    assert_eq!(call(addr, &Request::Shutdown).expect("shutdown"), Response::Shutdown);
+    assert_eq!(
+        call(addr, &Request::Shutdown).expect("shutdown"),
+        Response::Shutdown
+    );
     handle
         .join()
         .expect("serve thread panicked")
@@ -81,9 +84,8 @@ fn characterize_req() -> Request {
 fn transient_characterization_failure_is_retried_to_success() {
     // First measurement attempt fails; the in-cache retry succeeds, so
     // the *client* never sees the fault.
-    let plan = Arc::new(
-        FaultPlan::new(1).on_nth(FaultSite::Characterize, 1, Fault::Error("blip".into())),
-    );
+    let plan =
+        Arc::new(FaultPlan::new(1).on_nth(FaultSite::Characterize, 1, Fault::Error("blip".into())));
     let (addr, handle) = start(chaos_config(plan));
 
     match call(addr, &characterize_req()).expect("characterize") {
@@ -124,7 +126,10 @@ fn breaker_opens_and_serves_last_good_profile_degraded() {
         other => panic!("wrong response {other:?}"),
     }
     client
-        .request(&Request::SetWindow { window: 1, fwd: false })
+        .request(&Request::SetWindow {
+            window: 1,
+            fwd: false,
+        })
         .expect("set-window");
 
     // Two failing requests (attempt + retry each) trip the breaker; both
@@ -184,9 +189,11 @@ fn worker_panic_answers_500_and_the_pool_survives() {
     // One worker, a panic scripted for the second job it picks up. The
     // same connection must see: success, 500, success — proving the lone
     // worker thread survived its own panic.
-    let plan = Arc::new(
-        FaultPlan::new(3).on_nth(FaultSite::Worker, 2, Fault::Panic("chaos monkey".into())),
-    );
+    let plan = Arc::new(FaultPlan::new(3).on_nth(
+        FaultSite::Worker,
+        2,
+        Fault::Panic("chaos monkey".into()),
+    ));
     let (addr, handle) = start(chaos_config(plan));
     let mut client = Client::connect(addr).expect("connect");
 
@@ -224,7 +231,8 @@ fn hung_client_is_reaped_without_consuming_a_worker() {
     // A client that opens a connection, dribbles half a line, and hangs.
     let hang_started = std::time::Instant::now();
     let mut hung = std::net::TcpStream::connect(addr).expect("connect");
-    hung.write_all(b"{\"v\":1,\"op\":\"sta").expect("partial line");
+    hung.write_all(b"{\"v\":1,\"op\":\"sta")
+        .expect("partial line");
     hung.flush().ok();
 
     // While it hangs, real work flows through the (single) worker.
@@ -262,7 +270,10 @@ fn hung_client_is_reaped_without_consuming_a_worker() {
 
     let c = shutdown(addr, handle);
     assert_eq!(c.connections_reaped, 1, "the hung connection was reaped");
-    assert_eq!(c.jobs_executed, 1, "the hung client never consumed a worker");
+    assert_eq!(
+        c.jobs_executed, 1,
+        "the hung client never consumed a worker"
+    );
     assert_eq!(c.jobs_failed, 0);
     drop(hung);
 }
@@ -330,7 +341,10 @@ fn run_determinism_scenario(workers: usize) -> qmetrics::CountersSnapshot {
     let mut req = |r: &Request| client.request(r).expect("response");
 
     req(&characterize_req()); // job 1: clean warm-up (arrival 1)
-    req(&Request::SetWindow { window: 1, fwd: false });
+    req(&Request::SetWindow {
+        window: 1,
+        fwd: false,
+    });
     req(&characterize_req()); // job 2: fails twice → failure 1, stale
     req(&characterize_req()); // job 3: fails twice → trips, stale
     req(&characterize_req()); // job 4: open, stale (cooldown 1/2)

@@ -5,10 +5,10 @@
 //! byte-identical to an uninterrupted single-node run, with the total
 //! characterization work adding up to exactly one full run.
 
+use invmeas_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
 use invmeas_service::{
     call, Client, ClusterConfig, HashRing, MethodKind, Request, Response, Server, ServerConfig,
 };
-use invmeas_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -60,7 +60,10 @@ fn start(config: ServerConfig) -> (SocketAddr, ServeHandle) {
 }
 
 fn shutdown(addr: SocketAddr, handle: ServeHandle) -> qmetrics::CountersSnapshot {
-    assert_eq!(call(addr, &Request::Shutdown).expect("shutdown"), Response::Shutdown);
+    assert_eq!(
+        call(addr, &Request::Shutdown).expect("shutdown"),
+        Response::Shutdown
+    );
     handle
         .join()
         .expect("serve thread panicked")
@@ -113,7 +116,14 @@ fn set_window_broadcasts_across_the_mesh() {
     let members: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
     let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("node{i}"))).collect();
     let nodes: Vec<(SocketAddr, ServeHandle)> = (0..2)
-        .map(|i| start(mesh_node(&members, i, &dirs[i], Arc::new(invmeas_faults::NoFaults))))
+        .map(|i| {
+            start(mesh_node(
+                &members,
+                i,
+                &dirs[i],
+                Arc::new(invmeas_faults::NoFaults),
+            ))
+        })
         .collect();
 
     let window_of = |addr: &str| -> u64 {
@@ -127,8 +137,14 @@ fn set_window_broadcasts_across_the_mesh() {
     // acknowledgement returns: routed submits and characterizes execute
     // under the owner's window, so a seed node acknowledging a window it
     // did not propagate would silently serve stale results.
-    match call(members[0].as_str(), &Request::SetWindow { window: 5, fwd: false })
-        .expect("set-window on node 0")
+    match call(
+        members[0].as_str(),
+        &Request::SetWindow {
+            window: 5,
+            fwd: false,
+        },
+    )
+    .expect("set-window on node 0")
     {
         Response::Window { window } => assert_eq!(window, 5),
         other => panic!("wrong response {other:?}"),
@@ -136,27 +152,47 @@ fn set_window_broadcasts_across_the_mesh() {
     assert_eq!(window_of(&members[0]), 5, "setting node must apply locally");
     assert_eq!(window_of(&members[1]), 5, "peer must receive the broadcast");
 
-    match call(members[1].as_str(), &Request::SetWindow { window: 9, fwd: false })
-        .expect("set-window on node 1")
+    match call(
+        members[1].as_str(),
+        &Request::SetWindow {
+            window: 9,
+            fwd: false,
+        },
+    )
+    .expect("set-window on node 1")
     {
         Response::Window { window } => assert_eq!(window, 9),
         other => panic!("wrong response {other:?}"),
     }
-    assert_eq!(window_of(&members[0]), 9, "broadcast works from either node");
+    assert_eq!(
+        window_of(&members[0]),
+        9,
+        "broadcast works from either node"
+    );
     assert_eq!(window_of(&members[1]), 9);
 
     // A *broadcast* delivery applies locally but never re-broadcasts —
     // otherwise two nodes would ping-pong forever. Proven indirectly:
     // the fwd-marked request is answered inline and the mesh stays
     // responsive afterwards.
-    match call(members[0].as_str(), &Request::SetWindow { window: 2, fwd: true })
-        .expect("fwd set-window")
+    match call(
+        members[0].as_str(),
+        &Request::SetWindow {
+            window: 2,
+            fwd: true,
+        },
+    )
+    .expect("fwd set-window")
     {
         Response::Window { window } => assert_eq!(window, 2),
         other => panic!("wrong response {other:?}"),
     }
     assert_eq!(window_of(&members[0]), 2, "fwd delivery applies locally");
-    assert_eq!(window_of(&members[1]), 9, "fwd delivery must not re-broadcast");
+    assert_eq!(
+        window_of(&members[1]),
+        9,
+        "fwd delivery must not re-broadcast"
+    );
 
     for (addr, handle) in nodes {
         shutdown(addr, handle);
@@ -173,7 +209,14 @@ fn corrupt_replica_is_rejected_by_checksum_and_refetched_clean() {
     let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("node{i}"))).collect();
 
     let nodes: Vec<(SocketAddr, ServeHandle)> = (0..2)
-        .map(|i| start(mesh_node(&members, i, &dirs[i], Arc::new(invmeas_faults::NoFaults))))
+        .map(|i| {
+            start(mesh_node(
+                &members,
+                i,
+                &dirs[i],
+                Arc::new(invmeas_faults::NoFaults),
+            ))
+        })
         .collect();
 
     // Characterize on the hash-owner; the finished profile replicates to
@@ -206,7 +249,10 @@ fn corrupt_replica_is_rejected_by_checksum_and_refetched_clean() {
         })
     };
     match call(members[follower].as_str(), &replicate(text.clone())).expect("clean replicate") {
-        Response::Replicated { accepted, refetched } => {
+        Response::Replicated {
+            accepted,
+            refetched,
+        } => {
             assert!(accepted, "clean payload must be accepted");
             assert!(!refetched, "no re-fetch needed for a clean payload");
         }
@@ -226,9 +272,15 @@ fn corrupt_replica_is_rejected_by_checksum_and_refetched_clean() {
     let corrupt = String::from_utf8(corrupt).expect("ascii flip keeps utf-8");
     assert_ne!(corrupt, text);
     match call(members[follower].as_str(), &replicate(corrupt)).expect("corrupt replicate") {
-        Response::Replicated { accepted, refetched } => {
+        Response::Replicated {
+            accepted,
+            refetched,
+        } => {
             assert!(!accepted, "flipped bit must fail checksum verification");
-            assert!(refetched, "follower must recover by re-fetching from the sender");
+            assert!(
+                refetched,
+                "follower must recover by re-fetching from the sender"
+            );
         }
         other => panic!("wrong response {other:?}"),
     }
@@ -322,12 +374,18 @@ fn killed_owner_hands_off_mid_characterization_and_the_mesh_converges() {
         std::fs::read_to_string(PathBuf::from(p)).expect("owner journal survives the crash")
     };
     let (_, owner_units) = invmeas::inspect_journal(&owner_journal).expect("valid journal");
-    assert_eq!(owner_units, 2, "the panic fired on the third checkpoint write");
+    assert_eq!(
+        owner_units, 2,
+        "the panic fired on the third checkpoint write"
+    );
     for i in [promoted, bystander] {
         let mut p = profile_file(&dirs[i], device).into_os_string();
         p.push(".journal");
         let replica = std::fs::read_to_string(PathBuf::from(p)).expect("replicated journal");
-        assert_eq!(replica, owner_journal, "node {i} journal replica must match");
+        assert_eq!(
+            replica, owner_journal,
+            "node {i} journal replica must match"
+        );
     }
 
     // Kill the owner for good; the survivors' heartbeats declare it dead.
@@ -339,8 +397,11 @@ fn killed_owner_hands_off_mid_characterization_and_the_mesh_converges() {
     );
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
-        let map = match call(members[promoted].as_str(), &Request::ClusterMap { device: None })
-            .expect("cluster-map")
+        let map = match call(
+            members[promoted].as_str(),
+            &Request::ClusterMap { device: None },
+        )
+        .expect("cluster-map")
         {
             Response::ClusterMap(m) => m,
             other => panic!("wrong response {other:?}"),
@@ -358,15 +419,24 @@ fn killed_owner_hands_off_mid_characterization_and_the_mesh_converges() {
     // starting over.
     let seeds = [members[owner].clone(), members[promoted].clone()];
     let mut client = Client::connect_seeds(&seeds).expect("seed rotation past the dead owner");
-    let resumed = match client.request(&characterize_req(device)).expect("failover characterize") {
+    let resumed = match client
+        .request(&characterize_req(device))
+        .expect("failover characterize")
+    {
         Response::Characterize(r) => r,
         other => panic!("wrong response {other:?}"),
     };
     assert_eq!(resumed.device, device);
 
     let promoted_counters = status_counters(&members[promoted]);
-    assert_eq!(promoted_counters.resumed_jobs, 1, "promotion resumed the journal");
-    assert!(promoted_counters.failovers >= 1, "serving out of ring order is a failover");
+    assert_eq!(
+        promoted_counters.resumed_jobs, 1,
+        "promotion resumed the journal"
+    );
+    assert!(
+        promoted_counters.failovers >= 1,
+        "serving out of ring order is a failover"
+    );
     assert_eq!(
         promoted_counters.journal_checkpoints,
         reference_units - owner_units,
@@ -381,7 +451,10 @@ fn killed_owner_hands_off_mid_characterization_and_the_mesh_converges() {
         other => panic!("wrong response {other:?}"),
     }
     let bystander_counters = status_counters(&members[bystander]);
-    assert!(bystander_counters.forwards >= 1, "bystander must forward, not serve");
+    assert!(
+        bystander_counters.forwards >= 1,
+        "bystander must forward, not serve"
+    );
     assert_eq!(
         bystander_counters.journal_checkpoints, 0,
         "only owner + promoted ever characterized: total work is one full run"

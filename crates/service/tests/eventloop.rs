@@ -47,7 +47,11 @@ fn submit_req(seed: u64, deadline_ms: Option<u64>) -> Request {
 /// submits, against a server with the given shard count. Returns every
 /// submit response, normalized for scheduling noise (latency zeroed, the
 /// single racy Miss/Hit outcome canonicalized), re-serialized and sorted.
-fn run_load(shards: usize, conns: usize, per_conn: usize) -> (Vec<String>, qmetrics::CountersSnapshot) {
+fn run_load(
+    shards: usize,
+    conns: usize,
+    per_conn: usize,
+) -> (Vec<String>, qmetrics::CountersSnapshot) {
     let (addr, handle) = start(ServerConfig {
         workers: 4,
         queue_capacity: 256,
@@ -111,7 +115,10 @@ fn sharded_queue_starves_no_connection_and_results_are_shard_count_independent()
     assert_eq!(counters.jobs_executed as usize, CONNS * PER_CONN);
     assert_eq!(counters.jobs_failed, 0);
     // The burst still converged on one characterization (PR 3 contract).
-    assert_eq!(counters.cache_misses, 1, "one characterization for the burst");
+    assert_eq!(
+        counters.cache_misses, 1,
+        "one characterization for the burst"
+    );
     assert_eq!(counters.cache_hits as usize, CONNS * PER_CONN - 1);
     assert!(counters.frames_parsed >= (CONNS * PER_CONN) as u64);
 
@@ -133,7 +140,10 @@ fn pipelined_responses_come_back_in_request_order() {
         // A mix whose response *types* encode the order, including jobs
         // that finish at different times (sleeps) between inline replies.
         let batch = vec![
-            Request::SetWindow { window: 7, fwd: false },
+            Request::SetWindow {
+                window: 7,
+                fwd: false,
+            },
             Request::Sleep { ms: 120 },
             Request::Health,
             Request::Sleep { ms: 0 },
@@ -141,11 +151,31 @@ fn pipelined_responses_come_back_in_request_order() {
         ];
         let responses = client.pipeline(&batch).expect("pipeline");
         assert_eq!(responses.len(), batch.len());
-        assert!(matches!(responses[0], Response::Window { window: 7 }), "{:?}", responses[0]);
-        assert!(matches!(responses[1], Response::Slept { ms: 120 }), "{:?}", responses[1]);
-        assert!(matches!(responses[2], Response::Health(_)), "{:?}", responses[2]);
-        assert!(matches!(responses[3], Response::Slept { ms: 0 }), "{:?}", responses[3]);
-        assert!(matches!(responses[4], Response::Status(_)), "{:?}", responses[4]);
+        assert!(
+            matches!(responses[0], Response::Window { window: 7 }),
+            "{:?}",
+            responses[0]
+        );
+        assert!(
+            matches!(responses[1], Response::Slept { ms: 120 }),
+            "{:?}",
+            responses[1]
+        );
+        assert!(
+            matches!(responses[2], Response::Health(_)),
+            "{:?}",
+            responses[2]
+        );
+        assert!(
+            matches!(responses[3], Response::Slept { ms: 0 }),
+            "{:?}",
+            responses[3]
+        );
+        assert!(
+            matches!(responses[4], Response::Status(_)),
+            "{:?}",
+            responses[4]
+        );
         drop(client);
         shutdown(addr, handle);
     }
@@ -164,6 +194,10 @@ fn event_loop_counts_frames_and_wakeups() {
     }
     drop(client);
     let counters = shutdown(addr, handle);
-    assert!(counters.frames_parsed >= 4, "3 healths + shutdown, got {}", counters.frames_parsed);
+    assert!(
+        counters.frames_parsed >= 4,
+        "3 healths + shutdown, got {}",
+        counters.frames_parsed
+    );
     assert!(counters.epoll_wakeups > 0, "the loop never woke");
 }

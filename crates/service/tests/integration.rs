@@ -21,7 +21,10 @@ fn start(config: ServerConfig) -> (SocketAddr, ServeHandle) {
 }
 
 fn shutdown(addr: SocketAddr, handle: ServeHandle) -> qmetrics::CountersSnapshot {
-    assert_eq!(call(addr, &Request::Shutdown).expect("shutdown"), Response::Shutdown);
+    assert_eq!(
+        call(addr, &Request::Shutdown).expect("shutdown"),
+        Response::Shutdown
+    );
     handle
         .join()
         .expect("serve thread panicked")
@@ -73,18 +76,26 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
                 })
             })
             .collect();
-        jobs.into_iter().map(|j| j.join().expect("client")).collect()
+        jobs.into_iter()
+            .map(|j| j.join().expect("client"))
+            .collect()
     });
 
     // Exactly one characterization ran (cache-hit counter is the witness).
     let s = status(addr);
-    assert_eq!(s.counters.cache_misses, 1, "one characterization for the burst");
+    assert_eq!(
+        s.counters.cache_misses, 1,
+        "one characterization for the burst"
+    );
     assert_eq!(s.counters.cache_hits, 7, "everyone else hit the cache");
     assert_eq!(s.counters.jobs_executed, 8);
     assert_eq!(s.counters.jobs_failed, 0);
     assert_eq!(s.counters.busy_rejections, 0);
 
-    let miss_count = responses.iter().filter(|r| r.cache == CacheOutcome::Miss).count();
+    let miss_count = responses
+        .iter()
+        .filter(|r| r.cache == CacheOutcome::Miss)
+        .count();
     assert_eq!(miss_count, 1, "exactly one response reports the miss");
 
     // Same seed + shared profile ⇒ bitwise identical logs for all eight,
@@ -108,7 +119,11 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
     });
     match call(addr, &char_req).expect("characterize") {
         Response::Characterize(r) => {
-            assert_eq!(r.cache, CacheOutcome::Hit, "profile already measured by the burst");
+            assert_eq!(
+                r.cache,
+                CacheOutcome::Hit,
+                "profile already measured by the burst"
+            );
             assert_eq!(r.width, 5);
             assert!(r.trials > 0);
         }
@@ -117,7 +132,15 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
     assert_eq!(status(addr).counters.cache_hits, 8);
 
     // ── advancing the drift window invalidates the cached profile ───────
-    match call(addr, &Request::SetWindow { window: 1, fwd: false }).expect("set-window") {
+    match call(
+        addr,
+        &Request::SetWindow {
+            window: 1,
+            fwd: false,
+        },
+    )
+    .expect("set-window")
+    {
         Response::Window { window } => assert_eq!(window, 1),
         other => panic!("wrong response {other:?}"),
     }
@@ -126,9 +149,16 @@ fn concurrent_submits_share_one_characterization_and_window_advance_invalidates(
         other => panic!("wrong response {other:?}"),
     };
     assert_eq!(after.window, 1);
-    assert_eq!(after.cache, CacheOutcome::Miss, "window advance must re-characterize");
+    assert_eq!(
+        after.cache,
+        CacheOutcome::Miss,
+        "window advance must re-characterize"
+    );
     let s = status(addr);
-    assert_eq!(s.counters.cache_misses, 2, "second characterization after invalidation");
+    assert_eq!(
+        s.counters.cache_misses, 2,
+        "second characterization after invalidation"
+    );
     assert_eq!(s.window, 1);
 
     shutdown(addr, handle);
@@ -213,7 +243,10 @@ fn shutdown_drains_admitted_jobs() {
     std::thread::sleep(Duration::from_millis(50));
 
     let final_counters = shutdown(addr, handle); // returns only after the drain
-    assert_eq!(final_counters.jobs_executed, 2, "both admitted jobs ran to completion");
+    assert_eq!(
+        final_counters.jobs_executed, 2,
+        "both admitted jobs ran to completion"
+    );
 
     match in_flight.join().expect("join").expect("in-flight response") {
         Response::Slept { ms } => assert_eq!(ms, 800),
@@ -253,7 +286,9 @@ fn protocol_errors_over_the_wire() {
 
     // Unknown device and bad QASM surface as 400s, not hangs.
     let mut client = Client::connect(addr).expect("connect");
-    client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
     let bad_device = Request::Submit(SubmitRequest {
         device: "tokyo".into(),
         qasm: qasm_5q(),

@@ -35,6 +35,4 @@ pub use qaoa::{Graph, GraphError, Qaoa};
 pub use states::{
     basis_state_circuit, ghz_circuit, uniform_superposition_circuit, w_state_circuit,
 };
-pub use suite::{
-    suite_q14, suite_q5, table2_benchmarks, table2_graphs, Benchmark, BenchmarkKind,
-};
+pub use suite::{suite_q14, suite_q5, table2_benchmarks, table2_graphs, Benchmark, BenchmarkKind};

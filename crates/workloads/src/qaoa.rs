@@ -303,7 +303,9 @@ impl Qaoa {
         assert!(p >= 1, "need at least one layer");
         let mut qaoa = Qaoa::new(graph, vec![0.4; p], vec![0.4; p]);
         // Coarse per-coordinate grid, then two refinement sweeps.
-        let coarse: Vec<f64> = (0..24).map(|k| k as f64 * std::f64::consts::PI / 24.0).collect();
+        let coarse: Vec<f64> = (0..24)
+            .map(|k| k as f64 * std::f64::consts::PI / 24.0)
+            .collect();
         for sweep in 0..3 {
             let step = match sweep {
                 0 => None, // coarse grid
@@ -392,7 +394,9 @@ impl Qaoa {
             .iter()
             .enumerate()
             .map(|(i, &prob)| {
-                prob * self.graph.cut_value(BitString::from_value(i as u64, self.graph.n_nodes()))
+                prob * self
+                    .graph
+                    .cut_value(BitString::from_value(i as u64, self.graph.n_nodes()))
                     as f64
             })
             .sum()
@@ -513,7 +517,10 @@ mod tests {
             n_edges / 2.0
         );
         // And must make real progress toward the optimum on this instance.
-        assert!(trained > n_edges / 2.0 + 0.2, "no training progress: {trained}");
+        assert!(
+            trained > n_edges / 2.0 + 0.2,
+            "no training progress: {trained}"
+        );
     }
 
     #[test]

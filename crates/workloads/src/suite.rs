@@ -307,11 +307,7 @@ mod tests {
                 .map(|&s| psi.probability_of(s))
                 .sum();
             // Far above the 2/2^n random-guess floor.
-            assert!(
-                ideal_pst > 0.3,
-                "{}: ideal PST = {ideal_pst}",
-                b.name()
-            );
+            assert!(ideal_pst > 0.3, "{}: ideal PST = {ideal_pst}", b.name());
         }
     }
 
@@ -353,9 +349,7 @@ mod tests {
         let psi_base = StateVector::from_circuit(base_b.circuit());
         // The shifted instance gives `target` exactly the probability the
         // base instance gives `base`.
-        assert!(
-            (psi.probability_of(target) - psi_base.probability_of(base)).abs() < 1e-9
-        );
+        assert!((psi.probability_of(target) - psi_base.probability_of(base)).abs() < 1e-9);
         assert!(b.correct().contains(&target));
         assert!(b.correct().contains(&target.inverted()));
     }

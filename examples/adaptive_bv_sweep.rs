@@ -60,7 +60,11 @@ fn main() {
     println!("{table}");
 
     let mut summary = Table::new(&["policy", "min PST", "avg PST", "max PST"]);
-    for (name, s) in [("baseline", &series.0), ("SIM", &series.1), ("AIM", &series.2)] {
+    for (name, s) in [
+        ("baseline", &series.0),
+        ("SIM", &series.1),
+        ("AIM", &series.2),
+    ] {
         let (min, avg, max) = min_avg_max(s);
         summary.row_owned(vec![
             name.to_string(),

@@ -22,7 +22,10 @@ fn main() {
     let device = DeviceModel::ibmqx4();
     let exec = NoisyExecutor::readout_only(&device);
 
-    println!("Characterizing {} (5 qubits, arbitrary bias)\n", device.name());
+    println!(
+        "Characterizing {} (5 qubits, arbitrary bias)\n",
+        device.name()
+    );
 
     let exact = RbmsTable::exact(&device.readout());
     let brute = RbmsTable::brute_force(&exec, 16_000, &mut rng);
@@ -55,7 +58,12 @@ fn main() {
     );
     println!("\nRelative strength per state (Figure 15 series):");
     let mut per_state = Table::new(&["state", "exact", "brute", "ESCT", "AWCT"]);
-    let (e, b, s, a) = (exact.relative(), brute.relative(), esct.relative(), awct.relative());
+    let (e, b, s, a) = (
+        exact.relative(),
+        brute.relative(),
+        esct.relative(),
+        awct.relative(),
+    );
     for st in BitString::all_by_hamming_weight(5) {
         let i = st.index();
         per_state.row_owned(vec![

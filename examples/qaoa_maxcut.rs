@@ -57,7 +57,9 @@ fn main() {
             policy.name(),
             fmt_prob(r.pst),
             fmt_ratio(r.ist),
-            r.roca.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string()),
+            r.roca
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".to_string()),
         ]);
     }
     println!("{table}");

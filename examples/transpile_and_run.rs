@@ -79,6 +79,8 @@ fn main() {
         "Post-measurement correction and mapping commute: inversion string {} acts on\n\
          physical qubits {:?}.",
         InversionString::full(n_log),
-        (0..n_log).map(|q| routed.output_qubit(q)).collect::<Vec<_>>()
+        (0..n_log)
+            .map(|q| routed.output_qubit(q))
+            .collect::<Vec<_>>()
     );
 }

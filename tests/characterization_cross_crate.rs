@@ -50,8 +50,7 @@ fn awct_is_sensitive_to_every_qubit() {
         // (a symmetric one would shift all states uniformly and leave the
         // relative table unchanged, by design).
         let drifted = {
-            let mut specs: Vec<qnoise::QubitSpec> =
-                (0..5).map(|i| *nominal.qubit(i)).collect();
+            let mut specs: Vec<qnoise::QubitSpec> = (0..5).map(|i| *nominal.qubit(i)).collect();
             specs[q].assignment = qnoise::FlipPair::new(0.0, 0.6);
             DeviceModel::from_parts(
                 "perturbed",
@@ -66,10 +65,7 @@ fn awct_is_sensitive_to_every_qubit() {
         let exec2 = NoisyExecutor::readout_only(&drifted);
         let perturbed = RbmsTable::awct(&exec2, 3, 2, 60_000, &mut rng);
         let mse = perturbed.mse_vs(&base);
-        assert!(
-            mse > 0.01,
-            "AWCT blind to qubit {q}: MSE only {mse}"
-        );
+        assert!(mse > 0.01, "AWCT blind to qubit {q}: MSE only {mse}");
     }
 }
 
@@ -132,5 +128,8 @@ fn bv_benchmark_widths_align() {
     let bench = Benchmark::bv("bv-6", "011111".parse().unwrap());
     assert_eq!(bench.circuit().n_qubits(), 7);
     assert_eq!(bench.correct().outputs()[0].width(), 7);
-    assert!(bench.correct().outputs()[0].bit(6), "ancilla bit must be set");
+    assert!(
+        bench.correct().outputs()[0].bit(6),
+        "ancilla bit must be set"
+    );
 }

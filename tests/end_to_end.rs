@@ -47,11 +47,7 @@ fn sim_and_aim_beat_baseline_on_hard_bv_across_machines() {
             "{}: SIM {sim} should beat baseline {base}",
             dev.name()
         );
-        assert!(
-            aim > sim,
-            "{}: AIM {aim} should beat SIM {sim}",
-            dev.name()
-        );
+        assert!(aim > sim, "{}: AIM {aim} should beat SIM {sim}", dev.name());
     }
 }
 
@@ -160,10 +156,12 @@ fn unfolding_and_aim_both_mitigate_but_differently() {
     let unfolded_pst = cm.unfold(&observed).probability_of(target);
 
     let profile = RbmsTable::exact(&dev.readout());
-    let aim_log =
-        AdaptiveInvertMeasure::new(profile).execute(&circuit, 16_000, &exec, &mut rng);
+    let aim_log = AdaptiveInvertMeasure::new(profile).execute(&circuit, 16_000, &exec, &mut rng);
     let aim_pst = aim_log.frequency(&target);
 
-    assert!(unfolded_pst > base_pst + 0.2, "unfolding: {unfolded_pst} vs {base_pst}");
+    assert!(
+        unfolded_pst > base_pst + 0.2,
+        "unfolding: {unfolded_pst} vs {base_pst}"
+    );
     assert!(aim_pst > base_pst + 0.2, "AIM: {aim_pst} vs {base_pst}");
 }

@@ -45,8 +45,16 @@ fn killed_journaled_runs_resume_bit_identically_across_methods() {
         let clean = dir.join(format!("clean-{i}.journal"));
         let (baseline, stats) =
             characterize_journaled(&exec, &spec, Some(&clean), &NoFaults).unwrap();
-        assert!(!stats.resumed(), "{:?}: fresh run must not resume", spec.method);
-        assert!(stats.checkpoints_written >= 2, "{:?}: needs ≥2 units", spec.method);
+        assert!(
+            !stats.resumed(),
+            "{:?}: fresh run must not resume",
+            spec.method
+        );
+        assert!(
+            stats.checkpoints_written >= 2,
+            "{:?}: needs ≥2 units",
+            spec.method
+        );
 
         // Crash at the second checkpoint, then resume on four threads.
         let crash = dir.join(format!("crash-{i}.journal"));
@@ -56,11 +64,19 @@ fn killed_journaled_runs_resume_bit_identically_across_methods() {
             characterize_journaled(&exec4, &spec, Some(&crash), &plan)
         }));
         assert!(died.is_err(), "{:?}: scripted panic must fire", spec.method);
-        assert!(crash.exists(), "{:?}: journal must survive the kill", spec.method);
+        assert!(
+            crash.exists(),
+            "{:?}: journal must survive the kill",
+            spec.method
+        );
 
         let (resumed, stats) =
             characterize_journaled(&exec4, &spec, Some(&crash), &NoFaults).unwrap();
-        assert_eq!(stats.resumed_units, 1, "{:?}: one checkpoint survived", spec.method);
+        assert_eq!(
+            stats.resumed_units, 1,
+            "{:?}: one checkpoint survived",
+            spec.method
+        );
         assert_eq!(
             resumed.to_text(),
             baseline.to_text(),
@@ -114,10 +130,7 @@ fn torn_checkpoint_is_discarded_and_recomputed() {
     let (baseline, _) = characterize_journaled(&exec, &spec, Some(&clean), &NoFaults).unwrap();
 
     let torn = dir.join("torn.journal");
-    let plan = FaultPlan::from_text(
-        "faultplan v1\nseed 1\njournal-write 3 torn\n",
-    )
-    .unwrap();
+    let plan = FaultPlan::from_text("faultplan v1\nseed 1\njournal-write 3 torn\n").unwrap();
     let err = characterize_journaled(&exec, &spec, Some(&torn), &plan);
     assert!(err.is_err(), "a torn append reports an I/O failure");
 
@@ -162,12 +175,18 @@ fn flipped_bit_is_caught_by_checksum_and_quarantined() {
     let damaged = std::fs::read(&path).unwrap();
     let err = RbmsTable::load_with_meta(&path).unwrap_err();
     assert!(
-        matches!(err, ProfileError::Checksum { .. } | ProfileError::Parse { .. }),
+        matches!(
+            err,
+            ProfileError::Checksum { .. } | ProfileError::Parse { .. }
+        ),
         "a flipped bit must be rejected, got {err}"
     );
 
     let moved = quarantine_profile(&path).unwrap();
-    assert!(!path.exists(), "the damaged file is moved, not left in place");
+    assert!(
+        !path.exists(),
+        "the damaged file is moved, not left in place"
+    );
     assert!(moved.to_string_lossy().contains(".quarantined"));
     assert_eq!(
         std::fs::read(&moved).unwrap(),
@@ -179,7 +198,10 @@ fn flipped_bit_is_caught_by_checksum_and_quarantined() {
     table.save_v2_with(&path, &meta, &NoFaults).unwrap();
     flip_one_byte(&path);
     let moved2 = quarantine_profile(&path).unwrap();
-    assert_ne!(moved, moved2, "quarantine never overwrites earlier evidence");
+    assert_ne!(
+        moved, moved2,
+        "quarantine never overwrites earlier evidence"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -117,7 +117,10 @@ fn ghz_branch_asymmetry() {
         loss_ratio > 1.5,
         "all-ones branch should lose much more: p0={p0} p1={p1} ratio={loss_ratio}"
     );
-    assert!(p0 > p1 + 0.05, "all-zeros branch must dominate: {p0} vs {p1}");
+    assert!(
+        p0 > p1 + 0.05,
+        "all-zeros branch must dominate: {p0} vs {p1}"
+    );
 }
 
 /// Appendix A: ESCT reproduces the direct characterization within the
@@ -132,7 +135,15 @@ fn appendix_a_characterization_bounds() {
     let direct = RbmsTable::brute_force(&exec, 8_000, &mut rng);
     let esct = RbmsTable::esct(&exec, 256_000, &mut rng);
     let awct = RbmsTable::awct(&exec, 3, 2, 85_000, &mut rng);
-    assert!(esct.mse_vs(&direct) < 0.05, "ESCT MSE {}", esct.mse_vs(&direct));
-    assert!(awct.mse_vs(&direct) < 0.05, "AWCT MSE {}", awct.mse_vs(&direct));
+    assert!(
+        esct.mse_vs(&direct) < 0.05,
+        "ESCT MSE {}",
+        esct.mse_vs(&direct)
+    );
+    assert!(
+        awct.mse_vs(&direct) < 0.05,
+        "AWCT MSE {}",
+        awct.mse_vs(&direct)
+    );
     assert!(awct.trials_used() < direct.trials_used());
 }

@@ -122,8 +122,7 @@ fn aim_candidates_are_observed() {
     for case in 0..CASES {
         let strengths: Vec<f64> = (0..16).map(|_| rng.gen_range(0.05f64..1.0)).collect();
         let n_obs = rng.gen_range(1usize..10);
-        let observed: Vec<BitString> =
-            (0..n_obs).map(|_| random_bitstring(4, &mut rng)).collect();
+        let observed: Vec<BitString> = (0..n_obs).map(|_| random_bitstring(4, &mut rng)).collect();
         let profile = RbmsTable::from_strengths(4, strengths);
         let aim = AdaptiveInvertMeasure::new(profile);
         let mut canary = qsim::Counts::new(4);
@@ -152,7 +151,10 @@ fn readout_rows_are_stochastic() {
         let total: f64 = BitString::all(4)
             .map(|obs| readout.confusion(ideal, obs))
             .sum();
-        assert!((total - 1.0).abs() < 1e-9, "case {case}: row sums to {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: row sums to {total}"
+        );
     }
 }
 

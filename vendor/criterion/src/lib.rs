@@ -137,7 +137,10 @@ impl Criterion {
         }
         println!("{line}");
         if let Ok(path) = std::env::var("CRITERION_JSON") {
-            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path)
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
             {
                 let _ = writeln!(
                     file,
